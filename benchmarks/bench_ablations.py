@@ -1,0 +1,113 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* content-model matching: Brzozowski derivatives with counters (the
+  default) vs the Glushkov position automaton (which must expand
+  bounded repetition) — construction and matching cost as maxOccurs
+  grows;
+* the numbering alphabet: label growth under the same workload for
+  bases 4 / 16 / 256 (the paper leaves Ω abstract; this shows why a
+  byte-sized alphabet is the right call);
+* first-child-by-schema pointers: child-step cost with the pointer
+  versus reconstructing via the sibling chain only.
+"""
+
+import pytest
+
+from repro.content import (
+    DerivativeMatcher,
+    GlushkovAutomaton,
+    compile_group,
+)
+from repro.numbering import SednaAdapter, UpdateWorkload
+from repro.schema import (
+    CombinationFactor,
+    ElementDeclaration,
+    GroupDefinition,
+    RepetitionFactor,
+    TypeName,
+)
+from repro.xmlio import xsd
+
+
+def _counted_group(max_occurs: int) -> GroupDefinition:
+    return GroupDefinition(
+        (ElementDeclaration("a", TypeName(xsd("string")),
+                            RepetitionFactor(0, max_occurs)),
+         ElementDeclaration("b", TypeName(xsd("string"))),),
+        CombinationFactor.SEQUENCE, RepetitionFactor(1, 1))
+
+
+class TestMatcherAblation:
+    @pytest.mark.parametrize("max_occurs", [10, 100, 1000])
+    def test_derivative_matching(self, benchmark, max_occurs):
+        """Counter-based: cost independent of the bound's magnitude."""
+        particle = compile_group(_counted_group(max_occurs))
+        matcher = DerivativeMatcher(particle)
+        word = ["a"] * min(max_occurs, 50) + ["b"]
+
+        def match():
+            return matcher.matches(word)
+
+        assert benchmark(match)
+
+    @pytest.mark.parametrize("max_occurs", [10, 100, 1000])
+    def test_glushkov_construction(self, benchmark, max_occurs):
+        """Expansion-based: construction cost grows with maxOccurs."""
+        particle = compile_group(_counted_group(max_occurs))
+
+        def build():
+            return GlushkovAutomaton(particle)
+
+        automaton = benchmark(build)
+        benchmark.extra_info["positions"] = automaton.position_count
+
+    @pytest.mark.parametrize("max_occurs", [10, 100])
+    def test_glushkov_matching(self, benchmark, max_occurs):
+        particle = compile_group(_counted_group(max_occurs))
+        automaton = GlushkovAutomaton(particle)
+        word = ["a"] * min(max_occurs, 50) + ["b"]
+
+        def match():
+            return automaton.matches(word)
+
+        assert benchmark(match)
+
+
+class TestAlphabetAblation:
+    @pytest.mark.parametrize("base", [4, 16, 256])
+    def test_label_growth_by_base(self, benchmark, base):
+        """Smaller alphabets exhaust gaps sooner, so labels grow
+        faster; a byte-sized alphabet keeps them short."""
+        workload = UpdateWorkload(operations=300, seed=17,
+                                  insert_bias=1.0)
+
+        def run():
+            return workload.run(lambda tree: SednaAdapter(tree, base=base),
+                                verify=False)
+
+        stats = benchmark(run)
+        benchmark.extra_info["base"] = base
+        benchmark.extra_info["mean_label_bytes"] = round(
+            stats.mean_label_bytes, 1)
+        benchmark.extra_info["max_label_bytes"] = stats.max_label_bytes
+        assert stats.relabels == 0  # Proposition 1 holds at every base
+
+
+class TestBlockOrderAblation:
+    @pytest.mark.parametrize("capacity", [4, 64])
+    def test_in_block_chain_reconstruction(self, benchmark,
+                                           library_documents, capacity):
+        """Reconstructing document order inside blocks via the 2-byte
+        short-pointer chains (the paper's design) across capacities —
+        smaller blocks mean more chain segments for the same scan."""
+        from repro.storage import StorageEngine
+        engine = StorageEngine(block_capacity=capacity)
+        engine.load_document(library_documents[100])
+        titles = engine.schema.find_path("library/book/title")
+
+        def scan():
+            return sum(1 for _ in engine.scan_schema_node(titles))
+
+        count = benchmark(scan)
+        assert count == titles.descriptor_count
+        benchmark.extra_info["blocks"] = titles.block_count()

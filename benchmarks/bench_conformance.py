@@ -1,0 +1,107 @@
+"""VAL — Section 6.2 conformance checking throughput.
+
+Checks trees of growing size against their schema (the requirements
+1-7 checker) and against schemas of growing structural complexity
+(wider choices, deeper groups).  Expected shape: linear in document
+size; modest growth with content-model width thanks to the
+counter-based derivative matcher.
+"""
+
+import pytest
+
+from repro.algebra import ConformanceChecker, InstanceBuilder, \
+    check_conformance
+from repro.mapping import document_to_tree
+from repro.schema import parse_schema
+from repro.xmlio import parse_document
+from repro.workloads.fixtures import wrap_in_schema
+from benchmarks.conftest import SCALES
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_conformance_check_scaling(benchmark, library_trees,
+                                   library_schema, scale):
+    tree = library_trees[scale]
+    checker = ConformanceChecker(library_schema)
+
+    def check():
+        return checker.check(tree)
+
+    violations = benchmark(check)
+    assert violations == []
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_validation_while_mapping(benchmark, library_texts,
+                                  library_schema, scale):
+    """f = parse + validate + build, the end-to-end validator path."""
+    document = parse_document(library_texts[scale])
+
+    def validate():
+        return document_to_tree(document, library_schema)
+
+    tree = benchmark(validate)
+    assert tree is not None
+
+
+def _choice_schema(width: int) -> str:
+    alternatives = "".join(
+        f'<xsd:element name="alt{i}" type="xsd:string"/>'
+        for i in range(width))
+    return wrap_in_schema(
+        '<xsd:element name="R"><xsd:complexType>'
+        f'<xsd:choice minOccurs="0" maxOccurs="unbounded">{alternatives}'
+        "</xsd:choice></xsd:complexType></xsd:element>")
+
+
+@pytest.mark.parametrize("width", [2, 16, 64])
+def test_conformance_vs_choice_width(benchmark, width):
+    schema = parse_schema(_choice_schema(width))
+    builder = InstanceBuilder(schema, seed=width, max_occurs_cap=50)
+    tree = builder.build()
+    checker = ConformanceChecker(schema)
+
+    def check():
+        return checker.check(tree)
+
+    violations = benchmark(check)
+    assert violations == []
+    benchmark.extra_info["alternatives"] = width
+
+
+@pytest.mark.parametrize("depth", [1, 3, 6])
+def test_conformance_vs_nesting_depth(benchmark, depth):
+    inner = '<xsd:element name="leaf" type="xsd:string"/>'
+    for level in range(depth):
+        inner = (f'<xsd:element name="level{level}"><xsd:complexType>'
+                 f"<xsd:sequence>{inner}</xsd:sequence>"
+                 "</xsd:complexType></xsd:element>")
+    schema = parse_schema(wrap_in_schema(inner))
+    tree = InstanceBuilder(schema, seed=depth).build()
+    checker = ConformanceChecker(schema)
+
+    def check():
+        return checker.check(tree)
+
+    violations = benchmark(check)
+    assert violations == []
+    benchmark.extra_info["depth"] = depth
+
+
+def test_detecting_a_violation_is_not_slower(benchmark, library_schema):
+    """Broken trees are diagnosed in one pass too."""
+    tree = InstanceBuilder(library_schema, seed=1).build()
+    # Sabotage: retype the first book's title.
+    from repro.xmlio import xsd
+    from repro.xsdtypes import builtin
+    book = tree.document_element().element_children()[0]
+    title = book.element_children()[0]
+    title.algebra.annotate_element(title, xsd("integer"),
+                                   simple_type=builtin("integer"))
+    checker = ConformanceChecker(library_schema)
+
+    def check():
+        return checker.check(tree)
+
+    violations = benchmark(check)
+    assert violations

@@ -1,0 +1,64 @@
+"""EX8 — descriptive schema construction and DataGuide compression.
+
+Regenerates the Example 8 figure at scale: building the descriptive
+schema of a regular library document costs one pass, and its size
+stays *constant* (the 16 schema nodes of the figure) while the
+document grows — whereas an irregular document degenerates to one
+schema node per element.  ``compression`` in the extra info is the
+document-nodes : schema-nodes ratio the paper's design relies on.
+"""
+
+import pytest
+
+from repro.storage import StorageEngine
+from repro.workloads import make_irregular_document
+from repro.workloads.fixtures import EXAMPLE_8_DESCRIPTIVE_SCHEMA
+from benchmarks.conftest import SCALES
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_build_descriptive_schema_regular(benchmark, library_documents,
+                                          scale):
+    document = library_documents[scale]
+
+    def load():
+        engine = StorageEngine()
+        engine.load_document(document)
+        return engine
+
+    engine = benchmark(load)
+    # The schema stays exactly the Example 8 figure, at every scale.
+    assert sorted(path for path, _t in engine.schema.paths()) == \
+        sorted(path for path, _t in EXAMPLE_8_DESCRIPTIVE_SCHEMA)
+    benchmark.extra_info["document_nodes"] = engine.node_count()
+    benchmark.extra_info["schema_nodes"] = engine.schema.node_count()
+    benchmark.extra_info["compression"] = round(
+        engine.node_count() / engine.schema.node_count(), 1)
+
+
+@pytest.mark.parametrize("nodes", [100, 1000])
+def test_build_descriptive_schema_irregular(benchmark, nodes):
+    document = make_irregular_document(node_count=nodes, seed=7)
+
+    def load():
+        engine = StorageEngine()
+        engine.load_document(document)
+        return engine
+
+    engine = benchmark(load)
+    # Worst case: no compression (one schema node per element + doc).
+    assert engine.schema.node_count() == nodes + 1
+    benchmark.extra_info["compression"] = 1.0
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_schema_path_lookup(benchmark, storage_engines, scale):
+    """Path lookup in the descriptive schema is independent of the
+    document size — it is the entry point of every query."""
+    engine = storage_engines[scale]
+
+    def lookup():
+        return engine.schema.find_path("library/book/issue/year")
+
+    node = benchmark(lookup)
+    assert node is not None

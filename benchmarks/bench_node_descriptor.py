@@ -1,0 +1,77 @@
+"""EX10 — node descriptors answer every accessor.
+
+Regenerates the Example 10 claim: "the data stored in the node
+descriptor together with the data stored in the corresponding schema
+node are sufficient to produce the result of any accessor".  The
+benchmark evaluates each accessor over every node, from storage and —
+as the reference — from the formal in-memory model, and reports the
+modelled storage footprint.
+"""
+
+import pytest
+
+from repro.order import iter_document_order
+from benchmarks.conftest import SCALES
+
+
+@pytest.mark.parametrize("scale", [10, 100])
+def test_accessors_from_descriptors(benchmark, storage_engines, scale):
+    engine = storage_engines[scale]
+    descriptors = list(engine.iter_document_order())
+
+    def evaluate_all():
+        total = 0
+        for descriptor in descriptors:
+            engine.node_kind(descriptor)
+            engine.node_name(descriptor)
+            engine.parent(descriptor)
+            total += len(engine.children(descriptor))
+            total += len(engine.attributes(descriptor))
+        return total
+
+    benchmark(evaluate_all)
+    benchmark.extra_info["nodes"] = len(descriptors)
+
+
+@pytest.mark.parametrize("scale", [10, 100])
+def test_accessors_from_model(benchmark, untyped_library_trees, scale):
+    tree = untyped_library_trees[scale]
+    nodes = list(iter_document_order(tree))
+
+    def evaluate_all():
+        total = 0
+        for node in nodes:
+            node.node_kind()
+            node.node_name()
+            node.parent()
+            total += len(node.children())
+            total += len(node.attributes())
+        return total
+
+    benchmark(evaluate_all)
+
+
+@pytest.mark.parametrize("scale", [10, 100])
+def test_string_value_from_storage(benchmark, storage_engines, scale):
+    engine = storage_engines[scale]
+    library = engine.children(engine.document)[0]
+
+    def whole_document_text():
+        return engine.string_value(library)
+
+    text = benchmark(whole_document_text)
+    assert text
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_descriptor_footprint(benchmark, storage_engines, scale):
+    """Bytes per node of the modelled physical layout."""
+    engine = storage_engines[scale]
+
+    def measure():
+        return engine.size_bytes()
+
+    total = benchmark(measure)
+    nodes = engine.node_count()
+    benchmark.extra_info["bytes_total"] = total
+    benchmark.extra_info["bytes_per_node"] = round(total / nodes, 1)

@@ -1,0 +1,91 @@
+"""NID — Proposition 1: updates under three numbering schemes.
+
+Regenerates the Section 9.3 claim: the Sedna scheme "keep[s] its
+properties after the updates (insertion or removal of the nodes)"
+without relabeling.  The same randomized update workload is applied to
+the paper's scheme and the two classic baselines; the extra info
+carries the table rows (relabels per operation, label growth).
+
+Expected shape: sedna = 0 relabels/op always; dewey grows with sibling
+counts; interval grows with document size.  Sedna pays with slowly
+growing labels; interval labels stay at 8 fixed bytes.
+"""
+
+import pytest
+
+from repro.numbering import (
+    DeweyBaseline,
+    IntervalBaseline,
+    SednaAdapter,
+    UpdateWorkload,
+)
+
+_SCHEMES = {
+    "sedna": SednaAdapter,
+    "dewey": DeweyBaseline,
+    "interval": IntervalBaseline,
+}
+
+_OPS = (100, 400)
+
+
+@pytest.mark.parametrize("ops", _OPS)
+@pytest.mark.parametrize("scheme", sorted(_SCHEMES))
+def test_update_workload(benchmark, scheme, ops):
+    workload = UpdateWorkload(operations=ops, seed=13, insert_bias=0.75)
+    make = _SCHEMES[scheme]
+
+    def run():
+        return workload.run(make, verify=False)
+
+    stats = benchmark(run)
+    benchmark.extra_info["relabels_per_op"] = round(
+        stats.relabels_per_op, 2)
+    benchmark.extra_info["mean_label_bytes"] = round(
+        stats.mean_label_bytes, 1)
+    benchmark.extra_info["max_label_bytes"] = stats.max_label_bytes
+    if scheme == "sedna":
+        assert stats.relabels == 0  # Proposition 1
+    else:
+        assert stats.relabels > 0
+
+
+@pytest.mark.parametrize("scheme", sorted(_SCHEMES))
+def test_front_insertion_worst_case(benchmark, scheme):
+    """Repeated insertion at the very front of one node's child list —
+    the adversarial case for ordinal schemes."""
+    from repro.numbering import SimTree
+
+    make = _SCHEMES[scheme]
+
+    def run():
+        tree = SimTree()
+        labelled = make(tree)
+        labelled.load()
+        for _ in range(60):
+            node = tree.insert(tree.root, 0)
+            labelled.on_insert(node)
+        return labelled
+
+    labelled = benchmark(run)
+    benchmark.extra_info["relabels"] = labelled.relabel_count
+    benchmark.extra_info["max_label_bytes"] = labelled.max_label_bytes()
+    if scheme == "sedna":
+        assert labelled.relabel_count == 0
+
+
+def test_label_growth_over_long_run(benchmark):
+    """Label-length growth of the Sedna scheme over a long insertion
+    run — the cost side of Proposition 1 the paper's enhancements
+    target ("prevent the growing of numbering labels")."""
+    workload = UpdateWorkload(operations=1500, seed=29, insert_bias=1.0)
+
+    def run():
+        return workload.run(SednaAdapter, verify=False)
+
+    stats = benchmark(run)
+    benchmark.extra_info["nodes"] = stats.node_count
+    benchmark.extra_info["mean_label_bytes"] = round(
+        stats.mean_label_bytes, 1)
+    benchmark.extra_info["max_label_bytes"] = stats.max_label_bytes
+    assert stats.relabels == 0

@@ -1,0 +1,61 @@
+"""THM — the Section 8 round-trip theorem, g(f(X)) =_c X, at scale.
+
+Times the two mappings and their composition on growing documents and
+asserts content equality on every run — the theorem is *checked*, not
+assumed, at every scale.
+"""
+
+import pytest
+
+from repro.mapping import content_equal, document_to_tree, tree_to_document
+from repro.xmlio import parse_document, serialize_document
+from benchmarks.conftest import SCALES
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_mapping_f(benchmark, library_texts, library_schema, scale):
+    document = parse_document(library_texts[scale])
+
+    def apply_f():
+        return document_to_tree(document, library_schema)
+
+    tree = benchmark(apply_f)
+    assert tree.document_element() is not None
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_mapping_g(benchmark, library_trees, scale):
+    tree = library_trees[scale]
+
+    def apply_g():
+        return tree_to_document(tree)
+
+    document = benchmark(apply_g)
+    assert document.root.name.local == "library"
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_theorem_roundtrip(benchmark, library_texts, library_schema,
+                           scale):
+    document = parse_document(library_texts[scale])
+
+    def roundtrip():
+        tree = document_to_tree(document, library_schema)
+        return tree_to_document(tree)
+
+    result = benchmark(roundtrip)
+    assert content_equal(result, document)
+    benchmark.extra_info["theorem_holds"] = True
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_parse_serialize_substrate(benchmark, library_texts, scale):
+    """The raw XML substrate below f and g, for reference."""
+    text = library_texts[scale]
+
+    def parse_and_serialize():
+        return serialize_document(parse_document(text))
+
+    out = benchmark(parse_and_serialize)
+    assert out
+    benchmark.extra_info["bytes"] = len(text)

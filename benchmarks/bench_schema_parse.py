@@ -1,0 +1,64 @@
+"""EX1-7 — the schema fragments of Examples 1-7.
+
+Regenerates the paper's schema artifacts: each example parses into the
+abstract syntax of Sections 2-3, survives a write→parse round trip,
+and parsing stays linear in schema size.
+"""
+
+import pytest
+
+from repro.schema import parse_schema, write_schema
+from repro.workloads.fixtures import (
+    EXAMPLE_1_SCHEMA,
+    EXAMPLE_5_SCHEMA,
+    EXAMPLE_6_SCHEMA,
+    EXAMPLE_7_SCHEMA,
+    LIBRARY_SCHEMA,
+    wrap_in_schema,
+)
+
+_EXAMPLES = {
+    "example1": EXAMPLE_1_SCHEMA,
+    "example5": EXAMPLE_5_SCHEMA,
+    "example6": EXAMPLE_6_SCHEMA,
+    "example7": EXAMPLE_7_SCHEMA,
+    "library": LIBRARY_SCHEMA,
+}
+
+
+@pytest.mark.parametrize("label", sorted(_EXAMPLES))
+def test_parse_paper_example(benchmark, label):
+    source = _EXAMPLES[label]
+    schema = benchmark(parse_schema, source)
+    assert schema.root_element is not None
+    benchmark.extra_info["complex_types"] = len(schema.complex_types)
+
+
+@pytest.mark.parametrize("label", ["example7", "library"])
+def test_write_parse_roundtrip(benchmark, label):
+    schema = parse_schema(_EXAMPLES[label])
+
+    def roundtrip():
+        return parse_schema(write_schema(schema))
+
+    again = benchmark(roundtrip)
+    assert again.root_element.name == schema.root_element.name
+
+
+def _wide_schema(width: int) -> str:
+    elements = "".join(
+        f'<xsd:element name="f{i}" type="xsd:string"/>'
+        for i in range(width))
+    return wrap_in_schema(
+        f'<xsd:element name="R"><xsd:complexType>'
+        f'<xsd:sequence>{elements}</xsd:sequence>'
+        f"</xsd:complexType></xsd:element>")
+
+
+@pytest.mark.parametrize("width", [10, 100, 500])
+def test_parse_scales_with_width(benchmark, width):
+    source = _wide_schema(width)
+    schema = benchmark(parse_schema, source)
+    group = schema.root_element.type.group
+    assert len(group.members) == width
+    benchmark.extra_info["declarations"] = width

@@ -1,0 +1,81 @@
+"""EX9 — data blocks: per-schema-node scans and the order chain.
+
+Regenerates the Example 9 structure at scale and measures what the
+block design buys: scanning all instances of one schema node walks
+only that node's block list (independent of the rest of the document),
+while the same scan over the plain node tree must traverse everything.
+"""
+
+import pytest
+
+from repro.order import iter_document_order
+from repro.storage import before
+from benchmarks.conftest import SCALES
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_scan_one_schema_node_via_blocks(benchmark, storage_engines,
+                                         scale):
+    engine = storage_engines[scale]
+    titles = engine.schema.find_path("library/book/title")
+
+    def scan():
+        return list(engine.scan_schema_node(titles))
+
+    result = benchmark(scan)
+    assert len(result) == titles.descriptor_count
+    for a, b in zip(result, result[1:]):
+        assert before(a.nid, b.nid)
+    benchmark.extra_info["instances"] = len(result)
+    benchmark.extra_info["blocks"] = titles.block_count()
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_scan_same_nodes_via_tree_walk(benchmark, untyped_library_trees,
+                                       scale):
+    """The baseline the block list is compared against: filter a full
+    document-order traversal of the formal tree."""
+    tree = untyped_library_trees[scale]
+
+    def scan():
+        out = []
+        for node in iter_document_order(tree):
+            names = node.node_name()
+            if (names and names.head().local == "title"
+                    and node.parent().head().node_name().head().local
+                    == "book"):
+                out.append(node)
+        return out
+
+    result = benchmark(scan)
+    assert result
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_full_document_order_scan(benchmark, storage_engines, scale):
+    """Whole-document scan through descriptors (children pointers +
+    sibling chains), the storage counterpart of Section 7."""
+    engine = storage_engines[scale]
+
+    def scan():
+        return sum(1 for _ in engine.iter_document_order())
+
+    count = benchmark(scan)
+    assert count == engine.node_count()
+
+
+@pytest.mark.parametrize("capacity", [8, 64, 512])
+def test_block_capacity_tradeoff(benchmark, library_documents, capacity):
+    """Smaller blocks mean more blocks (and headers) for the same data;
+    the extra info reports the footprint per capacity."""
+    document = library_documents[100]
+    from repro.storage import StorageEngine
+
+    def load():
+        engine = StorageEngine(block_capacity=capacity)
+        engine.load_document(document)
+        return engine
+
+    engine = benchmark(load)
+    benchmark.extra_info["blocks"] = engine.block_count()
+    benchmark.extra_info["bytes"] = engine.size_bytes()

@@ -1,0 +1,89 @@
+"""XP — "this decision has been made to speed up the XPath execution".
+
+Section 9.2 stores, per element, only pointers to the *first* child of
+each schema child.  This experiment measures the child step and full
+path queries three ways over the same stored document:
+
+* jump via the first-child-by-schema pointer, then follow siblings,
+* scan the full child list and filter by name (no schema pointers),
+* descriptive-schema-driven evaluation (match the schema, scan blocks)
+  versus naive per-descriptor navigation for multi-step paths.
+
+Expected shape: the schema pointer wins on elements with many
+heterogeneous children; schema-driven path evaluation wins by a
+growing factor on large documents because it touches only the blocks
+of the matching schema nodes.
+"""
+
+import pytest
+
+from repro.query import StorageQueryEngine
+from benchmarks.conftest import SCALES
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_child_step_via_schema_pointer(benchmark, storage_engines, scale):
+    engine = storage_engines[scale]
+    library = engine.children(engine.document)[0]
+    schema_book = engine.schema.find_path("library/book")
+
+    def step():
+        return engine.children_via_schema_pointer(library, schema_book)
+
+    books = benchmark(step)
+    assert books
+    benchmark.extra_info["fanout"] = len(engine.children(library))
+    benchmark.extra_info["selected"] = len(books)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_child_step_via_full_scan(benchmark, storage_engines, scale):
+    engine = storage_engines[scale]
+    library = engine.children(engine.document)[0]
+
+    def step():
+        return [child for child in engine.children(library)
+                if child.schema_node.name is not None
+                and child.schema_node.name.local == "book"]
+
+    books = benchmark(step)
+    assert books
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("path", ["/library/book/title", "//author"])
+def test_path_schema_driven(benchmark, storage_engines, scale, path):
+    engine = storage_engines[scale]
+    queries = StorageQueryEngine(engine)
+
+    def evaluate():
+        return queries.evaluate_schema_driven(path)
+
+    result = benchmark(evaluate)
+    assert result
+    benchmark.extra_info["results"] = len(result)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("path", ["/library/book/title", "//author"])
+def test_path_naive_navigation(benchmark, storage_engines, scale, path):
+    engine = storage_engines[scale]
+    queries = StorageQueryEngine(engine)
+
+    def evaluate():
+        return queries.evaluate_naive(path)
+
+    result = benchmark(evaluate)
+    assert result
+
+
+@pytest.mark.parametrize("scale", [10, 100])
+def test_results_agree(storage_engines, scale):
+    """Correctness gate for the comparison above (not timed)."""
+    engine = storage_engines[scale]
+    queries = StorageQueryEngine(engine)
+    for path in ("/library/book/title", "//author",
+                 "/library/paper/title/text()"):
+        naive = [d.nid for d in queries.evaluate_naive(path)]
+        driven = [d.nid for d in queries.evaluate_schema_driven(path)]
+        assert naive == driven

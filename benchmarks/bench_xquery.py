@@ -1,0 +1,73 @@
+"""XQ — throughput of the XQuery-lite evaluator (future-work extension).
+
+Not a paper artifact: the paper only *announces* an XQuery semantics as
+future work.  This module establishes the cost of FLWOR evaluation over
+the formal model so the extension has a measured baseline.
+"""
+
+import pytest
+
+from repro.xquery import XQueryEvaluator, parse_query
+from benchmarks.conftest import SCALES
+
+_FILTER = """
+for $b in /library/book
+where $b/issue/year > 1985
+return $b/title
+"""
+
+_JOINISH = """
+for $b in /library/book
+let $authors := $b/author
+where count($authors) > 1
+order by $b/title
+return $b/title
+"""
+
+_CONSTRUCT = """
+for $b in /library/book
+return <entry><t>{$b/title}</t><n>{count($b/author)}</n></entry>
+"""
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_filter_query(benchmark, untyped_library_trees, scale):
+    evaluator = XQueryEvaluator(untyped_library_trees[scale])
+    expression = parse_query(_FILTER)
+
+    def run():
+        return evaluator.evaluate(expression)
+
+    result = benchmark(run)
+    benchmark.extra_info["results"] = len(result)
+
+
+@pytest.mark.parametrize("scale", [10, 100])
+def test_order_by_query(benchmark, untyped_library_trees, scale):
+    evaluator = XQueryEvaluator(untyped_library_trees[scale])
+    expression = parse_query(_JOINISH)
+
+    def run():
+        return evaluator.evaluate(expression)
+
+    result = benchmark(run)
+    assert result == sorted(result, key=lambda n: n.string_value())
+
+
+@pytest.mark.parametrize("scale", [10, 100])
+def test_constructor_query(benchmark, untyped_library_trees, scale):
+    evaluator = XQueryEvaluator(untyped_library_trees[scale])
+    expression = parse_query(_CONSTRUCT)
+
+    def run():
+        return evaluator.evaluate(expression)
+
+    result = benchmark(run)
+    assert all(node.name.local == "entry" for node in result)
+
+
+def test_parse_cost(benchmark):
+    def parse():
+        return parse_query(_JOINISH)
+
+    assert benchmark(parse) is not None

@@ -1,0 +1,77 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one experiment from DESIGN.md's
+per-experiment index.  Fixtures here build the documents, trees and
+engines once per session so the timed sections measure only the
+operation under study.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping import document_to_tree, untyped_document_to_tree
+from repro.schema import parse_schema
+from repro.storage import StorageEngine
+from repro.xmlio import parse_document, serialize_document
+from repro.workloads import (
+    make_bookstore_document,
+    make_library_document,
+)
+from repro.workloads.fixtures import EXAMPLE_7_SCHEMA, LIBRARY_SCHEMA
+
+#: Scales used across the experiments (books+papers per scale).
+SCALES = (10, 100, 1000)
+
+
+@pytest.fixture(scope="session")
+def bookstore_schema():
+    return parse_schema(EXAMPLE_7_SCHEMA)
+
+
+@pytest.fixture(scope="session")
+def library_schema():
+    return parse_schema(LIBRARY_SCHEMA)
+
+
+@pytest.fixture(scope="session")
+def library_documents():
+    """Scaled library documents keyed by scale."""
+    return {scale: make_library_document(books=scale, papers=scale,
+                                         seed=scale)
+            for scale in SCALES}
+
+
+@pytest.fixture(scope="session")
+def library_texts(library_documents):
+    return {scale: serialize_document(document)
+            for scale, document in library_documents.items()}
+
+
+@pytest.fixture(scope="session")
+def bookstore_texts():
+    return {scale: serialize_document(
+        make_bookstore_document(books=scale, seed=scale))
+        for scale in SCALES}
+
+
+@pytest.fixture(scope="session")
+def library_trees(library_texts, library_schema):
+    return {scale: document_to_tree(parse_document(text), library_schema)
+            for scale, text in library_texts.items()}
+
+
+@pytest.fixture(scope="session")
+def untyped_library_trees(library_texts):
+    return {scale: untyped_document_to_tree(parse_document(text))
+            for scale, text in library_texts.items()}
+
+
+@pytest.fixture(scope="session")
+def storage_engines(library_documents):
+    engines = {}
+    for scale, document in library_documents.items():
+        engine = StorageEngine()
+        engine.load_document(document)
+        engines[scale] = engine
+    return engines

@@ -1,0 +1,109 @@
+"""A walkthrough of the formal model itself (Sections 4-7).
+
+Builds a document tree *by hand* inside a state algebra — the way the
+paper defines database states — then exercises each formal ingredient:
+the carrier sets and their disjointness, the ten accessors, the typed
+values from the Section 4 type system, the Section 6.2 requirements,
+and the document order of Section 7.
+
+Run:  python examples/formal_model_walkthrough.py
+"""
+
+from repro.algebra import (
+    StateAlgebra,
+    Tree,
+    check_conformance,
+    pretty,
+)
+from repro.order import before, document_order, is_total_order
+from repro.schema import (
+    AttributeDeclarations,
+    ComplexContentType,
+    DocumentSchema,
+    ElementDeclaration,
+    GroupDefinition,
+    RepetitionFactor,
+    TypeName,
+    UNBOUNDED,
+)
+from repro.xmlio import QName, xsd
+from repro.xsdtypes import builtin
+
+
+def build_schema() -> DocumentSchema:
+    """score := element scores { element run {xs:decimal}+, @unit }"""
+    run = ElementDeclaration("run", TypeName(xsd("decimal")),
+                             RepetitionFactor(1, UNBOUNDED))
+    scores_type = ComplexContentType(
+        group=GroupDefinition((run,)),
+        attributes=AttributeDeclarations(
+            (("unit", TypeName(xsd("string"))),)))
+    return DocumentSchema(
+        root_element=ElementDeclaration("scores", scores_type))
+
+
+def main() -> None:
+    schema = build_schema()
+
+    # --- Section 6.1: a state algebra with disjoint carriers.
+    algebra = StateAlgebra()
+    document = algebra.create_document(base_uri="urn:example:scores")
+    scores = algebra.create_element(QName("", "scores"))
+    algebra.append_child(document, scores)
+    unit = algebra.create_attribute(QName("", "unit"), "seconds")
+    algebra.annotate_attribute(unit, xsd("string"),
+                               simple_type=builtin("string"))
+    algebra.attach_attribute(scores, unit)
+    for value in ("9.58", "9.63", "9.69"):
+        run = algebra.create_element(QName("", "run"))
+        algebra.annotate_element(run, xsd("decimal"),
+                                 simple_type=builtin("decimal"))
+        algebra.append_child(scores, run)
+        algebra.append_child(run, algebra.create_text(value))
+
+    print("state algebra:", algebra)
+    for kind in ("document", "element", "attribute", "text"):
+        print(f"  A_{kind:9s} = {algebra.carrier(kind)}")
+    algebra.check_sort_disjointness()
+    print("carriers are pairwise disjoint")
+
+    # --- The tree and its accessors.
+    tree = Tree(document)
+    print("\ndocument tree:")
+    print(pretty(tree))
+
+    first_run = scores.element_children()[0]
+    print("\naccessors of the first <run>:")
+    print(f"  node-kind:    {first_run.node_kind()}")
+    print(f"  node-name:    {first_run.node_name().head()}")
+    print(f"  type:         {first_run.type().head()}")
+    print(f"  string-value: {first_run.string_value()!r}")
+    print(f"  typed-value:  {first_run.typed_value()}")
+    print(f"  nilled:       {first_run.nilled().head()}")
+    print(f"  base-uri:     {first_run.base_uri().head()} (inherited)")
+
+    # --- Section 6.2: the tree conforms, and breaking it is detected.
+    print("\nconformance:", check_conformance(document, schema) or "OK")
+    algebra.append_child(scores, algebra.create_text("stray text"))
+    violations = check_conformance(document, schema)
+    print("after adding stray text to element-only content:")
+    for violation in violations:
+        print(f"  {violation}")
+    stray = list(scores.children())[-1]
+    algebra.remove_child(scores, stray)
+
+    # --- Section 7: document order is a strict total order.
+    nodes = document_order(document)
+    print(f"\ndocument order over {len(nodes)} nodes:")
+    labels = []
+    for node in nodes:
+        name = node.node_name()
+        labels.append(name.head().local if name else node.node_kind())
+    print("  " + " << ".join(labels))
+    print("  strict total order:", is_total_order(document))
+    print("  scores << unit attribute:", before(scores, unit))
+    print("  unit attribute << first run:", before(unit, first_run))
+
+
+if __name__ == "__main__":
+    main()

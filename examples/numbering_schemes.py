@@ -1,0 +1,44 @@
+"""Numbering schemes under update pressure (Proposition 1, §9.3).
+
+Runs the same randomized insert/delete workload against three label
+families — the paper's gap-based Sedna scheme, naive Dewey ordinals,
+and tight pre/post intervals — and prints the relabeling cost and
+label growth of each.  This is the interactive version of the NID
+benchmark.
+
+Run:  python examples/numbering_schemes.py
+"""
+
+from repro.numbering import (
+    DeweyBaseline,
+    IntervalBaseline,
+    SednaAdapter,
+    UpdateWorkload,
+)
+
+
+def main() -> None:
+    header = (f"{'scheme':10s} {'ops':>5s} {'relabels':>9s} "
+              f"{'relab/op':>9s} {'mean lbl':>9s} {'max lbl':>8s}")
+    for operations in (100, 400, 1600):
+        workload = UpdateWorkload(operations=operations, seed=11,
+                                  insert_bias=0.75)
+        print(f"\n=== {operations} random updates "
+              f"(70/30 insert/delete) ===")
+        print(header)
+        for make in (SednaAdapter, DeweyBaseline, IntervalBaseline):
+            stats = workload.run(make)
+            print(f"{stats.scheme:10s} {stats.operations:5d} "
+                  f"{stats.relabels:9d} {stats.relabels_per_op:9.2f} "
+                  f"{stats.mean_label_bytes:8.1f}B "
+                  f"{stats.max_label_bytes:7d}B")
+
+    print(
+        "\nreading: the Sedna scheme never relabels (Proposition 1) at\n"
+        "the cost of slowly growing labels; Dewey relabels entire\n"
+        "shifted sibling subtrees; tight intervals renumber O(n) per\n"
+        "insertion but answer relations from 8 fixed bytes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""XQuery-lite over the formal model — the paper's announced next step.
+
+The paper concludes: "the presented semantics may help in defining a
+simple semantics of a data manipulation language like XQuery. We
+intend to proceed with this work."  This example runs FLWOR queries
+over the paper's own documents, entirely on top of the Section 5
+accessors.
+
+Run:  python examples/xquery_reports.py
+"""
+
+from repro.mapping import document_to_tree, serialize_tree, \
+    untyped_document_to_tree
+from repro.schema import parse_schema
+from repro.xmlio import parse_document
+from repro.xquery import execute, execute_values
+from repro.workloads.fixtures import (
+    EXAMPLE_7_DOCUMENT,
+    EXAMPLE_7_SCHEMA,
+    EXAMPLE_8_DOCUMENT,
+)
+
+
+def main() -> None:
+    bookstore = document_to_tree(parse_document(EXAMPLE_7_DOCUMENT),
+                                 parse_schema(EXAMPLE_7_SCHEMA))
+    library = untyped_document_to_tree(parse_document(EXAMPLE_8_DOCUMENT))
+
+    print("books published in 1998:")
+    for title in execute_values(bookstore, """
+            for $b in /BookStore/Book
+            where $b/Date = '1998'
+            return $b/Title"""):
+        print(f"  {title}")
+
+    print("\nall titles, descending:")
+    for title in execute_values(bookstore, """
+            for $b in /BookStore/Book
+            order by $b/Title descending
+            return $b/Title"""):
+        print(f"  {title}")
+
+    print("\npublications with author Codd (library, Example 8):")
+    for title in execute_values(library, """
+            for $p in /library/paper
+            where $p/author = 'Codd'
+            return $p/title"""):
+        print(f"  {title}")
+
+    print("\nbooks with a post-2000 issue:")
+    for title in execute_values(library, """
+            for $b in /library/book
+            where $b/issue/year > 2000
+            return $b/title"""):
+        print(f"  {title}")
+
+    print("\naggregates:")
+    (authors,) = execute(library, "count(//author)")
+    (distinct,) = execute(library,
+                          "count(distinct-values(//author))")
+    print(f"  author elements: {authors}, distinct authors: {distinct}")
+
+    print("\na constructed report (new nodes, XQuery copy semantics):")
+    (report,) = execute(library, """
+            let $books := /library/book
+            return <report>
+                     <bookCount>{count($books)}</bookCount>
+                     <first>{/library/book[1]/title}</first>
+                   </report>""")
+    print(serialize_tree(report, indent="  "))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim enabling ``python setup.py develop`` in the offline sandbox.
+
+The sandbox has no ``wheel`` package, so ``pip install -e .`` cannot build
+editable metadata; ``setup.py develop`` performs the equivalent install.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""The state algebra of Section 6: carriers, trees, conformance, building."""
+
+from repro.algebra.builder import InstanceBuilder, ValueSampler
+from repro.algebra.identity import (
+    IdentityViolation,
+    check_identity,
+    collect_ids,
+)
+from repro.algebra.conformance import (
+    ConformanceChecker,
+    Violation,
+    check_conformance,
+    conforms,
+)
+from repro.algebra.state import StateAlgebra, build_element_tree
+from repro.algebra.tree import (
+    Tree,
+    document_tree,
+    element_subtrees,
+    is_well_formed_tree,
+    pretty,
+    root,
+    roots,
+    subtree,
+)
+
+__all__ = [
+    "ConformanceChecker",
+    "IdentityViolation",
+    "InstanceBuilder",
+    "StateAlgebra",
+    "Tree",
+    "ValueSampler",
+    "Violation",
+    "build_element_tree",
+    "check_conformance",
+    "check_identity",
+    "collect_ids",
+    "conforms",
+    "document_tree",
+    "element_subtrees",
+    "is_well_formed_tree",
+    "pretty",
+    "root",
+    "roots",
+    "subtree",
+]

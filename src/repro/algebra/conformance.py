@@ -1,0 +1,396 @@
+"""The Section 6.2 conformance requirements, checked item by item.
+
+Given a document tree (already built in a state algebra) and a document
+schema, :class:`ConformanceChecker` verifies every numbered requirement
+of Section 6.2 and reports violations tagged with the paper's item
+numbers (``"1"`` through ``"7"``, with sub-items like ``"5.3.1"``).
+
+This is deliberately separate from the mapping ``f``
+(:mod:`repro.mapping.doc_to_tree`): ``f`` *constructs* conforming
+trees, the checker *verifies* arbitrary trees — including hand-built
+or mutated ones — against the requirements.  The test suite uses the
+checker as the oracle for ``f`` and for the instance builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConformanceError
+from repro.xdm.node import (
+    ANY_TYPE_NAME,
+    UNTYPED_ATOMIC_NAME,
+    AttributeNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    TextNode,
+)
+from repro.xsdtypes.base import SimpleType
+from repro.content.matcher import ContentModel
+from repro.schema.ast import (
+    ComplexContentType,
+    DocumentSchema,
+    ElementDeclaration,
+    GroupDefinition,
+    SimpleContentType,
+    TypeName,
+)
+
+
+@dataclass
+class Violation:
+    """One violated requirement: the paper's item number, a location
+    path and a human-readable message."""
+
+    item: str
+    path: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[item {self.item}] {self.path}: {self.message}"
+
+    def as_error(self) -> ConformanceError:
+        return ConformanceError(self.item, self.message, self.path)
+
+
+class ConformanceChecker:
+    """Checks document trees against one schema's requirements."""
+
+    def __init__(self, schema: DocumentSchema) -> None:
+        self._schema = schema
+        self._content_models: dict[int, ContentModel] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def check(self, document: DocumentNode) -> list[Violation]:
+        """All violations found (empty list = the tree is an S-tree)."""
+        self._violations: list[Violation] = []
+        self._seen: set[int] = set()
+        self._check_document(document)
+        self._check_no_other_nodes(document)
+        return self._violations
+
+    def conforms(self, document: DocumentNode) -> bool:
+        return not self.check(document)
+
+    def assert_conforms(self, document: DocumentNode) -> None:
+        violations = self.check(document)
+        if violations:
+            raise violations[0].as_error()
+
+    # -- items 1-4 -------------------------------------------------------
+
+    def _report(self, item: str, path: str, message: str) -> None:
+        self._violations.append(Violation(item, path, message))
+
+    def _check_document(self, document: Node) -> None:
+        path = "/"
+        if not isinstance(document, DocumentNode):
+            self._report("1", path, "the tree root is not a document node")
+            return
+        self._seen.add(document.identifier)
+        # Item 1: fixed accessors of the document node.
+        for accessor_name in ("node_name", "type", "attributes", "nilled",
+                              "parent"):
+            value = getattr(document, accessor_name)()
+            if len(value):
+                self._report(
+                    "1", path,
+                    f"document node's {accessor_name} must be empty")
+        children = list(document.children())
+        # Item 3: exactly one element child.
+        elements = [c for c in children if isinstance(c, ElementNode)]
+        if len(children) != 1 or len(elements) != 1:
+            self._report(
+                "3", path,
+                f"document node must have exactly one element child, "
+                f"found {len(children)} children")
+            return
+        (end,) = elements
+        # Item 1: string value of the document = string value of child.
+        if document.string_value() != end.string_value():
+            self._report(
+                "1", path,
+                "document string-value differs from its child's")
+        if end.parent_or_none() is not document:
+            self._report("3", path, "child's parent accessor is wrong")
+        declaration = self._schema.root_element
+        self._check_element(end, declaration, f"/{declaration.name}")
+
+    def _check_element(self, element: Node,
+                       declaration: ElementDeclaration, path: str) -> None:
+        if not isinstance(element, ElementNode):
+            self._report("4", path, "expected an element node")
+            return
+        self._seen.add(element.identifier)
+        # Item 4: name and type accessor values.
+        name_seq = element.node_name()
+        if not name_seq or name_seq.head().local != declaration.name:
+            self._report(
+                "4", path,
+                f"node-name {name_seq!r} does not match declaration "
+                f"{declaration.name!r}")
+        expected_type = (declaration.type.qname
+                         if isinstance(declaration.type, TypeName)
+                         else ANY_TYPE_NAME)
+        type_seq = element.type()
+        if not type_seq or type_seq.head() != expected_type:
+            self._report(
+                "4", path,
+                f"type accessor {type_seq!r} must be "
+                f"{expected_type.lexical}")
+        self._check_base_uri(element, path, item="4")
+
+        resolved = self._schema.resolve(declaration.type)
+        nilled_seq = element.nilled()
+        nilled = bool(nilled_seq) and nilled_seq.head()
+
+        if not declaration.nillable:
+            # Item 5: nid = false forces nilled(end) = false.
+            if nilled:
+                self._report(
+                    "5", path,
+                    "nilled is true but the declaration is not nillable")
+                return
+            self._check_content(element, resolved, path)
+        else:
+            # Item 6.
+            if nilled:
+                if len(element.children()):
+                    self._report(
+                        "6", path, "a nilled element must have no children")
+                if isinstance(resolved, (SimpleContentType,
+                                         ComplexContentType)):
+                    self._check_attributes(element, resolved, path)
+                elif len(element.attributes()):
+                    self._report(
+                        "6.1", path,
+                        "a nilled simple-typed element has attributes")
+            else:
+                self._check_content(element, resolved, path)
+
+    def _check_base_uri(self, node: Node, path: str, item: str) -> None:
+        parent = node.parent_or_none()
+        if parent is None:
+            return
+        if node.base_uri() != parent.base_uri():
+            self._report(
+                item, path,
+                "base-uri must be inherited from the parent")
+
+    # -- item 5 dispatch -----------------------------------------------------
+
+    def _check_content(self, element: ElementNode, resolved: object,
+                       path: str) -> None:
+        if isinstance(resolved, SimpleType):
+            if len(element.attributes()):
+                self._report(
+                    "5.1", path,
+                    "a simple-typed element must not have attributes")
+            self._check_simple_value(element, resolved, path)
+        elif isinstance(resolved, SimpleContentType):
+            base = self._schema.resolve(resolved.base)
+            self._check_attributes(element, resolved, path)
+            if isinstance(base, SimpleType):
+                self._check_simple_value(element, base, path)
+            else:
+                self._report("5.2", path,
+                             "simple content base is not a simple type")
+        elif isinstance(resolved, ComplexContentType):
+            self._check_attributes(element, resolved, path)
+            self._check_complex_children(element, resolved, path)
+        else:  # pragma: no cover - resolve() covers all cases
+            self._report("4", path, f"unknown resolved type {resolved!r}")
+
+    # -- item 5.1.1 ---------------------------------------------------------
+
+    def _check_simple_value(self, element: ElementNode,
+                            simple: SimpleType, path: str) -> None:
+        children = list(element.children())
+        if len(children) != 1 or not isinstance(children[0], TextNode):
+            self._report(
+                "5.1.1", path,
+                "a simple-typed element must have exactly one text child")
+            return
+        text = children[0]
+        self._seen.add(text.identifier)
+        self._check_text_node(text, element, path)
+        if not simple.validate(text.string_value()):
+            self._report(
+                "5.1.1", path,
+                f"text {text.string_value()!r} is not a valid "
+                f"{simple.type_name}")
+
+    def _check_text_node(self, text: TextNode, parent: ElementNode,
+                         path: str) -> None:
+        if text.parent_or_none() is not parent:
+            self._report("5.1.1", path, "text node's parent is wrong")
+        type_seq = text.type()
+        if not type_seq or type_seq.head() != UNTYPED_ATOMIC_NAME:
+            self._report(
+                "5.1.1", path,
+                "text node's type must be xdt:untypedAtomic")
+        self._check_base_uri(text, path, item="5.1.1")
+
+    # -- item 5.3.1 ---------------------------------------------------------
+
+    def _check_attributes(self, element: ElementNode,
+                          definition: "SimpleContentType | ComplexContentType",
+                          path: str) -> None:
+        declared = dict(definition.attributes.items)
+        present: dict[str, AttributeNode] = {}
+        for attribute in element.attributes():
+            if not isinstance(attribute, AttributeNode):
+                self._report(
+                    "5.3.1", path,
+                    f"non-attribute node {attribute!r} in attributes()")
+                continue
+            self._seen.add(attribute.identifier)
+            local = attribute.name.local
+            if local in present:
+                self._report("5.3.1", path,
+                             f"duplicate attribute {local!r}")
+                continue
+            present[local] = attribute
+        # The automorphism σ: same name sets, order free.
+        if set(present) != set(declared):
+            self._report(
+                "5.3.1", path,
+                f"attribute names {sorted(present)} do not match the "
+                f"declared {sorted(declared)}")
+            return
+        for local, attribute in present.items():
+            type_ref = declared[local]
+            if attribute.parent_or_none() is not element:
+                self._report("5.3.1", path,
+                             f"attribute {local!r} has the wrong parent")
+            self._check_base_uri(attribute, path, item="5.3.1")
+            expected_type = (type_ref.qname
+                             if isinstance(type_ref, TypeName)
+                             else ANY_TYPE_NAME)
+            type_seq = attribute.type()
+            if not type_seq or type_seq.head() != expected_type:
+                self._report(
+                    "5.3.1", path,
+                    f"attribute {local!r} type accessor must be "
+                    f"{expected_type.lexical}")
+            simple = self._schema.resolve(type_ref)
+            if isinstance(simple, SimpleType) and not simple.validate(
+                    attribute.string_value()):
+                self._report(
+                    "5.3.1", path,
+                    f"attribute {local}={attribute.string_value()!r} is "
+                    f"not a valid {simple.type_name}")
+
+    # -- items 5.4.x ----------------------------------------------------------
+
+    def _content_model(self, group: GroupDefinition) -> ContentModel:
+        model = self._content_models.get(id(group))
+        if model is None:
+            model = ContentModel(group)
+            self._content_models[id(group)] = model
+        return model
+
+    def _check_complex_children(self, element: ElementNode,
+                                definition: ComplexContentType,
+                                path: str) -> None:
+        children = list(element.children())
+        texts = [c for c in children if isinstance(c, TextNode)]
+        elements = [c for c in children if isinstance(c, ElementNode)]
+        strays = [c for c in children
+                  if not isinstance(c, (TextNode, ElementNode))]
+        for stray in strays:
+            self._report(
+                "7", path, f"unexpected node {stray!r} among children")
+
+        group = definition.group
+        if group is None or group.empty_content:
+            # Item 5.4.1.
+            if elements:
+                self._report(
+                    "5.4.1", path,
+                    "element children where the type has empty content")
+            if definition.mixed:
+                # 5.4.1.1: () or a single text node.
+                if len(texts) > 1:
+                    self._report(
+                        "5.4.1.1", path,
+                        "empty mixed content allows at most one text node")
+                for text in texts:
+                    self._seen.add(text.identifier)
+                    self._check_text_node(text, element, path)
+            elif texts:
+                # 5.4.1.2.
+                self._report(
+                    "5.4.1.2", path,
+                    "text content where mixed is false")
+            return
+
+        # Item 5.4.2: children are roots of a tree sequence.
+        if definition.mixed:
+            # 5.4.2.2: no two adjacent text nodes.
+            for first, second in zip(children, children[1:]):
+                if isinstance(first, TextNode) and isinstance(
+                        second, TextNode):
+                    self._report(
+                        "5.4.2.2", path, "adjacent text nodes")
+            for text in texts:
+                self._seen.add(text.identifier)
+                self._check_text_node(text, element, path)
+        elif texts:
+            # 5.4.2.1: children(end) = roots(ss) — no text at all.
+            self._report(
+                "5.4.2.1", path,
+                "text children where mixed is false")
+
+        # Item 5.4.2.3: the ss sequence decomposes per the group.
+        model = self._content_model(group)
+        names = [e.name.local for e in elements]
+        if not model.matches(names):
+            self._report("5.4.2.3", path, model.explain(names))
+        counters: dict[str, int] = {}
+        for child in elements:
+            local = child.name.local
+            counters[local] = counters.get(local, 0) + 1
+            child_path = f"{path}/{local}[{counters[local]}]"
+            if not model.knows(local):
+                continue  # already reported by matches()
+            declaration = model.declaration_for(local)
+            # Requirements "starting from item 4" apply recursively.
+            self._check_element(child, declaration, child_path)
+
+    # -- item 7 ------------------------------------------------------------
+
+    def _check_no_other_nodes(self, document: Node) -> None:
+        """Item 7: every node reachable in the tree must be one the
+        requirements demanded (i.e. visited by the checks above)."""
+        if self._violations:
+            # An invalid tree already fails; unvisited nodes below the
+            # failure point would only produce noise.
+            return
+
+        def walk(node: Node, path: str) -> None:
+            if node.identifier not in self._seen:
+                self._report(
+                    "7", path,
+                    f"node {node!r} is not required by any requirement")
+            for attribute in node.attributes():
+                if attribute.identifier not in self._seen:
+                    self._report(
+                        "7", path, f"extra attribute node {attribute!r}")
+            for index, child in enumerate(node.children(), start=1):
+                walk(child, f"{path}/*[{index}]")
+
+        walk(document, "")
+
+
+def check_conformance(document: DocumentNode,
+                      schema: DocumentSchema) -> list[Violation]:
+    """Convenience wrapper: all Section 6.2 violations of *document*."""
+    return ConformanceChecker(schema).check(document)
+
+
+def conforms(document: DocumentNode, schema: DocumentSchema) -> bool:
+    """True iff *document* is an S-tree for *schema*."""
+    return ConformanceChecker(schema).conforms(document)

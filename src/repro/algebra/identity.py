@@ -1,0 +1,96 @@
+"""Node identity constraints: ID uniqueness and IDREF resolution.
+
+The paper's related-work section faults MSL for not covering "node
+identity constraints"; the algebraic model supports them naturally
+because every attribute carries a type annotation.  This module checks
+the two classic constraints over a document tree:
+
+* every value typed ``xs:ID`` is unique within the document;
+* every value typed ``xs:IDREF`` (or item of ``xs:IDREFS``) matches
+  some ID in the document.
+
+The checks operate purely on accessor values (type annotations and
+typed values), in keeping with the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xdm.node import AttributeNode, ElementNode, Node
+from repro.xsdtypes.registry import BUILTINS
+from repro.xsdtypes.base import SimpleType
+
+_ID_TYPE = BUILTINS.simple("ID")
+_IDREF_TYPE = BUILTINS.simple("IDREF")
+_IDREFS_TYPE = BUILTINS.simple("IDREFS")
+
+
+@dataclass
+class IdentityViolation:
+    """One violated identity constraint."""
+
+    kind: str      # "duplicate-id" | "dangling-idref"
+    value: str
+    path: str
+
+    def __str__(self) -> str:
+        return f"{self.kind}: {self.value!r} at {self.path}"
+
+
+def _typed_as(node: Node, target: SimpleType) -> bool:
+    """True iff the node's annotated simple type derives from *target*."""
+    simple = getattr(node, "_simple_type", None)
+    return simple is not None and simple.is_derived_from(target)
+
+
+def _walk(node: Node, path: str):
+    yield node, path
+    counters: dict[str, int] = {}
+    for attribute in node.attributes():
+        name = attribute.node_name().head().local
+        yield attribute, f"{path}/@{name}"
+    for child in node.children():
+        if isinstance(child, ElementNode):
+            local = child.name.local
+            counters[local] = counters.get(local, 0) + 1
+            yield from _walk(child, f"{path}/{local}[{counters[local]}]")
+
+
+def check_identity(document: Node) -> list[IdentityViolation]:
+    """All ID/IDREF violations in the tree rooted at *document*."""
+    ids: dict[str, str] = {}
+    violations: list[IdentityViolation] = []
+    references: list[tuple[str, str]] = []
+
+    for node, path in _walk(document, ""):
+        if not isinstance(node, (AttributeNode, ElementNode)):
+            continue
+        if _typed_as(node, _ID_TYPE):
+            value = node.string_value().strip()
+            if value in ids:
+                violations.append(IdentityViolation(
+                    "duplicate-id", value, path))
+            else:
+                ids[value] = path
+        elif _typed_as(node, _IDREF_TYPE):
+            references.append((node.string_value().strip(), path))
+        elif _typed_as(node, _IDREFS_TYPE):
+            for token in node.string_value().split():
+                references.append((token, path))
+
+    for value, path in references:
+        if value not in ids:
+            violations.append(IdentityViolation(
+                "dangling-idref", value, path))
+    return violations
+
+
+def collect_ids(document: Node) -> dict[str, str]:
+    """All declared IDs mapped to the path of their carrier."""
+    ids: dict[str, str] = {}
+    for node, path in _walk(document, ""):
+        if isinstance(node, (AttributeNode, ElementNode)) and \
+                _typed_as(node, _ID_TYPE):
+            ids.setdefault(node.string_value().strip(), path)
+    return ids

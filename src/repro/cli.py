@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro validate SCHEMA.xsd DOCUMENT.xml
+    python -m repro lint SCHEMA.xsd
+    python -m repro normalize SCHEMA.xsd
+    python -m repro query DOCUMENT.xml PATH [--schema SCHEMA.xsd]
+    python -m repro xquery DOCUMENT.xml QUERY [--schema SCHEMA.xsd]
+    python -m repro inspect DOCUMENT.xml
+
+``validate`` applies the mapping f (Section 8) and reports the first
+Section 6.2 requirement the document violates; ``lint`` runs the
+static schema diagnostics; ``normalize`` prints the canonical form;
+``query`` evaluates a path; ``inspect`` loads the document into the
+Sedna-style storage and prints its descriptive schema and statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.errors import ReproError
+from repro.mapping.doc_to_tree import (
+    document_to_tree,
+    untyped_document_to_tree,
+)
+from repro.query.engine import evaluate_tree
+from repro.xquery.evaluator import execute as xquery_execute
+from repro.xdm.node import Node
+from repro.mapping.tree_to_doc import serialize_tree
+from repro.schema.normalize import normalize_schema
+from repro.schema.parser import parse_schema
+from repro.schema.wellformed import lint_schema
+from repro.schema.writer import write_schema
+from repro.storage.engine import StorageEngine
+from repro.xmlio.parser import parse_document
+
+
+def _read(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    schema = parse_schema(_read(args.schema))
+    try:
+        document_to_tree(parse_document(_read(args.document)), schema)
+    except ReproError as error:
+        print(f"INVALID: {error}")
+        return 1
+    print(f"VALID: {args.document} conforms to {args.schema}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    issues = lint_schema(parse_schema(_read(args.schema)))
+    for issue in issues:
+        print(issue)
+    if not issues:
+        print("clean: no diagnostics")
+    return 1 if any(i.severity == "error" for i in issues) else 0
+
+
+def _cmd_normalize(args: argparse.Namespace) -> int:
+    schema = normalize_schema(parse_schema(_read(args.schema)))
+    print(write_schema(schema))
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    document = parse_document(_read(args.document))
+    if args.schema:
+        tree = document_to_tree(document, parse_schema(_read(args.schema)))
+    else:
+        tree = untyped_document_to_tree(document)
+    for node in evaluate_tree(tree, args.path):
+        print(node.string_value())
+    return 0
+
+
+def _cmd_xquery(args: argparse.Namespace) -> int:
+    document = parse_document(_read(args.document))
+    if args.schema:
+        tree = document_to_tree(document, parse_schema(_read(args.schema)))
+    else:
+        tree = untyped_document_to_tree(document)
+    for item in xquery_execute(tree, args.query):
+        if isinstance(item, Node) and item.node_kind() == "element":
+            print(serialize_tree(item))
+        elif isinstance(item, Node):
+            print(item.string_value())
+        else:
+            print(item)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    engine = StorageEngine()
+    engine.load_document(parse_document(_read(args.document)))
+    print(f"document nodes:    {engine.node_count()}")
+    print(f"schema nodes:      {engine.schema.node_count()}")
+    print(f"blocks:            {engine.block_count()}")
+    print(f"modelled bytes:    {engine.size_bytes()}")
+    print("descriptive schema:")
+    for path, node_type in engine.schema.paths():
+        schema_node = engine.schema.find_path(path)
+        print(f"  {path:44s} {node_type:9s} "
+              f"x{schema_node.descriptor_count}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A formal model of XML Schema (ICDE 2005) — "
+                    "validator, linter and storage inspector.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="validate a document against a schema")
+    validate.add_argument("schema")
+    validate.add_argument("document")
+    validate.set_defaults(handler=_cmd_validate)
+
+    lint = commands.add_parser(
+        "lint", help="static schema diagnostics (UPA and friends)")
+    lint.add_argument("schema")
+    lint.set_defaults(handler=_cmd_lint)
+
+    normalize = commands.add_parser(
+        "normalize", help="print the canonical form of a schema")
+    normalize.add_argument("schema")
+    normalize.set_defaults(handler=_cmd_normalize)
+
+    query = commands.add_parser(
+        "query", help="evaluate a path over a document")
+    query.add_argument("document")
+    query.add_argument("path")
+    query.add_argument("--schema", default=None,
+                       help="validate and type the document first")
+    query.set_defaults(handler=_cmd_query)
+
+    xquery = commands.add_parser(
+        "xquery", help="evaluate an XQuery-lite FLWOR expression")
+    xquery.add_argument("document")
+    xquery.add_argument("query")
+    xquery.add_argument("--schema", default=None,
+                        help="validate and type the document first")
+    xquery.set_defaults(handler=_cmd_xquery)
+
+    inspect = commands.add_parser(
+        "inspect", help="load into Sedna-style storage and report")
+    inspect.add_argument("document")
+    inspect.set_defaults(handler=_cmd_inspect)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

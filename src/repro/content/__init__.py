@@ -1,0 +1,38 @@
+"""Content-model matching for complex types (Section 6.2, item 5.4.2.3).
+
+Two independent engines — Brzozowski derivatives with counters and a
+Glushkov position automaton — matched against each other by the test
+suite.  :class:`ContentModel` is the facade the validator and the
+conformance checker use.
+"""
+
+from repro.content.derivatives import DerivativeMatcher, derive
+from repro.content.glushkov import GlushkovAutomaton
+from repro.content.matcher import ContentModel
+from repro.content.particles import (
+    AllParticle,
+    ChoiceParticle,
+    EmptyParticle,
+    NameParticle,
+    Particle,
+    RepeatParticle,
+    SequenceParticle,
+    compile_group,
+    expand_particle,
+)
+
+__all__ = [
+    "AllParticle",
+    "ChoiceParticle",
+    "ContentModel",
+    "DerivativeMatcher",
+    "EmptyParticle",
+    "GlushkovAutomaton",
+    "NameParticle",
+    "Particle",
+    "RepeatParticle",
+    "SequenceParticle",
+    "compile_group",
+    "derive",
+    "expand_particle",
+]

@@ -1,0 +1,259 @@
+"""Particle trees: the normal form of content models.
+
+A :class:`~repro.schema.ast.GroupDefinition` is compiled into a small
+regular-expression-like tree over element names:
+
+* :class:`NameParticle` — one element name (a leaf),
+* :class:`SequenceParticle` — ordered concatenation,
+* :class:`ChoiceParticle` — alternation,
+* :class:`RepeatParticle` — bounded or unbounded repetition
+  (minOccurs/maxOccurs),
+* :class:`EmptyParticle` — the empty content model (matches only the
+  empty word).
+
+The two matchers in :mod:`repro.content.derivatives` and
+:mod:`repro.content.glushkov` both work on this normal form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ContentModelError
+from repro.schema.ast import (
+    AllGroup,
+    CombinationFactor,
+    ElementDeclaration,
+    GroupDefinition,
+    RepetitionFactor,
+)
+
+
+class Particle:
+    """Base class of the particle tree."""
+
+    def nullable(self) -> bool:
+        """True iff this particle matches the empty word."""
+        raise NotImplementedError
+
+    def names(self) -> Iterator[str]:
+        """All element names occurring in the particle."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EmptyParticle(Particle):
+    """Matches exactly the empty word (the paper's *empty content*)."""
+
+    def nullable(self) -> bool:
+        return True
+
+    def names(self) -> Iterator[str]:
+        return iter(())
+
+    def __repr__(self) -> str:
+        return "ε"
+
+
+@dataclass(frozen=True)
+class NameParticle(Particle):
+    """Matches a single child element with the given name."""
+
+    name: str
+
+    def nullable(self) -> bool:
+        return False
+
+    def names(self) -> Iterator[str]:
+        yield self.name
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SequenceParticle(Particle):
+    children: tuple[Particle, ...]
+
+    def nullable(self) -> bool:
+        return all(child.nullable() for child in self.children)
+
+    def names(self) -> Iterator[str]:
+        for child in self.children:
+            yield from child.names()
+
+    def __repr__(self) -> str:
+        return "(" + ", ".join(repr(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class ChoiceParticle(Particle):
+    children: tuple[Particle, ...]
+
+    def nullable(self) -> bool:
+        return any(child.nullable() for child in self.children)
+
+    def names(self) -> Iterator[str]:
+        for child in self.children:
+            yield from child.names()
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(c) for c in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class AllParticle(Particle):
+    """Interleave: each named item once (or optionally), any order."""
+
+    items: tuple[tuple[str, bool], ...]  # (name, required)
+
+    def nullable(self) -> bool:
+        return not any(required for _name, required in self.items)
+
+    def names(self) -> Iterator[str]:
+        for name, _required in self.items:
+            yield name
+
+    def __repr__(self) -> str:
+        body = " & ".join(name if required else f"{name}?"
+                          for name, required in self.items)
+        return f"({body})"
+
+
+@dataclass(frozen=True)
+class RepeatParticle(Particle):
+    """``child{minimum, maximum}``; ``maximum=None`` means unbounded."""
+
+    child: Particle
+    minimum: int
+    maximum: int | None
+
+    def __post_init__(self) -> None:
+        if self.minimum < 0:
+            raise ContentModelError("negative minimum repetition")
+        if self.maximum is not None and self.maximum < self.minimum:
+            raise ContentModelError("maximum repetition below minimum")
+
+    def nullable(self) -> bool:
+        return self.minimum == 0 or self.child.nullable()
+
+    def names(self) -> Iterator[str]:
+        yield from self.child.names()
+
+    def __repr__(self) -> str:
+        upper = "∞" if self.maximum is None else str(self.maximum)
+        return f"{self.child!r}{{{self.minimum},{upper}}}"
+
+
+def _wrap_repetition(particle: Particle,
+                     repetition: RepetitionFactor) -> Particle:
+    if repetition.minimum == 1 and repetition.maximum == 1:
+        return particle
+    maximum = None if repetition.unbounded else int(repetition.maximum)
+    if maximum == 0:
+        return EmptyParticle()
+    return RepeatParticle(particle, repetition.minimum, maximum)
+
+
+def compile_group(group: "GroupDefinition | AllGroup") -> Particle:
+    """Compile a group definition into its particle normal form."""
+    if isinstance(group, AllGroup):
+        items = tuple(
+            (member.name, member.repetition.minimum >= 1)
+            for member in group.members
+            if member.repetition.maximum != 0)
+        particle: Particle = AllParticle(items) if items \
+            else EmptyParticle()
+        return _wrap_repetition(particle, group.repetition)
+    if group.empty_content:
+        return EmptyParticle()
+    children: list[Particle] = []
+    for member in group.members:
+        if isinstance(member, ElementDeclaration):
+            children.append(
+                _wrap_repetition(NameParticle(member.name),
+                                 member.repetition))
+        elif isinstance(member, GroupDefinition):
+            children.append(compile_group(member))
+        else:  # pragma: no cover - AST guarantees the union
+            raise ContentModelError(f"bad group member {member!r}")
+    if group.combination is CombinationFactor.SEQUENCE:
+        inner: Particle = SequenceParticle(tuple(children))
+    else:
+        inner = ChoiceParticle(tuple(children))
+    return _wrap_repetition(inner, group.repetition)
+
+
+def expand_particle(particle: Particle, limit: int = 100_000) -> Particle:
+    """Rewrite bounded repetition into explicit copies.
+
+    ``R{m,n}`` becomes ``R^m (R?)^(n-m)`` and ``R{m,∞}`` becomes
+    ``R^(m-1) R+``-style ``R^m R*``.  The Glushkov construction needs
+    this expanded form; *limit* bounds the blow-up.
+    """
+    count = _expansion_size(particle)
+    if count > limit:
+        raise ContentModelError(
+            f"content model expands to {count} positions (> limit {limit})")
+    return _expand(particle)
+
+
+def _expansion_size(particle: Particle) -> int:
+    if isinstance(particle, (EmptyParticle, NameParticle)):
+        return 1
+    if isinstance(particle, AllParticle):
+        import math
+        count = len(particle.items)
+        return math.factorial(count) * count if count else 1
+    if isinstance(particle, (SequenceParticle, ChoiceParticle)):
+        return sum(_expansion_size(c) for c in particle.children)
+    if isinstance(particle, RepeatParticle):
+        copies = (particle.minimum if particle.maximum is None
+                  else particle.maximum)
+        return max(copies, 1) * _expansion_size(particle.child)
+    raise ContentModelError(f"unknown particle {particle!r}")
+
+
+def _expand(particle: Particle) -> Particle:
+    if isinstance(particle, (EmptyParticle, NameParticle)):
+        return particle
+    if isinstance(particle, AllParticle):
+        # Interleave as the choice over all member permutations; only
+        # viable for small groups (the expansion limit guards this).
+        import itertools
+        alternatives = []
+        for permutation in itertools.permutations(particle.items):
+            parts = []
+            for name, required in permutation:
+                leaf = NameParticle(name)
+                parts.append(leaf if required
+                             else RepeatParticle(leaf, 0, 1))
+            alternatives.append(
+                SequenceParticle(tuple(parts)) if len(parts) != 1
+                else parts[0])
+        if not alternatives:
+            return EmptyParticle()
+        return ChoiceParticle(tuple(alternatives))
+    if isinstance(particle, SequenceParticle):
+        return SequenceParticle(
+            tuple(_expand(c) for c in particle.children))
+    if isinstance(particle, ChoiceParticle):
+        return ChoiceParticle(tuple(_expand(c) for c in particle.children))
+    if isinstance(particle, RepeatParticle):
+        child = _expand(particle.child)
+        required = [child] * particle.minimum
+        if particle.maximum is None:
+            # R{m,∞} = R^m R*  (star encoded as Repeat(0, None), which
+            # the Glushkov construction handles natively).
+            star = RepeatParticle(child, 0, None)
+            return SequenceParticle(tuple(required + [star]))
+        optional = [RepeatParticle(child, 0, 1)
+                    ] * (particle.maximum - particle.minimum)
+        parts = required + optional
+        if not parts:
+            return EmptyParticle()
+        if len(parts) == 1:
+            return parts[0]
+        return SequenceParticle(tuple(parts))
+    raise ContentModelError(f"unknown particle {particle!r}")

@@ -1,0 +1,333 @@
+"""An XML database of named documents evolving through states.
+
+Section 6.1 motivates the state algebra with "frequent insertion of
+new documents, updating existing documents and deleting obsolete
+documents: a database evolves through different database states".
+This module provides that database layer on top of everything below
+it: each stored document keeps *both* representations — the formal
+node tree (Sections 5-6) and the Sedna-style storage (Section 9) —
+applies updates to the two in lockstep, and can re-verify at any time
+that they agree node-for-node and that the tree still conforms to its
+schema.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import ReproError, StorageError
+from repro.xmlio.nodes import XmlDocument
+from repro.xmlio.parser import parse_document
+from repro.xmlio.qname import QName
+from repro.xmlio.serializer import serialize_document
+from repro.xdm.node import DocumentNode, ElementNode, Node, TextNode
+from repro.algebra.conformance import ConformanceChecker, Violation
+from repro.algebra.state import StateAlgebra
+from repro.mapping.doc_to_tree import (
+    document_to_tree,
+    untyped_document_to_tree,
+)
+from repro.mapping.tree_to_doc import tree_to_document
+from repro.query.engine import StorageQueryEngine, evaluate_tree
+from repro.schema.ast import (
+    ComplexContentType,
+    DocumentSchema,
+    ElementDeclaration as SchemaElementDeclaration,
+    SimpleContentType,
+    TypeName,
+)
+from repro.xdm.node import ANY_TYPE_NAME
+from repro.xsdtypes.base import SimpleType
+from repro.storage.engine import NodeDescriptor, StorageEngine
+
+
+class DatabaseError(ReproError):
+    """Misuse of the database layer (unknown document, bad target...)."""
+
+
+class StoredDocument:
+    """One document held in both representations, updated in lockstep."""
+
+    def __init__(self, name: str, tree: DocumentNode,
+                 schema: DocumentSchema | None) -> None:
+        self.name = name
+        self.schema = schema
+        self.tree = tree
+        self.algebra: StateAlgebra = tree.algebra
+        self.engine = StorageEngine()
+        self.engine.load_tree(tree)
+        self._queries = StorageQueryEngine(self.engine)
+        #: Number of state transitions this document has gone through.
+        self.version = 0
+
+    # -- reading ----------------------------------------------------------
+
+    def query(self, path: str) -> list[Node]:
+        """Evaluate a path over the formal tree."""
+        return evaluate_tree(self.tree, path)
+
+    def query_values(self, path: str) -> list[str]:
+        """String values of the query result."""
+        return [node.string_value() for node in self.query(path)]
+
+    def query_storage(self, path: str) -> list[NodeDescriptor]:
+        """The same query, answered by the storage engine."""
+        return self._queries.evaluate_schema_driven(path)
+
+    def serialize(self, indent: str | None = None) -> str:
+        """The mapping g composed with the text serializer."""
+        return serialize_document(tree_to_document(self.tree),
+                                  indent=indent)
+
+    # -- locating update targets ----------------------------------------
+
+    def _single_element(self, path: str) -> ElementNode:
+        matches = [node for node in self.query(path)
+                   if isinstance(node, ElementNode)]
+        if not matches:
+            raise DatabaseError(f"{path!r} selects no element")
+        if len(matches) > 1:
+            raise DatabaseError(
+                f"{path!r} selects {len(matches)} elements; updates "
+                "need exactly one target")
+        return matches[0]
+
+    def _descriptor_for(self, node: Node) -> NodeDescriptor:
+        """The storage descriptor of a tree node, located by its
+        positional root path (the two sides stay index-aligned)."""
+        steps: list[int] = []
+        current = node
+        parent = current.parent_or_none()
+        while parent is not None:
+            children = [c for c in parent.children()]
+            steps.append(next(i for i, c in enumerate(children)
+                              if c is current))
+            current = parent
+            parent = current.parent_or_none()
+        steps.reverse()
+        descriptor = self.engine.document
+        if descriptor is None:  # pragma: no cover - engine always loaded
+            raise DatabaseError("storage engine holds no document")
+        for index in steps:
+            children = self.engine.children(descriptor)
+            try:
+                descriptor = children[index]
+            except IndexError:
+                raise DatabaseError(
+                    "tree and storage have diverged") from None
+        return descriptor
+
+    # -- updates ------------------------------------------------------------
+
+    def insert_element(self, parent_path: str, index: int,
+                       name: str) -> ElementNode:
+        """Insert an empty element under the (single) element selected
+        by *parent_path*, in both representations."""
+        parent = self._single_element(parent_path)
+        parent_descriptor = self._descriptor_for(parent)
+        qname = QName(parent.name.uri, name)
+        element = self.algebra.create_element(qname)
+        self._annotate_new_element(parent, element)
+        self.algebra.insert_child(parent, index, element)
+        self.engine.insert_child(parent_descriptor, index, name=qname)
+        self.version += 1
+        return element
+
+    def _declaration_of(self, element: ElementNode
+                        ) -> "SchemaElementDeclaration | None":
+        """The schema declaration governing *element*, found by
+        walking declarations from the root along the element's path."""
+        if self.schema is None:
+            return None
+        names = [element.name.local]
+        for ancestor in element.ancestors():
+            if isinstance(ancestor, ElementNode):
+                names.append(ancestor.name.local)
+        names.reverse()
+        declaration = self.schema.root_element
+        if names[0] != declaration.name:
+            return None
+        for step in names[1:]:
+            resolved = self.schema.resolve(declaration.type)
+            if not isinstance(resolved, ComplexContentType) or \
+                    resolved.group is None:
+                return None
+            declaration = next(
+                (eld for eld in resolved.group.element_declarations()
+                 if eld.name == step), None)
+            if declaration is None:
+                return None
+        return declaration
+
+    def _annotate_new_element(self, parent: ElementNode,
+                              element: ElementNode) -> None:
+        """Give a freshly inserted element the type annotation the
+        schema assigns it (item 4 of Section 6.2), so conformance can
+        be re-checked after updates."""
+        if self.schema is None:
+            return
+        # Temporarily reason as if the element were already attached.
+        names_parent = self._declaration_of(parent)
+        if names_parent is None:
+            return
+        resolved_parent = self.schema.resolve(names_parent.type)
+        if not isinstance(resolved_parent, ComplexContentType) or \
+                resolved_parent.group is None:
+            return
+        declaration = next(
+            (eld for eld in resolved_parent.group.element_declarations()
+             if eld.name == element.name.local), None)
+        if declaration is None:
+            return
+        type_name = (declaration.type.qname
+                     if isinstance(declaration.type, TypeName)
+                     else ANY_TYPE_NAME)
+        resolved = self.schema.resolve(declaration.type)
+        simple = None
+        if isinstance(resolved, SimpleType):
+            simple = resolved
+        elif isinstance(resolved, SimpleContentType):
+            base = self.schema.resolve(resolved.base)
+            if isinstance(base, SimpleType):
+                simple = base
+        self.algebra.annotate_element(element, type_name,
+                                      simple_type=simple)
+
+    def insert_text(self, parent_path: str, index: int,
+                    text: str) -> TextNode:
+        """Insert a text node in both representations."""
+        parent = self._single_element(parent_path)
+        parent_descriptor = self._descriptor_for(parent)
+        node = self.algebra.create_text(text)
+        self.algebra.insert_child(parent, index, node)
+        self.engine.insert_child(parent_descriptor, index, text=text)
+        self.version += 1
+        return node
+
+    def delete(self, path: str) -> int:
+        """Delete the (single) element selected by *path* and its
+        subtree from both representations; returns nodes removed."""
+        target = self._single_element(path)
+        parent = target.parent_or_none()
+        if parent is None or isinstance(target.parent_or_none(),
+                                        DocumentNode):
+            raise DatabaseError("cannot delete the document root")
+        descriptor = self._descriptor_for(target)
+        removed = self.engine.delete_subtree(descriptor)
+        self.algebra.remove_child(parent, target)
+        self.version += 1
+        return removed
+
+    def set_attribute(self, path: str, name: str, value: str) -> None:
+        """Attach an attribute in both representations."""
+        target = self._single_element(path)
+        descriptor = self._descriptor_for(target)
+        attribute = self.algebra.create_attribute(QName("", name), value)
+        self.algebra.attach_attribute(target, attribute)
+        self.engine.set_attribute(descriptor, QName("", name), value)
+        self.version += 1
+
+    # -- verification ---------------------------------------------------------
+
+    def check_conformance(self) -> list[Violation]:
+        """Section 6.2 violations of the current state (empty if the
+        document has no schema)."""
+        if self.schema is None:
+            return []
+        return ConformanceChecker(self.schema).check(self.tree)
+
+    def verify_consistency(self) -> None:
+        """Assert the two representations agree node-for-node."""
+        self.engine.check_invariants()
+        root_descriptor = self.engine.children(self.engine.document)[0]
+        self._verify_node(self.tree.document_element(), root_descriptor)
+
+    def _verify_node(self, node: Node,
+                     descriptor: NodeDescriptor) -> None:
+        if node.node_kind() != self.engine.node_kind(descriptor):
+            raise StorageError(
+                f"kind mismatch at {node!r}: {node.node_kind()} vs "
+                f"{self.engine.node_kind(descriptor)}")
+        if isinstance(node, ElementNode):
+            if self.engine.node_name(descriptor) != node.name:
+                raise StorageError(f"name mismatch at {node!r}")
+            tree_attrs = {(a.node_name().head().local, a.string_value())
+                          for a in node.attributes()}
+            stored_attrs = {
+                (self.engine.node_name(d).local, d.value or "")
+                for d in self.engine.attributes(descriptor)}
+            if tree_attrs != stored_attrs:
+                raise StorageError(f"attribute mismatch at {node!r}")
+            node_children = list(node.children())
+            stored_children = self.engine.children(descriptor)
+            if len(node_children) != len(stored_children):
+                raise StorageError(f"child count mismatch at {node!r}")
+            for child, child_descriptor in zip(node_children,
+                                               stored_children):
+                self._verify_node(child, child_descriptor)
+        elif isinstance(node, TextNode):
+            if node.string_value() != (descriptor.value or ""):
+                raise StorageError(f"text mismatch at {node!r}")
+
+    def __repr__(self) -> str:
+        return (f"StoredDocument({self.name!r}, version={self.version}, "
+                f"{self.engine.node_count()} nodes)")
+
+
+class XmlDatabase:
+    """A collection of named stored documents."""
+
+    def __init__(self) -> None:
+        self._documents: dict[str, StoredDocument] = {}
+
+    # -- document lifecycle --------------------------------------------------
+
+    def store(self, name: str, source: "str | XmlDocument",
+              schema: DocumentSchema | None = None) -> StoredDocument:
+        """Insert a new document (text or parsed), optionally typed by
+        *schema* (in which case the mapping f validates it)."""
+        if name in self._documents:
+            raise DatabaseError(f"document {name!r} already stored")
+        document = (parse_document(source) if isinstance(source, str)
+                    else source)
+        if schema is not None:
+            tree = document_to_tree(document, schema)
+        else:
+            tree = untyped_document_to_tree(document)
+        stored = StoredDocument(name, tree, schema)
+        self._documents[name] = stored
+        return stored
+
+    def get(self, name: str) -> StoredDocument:
+        try:
+            return self._documents[name]
+        except KeyError:
+            raise DatabaseError(f"no document named {name!r}") from None
+
+    def drop(self, name: str) -> None:
+        """Delete an obsolete document."""
+        if name not in self._documents:
+            raise DatabaseError(f"no document named {name!r}")
+        del self._documents[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._documents)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._documents
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def documents(self) -> Iterator[StoredDocument]:
+        yield from self._documents.values()
+
+    # -- cross-document queries ---------------------------------------------
+
+    def query_all(self, path: str) -> dict[str, list[str]]:
+        """Evaluate one path over every stored document."""
+        return {name: self._documents[name].query_values(path)
+                for name in self.names()}
+
+    def __repr__(self) -> str:
+        return f"XmlDatabase({len(self)} documents)"

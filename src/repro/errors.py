@@ -1,0 +1,108 @@
+"""Exception hierarchy for the whole library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class XmlSyntaxError(ReproError):
+    """The input text is not a well-formed XML document.
+
+    Carries the 1-based ``line`` and ``column`` of the offending position
+    when they are known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class TypeSystemError(ReproError):
+    """Misuse of the simple-type system (unknown type, bad derivation...)."""
+
+
+class LexicalError(TypeSystemError):
+    """A literal is not in the lexical space of the requested type."""
+
+    def __init__(self, type_name: str, literal: str,
+                 reason: str | None = None) -> None:
+        self.type_name = type_name
+        self.literal = literal
+        msg = f"{literal!r} is not a valid {type_name}"
+        if reason:
+            msg = f"{msg}: {reason}"
+        super().__init__(msg)
+
+
+class FacetError(TypeSystemError):
+    """A facet constraint is violated or a facet is ill-formed."""
+
+
+class SchemaError(ReproError):
+    """The document schema itself is ill-formed (abstract syntax level)."""
+
+
+class SchemaSyntaxError(SchemaError):
+    """The XSD source text does not map to the supported abstract syntax."""
+
+
+class TypeUsageError(SchemaError):
+    """Violation of the Section 3 type-usage requirement.
+
+    Every named type used in a schema must be in ``dom(ctd)``, a simple
+    type name, or an inline anonymous definition.
+    """
+
+
+class ModelError(ReproError):
+    """Misuse of the XDM node model (wrong accessor, wrong node kind...)."""
+
+
+class AlgebraError(ReproError):
+    """Violation of state-algebra invariants (sort disjointness etc.)."""
+
+
+class ConformanceError(ReproError):
+    """A document tree violates one of the Section 6.2 requirements.
+
+    ``item`` names the requirement from the paper (e.g. ``"5.1.1"``) and
+    ``path`` locates the offending node as a human-readable path.
+    """
+
+    def __init__(self, item: str, message: str,
+                 path: str | None = None) -> None:
+        self.item = item
+        self.path = path
+        loc = f" at {path}" if path else ""
+        super().__init__(f"requirement {item} violated{loc}: {message}")
+
+
+class ValidationError(ReproError):
+    """A raw XML document does not validate against a schema."""
+
+
+class ContentModelError(ReproError):
+    """A content model is ill-formed or a child sequence does not match."""
+
+
+class StorageError(ReproError):
+    """Invariant violation inside the simulated Sedna storage engine."""
+
+
+class LabelError(StorageError):
+    """A numbering label operation is impossible (exhausted alphabet...)."""
+
+
+class QueryError(ReproError):
+    """A path query is syntactically invalid or applied to a bad context."""

@@ -1,0 +1,30 @@
+"""The Section 8 mappings between S-documents and S-trees.
+
+``document_to_tree`` is the paper's ``f``, ``tree_to_document`` is
+``g``, and ``content_equal`` is the relation ``=_c``; the test suite
+verifies the round-trip theorem g(f(X)) =_c X on the paper's examples
+and on randomly generated instances.
+"""
+
+from repro.mapping.content_equality import (
+    ContentDifference,
+    content_difference,
+    content_equal,
+)
+from repro.mapping.doc_to_tree import (
+    TreeConstructor,
+    document_to_tree,
+    untyped_document_to_tree,
+)
+from repro.mapping.tree_to_doc import serialize_tree, tree_to_document
+
+__all__ = [
+    "ContentDifference",
+    "TreeConstructor",
+    "content_difference",
+    "content_equal",
+    "document_to_tree",
+    "serialize_tree",
+    "tree_to_document",
+    "untyped_document_to_tree",
+]

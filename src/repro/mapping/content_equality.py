@@ -1,0 +1,110 @@
+"""Content equality ``=_c`` of Section 8.
+
+Two documents are content-equal when they have the same element
+structure (expanded names), the same attribute mappings, and the same
+character content, compared position by position.  Whitespace-only
+text nodes occurring next to element children are insignificant by
+default (matching the whitespace rule the mapping ``f`` applies in
+element-only content), so ``g(f(X)) =_c X`` holds for every S-document
+X — the round-trip theorem verified by the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlio.nodes import XmlChild, XmlDocument, XmlElement, XmlText
+from repro.xmlio.qname import XSI_NAMESPACE, QName
+
+_XSI_NIL = QName(XSI_NAMESPACE, "nil")
+
+
+@dataclass
+class ContentDifference:
+    """The first difference found, for diagnostics."""
+
+    path: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.path}: {self.reason}"
+
+
+def content_equal(first: XmlDocument, second: XmlDocument,
+                  ignore_insignificant_whitespace: bool = True) -> bool:
+    """The relation ``=_c`` on documents."""
+    return content_difference(
+        first, second, ignore_insignificant_whitespace) is None
+
+
+def content_difference(
+        first: XmlDocument, second: XmlDocument,
+        ignore_insignificant_whitespace: bool = True
+) -> ContentDifference | None:
+    """None when content-equal, else the first difference."""
+    return _elements_difference(
+        first.root, second.root, "/",
+        ignore_insignificant_whitespace)
+
+
+def _normalize_children(element: XmlElement,
+                        ignore_ws: bool) -> list[XmlChild]:
+    children = list(element.children)
+    if not ignore_ws:
+        return [c for c in children
+                if not (isinstance(c, XmlText) and not c.text)]
+    has_element_child = any(isinstance(c, XmlElement) for c in children)
+    out: list[XmlChild] = []
+    for child in children:
+        if isinstance(child, XmlText):
+            if not child.text:
+                continue
+            if has_element_child and not child.text.strip():
+                continue
+        out.append(child)
+    return out
+
+
+def _attributes_of(element: XmlElement) -> dict[QName, str]:
+    # xsi:nil carries nilled-ness through serialization; its spelling
+    # ("true" vs "1") is not content.
+    out: dict[QName, str] = {}
+    for qname, value in element.attributes.items():
+        if qname == _XSI_NIL:
+            out[qname] = "true" if value in ("true", "1") else "false"
+        else:
+            out[qname] = value
+    return out
+
+
+def _elements_difference(a: XmlElement, b: XmlElement, path: str,
+                         ignore_ws: bool) -> ContentDifference | None:
+    here = f"{path}{a.name.local}"
+    if a.name != b.name:
+        return ContentDifference(
+            here, f"element names differ: {a.name.clark} vs {b.name.clark}")
+    attrs_a, attrs_b = _attributes_of(a), _attributes_of(b)
+    if attrs_a != attrs_b:
+        return ContentDifference(
+            here, f"attributes differ: {attrs_a} vs {attrs_b}")
+    children_a = _normalize_children(a, ignore_ws)
+    children_b = _normalize_children(b, ignore_ws)
+    if len(children_a) != len(children_b):
+        return ContentDifference(
+            here,
+            f"child counts differ: {len(children_a)} vs {len(children_b)}")
+    for index, (ca, cb) in enumerate(zip(children_a, children_b)):
+        if isinstance(ca, XmlText) != isinstance(cb, XmlText):
+            return ContentDifference(
+                here, f"child {index + 1} kinds differ")
+        if isinstance(ca, XmlText):
+            if ca.text != cb.text:
+                return ContentDifference(
+                    here,
+                    f"text differs: {ca.text[:40]!r} vs {cb.text[:40]!r}")
+        else:
+            difference = _elements_difference(
+                ca, cb, f"{here}/", ignore_ws)
+            if difference is not None:
+                return difference
+    return None

@@ -1,0 +1,116 @@
+"""The mapping ``g`` of Section 8: serialize an S-tree to an S-document.
+
+``g`` is purely structural: element nodes become elements, attribute
+nodes become attributes, text nodes become character data.  Namespace
+declarations are synthesized minimally (a default declaration at the
+root when the tree's names carry a namespace URI).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.xmlio.nodes import XmlDocument, XmlElement, XmlText
+from repro.xmlio.qname import XSI_NAMESPACE, QName
+from repro.xmlio.serializer import serialize_document
+from repro.xdm.node import (
+    AttributeNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    TextNode,
+)
+
+_XSI_NIL = QName(XSI_NAMESPACE, "nil", "xsi")
+
+
+def tree_to_document(node: "DocumentNode | ElementNode",
+                     emit_nil: bool = True) -> XmlDocument:
+    """The paper's ``g``: serialize a document tree to a raw document.
+
+    ``emit_nil`` controls whether nilled elements get an explicit
+    ``xsi:nil="true"`` attribute (needed for the round-trip theorem,
+    since nilled-ness is otherwise invisible in the serialization).
+    """
+    if isinstance(node, DocumentNode):
+        root_element = node.document_element()
+        base_uri_seq = node.base_uri()
+        base_uri = base_uri_seq.head() if base_uri_seq else None
+    elif isinstance(node, ElementNode):
+        root_element = node
+        base_uri = None
+    else:
+        raise ModelError("g expects a document or element node")
+    xml_root = _convert_element(root_element, emit_nil=emit_nil,
+                                default_uri="")
+    _declare_namespaces(root_element, xml_root, emit_nil=emit_nil)
+    return XmlDocument(xml_root, base_uri=base_uri)
+
+
+def serialize_tree(node: "DocumentNode | ElementNode",
+                   indent: str | None = None,
+                   emit_nil: bool = True) -> str:
+    """``g`` composed with the textual serializer."""
+    return serialize_document(tree_to_document(node, emit_nil=emit_nil),
+                              indent=indent)
+
+
+def _convert_element(element: ElementNode, emit_nil: bool,
+                     default_uri: str) -> XmlElement:
+    xml_element = XmlElement(element.name)
+    # An unprefixed name in a namespace needs the default declaration
+    # wherever the in-scope default changes (XQuery-constructed trees
+    # mix namespaces freely).
+    if not element.name.prefix and element.name.uri != default_uri:
+        xml_element.namespace_decls[""] = element.name.uri
+        default_uri = element.name.uri
+    for attribute in element.attributes():
+        if not isinstance(attribute, AttributeNode):  # pragma: no cover
+            raise ModelError(f"non-attribute {attribute!r} in attributes()")
+        xml_element.attributes[attribute.name] = attribute.string_value()
+    nilled = element.nilled()
+    if emit_nil and nilled and nilled.head():
+        xml_element.attributes[_XSI_NIL] = "true"
+    for child in element.children():
+        xml_element.append(_convert_child(child, emit_nil, default_uri))
+    return xml_element
+
+
+def _convert_child(child: Node, emit_nil: bool, default_uri: str):
+    if isinstance(child, TextNode):
+        return XmlText(child.string_value())
+    if isinstance(child, ElementNode):
+        return _convert_element(child, emit_nil, default_uri)
+    raise ModelError(f"unexpected child node kind {child.node_kind()!r}")
+
+
+def _declare_namespaces(root: ElementNode, xml_root: XmlElement,
+                        emit_nil: bool) -> None:
+    """Synthesize the namespace declarations the serialization needs."""
+    uris: dict[str, str] = {}
+
+    def visit(element: ElementNode) -> None:
+        name = element.name
+        if name.uri:
+            uris.setdefault(name.uri, name.prefix)
+        for attribute in element.attributes():
+            attr_name = attribute.node_name().head()
+            if attr_name.uri:
+                uris.setdefault(attr_name.uri, attr_name.prefix or "ns")
+        nilled = element.nilled()
+        if emit_nil and nilled and nilled.head():
+            uris.setdefault(XSI_NAMESPACE, "xsi")
+        for child in element.children():
+            if isinstance(child, ElementNode):
+                visit(child)
+
+    visit(root)
+    used_prefixes: set[str] = set()
+    counter = 0
+    for uri, prefix in uris.items():
+        if not prefix:
+            continue  # unprefixed names declare their default locally
+        if not prefix or prefix in used_prefixes:
+            counter += 1
+            prefix = f"ns{counter}"
+        used_prefixes.add(prefix)
+        xml_root.namespace_decls[prefix] = uri

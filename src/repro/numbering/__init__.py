@@ -1,0 +1,25 @@
+"""Numbering-scheme baselines and the Proposition 1 update harness."""
+
+from repro.numbering.base import NumberingBaseline, SimNode, SimTree
+from repro.numbering.dewey import DeweyBaseline
+from repro.numbering.interval import IntervalBaseline
+from repro.numbering.sedna import SednaAdapter
+from repro.numbering.workload import (
+    UpdateWorkload,
+    WorkloadStats,
+    structural_before,
+    structural_is_ancestor,
+)
+
+__all__ = [
+    "DeweyBaseline",
+    "IntervalBaseline",
+    "NumberingBaseline",
+    "SednaAdapter",
+    "SimNode",
+    "SimTree",
+    "UpdateWorkload",
+    "WorkloadStats",
+    "structural_before",
+    "structural_is_ancestor",
+]

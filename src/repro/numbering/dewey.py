@@ -1,0 +1,81 @@
+"""Naive Dewey numbering (Tatarinov et al. [19], without gaps).
+
+A node's label is the tuple of 1-based sibling ordinals on its root
+path.  Structural relations are trivial (lexicographic order, prefix
+ancestorship) but an insertion at position *i* renumbers every later
+sibling — and, because the ordinal is a label *prefix* of the whole
+subtree, every node inside those siblings' subtrees too.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LabelError
+from repro.numbering.base import NumberingBaseline, SimNode, SimTree
+
+
+class DeweyBaseline(NumberingBaseline):
+    """Ordinal-tuple labels with sibling renumbering on insert."""
+
+    name = "dewey"
+
+    def __init__(self, tree: SimTree) -> None:
+        super().__init__(tree)
+        self._labels: dict[int, tuple[int, ...]] = {}
+
+    # -- labelling ---------------------------------------------------------
+
+    def load(self) -> None:
+        self._labels.clear()
+        self._label_subtree(self.tree.root, ())
+
+    def _label_subtree(self, node: SimNode,
+                       prefix: tuple[int, ...]) -> int:
+        """(Re)label a subtree; returns how many labels were written."""
+        written = 1
+        self._labels[node.node_id] = prefix
+        for ordinal, child in enumerate(node.children, start=1):
+            written += self._label_subtree(child, prefix + (ordinal,))
+        return written
+
+    def on_insert(self, node: SimNode) -> None:
+        parent = node.parent
+        if parent is None:
+            raise LabelError("cannot insert a second root")
+        index = parent.children.index(node)
+        prefix = self._labels[parent.node_id]
+        self._labels[node.node_id] = prefix + (index + 1,)
+        # Renumber every following sibling subtree: ordinals shifted.
+        for ordinal in range(index + 1, len(parent.children)):
+            sibling = parent.children[ordinal]
+            self.relabel_count += self._label_subtree(
+                sibling, prefix + (ordinal + 1,))
+
+    def on_delete(self, node: SimNode) -> None:
+        parent = node.parent
+        if parent is None:
+            raise LabelError("node already detached")
+        index = parent.children.index(node)
+        for stale in node.iter_subtree():
+            self._labels.pop(stale.node_id, None)
+        prefix = self._labels[parent.node_id]
+        # Siblings after the gap shift down by one.
+        for ordinal in range(index + 1, len(parent.children)):
+            sibling = parent.children[ordinal]
+            self.relabel_count += self._label_subtree(
+                sibling, prefix + (ordinal,))
+
+    # -- relations -----------------------------------------------------------
+
+    def label(self, node: SimNode) -> tuple[int, ...]:
+        return self._labels[node.node_id]
+
+    def before(self, a: SimNode, b: SimNode) -> bool:
+        return self.label(a) < self.label(b)
+
+    def is_ancestor(self, a: SimNode, b: SimNode) -> bool:
+        la, lb = self.label(a), self.label(b)
+        return len(la) < len(lb) and lb[:len(la)] == la
+
+    def label_bytes(self, node: SimNode) -> int:
+        # Four bytes per ordinal, the common packed representation.
+        return 4 * len(self.label(node))

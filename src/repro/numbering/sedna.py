@@ -1,0 +1,74 @@
+"""Adapter putting the paper's Sedna scheme behind the baseline API."""
+
+from __future__ import annotations
+
+from repro.errors import LabelError
+from repro.storage.labels import (
+    NidLabel,
+    NumberingScheme,
+    before as label_before,
+    is_ancestor as label_is_ancestor,
+)
+from repro.numbering.base import NumberingBaseline, SimNode, SimTree
+
+
+class SednaAdapter(NumberingBaseline):
+    """Gap-based Dewey labels (Section 9.3): updates never relabel."""
+
+    name = "sedna"
+
+    def __init__(self, tree: SimTree, base: int = 256) -> None:
+        super().__init__(tree)
+        self._scheme = NumberingScheme(base)
+        self._labels: dict[int, NidLabel] = {}
+
+    # -- labelling ---------------------------------------------------------
+
+    def load(self) -> None:
+        self._labels.clear()
+        root_label = self._scheme.root_label()
+        self._labels[self.tree.root.node_id] = root_label
+        self._load_children(self.tree.root, root_label)
+
+    def _load_children(self, node: SimNode, label: NidLabel) -> None:
+        labels = self._scheme.child_labels(label, len(node.children))
+        for child, child_label in zip(node.children, labels):
+            self._labels[child.node_id] = child_label
+            self._load_children(child, child_label)
+
+    def label(self, node: SimNode) -> NidLabel:
+        try:
+            return self._labels[node.node_id]
+        except KeyError:
+            raise LabelError(f"{node!r} has no label") from None
+
+    def on_insert(self, node: SimNode) -> None:
+        parent = node.parent
+        if parent is None:
+            raise LabelError("cannot insert a second root")
+        index = parent.children.index(node)
+        left = parent.children[index - 1] if index > 0 else None
+        right = (parent.children[index + 1]
+                 if index + 1 < len(parent.children) else None)
+        label = self._scheme.child_label(
+            self.label(parent),
+            self.label(left) if left is not None else None,
+            self.label(right) if right is not None else None)
+        self._labels[node.node_id] = label
+        self._load_children(node, label)
+        # relabel_count untouched: Proposition 1.
+
+    def on_delete(self, node: SimNode) -> None:
+        for stale in node.iter_subtree():
+            self._labels.pop(stale.node_id, None)
+
+    # -- relations -----------------------------------------------------------
+
+    def before(self, a: SimNode, b: SimNode) -> bool:
+        return label_before(self.label(a), self.label(b))
+
+    def is_ancestor(self, a: SimNode, b: SimNode) -> bool:
+        return label_is_ancestor(self.label(a), self.label(b))
+
+    def label_bytes(self, node: SimNode) -> int:
+        return len(self.label(node))  # one byte per Ω symbol

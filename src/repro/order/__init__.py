@@ -1,0 +1,21 @@
+"""Document order (Section 7): the << relation and its implementations."""
+
+from repro.order.document_order import (
+    DocumentOrderIndex,
+    before,
+    compare,
+    document_order,
+    is_total_order,
+    iter_document_order,
+    tree_before,
+)
+
+__all__ = [
+    "DocumentOrderIndex",
+    "before",
+    "compare",
+    "document_order",
+    "is_total_order",
+    "iter_document_order",
+    "tree_before",
+]

@@ -1,0 +1,14 @@
+"""Path queries over both the formal model and the storage engine."""
+
+from repro.query.axes import AXES
+from repro.query.engine import StorageQueryEngine, evaluate_tree
+from repro.query.paths import Path, Step, parse_path
+
+__all__ = [
+    "AXES",
+    "Path",
+    "Step",
+    "StorageQueryEngine",
+    "evaluate_tree",
+    "parse_path",
+]

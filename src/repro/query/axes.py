@@ -1,0 +1,131 @@
+"""XPath 2.0 axes over the Section 5 node model.
+
+The accessors of the paper ("primitive facilities for a query
+language") are exactly what these axes are built from: ``parent``,
+``children`` and ``attributes`` define the tree, document order
+(Section 7) defines ``following``/``preceding``.  Results are returned
+in axis order (forward axes in document order, reverse axes in reverse
+document order), as XPath requires.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.xdm.node import AttributeNode, Node
+from repro.order.document_order import iter_document_order
+
+
+def self_axis(node: Node) -> Iterator[Node]:
+    yield node
+
+
+def child_axis(node: Node) -> Iterator[Node]:
+    yield from node.children()
+
+
+def attribute_axis(node: Node) -> Iterator[Node]:
+    yield from node.attributes()
+
+
+def parent_axis(node: Node) -> Iterator[Node]:
+    yield from node.parent()
+
+
+def ancestor_axis(node: Node) -> Iterator[Node]:
+    yield from node.ancestors()
+
+
+def ancestor_or_self_axis(node: Node) -> Iterator[Node]:
+    yield node
+    yield from node.ancestors()
+
+
+def descendant_axis(node: Node) -> Iterator[Node]:
+    for child in node.children():
+        yield child
+        yield from descendant_axis(child)
+
+
+def descendant_or_self_axis(node: Node) -> Iterator[Node]:
+    yield node
+    yield from descendant_axis(node)
+
+
+def following_sibling_axis(node: Node) -> Iterator[Node]:
+    parent = node.parent_or_none()
+    if parent is None or isinstance(node, AttributeNode):
+        return
+    seen = False
+    for sibling in parent.children():
+        if seen:
+            yield sibling
+        elif sibling is node:
+            seen = True
+
+
+def preceding_sibling_axis(node: Node) -> Iterator[Node]:
+    """Siblings before the node, in reverse document order."""
+    parent = node.parent_or_none()
+    if parent is None or isinstance(node, AttributeNode):
+        return
+    before: list[Node] = []
+    for sibling in parent.children():
+        if sibling is node:
+            break
+        before.append(sibling)
+    yield from reversed(before)
+
+
+def following_axis(node: Node) -> Iterator[Node]:
+    """Nodes after the node in document order, excluding descendants
+    and attributes (per XPath)."""
+    root = node.root()
+    in_subtree = set(
+        n.identifier for n in iter_document_order(node))
+    seen_self = False
+    for candidate in iter_document_order(root):
+        if candidate is node:
+            seen_self = True
+            continue
+        if not seen_self:
+            continue
+        if candidate.identifier in in_subtree:
+            continue
+        if isinstance(candidate, AttributeNode):
+            continue
+        yield candidate
+
+
+def preceding_axis(node: Node) -> Iterator[Node]:
+    """Nodes before the node in document order, excluding ancestors
+    and attributes, in reverse document order."""
+    root = node.root()
+    ancestors = {n.identifier for n in node.ancestors()}
+    out: list[Node] = []
+    for candidate in iter_document_order(root):
+        if candidate is node:
+            break
+        if candidate.identifier in ancestors:
+            continue
+        if isinstance(candidate, AttributeNode):
+            continue
+        out.append(candidate)
+    yield from reversed(out)
+
+
+#: All axes by their XPath names.
+AXES = {
+    "self": self_axis,
+    "child": child_axis,
+    "attribute": attribute_axis,
+    "parent": parent_axis,
+    "ancestor": ancestor_axis,
+    "ancestor-or-self": ancestor_or_self_axis,
+    "descendant": descendant_axis,
+    "descendant-or-self": descendant_or_self_axis,
+    "following-sibling": following_sibling_axis,
+    "preceding-sibling": preceding_sibling_axis,
+    "following": following_axis,
+    "preceding": preceding_axis,
+}

@@ -1,0 +1,194 @@
+"""A small path language: the XPath subset the benchmarks exercise.
+
+Grammar (absolute paths only)::
+
+    path      ::= ("/" step | "//" step)+
+    step      ::= node-test predicate*
+    node-test ::= name | "*" | "@" name | "@*" | "text()"
+    predicate ::= "[" integer "]" | "[last()]"
+                | "[@" name ("=" string)? "]"
+                | "[" name ("=" string)? "]"
+
+``/library/book/title`` selects title elements along child steps,
+``//author`` selects all author descendants, ``/library/book/@id``
+selects attribute nodes, ``text()`` selects text children, and
+predicates filter by position (``book[2]``, per parent context, as in
+XPath), by attribute (``book[@lang='en']``) or by child value
+(``book[title='Illusions']``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class PositionPredicate:
+    """``[n]`` (1-based) or ``[last()]`` (index is None)."""
+
+    index: int | None
+
+    def __repr__(self) -> str:
+        return f"[{self.index}]" if self.index is not None else "[last()]"
+
+
+@dataclass(frozen=True)
+class AttributePredicate:
+    """``[@name]`` (existence) or ``[@name='value']``."""
+
+    name: str
+    value: str | None = None
+
+    def __repr__(self) -> str:
+        if self.value is None:
+            return f"[@{self.name}]"
+        return f"[@{self.name}='{self.value}']"
+
+
+@dataclass(frozen=True)
+class ChildPredicate:
+    """``[name]`` (existence) or ``[name='value']`` on string value."""
+
+    name: str
+    value: str | None = None
+
+    def __repr__(self) -> str:
+        if self.value is None:
+            return f"[{self.name}]"
+        return f"[{self.name}='{self.value}']"
+
+
+Predicate = Union[PositionPredicate, AttributePredicate, ChildPredicate]
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step of a parsed path."""
+
+    axis: str        # "child", "descendant-or-self", "attribute"
+    kind: str        # "element", "attribute", "text"
+    name: str | None  # None = wildcard
+    predicates: tuple[Predicate, ...] = ()
+
+    def matches_name(self, local: str | None) -> bool:
+        return self.name is None or self.name == local
+
+    def __repr__(self) -> str:
+        slash = "//" if self.axis == "descendant-or-self" else "/"
+        if self.kind == "text":
+            body = "text()"
+        elif self.kind == "attribute":
+            body = f"@{self.name or '*'}"
+        else:
+            body = self.name or "*"
+        suffix = "".join(repr(p) for p in self.predicates)
+        return f"{slash}{body}{suffix}"
+
+
+@dataclass(frozen=True)
+class Path:
+    """A parsed absolute path."""
+
+    steps: tuple[Step, ...]
+
+    def __repr__(self) -> str:
+        return "".join(repr(step) for step in self.steps)
+
+
+def parse_path(text: str) -> Path:
+    """Parse the textual path into :class:`Path`."""
+    if not text.startswith("/"):
+        raise QueryError(f"only absolute paths are supported: {text!r}")
+    steps: list[Step] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        if text.startswith("//", position):
+            axis = "descendant-or-self"
+            position += 2
+        elif text.startswith("/", position):
+            axis = "child"
+            position += 1
+        else:
+            raise QueryError(f"expected '/' at {position} in {text!r}")
+        end = position
+        depth = 0
+        while end < length and (text[end] != "/" or depth > 0):
+            if text[end] == "[":
+                depth += 1
+            elif text[end] == "]":
+                depth -= 1
+            end += 1
+        token = text[position:end]
+        position = end
+        if not token:
+            raise QueryError(f"empty step in {text!r}")
+        steps.append(_parse_step(axis, token))
+    return Path(tuple(steps))
+
+
+def _split_predicates(token: str) -> tuple[str, tuple["Predicate", ...]]:
+    if "[" not in token:
+        return token, ()
+    head, _, rest = token.partition("[")
+    predicates: list[Predicate] = []
+    rest = "[" + rest
+    while rest:
+        if not rest.startswith("[") or "]" not in rest:
+            raise QueryError(f"malformed predicate in {token!r}")
+        body, _, rest = rest[1:].partition("]")
+        predicates.append(_parse_predicate(body, token))
+    return head, tuple(predicates)
+
+
+def _parse_predicate(body: str, token: str) -> "Predicate":
+    body = body.strip()
+    if not body:
+        raise QueryError(f"empty predicate in {token!r}")
+    if body == "last()":
+        return PositionPredicate(None)
+    if body.lstrip("-").isdigit():
+        index = int(body)
+        if index < 1:
+            raise QueryError(f"positions are 1-based: [{body}]")
+        return PositionPredicate(index)
+    if "=" in body:
+        name_part, _, value_part = body.partition("=")
+        name_part = name_part.strip()
+        value = _parse_string_literal(value_part.strip(), token)
+        if name_part.startswith("@"):
+            return AttributePredicate(name_part[1:], value)
+        return ChildPredicate(name_part, value)
+    if body.startswith("@"):
+        return AttributePredicate(body[1:])
+    if any(ch in body for ch in "()<>@"):
+        raise QueryError(f"unsupported predicate {body!r}")
+    return ChildPredicate(body)
+
+
+def _parse_string_literal(text: str, token: str) -> str:
+    if len(text) >= 2 and text[0] == text[-1] and text[0] in "'\"":
+        return text[1:-1]
+    raise QueryError(f"predicate value must be quoted in {token!r}")
+
+
+def _parse_step(axis: str, token: str) -> Step:
+    test, predicates = _split_predicates(token)
+    if test == "text()":
+        return Step(axis, "text", None, predicates)
+    if test.startswith("@"):
+        name = test[1:]
+        if not name:
+            raise QueryError("attribute step needs a name or *")
+        return Step(axis, "attribute",
+                    None if name == "*" else name, predicates)
+    if test == "*":
+        return Step(axis, "element", None, predicates)
+    if any(ch in test for ch in "[]()@"):
+        raise QueryError(f"unsupported step syntax {token!r}")
+    if not test:
+        raise QueryError(f"missing node test in {token!r}")
+    return Step(axis, "element", test, predicates)

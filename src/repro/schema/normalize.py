@@ -1,0 +1,220 @@
+"""Canonical forms of schemas (after Novak & Kuznetsov [15]).
+
+The paper's reference [15] studies rewriting schemas into canonical
+form; this module implements the core language-preserving rewrite
+rules on the Section 2 abstract syntax:
+
+1. **unwrap** — a group whose only member is a group, with neutral
+   (1,1) repetition on either side, collapses into one group;
+2. **flatten** — a (1,1) sequence nested in a sequence (or choice in
+   choice) is spliced into its parent, provided the element-name
+   distinctness constraint of Section 2 still holds;
+3. **fuse repetition** — nested repetitions multiply,
+   ``X{m,n}{p,q} → X{m·p, n·q}``, when the classic soundness condition
+   holds (the ranges tile without gaps);
+4. **prune** — members that can match nothing (``maxOccurs=0``) are
+   dropped, and a choice with one alternative becomes that alternative.
+
+Every rule preserves the generated language; the test suite verifies
+this by cross-checking the derivative matcher on random words before
+and after normalization.
+"""
+
+from __future__ import annotations
+
+from repro.schema.ast import (
+    UNBOUNDED,
+    AllGroup,
+    CombinationFactor,
+    ComplexContentType,
+    DocumentSchema,
+    ElementDeclaration,
+    GroupDefinition,
+    GroupMember,
+    RepetitionFactor,
+    SimpleContentType,
+    TypeRef,
+)
+
+
+def _fuse_bounds(inner: RepetitionFactor,
+                 outer: RepetitionFactor) -> RepetitionFactor | None:
+    """``X{m,n}{p,q} ≡ X{m·p, n·q}`` when sound, else None.
+
+    The count language of the nested form is ``⋃_{k∈[p,q]} [k·m, k·n]``
+    (with ``[0,0]`` for k = 0).  Fusion is sound exactly when that
+    union is one contiguous interval:
+
+    * ``q = 0`` — the language is {0};
+    * ``p = q`` — a single interval ``[m·p, n·p]``, always fusable;
+    * ``p = 0 < q`` — {0} joins the rest only when ``m ≤ 1``;
+    * unbounded ``n`` — one copy already reaches infinity: ``[m·p, ∞)``;
+    * otherwise the gap between consecutive k-intervals must close at
+      the binding (smallest) ``k = max(p, 1)``:
+      ``(k+1)·m ≤ k·n + 1``.
+    """
+    m, n = inner.minimum, inner.maximum
+    p, q = outer.minimum, outer.maximum
+    if q == 0:
+        return RepetitionFactor(0, 0)
+    if q == p:  # numeric and at least 1 here
+        upper: int | str = UNBOUNDED if n == UNBOUNDED else int(n) * p
+        return RepetitionFactor(m * p, upper)
+    if p == 0 and m > 1:
+        return None  # gap between the empty word and m copies
+    if n == UNBOUNDED:
+        return RepetitionFactor(m * p, UNBOUNDED)
+    n_int = int(n)
+    k = max(p, 1)
+    if (k + 1) * m > k * n_int + 1:
+        return None
+    upper = UNBOUNDED if q == UNBOUNDED else n_int * int(q)
+    return RepetitionFactor(m * p, upper)
+
+
+def normalize_group(group: GroupDefinition) -> GroupDefinition:
+    """Apply the rewrite rules bottom-up until a fixed point."""
+    current = group
+    for _ in range(64):  # fixed-point iteration with a safety bound
+        rewritten = _rewrite_once(current)
+        if rewritten == current:
+            return rewritten
+        current = rewritten
+    return current
+
+
+def _rewrite_once(group: GroupDefinition) -> GroupDefinition:
+    # Pass 1: normalize members bottom-up, pruning and fusing.
+    in_sequence = group.combination is CombinationFactor.SEQUENCE
+    processed: list[GroupMember] = []
+    for member in group.members:
+        if isinstance(member, GroupDefinition):
+            member = _rewrite_once(member)
+            if in_sequence and (member.repetition.maximum == 0
+                                or member.empty_content):
+                # ε members are the unit of concatenation; they may be
+                # dropped from a sequence but not from a choice.
+                continue
+            processed.append(_try_fuse(member))
+        else:
+            if in_sequence and member.repetition.maximum == 0:
+                continue
+            processed.append(member)
+
+    # Pass 2: splice nested groups, honouring the Section 2 rule that
+    # element names within one group must be pairwise different — the
+    # check covers *all* siblings, earlier and later.
+    taken: set[str] = {m.name for m in processed
+                       if isinstance(m, ElementDeclaration)}
+    members: list[GroupMember] = []
+    for member in processed:
+        if isinstance(member, GroupDefinition) and \
+                _can_splice(group, member):
+            names = {eld.name for eld in member.members
+                     if isinstance(eld, ElementDeclaration)}
+            if not names & taken:
+                taken |= names
+                members.extend(member.members)
+                continue
+        members.append(member)
+
+    combination = group.combination
+    repetition = group.repetition
+    # unwrap: a singleton group wrapping a group.
+    if len(members) == 1 and isinstance(members[0], GroupDefinition):
+        inner = members[0]
+        fused = _fuse_bounds(inner.repetition, repetition)
+        if fused is not None:
+            return GroupDefinition(inner.members, inner.combination,
+                                   fused)
+    # prune: single-alternative choice behaves like a sequence.
+    if combination is CombinationFactor.CHOICE and len(members) == 1:
+        combination = CombinationFactor.SEQUENCE
+    return GroupDefinition(tuple(members), combination, repetition)
+
+
+def _try_fuse(member: GroupDefinition) -> GroupDefinition:
+    """Fuse a singleton repetition wrapper with its single child."""
+    if len(member.members) != 1:
+        return member
+    (child,) = member.members
+    if isinstance(child, ElementDeclaration):
+        fused = _fuse_bounds(child.repetition, member.repetition)
+        if fused is None:
+            return member
+        collapsed = ElementDeclaration(child.name, child.type, fused,
+                                       child.nillable)
+        return GroupDefinition((collapsed,), member.combination,
+                               RepetitionFactor(1, 1))
+    return member
+
+
+def _can_splice(parent: GroupDefinition,
+                member: GroupDefinition) -> bool:
+    """flatten precondition: same combination (or a singleton, whose
+    combination is irrelevant) and neutral repetition; the name-
+    distinctness check happens at the call site over all siblings."""
+    if not member.members:
+        # An empty group is ε: splicing (i.e. dropping) it is sound in
+        # a sequence but would delete a choice's ε alternative.
+        return parent.combination is CombinationFactor.SEQUENCE
+    if (member.combination is not parent.combination
+            and len(member.members) > 1):
+        return False
+    if member.repetition.as_pair() != (1, 1):
+        return False
+    return True
+
+
+def normalize_type(definition: TypeRef) -> TypeRef:
+    """Normalize the group inside a complex type, recursively."""
+    if isinstance(definition, SimpleContentType):
+        return definition
+    if not isinstance(definition, ComplexContentType):
+        return definition
+    group = definition.group
+    if group is None or isinstance(group, AllGroup):
+        return definition
+    normalized_members = tuple(
+        _normalize_member(member) for member in group.members)
+    normalized = normalize_group(
+        GroupDefinition(normalized_members, group.combination,
+                        group.repetition))
+    if normalized == group:
+        return definition
+    return ComplexContentType(mixed=definition.mixed,
+                              group=normalized,
+                              attributes=definition.attributes)
+
+
+def _normalize_member(member: GroupMember) -> GroupMember:
+    if isinstance(member, ElementDeclaration):
+        if isinstance(member.type, (SimpleContentType,
+                                    ComplexContentType)):
+            normalized = normalize_type(member.type)
+            if normalized is not member.type:
+                return ElementDeclaration(member.name, normalized,
+                                          member.repetition,
+                                          member.nillable)
+        return member
+    return GroupDefinition(
+        tuple(_normalize_member(m) for m in member.members),
+        member.combination, member.repetition)
+
+
+def normalize_schema(schema: DocumentSchema) -> DocumentSchema:
+    """A schema with every content model in canonical form.
+
+    The result accepts exactly the same documents (property-tested via
+    the content-model matchers).
+    """
+    root_type = normalize_type(schema.root_element.type)
+    root = ElementDeclaration(
+        schema.root_element.name, root_type,
+        schema.root_element.repetition, schema.root_element.nillable)
+    complex_types = {qname: normalize_type(definition)
+                     for qname, definition in schema.complex_types.items()}
+    return DocumentSchema(root_element=root,
+                          complex_types=complex_types,
+                          target_namespace=schema.target_namespace,
+                          registry=schema.registry)

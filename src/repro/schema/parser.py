@@ -1,0 +1,440 @@
+"""Parser from XSD source text to the Section 2–3 abstract syntax.
+
+The supported subset is exactly the paper's abstract syntax plus the
+documented extensions:
+
+* ``xsd:schema`` with ``targetNamespace``, one global ``xsd:element``
+  and any number of named ``xsd:complexType`` / ``xsd:simpleType``
+  definitions (in any order, before or after the element);
+* element declarations with ``type`` references or inline anonymous
+  types, ``minOccurs`` / ``maxOccurs`` / ``nillable``;
+* ``xsd:sequence`` and ``xsd:choice`` groups, nested groups included;
+* ``xsd:attribute`` declarations with simple types;
+* ``xsd:simpleContent``/``xsd:extension`` for simple-content complex
+  types;
+* inline and named simple types derived by ``xsd:restriction`` with
+  the full facet set, plus ``xsd:list`` and ``xsd:union``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaSyntaxError
+from repro.xmlio.nodes import XmlElement
+from repro.xmlio.parser import parse_document
+from repro.xmlio.qname import XSD_NAMESPACE, QName, split_prefixed
+from repro.xsdtypes.base import ListType, SimpleType, UnionType
+from repro.xsdtypes.facets import (
+    EnumerationFacet,
+    Facet,
+    FractionDigitsFacet,
+    LengthFacet,
+    MaxExclusiveFacet,
+    MaxInclusiveFacet,
+    MaxLengthFacet,
+    MinExclusiveFacet,
+    MinInclusiveFacet,
+    MinLengthFacet,
+    PatternFacet,
+    TotalDigitsFacet,
+    WhiteSpaceFacet,
+)
+from repro.xsdtypes.registry import BUILTINS, TypeRegistry
+from repro.schema.ast import (
+    UNBOUNDED,
+    AllGroup,
+    AttributeDeclarations,
+    CombinationFactor,
+    ComplexContentType,
+    ComplexType,
+    DocumentSchema,
+    ElementDeclaration,
+    GroupDefinition,
+    GroupMember,
+    InlineSimpleType,
+    RepetitionFactor,
+    TypeName,
+    TypeRef,
+)
+
+_BOUND_FACETS = {
+    "minInclusive": MinInclusiveFacet,
+    "minExclusive": MinExclusiveFacet,
+    "maxInclusive": MaxInclusiveFacet,
+    "maxExclusive": MaxExclusiveFacet,
+}
+
+_INT_FACETS = {
+    "length": LengthFacet,
+    "minLength": MinLengthFacet,
+    "maxLength": MaxLengthFacet,
+    "totalDigits": TotalDigitsFacet,
+    "fractionDigits": FractionDigitsFacet,
+}
+
+
+class SchemaParser:
+    """Parses one XSD document into a :class:`DocumentSchema`."""
+
+    def __init__(self, registry: TypeRegistry | None = None) -> None:
+        self._base_registry = registry or BUILTINS
+
+    def parse(self, text: str) -> DocumentSchema:
+        """Parse XSD source *text*."""
+        document = parse_document(text)
+        return self.parse_tree(document.root)
+
+    def parse_tree(self, schema_elem: XmlElement) -> DocumentSchema:
+        """Parse an already-parsed ``xsd:schema`` element."""
+        if schema_elem.name != QName(XSD_NAMESPACE, "schema"):
+            raise SchemaSyntaxError(
+                f"expected xsd:schema, got {schema_elem.name.clark}")
+        self._registry = self._base_registry.clone()
+        self._target_ns = schema_elem.get("targetNamespace", "") or ""
+        self._env: list[dict[str, str]] = [dict(schema_elem.namespace_decls)]
+
+        global_elements: list[XmlElement] = []
+        named_complex: list[XmlElement] = []
+        named_simple: list[XmlElement] = []
+        for child in schema_elem.element_children():
+            if child.name.uri != XSD_NAMESPACE:
+                raise SchemaSyntaxError(
+                    f"unexpected non-XSD element {child.name.clark}")
+            if child.name.local == "element":
+                global_elements.append(child)
+            elif child.name.local == "complexType":
+                named_complex.append(child)
+            elif child.name.local == "simpleType":
+                named_simple.append(child)
+            elif child.name.local in ("annotation", "import", "include"):
+                continue
+            else:
+                raise SchemaSyntaxError(
+                    f"unsupported top-level construct xsd:{child.name.local}")
+
+        if len(global_elements) != 1:
+            raise SchemaSyntaxError(
+                "the paper's model requires exactly one global element "
+                f"declaration, found {len(global_elements)}")
+
+        # Named simple types first (complex types may reference them).
+        for elem in named_simple:
+            name = self._required(elem, "name")
+            simple = self._parse_simple_type(
+                elem, name=QName(self._target_ns, name))
+            self._registry.register(simple)
+
+        # Two-pass complex types: first collect names so that forward and
+        # recursive references resolve, then parse bodies.
+        complex_types: dict[QName, ComplexType] = {}
+        pending: list[tuple[QName, XmlElement]] = []
+        for elem in named_complex:
+            name = self._required(elem, "name")
+            qname = QName(self._target_ns, name)
+            if qname in complex_types:
+                raise SchemaSyntaxError(
+                    f"duplicate complex type name {name!r}")
+            complex_types[qname] = ComplexContentType()  # placeholder
+            pending.append((qname, elem))
+        for qname, elem in pending:
+            complex_types[qname] = self._parse_complex_type(elem)
+
+        root = self._parse_element_declaration(global_elements[0])
+        return DocumentSchema(
+            root_element=root,
+            complex_types=complex_types,
+            target_namespace=self._target_ns,
+            registry=self._registry)
+
+    # ------------------------------------------------------------------
+    # Helpers
+
+    @staticmethod
+    def _required(elem: XmlElement, attr: str) -> str:
+        value = elem.get(attr)
+        if value is None:
+            raise SchemaSyntaxError(
+                f"xsd:{elem.name.local} requires a {attr!r} attribute")
+        return value
+
+    def _push_env(self, elem: XmlElement) -> None:
+        self._env.append(dict(elem.namespace_decls))
+
+    def _pop_env(self) -> None:
+        self._env.pop()
+
+    def _resolve_value_qname(self, lexical: str) -> QName:
+        """Resolve a QName appearing in an attribute value."""
+        prefix, local = split_prefixed(lexical)
+        for bindings in reversed(self._env):
+            if prefix in bindings:
+                return QName(bindings[prefix], local, prefix)
+        if prefix:
+            raise SchemaSyntaxError(
+                f"undeclared prefix {prefix!r} in type reference {lexical!r}")
+        return QName("", local)
+
+    def _xsd_children(self, elem: XmlElement) -> list[XmlElement]:
+        out = []
+        for child in elem.element_children():
+            if child.name.uri != XSD_NAMESPACE:
+                raise SchemaSyntaxError(
+                    f"unexpected element {child.name.clark} inside "
+                    f"xsd:{elem.name.local}")
+            if child.name.local == "annotation":
+                continue
+            out.append(child)
+        return out
+
+    # ------------------------------------------------------------------
+    # Element declarations
+
+    def _parse_element_declaration(
+            self, elem: XmlElement) -> ElementDeclaration:
+        self._push_env(elem)
+        try:
+            name = self._required(elem, "name")
+            repetition = self._parse_repetition(elem)
+            nillable = elem.get("nillable", "false") in ("true", "1")
+            type_attr = elem.get("type")
+            children = self._xsd_children(elem)
+            if type_attr is not None:
+                if children:
+                    raise SchemaSyntaxError(
+                        f"element {name!r} has both a type attribute and "
+                        "an inline type")
+                type_ref: TypeRef = TypeName(
+                    self._resolve_value_qname(type_attr))
+            elif children:
+                (inline,) = children
+                if inline.name.local == "complexType":
+                    type_ref = self._parse_complex_type(inline)
+                elif inline.name.local == "simpleType":
+                    type_ref = InlineSimpleType(
+                        self._parse_simple_type(inline))
+                else:
+                    raise SchemaSyntaxError(
+                        f"unexpected xsd:{inline.name.local} inside "
+                        f"element {name!r}")
+            else:
+                # No type at all: xs:anyType in XSD; the paper's subset
+                # treats it as untyped string content.
+                type_ref = TypeName(QName(XSD_NAMESPACE, "string", "xs"))
+            return ElementDeclaration(
+                name=name, type=type_ref,
+                repetition=repetition, nillable=nillable)
+        finally:
+            self._pop_env()
+
+    def _parse_repetition(self, elem: XmlElement) -> RepetitionFactor:
+        minimum = elem.get("minOccurs", "1")
+        maximum = elem.get("maxOccurs", "1")
+        try:
+            min_value = int(minimum)
+        except ValueError:
+            raise SchemaSyntaxError(
+                f"bad minOccurs {minimum!r}") from None
+        if maximum == UNBOUNDED:
+            return RepetitionFactor(min_value, UNBOUNDED)
+        try:
+            max_value = int(maximum)
+        except ValueError:
+            raise SchemaSyntaxError(
+                f"bad maxOccurs {maximum!r}") from None
+        return RepetitionFactor(min_value, max_value)
+
+    # ------------------------------------------------------------------
+    # Complex types
+
+    def _parse_complex_type(self, elem: XmlElement) -> ComplexType:
+        self._push_env(elem)
+        try:
+            mixed = elem.get("mixed", "false") in ("true", "1")
+            children = self._xsd_children(elem)
+            if children and children[0].name.local == "simpleContent":
+                if mixed:
+                    raise SchemaSyntaxError(
+                        "simpleContent cannot be mixed")
+                return self._parse_simple_content(children[0])
+            group: GroupDefinition | None = None
+            attributes: list[tuple[str, TypeName | InlineSimpleType]] = []
+            for child in children:
+                if child.name.local == "all":
+                    if group is not None:
+                        raise SchemaSyntaxError(
+                            "at most one content group per complex type")
+                    group = self._parse_all(child)
+                elif child.name.local in ("sequence", "choice"):
+                    if group is not None:
+                        raise SchemaSyntaxError(
+                            "at most one content group per complex type")
+                    if attributes:
+                        raise SchemaSyntaxError(
+                            "the content group must precede attributes")
+                    group = self._parse_group(child)
+                elif child.name.local == "attribute":
+                    attributes.append(self._parse_attribute(child))
+                else:
+                    raise SchemaSyntaxError(
+                        f"unsupported construct xsd:{child.name.local} "
+                        "inside complexType")
+            return ComplexContentType(
+                mixed=mixed, group=group,
+                attributes=AttributeDeclarations(tuple(attributes)))
+        finally:
+            self._pop_env()
+
+    def _parse_simple_content(self, elem: XmlElement) -> ComplexType:
+        from repro.schema.ast import SimpleContentType
+        children = self._xsd_children(elem)
+        if len(children) != 1 or children[0].name.local != "extension":
+            raise SchemaSyntaxError(
+                "simpleContent must hold exactly one xsd:extension")
+        extension = children[0]
+        self._push_env(extension)
+        try:
+            base = TypeName(self._resolve_value_qname(
+                self._required(extension, "base")))
+            attributes = []
+            for child in self._xsd_children(extension):
+                if child.name.local != "attribute":
+                    raise SchemaSyntaxError(
+                        "only attributes may extend a simple content base")
+                attributes.append(self._parse_attribute(child))
+            return SimpleContentType(
+                base=base,
+                attributes=AttributeDeclarations(tuple(attributes)))
+        finally:
+            self._pop_env()
+
+    def _parse_group(self, elem: XmlElement) -> GroupDefinition:
+        combination = (CombinationFactor.SEQUENCE
+                       if elem.name.local == "sequence"
+                       else CombinationFactor.CHOICE)
+        repetition = self._parse_repetition(elem)
+        members: list[GroupMember] = []
+        for child in self._xsd_children(elem):
+            if child.name.local == "element":
+                members.append(self._parse_element_declaration(child))
+            elif child.name.local in ("sequence", "choice"):
+                members.append(self._parse_group(child))
+            else:
+                raise SchemaSyntaxError(
+                    f"unsupported group member xsd:{child.name.local}")
+        return GroupDefinition(
+            members=tuple(members),
+            combination=combination,
+            repetition=repetition)
+
+    def _parse_all(self, elem: XmlElement) -> AllGroup:
+        repetition = self._parse_repetition(elem)
+        members: list[ElementDeclaration] = []
+        for child in self._xsd_children(elem):
+            if child.name.local != "element":
+                raise SchemaSyntaxError(
+                    "xsd:all may only hold element declarations")
+            members.append(self._parse_element_declaration(child))
+        return AllGroup(members=tuple(members), repetition=repetition)
+
+    def _parse_attribute(
+            self, elem: XmlElement) -> tuple[str, TypeName | InlineSimpleType]:
+        self._push_env(elem)
+        try:
+            name = self._required(elem, "name")
+            type_attr = elem.get("type")
+            children = self._xsd_children(elem)
+            if type_attr is not None:
+                return name, TypeName(self._resolve_value_qname(type_attr))
+            if children and children[0].name.local == "simpleType":
+                return name, InlineSimpleType(
+                    self._parse_simple_type(children[0]))
+            return name, TypeName(QName(XSD_NAMESPACE, "string", "xs"))
+        finally:
+            self._pop_env()
+
+    # ------------------------------------------------------------------
+    # Simple types (extension: inline restriction / list / union)
+
+    def _parse_simple_type(self, elem: XmlElement,
+                           name: QName | None = None) -> SimpleType:
+        self._push_env(elem)
+        try:
+            children = self._xsd_children(elem)
+            if len(children) != 1:
+                raise SchemaSyntaxError(
+                    "simpleType must hold exactly one of "
+                    "restriction/list/union")
+            body = children[0]
+            if body.name.local == "restriction":
+                return self._parse_restriction(body, name)
+            if body.name.local == "list":
+                return self._parse_list(body, name)
+            if body.name.local == "union":
+                return self._parse_union(body, name)
+            raise SchemaSyntaxError(
+                f"unsupported simpleType body xsd:{body.name.local}")
+        finally:
+            self._pop_env()
+
+    def _lookup_simple(self, lexical: str) -> SimpleType:
+        qname = self._resolve_value_qname(lexical)
+        return self._registry.lookup_simple(qname)
+
+    def _parse_restriction(self, elem: XmlElement,
+                           name: QName | None) -> SimpleType:
+        base = self._lookup_simple(self._required(elem, "base"))
+        facets: list[Facet] = []
+        patterns: list[str] = []
+        enum_values: list[object] = []
+        for child in self._xsd_children(elem):
+            local = child.name.local
+            value = self._required(child, "value")
+            if local in _BOUND_FACETS:
+                facets.append(_BOUND_FACETS[local](base.parse(value)))
+            elif local in _INT_FACETS:
+                facets.append(_INT_FACETS[local](int(value)))
+            elif local == "pattern":
+                patterns.append(value)
+            elif local == "enumeration":
+                enum_values.append(base.parse(value))
+            elif local == "whiteSpace":
+                facets.append(WhiteSpaceFacet(value))
+            else:
+                raise SchemaSyntaxError(f"unsupported facet xsd:{local}")
+        if patterns:
+            facets.append(PatternFacet(tuple(patterns)))
+        if enum_values:
+            facets.append(EnumerationFacet(tuple(enum_values)))
+        return base.restrict(facets, name=name)
+
+    def _parse_list(self, elem: XmlElement,
+                    name: QName | None) -> SimpleType:
+        item_attr = elem.get("itemType")
+        if item_attr is not None:
+            item_type = self._lookup_simple(item_attr)
+        else:
+            children = self._xsd_children(elem)
+            if len(children) != 1 or children[0].name.local != "simpleType":
+                raise SchemaSyntaxError(
+                    "xsd:list needs an itemType or inline simpleType")
+            item_type = self._parse_simple_type(children[0])
+        return ListType(name, item_type)
+
+    def _parse_union(self, elem: XmlElement,
+                     name: QName | None) -> SimpleType:
+        members: list[SimpleType] = []
+        member_attr = elem.get("memberTypes")
+        if member_attr:
+            for lexical in member_attr.split():
+                members.append(self._lookup_simple(lexical))
+        for child in self._xsd_children(elem):
+            if child.name.local != "simpleType":
+                raise SchemaSyntaxError(
+                    "only simpleType children allowed inside xsd:union")
+            members.append(self._parse_simple_type(child))
+        return UnionType(name, members)
+
+
+def parse_schema(text: str,
+                 registry: TypeRegistry | None = None) -> DocumentSchema:
+    """Parse XSD source text into a :class:`DocumentSchema`."""
+    return SchemaParser(registry).parse(text)

@@ -1,0 +1,247 @@
+"""Serialization of the abstract syntax back to XSD source text.
+
+``write_schema(parse_schema(text))`` produces a schema that re-parses
+to an equivalent abstract syntax tree, which the round-trip tests
+verify for every example in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.xmlio.nodes import XmlDocument, XmlElement
+from repro.xmlio.qname import XSD_NAMESPACE, QName
+from repro.xmlio.serializer import serialize_document
+from repro.xsdtypes.base import AtomicType, ListType, SimpleType, UnionType
+from repro.xsdtypes.facets import (
+    EnumerationFacet,
+    Facet,
+    FractionDigitsFacet,
+    LengthFacet,
+    MaxExclusiveFacet,
+    MaxInclusiveFacet,
+    MaxLengthFacet,
+    MinExclusiveFacet,
+    MinInclusiveFacet,
+    MinLengthFacet,
+    PatternFacet,
+    TotalDigitsFacet,
+    WhiteSpaceFacet,
+)
+from repro.schema.ast import (
+    AllGroup,
+    ComplexContentType,
+    DocumentSchema,
+    ElementDeclaration,
+    GroupDefinition,
+    InlineSimpleType,
+    RepetitionFactor,
+    SimpleContentType,
+    TypeName,
+    TypeRef,
+)
+
+_FACET_NAMES: tuple[tuple[type, str], ...] = (
+    (LengthFacet, "length"),
+    (MinLengthFacet, "minLength"),
+    (MaxLengthFacet, "maxLength"),
+    (MinInclusiveFacet, "minInclusive"),
+    (MinExclusiveFacet, "minExclusive"),
+    (MaxInclusiveFacet, "maxInclusive"),
+    (MaxExclusiveFacet, "maxExclusive"),
+    (TotalDigitsFacet, "totalDigits"),
+    (FractionDigitsFacet, "fractionDigits"),
+    (WhiteSpaceFacet, "whiteSpace"),
+)
+
+
+class SchemaWriter:
+    """Writes a :class:`DocumentSchema` as XSD source."""
+
+    def __init__(self, schema: DocumentSchema) -> None:
+        self._schema = schema
+
+    def to_document(self) -> XmlDocument:
+        """Build the ``xsd:schema`` element tree."""
+        decls = {"xsd": XSD_NAMESPACE}
+        attrs: dict[QName, str] = {}
+        if self._schema.target_namespace:
+            attrs[QName("", "targetNamespace")] = (
+                self._schema.target_namespace)
+            decls[""] = self._schema.target_namespace
+            attrs[QName("", "elementFormDefault")] = "qualified"
+        root = XmlElement(self._xsd("schema"), attributes=attrs,
+                          namespace_decls=decls)
+        for qname, definition in self._schema.complex_types.items():
+            elem = self._complex_type(definition)
+            elem.attributes = {QName("", "name"): qname.local,
+                               **elem.attributes}
+            root.append(elem)
+        root.append(self._element(self._schema.root_element))
+        return XmlDocument(root)
+
+    def to_text(self, indent: str | None = " ") -> str:
+        """Serialize to XSD source text."""
+        return serialize_document(self.to_document(), indent=indent)
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _xsd(local: str) -> QName:
+        return QName(XSD_NAMESPACE, local, "xsd")
+
+    def _type_lexical(self, name: TypeName) -> str:
+        qname = name.qname
+        if qname.uri == XSD_NAMESPACE:
+            return f"xsd:{qname.local}"
+        if qname.uri in ("", self._schema.target_namespace):
+            return qname.local
+        raise SchemaError(
+            f"cannot serialize foreign type reference {qname.clark}")
+
+    def _element(self, declaration: ElementDeclaration) -> XmlElement:
+        attrs: dict[QName, str] = {QName("", "name"): declaration.name}
+        children: list[XmlElement] = []
+        if isinstance(declaration.type, TypeName):
+            attrs[QName("", "type")] = self._type_lexical(declaration.type)
+        elif isinstance(declaration.type, InlineSimpleType):
+            children.append(
+                self._simple_type(declaration.type.simple_type))
+        else:
+            children.append(self._complex_type(declaration.type))
+        self._put_repetition(attrs, declaration.repetition)
+        if declaration.nillable:
+            attrs[QName("", "nillable")] = "true"
+        element = XmlElement(self._xsd("element"), attributes=attrs)
+        for child in children:
+            element.append(child)
+        return element
+
+    @staticmethod
+    def _put_repetition(attrs: dict[QName, str],
+                        repetition: RepetitionFactor) -> None:
+        if repetition.minimum != 1:
+            attrs[QName("", "minOccurs")] = str(repetition.minimum)
+        if repetition.maximum != 1:
+            attrs[QName("", "maxOccurs")] = str(repetition.maximum)
+
+    def _complex_type(self, definition: TypeRef) -> XmlElement:
+        element = XmlElement(self._xsd("complexType"))
+        if isinstance(definition, SimpleContentType):
+            content = XmlElement(self._xsd("simpleContent"))
+            extension = XmlElement(
+                self._xsd("extension"),
+                attributes={QName("", "base"):
+                            self._type_lexical(definition.base)})
+            for name, type_ref in definition.attributes:
+                extension.append(self._attribute(name, type_ref))
+            content.append(extension)
+            element.append(content)
+            return element
+        if not isinstance(definition, ComplexContentType):
+            raise SchemaError(f"not a complex type: {definition!r}")
+        if definition.mixed:
+            element.attributes[QName("", "mixed")] = "true"
+        if definition.group is not None:
+            element.append(self._group(definition.group))
+        for name, type_ref in definition.attributes:
+            element.append(self._attribute(name, type_ref))
+        return element
+
+    def _group(self, group: "GroupDefinition | AllGroup") -> XmlElement:
+        attrs: dict[QName, str] = {}
+        self._put_repetition(attrs, group.repetition)
+        if isinstance(group, AllGroup):
+            element = XmlElement(self._xsd("all"), attributes=attrs)
+            for member in group.members:
+                element.append(self._element(member))
+            return element
+        element = XmlElement(self._xsd(group.combination.value),
+                             attributes=attrs)
+        for member in group.members:
+            if isinstance(member, ElementDeclaration):
+                element.append(self._element(member))
+            else:
+                element.append(self._group(member))
+        return element
+
+    def _attribute(self, name: str,
+                   type_ref: "TypeName | InlineSimpleType") -> XmlElement:
+        attrs = {QName("", "name"): name}
+        element = XmlElement(self._xsd("attribute"), attributes=attrs)
+        if isinstance(type_ref, TypeName):
+            attrs[QName("", "type")] = self._type_lexical(type_ref)
+        else:
+            element.append(self._simple_type(type_ref.simple_type))
+        return element
+
+    def _simple_type(self, simple: SimpleType) -> XmlElement:
+        element = XmlElement(self._xsd("simpleType"))
+        if isinstance(simple, ListType):
+            body = XmlElement(self._xsd("list"))
+            item = simple.item_type
+            if item.name is not None:
+                body.attributes[QName("", "itemType")] = (
+                    self._type_lexical(TypeName(item.name)))
+            else:
+                body.append(self._simple_type(item))
+            element.append(body)
+            return element
+        if isinstance(simple, UnionType):
+            body = XmlElement(self._xsd("union"))
+            named = [m for m in simple.member_types if m.name is not None]
+            anonymous = [m for m in simple.member_types if m.name is None]
+            if named:
+                body.attributes[QName("", "memberTypes")] = " ".join(
+                    self._type_lexical(TypeName(m.name)) for m in named)
+            for member in anonymous:
+                body.append(self._simple_type(member))
+            element.append(body)
+            return element
+        if not isinstance(simple, AtomicType) or simple.base is None:
+            raise SchemaError(
+                f"cannot serialize simple type {simple.type_name}")
+        base = simple.base
+        if not isinstance(base, SimpleType) or base.name is None:
+            raise SchemaError(
+                "anonymous restriction requires a named base type")
+        body = XmlElement(
+            self._xsd("restriction"),
+            attributes={QName("", "base"):
+                        self._type_lexical(TypeName(base.name))})
+        for facet in simple.facets:
+            for facet_elem in self._facet_elements(facet, base):
+                body.append(facet_elem)
+        element.append(body)
+        return element
+
+    def _facet_elements(self, facet: Facet,
+                        base: SimpleType) -> list[XmlElement]:
+        if isinstance(facet, PatternFacet):
+            return [XmlElement(self._xsd("pattern"),
+                               attributes={QName("", "value"): pattern})
+                    for pattern in facet.patterns]
+        if isinstance(facet, EnumerationFacet):
+            return [XmlElement(self._xsd("enumeration"),
+                               attributes={QName("", "value"):
+                                           base.canonical(value)})
+                    for value in facet.values]
+        for facet_cls, local in _FACET_NAMES:
+            if isinstance(facet, facet_cls):
+                if isinstance(facet, WhiteSpaceFacet):
+                    value = facet.mode
+                elif isinstance(facet, (MinInclusiveFacet, MinExclusiveFacet,
+                                        MaxInclusiveFacet,
+                                        MaxExclusiveFacet)):
+                    value = base.canonical(facet.bound)
+                else:
+                    value = str(getattr(facet, "length", None)
+                                if hasattr(facet, "length")
+                                else facet.digits)
+                return [XmlElement(self._xsd(local),
+                                   attributes={QName("", "value"): value})]
+        raise SchemaError(f"cannot serialize facet {facet!r}")
+
+
+def write_schema(schema: DocumentSchema, indent: str | None = " ") -> str:
+    """Serialize *schema* to XSD source text."""
+    return SchemaWriter(schema).to_text(indent=indent)

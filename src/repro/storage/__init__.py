@@ -1,0 +1,49 @@
+"""The Sedna physical representation of Section 9.
+
+Descriptive schema (9.1), data blocks and node descriptors (9.2), and
+the numbering scheme (9.3), assembled by :class:`StorageEngine`.
+"""
+
+from repro.storage.blocks import BLOCK_HEADER_BYTES, Block
+from repro.storage.descriptor import (
+    NO_SLOT,
+    POINTER_BYTES,
+    SHORT_POINTER_BYTES,
+    NodeDescriptor,
+)
+from repro.storage.dschema import DescriptiveSchema, SchemaNode
+from repro.storage.engine import StorageEngine
+from repro.storage.persist import dump_engine, dumps_engine, load_engine
+from repro.storage.labels import (
+    NidLabel,
+    NumberingScheme,
+    before,
+    compare,
+    equal,
+    is_ancestor,
+    is_parent,
+    label_length_stats,
+)
+
+__all__ = [
+    "BLOCK_HEADER_BYTES",
+    "Block",
+    "DescriptiveSchema",
+    "NO_SLOT",
+    "NidLabel",
+    "NodeDescriptor",
+    "NumberingScheme",
+    "POINTER_BYTES",
+    "SHORT_POINTER_BYTES",
+    "SchemaNode",
+    "StorageEngine",
+    "dump_engine",
+    "dumps_engine",
+    "load_engine",
+    "before",
+    "compare",
+    "equal",
+    "is_ancestor",
+    "is_parent",
+    "label_length_stats",
+]

@@ -1,0 +1,184 @@
+"""Data blocks — the storage unit of Section 9.2.
+
+Every schema node owns a bidirectional list of fixed-capacity blocks.
+The invariant the paper states: descriptors are **partially ordered**
+across blocks (everything in block *i* precedes everything in block
+*j* for *i* < *j* in the list) while descriptors *within* one block are
+unordered in memory — document order inside a block is reconstructed
+through the 2-byte ``next_in_block``/``prev_in_block`` short pointers.
+This split "has been made to simplify updates": an insertion only
+touches one block (or splits it), never shifts neighbours.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.errors import StorageError
+from repro.storage.descriptor import NO_SLOT, NodeDescriptor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.dschema import SchemaNode
+
+#: Modelled block header size in bytes (schema-node pointer + chain
+#: pointers + the in-order chain anchors + the occupancy map).
+BLOCK_HEADER_BYTES = 8 * 4 + 8
+
+
+class Block:
+    """One fixed-capacity block of node descriptors."""
+
+    __slots__ = ("schema_node", "capacity", "slots", "count",
+                 "next_block", "prev_block", "first_slot", "last_slot",
+                 "block_id")
+
+    _next_id = 0
+
+    def __init__(self, schema_node: "SchemaNode", capacity: int) -> None:
+        if capacity < 2:
+            raise StorageError("block capacity must be at least 2")
+        self.schema_node = schema_node
+        self.capacity = capacity
+        self.slots: list[Optional[NodeDescriptor]] = [None] * capacity
+        self.count = 0
+        self.next_block: Optional[Block] = None
+        self.prev_block: Optional[Block] = None
+        # Anchors of the in-block document-order chain (slot numbers).
+        self.first_slot: int = NO_SLOT
+        self.last_slot: int = NO_SLOT
+        self.block_id = Block._next_id
+        Block._next_id += 1
+
+    # -- basic bookkeeping ---------------------------------------------------
+
+    @property
+    def is_full(self) -> bool:
+        return self.count >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    def _free_slot(self) -> int:
+        for index, slot in enumerate(self.slots):
+            if slot is None:
+                return index
+        raise StorageError("no free slot in a non-full block")
+
+    # -- the in-block document-order chain ---------------------------------
+
+    def iter_in_order(self) -> Iterator[NodeDescriptor]:
+        """Descriptors of this block in document order (short-pointer
+        chain), regardless of their physical slot positions."""
+        slot = self.first_slot
+        while slot != NO_SLOT:
+            descriptor = self.slots[slot]
+            if descriptor is None:  # pragma: no cover - invariant
+                raise StorageError("order chain references a free slot")
+            yield descriptor
+            slot = descriptor.next_in_block
+
+    def first_descriptor(self) -> Optional[NodeDescriptor]:
+        if self.first_slot == NO_SLOT:
+            return None
+        return self.slots[self.first_slot]
+
+    def last_descriptor(self) -> Optional[NodeDescriptor]:
+        if self.last_slot == NO_SLOT:
+            return None
+        return self.slots[self.last_slot]
+
+    # -- insertion and removal ---------------------------------------------
+
+    def insert_after(self, descriptor: NodeDescriptor,
+                     predecessor: Optional[NodeDescriptor]) -> None:
+        """Place *descriptor* into any free slot, linked into the order
+        chain right after *predecessor* (None = at the front)."""
+        if self.is_full:
+            raise StorageError("insert into a full block")
+        if predecessor is not None and predecessor.block is not self:
+            raise StorageError("predecessor lives in a different block")
+        slot = self._free_slot()
+        self.slots[slot] = descriptor
+        descriptor.block = self
+        descriptor.slot = slot
+        self.count += 1
+        if predecessor is None:
+            descriptor.prev_in_block = NO_SLOT
+            descriptor.next_in_block = self.first_slot
+            if self.first_slot != NO_SLOT:
+                self.slots[self.first_slot].prev_in_block = slot
+            self.first_slot = slot
+            if self.last_slot == NO_SLOT:
+                self.last_slot = slot
+        else:
+            descriptor.prev_in_block = predecessor.slot
+            descriptor.next_in_block = predecessor.next_in_block
+            if predecessor.next_in_block != NO_SLOT:
+                self.slots[predecessor.next_in_block].prev_in_block = slot
+            predecessor.next_in_block = slot
+            if self.last_slot == predecessor.slot:
+                self.last_slot = slot
+
+    def remove(self, descriptor: NodeDescriptor) -> None:
+        """Unlink *descriptor* from the chain and free its slot."""
+        if descriptor.block is not self:
+            raise StorageError("descriptor lives in a different block")
+        prev_slot = descriptor.prev_in_block
+        next_slot = descriptor.next_in_block
+        if prev_slot != NO_SLOT:
+            self.slots[prev_slot].next_in_block = next_slot
+        else:
+            self.first_slot = next_slot
+        if next_slot != NO_SLOT:
+            self.slots[next_slot].prev_in_block = prev_slot
+        else:
+            self.last_slot = prev_slot
+        self.slots[descriptor.slot] = None
+        descriptor.block = None
+        descriptor.slot = NO_SLOT
+        descriptor.next_in_block = NO_SLOT
+        descriptor.prev_in_block = NO_SLOT
+        self.count -= 1
+
+    def split(self) -> "Block":
+        """Move the upper half of the order chain into a new block
+        linked right after this one; returns the new block."""
+        ordered = list(self.iter_in_order())
+        keep = ordered[:len(ordered) // 2]
+        move = ordered[len(ordered) // 2:]
+        sibling = Block(self.schema_node, self.capacity)
+        # Rebuild this block with the kept half.
+        for descriptor in ordered:
+            self.slots[descriptor.slot] = None
+        self.count = 0
+        self.first_slot = NO_SLOT
+        self.last_slot = NO_SLOT
+        previous: Optional[NodeDescriptor] = None
+        for descriptor in keep:
+            descriptor.block = None
+            self.insert_after(descriptor, previous)
+            previous = descriptor
+        previous = None
+        for descriptor in move:
+            descriptor.block = None
+            sibling.insert_after(descriptor, previous)
+            previous = descriptor
+        # Link the sibling into the chain.
+        sibling.next_block = self.next_block
+        sibling.prev_block = self
+        if self.next_block is not None:
+            self.next_block.prev_block = sibling
+        self.next_block = sibling
+        if self.schema_node.last_block is self:
+            self.schema_node.last_block = sibling
+        return sibling
+
+    def size_bytes(self) -> int:
+        """Modelled block footprint: header + descriptor payloads."""
+        payload = sum(d.size_bytes() for d in self.slots if d is not None)
+        return BLOCK_HEADER_BYTES + payload
+
+    def __repr__(self) -> str:
+        return (f"Block#{self.block_id}({self.schema_node.step!r}, "
+                f"{self.count}/{self.capacity})")

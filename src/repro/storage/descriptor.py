@@ -1,0 +1,91 @@
+"""Node descriptors — the physical node representation of Example 10.
+
+A descriptor carries exactly the fields of the paper's figure:
+
+* ``parent`` pointer,
+* ``left_sibling`` / ``right_sibling`` pointers,
+* the ``nid`` numbering label,
+* ``next_in_block`` / ``prev_in_block`` *short* (2-byte) pointers that
+  reconstruct document order among the unordered descriptors of one
+  block,
+* for element (and document) nodes, pointers to the *first* child per
+  schema child rather than to every child,
+
+plus the text value for the "text-enabled" kinds (text and attribute
+nodes), which Sedna stores out of line.  Pointer sizes are modelled
+explicitly so the benchmarks can report bytes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.storage.labels import NidLabel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.blocks import Block
+    from repro.storage.dschema import SchemaNode
+
+#: Modelled size of a full node pointer, in bytes.
+POINTER_BYTES = 8
+#: Modelled size of an in-block short pointer, in bytes (paper: 2).
+SHORT_POINTER_BYTES = 2
+#: The null slot value of the in-block short pointers.
+NO_SLOT = -1
+
+
+class NodeDescriptor:
+    """The physical representation of one node instance."""
+
+    __slots__ = ("schema_node", "nid", "parent", "left_sibling",
+                 "right_sibling", "next_in_block", "prev_in_block",
+                 "children_by_schema", "value", "block", "slot")
+
+    def __init__(self, schema_node: "SchemaNode", nid: NidLabel,
+                 value: str | None = None) -> None:
+        self.schema_node = schema_node
+        self.nid = nid
+        self.parent: Optional[NodeDescriptor] = None
+        self.left_sibling: Optional[NodeDescriptor] = None
+        self.right_sibling: Optional[NodeDescriptor] = None
+        # Short pointers: slot numbers within this descriptor's block.
+        self.next_in_block: int = NO_SLOT
+        self.prev_in_block: int = NO_SLOT
+        # First child per schema child index (sparse map).
+        self.children_by_schema: dict[int, NodeDescriptor] = {}
+        self.value = value
+        self.block: "Block | None" = None
+        self.slot: int = NO_SLOT
+
+    # -- derived properties ------------------------------------------------
+
+    @property
+    def node_type(self) -> str:
+        return self.schema_node.node_type
+
+    @property
+    def is_text_enabled(self) -> bool:
+        """Text and attribute descriptors carry a value."""
+        return self.node_type in ("text", "attribute")
+
+    def first_child_for(self, schema_child_index: int
+                        ) -> "NodeDescriptor | None":
+        """The stored pointer to the first child by schema (§9.2)."""
+        return self.children_by_schema.get(schema_child_index)
+
+    def size_bytes(self) -> int:
+        """The modelled descriptor size.
+
+        Three full pointers + two short pointers + the nid symbols
+        (one byte per symbol) + one full pointer per schema child
+        pointer actually stored.
+        """
+        size = 3 * POINTER_BYTES
+        size += 2 * SHORT_POINTER_BYTES
+        size += len(self.nid)
+        size += POINTER_BYTES * len(self.children_by_schema)
+        return size
+
+    def __repr__(self) -> str:
+        return (f"NodeDescriptor({self.schema_node.step!r}, "
+                f"{self.nid!r})")

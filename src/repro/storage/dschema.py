@@ -1,0 +1,162 @@
+"""The descriptive schema of Section 9.1 (a DataGuide [13]).
+
+Formally (paper): schema nodes are pairs ``E = (name, type)`` and the
+descriptive schema of a document tree X is the unique tree X' such that
+every root-to-node path of X appears exactly once in X' and vice versa.
+The node→schema-node mapping is surjective.
+
+Text nodes have no name; their schema node's name is ``None`` and
+their path step is rendered ``#text`` (attributes render ``@name``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.errors import StorageError
+from repro.xmlio.qname import QName
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.blocks import Block
+
+_NODE_TYPES = ("document", "element", "attribute", "text")
+
+
+class SchemaNode:
+    """One node of the descriptive schema: a (name, type) pair plus the
+    tree structure and the entry point to its block list (Section 9.2)."""
+
+    __slots__ = ("name", "node_type", "parent", "children",
+                 "first_block", "last_block", "descriptor_count")
+
+    def __init__(self, name: Optional[QName], node_type: str,
+                 parent: "SchemaNode | None") -> None:
+        if node_type not in _NODE_TYPES:
+            raise StorageError(f"unknown schema node type {node_type!r}")
+        if node_type in ("element", "attribute") and name is None:
+            raise StorageError(f"{node_type} schema nodes need a name")
+        if node_type in ("document", "text") and name is not None:
+            raise StorageError(f"{node_type} schema nodes are nameless")
+        self.name = name
+        self.node_type = node_type
+        self.parent = parent
+        self.children: list[SchemaNode] = []
+        self.first_block: "Block | None" = None
+        self.last_block: "Block | None" = None
+        self.descriptor_count = 0
+
+    # -- structure --------------------------------------------------------
+
+    @property
+    def step(self) -> str:
+        """The path step this node contributes (``book``, ``@id``,
+        ``#text``, ``#document``)."""
+        if self.node_type == "document":
+            return "#document"
+        if self.node_type == "text":
+            return "#text"
+        prefix = "@" if self.node_type == "attribute" else ""
+        return f"{prefix}{self.name.local}"
+
+    @property
+    def path(self) -> str:
+        """Slash-separated root-to-here path (document step omitted)."""
+        steps: list[str] = []
+        node: SchemaNode | None = self
+        while node is not None and node.node_type != "document":
+            steps.append(node.step)
+            node = node.parent
+        steps.reverse()
+        return "/".join(steps)
+
+    def child_index(self, child: "SchemaNode") -> int:
+        for index, candidate in enumerate(self.children):
+            if candidate is child:
+                return index
+        raise StorageError(f"{child!r} is not a child of {self!r}")
+
+    def find_child(self, name: Optional[QName],
+                   node_type: str) -> "SchemaNode | None":
+        for child in self.children:
+            if child.node_type == node_type and child.name == name:
+                return child
+        return None
+
+    def element_children(self) -> list["SchemaNode"]:
+        return [c for c in self.children if c.node_type == "element"]
+
+    def attribute_children(self) -> list["SchemaNode"]:
+        return [c for c in self.children if c.node_type == "attribute"]
+
+    # -- block chain -------------------------------------------------------
+
+    def blocks(self) -> Iterator["Block"]:
+        block = self.first_block
+        while block is not None:
+            yield block
+            block = block.next_block
+
+    def block_count(self) -> int:
+        return sum(1 for _ in self.blocks())
+
+    def __repr__(self) -> str:
+        return f"SchemaNode({self.step!r}, {self.descriptor_count} nodes)"
+
+
+class DescriptiveSchema:
+    """The schema tree with get-or-create path extension."""
+
+    def __init__(self) -> None:
+        self.root = SchemaNode(None, "document", None)
+        self._count = 1
+
+    def get_or_add_child(self, parent: SchemaNode, name: Optional[QName],
+                         node_type: str) -> SchemaNode:
+        """The schema child for a (name, type) step, created on demand.
+
+        Creation keeps the defining property: each document path has
+        exactly one schema path.
+        """
+        existing = parent.find_child(name, node_type)
+        if existing is not None:
+            return existing
+        child = SchemaNode(name, node_type, parent)
+        parent.children.append(child)
+        self._count += 1
+        return child
+
+    def node_count(self) -> int:
+        return self._count
+
+    def iter_nodes(self) -> Iterator[SchemaNode]:
+        """Pre-order traversal of the schema tree."""
+        def walk(node: SchemaNode) -> Iterator[SchemaNode]:
+            yield node
+            for child in node.children:
+                yield from walk(child)
+        return walk(self.root)
+
+    def paths(self) -> list[tuple[str, str]]:
+        """All (path, node type) pairs — the figure of Example 8."""
+        return [(node.path, node.node_type)
+                for node in self.iter_nodes()
+                if node.node_type != "document"]
+
+    def find_path(self, path: str) -> SchemaNode | None:
+        """Look up a schema node by its slash path (as in :meth:`paths`)."""
+        node = self.root
+        if not path:
+            return node
+        for step in path.split("/"):
+            found = None
+            for child in node.children:
+                if child.step == step:
+                    found = child
+                    break
+            if found is None:
+                return None
+            node = found
+        return node
+
+    def __repr__(self) -> str:
+        return f"DescriptiveSchema({self._count} schema nodes)"

@@ -1,0 +1,591 @@
+"""The Sedna-style storage engine (Section 9).
+
+The engine owns a descriptive schema, a numbering scheme and the block
+store.  Loading a document distributes its node descriptors into
+per-schema-node block lists; every accessor of the Section 5 data model
+is then answered from descriptor + schema-node data alone (the claim of
+Section 9.2), and updates insert or delete descriptors **without ever
+relabeling** existing nodes (Proposition 1) and without shifting
+descriptors inside blocks (the unordered-block design).
+
+Instrumentation counters (splits, inserts, relabels) feed the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import StorageError
+from repro.xmlio.nodes import XmlDocument, XmlElement, XmlText
+from repro.xmlio.qname import QName
+from repro.xdm.node import DocumentNode, ElementNode, Node, TextNode
+from repro.storage.blocks import Block
+from repro.storage.descriptor import NodeDescriptor
+from repro.storage.dschema import DescriptiveSchema, SchemaNode
+from repro.storage.labels import (
+    NidLabel,
+    NumberingScheme,
+    before,
+    is_ancestor,
+)
+
+
+class StorageEngine:
+    """One stored document: descriptive schema + blocks + labels."""
+
+    def __init__(self, base: int = 256, block_capacity: int = 64) -> None:
+        self.schema = DescriptiveSchema()
+        self.numbering = NumberingScheme(base)
+        self.block_capacity = block_capacity
+        self.document: Optional[NodeDescriptor] = None
+        # Instrumentation.
+        self.insert_count = 0
+        self.delete_count = 0
+        self.split_count = 0
+        self.relabel_count = 0  # stays 0: Proposition 1
+        self._preserve_whitespace = False
+
+    # ==================================================================
+    # Loading
+
+    def load_document(self, document: XmlDocument,
+                      preserve_whitespace: bool = False) -> NodeDescriptor:
+        """Bulk-load a raw parsed document.
+
+        With the default ``preserve_whitespace=False``, whitespace-only
+        text nodes between elements are dropped, which reproduces the
+        descriptive schema the paper draws for Example 8; pass True to
+        store every text node verbatim.
+        """
+        if self.document is not None:
+            raise StorageError("engine already holds a document")
+        self._preserve_whitespace = preserve_whitespace
+        root_descriptor = self._new_descriptor(
+            self.schema.root, self.numbering.root_label())
+        self._append_to_schema_blocks(root_descriptor)
+        self.document = root_descriptor
+        element = document.root
+        schema_node = self.schema.get_or_add_child(
+            self.schema.root, element.name, "element")
+        (label,) = self.numbering.child_labels(root_descriptor.nid, 1)
+        element_descriptor = self._new_descriptor(schema_node, label)
+        element_descriptor.parent = root_descriptor
+        self._append_to_schema_blocks(element_descriptor)
+        self._register_child_pointer(root_descriptor, element_descriptor)
+        self._load_children(
+            element_descriptor,
+            list(element.attributes.items()),
+            self._raw_children(element))
+        return root_descriptor
+
+    def load_tree(self, document: DocumentNode) -> NodeDescriptor:
+        """Bulk-load a data-model tree (Section 5 nodes)."""
+        if self.document is not None:
+            raise StorageError("engine already holds a document")
+        root_descriptor = self._new_descriptor(
+            self.schema.root, self.numbering.root_label())
+        self._append_to_schema_blocks(root_descriptor)
+        self.document = root_descriptor
+        element = document.document_element()
+        schema_node = self.schema.get_or_add_child(
+            self.schema.root, element.name, "element")
+        (label,) = self.numbering.child_labels(root_descriptor.nid, 1)
+        element_descriptor = self._new_descriptor(schema_node, label)
+        element_descriptor.parent = root_descriptor
+        self._append_to_schema_blocks(element_descriptor)
+        self._register_child_pointer(root_descriptor, element_descriptor)
+        self._load_xdm_children(element_descriptor, element)
+        return root_descriptor
+
+    def _raw_children(self, element: XmlElement) -> list[object]:
+        out: list[object] = []
+        for child in element.children:
+            if isinstance(child, XmlText):
+                if (not self._preserve_whitespace
+                        and not child.text.strip()):
+                    continue
+                out.append(("text", child.text))
+            else:
+                out.append(child)
+        return out
+
+    def _new_descriptor(self, schema_node: SchemaNode, nid: NidLabel,
+                        value: str | None = None) -> NodeDescriptor:
+        descriptor = NodeDescriptor(schema_node, nid, value=value)
+        return descriptor
+
+    def _load_children(self, parent_descriptor: NodeDescriptor,
+                       attributes: list[tuple[QName, str]],
+                       children: list[object]) -> None:
+        """Allocate labels and store attributes then children."""
+        labels = self.numbering.child_labels(
+            parent_descriptor.nid, len(attributes) + len(children))
+        cursor = 0
+        for name, value in attributes:
+            schema_node = self.schema.get_or_add_child(
+                parent_descriptor.schema_node, name, "attribute")
+            descriptor = self._new_descriptor(schema_node, labels[cursor],
+                                              value=value)
+            cursor += 1
+            descriptor.parent = parent_descriptor
+            self._append_to_schema_blocks(descriptor)
+            self._register_child_pointer(parent_descriptor, descriptor)
+        previous: Optional[NodeDescriptor] = None
+        for child in children:
+            if isinstance(child, tuple):  # ("text", value)
+                schema_node = self.schema.get_or_add_child(
+                    parent_descriptor.schema_node, None, "text")
+                descriptor = self._new_descriptor(
+                    schema_node, labels[cursor], value=child[1])
+                cursor += 1
+                grandchildren: list[object] = []
+                grand_attrs: list[tuple[QName, str]] = []
+            else:
+                element: XmlElement = child  # type: ignore[assignment]
+                schema_node = self.schema.get_or_add_child(
+                    parent_descriptor.schema_node, element.name, "element")
+                descriptor = self._new_descriptor(schema_node,
+                                                  labels[cursor])
+                cursor += 1
+                grand_attrs = list(element.attributes.items())
+                grandchildren = self._raw_children(element)
+            descriptor.parent = parent_descriptor
+            descriptor.left_sibling = previous
+            if previous is not None:
+                previous.right_sibling = descriptor
+            previous = descriptor
+            self._append_to_schema_blocks(descriptor)
+            self._register_child_pointer(parent_descriptor, descriptor)
+            if not descriptor.is_text_enabled:
+                self._load_children(descriptor, grand_attrs, grandchildren)
+
+    def _load_xdm_children(self, descriptor: NodeDescriptor,
+                           element: ElementNode) -> None:
+        attributes = [(a.node_name().head(), a.string_value())
+                      for a in element.attributes()]
+        node_children = list(element.children())
+        labels = self.numbering.child_labels(
+            descriptor.nid, len(attributes) + len(node_children))
+        cursor = 0
+        for name, value in attributes:
+            schema_node = self.schema.get_or_add_child(
+                descriptor.schema_node, name, "attribute")
+            attr_descriptor = self._new_descriptor(
+                schema_node, labels[cursor], value=value)
+            cursor += 1
+            attr_descriptor.parent = descriptor
+            self._append_to_schema_blocks(attr_descriptor)
+            self._register_child_pointer(descriptor, attr_descriptor)
+        previous: Optional[NodeDescriptor] = None
+        for child in node_children:
+            if isinstance(child, TextNode):
+                schema_node = self.schema.get_or_add_child(
+                    descriptor.schema_node, None, "text")
+                child_descriptor = self._new_descriptor(
+                    schema_node, labels[cursor],
+                    value=child.string_value())
+                cursor += 1
+            elif isinstance(child, ElementNode):
+                schema_node = self.schema.get_or_add_child(
+                    descriptor.schema_node, child.name, "element")
+                child_descriptor = self._new_descriptor(
+                    schema_node, labels[cursor])
+                cursor += 1
+            else:
+                raise StorageError(
+                    f"unsupported child kind {child.node_kind()!r}")
+            child_descriptor.parent = descriptor
+            child_descriptor.left_sibling = previous
+            if previous is not None:
+                previous.right_sibling = child_descriptor
+            previous = child_descriptor
+            self._append_to_schema_blocks(child_descriptor)
+            self._register_child_pointer(descriptor, child_descriptor)
+            if isinstance(child, ElementNode):
+                self._load_xdm_children(child_descriptor, child)
+
+    # ==================================================================
+    # Block placement
+
+    def _append_to_schema_blocks(self, descriptor: NodeDescriptor) -> None:
+        """Bulk-load placement: document order equals load order, so the
+        descriptor goes to the tail of its schema node's block list."""
+        schema_node = descriptor.schema_node
+        block = schema_node.last_block
+        if block is None:
+            block = Block(schema_node, self.block_capacity)
+            schema_node.first_block = block
+            schema_node.last_block = block
+        elif block.is_full:
+            fresh = Block(schema_node, self.block_capacity)
+            fresh.prev_block = block
+            block.next_block = fresh
+            schema_node.last_block = fresh
+            block = fresh
+        block.insert_after(descriptor, block.last_descriptor())
+        schema_node.descriptor_count += 1
+
+    def _place_descriptor(self, descriptor: NodeDescriptor) -> None:
+        """Update-path placement: find the document-order position among
+        the schema node's existing descriptors, splitting a full block
+        when needed.  Only the target block is touched."""
+        schema_node = descriptor.schema_node
+        if schema_node.first_block is None:
+            self._append_to_schema_blocks(descriptor)
+            return
+        target: Block | None = None
+        for block in schema_node.blocks():
+            last = block.last_descriptor()
+            if last is None or before(descriptor.nid, last.nid):
+                target = block
+                break
+        if target is None:
+            # Belongs after everything: append at the tail.
+            self._append_to_schema_blocks(descriptor)
+            return
+        if target.is_full:
+            sibling = target.split()
+            self.split_count += 1
+            first_of_sibling = sibling.first_descriptor()
+            if (first_of_sibling is not None
+                    and before(first_of_sibling.nid, descriptor.nid)):
+                target = sibling
+        predecessor: Optional[NodeDescriptor] = None
+        for candidate in target.iter_in_order():
+            if before(candidate.nid, descriptor.nid):
+                predecessor = candidate
+            else:
+                break
+        target.insert_after(descriptor, predecessor)
+        schema_node.descriptor_count += 1
+
+    # ==================================================================
+    # Accessor evaluation (descriptor + schema node only, §9.2)
+
+    def node_kind(self, descriptor: NodeDescriptor) -> str:
+        return descriptor.schema_node.node_type
+
+    def node_name(self, descriptor: NodeDescriptor) -> QName | None:
+        return descriptor.schema_node.name
+
+    def parent(self, descriptor: NodeDescriptor) -> NodeDescriptor | None:
+        return descriptor.parent
+
+    def children(self, descriptor: NodeDescriptor) -> list[NodeDescriptor]:
+        """The child sequence in document order, reconstructed from the
+        first-child-by-schema pointers and the sibling chain."""
+        first: Optional[NodeDescriptor] = None
+        for index, candidate in descriptor.children_by_schema.items():
+            if candidate.node_type == "attribute":
+                continue
+            if candidate.left_sibling is None:
+                first = candidate
+                break
+        out: list[NodeDescriptor] = []
+        node = first
+        while node is not None:
+            out.append(node)
+            node = node.right_sibling
+        return out
+
+    def first_child_by_schema(self, descriptor: NodeDescriptor,
+                              schema_child: SchemaNode
+                              ) -> NodeDescriptor | None:
+        """Direct use of the §9.2 pointer: the first child attributed
+        to *schema_child*, without scanning the sibling chain."""
+        index = descriptor.schema_node.child_index(schema_child)
+        return descriptor.first_child_for(index)
+
+    def children_via_schema_pointer(
+            self, descriptor: NodeDescriptor,
+            schema_child: SchemaNode) -> list[NodeDescriptor]:
+        """All children attributed to *schema_child*: jump to the first
+        via the stored pointer, then follow the sibling chain while the
+        schema node matches (children of one schema node are contiguous
+        only for element-recurring content; in general we filter)."""
+        first = self.first_child_by_schema(descriptor, schema_child)
+        out: list[NodeDescriptor] = []
+        node = first
+        while node is not None:
+            if node.schema_node is schema_child:
+                out.append(node)
+            node = node.right_sibling
+        return out
+
+    def attributes(self, descriptor: NodeDescriptor
+                   ) -> list[NodeDescriptor]:
+        out: list[NodeDescriptor] = []
+        for index, schema_child in enumerate(
+                descriptor.schema_node.children):
+            if schema_child.node_type != "attribute":
+                continue
+            attribute = descriptor.first_child_for(index)
+            if attribute is not None:
+                out.append(attribute)
+        return out
+
+    def string_value(self, descriptor: NodeDescriptor) -> str:
+        if descriptor.is_text_enabled:
+            return descriptor.value or ""
+        parts: list[str] = []
+        for child in self.children(descriptor):
+            if child.node_type == "text":
+                parts.append(child.value or "")
+            elif child.node_type == "element":
+                parts.append(self.string_value(child))
+        return "".join(parts)
+
+    # ==================================================================
+    # Scans
+
+    def iter_document_order(self, descriptor: NodeDescriptor | None = None
+                            ) -> Iterator[NodeDescriptor]:
+        """Whole-(sub)tree scan in document order (Section 7 rules)."""
+        if descriptor is None:
+            if self.document is None:
+                return
+            descriptor = self.document
+        yield descriptor
+        for attribute in self.attributes(descriptor):
+            yield attribute
+        for child in self.children(descriptor):
+            yield from self.iter_document_order(child)
+
+    def scan_schema_node(self, schema_node: SchemaNode
+                         ) -> Iterator[NodeDescriptor]:
+        """All instances of one schema node in document order: the block
+        chain gives the partial order, the short-pointer chain recovers
+        the order inside each block."""
+        for block in schema_node.blocks():
+            yield from block.iter_in_order()
+
+    def descendants_of(self, ancestor: NodeDescriptor,
+                       schema_node: SchemaNode
+                       ) -> Iterator[NodeDescriptor]:
+        """Instances of *schema_node* below *ancestor*, by label test."""
+        for descriptor in self.scan_schema_node(schema_node):
+            if is_ancestor(ancestor.nid, descriptor.nid):
+                yield descriptor
+
+    # ==================================================================
+    # Updates
+
+    def _children_of(self, parent: NodeDescriptor) -> list[NodeDescriptor]:
+        return self.children(parent)
+
+    def insert_child(self, parent: NodeDescriptor, index: int,
+                     name: QName | None = None,
+                     text: str | None = None) -> NodeDescriptor:
+        """Insert a new element (give *name*) or text node (give
+        *text*) at *index* among *parent*'s children.
+
+        No existing node is relabeled and no descriptor moves between
+        blocks except by an explicit split of the target block.
+        """
+        if (name is None) == (text is None):
+            raise StorageError("give exactly one of name= or text=")
+        if parent.is_text_enabled:
+            raise StorageError("text and attribute nodes have no children")
+        siblings = self._children_of(parent)
+        if not 0 <= index <= len(siblings):
+            raise StorageError(
+                f"index {index} out of range 0..{len(siblings)}")
+        left = siblings[index - 1] if index > 0 else None
+        right = siblings[index] if index < len(siblings) else None
+        nid = self.numbering.child_label(
+            parent.nid,
+            left.nid if left is not None else None,
+            right.nid if right is not None else None)
+        if name is not None:
+            schema_node = self.schema.get_or_add_child(
+                parent.schema_node, name, "element")
+            descriptor = self._new_descriptor(schema_node, nid)
+        else:
+            schema_node = self.schema.get_or_add_child(
+                parent.schema_node, None, "text")
+            descriptor = self._new_descriptor(schema_node, nid, value=text)
+        descriptor.parent = parent
+        descriptor.left_sibling = left
+        descriptor.right_sibling = right
+        if left is not None:
+            left.right_sibling = descriptor
+        if right is not None:
+            right.left_sibling = descriptor
+        self._place_descriptor(descriptor)
+        self._register_child_pointer(parent, descriptor)
+        self.insert_count += 1
+        return descriptor
+
+    def set_attribute(self, parent: NodeDescriptor, name: QName,
+                      value: str) -> NodeDescriptor:
+        """Attach an attribute descriptor (one per name per element)."""
+        schema_node = self.schema.get_or_add_child(
+            parent.schema_node, name, "attribute")
+        index = parent.schema_node.child_index(schema_node)
+        if parent.first_child_for(index) is not None:
+            raise StorageError(f"attribute {name.lexical} already present")
+        children = self._children_of(parent)
+        right = children[0] if children else None
+        existing = self.attributes(parent)
+        left = None
+        for attribute in existing:
+            if left is None or before(left.nid, attribute.nid):
+                left = attribute
+        nid = self.numbering.child_label(
+            parent.nid,
+            left.nid if left is not None else None,
+            right.nid if right is not None else None)
+        descriptor = self._new_descriptor(schema_node, nid, value=value)
+        descriptor.parent = parent
+        self._place_descriptor(descriptor)
+        parent.children_by_schema[index] = descriptor
+        self.insert_count += 1
+        return descriptor
+
+    def delete_subtree(self, descriptor: NodeDescriptor) -> int:
+        """Remove a node and its whole subtree; returns nodes removed."""
+        if descriptor is self.document:
+            raise StorageError("cannot delete the document node")
+        removed = 0
+        for attribute in list(self.attributes(descriptor)):
+            self._remove_descriptor(attribute)
+            removed += 1
+        for child in list(self.children(descriptor)):
+            removed += self.delete_subtree(child)
+        self._unlink_from_siblings(descriptor)
+        self._remove_descriptor(descriptor)
+        self.delete_count += 1
+        return removed + 1
+
+    def _unlink_from_siblings(self, descriptor: NodeDescriptor) -> None:
+        parent = descriptor.parent
+        left, right = descriptor.left_sibling, descriptor.right_sibling
+        if left is not None:
+            left.right_sibling = right
+        if right is not None:
+            right.left_sibling = left
+        if parent is not None:
+            schema_node = descriptor.schema_node
+            index = parent.schema_node.child_index(schema_node)
+            if parent.first_child_for(index) is descriptor:
+                # The next instance of the same schema node, if any.
+                node = right
+                replacement = None
+                while node is not None:
+                    if node.schema_node is schema_node:
+                        replacement = node
+                        break
+                    node = node.right_sibling
+                if replacement is None:
+                    parent.children_by_schema.pop(index, None)
+                else:
+                    parent.children_by_schema[index] = replacement
+        descriptor.left_sibling = None
+        descriptor.right_sibling = None
+
+    def _remove_descriptor(self, descriptor: NodeDescriptor) -> None:
+        block = descriptor.block
+        if block is None:
+            raise StorageError(f"{descriptor!r} is not stored")
+        schema_node = descriptor.schema_node
+        if descriptor.node_type == "attribute" and \
+                descriptor.parent is not None:
+            index = descriptor.parent.schema_node.child_index(schema_node)
+            if descriptor.parent.first_child_for(index) is descriptor:
+                descriptor.parent.children_by_schema.pop(index, None)
+        block.remove(descriptor)
+        schema_node.descriptor_count -= 1
+        if block.is_empty:
+            self._unlink_block(block)
+
+    def _unlink_block(self, block: Block) -> None:
+        schema_node = block.schema_node
+        if block.prev_block is not None:
+            block.prev_block.next_block = block.next_block
+        else:
+            schema_node.first_block = block.next_block
+        if block.next_block is not None:
+            block.next_block.prev_block = block.prev_block
+        else:
+            schema_node.last_block = block.prev_block
+
+    def _register_child_pointer(self, parent: NodeDescriptor,
+                                child: NodeDescriptor) -> None:
+        """Maintain the first-child-by-schema pointer of §9.2."""
+        index = parent.schema_node.child_index(child.schema_node)
+        current = parent.first_child_for(index)
+        if current is None or before(child.nid, current.nid):
+            parent.children_by_schema[index] = child
+
+    # ==================================================================
+    # Statistics and invariants
+
+    def node_count(self) -> int:
+        return sum(node.descriptor_count
+                   for node in self.schema.iter_nodes())
+
+    def block_count(self) -> int:
+        return sum(node.block_count() for node in self.schema.iter_nodes())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for schema_node in self.schema.iter_nodes():
+            for block in schema_node.blocks():
+                total += block.size_bytes()
+        return total
+
+    def blocks_per_schema_node(self) -> dict[str, int]:
+        return {node.path or "#document": node.block_count()
+                for node in self.schema.iter_nodes()}
+
+    def check_invariants(self) -> None:
+        """Re-verify the §9 invariants (used heavily by the tests)."""
+        for schema_node in self.schema.iter_nodes():
+            previous_block_last: NodeDescriptor | None = None
+            for block in schema_node.blocks():
+                ordered = list(block.iter_in_order())
+                if len(ordered) != block.count:
+                    raise StorageError(
+                        f"{block!r}: chain length {len(ordered)} != "
+                        f"count {block.count}")
+                for a, b in zip(ordered, ordered[1:]):
+                    if not before(a.nid, b.nid):
+                        raise StorageError(
+                            f"{block!r}: in-block chain out of order")
+                if ordered and previous_block_last is not None:
+                    if not before(previous_block_last.nid, ordered[0].nid):
+                        raise StorageError(
+                            f"{block!r}: partial order across blocks "
+                            "violated")
+                if ordered:
+                    previous_block_last = ordered[-1]
+                for descriptor in ordered:
+                    if descriptor.schema_node is not schema_node:
+                        raise StorageError(
+                            f"{descriptor!r} stored under the wrong "
+                            "schema node")
+        if self.document is not None:
+            self._check_tree_labels(self.document)
+
+    def _check_tree_labels(self, descriptor: NodeDescriptor) -> None:
+        from repro.storage.labels import is_parent
+        previous = None
+        for child in self.attributes(descriptor) + \
+                self.children(descriptor):
+            if not is_parent(descriptor.nid, child.nid):
+                raise StorageError(
+                    f"label of {child!r} is not a child label of "
+                    f"{descriptor!r}")
+            if child.parent is not descriptor:
+                raise StorageError(f"{child!r} has the wrong parent")
+        for child in self.children(descriptor):
+            if previous is not None and not before(previous.nid, child.nid):
+                raise StorageError("sibling labels out of order")
+            previous = child
+            self._check_tree_labels(child)
+
+    def __repr__(self) -> str:
+        return (f"StorageEngine({self.node_count()} nodes, "
+                f"{self.block_count()} blocks, "
+                f"{self.schema.node_count()} schema nodes)")

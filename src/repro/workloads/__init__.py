@@ -1,0 +1,18 @@
+"""Workloads: the paper's Examples 1-10 plus scalable generators."""
+
+from repro.workloads.bookstore import BOOKS_NAMESPACE, make_bookstore_document
+from repro.workloads.library import (
+    document_element_count,
+    make_irregular_document,
+    make_library_document,
+)
+from repro.workloads import fixtures
+
+__all__ = [
+    "BOOKS_NAMESPACE",
+    "document_element_count",
+    "fixtures",
+    "make_bookstore_document",
+    "make_irregular_document",
+    "make_library_document",
+]

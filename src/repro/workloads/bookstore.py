@@ -1,0 +1,47 @@
+"""Scalable generator for Example 7 BookStore instances.
+
+The documents are valid against the paper's schema (asserted by the
+conformance tests), which makes this the standard workload of the
+validation (VAL) and round-trip (THM) benchmarks.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlio.nodes import XmlDocument, XmlElement, XmlText
+from repro.xmlio.qname import QName
+
+BOOKS_NAMESPACE = "http://www.books.org"
+
+_TITLE_WORDS = ("My", "Life", "Illusions", "Databases", "Algebra",
+                "Model", "Schema", "Trees", "Queries", "Storage")
+_AUTHORS = ("Paul McCartney", "Richard Bach", "E. F. Codd",
+            "C. J. Date", "Serge Abiteboul", "Jennifer Widom")
+_PUBLISHERS = ("McMillin Publishing", "Dell Publishing Co.",
+               "Addison-Wesley", "ACM Press")
+
+
+def _leaf(name: str, text: str) -> XmlElement:
+    element = XmlElement(QName(BOOKS_NAMESPACE, name))
+    element.append(XmlText(text))
+    return element
+
+
+def make_bookstore_document(books: int = 10, seed: int = 0) -> XmlDocument:
+    """A BookStore with *books* Book children, valid per Example 7."""
+    rng = random.Random(seed)
+    root = XmlElement(QName(BOOKS_NAMESPACE, "BookStore"),
+                      namespace_decls={"": BOOKS_NAMESPACE})
+    for index in range(books):
+        book = XmlElement(QName(BOOKS_NAMESPACE, "Book"))
+        title = " ".join(rng.sample(_TITLE_WORDS,
+                                    k=rng.randint(2, 4)))
+        book.append(_leaf("Title", title))
+        book.append(_leaf("Author", rng.choice(_AUTHORS)))
+        book.append(_leaf("Date", str(rng.randint(1970, 2005))))
+        book.append(_leaf("ISBN", f"{rng.randint(0, 99999):05d}-"
+                                  f"{rng.randint(0, 99999):05d}-{index}"))
+        book.append(_leaf("Publisher", rng.choice(_PUBLISHERS)))
+        root.append(book)
+    return XmlDocument(root)

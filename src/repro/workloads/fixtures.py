@@ -1,0 +1,248 @@
+"""The paper's Examples 1-10 as reusable fixtures.
+
+Examples 1-7 are XML Schema fragments, Example 8 is the library
+document (and its descriptive schema, reproduced programmatically by
+the storage tests), Examples 9-10 are storage-layout figures exercised
+by :mod:`repro.storage`.  Fragment examples (1-6) are wrapped into
+minimal valid schemas where needed so that each is parseable on its
+own.
+"""
+
+from __future__ import annotations
+
+_SCHEMA_HEADER = (
+    '<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">')
+_SCHEMA_FOOTER = "</xsd:schema>"
+
+
+def wrap_in_schema(fragment: str) -> str:
+    """Wrap a schema fragment into a standalone ``xsd:schema`` document."""
+    return f"{_SCHEMA_HEADER}\n{fragment}\n{_SCHEMA_FOOTER}"
+
+
+#: Example 1 — three element declarations (nillable, repetition, inline
+#: anonymous complex type).  The paper shows them as siblings; they are
+#: wrapped in a sequence group so the fragment forms one schema.
+EXAMPLE_1_FRAGMENT = """
+<xsd:element name="Catalogue">
+ <xsd:complexType>
+  <xsd:sequence>
+   <xsd:element name="Remark" type="xsd:string" nillable="true"/>
+   <xsd:element name="Book" type="xsd:string"
+                minOccurs="0" maxOccurs="1000"/>
+   <xsd:element name="Note">
+    <xsd:complexType>
+     <xsd:sequence>
+      <xsd:element name="Text" type="xsd:string"/>
+     </xsd:sequence>
+    </xsd:complexType>
+   </xsd:element>
+  </xsd:sequence>
+ </xsd:complexType>
+</xsd:element>
+"""
+
+EXAMPLE_1_SCHEMA = wrap_in_schema(EXAMPLE_1_FRAGMENT)
+
+#: Example 2 — a group as a sequence of elements.
+EXAMPLE_2_GROUP = """
+<xsd:sequence>
+ <xsd:element name="B" type="xsd:string"/>
+ <xsd:element name="C" type="xsd:string"/>
+</xsd:sequence>
+"""
+
+#: Example 3 — a group as a choice of elements.
+EXAMPLE_3_GROUP = """
+<xsd:choice minOccurs="0" maxOccurs="unbounded">
+ <xsd:element name="zero" type="xsd:string"/>
+ <xsd:element name="one" type="xsd:string"/>
+</xsd:choice>
+"""
+
+#: Example 4 — two attribute declarations.
+EXAMPLE_4_ATTRIBUTES = """
+<xsd:attribute name="InStock" type="xsd:boolean"/>
+<xsd:attribute name="Reviewer" type="xsd:string"/>
+"""
+
+#: Example 5 — a complex type with simple content (decimal + attribute).
+EXAMPLE_5_SCHEMA = wrap_in_schema("""
+<xsd:element name="Price">
+ <xsd:complexType>
+  <xsd:simpleContent>
+   <xsd:extension base="xsd:decimal">
+    <xsd:attribute name="currency" type="xsd:string"/>
+   </xsd:extension>
+  </xsd:simpleContent>
+ </xsd:complexType>
+</xsd:element>
+""")
+
+#: Example 6 — mixed complex type with nested Book elements and the two
+#: attributes of Example 4.
+EXAMPLE_6_SCHEMA = wrap_in_schema("""
+<xsd:element name="Review">
+ <xsd:complexType mixed="true">
+  <xsd:sequence>
+   <xsd:element name="Book" minOccurs="0" maxOccurs="1000">
+    <xsd:complexType>
+     <xsd:sequence>
+      <xsd:element name="Title" type="xsd:string"/>
+      <xsd:element name="Author" type="xsd:string"/>
+      <xsd:element name="Date" type="xsd:string"/>
+      <xsd:element name="ISBN" type="xsd:string"/>
+      <xsd:element name="Publisher" type="xsd:string"/>
+     </xsd:sequence>
+    </xsd:complexType>
+   </xsd:element>
+  </xsd:sequence>
+  <xsd:attribute name="InStock" type="xsd:boolean"/>
+  <xsd:attribute name="Reviewer" type="xsd:string"/>
+ </xsd:complexType>
+</xsd:element>
+""")
+
+#: Example 7 — the BookStore schema with one named and one anonymous
+#: complex type (quoted verbatim from the paper).
+EXAMPLE_7_SCHEMA = """
+<xsd:schema
+  xmlns:xsd="http://www.w3.org/2001/XMLSchema"
+  targetNamespace="http://www.books.org"
+  xmlns="http://www.books.org"
+  elementFormDefault="qualified">
+  <xsd:complexType name="BookPublication">
+   <xsd:sequence>
+    <xsd:element name="Title" type="xsd:string"/>
+    <xsd:element name="Author" type="xsd:string"/>
+    <xsd:element name="Date" type="xsd:string"/>
+    <xsd:element name="ISBN" type="xsd:string"/>
+    <xsd:element name="Publisher" type="xsd:string"/>
+   </xsd:sequence>
+  </xsd:complexType>
+  <xsd:element name="BookStore">
+   <xsd:complexType>
+    <xsd:sequence>
+     <xsd:element name="Book"
+                  type="BookPublication"
+                  maxOccurs="unbounded"/>
+    </xsd:sequence>
+   </xsd:complexType>
+  </xsd:element>
+</xsd:schema>
+"""
+
+#: A BookStore instance document valid against Example 7.
+EXAMPLE_7_DOCUMENT = """
+<BookStore xmlns="http://www.books.org">
+ <Book>
+  <Title>My Life and Times</Title>
+  <Author>Paul McCartney</Author>
+  <Date>1998</Date>
+  <ISBN>94303-12021-43892</ISBN>
+  <Publisher>McMillin Publishing</Publisher>
+ </Book>
+ <Book>
+  <Title>Illusions</Title>
+  <Author>Richard Bach</Author>
+  <Date>1977</Date>
+  <ISBN>0-440-34319-4</ISBN>
+  <Publisher>Dell Publishing Co.</Publisher>
+ </Book>
+</BookStore>
+"""
+
+#: Example 8 — the library document of Section 9.1 (verbatim content).
+EXAMPLE_8_DOCUMENT = """\
+<library>
+  <book>
+    <title>Foundations of Databases</title>
+    <author>Abiteboul</author>
+    <author>Hull</author>
+    <author>Vianu</author>
+  </book>
+  <book>
+    <title>An Introduction to Database Systems</title>
+    <author>Date</author>
+    <issue>
+      <publisher>Addison-Wesley</publisher>
+      <year>2004</year>
+    </issue>
+  </book>
+  <paper>
+    <title>A Relational Model for Large Shared Data Banks</title>
+    <author>Codd</author>
+  </paper>
+  <paper>
+    <title>The Complexity of Relational Query Languages</title>
+    <author>Codd</author>
+  </paper>
+</library>
+"""
+
+#: The descriptive schema of Example 8 as (path, node-type) pairs — the
+#: schema-node tree drawn in the paper's figure.  Used as the expected
+#: value in storage tests.
+EXAMPLE_8_DESCRIPTIVE_SCHEMA = (
+    ("library", "element"),
+    ("library/book", "element"),
+    ("library/book/title", "element"),
+    ("library/book/title/#text", "text"),
+    ("library/book/author", "element"),
+    ("library/book/author/#text", "text"),
+    ("library/book/issue", "element"),
+    ("library/book/issue/publisher", "element"),
+    ("library/book/issue/publisher/#text", "text"),
+    ("library/book/issue/year", "element"),
+    ("library/book/issue/year/#text", "text"),
+    ("library/paper", "element"),
+    ("library/paper/title", "element"),
+    ("library/paper/title/#text", "text"),
+    ("library/paper/author", "element"),
+    ("library/paper/author/#text", "text"),
+)
+
+#: A schema the library document validates against (not given in the
+#: paper, which treats Example 8 schema-lessly; used by integration
+#: tests that need typed trees).
+LIBRARY_SCHEMA = """
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+ <xsd:complexType name="PublicationType">
+  <xsd:sequence>
+   <xsd:element name="title" type="xsd:string"/>
+   <xsd:element name="author" type="xsd:string"
+                minOccurs="0" maxOccurs="unbounded"/>
+   <xsd:element name="issue" minOccurs="0">
+    <xsd:complexType>
+     <xsd:sequence>
+      <xsd:element name="publisher" type="xsd:string"/>
+      <xsd:element name="year" type="xsd:gYear"/>
+     </xsd:sequence>
+    </xsd:complexType>
+   </xsd:element>
+  </xsd:sequence>
+ </xsd:complexType>
+ <xsd:element name="library">
+  <xsd:complexType>
+   <xsd:sequence>
+    <xsd:element name="book" type="PublicationType"
+                 minOccurs="0" maxOccurs="unbounded"/>
+    <xsd:element name="paper" type="PublicationType"
+                 minOccurs="0" maxOccurs="unbounded"/>
+   </xsd:sequence>
+  </xsd:complexType>
+ </xsd:element>
+</xsd:schema>
+"""
+
+#: Example 10 — the node-descriptor fields of the paper's figure, used
+#: as the expected layout by the storage tests.
+EXAMPLE_10_DESCRIPTOR_FIELDS = (
+    "parent",
+    "left_sibling",
+    "right_sibling",
+    "nid",
+    "next_in_block",
+    "prev_in_block",
+    "children_by_schema",
+)

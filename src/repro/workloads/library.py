@@ -1,0 +1,96 @@
+"""Scalable generators for the Example 8 library document.
+
+``make_library_document`` scales the paper's library to any number of
+books and papers while keeping its exact shape (so the descriptive
+schema stays the 16 schema nodes of the figure no matter the size —
+the DataGuide compression the EX8 benchmark measures).
+``make_irregular_document`` is the contrast workload: every element
+name is unique, so the descriptive schema degenerates to the document
+itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.xmlio.nodes import XmlDocument, XmlElement, XmlText
+from repro.xmlio.qname import QName
+
+_TITLES = ("Foundations of Databases", "Principles of Systems",
+           "Transaction Processing", "Query Evaluation Techniques",
+           "The Art of Indexing", "Semistructured Data")
+_AUTHORS = ("Abiteboul", "Hull", "Vianu", "Date", "Codd", "Gray",
+            "Stonebraker", "Ullman", "Widom")
+_PUBLISHERS = ("Addison-Wesley", "Morgan Kaufmann", "Springer",
+               "ACM Press")
+
+
+def _element(name: str, *children: "XmlElement | str") -> XmlElement:
+    element = XmlElement(QName("", name))
+    for child in children:
+        if isinstance(child, str):
+            element.append(XmlText(child))
+        else:
+            element.append(child)
+    return element
+
+
+def make_library_document(books: int = 10, papers: int = 10,
+                          seed: int = 0,
+                          max_authors: int = 3,
+                          issue_every: int = 2) -> XmlDocument:
+    """A library document shaped exactly like Example 8, scaled."""
+    rng = random.Random(seed)
+    root = _element("library")
+    for index in range(books):
+        book = _element(
+            "book",
+            _element("title", rng.choice(_TITLES)))
+        for _ in range(rng.randint(1, max_authors)):
+            book.append(_element("author", rng.choice(_AUTHORS)))
+        if issue_every and index % issue_every == 0:
+            book.append(_element(
+                "issue",
+                _element("publisher", rng.choice(_PUBLISHERS)),
+                _element("year", str(rng.randint(1970, 2005)))))
+        root.append(book)
+    for _ in range(papers):
+        paper = _element(
+            "paper",
+            _element("title", rng.choice(_TITLES)),
+            _element("author", rng.choice(_AUTHORS)))
+        root.append(paper)
+    return XmlDocument(root)
+
+
+def make_irregular_document(node_count: int, seed: int = 0,
+                            fanout: int = 4) -> XmlDocument:
+    """A document with *pairwise distinct* element names.
+
+    Every root-to-node path is unique, so the descriptive schema has as
+    many schema nodes as the document has elements — the worst case for
+    DataGuide compression, used as the EX8 contrast series.
+    """
+    rng = random.Random(seed)
+    counter = 0
+
+    def next_name() -> str:
+        nonlocal counter
+        counter += 1
+        return f"n{counter}"
+
+    root = _element(next_name())
+    frontier = [root]
+    while counter < node_count:
+        parent = rng.choice(frontier)
+        child = _element(next_name())
+        parent.append(child)
+        frontier.append(child)
+        if len(frontier) > max(2, node_count // fanout):
+            frontier.pop(0)
+    return XmlDocument(root)
+
+
+def document_element_count(document: XmlDocument) -> int:
+    """Number of element nodes (the EX8 denominator)."""
+    return sum(1 for _ in document.root.iter())

@@ -1,0 +1,28 @@
+"""The XQuery 1.0 / XPath 2.0 data-model node classes (Section 5).
+
+:mod:`repro.xdm.functions` provides the fn:* query primitives built
+strictly on the ten accessors.
+"""
+
+from repro.xdm import functions
+
+from repro.xdm.node import (
+    ANY_TYPE_NAME,
+    UNTYPED_ATOMIC_NAME,
+    AttributeNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    TextNode,
+)
+
+__all__ = [
+    "ANY_TYPE_NAME",
+    "functions",
+    "AttributeNode",
+    "DocumentNode",
+    "ElementNode",
+    "Node",
+    "TextNode",
+    "UNTYPED_ATOMIC_NAME",
+]

@@ -1,0 +1,124 @@
+"""Query-language primitives built on the ten accessors.
+
+The paper's conclusion: the accessor values "provide primitive
+facilities for a query language".  This module demonstrates that by
+implementing the core XQuery/XPath function library *strictly* in
+terms of the Section 5 accessors — no function below reaches into node
+internals.
+
+Naming follows the ``fn:`` namespace of XQuery 1.0 (``fn:data`` is
+``data`` here, and so on).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+from repro.xmlio.qname import QName
+from repro.xsdtypes.base import AtomicValue
+from repro.xsdtypes.sequence import Sequence
+from repro.xdm.node import Node
+
+
+def node_name(node: Node) -> "QName | None":
+    """``fn:node-name`` — the node's QName, if it has one."""
+    names = node.node_name()
+    return names.head() if names else None
+
+
+def string(item: "Node | AtomicValue | str") -> str:
+    """``fn:string`` — the string value of a node or atomic item."""
+    if isinstance(item, Node):
+        return item.string_value()
+    if isinstance(item, AtomicValue):
+        return item.type.canonical(item.value)
+    return str(item)
+
+
+def data(items: "Node | Sequence | list") -> Sequence:
+    """``fn:data`` — atomization: each node becomes its typed value."""
+    if isinstance(items, Node):
+        items = [items]
+    out: list[AtomicValue] = []
+    for item in items:
+        if isinstance(item, Node):
+            out.extend(item.typed_value())
+        elif isinstance(item, AtomicValue):
+            out.append(item)
+        else:
+            raise ModelError(f"cannot atomize {item!r}")
+    return Sequence(out)
+
+
+def count(items: "Sequence | list") -> int:
+    """``fn:count`` — the length of a sequence."""
+    return len(items)
+
+
+def empty(items: "Sequence | list") -> bool:
+    """``fn:empty``."""
+    return len(items) == 0
+
+
+def exists(items: "Sequence | list") -> bool:
+    """``fn:exists``."""
+    return len(items) > 0
+
+
+def root(node: Node) -> Node:
+    """``fn:root`` — the topmost ancestor."""
+    return node.root()
+
+
+def nilled(node: Node) -> "bool | None":
+    """``fn:nilled`` — True/False for elements, None otherwise."""
+    values = node.nilled()
+    return values.head() if values else None
+
+
+def base_uri(node: Node) -> "str | None":
+    """``fn:base-uri``."""
+    values = node.base_uri()
+    return values.head() if values else None
+
+
+def deep_equal(first: Node, second: Node) -> bool:
+    """``fn:deep-equal`` on nodes: same kind, name, and — recursively —
+    the same attributes and children (by string value for leaves).
+
+    Node *identity* is irrelevant, matching XQuery: two distinct nodes
+    can be deep-equal.
+    """
+    if first.node_kind() != second.node_kind():
+        return False
+    if node_name(first) != node_name(second):
+        return False
+    if first.node_kind() in ("text", "attribute"):
+        return first.string_value() == second.string_value()
+    first_attrs = {(node_name(a), a.string_value())
+                   for a in first.attributes()}
+    second_attrs = {(node_name(a), a.string_value())
+                    for a in second.attributes()}
+    if first_attrs != second_attrs:
+        return False
+    first_children = list(first.children())
+    second_children = list(second.children())
+    if len(first_children) != len(second_children):
+        return False
+    return all(deep_equal(a, b)
+               for a, b in zip(first_children, second_children))
+
+
+def distinct_values(items: "Sequence | list") -> Sequence:
+    """``fn:distinct-values`` over atomized items (first wins)."""
+    seen: list[object] = []
+    out: list[AtomicValue] = []
+    for atomic in data(list(items)):
+        if not any(atomic.value == other for other in seen):
+            seen.append(atomic.value)
+            out.append(atomic)
+    return Sequence(out)
+
+
+def string_join(items: "Sequence | list", separator: str = "") -> str:
+    """``fn:string-join`` over the string values of the items."""
+    return separator.join(string(item) for item in items)

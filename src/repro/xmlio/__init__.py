@@ -1,0 +1,48 @@
+"""From-scratch XML parsing and serialization substrate.
+
+This package provides the raw syntactic layer beneath the formal model:
+a namespace-aware, non-validating XML 1.0 parser and a serializer.  The
+formal document trees of Section 6 are built *from* these raw trees by
+the mapping ``f`` in :mod:`repro.mapping`.
+"""
+
+from repro.xmlio.nodes import XmlChild, XmlDocument, XmlElement, XmlText
+from repro.xmlio.parser import XmlParser, parse_document, parse_element
+from repro.xmlio.qname import (
+    XDT_NAMESPACE,
+    XSD_NAMESPACE,
+    XSI_NAMESPACE,
+    QName,
+    split_prefixed,
+    xdt,
+    xsd,
+)
+from repro.xmlio.serializer import (
+    XmlSerializer,
+    escape_attribute,
+    escape_text,
+    serialize_document,
+    serialize_element,
+)
+
+__all__ = [
+    "QName",
+    "XDT_NAMESPACE",
+    "XSD_NAMESPACE",
+    "XSI_NAMESPACE",
+    "XmlChild",
+    "XmlDocument",
+    "XmlElement",
+    "XmlParser",
+    "XmlSerializer",
+    "XmlText",
+    "escape_attribute",
+    "escape_text",
+    "parse_document",
+    "parse_element",
+    "serialize_document",
+    "serialize_element",
+    "split_prefixed",
+    "xdt",
+    "xsd",
+]

@@ -1,0 +1,109 @@
+"""Raw parse-tree nodes produced by the XML parser.
+
+These are deliberately *not* the data-model nodes of the paper (those live
+in :mod:`repro.xdm`); they are the plain syntactic tree one level above the
+character stream: an element has a resolved :class:`~repro.xmlio.qname.QName`,
+an attribute map, and an ordered list of element/text children.  The
+mapping ``f`` of Section 8 converts this tree into a formal document tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from repro.xmlio.qname import QName
+
+XmlChild = Union["XmlElement", "XmlText"]
+
+
+@dataclass
+class XmlText:
+    """A run of character data (text or CDATA) inside an element."""
+
+    text: str
+
+    def __repr__(self) -> str:
+        preview = self.text if len(self.text) <= 30 else self.text[:27] + "..."
+        return f"XmlText({preview!r})"
+
+
+@dataclass
+class XmlElement:
+    """A parsed element: resolved name, attributes and ordered children.
+
+    ``attributes`` preserves document order (Python dicts are ordered).
+    ``namespace_decls`` keeps the ``xmlns`` declarations that appeared on
+    this element so serialization can reproduce them.
+    """
+
+    name: QName
+    attributes: dict[QName, str] = field(default_factory=dict)
+    children: list[XmlChild] = field(default_factory=list)
+    namespace_decls: dict[str, str] = field(default_factory=dict)
+
+    def append(self, child: XmlChild) -> None:
+        """Append a child, merging adjacent text runs into one node."""
+        if (isinstance(child, XmlText) and self.children
+                and isinstance(self.children[-1], XmlText)):
+            self.children[-1].text += child.text
+        else:
+            self.children.append(child)
+
+    def element_children(self) -> list["XmlElement"]:
+        """The child elements, in document order, skipping text."""
+        return [c for c in self.children if isinstance(c, XmlElement)]
+
+    def text_content(self) -> str:
+        """Concatenation of all descendant text, in document order."""
+        parts: list[str] = []
+        for child in self.children:
+            if isinstance(child, XmlText):
+                parts.append(child.text)
+            else:
+                parts.append(child.text_content())
+        return "".join(parts)
+
+    def find(self, local: str) -> "XmlElement | None":
+        """First child element whose local name is *local*, if any."""
+        for child in self.element_children():
+            if child.name.local == local:
+                return child
+        return None
+
+    def find_all(self, local: str) -> list["XmlElement"]:
+        """All child elements whose local name is *local*."""
+        return [c for c in self.element_children() if c.name.local == local]
+
+    def get(self, local: str, default: str | None = None) -> str | None:
+        """Attribute value looked up by local name (namespace-less match)."""
+        for qname, value in self.attributes.items():
+            if qname.local == local and not qname.uri:
+                return value
+        return default
+
+    def iter(self) -> Iterator["XmlElement"]:
+        """Depth-first pre-order iteration over this element's subtree."""
+        yield self
+        for child in self.element_children():
+            yield from child.iter()
+
+    def __repr__(self) -> str:
+        return (f"XmlElement({self.name.lexical!r}, "
+                f"{len(self.attributes)} attrs, "
+                f"{len(self.children)} children)")
+
+
+@dataclass
+class XmlDocument:
+    """A parsed document: exactly one root element plus an optional URI.
+
+    The paper (Section 3) restricts the document information item to a
+    single element child, which conveniently matches XML well-formedness.
+    """
+
+    root: XmlElement
+    base_uri: str | None = None
+
+    def __repr__(self) -> str:
+        return f"XmlDocument(root={self.root.name.lexical!r})"

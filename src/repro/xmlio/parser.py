@@ -1,0 +1,409 @@
+"""A from-scratch, non-validating XML 1.0 parser.
+
+The parser is a hand-written recursive-descent scanner over the input
+string.  It supports the features a schema-described document can use:
+
+* the XML declaration and a (skipped) DOCTYPE without entity definitions,
+* elements with attributes and self-closing tags,
+* character data, CDATA sections, character and predefined entity
+  references,
+* comments and processing instructions (skipped, as the paper's model
+  deliberately leaves them out),
+* namespace declaration and resolution (default and prefixed).
+
+Well-formedness violations raise :class:`~repro.errors.XmlSyntaxError`
+with the 1-based line and column of the offending position.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlSyntaxError
+from repro.xmlio.chars import (
+    is_name_char,
+    is_name_start_char,
+    is_whitespace,
+    is_xml_char,
+)
+from repro.xmlio.nodes import XmlDocument, XmlElement, XmlText
+from repro.xmlio.qname import XMLNS_NAMESPACE, QName, split_prefixed
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "apos": "'",
+    "quot": '"',
+}
+
+#: Namespace bindings mandated by the XML namespaces recommendation.
+_BUILTIN_BINDINGS = {
+    "xml": "http://www.w3.org/XML/1998/namespace",
+    "xmlns": XMLNS_NAMESPACE,
+}
+
+
+class _Scanner:
+    """Cursor over the input text with error-position reporting."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def error(self, message: str, pos: int | None = None) -> XmlSyntaxError:
+        at = self.pos if pos is None else pos
+        line = self.text.count("\n", 0, at) + 1
+        last_nl = self.text.rfind("\n", 0, at)
+        column = at - last_nl
+        return XmlSyntaxError(message, line, column)
+
+    def eof(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self) -> str:
+        if self.pos >= self.length:
+            raise self.error("unexpected end of input")
+        return self.text[self.pos]
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> int:
+        """Skip whitespace; return how many characters were skipped."""
+        start = self.pos
+        while self.pos < self.length and is_whitespace(self.text[self.pos]):
+            self.pos += 1
+        return self.pos - start
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.eof() or not is_name_start_char(self.peek()):
+            raise self.error("expected a name")
+        self.pos += 1
+        while self.pos < self.length and is_name_char(self.text[self.pos]):
+            self.pos += 1
+        return self.text[start:self.pos]
+
+    def read_until(self, token: str, context: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {context}")
+        chunk = self.text[self.pos:end]
+        self.pos = end + len(token)
+        return chunk
+
+
+class XmlParser:
+    """Parses a complete XML document string into an :class:`XmlDocument`."""
+
+    def __init__(self, text: str, base_uri: str | None = None) -> None:
+        if text.startswith("﻿"):
+            text = text[1:]
+        self._scanner = _Scanner(text)
+        self._base_uri = base_uri
+        # Namespace environment: list of dicts, innermost last.
+        self._ns_stack: list[dict[str, str]] = [dict(_BUILTIN_BINDINGS)]
+
+    def parse(self) -> XmlDocument:
+        """Parse the whole input and return the document."""
+        scanner = self._scanner
+        self._skip_prolog()
+        if scanner.eof() or scanner.peek() != "<":
+            raise scanner.error("expected the root element")
+        root = self._parse_element()
+        self._skip_misc()
+        if not scanner.eof():
+            raise scanner.error("content after the root element")
+        return XmlDocument(root, base_uri=self._base_uri)
+
+    # ------------------------------------------------------------------
+    # Prolog and miscellaneous content
+
+    def _skip_prolog(self) -> None:
+        scanner = self._scanner
+        scanner.skip_whitespace()
+        if scanner.startswith("<?xml") and self._is_xml_decl():
+            scanner.read_until("?>", "XML declaration")
+        self._skip_misc()
+        if scanner.startswith("<!DOCTYPE"):
+            self._skip_doctype()
+            self._skip_misc()
+
+    def _is_xml_decl(self) -> bool:
+        # "<?xml" must be followed by whitespace to be the declaration
+        # (as opposed to a PI named e.g. "xmlfoo").
+        scanner = self._scanner
+        after = scanner.pos + len("<?xml")
+        return (after < scanner.length
+                and is_whitespace(scanner.text[after]))
+
+    def _skip_doctype(self) -> None:
+        scanner = self._scanner
+        scanner.expect("<!DOCTYPE")
+        depth = 0
+        while True:
+            if scanner.eof():
+                raise scanner.error("unterminated DOCTYPE")
+            ch = scanner.peek()
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth == 0:
+                scanner.pos += 1
+                return
+            scanner.pos += 1
+
+    def _skip_misc(self) -> None:
+        """Skip whitespace, comments and processing instructions."""
+        scanner = self._scanner
+        while True:
+            scanner.skip_whitespace()
+            if scanner.startswith("<!--"):
+                self._skip_comment()
+            elif scanner.startswith("<?"):
+                self._skip_pi()
+            else:
+                return
+
+    def _skip_comment(self) -> None:
+        scanner = self._scanner
+        scanner.expect("<!--")
+        body = scanner.read_until("-->", "comment")
+        if "--" in body:
+            raise scanner.error("'--' is not allowed inside a comment")
+
+    def _skip_pi(self) -> None:
+        scanner = self._scanner
+        scanner.expect("<?")
+        target = scanner.read_name()
+        if target.lower() == "xml":
+            raise scanner.error("processing instruction may not be named 'xml'")
+        scanner.read_until("?>", "processing instruction")
+
+    # ------------------------------------------------------------------
+    # Elements
+
+    def _parse_element(self) -> XmlElement:
+        scanner = self._scanner
+        scanner.expect("<")
+        name = scanner.read_name()
+        raw_attrs, ns_decls = self._parse_attributes()
+        self._ns_stack.append(ns_decls)
+        try:
+            element = XmlElement(
+                name=self._resolve(name, is_attribute=False),
+                attributes=self._resolve_attributes(raw_attrs),
+                namespace_decls=ns_decls,
+            )
+            scanner.skip_whitespace()
+            if scanner.startswith("/>"):
+                scanner.pos += 2
+                return element
+            scanner.expect(">")
+            self._parse_content(element)
+            end_name = scanner.read_name()
+            if end_name != name:
+                raise scanner.error(
+                    f"end tag </{end_name}> does not match <{name}>")
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            return element
+        finally:
+            self._ns_stack.pop()
+
+    def _parse_attributes(
+            self) -> tuple[dict[str, str], dict[str, str]]:
+        """Read the attribute list of a start tag.
+
+        Returns the plain attributes (lexical name -> value) and the
+        namespace declarations made on this element (prefix -> URI, with
+        ``""`` as the key of the default namespace).
+        """
+        scanner = self._scanner
+        attrs: dict[str, str] = {}
+        ns_decls: dict[str, str] = {}
+        while True:
+            skipped = scanner.skip_whitespace()
+            if scanner.eof():
+                raise scanner.error("unterminated start tag")
+            ch = scanner.peek()
+            if ch in (">", "/"):
+                return attrs, ns_decls
+            if not skipped:
+                raise scanner.error("whitespace required before attribute")
+            name = scanner.read_name()
+            scanner.skip_whitespace()
+            scanner.expect("=")
+            scanner.skip_whitespace()
+            value = self._parse_attribute_value()
+            if name == "xmlns":
+                ns_decls[""] = value
+            elif name.startswith("xmlns:"):
+                prefix = name[len("xmlns:"):]
+                if not prefix:
+                    raise scanner.error("empty namespace prefix")
+                if not value:
+                    raise scanner.error(
+                        f"prefix {prefix!r} may not be bound to the empty URI")
+                ns_decls[prefix] = value
+            else:
+                if name in attrs:
+                    raise scanner.error(f"duplicate attribute {name!r}")
+                attrs[name] = value
+
+    def _parse_attribute_value(self) -> str:
+        scanner = self._scanner
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.pos += 1
+        parts: list[str] = []
+        while True:
+            if scanner.eof():
+                raise scanner.error("unterminated attribute value")
+            ch = scanner.peek()
+            if ch == quote:
+                scanner.pos += 1
+                return "".join(parts)
+            if ch == "<":
+                raise scanner.error("'<' is not allowed in attribute values")
+            if ch == "&":
+                parts.append(self._parse_reference())
+            else:
+                # Attribute-value normalization: whitespace becomes space.
+                parts.append(" " if ch in "\t\r\n" else ch)
+                scanner.pos += 1
+
+    def _parse_content(self, element: XmlElement) -> None:
+        scanner = self._scanner
+        text_parts: list[str] = []
+
+        def flush_text() -> None:
+            if text_parts:
+                element.append(XmlText("".join(text_parts)))
+                text_parts.clear()
+
+        while True:
+            if scanner.eof():
+                raise scanner.error(
+                    f"unterminated element <{element.name.lexical}>")
+            ch = scanner.peek()
+            if ch == "<":
+                if scanner.startswith("</"):
+                    flush_text()
+                    scanner.pos += 2
+                    return
+                if scanner.startswith("<!--"):
+                    self._skip_comment()
+                elif scanner.startswith("<![CDATA["):
+                    scanner.pos += len("<![CDATA[")
+                    text_parts.append(
+                        scanner.read_until("]]>", "CDATA section"))
+                elif scanner.startswith("<?"):
+                    self._skip_pi()
+                else:
+                    flush_text()
+                    element.append(self._parse_element())
+            elif ch == "&":
+                text_parts.append(self._parse_reference())
+            else:
+                if ch == "]" and scanner.startswith("]]>"):
+                    raise scanner.error("']]>' is not allowed in content")
+                if not is_xml_char(ch):
+                    raise scanner.error(
+                        f"illegal character U+{ord(ch):04X} in content")
+                # Line-end normalization (XML 1.0 section 2.11).
+                if ch == "\r":
+                    text_parts.append("\n")
+                    scanner.pos += 1
+                    if not scanner.eof() and scanner.peek() == "\n":
+                        scanner.pos += 1
+                else:
+                    text_parts.append(ch)
+                    scanner.pos += 1
+
+    # ------------------------------------------------------------------
+    # References and namespaces
+
+    def _parse_reference(self) -> str:
+        scanner = self._scanner
+        start = scanner.pos
+        scanner.expect("&")
+        if scanner.startswith("#"):
+            scanner.pos += 1
+            if scanner.startswith("x") or scanner.startswith("X"):
+                scanner.pos += 1
+                digits = scanner.read_until(";", "character reference")
+                base = 16
+            else:
+                digits = scanner.read_until(";", "character reference")
+                base = 10
+            try:
+                code = int(digits, base)
+                ch = chr(code)
+            except (ValueError, OverflowError):
+                raise scanner.error(
+                    f"bad character reference &#{digits};", start) from None
+            if not is_xml_char(ch):
+                raise scanner.error(
+                    f"character reference to illegal character U+{code:04X}",
+                    start)
+            return ch
+        name = scanner.read_name()
+        scanner.expect(";")
+        try:
+            return _PREDEFINED_ENTITIES[name]
+        except KeyError:
+            raise scanner.error(
+                f"reference to undefined entity &{name};", start) from None
+
+    def _lookup_namespace(self, prefix: str) -> str | None:
+        for bindings in reversed(self._ns_stack):
+            if prefix in bindings:
+                return bindings[prefix]
+        return None
+
+    def _resolve(self, lexical: str, is_attribute: bool) -> QName:
+        prefix, local = split_prefixed(lexical)
+        if prefix:
+            uri = self._lookup_namespace(prefix)
+            if uri is None:
+                raise self._scanner.error(f"undeclared prefix {prefix!r}")
+            return QName(uri, local, prefix)
+        if is_attribute:
+            # Unprefixed attributes are in no namespace.
+            return QName("", local)
+        uri = self._lookup_namespace("") or ""
+        return QName(uri, local)
+
+    def _resolve_attributes(
+            self, raw: dict[str, str]) -> dict[QName, str]:
+        resolved: dict[QName, str] = {}
+        for lexical, value in raw.items():
+            qname = self._resolve(lexical, is_attribute=True)
+            if qname in resolved:
+                raise self._scanner.error(
+                    f"duplicate attribute {qname.clark!r} after "
+                    "namespace resolution")
+            resolved[qname] = value
+        return resolved
+
+
+def parse_document(text: str, base_uri: str | None = None) -> XmlDocument:
+    """Parse *text* into an :class:`XmlDocument`.
+
+    This is the module-level convenience entry point; see
+    :class:`XmlParser` for the feature list.
+    """
+    return XmlParser(text, base_uri=base_uri).parse()
+
+
+def parse_element(text: str) -> XmlElement:
+    """Parse *text* and return just the root element."""
+    return parse_document(text).root

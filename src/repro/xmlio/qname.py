@@ -1,0 +1,83 @@
+"""Qualified names.
+
+The paper's data model uses QNames for ``node-name`` and ``type`` accessor
+values.  We model a QName as an immutable (namespace URI, local name,
+prefix) triple.  Equality and hashing ignore the prefix, as required by the
+XDM: two QNames are the same name when their URIs and local parts match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import XmlSyntaxError
+from repro.xmlio.chars import is_ncname
+
+#: Conventional namespace URIs used throughout the library.
+XSD_NAMESPACE = "http://www.w3.org/2001/XMLSchema"
+XDT_NAMESPACE = "http://www.w3.org/2004/10/xpath-datatypes"
+XSI_NAMESPACE = "http://www.w3.org/2001/XMLSchema-instance"
+XMLNS_NAMESPACE = "http://www.w3.org/2000/xmlns/"
+
+
+@dataclass(frozen=True)
+class QName:
+    """An expanded qualified name.
+
+    ``uri`` is ``""`` for names in no namespace.  The ``prefix`` is kept
+    only for serialization fidelity; it does not participate in equality.
+    """
+
+    uri: str
+    local: str
+    prefix: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not is_ncname(self.local):
+            raise XmlSyntaxError(f"invalid local name {self.local!r}")
+        if self.prefix and not is_ncname(self.prefix):
+            raise XmlSyntaxError(f"invalid prefix {self.prefix!r}")
+
+    @property
+    def lexical(self) -> str:
+        """The prefixed lexical form, e.g. ``xsd:string``."""
+        if self.prefix:
+            return f"{self.prefix}:{self.local}"
+        return self.local
+
+    @property
+    def clark(self) -> str:
+        """Clark notation, e.g. ``{http://...}string``."""
+        if self.uri:
+            return f"{{{self.uri}}}{self.local}"
+        return self.local
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def __repr__(self) -> str:
+        return f"QName({self.clark})"
+
+
+def split_prefixed(name: str) -> tuple[str, str]:
+    """Split a lexical QName into ``(prefix, local)``.
+
+    A name without a colon yields an empty prefix.  More than one colon is
+    rejected, as is an empty prefix or local part.
+    """
+    if ":" not in name:
+        return "", name
+    prefix, _, local = name.partition(":")
+    if not prefix or not local or ":" in local:
+        raise XmlSyntaxError(f"malformed qualified name {name!r}")
+    return prefix, local
+
+
+def xsd(local: str) -> QName:
+    """Build a QName in the XML Schema namespace (prefix ``xs``)."""
+    return QName(XSD_NAMESPACE, local, "xs")
+
+
+def xdt(local: str) -> QName:
+    """Build a QName in the XPath datatypes namespace (prefix ``xdt``)."""
+    return QName(XDT_NAMESPACE, local, "xdt")

@@ -1,0 +1,106 @@
+"""Serialization of raw XML trees back to text.
+
+The serializer is the syntactic half of the paper's mapping ``g``
+(Section 8): given a tree of :class:`~repro.xmlio.nodes.XmlElement` and
+:class:`~repro.xmlio.nodes.XmlText` nodes it produces a well-formed XML
+document whose re-parse is content-equal to the original tree.
+"""
+
+from __future__ import annotations
+
+from repro.xmlio.nodes import XmlDocument, XmlElement, XmlText
+from repro.xmlio.qname import QName
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    return (text.replace("&", "&amp;")
+                .replace("<", "&lt;")
+                .replace(">", "&gt;"))
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return (text.replace("&", "&amp;")
+                .replace("<", "&lt;")
+                .replace('"', "&quot;")
+                .replace("\t", "&#9;")
+                .replace("\n", "&#10;")
+                .replace("\r", "&#13;"))
+
+
+class XmlSerializer:
+    """Writes an :class:`XmlDocument` or element subtree to a string.
+
+    ``indent`` enables pretty-printing; it is only applied around
+    element-only content so that mixed content (where whitespace is
+    significant) round-trips unchanged.
+    """
+
+    def __init__(self, indent: str | None = None,
+                 xml_declaration: bool = False) -> None:
+        self._indent = indent
+        self._xml_declaration = xml_declaration
+
+    def serialize(self, document: XmlDocument) -> str:
+        parts: list[str] = []
+        if self._xml_declaration:
+            parts.append('<?xml version="1.0" encoding="UTF-8"?>')
+            if self._indent is not None:
+                parts.append("\n")
+        self._write_element(document.root, parts, depth=0)
+        if self._indent is not None:
+            parts.append("\n")
+        return "".join(parts)
+
+    def serialize_element(self, element: XmlElement) -> str:
+        parts: list[str] = []
+        self._write_element(element, parts, depth=0)
+        return "".join(parts)
+
+    # ------------------------------------------------------------------
+
+    def _write_element(self, element: XmlElement, parts: list[str],
+                       depth: int) -> None:
+        name = element.name.lexical
+        parts.append(f"<{name}")
+        for prefix, uri in element.namespace_decls.items():
+            attr = f"xmlns:{prefix}" if prefix else "xmlns"
+            parts.append(f' {attr}="{escape_attribute(uri)}"')
+        for qname, value in element.attributes.items():
+            parts.append(
+                f' {self._attribute_name(qname)}="{escape_attribute(value)}"')
+        if not element.children:
+            parts.append("/>")
+            return
+        parts.append(">")
+        pretty = (self._indent is not None
+                  and not any(isinstance(c, XmlText)
+                              for c in element.children))
+        for child in element.children:
+            if pretty:
+                parts.append("\n" + self._indent * (depth + 1))
+            if isinstance(child, XmlText):
+                parts.append(escape_text(child.text))
+            else:
+                self._write_element(child, parts, depth + 1)
+        if pretty:
+            parts.append("\n" + self._indent * depth)
+        parts.append(f"</{name}>")
+
+    @staticmethod
+    def _attribute_name(qname: QName) -> str:
+        return qname.lexical
+
+
+def serialize_document(document: XmlDocument, indent: str | None = None,
+                       xml_declaration: bool = False) -> str:
+    """Serialize *document*; convenience wrapper over :class:`XmlSerializer`."""
+    return XmlSerializer(indent=indent,
+                         xml_declaration=xml_declaration).serialize(document)
+
+
+def serialize_element(element: XmlElement,
+                      indent: str | None = None) -> str:
+    """Serialize one element subtree to a string."""
+    return XmlSerializer(indent=indent).serialize_element(element)

@@ -1,0 +1,28 @@
+"""XQuery-lite: the paper's announced next step, implemented.
+
+A FLWOR language over the path engine, evaluated directly on the
+Section 5/6 data model: for/let/where/order by/return, general
+comparisons, a subset of the fn:* library, and element constructors
+with XQuery copy semantics.
+"""
+
+from repro.xquery.ast import Expression, Flwor
+from repro.xquery.evaluator import (
+    XQueryEvaluator,
+    execute,
+    execute_values,
+)
+from repro.xquery.lexer import Token, tokenize
+from repro.xquery.parser import XQueryParser, parse_query
+
+__all__ = [
+    "Expression",
+    "Flwor",
+    "Token",
+    "XQueryEvaluator",
+    "XQueryParser",
+    "execute",
+    "execute_values",
+    "parse_query",
+    "tokenize",
+]

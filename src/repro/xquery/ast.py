@@ -1,0 +1,114 @@
+"""Abstract syntax of the XQuery-lite language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from decimal import Decimal
+from typing import Union
+
+from repro.query.paths import Path
+
+Expression = Union[
+    "PathExpr", "VarRef", "VarPath", "Literal", "Comparison",
+    "BooleanExpr", "FunctionCall", "Constructor", "Flwor", "SequenceExpr",
+]
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """An absolute path evaluated against the context document."""
+
+    path: Path
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """``$name``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class VarPath:
+    """``$name/rel/ative/path`` — a path applied to a binding."""
+
+    name: str
+    path: Path
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A string or numeric literal."""
+
+    value: "str | int | Decimal"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A general comparison: existential over atomized operands."""
+
+    operator: str  # "=", "!=", "<", "<=", ">", ">="
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class BooleanExpr:
+    """``and`` / ``or`` over comparisons."""
+
+    operator: str  # "and" | "or"
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall:
+    """A call to one of the fn:* primitives."""
+
+    name: str
+    arguments: tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class Constructor:
+    """``<name>{expr}...</name>`` — a direct element constructor whose
+    content is a sequence of embedded expressions and nested
+    constructors."""
+
+    name: str
+    children: tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class ForClause:
+    variable: str
+    source: Expression
+
+
+@dataclass(frozen=True)
+class LetClause:
+    variable: str
+    value: Expression
+
+
+@dataclass(frozen=True)
+class OrderSpec:
+    key: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Flwor:
+    """The FLWOR expression."""
+
+    clauses: tuple["ForClause | LetClause", ...]
+    where: "Expression | None"
+    order: "OrderSpec | None"
+    body: Expression
+
+
+@dataclass(frozen=True)
+class SequenceExpr:
+    """``(e1, e2, ...)`` — sequence concatenation."""
+
+    items: tuple[Expression, ...]

@@ -1,0 +1,373 @@
+"""Evaluation of XQuery-lite over the formal data model.
+
+Values are flat sequences of items: nodes, :class:`AtomicValue`
+wrappers, or plain Python scalars from literals.  The semantics is the
+"simple semantics of a data manipulation language" the paper's
+conclusion sketches, built directly on the accessors:
+
+* paths delegate to :mod:`repro.query`;
+* atomization uses ``typed-value`` (via :mod:`repro.xdm.functions`);
+* general comparisons are existential over atomized operands, with
+  untyped values compared numerically against numbers and as strings
+  otherwise (a pragmatic subset of the XPath 2.0 rules);
+* FLWOR iterates for-bindings in document order, filters with
+  ``where``, sorts with ``order by`` and concatenates ``return`` results;
+* element constructors build *new* nodes in a fresh state algebra,
+  deep-copying any node content (XQuery's copy semantics).
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal, InvalidOperation
+from typing import Iterator
+
+from repro.errors import QueryError
+from repro.xmlio.qname import QName
+from repro.xdm import functions as fn
+from repro.xdm.node import (
+    AttributeNode,
+    DocumentNode,
+    ElementNode,
+    Node,
+    TextNode,
+)
+from repro.xsdtypes.base import AtomicValue
+from repro.algebra.state import StateAlgebra
+from repro.query.engine import evaluate_tree
+from repro.xquery.ast import (
+    BooleanExpr,
+    Comparison,
+    Constructor,
+    Expression,
+    Flwor,
+    ForClause,
+    FunctionCall,
+    LetClause,
+    Literal,
+    PathExpr,
+    SequenceExpr,
+    VarPath,
+    VarRef,
+)
+from repro.xquery.parser import parse_query
+
+Item = object  # Node | AtomicValue | str | int | Decimal
+Bindings = dict[str, list[Item]]
+
+
+class XQueryEvaluator:
+    """Evaluates queries against one context document."""
+
+    def __init__(self, document: Node) -> None:
+        self._document = document
+        self._algebra = StateAlgebra()  # for constructed nodes
+
+    def evaluate(self, query: "str | Expression") -> list[Item]:
+        expression = (parse_query(query) if isinstance(query, str)
+                      else query)
+        return self._eval(expression, {})
+
+    # ------------------------------------------------------------------
+
+    def _eval(self, expression: Expression,
+              bindings: Bindings) -> list[Item]:
+        if isinstance(expression, PathExpr):
+            return list(evaluate_tree(self._document, expression.path))
+        if isinstance(expression, VarRef):
+            return self._lookup(expression.name, bindings)
+        if isinstance(expression, VarPath):
+            out: list[Item] = []
+            for item in self._lookup(expression.name, bindings):
+                if not isinstance(item, Node):
+                    raise QueryError(
+                        f"${expression.name} holds a non-node; cannot "
+                        "apply a path to it")
+                out.extend(evaluate_tree(item, expression.path))
+            return out
+        if isinstance(expression, Literal):
+            return [expression.value]
+        if isinstance(expression, SequenceExpr):
+            out = []
+            for part in expression.items:
+                out.extend(self._eval(part, bindings))
+            return out
+        if isinstance(expression, Comparison):
+            return [self._compare(expression, bindings)]
+        if isinstance(expression, BooleanExpr):
+            left = self._boolean(self._eval(expression.left, bindings))
+            if expression.operator == "and":
+                if not left:
+                    return [False]
+                return [self._boolean(
+                    self._eval(expression.right, bindings))]
+            if left:
+                return [True]
+            return [self._boolean(self._eval(expression.right, bindings))]
+        if isinstance(expression, FunctionCall):
+            return self._call(expression, bindings)
+        if isinstance(expression, Constructor):
+            return [self._construct(expression, bindings)]
+        if isinstance(expression, Flwor):
+            return self._flwor(expression, bindings)
+        raise QueryError(f"cannot evaluate {expression!r}")
+
+    @staticmethod
+    def _lookup(name: str, bindings: Bindings) -> list[Item]:
+        try:
+            return bindings[name]
+        except KeyError:
+            raise QueryError(f"unbound variable ${name}") from None
+
+    # -- FLWOR -----------------------------------------------------------
+
+    def _flwor(self, flwor: Flwor, bindings: Bindings) -> list[Item]:
+        tuples = self._bind(flwor.clauses, 0, dict(bindings))
+        if flwor.where is not None:
+            tuples = (env for env in tuples
+                      if self._boolean(self._eval(flwor.where, env)))
+        materialized = list(tuples)
+        if flwor.order is not None:
+            spec = flwor.order
+
+            def key(env: Bindings):
+                return _order_key(self._eval(spec.key, env))
+
+            materialized.sort(key=key, reverse=spec.descending)
+        out: list[Item] = []
+        for env in materialized:
+            out.extend(self._eval(flwor.body, env))
+        return out
+
+    def _bind(self, clauses, index: int,
+              env: Bindings) -> Iterator[Bindings]:
+        if index == len(clauses):
+            yield dict(env)
+            return
+        clause = clauses[index]
+        if isinstance(clause, LetClause):
+            env[clause.variable] = self._eval(clause.value, env)
+            yield from self._bind(clauses, index + 1, env)
+            del env[clause.variable]
+            return
+        assert isinstance(clause, ForClause)
+        for item in self._eval(clause.source, env):
+            env[clause.variable] = [item]
+            yield from self._bind(clauses, index + 1, env)
+        env.pop(clause.variable, None)
+
+    # -- comparisons ----------------------------------------------------------
+
+    def _compare(self, comparison: Comparison,
+                 bindings: Bindings) -> bool:
+        left_items = _atomize(self._eval(comparison.left, bindings))
+        right_items = _atomize(self._eval(comparison.right, bindings))
+        op = comparison.operator
+        for left in left_items:
+            for right in right_items:
+                if _value_compare(left, right, op):
+                    return True
+        return False
+
+    @staticmethod
+    def _boolean(items: list[Item]) -> bool:
+        """Effective boolean value: empty=false; single boolean as-is;
+        a sequence starting with a node is true; else truthiness of
+        the single atomic item."""
+        if not items:
+            return False
+        first = items[0]
+        if isinstance(first, Node):
+            return True
+        if len(items) > 1:
+            raise QueryError(
+                "effective boolean value of a multi-item atomic "
+                "sequence is undefined")
+        if isinstance(first, bool):
+            return first
+        if isinstance(first, AtomicValue):
+            return bool(first.value)
+        return bool(first)
+
+    # -- functions -----------------------------------------------------------
+
+    def _call(self, call: FunctionCall, bindings: Bindings) -> list[Item]:
+        arguments = [self._eval(arg, bindings) for arg in call.arguments]
+
+        def single() -> list[Item]:
+            if len(arguments) != 1:
+                raise QueryError(
+                    f"{call.name}() expects exactly one argument")
+            return arguments[0]
+
+        if call.name == "count":
+            return [len(single())]
+        if call.name == "exists":
+            return [len(single()) > 0]
+        if call.name == "empty":
+            return [len(single()) == 0]
+        if call.name == "not":
+            return [not self._boolean(single())]
+        if call.name == "string":
+            items = single()
+            if not items:
+                return [""]
+            return [_string_of(items[0])]
+        if call.name == "data":
+            return list(_atomize(single()))
+        if call.name == "distinct-values":
+            seen: list[object] = []
+            out: list[Item] = []
+            for value in _atomize(single()):
+                if not any(value == other for other in seen):
+                    seen.append(value)
+                    out.append(value)
+            return out
+        if call.name == "string-join":
+            if len(arguments) not in (1, 2):
+                raise QueryError("string-join() takes 1 or 2 arguments")
+            separator = ""
+            if len(arguments) == 2:
+                (separator_item,) = arguments[1]
+                separator = _string_of(separator_item)
+            return [separator.join(_string_of(item)
+                                   for item in arguments[0])]
+        raise QueryError(f"unknown function {call.name}()")
+
+    # -- constructors ---------------------------------------------------------
+
+    def _construct(self, constructor: Constructor,
+                   bindings: Bindings) -> ElementNode:
+        element = self._algebra.create_element(
+            QName("", constructor.name))
+        for child_expr in constructor.children:
+            for item in self._eval(child_expr, bindings):
+                self._append_content(element, item)
+        return element
+
+    def _append_content(self, element: ElementNode, item: Item) -> None:
+        algebra = self._algebra
+        if isinstance(item, ElementNode):
+            algebra.append_child(element, self._copy_element(item))
+        elif isinstance(item, TextNode):
+            algebra.append_child(element,
+                                 algebra.create_text(item.string_value()))
+        elif isinstance(item, AttributeNode):
+            attribute = algebra.create_attribute(
+                item.node_name().head(), item.string_value())
+            algebra.attach_attribute(element, attribute)
+        elif isinstance(item, DocumentNode):
+            algebra.append_child(
+                element, self._copy_element(item.document_element()))
+        else:
+            algebra.append_child(element,
+                                 algebra.create_text(_string_of(item)))
+
+    def _copy_element(self, source: ElementNode) -> ElementNode:
+        """Deep copy into the evaluator's algebra (XQuery node copy)."""
+        algebra = self._algebra
+        element = algebra.create_element(source.name)
+        for attribute in source.attributes():
+            copy = algebra.create_attribute(
+                attribute.node_name().head(), attribute.string_value())
+            algebra.attach_attribute(element, copy)
+        for child in source.children():
+            if isinstance(child, ElementNode):
+                algebra.append_child(element, self._copy_element(child))
+            else:
+                algebra.append_child(
+                    element, algebra.create_text(child.string_value()))
+        return element
+
+
+# ----------------------------------------------------------------------
+# Value helpers
+
+
+def _atomize(items: list[Item]) -> list[object]:
+    out: list[object] = []
+    for item in items:
+        if isinstance(item, Node):
+            out.extend(atomic.value for atomic in fn.data(item))
+        elif isinstance(item, AtomicValue):
+            out.append(item.value)
+        else:
+            out.append(item)
+    return out
+
+
+def _string_of(item: Item) -> str:
+    if isinstance(item, Node):
+        return item.string_value()
+    if isinstance(item, AtomicValue):
+        return item.type.canonical(item.value)
+    if isinstance(item, bool):
+        return "true" if item else "false"
+    return str(item)
+
+
+def _as_number(value: object) -> "Decimal | None":
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, Decimal)):
+        return Decimal(value)
+    if isinstance(value, float):
+        return Decimal(str(value))
+    if isinstance(value, str):
+        try:
+            return Decimal(value.strip())
+        except InvalidOperation:
+            return None
+    return None
+
+
+def _value_compare(left: object, right: object, op: str) -> bool:
+    # Numeric comparison when both sides are (convertible to) numbers
+    # and at least one side is genuinely numeric.
+    if isinstance(left, (int, Decimal, float)) or \
+            isinstance(right, (int, Decimal, float)):
+        left_number = _as_number(left)
+        right_number = _as_number(right)
+        if left_number is not None and right_number is not None:
+            return _apply(op, left_number, right_number)
+        if op == "=":
+            return False
+        if op == "!=":
+            return True
+    left_text = left if isinstance(left, str) else _string_of(left)
+    right_text = right if isinstance(right, str) else _string_of(right)
+    return _apply(op, left_text, right_text)
+
+
+def _apply(op: str, left, right) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _order_key(items: list[Item]):
+    values = _atomize(items)
+    if not values:
+        return (0, "")
+    value = values[0]
+    number = _as_number(value)
+    if number is not None and not isinstance(value, str):
+        return (1, number)
+    return (2, _string_of(value))  # type: ignore[arg-type]
+
+
+def execute(document: Node, query: str) -> list[Item]:
+    """Parse and evaluate *query* against *document*."""
+    return XQueryEvaluator(document).evaluate(query)
+
+
+def execute_values(document: Node, query: str) -> list[str]:
+    """Like :func:`execute` but stringifies every result item."""
+    return [_string_of(item) for item in execute(document, query)]

@@ -1,0 +1,79 @@
+"""Tokenizer for the XQuery-lite language.
+
+The paper's conclusion announces "defining a simple semantics of a
+data manipulation language like XQuery" as the next step; this package
+is that step, scoped to FLWOR expressions over the path language:
+
+* ``for $x in <expr>`` (several, comma-separated),
+* ``let $y := <expr>``,
+* ``where <comparison>``,
+* ``order by <expr> [ascending|descending]``,
+* ``return <expr>`` with element constructors.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+
+KEYWORDS = frozenset((
+    "for", "let", "where", "order", "by", "return", "in",
+    "ascending", "descending", "and", "or",
+))
+
+_TOKEN_RX = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+(\.\d+)?)
+  | (?P<string>'[^']*'|"[^"]*")
+  | (?P<assign>:=)
+  | (?P<comparison>!=|<=|>=|=|<(?![a-zA-Z/])|>)
+  | (?P<variable>\$[A-Za-z_][\w-]*)
+  | (?P<path>//?(?:text\(\)|\[[^\]]*\]|[^\s,(){}<>=!\[\]])+)
+  | (?P<name>[A-Za-z_][\w-]*)
+  | (?P<open_tag></?[A-Za-z_][\w-]*\s*>)
+  | (?P<punct>[(),{}])
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a kind tag, the text, and its offset."""
+
+    kind: str
+    text: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split *source* into tokens; raises QueryError on junk."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RX.match(source, position)
+        if match is None:
+            raise QueryError(
+                f"unexpected character {source[position]!r} at "
+                f"offset {position}")
+        kind = match.lastgroup or ""
+        text = match.group()
+        position = match.end()
+        if kind == "ws":
+            continue
+        if kind == "name" and text in KEYWORDS:
+            kind = "keyword"
+        if kind == "string":
+            text = text[1:-1]
+        if kind == "variable":
+            text = text[1:]
+        if kind == "open_tag":
+            # Distinguish <name> / </name> constructor delimiters.
+            kind = "close_tag" if text.startswith("</") else "start_tag"
+            text = text.strip("</> \t")
+        tokens.append(Token(kind, text, match.start()))
+    return tokens

@@ -1,0 +1,240 @@
+"""Recursive-descent parser for XQuery-lite."""
+
+from __future__ import annotations
+
+from decimal import Decimal
+
+from repro.errors import QueryError
+from repro.query.paths import parse_path
+from repro.xquery.ast import (
+    BooleanExpr,
+    Comparison,
+    Constructor,
+    Expression,
+    Flwor,
+    ForClause,
+    FunctionCall,
+    LetClause,
+    Literal,
+    OrderSpec,
+    PathExpr,
+    SequenceExpr,
+    VarPath,
+    VarRef,
+)
+from repro.xquery.lexer import Token, tokenize
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+#: Functions the evaluator provides (subset of fn:*).
+KNOWN_FUNCTIONS = frozenset((
+    "count", "string", "data", "distinct-values", "string-join",
+    "exists", "empty", "not",
+))
+
+
+class _Cursor:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self._index += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            return None
+        if text is not None and token.text != text:
+            return None
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            actual = self.peek()
+            wanted = text or kind
+            raise QueryError(
+                f"expected {wanted!r}, got "
+                f"{actual.text if actual else 'end of query'!r}")
+        return token
+
+    def at_end(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+class XQueryParser:
+    """Parses one query string into the AST."""
+
+    def parse(self, source: str) -> Expression:
+        cursor = _Cursor(tokenize(source))
+        expression = self._expr(cursor)
+        if not cursor.at_end():
+            leftover = cursor.peek()
+            raise QueryError(
+                f"unexpected trailing input {leftover.text!r}")
+        return expression
+
+    # ------------------------------------------------------------------
+
+    def _expr(self, cursor: _Cursor) -> Expression:
+        token = cursor.peek()
+        if token is not None and token.kind == "keyword" and \
+                token.text in ("for", "let"):
+            return self._flwor(cursor)
+        return self._or_expr(cursor)
+
+    def _flwor(self, cursor: _Cursor) -> Flwor:
+        clauses: list[ForClause | LetClause] = []
+        while True:
+            token = cursor.peek()
+            if token is None or token.kind != "keyword":
+                break
+            if token.text == "for":
+                cursor.next()
+                while True:
+                    variable = cursor.expect("variable").text
+                    cursor.expect("keyword", "in")
+                    clauses.append(ForClause(variable,
+                                             self._or_expr(cursor)))
+                    if not cursor.accept("punct", ","):
+                        break
+            elif token.text == "let":
+                cursor.next()
+                while True:
+                    variable = cursor.expect("variable").text
+                    cursor.expect("assign")
+                    clauses.append(LetClause(variable,
+                                             self._or_expr(cursor)))
+                    if not cursor.accept("punct", ","):
+                        break
+            else:
+                break
+        if not clauses:
+            raise QueryError("FLWOR needs at least one for/let clause")
+        where = None
+        if cursor.accept("keyword", "where"):
+            where = self._or_expr(cursor)
+        order = None
+        if cursor.accept("keyword", "order"):
+            cursor.expect("keyword", "by")
+            key = self._or_expr(cursor)
+            descending = bool(cursor.accept("keyword", "descending"))
+            if not descending:
+                cursor.accept("keyword", "ascending")
+            order = OrderSpec(key, descending)
+        cursor.expect("keyword", "return")
+        body = self._expr(cursor)
+        return Flwor(tuple(clauses), where, order, body)
+
+    def _or_expr(self, cursor: _Cursor) -> Expression:
+        left = self._and_expr(cursor)
+        while cursor.accept("keyword", "or"):
+            left = BooleanExpr("or", left, self._and_expr(cursor))
+        return left
+
+    def _and_expr(self, cursor: _Cursor) -> Expression:
+        left = self._comparison(cursor)
+        while cursor.accept("keyword", "and"):
+            left = BooleanExpr("and", left, self._comparison(cursor))
+        return left
+
+    def _comparison(self, cursor: _Cursor) -> Expression:
+        left = self._primary(cursor)
+        token = cursor.peek()
+        if token is not None and token.kind == "comparison":
+            cursor.next()
+            right = self._primary(cursor)
+            return Comparison(token.text, left, right)
+        return left
+
+    def _primary(self, cursor: _Cursor) -> Expression:
+        token = cursor.peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        if token.kind == "path":
+            cursor.next()
+            return PathExpr(parse_path(token.text))
+        if token.kind == "variable":
+            cursor.next()
+            follow = cursor.peek()
+            if follow is not None and follow.kind == "path":
+                cursor.next()
+                return VarPath(token.text, parse_path(follow.text))
+            return VarRef(token.text)
+        if token.kind == "string":
+            cursor.next()
+            return Literal(token.text)
+        if token.kind == "number":
+            cursor.next()
+            if "." in token.text:
+                return Literal(Decimal(token.text))
+            return Literal(int(token.text))
+        if token.kind == "name":
+            return self._function_call(cursor)
+        if token.kind == "start_tag":
+            return self._constructor(cursor)
+        if token.kind == "punct" and token.text == "(":
+            cursor.next()
+            items = [self._or_expr(cursor)]
+            while cursor.accept("punct", ","):
+                items.append(self._or_expr(cursor))
+            cursor.expect("punct", ")")
+            if len(items) == 1:
+                return items[0]
+            return SequenceExpr(tuple(items))
+        raise QueryError(f"unexpected token {token.text!r}")
+
+    def _function_call(self, cursor: _Cursor) -> FunctionCall:
+        name = cursor.expect("name").text
+        if name not in KNOWN_FUNCTIONS:
+            raise QueryError(f"unknown function {name}()")
+        cursor.expect("punct", "(")
+        arguments: list[Expression] = []
+        if not cursor.accept("punct", ")"):
+            arguments.append(self._or_expr(cursor))
+            while cursor.accept("punct", ","):
+                arguments.append(self._or_expr(cursor))
+            cursor.expect("punct", ")")
+        return FunctionCall(name, tuple(arguments))
+
+    def _constructor(self, cursor: _Cursor) -> Constructor:
+        open_token = cursor.expect("start_tag")
+        children: list[Expression] = []
+        while True:
+            token = cursor.peek()
+            if token is None:
+                raise QueryError(
+                    f"unterminated constructor <{open_token.text}>")
+            if token.kind == "close_tag":
+                cursor.next()
+                if token.text != open_token.text:
+                    raise QueryError(
+                        f"</{token.text}> does not close "
+                        f"<{open_token.text}>")
+                return Constructor(open_token.text, tuple(children))
+            if token.kind == "punct" and token.text == "{":
+                cursor.next()
+                children.append(self._or_expr(cursor))
+                cursor.expect("punct", "}")
+            elif token.kind == "start_tag":
+                children.append(self._constructor(cursor))
+            else:
+                raise QueryError(
+                    "constructor content must be {expressions} or "
+                    f"nested constructors, got {token.text!r}")
+
+
+def parse_query(source: str) -> Expression:
+    """Parse *source* into the XQuery-lite AST."""
+    return XQueryParser().parse(source)

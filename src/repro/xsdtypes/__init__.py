@@ -1,0 +1,92 @@
+"""The simple type system of Section 4.
+
+The package implements the paper's basic-type layer: the full builtin
+type hierarchy rooted at ``xs:anyType``, derivation by restriction with
+constraining facets, list and union types, and the sequence type
+constructor ``Seq(T)``.
+"""
+
+from repro.xsdtypes.base import (
+    ANY_ATOMIC_TYPE,
+    ANY_SIMPLE_TYPE,
+    ANY_TYPE,
+    UNTYPED_ATOMIC,
+    AtomicType,
+    AtomicValue,
+    ListType,
+    SimpleType,
+    TypeDefinition,
+    UnionType,
+)
+from repro.xsdtypes.facets import (
+    EnumerationFacet,
+    Facet,
+    FractionDigitsFacet,
+    LengthFacet,
+    MaxExclusiveFacet,
+    MaxInclusiveFacet,
+    MaxLengthFacet,
+    MinExclusiveFacet,
+    MinInclusiveFacet,
+    MinLengthFacet,
+    PatternFacet,
+    TotalDigitsFacet,
+    WhiteSpaceFacet,
+)
+from repro.xsdtypes.registry import (
+    BUILTINS,
+    TypeRegistry,
+    builtin,
+    builtin_registry,
+    xdt_type,
+)
+from repro.xsdtypes.sequence import Sequence, seq
+from repro.xsdtypes.values import (
+    Binary,
+    Duration,
+    IndeterminateOrder,
+    Temporal,
+    days_from_civil,
+    days_in_month,
+    is_leap_year,
+)
+
+__all__ = [
+    "ANY_ATOMIC_TYPE",
+    "ANY_SIMPLE_TYPE",
+    "ANY_TYPE",
+    "AtomicType",
+    "AtomicValue",
+    "BUILTINS",
+    "Binary",
+    "Duration",
+    "EnumerationFacet",
+    "Facet",
+    "FractionDigitsFacet",
+    "IndeterminateOrder",
+    "LengthFacet",
+    "ListType",
+    "MaxExclusiveFacet",
+    "MaxInclusiveFacet",
+    "MaxLengthFacet",
+    "MinExclusiveFacet",
+    "MinInclusiveFacet",
+    "MinLengthFacet",
+    "PatternFacet",
+    "Sequence",
+    "SimpleType",
+    "Temporal",
+    "TotalDigitsFacet",
+    "TypeDefinition",
+    "TypeRegistry",
+    "UNTYPED_ATOMIC",
+    "UnionType",
+    "WhiteSpaceFacet",
+    "builtin",
+    "builtin_registry",
+    "days_from_civil",
+    "days_in_month",
+    "is_leap_year",
+    "seq",
+    "xdt_type",
+]

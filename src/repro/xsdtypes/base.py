@@ -1,0 +1,355 @@
+"""Core machinery of the simple-type system (Section 4).
+
+The paper arranges types in a hierarchy rooted at ``xs:anyType`` with
+``xs:anySimpleType`` below it, ``xdt:anyAtomicType`` below that, and the
+primitive atomic types below that.  This module provides:
+
+* :class:`TypeDefinition` — common base of every type (simple or not),
+* :class:`SimpleType` and its three varieties
+  (:class:`AtomicType`, :class:`ListType`, :class:`UnionType`),
+* :class:`AtomicValue` — a (value, type) pair, the item of typed values,
+* the special types ``ANY_TYPE``, ``ANY_SIMPLE_TYPE``,
+  ``ANY_ATOMIC_TYPE`` and ``UNTYPED_ATOMIC``.
+
+Parsing a literal against a type runs the full XSD pipeline: whitespace
+normalization, pattern facets, the primitive's lexical mapping, then the
+value facets of every derivation step from the primitive down.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.errors import FacetError, LexicalError, TypeSystemError
+from repro.xmlio.chars import collapse_whitespace, replace_whitespace
+from repro.xmlio.qname import QName, xdt, xsd
+from repro.xsdtypes.facets import Facet, PatternFacet, WhiteSpaceFacet
+
+
+class TypeDefinition:
+    """A named or anonymous type in the Section 4 hierarchy."""
+
+    def __init__(self, name: QName | None,
+                 base: "TypeDefinition | None") -> None:
+        self.name = name
+        self.base = base
+
+    @property
+    def type_name(self) -> str:
+        """Readable name for diagnostics (``<anonymous>`` if unnamed)."""
+        return self.name.lexical if self.name else "<anonymous>"
+
+    def is_derived_from(self, other: "TypeDefinition") -> bool:
+        """Reflexive, transitive derivation check."""
+        current: TypeDefinition | None = self
+        while current is not None:
+            if current is other:
+                return True
+            current = current.base
+        return False
+
+    def ancestry(self) -> Iterator["TypeDefinition"]:
+        """This type followed by its bases, up to ``xs:anyType``."""
+        current: TypeDefinition | None = self
+        while current is not None:
+            yield current
+            current = current.base
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.type_name})"
+
+
+class AtomicValue:
+    """A typed atomic value: the pairing of a value with its atomic type.
+
+    Instances populate the ``typed-value`` accessor sequences of
+    Section 5.  Equality compares both the value and the type.
+    """
+
+    __slots__ = ("value", "type")
+
+    def __init__(self, value: object, type_: "SimpleType") -> None:
+        self.value = value
+        self.type = type_
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AtomicValue):
+            return NotImplemented
+        return self.value == other.value and self.type is other.type
+
+    def __hash__(self) -> int:
+        return hash((self.value, id(self.type)))
+
+    def __repr__(self) -> str:
+        return f"AtomicValue({self.value!r}, {self.type.type_name})"
+
+
+class SimpleType(TypeDefinition):
+    """Common behaviour of atomic, list and union types."""
+
+    variety = "abstract"
+
+    def __init__(self, name: QName | None, base: TypeDefinition | None,
+                 facets: Iterable[Facet] = ()) -> None:
+        super().__init__(name, base)
+        self.facets = tuple(facets)
+
+    # -- whitespace -----------------------------------------------------
+
+    def effective_whitespace(self) -> str:
+        """The whitespace mode in force for this type (nearest facet wins)."""
+        for ancestor in self.ancestry():
+            if isinstance(ancestor, SimpleType):
+                for facet in ancestor.facets:
+                    if isinstance(facet, WhiteSpaceFacet):
+                        return facet.mode
+        return "collapse"
+
+    def normalize(self, literal: str) -> str:
+        """Apply the effective whitespace facet to *literal*."""
+        mode = self.effective_whitespace()
+        if mode == "collapse":
+            return collapse_whitespace(literal)
+        if mode == "replace":
+            return replace_whitespace(literal)
+        return literal
+
+    # -- derivation chain -----------------------------------------------
+
+    def restriction_chain(self) -> list["SimpleType"]:
+        """Simple types from the primitive (or variety root) down to self."""
+        chain = [t for t in self.ancestry() if isinstance(t, SimpleType)]
+        chain.reverse()
+        return chain
+
+    def _check_facets(self, value: object, literal: str) -> None:
+        for step in self.restriction_chain():
+            for facet in step.facets:
+                if isinstance(facet, PatternFacet):
+                    facet.check(value, literal)
+                else:
+                    facet.check(value, literal)
+
+    # -- the public parsing API ------------------------------------------
+
+    def parse(self, literal: str) -> object:
+        """Map *literal* into the value space, enforcing all facets."""
+        raise NotImplementedError
+
+    def validate(self, literal: str) -> bool:
+        """True iff *literal* is in the lexical space of this type."""
+        try:
+            self.parse(literal)
+        except (LexicalError, FacetError):
+            return False
+        return True
+
+    def typed_value(self, literal: str) -> tuple[AtomicValue, ...]:
+        """The XDM typed value of *literal*: a sequence of atomic values."""
+        raise NotImplementedError
+
+    def canonical(self, value: object) -> str:
+        """The canonical lexical representation of *value*."""
+        raise NotImplementedError
+
+    def primitive_type(self) -> "SimpleType | None":
+        """The primitive ancestor of an atomic type, if any."""
+        return None
+
+
+class AtomicType(SimpleType):
+    """An atomic type: a primitive or a restriction of an atomic type."""
+
+    variety = "atomic"
+
+    def __init__(self, name: QName | None, base: TypeDefinition | None,
+                 facets: Iterable[Facet] = (),
+                 parser: Callable[[str], object] | None = None,
+                 canonicalizer: Callable[[object], str] | None = None,
+                 primitive: bool = False) -> None:
+        super().__init__(name, base, facets)
+        self._parser = parser
+        self._canonicalizer = canonicalizer
+        self.is_primitive = primitive
+
+    def primitive_type(self) -> "AtomicType | None":
+        for ancestor in self.ancestry():
+            if isinstance(ancestor, AtomicType) and ancestor.is_primitive:
+                return ancestor
+        return None
+
+    def _lexical_parser(self) -> Callable[[str], object]:
+        for ancestor in self.ancestry():
+            if isinstance(ancestor, AtomicType) and ancestor._parser:
+                return ancestor._parser
+        raise TypeSystemError(
+            f"type {self.type_name} has no lexical mapping")
+
+    def parse(self, literal: str) -> object:
+        normalized = self.normalize(literal)
+        try:
+            value = self._lexical_parser()(normalized)
+        except LexicalError:
+            raise
+        except (ValueError, ArithmeticError) as exc:
+            raise LexicalError(self.type_name, literal, str(exc)) from exc
+        self._check_facets(value, normalized)
+        return value
+
+    def typed_value(self, literal: str) -> tuple[AtomicValue, ...]:
+        return (AtomicValue(self.parse(literal), self),)
+
+    def canonical(self, value: object) -> str:
+        for ancestor in self.ancestry():
+            if (isinstance(ancestor, AtomicType)
+                    and ancestor._canonicalizer):
+                return ancestor._canonicalizer(value)
+        return str(value)
+
+    def restrict(self, facets: Iterable[Facet],
+                 name: QName | None = None) -> "AtomicType":
+        """Derive a new atomic type from this one by restriction."""
+        facets = tuple(facets)
+        _check_whitespace_restriction(self, facets)
+        return AtomicType(name, self, facets)
+
+
+class ListType(SimpleType):
+    """A list type: whitespace-separated items of an atomic/union type."""
+
+    variety = "list"
+
+    def __init__(self, name: QName | None, item_type: SimpleType,
+                 facets: Iterable[Facet] = (),
+                 base: TypeDefinition | None = None) -> None:
+        if isinstance(item_type, ListType):
+            raise TypeSystemError("list item type may not itself be a list")
+        super().__init__(name, base, facets)
+        self.item_type = item_type
+
+    def effective_whitespace(self) -> str:
+        return "collapse"
+
+    def parse(self, literal: str) -> tuple[object, ...]:
+        normalized = self.normalize(literal)
+        items = normalized.split() if normalized else []
+        value = tuple(self.item_type.parse(item) for item in items)
+        self._check_facets(value, normalized)
+        return value
+
+    def typed_value(self, literal: str) -> tuple[AtomicValue, ...]:
+        normalized = self.normalize(literal)
+        items = normalized.split() if normalized else []
+        out: list[AtomicValue] = []
+        for item in items:
+            out.extend(self.item_type.typed_value(item))
+        self._check_facets(tuple(av.value for av in out), normalized)
+        return tuple(out)
+
+    def canonical(self, value: object) -> str:
+        if not isinstance(value, tuple):
+            raise TypeSystemError("list value must be a tuple")
+        return " ".join(self.item_type.canonical(item) for item in value)
+
+    def restrict(self, facets: Iterable[Facet],
+                 name: QName | None = None) -> "ListType":
+        derived = ListType(name, self.item_type, facets, base=self)
+        return derived
+
+
+class UnionType(SimpleType):
+    """A union type: the first member accepting the literal wins."""
+
+    variety = "union"
+
+    def __init__(self, name: QName | None,
+                 member_types: Iterable[SimpleType],
+                 facets: Iterable[Facet] = (),
+                 base: TypeDefinition | None = None) -> None:
+        members = tuple(member_types)
+        if not members:
+            raise TypeSystemError("a union type needs at least one member")
+        super().__init__(name, base, facets)
+        self.member_types = members
+
+    def effective_whitespace(self) -> str:
+        # Whitespace handling is delegated to the matching member.
+        return "preserve"
+
+    def parse_with_member(self, literal: str) -> tuple[object, SimpleType]:
+        """Parse and also report which member type matched."""
+        for member in self.member_types:
+            try:
+                value = member.parse(literal)
+            except (LexicalError, FacetError):
+                continue
+            self._check_facets(value, literal)
+            return value, member
+        raise LexicalError(self.type_name, literal,
+                           "no union member accepts the literal")
+
+    def parse(self, literal: str) -> object:
+        value, _member = self.parse_with_member(literal)
+        return value
+
+    def typed_value(self, literal: str) -> tuple[AtomicValue, ...]:
+        for member in self.member_types:
+            try:
+                result = member.typed_value(literal)
+            except (LexicalError, FacetError):
+                continue
+            self._check_facets(
+                result[0].value if len(result) == 1
+                else tuple(av.value for av in result),
+                literal)
+            return result
+        raise LexicalError(self.type_name, literal,
+                           "no union member accepts the literal")
+
+    def canonical(self, value: object) -> str:
+        for member in self.member_types:
+            try:
+                text = member.canonical(value)
+            except (TypeSystemError, ValueError, TypeError):
+                continue
+            if member.validate(text):
+                return text
+        raise TypeSystemError(
+            f"value {value!r} fits no member of union {self.type_name}")
+
+    def restrict(self, facets: Iterable[Facet],
+                 name: QName | None = None) -> "UnionType":
+        return UnionType(name, self.member_types, facets, base=self)
+
+
+def _check_whitespace_restriction(base: SimpleType,
+                                  facets: tuple[Facet, ...]) -> None:
+    """A restriction may not loosen the whitespace facet."""
+    base_mode = WhiteSpaceFacet(base.effective_whitespace())
+    for facet in facets:
+        if isinstance(facet, WhiteSpaceFacet):
+            if not facet.at_least_as_strict_as(base_mode):
+                raise FacetError(
+                    f"whiteSpace may not be loosened from "
+                    f"{base_mode.mode!r} to {facet.mode!r}")
+
+
+# ----------------------------------------------------------------------
+# The special types at the top of the hierarchy (Section 4).
+
+#: ``xs:anyType`` — the base of every type.
+ANY_TYPE = TypeDefinition(xsd("anyType"), None)
+
+#: ``xs:anySimpleType`` — the base of all simple types.
+ANY_SIMPLE_TYPE = SimpleType(xsd("anySimpleType"), ANY_TYPE)
+
+#: ``xdt:anyAtomicType`` — the base of all primitive atomic types.
+ANY_ATOMIC_TYPE = AtomicType(xdt("anyAtomicType"), ANY_SIMPLE_TYPE,
+                             parser=lambda s: s)
+
+#: ``xdt:untypedAtomic`` — the type of text nodes in the paper's trees.
+UNTYPED_ATOMIC = AtomicType(
+    xdt("untypedAtomic"), ANY_ATOMIC_TYPE,
+    facets=(WhiteSpaceFacet("preserve"),),
+    parser=lambda s: s,
+    primitive=False)

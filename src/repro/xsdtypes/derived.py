@@ -1,0 +1,110 @@
+"""Builtin derived simple types (the non-primitive builtins of Part 2).
+
+The derivation chains follow the specification exactly:
+
+* string → normalizedString → token → {language, NMTOKEN, Name}
+  with Name → NCName → {ID, IDREF, ENTITY},
+* decimal → integer → {nonPositiveInteger → negativeInteger,
+  long → int → short → byte,
+  nonNegativeInteger → {unsignedLong → unsignedInt → unsignedShort →
+  unsignedByte, positiveInteger}},
+* the three builtin list types NMTOKENS, IDREFS, ENTITIES.
+"""
+
+from __future__ import annotations
+
+from repro.xmlio.qname import QName, xsd
+from repro.xsdtypes.base import AtomicType, ListType, SimpleType
+from repro.xsdtypes.facets import (
+    Facet,
+    MaxInclusiveFacet,
+    MinInclusiveFacet,
+    MinLengthFacet,
+    PatternFacet,
+    WhiteSpaceFacet,
+)
+from repro.xsdtypes.primitives import canonical_integer, parse_integer
+
+#: (name, base name, facet builders) for the string-derived chain.
+_STRING_CHAIN: tuple[tuple[str, str, tuple[Facet, ...]], ...] = (
+    ("normalizedString", "string", (WhiteSpaceFacet("replace"),)),
+    ("token", "normalizedString", (WhiteSpaceFacet("collapse"),)),
+    ("language", "token",
+     (PatternFacet(("[a-zA-Z]{1,8}(-[a-zA-Z0-9]{1,8})*",)),)),
+    ("NMTOKEN", "token", (PatternFacet(("\\c+",)),)),
+    ("Name", "token", (PatternFacet(("\\i\\c*",)),)),
+    # The spec writes NCName as [\i-[:]][\c-[:]]* using character-class
+    # subtraction, which the regex translator does not support; this
+    # simpler conjunction with the Name base pattern is equivalent.
+    ("NCName", "Name", (PatternFacet(("[^\\s:]+",)),)),
+    ("ID", "NCName", ()),
+    ("IDREF", "NCName", ()),
+    ("ENTITY", "NCName", ()),
+)
+
+#: (name, base name, minimum, maximum) for the integer-derived chain.
+_INTEGER_CHAIN: tuple[tuple[str, str, int | None, int | None], ...] = (
+    ("nonPositiveInteger", "integer", None, 0),
+    ("negativeInteger", "nonPositiveInteger", None, -1),
+    ("long", "integer", -2**63, 2**63 - 1),
+    ("int", "long", -2**31, 2**31 - 1),
+    ("short", "int", -2**15, 2**15 - 1),
+    ("byte", "short", -128, 127),
+    ("nonNegativeInteger", "integer", 0, None),
+    ("unsignedLong", "nonNegativeInteger", 0, 2**64 - 1),
+    ("unsignedInt", "unsignedLong", 0, 2**32 - 1),
+    ("unsignedShort", "unsignedInt", 0, 2**16 - 1),
+    ("unsignedByte", "unsignedShort", 0, 255),
+    ("positiveInteger", "nonNegativeInteger", 1, None),
+)
+
+#: Builtin list types: (list name, item type name).
+_BUILTIN_LISTS = (
+    ("NMTOKENS", "NMTOKEN"),
+    ("IDREFS", "IDREF"),
+    ("ENTITIES", "ENTITY"),
+)
+
+def build_derived_types(
+        builtins: dict[QName, SimpleType]) -> dict[QName, SimpleType]:
+    """Create every builtin derived type given the primitives.
+
+    *builtins* must already contain the primitives (and ``xs:integer``'s
+    base ``xs:decimal``); the result maps each new name to its type and
+    can be merged into the registry.
+    """
+    created: dict[QName, SimpleType] = {}
+
+    def lookup(local: str) -> SimpleType:
+        name = xsd(local)
+        if name in created:
+            return created[name]
+        return builtins[name]
+
+    # integer itself: derived from decimal but with an integer value space.
+    integer = AtomicType(
+        xsd("integer"), lookup("decimal"),
+        facets=(PatternFacet(("[+-]?\\d+",)),),
+        parser=parse_integer, canonicalizer=canonical_integer)
+    created[integer.name] = integer
+
+    for local, base_local, facets in _STRING_CHAIN:
+        derived = AtomicType(xsd(local), lookup(base_local), facets=facets)
+        created[derived.name] = derived
+
+    for local, base_local, minimum, maximum in _INTEGER_CHAIN:
+        facets: list[Facet] = []
+        if minimum is not None:
+            facets.append(MinInclusiveFacet(minimum))
+        if maximum is not None:
+            facets.append(MaxInclusiveFacet(maximum))
+        derived = AtomicType(xsd(local), lookup(base_local),
+                             facets=tuple(facets))
+        created[derived.name] = derived
+
+    for list_local, item_local in _BUILTIN_LISTS:
+        list_type = ListType(xsd(list_local), lookup(item_local),
+                             facets=(MinLengthFacet(1),))
+        created[list_type.name] = list_type
+
+    return created

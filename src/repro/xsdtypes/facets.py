@@ -1,0 +1,238 @@
+"""Constraining facets of the XSD simple-type system.
+
+A facet restricts the value or lexical space of a simple type derived by
+restriction.  Each facet object is immutable and knows how to ``check``
+one parsed value (with its post-whitespace literal).  Violations raise
+:class:`~repro.errors.FacetError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from decimal import Decimal
+from typing import TYPE_CHECKING
+
+from repro.errors import FacetError
+from repro.xsdtypes.regex import compile_pattern
+from repro.xsdtypes.values import Binary, IndeterminateOrder
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import re
+
+
+def value_length(value: object) -> int:
+    """The facet-relevant length of a value.
+
+    Strings count characters, binary values count octets, list values
+    count items; other value spaces have no length.
+    """
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, Binary):
+        return len(value)
+    if isinstance(value, tuple):
+        return len(value)
+    raise FacetError(
+        f"values of type {type(value).__name__} have no length facet")
+
+
+@dataclass(frozen=True)
+class Facet:
+    """Base class; concrete facets override :meth:`check`."""
+
+    def check(self, value: object, literal: str) -> None:
+        raise NotImplementedError
+
+    @property
+    def name(self) -> str:
+        """The XSD facet element name, e.g. ``maxInclusive``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LengthFacet(Facet):
+    length: int
+
+    name = "length"
+
+    def check(self, value: object, literal: str) -> None:
+        if value_length(value) != self.length:
+            raise FacetError(
+                f"length {value_length(value)} != required {self.length}")
+
+
+@dataclass(frozen=True)
+class MinLengthFacet(Facet):
+    length: int
+
+    name = "minLength"
+
+    def check(self, value: object, literal: str) -> None:
+        if value_length(value) < self.length:
+            raise FacetError(
+                f"length {value_length(value)} < minLength {self.length}")
+
+
+@dataclass(frozen=True)
+class MaxLengthFacet(Facet):
+    length: int
+
+    name = "maxLength"
+
+    def check(self, value: object, literal: str) -> None:
+        if value_length(value) > self.length:
+            raise FacetError(
+                f"length {value_length(value)} > maxLength {self.length}")
+
+
+@dataclass(frozen=True)
+class PatternFacet(Facet):
+    """One or more alternative XSD patterns (alternatives are OR-ed)."""
+
+    patterns: tuple[str, ...]
+    _compiled: "tuple[re.Pattern[str], ...]" = field(
+        init=False, repr=False, compare=False, default=())
+
+    name = "pattern"
+
+    def __post_init__(self) -> None:
+        compiled = tuple(compile_pattern(p) for p in self.patterns)
+        object.__setattr__(self, "_compiled", compiled)
+
+    def check(self, value: object, literal: str) -> None:
+        if not any(rx.match(literal) for rx in self._compiled):
+            raise FacetError(
+                f"{literal!r} matches none of the patterns {self.patterns}")
+
+
+@dataclass(frozen=True)
+class EnumerationFacet(Facet):
+    """Restriction of the value space to an explicit set of values."""
+
+    values: tuple[object, ...]
+
+    name = "enumeration"
+
+    def check(self, value: object, literal: str) -> None:
+        for allowed in self.values:
+            try:
+                if value == allowed:
+                    return
+            except IndeterminateOrder:
+                continue
+        raise FacetError(f"{literal!r} is not one of the enumerated values")
+
+
+def _compare(value: object, bound: object, op: str) -> bool:
+    try:
+        if op == "<":
+            return value < bound  # type: ignore[operator]
+        if op == "<=":
+            return value <= bound  # type: ignore[operator]
+        if op == ">":
+            return value > bound  # type: ignore[operator]
+        return value >= bound  # type: ignore[operator]
+    except (TypeError, IndeterminateOrder) as exc:
+        raise FacetError(
+            f"value {value!r} is not comparable with bound {bound!r}") from exc
+
+
+@dataclass(frozen=True)
+class MinInclusiveFacet(Facet):
+    bound: object
+
+    name = "minInclusive"
+
+    def check(self, value: object, literal: str) -> None:
+        if not _compare(value, self.bound, ">="):
+            raise FacetError(f"{literal!r} < minInclusive {self.bound!r}")
+
+
+@dataclass(frozen=True)
+class MinExclusiveFacet(Facet):
+    bound: object
+
+    name = "minExclusive"
+
+    def check(self, value: object, literal: str) -> None:
+        if not _compare(value, self.bound, ">"):
+            raise FacetError(f"{literal!r} <= minExclusive {self.bound!r}")
+
+
+@dataclass(frozen=True)
+class MaxInclusiveFacet(Facet):
+    bound: object
+
+    name = "maxInclusive"
+
+    def check(self, value: object, literal: str) -> None:
+        if not _compare(value, self.bound, "<="):
+            raise FacetError(f"{literal!r} > maxInclusive {self.bound!r}")
+
+
+@dataclass(frozen=True)
+class MaxExclusiveFacet(Facet):
+    bound: object
+
+    name = "maxExclusive"
+
+    def check(self, value: object, literal: str) -> None:
+        if not _compare(value, self.bound, "<"):
+            raise FacetError(f"{literal!r} >= maxExclusive {self.bound!r}")
+
+
+@dataclass(frozen=True)
+class TotalDigitsFacet(Facet):
+    digits: int
+
+    name = "totalDigits"
+
+    def check(self, value: object, literal: str) -> None:
+        if not isinstance(value, (int, Decimal)):
+            raise FacetError("totalDigits applies only to decimal types")
+        text = str(abs(Decimal(value))).replace(".", "").lstrip("0")
+        significant = len(text) or 1
+        if significant > self.digits:
+            raise FacetError(
+                f"{literal!r} has {significant} digits > "
+                f"totalDigits {self.digits}")
+
+
+@dataclass(frozen=True)
+class FractionDigitsFacet(Facet):
+    digits: int
+
+    name = "fractionDigits"
+
+    def check(self, value: object, literal: str) -> None:
+        if not isinstance(value, (int, Decimal)):
+            raise FacetError("fractionDigits applies only to decimal types")
+        exponent = Decimal(value).normalize().as_tuple().exponent
+        fraction = max(0, -int(exponent))
+        if fraction > self.digits:
+            raise FacetError(
+                f"{literal!r} has {fraction} fraction digits > "
+                f"fractionDigits {self.digits}")
+
+
+@dataclass(frozen=True)
+class WhiteSpaceFacet(Facet):
+    """The whitespace normalization rule; checked structurally, not per value."""
+
+    mode: str  # "preserve" | "replace" | "collapse"
+
+    name = "whiteSpace"
+
+    _ORDER = {"preserve": 0, "replace": 1, "collapse": 2}
+
+    def __post_init__(self) -> None:
+        if self.mode not in self._ORDER:
+            raise FacetError(f"unknown whiteSpace mode {self.mode!r}")
+
+    def check(self, value: object, literal: str) -> None:
+        # Normalization happens before parsing; nothing to verify here.
+        return
+
+    def at_least_as_strict_as(self, other: "WhiteSpaceFacet") -> bool:
+        """Restrictions may only move towards ``collapse``."""
+        return self._ORDER[self.mode] >= self._ORDER[other.mode]

@@ -1,0 +1,326 @@
+"""The nineteen primitive types of XML Schema Part 2 (Section 4).
+
+Each primitive supplies a lexical parser (literal → value) and a
+canonicalizer (value → canonical literal).  The registry in
+:mod:`repro.xsdtypes.registry` instantiates them as
+:class:`~repro.xsdtypes.base.AtomicType` objects.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import math
+import re
+from decimal import Decimal, InvalidOperation
+
+from repro.errors import LexicalError
+from repro.xmlio.chars import is_ncname
+from repro.xsdtypes.values import Binary, Duration, Temporal, days_in_month
+
+# ----------------------------------------------------------------------
+# Numeric types
+
+_DECIMAL_RX = re.compile(r"[+-]?(\d+(\.\d*)?|\.\d+)\Z")
+_INTEGER_RX = re.compile(r"[+-]?\d+\Z")
+_FLOAT_RX = re.compile(
+    r"([+-]?(\d+(\.\d*)?|\.\d+)([eE][+-]?\d+)?|[+-]?INF|NaN)\Z")
+
+
+def parse_boolean(literal: str) -> bool:
+    if literal in ("true", "1"):
+        return True
+    if literal in ("false", "0"):
+        return False
+    raise LexicalError("xs:boolean", literal)
+
+
+def canonical_boolean(value: object) -> str:
+    return "true" if value else "false"
+
+
+def parse_decimal(literal: str) -> Decimal:
+    if not _DECIMAL_RX.match(literal):
+        raise LexicalError("xs:decimal", literal)
+    try:
+        return Decimal(literal)
+    except InvalidOperation as exc:  # pragma: no cover - regex guards this
+        raise LexicalError("xs:decimal", literal) from exc
+
+
+def canonical_decimal(value: object) -> str:
+    dec = Decimal(value)
+    text = format(dec.normalize(), "f")
+    if "." not in text:
+        text += ".0"
+    if text.startswith("."):
+        text = "0" + text
+    if text.startswith("-."):
+        text = "-0" + text[1:]
+    return text
+
+
+def parse_integer(literal: str) -> int:
+    if not _INTEGER_RX.match(literal):
+        raise LexicalError("xs:integer", literal)
+    return int(literal)
+
+
+def canonical_integer(value: object) -> str:
+    return str(int(value))
+
+
+def _parse_floating(literal: str, type_name: str) -> float:
+    if not _FLOAT_RX.match(literal):
+        raise LexicalError(type_name, literal)
+    if literal == "INF" or literal == "+INF":
+        return math.inf
+    if literal == "-INF":
+        return -math.inf
+    if literal == "NaN":
+        return math.nan
+    return float(literal)
+
+
+def parse_float(literal: str) -> float:
+    return _parse_floating(literal, "xs:float")
+
+
+def parse_double(literal: str) -> float:
+    return _parse_floating(literal, "xs:double")
+
+
+def canonical_float(value: object) -> str:
+    number = float(value)  # type: ignore[arg-type]
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "INF" if number > 0 else "-INF"
+    mantissa, _, exponent = f"{number:E}".partition("E")
+    mantissa = mantissa.rstrip("0")
+    if mantissa.endswith("."):
+        mantissa += "0"
+    return f"{mantissa}E{int(exponent)}"
+
+
+# ----------------------------------------------------------------------
+# String-ish types
+
+def parse_string(literal: str) -> str:
+    return literal
+
+
+def parse_any_uri(literal: str) -> str:
+    # Any string is accepted; RFC 3986 checking is out of the paper's
+    # scope and XSD itself imposes almost none.
+    return literal
+
+
+def parse_qname(literal: str) -> str:
+    if ":" in literal:
+        prefix, _, local = literal.partition(":")
+        if not (is_ncname(prefix) and is_ncname(local)):
+            raise LexicalError("xs:QName", literal)
+    elif not is_ncname(literal):
+        raise LexicalError("xs:QName", literal)
+    return literal
+
+
+# ----------------------------------------------------------------------
+# Binary types
+
+_HEX_RX = re.compile(r"([0-9a-fA-F]{2})*\Z")
+_BASE64_RX = re.compile(r"[A-Za-z0-9+/ ]*={0,2}\Z")
+
+
+def parse_hex_binary(literal: str) -> Binary:
+    if not _HEX_RX.match(literal):
+        raise LexicalError("xs:hexBinary", literal)
+    return Binary(bytes.fromhex(literal))
+
+
+def canonical_hex_binary(value: object) -> str:
+    if not isinstance(value, Binary):
+        raise LexicalError("xs:hexBinary", repr(value))
+    return value.hex()
+
+
+def parse_base64_binary(literal: str) -> Binary:
+    if not _BASE64_RX.match(literal):
+        raise LexicalError("xs:base64Binary", literal)
+    compact = literal.replace(" ", "")
+    if len(compact) % 4:
+        raise LexicalError("xs:base64Binary", literal)
+    try:
+        return Binary(base64.b64decode(compact, validate=True))
+    except (binascii.Error, ValueError) as exc:
+        raise LexicalError("xs:base64Binary", literal) from exc
+
+
+def canonical_base64_binary(value: object) -> str:
+    if not isinstance(value, Binary):
+        raise LexicalError("xs:base64Binary", repr(value))
+    return base64.b64encode(value.octets).decode("ascii")
+
+
+# ----------------------------------------------------------------------
+# Duration
+
+_DURATION_RX = re.compile(
+    r"(?P<sign>-)?P"
+    r"(?:(?P<years>\d+)Y)?"
+    r"(?:(?P<months>\d+)M)?"
+    r"(?:(?P<days>\d+)D)?"
+    r"(?:T"
+    r"(?:(?P<hours>\d+)H)?"
+    r"(?:(?P<minutes>\d+)M)?"
+    r"(?:(?P<seconds>\d+(\.\d+)?)S)?"
+    r")?\Z")
+
+
+def parse_duration(literal: str) -> Duration:
+    match = _DURATION_RX.match(literal)
+    if not match:
+        raise LexicalError("xs:duration", literal)
+    groups = match.groupdict()
+    fields = ("years", "months", "days", "hours", "minutes", "seconds")
+    if all(groups[f] is None for f in fields):
+        raise LexicalError("xs:duration", literal,
+                           "at least one component is required")
+    if "T" in literal and literal.rstrip().endswith("T"):
+        raise LexicalError("xs:duration", literal,
+                           "'T' must be followed by a time component")
+    sign = -1 if groups["sign"] else 1
+    months = (int(groups["years"] or 0) * 12 + int(groups["months"] or 0))
+    seconds = (Decimal(groups["days"] or 0) * 86400
+               + Decimal(groups["hours"] or 0) * 3600
+               + Decimal(groups["minutes"] or 0) * 60
+               + Decimal(groups["seconds"] or 0))
+    return Duration(months=sign * months, seconds=sign * seconds)
+
+
+def canonical_duration(value: object) -> str:
+    if not isinstance(value, Duration):
+        raise LexicalError("xs:duration", repr(value))
+    return value.canonical()
+
+
+# ----------------------------------------------------------------------
+# The date/time family
+
+_TZ_FRAG = r"(?P<tz>Z|[+-]\d{2}:\d{2})?"
+_YEAR_FRAG = r"(?P<year>-?(?:[1-9]\d{3,}|0\d{3}))"
+_MONTH_FRAG = r"(?P<month>\d{2})"
+_DAY_FRAG = r"(?P<day>\d{2})"
+_TIME_FRAG = (r"(?P<hour>\d{2}):(?P<minute>\d{2})"
+              r":(?P<second>\d{2}(\.\d+)?)")
+
+_TEMPORAL_PATTERNS = {
+    "dateTime": re.compile(
+        f"{_YEAR_FRAG}-{_MONTH_FRAG}-{_DAY_FRAG}T{_TIME_FRAG}{_TZ_FRAG}\\Z"),
+    "date": re.compile(f"{_YEAR_FRAG}-{_MONTH_FRAG}-{_DAY_FRAG}{_TZ_FRAG}\\Z"),
+    "time": re.compile(f"{_TIME_FRAG}{_TZ_FRAG}\\Z"),
+    "gYearMonth": re.compile(f"{_YEAR_FRAG}-{_MONTH_FRAG}{_TZ_FRAG}\\Z"),
+    "gYear": re.compile(f"{_YEAR_FRAG}{_TZ_FRAG}\\Z"),
+    "gMonthDay": re.compile(f"--{_MONTH_FRAG}-{_DAY_FRAG}{_TZ_FRAG}\\Z"),
+    "gDay": re.compile(f"---{_DAY_FRAG}{_TZ_FRAG}\\Z"),
+    "gMonth": re.compile(f"--{_MONTH_FRAG}{_TZ_FRAG}\\Z"),
+}
+
+
+def _parse_tz(tz: str | None) -> int | None:
+    if tz is None:
+        return None
+    if tz == "Z":
+        return 0
+    sign = -1 if tz[0] == "-" else 1
+    hours, minutes = int(tz[1:3]), int(tz[4:6])
+    if hours > 14 or minutes > 59 or (hours == 14 and minutes != 0):
+        raise ValueError(f"timezone {tz} out of range")
+    return sign * (hours * 60 + minutes)
+
+
+def _make_temporal_parser(kind: str):
+    pattern = _TEMPORAL_PATTERNS[kind]
+    type_name = f"xs:{kind}"
+
+    def parse(literal: str) -> Temporal:
+        match = pattern.match(literal)
+        if not match:
+            raise LexicalError(type_name, literal)
+        groups = match.groupdict()
+        try:
+            tz_minutes = _parse_tz(groups.get("tz"))
+        except ValueError as exc:
+            raise LexicalError(type_name, literal, str(exc)) from exc
+        year = int(groups["year"]) if "year" in groups else 1
+        month = int(groups["month"]) if "month" in groups else 1
+        day = int(groups["day"]) if "day" in groups else 1
+        hour = int(groups["hour"]) if "hour" in groups else 0
+        minute = int(groups["minute"]) if "minute" in groups else 0
+        second = Decimal(groups["second"]) if "second" in groups else Decimal(0)
+        if "month" in groups and not 1 <= month <= 12:
+            raise LexicalError(type_name, literal, f"month {month} invalid")
+        if "day" in groups:
+            max_day = days_in_month(year if "year" in groups else 2000, month)
+            if not 1 <= day <= max_day:
+                raise LexicalError(type_name, literal, f"day {day} invalid")
+        if "hour" in groups:
+            end_of_day = (hour == 24 and minute == 0 and second == 0)
+            if not (hour <= 23 and minute <= 59 and second < 60
+                    or end_of_day):
+                raise LexicalError(type_name, literal, "time out of range")
+            if end_of_day:
+                hour = 0  # 24:00:00 normalizes to 00:00:00 next day...
+                if kind == "dateTime":
+                    day += 1  # simplified: valid because source day checked
+                    if day > days_in_month(year, month):
+                        day = 1
+                        month += 1
+                        if month > 12:
+                            month, year = 1, year + 1
+        return Temporal(kind=kind, year=year, month=month, day=day,
+                        hour=hour, minute=minute, second=second,
+                        tz_minutes=tz_minutes)
+
+    return parse
+
+
+def canonical_temporal(value: object) -> str:
+    if not isinstance(value, Temporal):
+        raise LexicalError("xs:dateTime", repr(value))
+    return value.canonical()
+
+
+parse_date_time = _make_temporal_parser("dateTime")
+parse_date = _make_temporal_parser("date")
+parse_time = _make_temporal_parser("time")
+parse_g_year_month = _make_temporal_parser("gYearMonth")
+parse_g_year = _make_temporal_parser("gYear")
+parse_g_month_day = _make_temporal_parser("gMonthDay")
+parse_g_day = _make_temporal_parser("gDay")
+parse_g_month = _make_temporal_parser("gMonth")
+
+
+#: Specification of every primitive: name -> (parser, canonicalizer).
+PRIMITIVE_SPECS: dict[str, tuple] = {
+    "string": (parse_string, str),
+    "boolean": (parse_boolean, canonical_boolean),
+    "decimal": (parse_decimal, canonical_decimal),
+    "float": (parse_float, canonical_float),
+    "double": (parse_double, canonical_float),
+    "duration": (parse_duration, canonical_duration),
+    "dateTime": (parse_date_time, canonical_temporal),
+    "time": (parse_time, canonical_temporal),
+    "date": (parse_date, canonical_temporal),
+    "gYearMonth": (parse_g_year_month, canonical_temporal),
+    "gYear": (parse_g_year, canonical_temporal),
+    "gMonthDay": (parse_g_month_day, canonical_temporal),
+    "gDay": (parse_g_day, canonical_temporal),
+    "gMonth": (parse_g_month, canonical_temporal),
+    "hexBinary": (parse_hex_binary, canonical_hex_binary),
+    "base64Binary": (parse_base64_binary, canonical_base64_binary),
+    "anyURI": (parse_any_uri, str),
+    "QName": (parse_qname, str),
+    "NOTATION": (parse_qname, str),
+}

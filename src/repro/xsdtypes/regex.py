@@ -1,0 +1,118 @@
+"""Translation of XSD regular expressions to Python ``re`` patterns.
+
+XSD patterns (XML Schema Part 2, Appendix F) differ from Python regular
+expressions in a few ways that matter in practice:
+
+* an XSD pattern is implicitly anchored — it must match the *whole*
+  literal;
+* ``^`` and ``$`` are ordinary characters outside character classes;
+* the multi-character escapes ``\\i``/``\\I`` (name start characters) and
+  ``\\c``/``\\C`` (name characters) do not exist in Python;
+* ``\\p{...}``/``\\P{...}`` category escapes use Unicode category names
+  (Python's ``re`` lacks them; we translate the common categories).
+
+This module performs those translations.  Unsupported constructs raise
+:class:`~repro.errors.FacetError` rather than silently matching wrongly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import FacetError
+
+# Character-class bodies for the XML name escapes.  These cover the
+# ASCII + Latin-1 + general Unicode ranges from the Name production; they
+# are the same ranges used by repro.xmlio.chars.
+_NAME_START_CLASS = (
+    "A-Z_a-z:À-ÖØ-öø-˿Ͱ-ͽ"
+    "Ϳ-῿‌-‍⁰-↏Ⰰ-⿯、-퟿"
+    "豈-﷏ﷰ-�\U00010000-\U000EFFFF"
+)
+_NAME_CHAR_CLASS = (
+    _NAME_START_CLASS + "\\-.0-9·̀-ͯ‿-⁀"
+)
+
+# Approximations of the Unicode category escapes using Python classes.
+_CATEGORY_CLASSES = {
+    "L": "^\\W\\d_",      # letters = word chars minus digits/underscore
+    "Lu": "A-ZÀ-Þ",
+    "Ll": "a-zß-ÿ",
+    "N": "0-9",
+    "Nd": "0-9",
+}
+
+
+def translate_pattern(pattern: str) -> str:
+    """Translate one XSD pattern into an anchored Python pattern string."""
+    out: list[str] = []
+    in_class = False
+    i = 0
+    n = len(pattern)
+    while i < n:
+        ch = pattern[i]
+        if ch == "\\" and i + 1 < n:
+            esc = pattern[i + 1]
+            if esc == "i":
+                out.append(f"[{_NAME_START_CLASS}]")
+            elif esc == "I":
+                out.append(f"[^{_NAME_START_CLASS}]")
+            elif esc == "c":
+                out.append(f"[{_NAME_CHAR_CLASS}]")
+            elif esc == "C":
+                out.append(f"[^{_NAME_CHAR_CLASS}]")
+            elif esc in "pP":
+                i = _translate_category(pattern, i, out)
+                continue
+            else:
+                out.append(ch + esc)
+            i += 2
+            continue
+        if in_class:
+            if ch == "]":
+                in_class = False
+            out.append(ch)
+        else:
+            if ch == "[":
+                in_class = True
+                out.append(ch)
+            elif ch in "^$":
+                # Ordinary characters in XSD regular expressions.
+                out.append("\\" + ch)
+            else:
+                out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def _translate_category(pattern: str, i: int, out: list[str]) -> int:
+    """Translate a ``\\p{...}`` escape starting at index *i*."""
+    negated = pattern[i + 1] == "P"
+    if i + 2 >= len(pattern) or pattern[i + 2] != "{":
+        raise FacetError(f"malformed category escape in pattern {pattern!r}")
+    end = pattern.find("}", i + 3)
+    if end < 0:
+        raise FacetError(f"unterminated category escape in {pattern!r}")
+    category = pattern[i + 3:end]
+    body = _CATEGORY_CLASSES.get(category)
+    if body is None:
+        raise FacetError(
+            f"unsupported Unicode category \\p{{{category}}} in pattern")
+    if negated:
+        if body.startswith("^"):
+            out.append(f"[{body[1:]}]")
+        else:
+            out.append(f"[^{body}]")
+    else:
+        out.append(f"[{body}]")
+    return end + 1
+
+
+def compile_pattern(pattern: str) -> "re.Pattern[str]":
+    """Compile an XSD pattern into an anchored Python regex."""
+    translated = translate_pattern(pattern)
+    try:
+        return re.compile(rf"(?:{translated})\Z")
+    except re.error as exc:
+        raise FacetError(
+            f"cannot compile pattern {pattern!r}: {exc}") from exc

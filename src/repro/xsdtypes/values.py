@@ -1,0 +1,261 @@
+"""Value classes for the non-trivial XSD value spaces.
+
+The simple types whose value space is not a plain Python type (the
+date/time family, durations, binary data) get small immutable value
+classes here.  Each class defines equality and ordering exactly as the
+XML Schema datatypes specification does, including the timezone
+normalization of temporal values.
+
+The day-number arithmetic uses the proleptic Gregorian calendar via the
+classic *days-from-civil* algorithm, so years outside the range of
+``datetime`` (including negative years) work fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from decimal import Decimal
+from functools import total_ordering
+
+from repro.errors import TypeSystemError
+
+
+def days_from_civil(year: int, month: int, day: int) -> int:
+    """Day number of a proleptic-Gregorian date (day 0 = 1970-03-01 era).
+
+    Negative years are astronomical (year 0 = 1 BCE), which matches the
+    XSD 1.1 convention this library adopts.
+    """
+    year -= month <= 2
+    era = (year if year >= 0 else year - 399) // 400
+    yoe = year - era * 400
+    doy = (153 * (month + (-3 if month > 2 else 9)) + 2) // 5 + day - 1
+    doe = yoe * 365 + yoe // 4 - yoe // 100 + doy
+    return era * 146097 + doe - 719468
+
+
+def is_leap_year(year: int) -> bool:
+    """Gregorian leap-year rule."""
+    return year % 4 == 0 and (year % 100 != 0 or year % 400 == 0)
+
+
+def days_in_month(year: int, month: int) -> int:
+    """Number of days in *month* of *year*."""
+    if month == 2:
+        return 29 if is_leap_year(year) else 28
+    return 31 if month in (1, 3, 5, 7, 8, 10, 12) else 30
+
+
+class IndeterminateOrder(TypeSystemError):
+    """Two values of a partially ordered value space are incomparable."""
+
+
+@dataclass(frozen=True)
+class Temporal:
+    """A point (or recurring point) on the XSD timeline.
+
+    One class covers the whole seven-member date/time family; the
+    ``kind`` records which components are meaningful (``dateTime``,
+    ``date``, ``time``, ``gYearMonth``, ``gYear``, ``gMonthDay``,
+    ``gDay``, ``gMonth``).  Missing components default to the reference
+    values the XSD spec uses for ordering.  ``tz_minutes`` is ``None``
+    for an absent timezone.
+    """
+
+    kind: str
+    year: int = 1
+    month: int = 1
+    day: int = 1
+    hour: int = 0
+    minute: int = 0
+    second: Decimal = Decimal(0)
+    tz_minutes: int | None = None
+
+    def _instant(self, default_tz: int = 0) -> Decimal:
+        """Seconds on the timeline with timezone applied."""
+        tz = self.tz_minutes if self.tz_minutes is not None else default_tz
+        days = days_from_civil(self.year, self.month, self.day)
+        seconds = (Decimal(days) * 86400
+                   + self.hour * 3600 + self.minute * 60 + self.second)
+        return seconds - tz * 60
+
+    def _check_comparable(self, other: "Temporal") -> None:
+        if not isinstance(other, Temporal):
+            raise TypeError(f"cannot compare Temporal with {type(other)!r}")
+        if self.kind != other.kind:
+            raise IndeterminateOrder(
+                f"cannot order {self.kind} against {other.kind}")
+
+    def __lt__(self, other: "Temporal") -> bool:
+        self._check_comparable(other)
+        if (self.tz_minutes is None) == (other.tz_minutes is None):
+            return self._instant() < other._instant()
+        # One value is zoned, the other is not: per XSD, the order is
+        # determinate only when it holds for every timezone within
+        # +/- 14 hours.
+        if self._instant(default_tz=-14 * 60) < other._instant(
+                default_tz=-14 * 60) and self._instant(
+                default_tz=14 * 60) < other._instant(default_tz=14 * 60):
+            return True
+        if self._instant(default_tz=-14 * 60) >= other._instant(
+                default_tz=-14 * 60) and self._instant(
+                default_tz=14 * 60) >= other._instant(default_tz=14 * 60):
+            return False
+        raise IndeterminateOrder(
+            f"order of {self} and {other} depends on the implicit timezone")
+
+    def __le__(self, other: "Temporal") -> bool:
+        return self == other or self < other
+
+    def __gt__(self, other: "Temporal") -> bool:
+        self._check_comparable(other)
+        return other < self
+
+    def __ge__(self, other: "Temporal") -> bool:
+        return self == other or other < self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Temporal):
+            return NotImplemented
+        if self.kind != other.kind:
+            return False
+        if (self.tz_minutes is None) != (other.tz_minutes is None):
+            return False
+        return self._instant() == other._instant()
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.tz_minutes is None, self._instant()))
+
+    def __repr__(self) -> str:
+        return f"Temporal({self.kind}, {self.canonical()!r})"
+
+    def canonical(self) -> str:
+        """The canonical lexical representation."""
+        parts: list[str] = []
+        if self.kind in ("dateTime", "date", "gYearMonth", "gYear"):
+            year = f"{self.year:05d}" if self.year < 0 else f"{self.year:04d}"
+            parts.append(year)
+            if self.kind != "gYear":
+                parts.append(f"-{self.month:02d}")
+                if self.kind in ("dateTime", "date"):
+                    parts.append(f"-{self.day:02d}")
+        elif self.kind == "gMonthDay":
+            parts.append(f"--{self.month:02d}-{self.day:02d}")
+        elif self.kind == "gMonth":
+            parts.append(f"--{self.month:02d}")
+        elif self.kind == "gDay":
+            parts.append(f"---{self.day:02d}")
+        if self.kind in ("dateTime", "time"):
+            if self.kind == "dateTime":
+                parts.append("T")
+            whole = int(self.second)
+            frac = self.second - whole
+            sec = f"{whole:02d}"
+            if frac:
+                sec += str(frac.normalize())[1:]
+            parts.append(f"{self.hour:02d}:{self.minute:02d}:{sec}")
+        if self.tz_minutes is not None:
+            if self.tz_minutes == 0:
+                parts.append("Z")
+            else:
+                sign = "-" if self.tz_minutes < 0 else "+"
+                mins = abs(self.tz_minutes)
+                parts.append(f"{sign}{mins // 60:02d}:{mins % 60:02d}")
+        return "".join(parts)
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Duration:
+    """An ``xs:duration`` value: a (months, seconds) pair.
+
+    The value space is partially ordered; comparing a pure year-month
+    duration with a pure day-time duration of overlapping magnitude
+    raises :class:`IndeterminateOrder`.  Following XQuery operators, a
+    duration is deterministically ordered when the result is the same
+    for the four XSD reference starting instants.
+    """
+
+    months: int = 0
+    seconds: Decimal = Decimal(0)
+
+    #: The four reference (year, month) starting points of XSD 3.2.6.2.
+    _REFERENCE_STARTS = ((1696, 9), (1697, 2), (1903, 3), (1903, 7))
+
+    def _end_instants(self) -> tuple[Decimal, ...]:
+        instants = []
+        for year, month in self._REFERENCE_STARTS:
+            total_month = (year * 12 + (month - 1)) + self.months
+            end_year, end_month = divmod(total_month, 12)
+            end_month += 1
+            days = days_from_civil(end_year, end_month, 1)
+            instants.append(Decimal(days) * 86400 + self.seconds)
+        return tuple(instants)
+
+    def __lt__(self, other: "Duration") -> bool:
+        if not isinstance(other, Duration):
+            return NotImplemented
+        mine = self._end_instants()
+        theirs = other._end_instants()
+        if all(a < b for a, b in zip(mine, theirs)):
+            return True
+        if all(a >= b for a, b in zip(mine, theirs)):
+            return False
+        raise IndeterminateOrder(
+            f"durations {self} and {other} are incomparable")
+
+    def canonical(self) -> str:
+        """Canonical lexical form, e.g. ``P1Y2M3DT4H5M6S``."""
+        if not self.months and not self.seconds:
+            return "PT0S"
+        sign = ""
+        months, seconds = self.months, self.seconds
+        if months < 0 or seconds < 0:
+            if months > 0 or seconds > 0:
+                raise TypeSystemError(
+                    "duration components must share a sign")
+            sign, months, seconds = "-", -months, -seconds
+        years, months = divmod(months, 12)
+        days, rem = divmod(seconds, 86400)
+        hours, rem = divmod(rem, 3600)
+        minutes, secs = divmod(rem, 60)
+        out = [sign, "P"]
+        if years:
+            out.append(f"{years}Y")
+        if months:
+            out.append(f"{months}M")
+        if days:
+            out.append(f"{int(days)}D")
+        if hours or minutes or secs:
+            out.append("T")
+            if hours:
+                out.append(f"{int(hours)}H")
+            if minutes:
+                out.append(f"{int(minutes)}M")
+            if secs:
+                secs = secs.normalize()
+                out.append(f"{secs}S")
+        return "".join(out)
+
+    def __repr__(self) -> str:
+        return f"Duration({self.canonical()!r})"
+
+
+@dataclass(frozen=True)
+class Binary:
+    """Value of ``xs:hexBinary`` / ``xs:base64Binary``: an octet string.
+
+    The two types share a value space of octet sequences but have
+    different lexical spaces, so the value keeps only the bytes.
+    """
+
+    octets: bytes
+
+    def __len__(self) -> int:
+        return len(self.octets)
+
+    def hex(self) -> str:
+        return self.octets.hex().upper()
+
+    def __repr__(self) -> str:
+        return f"Binary({self.hex()})"

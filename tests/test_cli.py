@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.workloads.fixtures import (
+    EXAMPLE_7_DOCUMENT,
+    EXAMPLE_7_SCHEMA,
+    LIBRARY_SCHEMA,
+    wrap_in_schema,
+)
+
+_VALID_DOC = ("<library><book><title>T</title><author>A</author>"
+              "</book></library>")
+_INVALID_DOC = "<library><paper/></library>"
+
+_UPA_SCHEMA = wrap_in_schema("""
+  <xsd:element name="R"><xsd:complexType><xsd:choice>
+    <xsd:sequence><xsd:element name="A" type="xsd:string"/></xsd:sequence>
+    <xsd:sequence><xsd:element name="A" type="xsd:string"/></xsd:sequence>
+  </xsd:choice></xsd:complexType></xsd:element>""")
+
+
+@pytest.fixture
+def files(tmp_path):
+    paths = {}
+    for name, content in (("lib.xsd", LIBRARY_SCHEMA),
+                          ("books.xsd", EXAMPLE_7_SCHEMA),
+                          ("upa.xsd", _UPA_SCHEMA),
+                          ("valid.xml", _VALID_DOC),
+                          ("invalid.xml", _INVALID_DOC),
+                          ("books.xml", EXAMPLE_7_DOCUMENT)):
+        path = tmp_path / name
+        path.write_text(content, encoding="utf-8")
+        paths[name] = str(path)
+    return paths
+
+
+class TestValidate:
+    def test_valid_document(self, files, capsys):
+        code = main(["validate", files["lib.xsd"], files["valid.xml"]])
+        assert code == 0
+        assert "VALID" in capsys.readouterr().out
+
+    def test_invalid_document(self, files, capsys):
+        code = main(["validate", files["lib.xsd"], files["invalid.xml"]])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out
+        assert "5.1.1" in out or "5.4" in out
+
+    def test_paper_example(self, files, capsys):
+        code = main(["validate", files["books.xsd"], files["books.xml"]])
+        assert code == 0
+
+    def test_missing_file(self, files, capsys):
+        code = main(["validate", files["lib.xsd"], "/nonexistent.xml"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestLint:
+    def test_clean_schema(self, files, capsys):
+        assert main(["lint", files["lib.xsd"]]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_upa_violation(self, files, capsys):
+        assert main(["lint", files["upa.xsd"]]) == 1
+        assert "Unique Particle Attribution" in capsys.readouterr().out
+
+
+class TestNormalize:
+    def test_prints_parseable_schema(self, files, capsys):
+        assert main(["normalize", files["lib.xsd"]]) == 0
+        out = capsys.readouterr().out
+        from repro.schema import parse_schema
+        assert parse_schema(out).root_element.name == "library"
+
+
+class TestQuery:
+    def test_untyped_query(self, files, capsys):
+        assert main(["query", files["valid.xml"],
+                     "/library/book/title"]) == 0
+        assert capsys.readouterr().out.strip() == "T"
+
+    def test_typed_query(self, files, capsys):
+        assert main(["query", files["books.xml"],
+                     "/BookStore/Book[1]/Author",
+                     "--schema", files["books.xsd"]]) == 0
+        assert "Paul McCartney" in capsys.readouterr().out
+
+    def test_bad_path(self, files, capsys):
+        assert main(["query", files["valid.xml"], "not-a-path"]) == 2
+
+
+class TestInspect:
+    def test_reports_statistics(self, files, capsys):
+        assert main(["inspect", files["valid.xml"]]) == 0
+        out = capsys.readouterr().out
+        assert "document nodes:" in out
+        assert "library/book/title" in out

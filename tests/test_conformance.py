@@ -1,0 +1,363 @@
+"""Tests for the Section 6.2 conformance checker, item by item."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.xmlio import QName, xsd
+from repro.xsdtypes import builtin
+from repro.algebra import (
+    ConformanceChecker,
+    InstanceBuilder,
+    StateAlgebra,
+    check_conformance,
+)
+from repro.schema import (
+    AttributeDeclarations,
+    CombinationFactor,
+    ComplexContentType,
+    DocumentSchema,
+    ElementDeclaration,
+    GroupDefinition,
+    RepetitionFactor,
+    SimpleContentType,
+    TypeName,
+    UNBOUNDED,
+    parse_schema,
+)
+from repro.workloads.fixtures import EXAMPLE_6_SCHEMA, LIBRARY_SCHEMA
+
+
+def _string() -> TypeName:
+    return TypeName(xsd("string"))
+
+
+def _schema_simple_root(nillable=False) -> DocumentSchema:
+    return DocumentSchema(
+        root_element=ElementDeclaration("R", _string(), nillable=nillable))
+
+
+def _items(violations) -> set[str]:
+    return {v.item for v in violations}
+
+
+class TestItem1To3:
+    def test_missing_element_child(self):
+        schema = _schema_simple_root()
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        violations = check_conformance(document, schema)
+        assert "3" in _items(violations)
+
+    def test_conforming_minimal_tree(self):
+        schema = _schema_simple_root()
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.annotate_element(element, xsd("string"),
+                                 simple_type=builtin("string"))
+        algebra.append_child(document, element)
+        algebra.append_child(element, algebra.create_text("ok"))
+        assert check_conformance(document, schema) == []
+
+    def test_element_root_rejected(self):
+        schema = _schema_simple_root()
+        algebra = StateAlgebra()
+        lone = algebra.create_element(QName("", "R"))
+        violations = check_conformance(lone, schema)
+        assert "1" in _items(violations)
+
+
+class TestItem4:
+    def test_wrong_name(self):
+        schema = _schema_simple_root()
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "Wrong"))
+        algebra.annotate_element(element, xsd("string"),
+                                 simple_type=builtin("string"))
+        algebra.append_child(document, element)
+        algebra.append_child(element, algebra.create_text("x"))
+        assert "4" in _items(check_conformance(document, schema))
+
+    def test_wrong_type_annotation(self):
+        schema = _schema_simple_root()
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.annotate_element(element, xsd("integer"),
+                                 simple_type=builtin("integer"))
+        algebra.append_child(document, element)
+        algebra.append_child(element, algebra.create_text("5"))
+        assert "4" in _items(check_conformance(document, schema))
+
+    def test_anonymous_type_must_be_any_type(self):
+        inline = ComplexContentType(group=GroupDefinition())
+        schema = DocumentSchema(
+            root_element=ElementDeclaration("R", inline))
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        # default annotation is xs:anyType -> conforming
+        algebra.append_child(document, element)
+        assert check_conformance(document, schema) == []
+
+
+class TestItem5Simple:
+    def test_no_text_child(self):
+        schema = _schema_simple_root()
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.annotate_element(element, xsd("string"),
+                                 simple_type=builtin("string"))
+        algebra.append_child(document, element)
+        assert "5.1.1" in _items(check_conformance(document, schema))
+
+    def test_invalid_lexical_value(self):
+        schema = DocumentSchema(root_element=ElementDeclaration(
+            "R", TypeName(xsd("integer"))))
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.annotate_element(element, xsd("integer"),
+                                 simple_type=builtin("integer"))
+        algebra.append_child(document, element)
+        algebra.append_child(element, algebra.create_text("abc"))
+        assert "5.1.1" in _items(check_conformance(document, schema))
+
+    def test_attribute_on_simple_typed_element(self):
+        schema = _schema_simple_root()
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.annotate_element(element, xsd("string"),
+                                 simple_type=builtin("string"))
+        algebra.append_child(document, element)
+        algebra.append_child(element, algebra.create_text("x"))
+        algebra.attach_attribute(
+            element, algebra.create_attribute(QName("", "stray"), "v"))
+        assert "5.1" in _items(check_conformance(document, schema))
+
+    def test_nilled_on_non_nillable(self):
+        schema = _schema_simple_root(nillable=False)
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.annotate_element(element, xsd("string"),
+                                 simple_type=builtin("string"), nilled=True)
+        algebra.append_child(document, element)
+        assert "5" in _items(check_conformance(document, schema))
+
+
+class TestItem53Attributes:
+    def _schema(self) -> DocumentSchema:
+        definition = ComplexContentType(
+            attributes=AttributeDeclarations(
+                (("InStock", TypeName(xsd("boolean"))),
+                 ("Reviewer", _string()))))
+        return DocumentSchema(
+            root_element=ElementDeclaration("R", definition))
+
+    def _tree(self, attrs: dict[str, str]):
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.append_child(document, element)
+        types = {"InStock": ("boolean", builtin("boolean")),
+                 "Reviewer": ("string", builtin("string"))}
+        for name, value in attrs.items():
+            attribute = algebra.create_attribute(QName("", name), value)
+            local, simple = types.get(name, ("string", builtin("string")))
+            algebra.annotate_attribute(attribute, xsd(local),
+                                       simple_type=simple)
+            algebra.attach_attribute(element, attribute)
+        return document
+
+    def test_all_attributes_present_any_order(self):
+        schema = self._schema()
+        # order differs from declaration order: the automorphism σ.
+        tree = self._tree({"Reviewer": "bob", "InStock": "true"})
+        assert check_conformance(tree, schema) == []
+
+    def test_missing_attribute(self):
+        schema = self._schema()
+        tree = self._tree({"InStock": "true"})
+        assert "5.3.1" in _items(check_conformance(tree, schema))
+
+    def test_extra_attribute(self):
+        schema = self._schema()
+        tree = self._tree({"InStock": "true", "Reviewer": "bob",
+                           "Extra": "x"})
+        assert "5.3.1" in _items(check_conformance(tree, schema))
+
+    def test_invalid_attribute_value(self):
+        schema = self._schema()
+        tree = self._tree({"InStock": "maybe", "Reviewer": "bob"})
+        assert "5.3.1" in _items(check_conformance(tree, schema))
+
+
+class TestItem54Children:
+    def _schema(self, mixed=False, empty=False) -> DocumentSchema:
+        group = GroupDefinition() if empty else GroupDefinition(
+            (ElementDeclaration("A", _string(),
+                                RepetitionFactor(1, UNBOUNDED)),))
+        definition = ComplexContentType(mixed=mixed, group=group)
+        return DocumentSchema(
+            root_element=ElementDeclaration("R", definition))
+
+    def _base(self):
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.append_child(document, element)
+        return algebra, document, element
+
+    def _add_a(self, algebra, element, text="v"):
+        a = algebra.create_element(QName("", "A"))
+        algebra.annotate_element(a, xsd("string"),
+                                 simple_type=builtin("string"))
+        algebra.append_child(element, a)
+        algebra.append_child(a, algebra.create_text(text))
+        return a
+
+    def test_empty_content_rejects_elements(self):
+        schema = self._schema(empty=True)
+        algebra, document, element = self._base()
+        self._add_a(algebra, element)
+        assert "5.4.1" in _items(check_conformance(document, schema))
+
+    def test_empty_mixed_allows_one_text(self):
+        schema = self._schema(empty=True, mixed=True)
+        algebra, document, element = self._base()
+        algebra.append_child(element, algebra.create_text("note"))
+        assert check_conformance(document, schema) == []
+
+    def test_empty_non_mixed_rejects_text(self):
+        schema = self._schema(empty=True, mixed=False)
+        algebra, document, element = self._base()
+        algebra.append_child(element, algebra.create_text("note"))
+        assert "5.4.1.2" in _items(check_conformance(document, schema))
+
+    def test_text_in_non_mixed_content(self):
+        schema = self._schema(mixed=False)
+        algebra, document, element = self._base()
+        self._add_a(algebra, element)
+        algebra.append_child(element, algebra.create_text("stray"))
+        assert "5.4.2.1" in _items(check_conformance(document, schema))
+
+    def test_adjacent_text_nodes_in_mixed(self):
+        schema = self._schema(mixed=True)
+        algebra, document, element = self._base()
+        algebra.append_child(element, algebra.create_text("one"))
+        algebra.append_child(element, algebra.create_text("two"))
+        self._add_a(algebra, element)
+        assert "5.4.2.2" in _items(check_conformance(document, schema))
+
+    def test_content_model_violation(self):
+        schema = self._schema()
+        algebra, document, element = self._base()
+        # zero A children violates minOccurs=1
+        assert "5.4.2.3" in _items(check_conformance(document, schema))
+
+    def test_unknown_child_name(self):
+        schema = self._schema()
+        algebra, document, element = self._base()
+        self._add_a(algebra, element)
+        stranger = algebra.create_element(QName("", "Z"))
+        algebra.append_child(element, stranger)
+        assert "5.4.2.3" in _items(check_conformance(document, schema))
+
+    def test_recursion_into_children(self):
+        schema = self._schema()
+        algebra, document, element = self._base()
+        a = self._add_a(algebra, element)
+        # Break the child: wrong type annotation.
+        algebra.annotate_element(a, xsd("integer"),
+                                 simple_type=builtin("integer"))
+        violations = check_conformance(document, schema)
+        assert any(v.path.endswith("/A[1]") for v in violations)
+
+
+class TestItem6Nil:
+    def _schema(self) -> DocumentSchema:
+        return _schema_simple_root(nillable=True)
+
+    def test_nilled_with_children_rejected(self):
+        schema = self._schema()
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.annotate_element(element, xsd("string"),
+                                 simple_type=builtin("string"), nilled=True)
+        algebra.append_child(document, element)
+        algebra.append_child(element, algebra.create_text("oops"))
+        assert "6" in _items(check_conformance(document, schema))
+
+    def test_nilled_without_children_accepted(self):
+        schema = self._schema()
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.annotate_element(element, xsd("string"),
+                                 simple_type=builtin("string"), nilled=True)
+        algebra.append_child(document, element)
+        assert check_conformance(document, schema) == []
+
+    def test_not_nilled_follows_item_5(self):
+        schema = self._schema()
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.annotate_element(element, xsd("string"),
+                                 simple_type=builtin("string"), nilled=False)
+        algebra.append_child(document, element)
+        # nilled=false but no text child -> item 5.1.1
+        assert "5.1.1" in _items(check_conformance(document, schema))
+
+
+class TestItem7:
+    def test_extra_attribute_node_detected(self):
+        definition = ComplexContentType(group=GroupDefinition())
+        schema = DocumentSchema(
+            root_element=ElementDeclaration("R", definition))
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        element = algebra.create_element(QName("", "R"))
+        algebra.append_child(document, element)
+        algebra.attach_attribute(
+            element, algebra.create_attribute(QName("", "ghost"), "boo"))
+        violations = check_conformance(document, schema)
+        assert violations  # attribute set mismatch (5.3.1) or item 7
+        assert _items(violations) & {"5.3.1", "7"}
+
+
+class TestBuilderConformance:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    def test_random_library_instances_conform(self, seed):
+        schema = parse_schema(LIBRARY_SCHEMA)
+        tree = InstanceBuilder(schema, seed=seed).build()
+        assert check_conformance(tree, schema) == []
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    def test_random_mixed_instances_conform(self, seed):
+        schema = parse_schema(EXAMPLE_6_SCHEMA)
+        tree = InstanceBuilder(schema, seed=seed).build()
+        assert check_conformance(tree, schema) == []
+
+    def test_checker_is_reusable(self):
+        schema = parse_schema(LIBRARY_SCHEMA)
+        checker = ConformanceChecker(schema)
+        for seed in range(5):
+            tree = InstanceBuilder(schema, seed=seed).build()
+            assert checker.conforms(tree)
+
+    def test_assert_conforms_raises_with_item(self):
+        schema = _schema_simple_root()
+        algebra = StateAlgebra()
+        document = algebra.create_document()
+        from repro.errors import ConformanceError
+        with pytest.raises(ConformanceError) as exc_info:
+            ConformanceChecker(schema).assert_conforms(document)
+        assert exc_info.value.item == "3"

@@ -1,0 +1,196 @@
+"""Mutation testing of the Section 6.2 checker.
+
+Each mutation takes a *conforming* tree and breaks exactly one
+requirement; the checker must report at least one violation, and the
+reported item number must belong to the requirement family the
+mutation targets.  This guards against a checker that silently ignores
+a whole class of defects (which ordinary positive tests cannot catch).
+"""
+
+import pytest
+
+from repro.algebra import InstanceBuilder, check_conformance
+from repro.schema import parse_schema
+from repro.xmlio import QName, xsd
+from repro.xsdtypes import builtin
+from repro.workloads.fixtures import LIBRARY_SCHEMA, wrap_in_schema
+
+_SCHEMA = wrap_in_schema("""
+ <xsd:complexType name="Entry">
+  <xsd:sequence>
+   <xsd:element name="label" type="xsd:string"/>
+   <xsd:element name="note" type="xsd:string" minOccurs="0"/>
+  </xsd:sequence>
+  <xsd:attribute name="id" type="xsd:string"/>
+ </xsd:complexType>
+ <xsd:element name="log"><xsd:complexType>
+  <xsd:sequence>
+   <xsd:element name="entry" type="Entry"
+                minOccurs="1" maxOccurs="unbounded"/>
+  </xsd:sequence>
+ </xsd:complexType></xsd:element>""")
+
+
+@pytest.fixture
+def conforming():
+    schema = parse_schema(_SCHEMA)
+    tree = InstanceBuilder(schema, seed=7).build()
+    assert check_conformance(tree, schema) == []
+    return schema, tree
+
+
+def _items(violations):
+    return {v.item for v in violations}
+
+
+def _first_entry(tree):
+    return tree.document_element().element_children()[0]
+
+
+class TestStructuralMutations:
+    def test_remove_mandatory_child(self, conforming):
+        schema, tree = conforming
+        entry = _first_entry(tree)
+        label = entry.element_children()[0]
+        tree.algebra.remove_child(entry, label)
+        violations = check_conformance(tree, schema)
+        assert "5.4.2.3" in _items(violations)
+
+    def test_duplicate_mandatory_child(self, conforming):
+        schema, tree = conforming
+        entry = _first_entry(tree)
+        extra = tree.algebra.create_element(QName("", "label"))
+        tree.algebra.annotate_element(extra, xsd("string"),
+                                      simple_type=builtin("string"))
+        tree.algebra.append_child(entry, extra)
+        tree.algebra.append_child(extra, tree.algebra.create_text("x"))
+        violations = check_conformance(tree, schema)
+        assert "5.4.2.3" in _items(violations)
+
+    def test_unknown_child_element(self, conforming):
+        schema, tree = conforming
+        entry = _first_entry(tree)
+        rogue = tree.algebra.create_element(QName("", "rogue"))
+        tree.algebra.append_child(entry, rogue)
+        violations = check_conformance(tree, schema)
+        assert "5.4.2.3" in _items(violations)
+
+    def test_stray_text_in_element_content(self, conforming):
+        schema, tree = conforming
+        log = tree.document_element()
+        tree.algebra.append_child(log, tree.algebra.create_text("oops"))
+        violations = check_conformance(tree, schema)
+        assert "5.4.2.1" in _items(violations)
+
+
+class TestAnnotationMutations:
+    def test_retype_element(self, conforming):
+        schema, tree = conforming
+        entry = _first_entry(tree)
+        label = entry.element_children()[0]
+        tree.algebra.annotate_element(label, xsd("integer"),
+                                      simple_type=builtin("integer"))
+        violations = check_conformance(tree, schema)
+        assert "4" in _items(violations) or "5.1.1" in _items(violations)
+
+    def test_corrupt_text_value(self, conforming):
+        # Replace a string-typed child with an integer-typed tree whose
+        # text does not parse: retype entry's label as integer but keep
+        # the word text.
+        schema, tree = conforming
+        entry = _first_entry(tree)
+        label = entry.element_children()[0]
+        (text,) = label.children()
+        if not any(ch.isalpha() for ch in text.string_value()):
+            tree.algebra.remove_child(label, text)
+            tree.algebra.append_child(label,
+                                      tree.algebra.create_text("words"))
+        # now make the declaration expect integers
+        int_schema = parse_schema(_SCHEMA.replace(
+            '<xsd:element name="label" type="xsd:string"/>',
+            '<xsd:element name="label" type="xsd:integer"/>'))
+        violations = check_conformance(tree, int_schema)
+        assert any(item.startswith("4") or item.startswith("5")
+                   for item in _items(violations))
+
+    def test_spurious_nil(self, conforming):
+        schema, tree = conforming
+        entry = _first_entry(tree)
+        label = entry.element_children()[0]
+        tree.algebra.annotate_element(
+            label, xsd("string"), simple_type=builtin("string"),
+            nilled=True)
+        violations = check_conformance(tree, schema)
+        assert "5" in _items(violations)
+
+
+class TestAttributeMutations:
+    def test_remove_declared_attribute(self, conforming):
+        schema, tree = conforming
+        entry = _first_entry(tree)
+        (attribute,) = entry.attributes()
+        entry._attributes.remove(attribute)  # surgical corruption
+        violations = check_conformance(tree, schema)
+        assert "5.3.1" in _items(violations)
+
+    def test_add_undeclared_attribute(self, conforming):
+        schema, tree = conforming
+        entry = _first_entry(tree)
+        rogue = tree.algebra.create_attribute(QName("", "rogue"), "1")
+        tree.algebra.attach_attribute(entry, rogue)
+        violations = check_conformance(tree, schema)
+        assert "5.3.1" in _items(violations)
+
+    def test_retype_attribute(self, conforming):
+        schema, tree = conforming
+        entry = _first_entry(tree)
+        (attribute,) = entry.attributes()
+        tree.algebra.annotate_attribute(attribute, xsd("integer"),
+                                        simple_type=builtin("integer"))
+        violations = check_conformance(tree, schema)
+        assert "5.3.1" in _items(violations)
+
+
+class TestRandomizedMutations:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_breakage_is_always_caught(self, seed):
+        """Apply one random mutation from the catalogue; the checker
+        must never stay silent."""
+        import random
+        rng = random.Random(seed)
+        schema = parse_schema(LIBRARY_SCHEMA)
+        elements = []
+        for attempt in range(10):  # skip degenerate (empty) instances
+            tree = InstanceBuilder(schema,
+                                   seed=seed * 100 + attempt).build()
+            assert check_conformance(tree, schema) == []
+            elements = [node for node in _walk(tree)
+                        if node.node_kind() == "element"
+                        and node.parent_or_none() is not None
+                        and node.parent_or_none().node_kind()
+                        != "document"]
+            if elements:
+                break
+        assert elements, "all candidate instances were degenerate"
+        algebra = tree.algebra
+        target = rng.choice(elements)
+        mutation = rng.choice(("rename", "retype", "stray-attr",
+                               "stray-child"))
+        if mutation == "rename":
+            target._name = QName("", "zzz")
+        elif mutation == "retype":
+            algebra.annotate_element(target, xsd("gYear"),
+                                     simple_type=builtin("gYear"))
+        elif mutation == "stray-attr":
+            algebra.attach_attribute(
+                target, algebra.create_attribute(QName("", "zz"), "1"))
+        else:
+            algebra.append_child(
+                target, algebra.create_element(QName("", "zzz")))
+        assert check_conformance(tree, schema) != []
+
+
+def _walk(node):
+    yield node
+    for child in node.children():
+        yield from _walk(child)

@@ -1,0 +1,255 @@
+"""Tests for content-model compilation and the two matchers."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.content import (
+    ChoiceParticle,
+    ContentModel,
+    DerivativeMatcher,
+    EmptyParticle,
+    GlushkovAutomaton,
+    NameParticle,
+    RepeatParticle,
+    SequenceParticle,
+    compile_group,
+)
+from repro.errors import ContentModelError
+from repro.schema import (
+    CombinationFactor,
+    ElementDeclaration,
+    GroupDefinition,
+    RepetitionFactor,
+    TypeName,
+    UNBOUNDED,
+)
+from repro.xmlio import xsd
+
+
+def _eld(name: str, minimum: int = 1, maximum=1) -> ElementDeclaration:
+    return ElementDeclaration(name, TypeName(xsd("string")),
+                              RepetitionFactor(minimum, maximum))
+
+
+def _group(members, combination=CombinationFactor.SEQUENCE,
+           minimum=1, maximum=1) -> GroupDefinition:
+    return GroupDefinition(tuple(members), combination,
+                           RepetitionFactor(minimum, maximum))
+
+
+class TestCompilation:
+    def test_empty_group_compiles_to_epsilon(self):
+        assert isinstance(compile_group(_group([])), EmptyParticle)
+
+    def test_sequence_shape(self):
+        particle = compile_group(_group([_eld("A"), _eld("B")]))
+        assert isinstance(particle, SequenceParticle)
+        assert [repr(c) for c in particle.children] == ["A", "B"]
+
+    def test_choice_shape(self):
+        particle = compile_group(
+            _group([_eld("A"), _eld("B")], CombinationFactor.CHOICE))
+        assert isinstance(particle, ChoiceParticle)
+
+    def test_occurrence_wrapping(self):
+        particle = compile_group(_group([_eld("A", 0, 5)]))
+        (child,) = particle.children if isinstance(
+            particle, SequenceParticle) else (particle,)
+        assert isinstance(child, RepeatParticle)
+        assert child.minimum == 0 and child.maximum == 5
+
+    def test_zero_max_becomes_empty(self):
+        particle = compile_group(_group([_eld("A", 0, 0)]))
+        model = ContentModel(_group([_eld("A", 0, 0)]))
+        assert model.matches([])
+        assert not model.matches(["A"])
+
+
+class TestSequenceMatching:
+    def test_example_2_sequence(self):
+        # Example 2: sequence of B then C.
+        model = ContentModel(_group([_eld("B"), _eld("C")]))
+        assert model.matches(["B", "C"])
+        assert not model.matches(["C", "B"])
+        assert not model.matches(["B"])
+        assert not model.matches(["B", "C", "C"])
+        assert not model.matches([])
+
+    def test_optional_members(self):
+        model = ContentModel(_group([_eld("A", 0, 1), _eld("B")]))
+        assert model.matches(["B"])
+        assert model.matches(["A", "B"])
+        assert not model.matches(["A"])
+
+    def test_bounded_repetition(self):
+        model = ContentModel(_group([_eld("A", 2, 4)]))
+        assert not model.matches(["A"])
+        assert model.matches(["A"] * 2)
+        assert model.matches(["A"] * 4)
+        assert not model.matches(["A"] * 5)
+
+    def test_huge_max_occurs_is_cheap(self):
+        # The derivative matcher must not expand maxOccurs copies.
+        model = ContentModel(_group([_eld("A", 0, 10**9)]))
+        assert model.matches(["A"] * 1000)
+        assert not model.matches(["A"] * 1000 + ["B"])
+
+
+class TestChoiceMatching:
+    def test_example_3_choice(self):
+        # Example 3: (zero | one) repeated 0..unbounded.
+        model = ContentModel(_group(
+            [_eld("zero"), _eld("one")],
+            CombinationFactor.CHOICE, 0, UNBOUNDED))
+        assert model.matches([])
+        assert model.matches(["zero"])
+        assert model.matches(["one", "zero", "one"])
+        assert not model.matches(["two"])
+
+    def test_exclusive_choice(self):
+        model = ContentModel(_group(
+            [_eld("A"), _eld("B")], CombinationFactor.CHOICE))
+        assert model.matches(["A"])
+        assert model.matches(["B"])
+        assert not model.matches(["A", "B"])
+        assert not model.matches([])
+
+
+class TestNestedGroups:
+    def test_sequence_of_choices(self):
+        inner = _group([_eld("X"), _eld("Y")], CombinationFactor.CHOICE)
+        model = ContentModel(_group([_eld("A"), inner, _eld("B")]))
+        assert model.matches(["A", "X", "B"])
+        assert model.matches(["A", "Y", "B"])
+        assert not model.matches(["A", "X", "Y", "B"])
+
+    def test_repeated_nested_group(self):
+        inner = _group([_eld("K"), _eld("V")], minimum=0, maximum=UNBOUNDED)
+        model = ContentModel(_group([inner]))
+        assert model.matches([])
+        assert model.matches(["K", "V", "K", "V"])
+        assert not model.matches(["K", "V", "K"])
+
+
+class TestExplain:
+    def test_unknown_name(self):
+        model = ContentModel(_group([_eld("A")]))
+        assert "does not occur" in model.explain(["Z"])
+
+    def test_wrong_position(self):
+        model = ContentModel(_group([_eld("A"), _eld("B")]))
+        message = model.explain(["B"])
+        assert "not allowed here" in message
+        assert "'A'" in message
+
+    def test_premature_end(self):
+        model = ContentModel(_group([_eld("A"), _eld("B")]))
+        assert "prematurely" in model.explain(["A"])
+
+    def test_match_message(self):
+        model = ContentModel(_group([_eld("A")]))
+        assert model.explain(["A"]) == "the sequence matches"
+
+
+class TestDeclarationAttribution:
+    def test_declaration_for(self):
+        model = ContentModel(_group([_eld("A", 0, 2), _eld("B")]))
+        assert model.declaration_for("A").repetition.maximum == 2
+        assert model.knows("A")
+        assert not model.knows("Z")
+
+
+class TestDeterminism:
+    def test_flat_groups_are_deterministic(self):
+        model = ContentModel(_group([_eld("A"), _eld("B", 0, 9)]))
+        assert model.is_deterministic()
+
+    def test_competing_names_detected(self):
+        # (A, B) | (A, C): the two A positions compete — a UPA violation.
+        left = _group([_eld("A"), _eld("B")])
+        right = _group([_eld("A"), _eld("C")])
+        model = ContentModel(_group([left, right],
+                                    CombinationFactor.CHOICE))
+        assert not model.is_deterministic()
+        conflicts = model.automaton().competing_positions()
+        assert any(name == "A" for name, _, _ in conflicts)
+
+    def test_expansion_limit_enforced(self):
+        group = _group([_eld("A", 0, 10**9)])
+        with pytest.raises(ContentModelError):
+            GlushkovAutomaton(compile_group(group), expansion_limit=100)
+
+
+# ----------------------------------------------------------------------
+# Cross-checking the two matchers against each other and brute force.
+
+_random_group = st.deferred(lambda: st.one_of(_leaf_group, _nested_group))
+
+_names = st.sampled_from(["a", "b", "c"])
+
+_leaf_member = st.builds(
+    _eld,
+    _names,
+    st.integers(min_value=0, max_value=2),
+    st.one_of(st.integers(min_value=2, max_value=3),
+              st.just(UNBOUNDED)))
+
+
+@st.composite
+def _distinct_members(draw, member_strategy, max_size=3):
+    members = draw(st.lists(member_strategy, min_size=1, max_size=max_size))
+    seen: set[str] = set()
+    result = []
+    for member in members:
+        if isinstance(member, ElementDeclaration):
+            if member.name in seen:
+                continue
+            seen.add(member.name)
+        result.append(member)
+    return result
+
+
+_leaf_group = st.builds(
+    _group,
+    _distinct_members(_leaf_member),
+    st.sampled_from([CombinationFactor.SEQUENCE, CombinationFactor.CHOICE]),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=2, max_value=3))
+
+_nested_group = st.builds(
+    _group,
+    _distinct_members(st.one_of(_leaf_member, _leaf_group)),
+    st.sampled_from([CombinationFactor.SEQUENCE, CombinationFactor.CHOICE]),
+    st.integers(min_value=0, max_value=1),
+    st.integers(min_value=1, max_value=2))
+
+
+class TestMatcherCrossCheck:
+    @settings(max_examples=150, deadline=None)
+    @given(_random_group, st.lists(_names, max_size=6))
+    def test_derivative_agrees_with_glushkov(self, group, word):
+        particle = compile_group(group)
+        derivative = DerivativeMatcher(particle).matches(word)
+        glushkov = GlushkovAutomaton(particle).matches(word)
+        assert derivative == glushkov
+
+    def test_exhaustive_short_words(self):
+        rng = random.Random(7)
+        groups = [
+            _group([_eld("a", 0, 2), _eld("b")]),
+            _group([_eld("a"), _eld("b", 0, UNBOUNDED)],
+                   CombinationFactor.CHOICE, 1, 2),
+            _group([_group([_eld("a"), _eld("b")],
+                           CombinationFactor.CHOICE, 0, 2), _eld("c")]),
+        ]
+        for group in groups:
+            particle = compile_group(group)
+            derivative = DerivativeMatcher(particle)
+            glushkov = GlushkovAutomaton(particle)
+            for length in range(5):
+                for word in itertools.product("abc", repeat=length):
+                    assert (derivative.matches(word)
+                            == glushkov.matches(word)), (group, word)

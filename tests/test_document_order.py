@@ -1,0 +1,120 @@
+"""Tests for document order (Section 7)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.xmlio import QName
+from repro.algebra import StateAlgebra, build_element_tree
+from repro.order import (
+    DocumentOrderIndex,
+    before,
+    compare,
+    document_order,
+    is_total_order,
+    tree_before,
+)
+
+
+@pytest.fixture
+def tree():
+    """document -> r(@k) -> [a(@m)[text], b[c]] per the Section 7 rules."""
+    algebra = StateAlgebra()
+    document = algebra.create_document()
+    r = build_element_tree(
+        algebra,
+        ("r", {"k": "v"},
+         [("a", {"m": "w"}, ["text"]), ("b", {}, [("c", {}, [])])]))
+    algebra.append_child(document, r)
+    return document
+
+
+def _by_name(document, local):
+    for node in document_order(document):
+        names = node.node_name()
+        if names and names.head().local == local:
+            return node
+    raise AssertionError(f"no node named {local}")
+
+
+class TestOrderRules:
+    def test_document_precedes_element_child(self, tree):
+        nodes = document_order(tree)
+        assert nodes[0] is tree
+        assert nodes[1] is tree.document_element()
+
+    def test_element_precedes_its_attributes(self, tree):
+        r = tree.document_element()
+        attribute = list(r.attributes())[0]
+        assert before(r, attribute)
+
+    def test_attributes_precede_children(self, tree):
+        r = tree.document_element()
+        attribute = list(r.attributes())[0]
+        first_child = list(r.children())[0]
+        assert before(attribute, first_child)
+
+    def test_subtrees_are_blockwise_ordered(self, tree):
+        a = _by_name(tree, "a")
+        b = _by_name(tree, "b")
+        assert tree_before(a, b)
+
+    def test_descendants_follow_ancestors(self, tree):
+        a = _by_name(tree, "a")
+        text = list(a.children())[0]
+        assert before(a, text)
+
+    def test_expected_total_order(self, tree):
+        kinds_names = []
+        for node in document_order(tree):
+            names = node.node_name()
+            label = names.head().local if names else node.node_kind()
+            kinds_names.append(label)
+        assert kinds_names == ["document", "r", "k", "a", "m", "text",
+                               "b", "c"]
+
+
+class TestStrictTotalOrder:
+    def test_is_total_order(self, tree):
+        assert is_total_order(tree)
+
+    def test_irreflexive(self, tree):
+        r = tree.document_element()
+        assert not before(r, r)
+        assert compare(r, r) == 0
+
+    def test_antisymmetric(self, tree):
+        a = _by_name(tree, "a")
+        b = _by_name(tree, "b")
+        assert before(a, b) != before(b, a)
+
+    def test_different_trees_rejected(self, tree):
+        other_algebra = StateAlgebra()
+        foreign = other_algebra.create_element(QName("", "x"))
+        with pytest.raises(ModelError):
+            before(tree, foreign)
+
+
+class TestIndex:
+    def test_index_agrees_with_structural_compare(self, tree):
+        index = DocumentOrderIndex(tree)
+        nodes = document_order(tree)
+        for i, a in enumerate(nodes):
+            for b in nodes[i + 1:]:
+                assert index.before(a, b)
+                assert not index.before(b, a)
+                assert index.compare(a, b) == -1
+                assert index.compare(b, a) == 1
+
+    def test_index_positions_sequential(self, tree):
+        index = DocumentOrderIndex(tree)
+        nodes = document_order(tree)
+        assert [index.position(n) for n in nodes] == list(range(len(nodes)))
+
+    def test_foreign_node_rejected(self, tree):
+        index = DocumentOrderIndex(tree)
+        algebra = StateAlgebra()
+        with pytest.raises(ModelError):
+            index.position(algebra.create_text("t"))
+
+    def test_len(self, tree):
+        assert len(DocumentOrderIndex(tree)) == 8

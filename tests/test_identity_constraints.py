@@ -1,0 +1,120 @@
+"""Tests for ID/IDREF identity constraints."""
+
+import pytest
+
+from repro.algebra.identity import check_identity, collect_ids
+from repro.mapping import document_to_tree
+from repro.schema import parse_schema
+from repro.xmlio import parse_document
+from repro.workloads.fixtures import wrap_in_schema
+
+_SCHEMA = wrap_in_schema("""
+ <xsd:complexType name="Person">
+  <xsd:sequence>
+   <xsd:element name="name" type="xsd:string"/>
+  </xsd:sequence>
+  <xsd:attribute name="pid" type="xsd:ID"/>
+  <xsd:attribute name="manager" type="xsd:IDREF"/>
+ </xsd:complexType>
+ <xsd:element name="staff"><xsd:complexType>
+  <xsd:sequence>
+   <xsd:element name="person" type="Person"
+                minOccurs="0" maxOccurs="unbounded"/>
+  </xsd:sequence>
+ </xsd:complexType></xsd:element>""")
+
+_REFS_SCHEMA = wrap_in_schema("""
+ <xsd:complexType name="Node">
+  <xsd:sequence>
+   <xsd:element name="label" type="xsd:string"/>
+  </xsd:sequence>
+  <xsd:attribute name="nid" type="xsd:ID"/>
+  <xsd:attribute name="links" type="xsd:IDREFS"/>
+ </xsd:complexType>
+ <xsd:element name="graph"><xsd:complexType>
+  <xsd:sequence>
+   <xsd:element name="node" type="Node"
+                minOccurs="0" maxOccurs="unbounded"/>
+  </xsd:sequence>
+ </xsd:complexType></xsd:element>""")
+
+
+def _tree(schema_text, document_text):
+    return document_to_tree(parse_document(document_text),
+                            parse_schema(schema_text))
+
+
+class TestIdUniqueness:
+    def test_unique_ids_pass(self):
+        tree = _tree(_SCHEMA, """
+          <staff>
+            <person pid="p1" manager="p2"><name>Ann</name></person>
+            <person pid="p2" manager="p2"><name>Bob</name></person>
+          </staff>""")
+        assert check_identity(tree) == []
+
+    def test_duplicate_id_detected(self):
+        tree = _tree(_SCHEMA, """
+          <staff>
+            <person pid="p1" manager="p1"><name>Ann</name></person>
+            <person pid="p1" manager="p1"><name>Bob</name></person>
+          </staff>""")
+        violations = check_identity(tree)
+        assert any(v.kind == "duplicate-id" and v.value == "p1"
+                   for v in violations)
+
+    def test_collect_ids(self):
+        tree = _tree(_SCHEMA, """
+          <staff>
+            <person pid="p1" manager="p1"><name>Ann</name></person>
+            <person pid="p2" manager="p1"><name>Bob</name></person>
+          </staff>""")
+        ids = collect_ids(tree)
+        assert set(ids) == {"p1", "p2"}
+        assert "person[2]" in ids["p2"]
+
+
+class TestIdrefResolution:
+    def test_dangling_idref_detected(self):
+        tree = _tree(_SCHEMA, """
+          <staff>
+            <person pid="p1" manager="ghost"><name>Ann</name></person>
+          </staff>""")
+        violations = check_identity(tree)
+        assert any(v.kind == "dangling-idref" and v.value == "ghost"
+                   for v in violations)
+
+    def test_forward_reference_allowed(self):
+        tree = _tree(_SCHEMA, """
+          <staff>
+            <person pid="p1" manager="p2"><name>Ann</name></person>
+            <person pid="p2" manager="p1"><name>Bob</name></person>
+          </staff>""")
+        assert check_identity(tree) == []
+
+    def test_idrefs_each_token_checked(self):
+        tree = _tree(_REFS_SCHEMA, """
+          <graph>
+            <node nid="a" links="a b"><label>A</label></node>
+            <node nid="b" links="a ghost"><label>B</label></node>
+          </graph>""")
+        violations = check_identity(tree)
+        assert len(violations) == 1
+        assert violations[0].value == "ghost"
+
+    def test_violation_reports_path(self):
+        tree = _tree(_SCHEMA, """
+          <staff>
+            <person pid="p1" manager="x"><name>Ann</name></person>
+          </staff>""")
+        (violation,) = check_identity(tree)
+        assert violation.path.endswith("person[1]/@manager")
+
+
+class TestUntypedDocumentsAreUnconstrained:
+    def test_untyped_attributes_ignored(self):
+        from repro.mapping import untyped_document_to_tree
+        tree = untyped_document_to_tree(parse_document(
+            '<r><a pid="x"/><b pid="x"/></r>'))
+        # Without xs:ID annotations there are no identity constraints.
+        assert check_identity(tree) == []

@@ -1,0 +1,180 @@
+"""Cross-cutting property tests over the whole stack.
+
+These tie the layers together: content equality is an equivalence
+relation; random conforming instances survive every representation
+change (tree → text → tree, tree → storage) unharmed; document order
+stays a strict total order under mutation; storage accessors agree
+with the formal model on arbitrary instances.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import InstanceBuilder, check_conformance
+from repro.mapping import (
+    content_equal,
+    document_to_tree,
+    tree_to_document,
+    untyped_document_to_tree,
+)
+from repro.order import document_order, is_total_order
+from repro.schema import parse_schema
+from repro.storage import StorageEngine
+from repro.xmlio import parse_document, serialize_document
+from repro.workloads import make_library_document
+from repro.workloads.fixtures import (
+    EXAMPLE_6_SCHEMA,
+    LIBRARY_SCHEMA,
+    wrap_in_schema,
+)
+
+_seeds = st.integers(min_value=0, max_value=10**9)
+
+# A schema exercising every §6.2 branch: choice, repetition, nil,
+# attributes, simple content and mixed content.
+_KITCHEN_SINK = wrap_in_schema("""
+ <xsd:complexType name="Entry">
+  <xsd:sequence>
+   <xsd:element name="label" type="xsd:string" nillable="true"/>
+   <xsd:choice minOccurs="0" maxOccurs="3">
+    <xsd:element name="num" type="xsd:integer"/>
+    <xsd:element name="flag" type="xsd:boolean"/>
+   </xsd:choice>
+  </xsd:sequence>
+  <xsd:attribute name="id" type="xsd:string"/>
+ </xsd:complexType>
+ <xsd:element name="log">
+  <xsd:complexType mixed="true">
+   <xsd:sequence>
+    <xsd:element name="entry" type="Entry"
+                 minOccurs="0" maxOccurs="unbounded"/>
+   </xsd:sequence>
+  </xsd:complexType>
+ </xsd:element>
+""")
+
+
+class TestContentEqualityIsEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=_seeds)
+    def test_reflexive(self, seed):
+        schema = parse_schema(LIBRARY_SCHEMA)
+        document = tree_to_document(
+            InstanceBuilder(schema, seed=seed).build())
+        assert content_equal(document, document)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=_seeds)
+    def test_symmetric(self, seed):
+        schema = parse_schema(LIBRARY_SCHEMA)
+        tree = InstanceBuilder(schema, seed=seed).build()
+        first = tree_to_document(tree)
+        second = parse_document(serialize_document(first))
+        assert content_equal(first, second) == content_equal(second,
+                                                             first)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=_seeds)
+    def test_transitive_through_representations(self, seed):
+        schema = parse_schema(LIBRARY_SCHEMA)
+        tree = InstanceBuilder(schema, seed=seed).build()
+        a = tree_to_document(tree)
+        b = parse_document(serialize_document(a))
+        c = tree_to_document(document_to_tree(b, schema))
+        assert content_equal(a, b)
+        assert content_equal(b, c)
+        assert content_equal(a, c)
+
+
+class TestKitchenSinkRoundTrips:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=_seeds)
+    def test_every_feature_round_trips(self, seed):
+        schema = parse_schema(_KITCHEN_SINK)
+        builder = InstanceBuilder(schema, seed=seed)
+        tree = builder.build()
+        assert check_conformance(tree, schema) == []
+        text = serialize_document(tree_to_document(tree))
+        tree2 = document_to_tree(parse_document(text), schema)
+        assert check_conformance(tree2, schema) == []
+        assert content_equal(tree_to_document(tree),
+                             tree_to_document(tree2))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=_seeds)
+    def test_document_order_is_total_on_random_instances(self, seed):
+        schema = parse_schema(_KITCHEN_SINK)
+        tree = InstanceBuilder(schema, seed=seed).build()
+        if len(document_order(tree)) <= 60:  # keep the O(n²) check sane
+            assert is_total_order(tree)
+
+
+class TestStorageAgreesWithModel:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=_seeds)
+    def test_random_instance_storage_agreement(self, seed):
+        schema = parse_schema(EXAMPLE_6_SCHEMA)
+        tree = InstanceBuilder(schema, seed=seed).build()
+        engine = StorageEngine()
+        engine.load_tree(tree)
+        engine.check_invariants()
+
+        def compare(node, descriptor):
+            assert node.node_kind() == engine.node_kind(descriptor)
+            if node.node_kind() == "element":
+                assert node.name == engine.node_name(descriptor)
+                node_attrs = [(a.node_name().head().local,
+                               a.string_value())
+                              for a in node.attributes()]
+                stored_attrs = [(engine.node_name(d).local, d.value)
+                                for d in engine.attributes(descriptor)]
+                assert sorted(node_attrs) == sorted(stored_attrs)
+                node_children = list(node.children())
+                stored_children = engine.children(descriptor)
+                assert len(node_children) == len(stored_children)
+                for child, stored in zip(node_children, stored_children):
+                    compare(child, stored)
+            elif node.node_kind() == "text":
+                assert node.string_value() == (descriptor.value or "")
+
+        compare(tree.document_element(),
+                engine.children(engine.document)[0])
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=_seeds)
+    def test_string_values_agree_everywhere(self, seed):
+        schema = parse_schema(LIBRARY_SCHEMA)
+        tree = InstanceBuilder(schema, seed=seed).build()
+        engine = StorageEngine()
+        engine.load_tree(tree)
+        root = tree.document_element()
+        stored_root = engine.children(engine.document)[0]
+        assert root.string_value() == engine.string_value(stored_root)
+
+
+class TestUpdateStormProperties:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_storage_document_order_matches_labels(self, seed):
+        """After a random update storm, the document-order traversal
+        and the label order agree over all descriptors."""
+        from repro.storage import before
+        from repro.xmlio import QName
+        engine = StorageEngine(block_capacity=4)
+        engine.load_document(make_library_document(4, 4, seed=seed))
+        rng = random.Random(seed)
+        for step in range(60):
+            elements = [d for d in engine.iter_document_order()
+                        if d.node_type == "element"]
+            parent = rng.choice(elements)
+            index = rng.randint(0, len(engine.children(parent)))
+            if rng.random() < 0.5:
+                engine.insert_child(parent, index,
+                                    name=QName("", f"x{step % 5}"))
+            else:
+                engine.insert_child(parent, index, text=f"t{step}")
+        ordered = list(engine.iter_document_order())
+        for a, b in zip(ordered, ordered[1:]):
+            assert before(a.nid, b.nid)
+        assert engine.relabel_count == 0

@@ -1,0 +1,288 @@
+"""Tests for f, g, =_c and the Section 8 round-trip theorem."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.xmlio import parse_document, serialize_document
+from repro.schema import parse_schema
+from repro.algebra import InstanceBuilder, check_conformance
+from repro.mapping import (
+    content_difference,
+    content_equal,
+    document_to_tree,
+    serialize_tree,
+    tree_to_document,
+    untyped_document_to_tree,
+)
+from repro.workloads.fixtures import (
+    EXAMPLE_5_SCHEMA,
+    EXAMPLE_6_SCHEMA,
+    EXAMPLE_7_DOCUMENT,
+    EXAMPLE_7_SCHEMA,
+    EXAMPLE_8_DOCUMENT,
+    LIBRARY_SCHEMA,
+    wrap_in_schema,
+)
+
+
+@pytest.fixture(scope="module")
+def bookstore_schema():
+    return parse_schema(EXAMPLE_7_SCHEMA)
+
+
+@pytest.fixture(scope="module")
+def library_schema():
+    return parse_schema(LIBRARY_SCHEMA)
+
+
+class TestMappingF:
+    def test_bookstore_document_maps_to_conforming_tree(
+            self, bookstore_schema):
+        tree = document_to_tree(parse_document(EXAMPLE_7_DOCUMENT),
+                                bookstore_schema)
+        assert check_conformance(tree, bookstore_schema) == []
+
+    def test_library_document_maps(self, library_schema):
+        tree = document_to_tree(parse_document(EXAMPLE_8_DOCUMENT),
+                                library_schema)
+        assert check_conformance(tree, library_schema) == []
+
+    def test_type_annotations_set(self, bookstore_schema):
+        tree = document_to_tree(parse_document(EXAMPLE_7_DOCUMENT),
+                                bookstore_schema)
+        book = tree.document_element().element_children()[0]
+        assert book.type().head().local == "BookPublication"
+        title = book.element_children()[0]
+        assert title.type().head().local == "string"
+
+    def test_wrong_root_rejected(self, bookstore_schema):
+        with pytest.raises(ValidationError):
+            document_to_tree(parse_document("<NotBookStore/>"),
+                             bookstore_schema)
+
+    def test_wrong_child_order_rejected(self, library_schema):
+        bad = "<library><paper><title>t</title></paper>" \
+              "<book><title>t</title></book></library>"
+        with pytest.raises(ValidationError) as exc_info:
+            document_to_tree(parse_document(bad), library_schema)
+        assert "5.4.2.3" in str(exc_info.value)
+
+    def test_bad_simple_value_rejected(self, library_schema):
+        bad = ("<library><book><title>t</title>"
+               "<issue><publisher>p</publisher><year>not-a-year</year>"
+               "</issue></book></library>")
+        with pytest.raises(ValidationError) as exc_info:
+            document_to_tree(parse_document(bad), library_schema)
+        assert "5.1.1" in str(exc_info.value)
+
+    def test_text_in_element_only_content_rejected(self, library_schema):
+        bad = "<library>stray text<book><title>t</title></book></library>"
+        with pytest.raises(ValidationError):
+            document_to_tree(parse_document(bad), library_schema)
+
+    def test_whitespace_between_elements_tolerated(self, library_schema):
+        spaced = "<library>\n  <book>\n <title>t</title>\n</book>\n</library>"
+        tree = document_to_tree(parse_document(spaced), library_schema)
+        assert check_conformance(tree, library_schema) == []
+
+    def test_simple_typed_element_gets_one_text_child(self, library_schema):
+        tree = document_to_tree(parse_document(
+            "<library><book><title></title></book></library>"),
+            library_schema)
+        title = (tree.document_element()
+                 .element_children()[0].element_children()[0])
+        children = list(title.children())
+        assert len(children) == 1
+        assert children[0].node_kind() == "text"
+        assert children[0].string_value() == ""
+
+    def test_undeclared_attribute_rejected(self, library_schema):
+        bad = '<library bogus="1"/>'
+        with pytest.raises(ValidationError) as exc_info:
+            document_to_tree(parse_document(bad), library_schema)
+        assert "5.3.1" in str(exc_info.value)
+
+
+class TestAttributesAndSimpleContent:
+    def test_simple_content_with_attribute(self):
+        schema = parse_schema(EXAMPLE_5_SCHEMA)
+        tree = document_to_tree(
+            parse_document('<Price currency="USD">12.50</Price>'), schema)
+        assert check_conformance(tree, schema) == []
+        price = tree.document_element()
+        assert price.string_value() == "12.50"
+        (attr,) = price.attributes()
+        assert attr.string_value() == "USD"
+
+    def test_missing_mandatory_attribute_rejected(self):
+        schema = parse_schema(EXAMPLE_5_SCHEMA)
+        with pytest.raises(ValidationError) as exc_info:
+            document_to_tree(parse_document("<Price>12.50</Price>"), schema)
+        assert "missing attribute" in str(exc_info.value)
+
+    def test_bad_attribute_value_rejected(self):
+        schema = parse_schema(EXAMPLE_6_SCHEMA)
+        bad = '<Review InStock="maybe" Reviewer="bob"/>'
+        with pytest.raises(ValidationError):
+            document_to_tree(parse_document(bad), schema)
+
+    def test_mixed_content_preserved(self):
+        schema = parse_schema(EXAMPLE_6_SCHEMA)
+        doc = parse_document(
+            '<Review InStock="true" Reviewer="bob">Great stuff '
+            "<Book><Title>T</Title><Author>A</Author><Date>D</Date>"
+            "<ISBN>I</ISBN><Publisher>P</Publisher></Book> indeed</Review>")
+        tree = document_to_tree(doc, schema)
+        assert check_conformance(tree, schema) == []
+        kinds = [c.node_kind()
+                 for c in tree.document_element().children()]
+        assert kinds == ["text", "element", "text"]
+
+
+class TestNil:
+    SCHEMA = wrap_in_schema(
+        '<xsd:element name="Remark" type="xsd:string" nillable="true"/>')
+
+    def test_nilled_element(self):
+        schema = parse_schema(self.SCHEMA)
+        doc = parse_document(
+            '<Remark xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+            ' xsi:nil="true"/>')
+        tree = document_to_tree(doc, schema)
+        assert check_conformance(tree, schema) == []
+        element = tree.document_element()
+        assert element.nilled().head() is True
+        assert not element.children()
+
+    def test_nil_on_non_nillable_rejected(self):
+        schema = parse_schema(wrap_in_schema(
+            '<xsd:element name="Remark" type="xsd:string"/>'))
+        doc = parse_document(
+            '<Remark xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+            ' xsi:nil="true"/>')
+        with pytest.raises(ValidationError):
+            document_to_tree(doc, schema)
+
+    def test_nilled_element_with_content_rejected(self):
+        schema = parse_schema(self.SCHEMA)
+        doc = parse_document(
+            '<Remark xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+            ' xsi:nil="true">oops</Remark>')
+        with pytest.raises(ValidationError):
+            document_to_tree(doc, schema)
+
+    def test_nil_round_trips(self):
+        schema = parse_schema(self.SCHEMA)
+        doc = parse_document(
+            '<Remark xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"'
+            ' xsi:nil="true"/>')
+        tree = document_to_tree(doc, schema)
+        again = tree_to_document(tree)
+        assert content_equal(doc, again)
+
+
+class TestMappingG:
+    def test_serialize_tree_text(self, bookstore_schema):
+        tree = document_to_tree(parse_document(EXAMPLE_7_DOCUMENT),
+                                bookstore_schema)
+        text = serialize_tree(tree)
+        assert "<BookStore" in text
+        assert "<Title>My Life and Times</Title>" in text
+
+    def test_namespace_declared_at_root(self, bookstore_schema):
+        tree = document_to_tree(parse_document(EXAMPLE_7_DOCUMENT),
+                                bookstore_schema)
+        doc = tree_to_document(tree)
+        assert doc.root.namespace_decls.get("") == "http://www.books.org"
+
+
+class TestContentEquality:
+    def test_identical_documents(self):
+        a = parse_document("<r><a>1</a></r>")
+        b = parse_document("<r><a>1</a></r>")
+        assert content_equal(a, b)
+
+    def test_attribute_order_matters_not_for_mapping(self):
+        a = parse_document('<r x="1" y="2"/>')
+        b = parse_document('<r y="2" x="1"/>')
+        assert content_equal(a, b)  # dict comparison is order-free
+
+    def test_text_difference_detected(self):
+        a = parse_document("<r>one</r>")
+        b = parse_document("<r>two</r>")
+        difference = content_difference(a, b)
+        assert difference is not None
+        assert "text differs" in difference.reason
+
+    def test_name_difference_detected(self):
+        difference = content_difference(parse_document("<r><a/></r>"),
+                                        parse_document("<r><b/></r>"))
+        assert "names differ" in difference.reason
+
+    def test_whitespace_only_text_ignored_by_default(self):
+        a = parse_document("<r>\n  <a/>\n</r>")
+        b = parse_document("<r><a/></r>")
+        assert content_equal(a, b)
+        assert not content_equal(a, b,
+                                 ignore_insignificant_whitespace=False)
+
+    def test_mixed_text_not_ignored(self):
+        a = parse_document("<r>hello<a/></r>")
+        b = parse_document("<r><a/></r>")
+        assert not content_equal(a, b)
+
+
+class TestRoundTripTheorem:
+    """g(f(X)) =_c X for the paper's examples and random instances."""
+
+    @pytest.mark.parametrize("schema_text,document_text", [
+        (EXAMPLE_7_SCHEMA, EXAMPLE_7_DOCUMENT),
+        (LIBRARY_SCHEMA, EXAMPLE_8_DOCUMENT),
+    ])
+    def test_theorem_on_paper_examples(self, schema_text, document_text):
+        schema = parse_schema(schema_text)
+        document = parse_document(document_text)
+        tree = document_to_tree(document, schema)
+        assert content_equal(tree_to_document(tree), document)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    def test_theorem_on_random_instances(self, seed):
+        schema = parse_schema(LIBRARY_SCHEMA)
+        builder = InstanceBuilder(schema, seed=seed)
+        tree = builder.build()
+        assert check_conformance(tree, schema) == []
+        document = tree_to_document(tree)
+        # f over the serialized instance gives a tree serializing equal.
+        reparsed = parse_document(serialize_document(document))
+        tree2 = document_to_tree(reparsed, schema)
+        assert content_equal(tree_to_document(tree2), document)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**9))
+    def test_theorem_with_attributes_and_mixed(self, seed):
+        schema = parse_schema(EXAMPLE_6_SCHEMA)
+        builder = InstanceBuilder(schema, seed=seed)
+        tree = builder.build()
+        assert check_conformance(tree, schema) == []
+        document = tree_to_document(tree)
+        reparsed = parse_document(serialize_document(document))
+        tree2 = document_to_tree(reparsed, schema)
+        assert content_equal(document, tree_to_document(tree2))
+
+
+class TestUntypedMapping:
+    def test_untyped_preserves_everything(self):
+        document = parse_document("<r>  <a x='1'/> text </r>")
+        tree = untyped_document_to_tree(document)
+        r = tree.document_element()
+        kinds = [c.node_kind() for c in r.children()]
+        assert kinds == ["text", "element", "text"]
+
+    def test_untyped_round_trip_exact(self):
+        document = parse_document("<r>a<b k='v'>c</b>d</r>")
+        tree = untyped_document_to_tree(document)
+        again = tree_to_document(tree)
+        assert content_equal(document, again,
+                             ignore_insignificant_whitespace=False)

@@ -1,0 +1,228 @@
+"""Tests for axes, the path language and the three query evaluators."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.xmlio import parse_document
+from repro.mapping import untyped_document_to_tree
+from repro.order import document_order
+from repro.query import (
+    AXES,
+    StorageQueryEngine,
+    evaluate_tree,
+    parse_path,
+)
+from repro.query.paths import Step
+from repro.storage import StorageEngine
+from repro.workloads import make_library_document
+from repro.workloads.fixtures import EXAMPLE_8_DOCUMENT
+
+_DOC = '<r i="1"><a><b/><c>x</c></a><d j="2"/><a><b/></a></r>'
+
+
+@pytest.fixture
+def tree():
+    return untyped_document_to_tree(parse_document(_DOC))
+
+
+def _names(nodes):
+    out = []
+    for node in nodes:
+        names = node.node_name()
+        out.append(names.head().local if names else node.node_kind())
+    return out
+
+
+class TestAxes:
+    def test_child(self, tree):
+        r = tree.document_element()
+        assert _names(AXES["child"](r)) == ["a", "d", "a"]
+
+    def test_attribute(self, tree):
+        r = tree.document_element()
+        assert _names(AXES["attribute"](r)) == ["i"]
+
+    def test_parent_and_self(self, tree):
+        r = tree.document_element()
+        a = r.element_children()[0]
+        assert list(AXES["parent"](a)) == [r]
+        assert list(AXES["self"](a)) == [a]
+
+    def test_descendant(self, tree):
+        r = tree.document_element()
+        assert _names(AXES["descendant"](r)) == \
+            ["a", "b", "c", "text", "d", "a", "b"]
+
+    def test_descendant_or_self(self, tree):
+        r = tree.document_element()
+        assert _names(AXES["descendant-or-self"](r))[0] == "r"
+
+    def test_ancestor(self, tree):
+        r = tree.document_element()
+        b = r.element_children()[0].element_children()[0]
+        assert _names(AXES["ancestor"](b)) == ["a", "r", "document"]
+        assert _names(AXES["ancestor-or-self"](b))[0] == "b"
+
+    def test_sibling_axes(self, tree):
+        r = tree.document_element()
+        first_a, d, second_a = r.element_children()
+        assert _names(AXES["following-sibling"](d)) == ["a"]
+        assert _names(AXES["preceding-sibling"](d)) == ["a"]
+        assert _names(AXES["following-sibling"](second_a)) == []
+
+    def test_following_excludes_descendants(self, tree):
+        r = tree.document_element()
+        first_a = r.element_children()[0]
+        following = _names(AXES["following"](first_a))
+        assert following == ["d", "a", "b"]
+
+    def test_preceding_excludes_ancestors(self, tree):
+        r = tree.document_element()
+        second_a = r.element_children()[2]
+        preceding = _names(AXES["preceding"](second_a))
+        # reverse document order, no ancestors, no attributes
+        assert preceding == ["d", "text", "c", "b", "a"]
+
+    def test_attribute_has_no_siblings(self, tree):
+        r = tree.document_element()
+        attribute = list(r.attributes())[0]
+        assert list(AXES["following-sibling"](attribute)) == []
+        assert list(AXES["preceding-sibling"](attribute)) == []
+
+    def test_axis_order_consistency(self, tree):
+        """Forward axes yield document order; reverse axes reversed."""
+        positions = {node: i
+                     for i, node in enumerate(document_order(tree))}
+        r = tree.document_element()
+        for axis in ("descendant", "following"):
+            result = list(AXES[axis](r.element_children()[0]))
+            assert [positions[n] for n in result] == \
+                sorted(positions[n] for n in result)
+        for axis in ("preceding", "ancestor"):
+            result = list(AXES[axis](r.element_children()[2]))
+            assert [positions[n] for n in result] == sorted(
+                (positions[n] for n in result), reverse=True)
+
+
+class TestPathParser:
+    def test_child_steps(self):
+        path = parse_path("/library/book/title")
+        assert [s.name for s in path.steps] == ["library", "book", "title"]
+        assert all(s.axis == "child" for s in path.steps)
+
+    def test_descendant_step(self):
+        path = parse_path("//author")
+        assert path.steps[0].axis == "descendant-or-self"
+
+    def test_attribute_step(self):
+        path = parse_path("/a/@id")
+        assert path.steps[-1] == Step("child", "attribute", "id")
+
+    def test_wildcards(self):
+        path = parse_path("/a/*/@*")
+        assert path.steps[1].name is None
+        assert path.steps[2].name is None
+
+    def test_text_step(self):
+        path = parse_path("/a/text()")
+        assert path.steps[-1].kind == "text"
+
+    @pytest.mark.parametrize("bad", [
+        "relative/path", "/a//", "/", "/a/@", "/a/b[]", "/a/b[0]",
+        "/a/b[t=v]", "/a/b[f()]", "/a/b[1", "/a/b[x<2]",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(QueryError):
+            parse_path(bad)
+
+    def test_repr_round_trip(self):
+        for text in ("/a/b", "//x", "/a/@id", "/a/text()", "/a/*"):
+            assert repr(parse_path(text)) == text
+
+
+class TestTreeEvaluation:
+    def test_simple_path(self, tree):
+        result = evaluate_tree(tree, "/r/a/b")
+        assert _names(result) == ["b", "b"]
+
+    def test_wildcard(self, tree):
+        assert _names(evaluate_tree(tree, "/r/*")) == ["a", "d", "a"]
+
+    def test_descendant(self, tree):
+        assert _names(evaluate_tree(tree, "//b")) == ["b", "b"]
+
+    def test_attribute(self, tree):
+        result = evaluate_tree(tree, "/r/d/@j")
+        assert [n.string_value() for n in result] == ["2"]
+
+    def test_text(self, tree):
+        result = evaluate_tree(tree, "/r/a/c/text()")
+        assert [n.string_value() for n in result] == ["x"]
+
+    def test_no_match(self, tree):
+        assert evaluate_tree(tree, "/r/zzz") == []
+
+    def test_results_in_document_order(self, tree):
+        positions = {node: i
+                     for i, node in enumerate(document_order(tree))}
+        result = evaluate_tree(tree, "//b")
+        assert [positions[n] for n in result] == \
+            sorted(positions[n] for n in result)
+
+
+class TestStorageEvaluation:
+    @pytest.fixture
+    def stored(self):
+        engine = StorageEngine()
+        engine.load_document(parse_document(EXAMPLE_8_DOCUMENT))
+        return engine, StorageQueryEngine(engine)
+
+    @pytest.mark.parametrize("path,expected", [
+        ("/library/book/title", 2),
+        ("/library/paper/title", 2),
+        ("//title", 4),
+        ("//author", 6),
+        ("/library/book/issue/year", 1),
+        ("/library/*/title/text()", 4),
+        ("/library/zzz", 0),
+    ])
+    def test_naive_equals_schema_driven(self, stored, path, expected):
+        engine, queries = stored
+        naive = queries.evaluate_naive(path)
+        driven = queries.evaluate_schema_driven(path)
+        assert len(naive) == len(driven) == expected
+        assert [engine.string_value(d) for d in naive] == \
+            [engine.string_value(d) for d in driven]
+
+    def test_matches_tree_evaluator(self, stored):
+        engine, queries = stored
+        tree = untyped_document_to_tree(
+            parse_document(EXAMPLE_8_DOCUMENT))
+        for path in ("/library/book/title", "//author", "//title"):
+            from_tree = [n.string_value()
+                         for n in evaluate_tree(tree, path)]
+            from_storage = [engine.string_value(d)
+                            for d in queries.evaluate_schema_driven(path)]
+            assert from_tree == from_storage
+
+    def test_schema_driven_merges_document_order(self, stored):
+        engine, queries = stored
+        result = queries.evaluate_schema_driven("//title")
+        symbols = [d.nid.symbols() for d in result]
+        assert symbols == sorted(symbols)
+
+    def test_matching_schema_nodes(self, stored):
+        _engine, queries = stored
+        nodes = queries.matching_schema_nodes("//title")
+        assert {n.path for n in nodes} == \
+            {"library/book/title", "library/paper/title"}
+
+    def test_on_scaled_document(self):
+        document = make_library_document(books=40, papers=40, seed=9)
+        engine = StorageEngine()
+        engine.load_document(document)
+        queries = StorageQueryEngine(engine)
+        naive = queries.evaluate_naive("/library/book/author")
+        driven = queries.evaluate_schema_driven("/library/book/author")
+        assert [d.nid for d in naive] == [d.nid for d in driven]
+        assert len(naive) > 40

@@ -1,0 +1,112 @@
+"""Scale and robustness checks: deep, wide and large documents."""
+
+import pytest
+
+from repro.mapping import (
+    content_equal,
+    tree_to_document,
+    untyped_document_to_tree,
+)
+from repro.order import document_order
+from repro.query import evaluate_tree
+from repro.storage import StorageEngine
+from repro.xmlio import parse_document, serialize_document
+from repro.workloads import make_library_document
+
+
+def _deep_document(depth: int) -> str:
+    opening = "".join(f"<e{i}>" for i in range(depth))
+    closing = "".join(f"</e{i}>" for i in reversed(range(depth)))
+    return f"{opening}leaf{closing}"
+
+
+def _wide_document(width: int) -> str:
+    children = "".join(f"<c>{i}</c>" for i in range(width))
+    return f"<r>{children}</r>"
+
+
+class TestDeepDocuments:
+    DEPTH = 400
+
+    def test_parse_and_model(self):
+        tree = untyped_document_to_tree(
+            parse_document(_deep_document(self.DEPTH)))
+        assert len(document_order(tree)) == self.DEPTH + 2
+
+    def test_storage(self):
+        engine = StorageEngine()
+        engine.load_document(parse_document(_deep_document(self.DEPTH)))
+        engine.check_invariants()
+        assert engine.node_count() == self.DEPTH + 2
+        # The deepest label has one component per level.
+        deepest = max(engine.iter_document_order(),
+                      key=lambda d: d.nid.depth)
+        assert deepest.nid.depth == self.DEPTH + 2
+
+    def test_roundtrip(self):
+        document = parse_document(_deep_document(self.DEPTH))
+        tree = untyped_document_to_tree(document)
+        assert content_equal(tree_to_document(tree), document)
+
+
+class TestWideDocuments:
+    WIDTH = 5000
+
+    def test_parse_and_query(self):
+        tree = untyped_document_to_tree(
+            parse_document(_wide_document(self.WIDTH)))
+        assert len(evaluate_tree(tree, "/r/c")) == self.WIDTH
+        assert len(evaluate_tree(tree, "/r/c[5000]")) == 1
+
+    def test_storage_blocks_chain(self):
+        engine = StorageEngine(block_capacity=32)
+        engine.load_document(parse_document(_wide_document(self.WIDTH)))
+        engine.check_invariants()
+        c = engine.schema.find_path("r/c")
+        assert c.descriptor_count == self.WIDTH
+        assert c.block_count() == (self.WIDTH + 31) // 32
+
+    def test_sibling_labels_stay_single_digit_heavy(self):
+        """Bulk-loaded labels spread evenly; with base 256 and 5000
+        siblings the labels need two digits but stay short."""
+        engine = StorageEngine()
+        engine.load_document(parse_document(_wide_document(self.WIDTH)))
+        r = engine.children(engine.document)[0]
+        lengths = {len(child.nid) for child in engine.children(r)}
+        assert max(lengths) <= 8
+
+
+class TestLargeDocuments:
+    def test_end_to_end_on_30k_nodes(self):
+        document = make_library_document(books=1000, papers=1000, seed=1)
+        text = serialize_document(document)
+        reparsed = parse_document(text)
+        tree = untyped_document_to_tree(reparsed)
+        engine = StorageEngine()
+        engine.load_document(reparsed)
+        assert engine.schema.node_count() == 17
+        titles_model = len(evaluate_tree(tree, "//title"))
+        titles_storage = sum(
+            1 for _ in engine.scan_schema_node(
+                engine.schema.find_path("library/book/title")))
+        titles_storage += sum(
+            1 for _ in engine.scan_schema_node(
+                engine.schema.find_path("library/paper/title")))
+        assert titles_model == titles_storage == 2000
+
+    def test_huge_text_node(self):
+        payload = "x" * 1_000_000
+        document = parse_document(f"<a>{payload}</a>")
+        assert document.root.text_content() == payload
+        engine = StorageEngine()
+        engine.load_document(document)
+        a = engine.children(engine.document)[0]
+        assert len(engine.string_value(a)) == 1_000_000
+
+    def test_many_attributes(self):
+        attrs = " ".join(f'a{i}="{i}"' for i in range(500))
+        document = parse_document(f"<e {attrs}/>")
+        engine = StorageEngine()
+        engine.load_document(document)
+        e = engine.children(engine.document)[0]
+        assert len(engine.attributes(e)) == 500

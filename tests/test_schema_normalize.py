@@ -1,0 +1,248 @@
+"""Tests for canonical forms: every rewrite preserves the language."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.content import DerivativeMatcher, compile_group
+from repro.schema import (
+    CombinationFactor,
+    ComplexContentType,
+    ElementDeclaration,
+    GroupDefinition,
+    RepetitionFactor,
+    TypeName,
+    UNBOUNDED,
+    normalize_group,
+    normalize_schema,
+    parse_schema,
+    write_schema,
+)
+from repro.schema.normalize import _fuse_bounds
+from repro.xmlio import xsd
+from repro.workloads.fixtures import EXAMPLE_7_SCHEMA, wrap_in_schema
+
+
+def _eld(name, minimum=1, maximum=1):
+    return ElementDeclaration(name, TypeName(xsd("string")),
+                              RepetitionFactor(minimum, maximum))
+
+
+def _grp(members, combination=CombinationFactor.SEQUENCE,
+         minimum=1, maximum=1):
+    return GroupDefinition(tuple(members), combination,
+                           RepetitionFactor(minimum, maximum))
+
+
+def _language_equal(a: GroupDefinition, b: GroupDefinition,
+                    alphabet=("a", "b", "c"), max_len=5) -> bool:
+    matcher_a = DerivativeMatcher(compile_group(a))
+    matcher_b = DerivativeMatcher(compile_group(b))
+    for length in range(max_len + 1):
+        for word in itertools.product(alphabet, repeat=length):
+            if matcher_a.matches(word) != matcher_b.matches(word):
+                return False
+    return True
+
+
+class TestFuseBounds:
+    @pytest.mark.parametrize("inner,outer,expected", [
+        ((1, 1), (2, 5), (2, 5)),
+        ((0, 1), (0, UNBOUNDED), (0, UNBOUNDED)),
+        ((2, 3), (1, 1), (2, 3)),
+        ((2, 3), (2, 2), (4, 6)),          # p == q: single interval
+        ((1, UNBOUNDED), (3, 5), (3, UNBOUNDED)),
+        ((0, 2), (0, 3), (0, 6)),
+        ((1, 2), (1, UNBOUNDED), (1, UNBOUNDED)),
+    ])
+    def test_sound_fusions(self, inner, outer, expected):
+        result = _fuse_bounds(RepetitionFactor(*inner),
+                              RepetitionFactor(*outer))
+        assert result is not None
+        assert result.as_pair() == expected
+
+    @pytest.mark.parametrize("inner,outer", [
+        ((2, 2), (1, 2)),    # {2,2}{1,2} = {2} u {4} — gap at 3
+        ((3, 4), (1, 3)),    # gap between 4 and 6
+        ((2, 3), (0, 2)),    # 0 then 2..6: gap at 1
+    ])
+    def test_unsound_fusions_rejected(self, inner, outer):
+        assert _fuse_bounds(RepetitionFactor(*inner),
+                            RepetitionFactor(*outer)) is None
+
+    @given(st.integers(0, 3), st.integers(0, 3),
+           st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=200, deadline=None)
+    def test_fusion_matches_brute_force(self, m, dn, p, dq):
+        n, q = m + dn, p + dq
+        fused = _fuse_bounds(RepetitionFactor(m, n),
+                             RepetitionFactor(p, q))
+        counts = set()
+        for k in range(p, q + 1):
+            for total in range(k * m, k * n + 1):
+                counts.add(total)
+        if fused is None:
+            # must NOT be a contiguous interval
+            if counts:
+                low, high = min(counts), max(counts)
+                assert set(range(low, high + 1)) != counts
+        else:
+            low = fused.minimum
+            high = fused.maximum
+            assert counts == set(range(low, int(high) + 1)) or \
+                (not counts and low == 0 and high == 0)
+
+
+class TestRewriteRules:
+    def test_unwrap_singleton_group(self):
+        inner = _grp([_eld("A"), _eld("B")])
+        outer = _grp([inner])
+        normalized = normalize_group(outer)
+        assert [m.name for m in normalized.members] == ["A", "B"]
+
+    def test_flatten_nested_sequence(self):
+        nested = _grp([_eld("B"), _eld("C")])
+        outer = _grp([_eld("A"), nested, _eld("D")])
+        normalized = normalize_group(outer)
+        assert [m.name for m in normalized.members] == \
+            ["A", "B", "C", "D"]
+
+    def test_flatten_respects_name_distinctness(self):
+        nested = _grp([_eld("A")])  # would collide with sibling A
+        outer = _grp([_eld("A"), nested])
+        normalized = normalize_group(outer)
+        # the nested group must survive (as a group), not be spliced
+        assert any(isinstance(m, GroupDefinition)
+                   for m in normalized.members)
+        assert _language_equal(outer, normalized)
+
+    def test_fuse_element_repetition(self):
+        inner = _grp([_eld("A", 0, 2)], minimum=0, maximum=3)
+        outer = _grp([inner])
+        normalized = normalize_group(outer)
+        (member,) = normalized.members
+        assert isinstance(member, ElementDeclaration)
+        assert member.repetition.as_pair() == (0, 6)
+
+    def test_prune_unusable_member(self):
+        outer = _grp([_eld("A"), _eld("Gone", 0, 0)])
+        normalized = normalize_group(outer)
+        assert [m.name for m in normalized.members] == ["A"]
+
+    def test_epsilon_not_pruned_from_choice(self):
+        eps = _grp([])
+        choice = _grp([_eld("A"), eps], CombinationFactor.CHOICE)
+        normalized = normalize_group(choice)
+        assert _language_equal(choice, normalized)
+        matcher = DerivativeMatcher(compile_group(normalized))
+        assert matcher.matches([])  # the ε alternative survives
+
+    def test_single_alternative_choice_becomes_sequence(self):
+        choice = _grp([_eld("A")], CombinationFactor.CHOICE)
+        assert normalize_group(choice).combination is \
+            CombinationFactor.SEQUENCE
+
+    def test_already_normal_is_fixed_point(self):
+        group = _grp([_eld("A"), _eld("B", 0, UNBOUNDED)])
+        assert normalize_group(group) == group
+
+
+# Random group strategy (reuses the shapes of the matcher tests).
+_leaf = st.builds(
+    _eld, st.sampled_from(["a", "b", "c"]),
+    st.integers(0, 2),
+    st.one_of(st.integers(2, 3), st.just(UNBOUNDED)))
+
+
+@st.composite
+def _distinct(draw, inner, max_size=3):
+    members, seen = [], set()
+    for member in draw(st.lists(inner, min_size=1, max_size=max_size)):
+        if isinstance(member, ElementDeclaration):
+            if member.name in seen:
+                continue
+            seen.add(member.name)
+        members.append(member)
+    return members
+
+
+_flat_group = st.builds(
+    _grp, _distinct(_leaf),
+    st.sampled_from(list(CombinationFactor)),
+    st.integers(0, 2), st.integers(2, 3))
+
+_nested_group = st.builds(
+    _grp, _distinct(st.one_of(_leaf, _flat_group)),
+    st.sampled_from(list(CombinationFactor)),
+    st.integers(0, 1), st.integers(1, 2))
+
+
+class TestLanguagePreservation:
+    @settings(max_examples=120, deadline=None)
+    @given(st.one_of(_flat_group, _nested_group))
+    def test_normalization_preserves_language(self, group):
+        normalized = normalize_group(group)
+        assert _language_equal(group, normalized, max_len=4)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_nested_group)
+    def test_normalization_is_idempotent(self, group):
+        once = normalize_group(group)
+        assert normalize_group(once) == once
+
+
+class TestSchemaNormalization:
+    def test_normalize_whole_schema(self):
+        schema = parse_schema(wrap_in_schema("""
+          <xsd:element name="R"><xsd:complexType>
+            <xsd:sequence>
+              <xsd:sequence>
+                <xsd:element name="A" type="xsd:string"/>
+              </xsd:sequence>
+              <xsd:element name="B" type="xsd:string"/>
+            </xsd:sequence>
+          </xsd:complexType></xsd:element>"""))
+        normalized = normalize_schema(schema)
+        group = normalized.root_element.type.group
+        assert group.is_flat
+        assert [m.name for m in group.members] == ["A", "B"]
+
+    def test_normalized_schema_still_serializes(self):
+        schema = normalize_schema(parse_schema(EXAMPLE_7_SCHEMA))
+        assert parse_schema(write_schema(schema)) is not None
+
+    def test_normalization_recurses_into_named_types(self):
+        schema = parse_schema(wrap_in_schema("""
+          <xsd:complexType name="T">
+            <xsd:sequence>
+              <xsd:sequence>
+                <xsd:element name="X" type="xsd:string"/>
+              </xsd:sequence>
+            </xsd:sequence>
+          </xsd:complexType>
+          <xsd:element name="R" type="T"/>"""))
+        normalized = normalize_schema(schema)
+        (definition,) = normalized.complex_types.values()
+        assert definition.group.is_flat
+
+    def test_validation_agrees_after_normalization(self):
+        from repro.algebra import InstanceBuilder, check_conformance
+        from repro.mapping import document_to_tree, tree_to_document
+        from repro.xmlio import parse_document, serialize_document
+        schema = parse_schema(wrap_in_schema("""
+          <xsd:element name="R"><xsd:complexType>
+            <xsd:sequence>
+              <xsd:sequence minOccurs="1" maxOccurs="1">
+                <xsd:element name="A" type="xsd:string"
+                             minOccurs="0" maxOccurs="4"/>
+              </xsd:sequence>
+              <xsd:element name="B" type="xsd:string"/>
+            </xsd:sequence>
+          </xsd:complexType></xsd:element>"""))
+        normalized = normalize_schema(schema)
+        for seed in range(5):
+            tree = InstanceBuilder(schema, seed=seed).build()
+            text = serialize_document(tree_to_document(tree))
+            re_tree = document_to_tree(parse_document(text), normalized)
+            assert check_conformance(re_tree, normalized) == []

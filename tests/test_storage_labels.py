@@ -1,0 +1,253 @@
+"""Tests for the Section 9.3 numbering scheme."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LabelError
+from repro.storage import (
+    NidLabel,
+    NumberingScheme,
+    before,
+    compare,
+    equal,
+    is_ancestor,
+    is_parent,
+    label_length_stats,
+)
+
+
+@pytest.fixture
+def scheme():
+    return NumberingScheme(base=16)
+
+
+class TestLabelBasics:
+    def test_empty_label_rejected(self):
+        with pytest.raises(LabelError):
+            NidLabel(())
+
+    def test_symbols_flattening(self):
+        label = NidLabel(((3,), (1, 2)))
+        # digits shifted +1, separator 0 after each component
+        assert label.symbols() == (4, 0, 2, 3, 0)
+
+    def test_len_is_symbol_count(self):
+        assert len(NidLabel(((3,), (1, 2)))) == 5
+
+    def test_parent_label(self):
+        label = NidLabel(((3,), (5,)))
+        assert label.parent_label() == NidLabel(((3,),))
+
+    def test_root_has_no_parent(self):
+        with pytest.raises(LabelError):
+            NidLabel(((3,),)).parent_label()
+
+
+class TestComparisonRules:
+    """The three rules of Section 9.3, verbatim."""
+
+    def test_document_order_rule_first_difference(self):
+        # exists i: prefixes equal, x_i < y_i
+        x = NidLabel(((3,), (1,)))
+        y = NidLabel(((3,), (2,)))
+        assert before(x, y)
+        assert not before(y, x)
+
+    def test_document_order_rule_prefix(self):
+        # k < n and x is a prefix: ancestor precedes descendant
+        x = NidLabel(((3,),))
+        y = NidLabel(((3,), (1,)))
+        assert before(x, y)
+
+    def test_equality_rule(self):
+        assert equal(NidLabel(((3,), (1,))), NidLabel(((3,), (1,))))
+        assert not equal(NidLabel(((3,),)), NidLabel(((3,), (1,))))
+
+    def test_parent_rule(self):
+        parent = NidLabel(((3,),))
+        child = NidLabel(((3,), (7,)))
+        grandchild = NidLabel(((3,), (7,), (2,)))
+        assert is_parent(parent, child)
+        assert is_parent(child, grandchild)
+        assert not is_parent(parent, grandchild)
+        assert not is_parent(child, parent)
+
+    def test_ancestor_derived_from_parent_rule(self):
+        a = NidLabel(((3,),))
+        d = NidLabel(((3,), (7,), (2,)))
+        assert is_ancestor(a, d)
+        assert not is_ancestor(d, a)
+        assert not is_ancestor(a, a)
+
+    def test_compare(self):
+        x = NidLabel(((1,),))
+        y = NidLabel(((2,),))
+        assert compare(x, y) == -1
+        assert compare(y, x) == 1
+        assert compare(x, x) == 0
+
+    def test_sibling_with_longer_component_orders_correctly(self):
+        # component (5,) < component (5, 3): the separator is minimal.
+        x = NidLabel(((5,),))
+        y = NidLabel(((5, 3),))
+        assert before(x, y)
+
+
+class TestMidpoint:
+    def test_open_interval(self, scheme):
+        component = scheme.midpoint(None, None)
+        assert component
+
+    def test_between_adjacent_digits(self, scheme):
+        mid = scheme.midpoint((5,), (6,))
+        assert (5,) < mid < (6,)
+
+    def test_between_nested(self, scheme):
+        mid = scheme.midpoint((5,), (5, 1))
+        assert (5,) < mid < (5, 1)
+
+    def test_below_low_digit_bound(self, scheme):
+        mid = scheme.midpoint(None, (1,))
+        assert () < mid < (1,)
+
+    def test_bounds_out_of_order_rejected(self, scheme):
+        with pytest.raises(LabelError):
+            scheme.midpoint((6,), (5,))
+
+    def test_never_ends_in_zero(self, scheme):
+        rng = random.Random(5)
+        low = None
+        for _ in range(200):
+            mid = scheme.midpoint(low, None)
+            assert mid[-1] != 0
+            low = mid
+
+    def test_tiny_alphabet_rejected(self):
+        with pytest.raises(LabelError):
+            NumberingScheme(base=2)
+
+
+class TestChildLabels:
+    def test_child_label_extends_parent(self, scheme):
+        root = scheme.root_label()
+        child = scheme.child_label(root)
+        assert is_parent(root, child)
+
+    def test_child_between_siblings(self, scheme):
+        root = scheme.root_label()
+        first, second = scheme.child_labels(root, 2)
+        middle = scheme.child_label(root, first, second)
+        assert before(first, middle)
+        assert before(middle, second)
+        assert is_parent(root, middle)
+
+    def test_sibling_of_wrong_parent_rejected(self, scheme):
+        root = scheme.root_label()
+        child = scheme.child_label(root)
+        grandchild = scheme.child_label(child)
+        with pytest.raises(LabelError):
+            scheme.child_label(root, grandchild, None)
+
+    def test_bulk_labels_are_increasing(self, scheme):
+        root = scheme.root_label()
+        labels = scheme.child_labels(root, 40)
+        assert len(labels) == 40
+        for a, b in zip(labels, labels[1:]):
+            assert before(a, b)
+
+    def test_bulk_labels_short_for_small_fanout(self):
+        scheme = NumberingScheme(base=256)
+        labels = scheme.child_labels(scheme.root_label(), 50)
+        assert all(len(label.components[-1]) == 1 for label in labels)
+
+
+class TestProposition1:
+    """Insertions and deletions never relabel existing nodes."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10**6),
+           base=st.sampled_from([4, 16, 256]))
+    def test_random_insertions_keep_existing_labels(self, seed, base):
+        scheme = NumberingScheme(base=base)
+        root = scheme.root_label()
+        rng = random.Random(seed)
+        labels: list[NidLabel] = []
+        for _ in range(60):
+            position = rng.randint(0, len(labels))
+            left = labels[position - 1] if position > 0 else None
+            right = labels[position] if position < len(labels) else None
+            snapshot = list(labels)
+            new = scheme.child_label(root, left, right)
+            # Existing labels unchanged (they are immutable values, so
+            # the stronger claim: the list still orders correctly).
+            assert labels == snapshot
+            labels.insert(position, new)
+            for a, b in zip(labels, labels[1:]):
+                assert before(a, b)
+
+    def test_pathological_front_insertion(self):
+        scheme = NumberingScheme(base=4)
+        root = scheme.root_label()
+        first = None
+        for _ in range(40):
+            new = scheme.child_label(root, None, first)
+            if first is not None:
+                assert before(new, first)
+            first = new
+
+    def test_pathological_pairwise_insertion(self):
+        scheme = NumberingScheme(base=8)
+        root = scheme.root_label()
+        a = scheme.child_label(root)
+        b = scheme.child_label(root, a, None)
+        for _ in range(30):
+            c = scheme.child_label(root, a, b)
+            assert before(a, c) and before(c, b)
+            b = c
+
+
+class TestStats:
+    def test_label_length_stats(self, scheme):
+        root = scheme.root_label()
+        labels = scheme.child_labels(root, 5)
+        stats = label_length_stats(iter(labels))
+        assert stats["count"] == 5
+        assert stats["max"] >= stats["mean"] > 0
+
+    def test_empty_stats(self):
+        assert label_length_stats(iter([]))["count"] == 0
+
+
+class TestSpreadProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(base=st.sampled_from([3, 4, 16, 256]),
+           count=st.integers(min_value=1, max_value=800))
+    def test_spread_is_strictly_increasing_and_valid(self, base, count):
+        scheme = NumberingScheme(base=base)
+        components = scheme.spread(count)
+        assert len(components) == count
+        for a, b in zip(components, components[1:]):
+            assert a < b
+        for component in components:
+            assert component[-1] != 0
+            assert all(0 <= digit < base for digit in component)
+
+    @settings(max_examples=30, deadline=None)
+    @given(base=st.sampled_from([4, 16, 256]),
+           count=st.integers(min_value=2, max_value=300))
+    def test_spread_leaves_insertion_gaps(self, base, count):
+        """Between any two bulk-loaded siblings a midpoint exists —
+        the gap that makes later insertions relabel-free."""
+        scheme = NumberingScheme(base=base)
+        components = scheme.spread(count)
+        for a, b in zip(components, components[1:]):
+            mid = scheme.midpoint(a, b)
+            assert a < mid < b
+
+    def test_spread_bounds_label_width(self):
+        scheme = NumberingScheme(base=256)
+        assert max(len(c) for c in scheme.spread(100)) == 1
+        assert max(len(c) for c in scheme.spread(5000)) == 2
+        assert max(len(c) for c in scheme.spread(30000)) == 2

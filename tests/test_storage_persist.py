@@ -1,0 +1,150 @@
+"""Tests for binary persistence of the storage engine."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage import StorageEngine
+from repro.storage.persist import dumps_engine, load_engine
+from repro.xmlio import QName, parse_document
+from repro.workloads import make_library_document
+from repro.workloads.fixtures import EXAMPLE_8_DOCUMENT
+
+
+def _engine(document=None, **kwargs) -> StorageEngine:
+    engine = StorageEngine(**kwargs)
+    engine.load_document(document
+                         or parse_document(EXAMPLE_8_DOCUMENT))
+    return engine
+
+
+def _snapshot(engine: StorageEngine) -> list[tuple]:
+    return [(d.schema_node.path, d.nid.components, d.value)
+            for d in engine.iter_document_order()]
+
+
+class TestRoundTrip:
+    def test_descriptive_schema_preserved(self):
+        original = _engine()
+        restored = load_engine(dumps_engine(original))
+        assert restored.schema.paths() == original.schema.paths()
+
+    def test_document_order_and_labels_preserved(self):
+        original = _engine()
+        restored = load_engine(dumps_engine(original))
+        assert _snapshot(restored) == _snapshot(original)
+
+    def test_invariants_hold_after_load(self):
+        restored = load_engine(dumps_engine(_engine(block_capacity=4)))
+        restored.check_invariants()
+
+    def test_string_values_preserved(self):
+        original = _engine()
+        restored = load_engine(dumps_engine(original))
+        root_a = original.children(original.document)[0]
+        root_b = restored.children(restored.document)[0]
+        assert original.string_value(root_a) == \
+            restored.string_value(root_b)
+
+    def test_block_layout_preserved(self):
+        original = _engine(make_library_document(50, 50, seed=1),
+                           block_capacity=8)
+        restored = load_engine(dumps_engine(original))
+        assert restored.blocks_per_schema_node() == \
+            original.blocks_per_schema_node()
+
+    def test_configuration_preserved(self):
+        original = _engine(base=16, block_capacity=4)
+        restored = load_engine(dumps_engine(original))
+        assert restored.numbering.base == 16
+        assert restored.block_capacity == 4
+
+    def test_attributes_survive(self):
+        engine = StorageEngine()
+        engine.load_document(parse_document('<a x="1" y="2">t</a>'))
+        restored = load_engine(dumps_engine(engine))
+        a = restored.children(restored.document)[0]
+        assert [(restored.node_name(d).local, d.value)
+                for d in restored.attributes(a)] == \
+            [("x", "1"), ("y", "2")]
+
+
+class TestUpdatesAfterLoad:
+    def test_insert_into_restored_engine(self):
+        restored = load_engine(dumps_engine(_engine()))
+        library = restored.children(restored.document)[0]
+        restored.insert_child(library, 1, name=QName("", "book"))
+        restored.check_invariants()
+        assert restored.relabel_count == 0
+
+    def test_gap_insertion_between_restored_labels(self):
+        """The restored labels keep their density: a mid insertion
+        lands between the originals without touching them."""
+        from repro.storage import before
+        restored = load_engine(dumps_engine(_engine()))
+        library = restored.children(restored.document)[0]
+        children = restored.children(library)
+        inserted = restored.insert_child(library, 1,
+                                         name=QName("", "book"))
+        assert before(children[0].nid, inserted.nid)
+        assert before(inserted.nid, children[1].nid)
+
+    def test_delete_from_restored_engine(self):
+        restored = load_engine(dumps_engine(_engine()))
+        library = restored.children(restored.document)[0]
+        first = restored.children(library)[0]
+        restored.delete_subtree(first)
+        restored.check_invariants()
+
+
+class TestErrors:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(StorageError):
+            load_engine(b"NOTMAGIC" + b"\x00" * 32)
+
+    def test_truncated_image_rejected(self):
+        image = dumps_engine(_engine())
+        with pytest.raises(StorageError):
+            load_engine(image[:len(image) // 2])
+
+    def test_trailing_bytes_rejected(self):
+        image = dumps_engine(_engine())
+        with pytest.raises(StorageError):
+            load_engine(image + b"\x00")
+
+    def test_empty_engine_rejected(self):
+        with pytest.raises(StorageError):
+            dumps_engine(StorageEngine())
+
+
+class TestScale:
+    def test_large_document_roundtrip(self):
+        original = _engine(make_library_document(200, 200, seed=3))
+        image = dumps_engine(original)
+        restored = load_engine(image)
+        assert restored.node_count() == original.node_count()
+        assert _snapshot(restored) == _snapshot(original)
+
+
+class TestDumpAfterUpdates:
+    def test_updated_engine_roundtrips(self):
+        """Dump/load after inserts and splits preserves the mutated
+        state, including the gap-allocated labels."""
+        engine = _engine(block_capacity=2)
+        library = engine.children(engine.document)[0]
+        for index in range(6):
+            book = engine.insert_child(library, index,
+                                       name=QName("", "book"))
+            title = engine.insert_child(book, 0, name=QName("", "title"))
+            engine.insert_child(title, 0, text=f"inserted {index}")
+        engine.check_invariants()
+        assert engine.split_count > 0
+        restored = load_engine(dumps_engine(engine))
+        assert _snapshot(restored) == _snapshot(engine)
+        restored.check_invariants()
+
+    def test_dump_after_delete(self):
+        engine = _engine()
+        library = engine.children(engine.document)[0]
+        engine.delete_subtree(engine.children(library)[0])
+        restored = load_engine(dumps_engine(engine))
+        assert _snapshot(restored) == _snapshot(engine)

@@ -1,0 +1,125 @@
+"""Tests for the fixtures and the scalable workload generators."""
+
+import pytest
+
+from repro.xmlio import parse_document, serialize_document
+from repro.schema import parse_schema
+from repro.mapping import content_equal, document_to_tree, tree_to_document
+from repro.algebra import check_conformance
+from repro.storage import StorageEngine
+from repro.workloads import (
+    document_element_count,
+    make_bookstore_document,
+    make_irregular_document,
+    make_library_document,
+)
+from repro.workloads.fixtures import (
+    EXAMPLE_1_SCHEMA,
+    EXAMPLE_5_SCHEMA,
+    EXAMPLE_6_SCHEMA,
+    EXAMPLE_7_DOCUMENT,
+    EXAMPLE_7_SCHEMA,
+    EXAMPLE_8_DESCRIPTIVE_SCHEMA,
+    EXAMPLE_8_DOCUMENT,
+    LIBRARY_SCHEMA,
+)
+
+
+class TestFixtures:
+    @pytest.mark.parametrize("source", [
+        EXAMPLE_1_SCHEMA, EXAMPLE_5_SCHEMA, EXAMPLE_6_SCHEMA,
+        EXAMPLE_7_SCHEMA, LIBRARY_SCHEMA,
+    ])
+    def test_schema_fixtures_parse(self, source):
+        assert parse_schema(source) is not None
+
+    def test_example_7_document_validates(self):
+        schema = parse_schema(EXAMPLE_7_SCHEMA)
+        tree = document_to_tree(parse_document(EXAMPLE_7_DOCUMENT), schema)
+        assert check_conformance(tree, schema) == []
+
+    def test_example_8_document_parses(self):
+        document = parse_document(EXAMPLE_8_DOCUMENT)
+        assert document.root.name.local == "library"
+        books = document.root.find_all("book")
+        papers = document.root.find_all("paper")
+        assert len(books) == 2 and len(papers) == 2
+
+    def test_example_8_descriptive_schema_is_a_tree(self):
+        paths = [path for path, _type in EXAMPLE_8_DESCRIPTIVE_SCHEMA]
+        assert len(set(paths)) == len(paths)
+        for path in paths:
+            if "/" in path:
+                parent = path.rsplit("/", 1)[0]
+                assert parent in paths
+
+
+class TestBookstoreGenerator:
+    def test_sizes(self):
+        doc = make_bookstore_document(books=25, seed=0)
+        assert len(doc.root.element_children()) == 25
+
+    def test_valid_against_example_7(self):
+        schema = parse_schema(EXAMPLE_7_SCHEMA)
+        doc = make_bookstore_document(books=15, seed=4)
+        reparsed = parse_document(serialize_document(doc))
+        tree = document_to_tree(reparsed, schema)
+        assert check_conformance(tree, schema) == []
+
+    def test_reproducible(self):
+        a = serialize_document(make_bookstore_document(10, seed=5))
+        b = serialize_document(make_bookstore_document(10, seed=5))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = serialize_document(make_bookstore_document(10, seed=1))
+        b = serialize_document(make_bookstore_document(10, seed=2))
+        assert a != b
+
+
+class TestLibraryGenerator:
+    def test_shape_matches_example_8(self):
+        doc = make_library_document(books=30, papers=20, seed=0)
+        engine = StorageEngine()
+        engine.load_document(doc)
+        generated = {path for path, _t in engine.schema.paths()}
+        reference = {path for path, _t in EXAMPLE_8_DESCRIPTIVE_SCHEMA}
+        assert generated == reference
+
+    def test_valid_against_library_schema(self):
+        schema = parse_schema(LIBRARY_SCHEMA)
+        doc = make_library_document(books=12, papers=7, seed=3)
+        reparsed = parse_document(serialize_document(doc))
+        tree = document_to_tree(reparsed, schema)
+        assert check_conformance(tree, schema) == []
+
+    def test_roundtrip_through_model(self):
+        schema = parse_schema(LIBRARY_SCHEMA)
+        doc = make_library_document(books=6, papers=6, seed=8)
+        reparsed = parse_document(serialize_document(doc))
+        tree = document_to_tree(reparsed, schema)
+        assert content_equal(tree_to_document(tree), reparsed)
+
+    def test_scaling(self):
+        small = make_library_document(books=5, papers=5, seed=0)
+        large = make_library_document(books=50, papers=50, seed=0)
+        assert (document_element_count(large)
+                > 5 * document_element_count(small))
+
+
+class TestIrregularGenerator:
+    def test_all_names_distinct(self):
+        doc = make_irregular_document(node_count=120, seed=0)
+        names = [e.name.local for e in doc.root.iter()]
+        assert len(set(names)) == len(names)
+
+    def test_requested_node_count(self):
+        doc = make_irregular_document(node_count=75, seed=1)
+        assert document_element_count(doc) == 75
+
+    def test_degenerate_dataguide(self):
+        doc = make_irregular_document(node_count=90, seed=2)
+        engine = StorageEngine()
+        engine.load_document(doc)
+        # one schema node per element, plus the document schema node
+        assert engine.schema.node_count() == 91

@@ -1,0 +1,127 @@
+"""Tests for the accessor-based query function library."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.mapping import document_to_tree, untyped_document_to_tree
+from repro.query import evaluate_tree
+from repro.schema import parse_schema
+from repro.xdm import functions as fn
+from repro.xmlio import parse_document
+from repro.xsdtypes import AtomicValue, builtin
+from repro.workloads.fixtures import wrap_in_schema
+
+_TYPED_SCHEMA = wrap_in_schema("""
+ <xsd:element name="nums"><xsd:complexType>
+  <xsd:sequence>
+   <xsd:element name="n" type="xsd:integer"
+                minOccurs="0" maxOccurs="unbounded"/>
+  </xsd:sequence>
+ </xsd:complexType></xsd:element>""")
+
+
+@pytest.fixture
+def tree():
+    return untyped_document_to_tree(parse_document(
+        '<r id="7">alpha<b>beta</b><b>beta</b></r>'))
+
+
+@pytest.fixture
+def typed_tree():
+    return document_to_tree(
+        parse_document("<nums><n>1</n><n>2</n><n>2</n></nums>"),
+        parse_schema(_TYPED_SCHEMA))
+
+
+class TestBasics:
+    def test_node_name(self, tree):
+        root = tree.document_element()
+        assert fn.node_name(root).local == "r"
+        assert fn.node_name(tree) is None  # document nodes are nameless
+
+    def test_string_of_node(self, tree):
+        assert fn.string(tree.document_element()) == "alphabetabeta"
+
+    def test_string_of_atomic(self):
+        assert fn.string(AtomicValue(42, builtin("integer"))) == "42"
+
+    def test_count_empty_exists(self, tree):
+        items = evaluate_tree(tree, "/r/b")
+        assert fn.count(items) == 2
+        assert not fn.empty(items)
+        assert fn.exists(items)
+        assert fn.empty([])
+
+    def test_root(self, tree):
+        b = evaluate_tree(tree, "/r/b")[0]
+        assert fn.root(b) is tree
+
+    def test_nilled(self, tree):
+        assert fn.nilled(tree.document_element()) is False
+        assert fn.nilled(tree) is None
+
+    def test_base_uri(self):
+        document = untyped_document_to_tree(
+            parse_document("<a/>", base_uri="urn:x"))
+        assert fn.base_uri(document) == "urn:x"
+        assert fn.base_uri(untyped_document_to_tree(
+            parse_document("<a/>"))) is None
+
+
+class TestData:
+    def test_atomizes_typed_nodes(self, typed_tree):
+        nodes = evaluate_tree(typed_tree, "/nums/n")
+        values = [atomic.value for atomic in fn.data(nodes)]
+        assert values == [1, 2, 2]
+        assert all(atomic.type is builtin("integer")
+                   for atomic in fn.data(nodes))
+
+    def test_single_node(self, typed_tree):
+        node = evaluate_tree(typed_tree, "/nums/n")[0]
+        assert fn.data(node)[1].value == 1
+
+    def test_passes_atomics_through(self):
+        atomic = AtomicValue(5, builtin("integer"))
+        assert list(fn.data([atomic])) == [atomic]
+
+    def test_rejects_junk(self):
+        with pytest.raises(ModelError):
+            fn.data([object()])
+
+    def test_distinct_values(self, typed_tree):
+        nodes = evaluate_tree(typed_tree, "/nums/n")
+        assert [a.value for a in fn.distinct_values(nodes)] == [1, 2]
+
+    def test_string_join(self, typed_tree):
+        nodes = evaluate_tree(typed_tree, "/nums/n")
+        assert fn.string_join(nodes, "+") == "1+2+2"
+
+
+class TestDeepEqual:
+    def test_identical_subtrees(self, tree):
+        first, second = evaluate_tree(tree, "/r/b")
+        assert first is not second
+        assert fn.deep_equal(first, second)
+
+    def test_different_text(self):
+        t = untyped_document_to_tree(
+            parse_document("<r><b>x</b><b>y</b></r>"))
+        first, second = evaluate_tree(t, "/r/b")
+        assert not fn.deep_equal(first, second)
+
+    def test_different_names(self):
+        t = untyped_document_to_tree(parse_document("<r><a/><b/></r>"))
+        first, second = t.document_element().element_children()
+        assert not fn.deep_equal(first, second)
+
+    def test_attribute_order_irrelevant(self):
+        t = untyped_document_to_tree(parse_document(
+            "<r><e x='1' y='2'/><e y='2' x='1'/></r>"))
+        first, second = t.document_element().element_children()
+        assert fn.deep_equal(first, second)
+
+    def test_child_count_matters(self):
+        t = untyped_document_to_tree(
+            parse_document("<r><e><c/></e><e/></r>"))
+        first, second = t.document_element().element_children()
+        assert not fn.deep_equal(first, second)

@@ -1,0 +1,203 @@
+"""Tests for the Section 5 node classes and their ten accessors."""
+
+import pytest
+
+from repro.errors import AlgebraError, ModelError
+from repro.xmlio import QName, xsd
+from repro.xsdtypes import UNTYPED_ATOMIC, builtin
+from repro.xdm import (
+    ANY_TYPE_NAME,
+    UNTYPED_ATOMIC_NAME,
+    AttributeNode,
+    DocumentNode,
+    ElementNode,
+    TextNode,
+)
+from repro.algebra import StateAlgebra
+
+
+@pytest.fixture
+def algebra():
+    return StateAlgebra()
+
+
+def _small_tree(algebra):
+    """<doc> <a x="1">hello<b>world</b></a> </doc>"""
+    document = algebra.create_document(base_uri="http://example.org/d")
+    a = algebra.create_element(QName("", "a"))
+    algebra.append_child(document, a)
+    x = algebra.create_attribute(QName("", "x"), "1")
+    algebra.attach_attribute(a, x)
+    algebra.append_child(a, algebra.create_text("hello"))
+    b = algebra.create_element(QName("", "b"))
+    algebra.append_child(a, b)
+    algebra.append_child(b, algebra.create_text("world"))
+    return document, a, b, x
+
+
+class TestDocumentNode:
+    def test_fixed_empty_accessors(self, algebra):
+        document = algebra.create_document()
+        assert not document.node_name()
+        assert not document.parent()
+        assert not document.type()
+        assert not document.attributes()
+        assert not document.nilled()
+        assert document.node_kind() == "document"
+
+    def test_string_value_is_childs(self, algebra):
+        document, a, _b, _x = _small_tree(algebra)
+        assert document.string_value() == a.string_value()
+
+    def test_document_element(self, algebra):
+        document, a, _b, _x = _small_tree(algebra)
+        assert document.document_element() is a
+
+    def test_document_element_missing(self, algebra):
+        with pytest.raises(ModelError):
+            algebra.create_document().document_element()
+
+    def test_base_uri(self, algebra):
+        document, *_ = _small_tree(algebra)
+        assert list(document.base_uri()) == ["http://example.org/d"]
+
+
+class TestElementNode:
+    def test_node_kind_and_name(self, algebra):
+        _d, a, _b, _x = _small_tree(algebra)
+        assert a.node_kind() == "element"
+        assert a.node_name().head() == QName("", "a")
+
+    def test_string_value_concatenates_descendant_text(self, algebra):
+        _d, a, b, _x = _small_tree(algebra)
+        assert a.string_value() == "helloworld"
+        assert b.string_value() == "world"
+
+    def test_string_value_skips_attributes(self, algebra):
+        _d, a, _b, _x = _small_tree(algebra)
+        assert "1" not in a.string_value()
+
+    def test_default_type_is_any_type(self, algebra):
+        _d, a, _b, _x = _small_tree(algebra)
+        assert a.type().head() == ANY_TYPE_NAME
+
+    def test_annotated_type(self, algebra):
+        element = algebra.create_element(QName("", "n"))
+        algebra.annotate_element(element, xsd("integer"),
+                                 simple_type=builtin("integer"))
+        algebra.append_child(element, algebra.create_text("42"))
+        assert element.type().head() == xsd("integer")
+        (value,) = element.typed_value()
+        assert value.value == 42
+        assert value.type is builtin("integer")
+
+    def test_untyped_element_typed_value(self, algebra):
+        element = algebra.create_element(QName("", "n"))
+        algebra.append_child(element, algebra.create_text("free text"))
+        (value,) = element.typed_value()
+        assert value.value == "free text"
+        assert value.type is UNTYPED_ATOMIC
+
+    def test_untyped_element_with_children_yields_untyped_atomic(
+            self, algebra):
+        _d, a, _b, _x = _small_tree(algebra)
+        (value,) = a.typed_value()
+        assert value.value == "helloworld"
+
+    def test_typed_element_only_content_typed_value_is_error(self, algebra):
+        parent = algebra.create_element(QName("", "p"))
+        child = algebra.create_element(QName("", "c"))
+        algebra.append_child(parent, child)
+        algebra.annotate_element(parent, QName("", "SomeComplexType"))
+        with pytest.raises(ModelError):
+            parent.typed_value()
+
+    def test_nilled_element_has_empty_typed_value(self, algebra):
+        element = algebra.create_element(QName("", "n"))
+        algebra.annotate_element(element, xsd("string"),
+                                 simple_type=builtin("string"), nilled=True)
+        assert not element.typed_value()
+        assert element.nilled().head() is True
+
+    def test_children_and_attributes_accessors(self, algebra):
+        _d, a, b, x = _small_tree(algebra)
+        assert list(a.attributes()) == [x]
+        children = list(a.children())
+        assert len(children) == 2
+        assert children[1] is b
+
+    def test_attribute_by_name(self, algebra):
+        _d, a, _b, x = _small_tree(algebra)
+        assert a.attribute_by_name(QName("", "x")) is x
+        assert a.attribute_by_name(QName("", "zz")) is None
+
+
+class TestAttributeNode:
+    def test_fixed_empty_accessors(self, algebra):
+        _d, _a, _b, x = _small_tree(algebra)
+        assert not x.children()
+        assert not x.attributes()
+        assert not x.nilled()
+        assert x.node_kind() == "attribute"
+
+    def test_string_and_typed_value(self, algebra):
+        _d, _a, _b, x = _small_tree(algebra)
+        assert x.string_value() == "1"
+        (value,) = x.typed_value()
+        assert value.type is UNTYPED_ATOMIC
+
+    def test_typed_attribute(self, algebra):
+        attribute = algebra.create_attribute(QName("", "n"), "17")
+        algebra.annotate_attribute(attribute, xsd("integer"),
+                                   simple_type=builtin("integer"))
+        (value,) = attribute.typed_value()
+        assert value.value == 17
+
+    def test_parent_is_owner_element(self, algebra):
+        _d, a, _b, x = _small_tree(algebra)
+        assert x.parent().head() is a
+
+
+class TestTextNode:
+    def test_fixed_empty_accessors(self, algebra):
+        text = algebra.create_text("t")
+        assert not text.node_name()
+        assert not text.children()
+        assert not text.attributes()
+        assert not text.nilled()
+        assert text.node_kind() == "text"
+
+    def test_type_is_untyped_atomic(self, algebra):
+        text = algebra.create_text("t")
+        assert text.type().head() == UNTYPED_ATOMIC_NAME
+
+    def test_values(self, algebra):
+        text = algebra.create_text("payload")
+        assert text.string_value() == "payload"
+        (value,) = text.typed_value()
+        assert value.value == "payload"
+
+
+class TestNodeIdentity:
+    def test_nodes_are_identity_equal(self, algebra):
+        a = algebra.create_element(QName("", "same"))
+        b = algebra.create_element(QName("", "same"))
+        assert a != b
+        assert a == a
+
+    def test_identifiers_unique(self, algebra):
+        nodes = [algebra.create_text(str(i)) for i in range(10)]
+        assert len({n.identifier for n in nodes}) == 10
+
+    def test_root_and_ancestors(self, algebra):
+        document, a, b, _x = _small_tree(algebra)
+        assert b.root() is document
+        assert list(b.ancestors()) == [a, document]
+
+
+class TestBaseUriInheritance:
+    def test_children_inherit_base_uri(self, algebra):
+        document, a, b, x = _small_tree(algebra)
+        assert a.base_uri() == document.base_uri()
+        assert b.base_uri() == a.base_uri()
+        assert x.base_uri() == a.base_uri()

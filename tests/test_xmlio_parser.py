@@ -1,0 +1,208 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XmlSyntaxError
+from repro.xmlio import (
+    QName,
+    XmlElement,
+    XmlText,
+    parse_document,
+    parse_element,
+)
+
+
+class TestBasicParsing:
+    def test_minimal_document(self):
+        doc = parse_document("<a/>")
+        assert doc.root.name == QName("", "a")
+        assert doc.root.children == []
+        assert doc.root.attributes == {}
+
+    def test_element_with_text(self):
+        root = parse_element("<a>hello</a>")
+        assert len(root.children) == 1
+        assert isinstance(root.children[0], XmlText)
+        assert root.children[0].text == "hello"
+
+    def test_nested_elements(self):
+        root = parse_element("<a><b/><c><d/></c></a>")
+        names = [c.name.local for c in root.element_children()]
+        assert names == ["b", "c"]
+        assert root.element_children()[1].element_children()[0].name.local == "d"
+
+    def test_attributes(self):
+        root = parse_element('<a x="1" y="two"/>')
+        assert root.get("x") == "1"
+        assert root.get("y") == "two"
+        assert root.get("z") is None
+        assert root.get("z", "dflt") == "dflt"
+
+    def test_attribute_order_preserved(self):
+        root = parse_element('<a b="1" a="2" c="3"/>')
+        assert [q.local for q in root.attributes] == ["b", "a", "c"]
+
+    def test_single_quoted_attribute(self):
+        root = parse_element("<a x='v'/>")
+        assert root.get("x") == "v"
+
+    def test_mixed_content(self):
+        root = parse_element("<p>one<b>two</b>three</p>")
+        kinds = ["text" if isinstance(c, XmlText) else "elem"
+                 for c in root.children]
+        assert kinds == ["text", "elem", "text"]
+        assert root.text_content() == "onetwothree"
+
+    def test_xml_declaration(self):
+        doc = parse_document('<?xml version="1.0" encoding="UTF-8"?>\n<a/>')
+        assert doc.root.name.local == "a"
+
+    def test_doctype_skipped(self):
+        doc = parse_document('<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>')
+        assert doc.root.name.local == "a"
+
+    def test_comments_skipped(self):
+        root = parse_element("<a><!-- hidden --><b/><!-- more --></a>")
+        assert [c.name.local for c in root.element_children()] == ["b"]
+
+    def test_processing_instruction_skipped(self):
+        root = parse_element("<a><?target data?><b/></a>")
+        assert [c.name.local for c in root.element_children()] == ["b"]
+
+    def test_base_uri_recorded(self):
+        doc = parse_document("<a/>", base_uri="http://example.org/doc.xml")
+        assert doc.base_uri == "http://example.org/doc.xml"
+
+
+class TestCharacterData:
+    def test_predefined_entities(self):
+        root = parse_element("<a>&lt;&gt;&amp;&apos;&quot;</a>")
+        assert root.text_content() == "<>&'\""
+
+    def test_decimal_character_reference(self):
+        root = parse_element("<a>&#65;&#66;</a>")
+        assert root.text_content() == "AB"
+
+    def test_hex_character_reference(self):
+        root = parse_element("<a>&#x41;&#x1F600;</a>")
+        assert root.text_content() == "A\U0001F600"
+
+    def test_cdata_section(self):
+        root = parse_element("<a><![CDATA[<not> &parsed;]]></a>")
+        assert root.text_content() == "<not> &parsed;"
+
+    def test_cdata_merges_with_text(self):
+        root = parse_element("<a>x<![CDATA[y]]>z</a>")
+        assert len(root.children) == 1
+        assert root.text_content() == "xyz"
+
+    def test_entity_in_attribute(self):
+        root = parse_element('<a x="a&amp;b&lt;c"/>')
+        assert root.get("x") == "a&b<c"
+
+    def test_attribute_whitespace_normalized(self):
+        root = parse_element('<a x="a\n b\tc"/>')
+        assert root.get("x") == "a  b c"
+
+    def test_crlf_normalized_in_content(self):
+        root = parse_element("<a>l1\r\nl2\rl3</a>")
+        assert root.text_content() == "l1\nl2\nl3"
+
+    def test_adjacent_text_merged(self):
+        root = parse_element("<a>x&amp;y</a>")
+        assert len(root.children) == 1
+
+
+class TestNamespaces:
+    def test_default_namespace(self):
+        root = parse_element('<a xmlns="urn:x"><b/></a>')
+        assert root.name == QName("urn:x", "a")
+        assert root.element_children()[0].name == QName("urn:x", "b")
+
+    def test_prefixed_namespace(self):
+        root = parse_element('<p:a xmlns:p="urn:p"/>')
+        assert root.name == QName("urn:p", "a")
+        assert root.name.prefix == "p"
+
+    def test_unprefixed_attribute_has_no_namespace(self):
+        root = parse_element('<a xmlns="urn:x" k="v"/>')
+        assert root.attributes == {QName("", "k"): "v"}
+
+    def test_prefixed_attribute(self):
+        root = parse_element('<a xmlns:p="urn:p" p:k="v"/>')
+        assert root.attributes == {QName("urn:p", "k"): "v"}
+
+    def test_namespace_scoping(self):
+        root = parse_element(
+            '<a xmlns="urn:outer"><b xmlns="urn:inner"><c/></b><d/></a>')
+        b, d = root.element_children()
+        assert b.name.uri == "urn:inner"
+        assert b.element_children()[0].name.uri == "urn:inner"
+        assert d.name.uri == "urn:outer"
+
+    def test_undeclared_prefix_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_element("<p:a/>")
+
+    def test_xml_prefix_is_builtin(self):
+        root = parse_element('<a xml:lang="en"/>')
+        (qname,) = root.attributes
+        assert qname.uri == "http://www.w3.org/XML/1998/namespace"
+
+    def test_qname_equality_ignores_prefix(self):
+        assert QName("urn:x", "n", "p") == QName("urn:x", "n", "q")
+        assert hash(QName("urn:x", "n", "p")) == hash(QName("urn:x", "n", "q"))
+
+
+class TestWellFormednessErrors:
+    @pytest.mark.parametrize("text", [
+        "",
+        "just text",
+        "<a>",
+        "<a></b>",
+        "<a><b></a></b>",
+        "<a/><b/>",
+        "<a x=1/>",
+        '<a x="1" x="2"/>',
+        "<a><b/>",
+        '<a x="<"/>',
+        "<a>&undefined;</a>",
+        "<a>&#xZZ;</a>",
+        "<a>]]></a>",
+        "<a><!-- -- --></a>",
+        "<1a/>",
+        "<a><?xml bad?></a>",
+        '<a xmlns:p=""/>',
+        "<a b:c='1'/>",
+    ])
+    def test_rejected(self, text):
+        with pytest.raises(XmlSyntaxError):
+            parse_document(text)
+
+    def test_error_carries_position(self):
+        with pytest.raises(XmlSyntaxError) as exc_info:
+            parse_document("<a>\n  <b></c>\n</a>")
+        assert exc_info.value.line == 2
+
+    def test_content_after_root_rejected(self):
+        with pytest.raises(XmlSyntaxError):
+            parse_document("<a/>trailing")
+
+
+class TestNodeHelpers:
+    def test_find_and_find_all(self):
+        root = parse_element("<a><b i='1'/><c/><b i='2'/></a>")
+        assert root.find("b").get("i") == "1"
+        assert root.find("missing") is None
+        assert [e.get("i") for e in root.find_all("b")] == ["1", "2"]
+
+    def test_iter_preorder(self):
+        root = parse_element("<a><b><c/></b><d/></a>")
+        assert [e.name.local for e in root.iter()] == ["a", "b", "c", "d"]
+
+    def test_append_merges_text(self):
+        element = XmlElement(QName("", "a"))
+        element.append(XmlText("x"))
+        element.append(XmlText("y"))
+        assert len(element.children) == 1
+        assert element.text_content() == "xy"

@@ -1,0 +1,138 @@
+"""Unit and property tests for the XML serializer (parse/serialize loop)."""
+
+import string
+
+from hypothesis import given, strategies as st
+
+from repro.xmlio import (
+    QName,
+    XmlDocument,
+    XmlElement,
+    XmlText,
+    escape_attribute,
+    escape_text,
+    parse_document,
+    serialize_document,
+    serialize_element,
+)
+
+
+class TestEscaping:
+    def test_text_escaping(self):
+        assert escape_text("a<b>&c") == "a&lt;b&gt;&amp;c"
+
+    def test_attribute_escaping(self):
+        assert escape_attribute('a"b<c&d') == "a&quot;b&lt;c&amp;d"
+
+    def test_attribute_whitespace_escaped(self):
+        assert escape_attribute("a\tb\nc") == "a&#9;b&#10;c"
+
+
+class TestSerialization:
+    def test_empty_element_self_closes(self):
+        assert serialize_element(XmlElement(QName("", "a"))) == "<a/>"
+
+    def test_attributes_serialized_in_order(self):
+        element = XmlElement(QName("", "a"),
+                             attributes={QName("", "b"): "1",
+                                         QName("", "c"): "2"})
+        assert serialize_element(element) == '<a b="1" c="2"/>'
+
+    def test_namespace_declarations_serialized(self):
+        element = XmlElement(QName("urn:x", "a"),
+                             namespace_decls={"": "urn:x"})
+        assert serialize_element(element) == '<a xmlns="urn:x"/>'
+
+    def test_prefixed_names(self):
+        element = XmlElement(QName("urn:p", "a", "p"),
+                             namespace_decls={"p": "urn:p"})
+        assert serialize_element(element) == '<p:a xmlns:p="urn:p"/>'
+
+    def test_xml_declaration(self):
+        doc = XmlDocument(XmlElement(QName("", "a")))
+        out = serialize_document(doc, xml_declaration=True)
+        assert out.startswith("<?xml version=")
+
+    def test_pretty_printing_element_only(self):
+        doc = parse_document("<a><b/><c/></a>")
+        out = serialize_document(doc, indent="  ")
+        assert out == "<a>\n  <b/>\n  <c/>\n</a>\n"
+
+    def test_pretty_printing_preserves_mixed(self):
+        doc = parse_document("<a>x<b/>y</a>")
+        out = serialize_document(doc, indent="  ")
+        assert "x<b/>y" in out
+
+
+def _roundtrip(text: str) -> XmlDocument:
+    return parse_document(serialize_document(parse_document(text)))
+
+
+class TestRoundTrip:
+    def test_simple_roundtrip(self):
+        doc = _roundtrip('<a x="1&amp; 2">text &lt; here<b/></a>')
+        assert doc.root.get("x") == "1& 2"
+        assert doc.root.text_content() == "text < here"
+
+    def test_namespace_roundtrip(self):
+        doc = _roundtrip('<p:a xmlns:p="urn:p" xmlns="urn:d"><b/></p:a>')
+        assert doc.root.name == QName("urn:p", "a")
+        assert doc.root.element_children()[0].name == QName("urn:d", "b")
+
+
+_name_strategy = st.text(string.ascii_lowercase, min_size=1, max_size=8).filter(
+    lambda name: name != "xmlns")
+_text_strategy = st.text(
+    st.characters(blacklist_categories=("Cs", "Cc"),
+                  blacklist_characters="\r"),
+    max_size=40)
+
+
+@st.composite
+def _element_strategy(draw, depth=0):
+    name = draw(_name_strategy)
+    element = XmlElement(QName("", name))
+    n_attrs = draw(st.integers(min_value=0, max_value=3))
+    for _ in range(n_attrs):
+        attr = QName("", draw(_name_strategy))
+        if attr not in element.attributes:
+            element.attributes[attr] = draw(_text_strategy)
+    if depth < 3:
+        n_children = draw(st.integers(min_value=0, max_value=3))
+        for _ in range(n_children):
+            if draw(st.booleans()):
+                text = draw(_text_strategy)
+                if text:
+                    element.append(XmlText(text))
+            else:
+                element.append(draw(_element_strategy(depth=depth + 1)))
+    return element
+
+
+def _content_equal(a: XmlElement, b: XmlElement) -> bool:
+    if a.name != b.name or a.attributes != b.attributes:
+        return False
+    if len(a.children) != len(b.children):
+        return False
+    for ca, cb in zip(a.children, b.children):
+        if isinstance(ca, XmlText) != isinstance(cb, XmlText):
+            return False
+        if isinstance(ca, XmlText):
+            if ca.text != cb.text:
+                return False
+        elif not _content_equal(ca, cb):
+            return False
+    return True
+
+
+class TestRoundTripProperties:
+    @given(_element_strategy())
+    def test_serialize_then_parse_is_identity(self, element):
+        reparsed = parse_document(
+            serialize_document(XmlDocument(element))).root
+        assert _content_equal(element, reparsed)
+
+    @given(_element_strategy())
+    def test_serialization_is_deterministic(self, element):
+        doc = XmlDocument(element)
+        assert serialize_document(doc) == serialize_document(doc)

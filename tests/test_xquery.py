@@ -1,0 +1,318 @@
+"""Tests for the XQuery-lite language (lexer, parser, evaluator)."""
+
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import QueryError
+from repro.mapping import document_to_tree, untyped_document_to_tree
+from repro.schema import parse_schema
+from repro.xmlio import parse_document
+from repro.xquery import execute, execute_values, parse_query, tokenize
+from repro.xquery.ast import Comparison, Flwor, Literal, PathExpr
+from repro.workloads.fixtures import (
+    EXAMPLE_7_DOCUMENT,
+    EXAMPLE_7_SCHEMA,
+    EXAMPLE_8_DOCUMENT,
+)
+
+
+@pytest.fixture(scope="module")
+def bookstore():
+    return document_to_tree(parse_document(EXAMPLE_7_DOCUMENT),
+                            parse_schema(EXAMPLE_7_SCHEMA))
+
+
+@pytest.fixture(scope="module")
+def library():
+    return untyped_document_to_tree(parse_document(EXAMPLE_8_DOCUMENT))
+
+
+class TestLexer:
+    def test_keywords_and_variables(self):
+        tokens = tokenize("for $b in /a return $b")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "variable", "keyword", "path",
+                         "keyword", "variable"]
+
+    def test_strings_unquoted(self):
+        (token,) = tokenize("'hello world'")
+        assert token.kind == "string"
+        assert token.text == "hello world"
+
+    def test_comparison_vs_constructor(self):
+        tokens = tokenize("$a < 3")
+        assert tokens[1].kind == "comparison"
+        tokens = tokenize("<tag>")
+        assert tokens[0].kind == "start_tag"
+        assert tokens[0].text == "tag"
+
+    def test_path_with_predicate(self):
+        (token,) = tokenize("/a/b[@x='1']/c")
+        assert token.kind == "path"
+
+    def test_junk_rejected(self):
+        with pytest.raises(QueryError):
+            tokenize("for $x § in /a")
+
+
+class TestParser:
+    def test_plain_path(self):
+        expression = parse_query("/a/b")
+        assert isinstance(expression, PathExpr)
+
+    def test_flwor_shape(self):
+        expression = parse_query(
+            "for $x in /a let $y := $x/b where $y = '1' "
+            "order by $y return $y")
+        assert isinstance(expression, Flwor)
+        assert len(expression.clauses) == 2
+        assert expression.where is not None
+        assert expression.order is not None
+
+    def test_comparison(self):
+        expression = parse_query("/a = 3")
+        assert isinstance(expression, Comparison)
+        assert isinstance(expression.right, Literal)
+        assert expression.right.value == 3
+
+    def test_decimal_literal(self):
+        expression = parse_query("/a = 3.5")
+        assert expression.right.value == Decimal("3.5")
+
+    @pytest.mark.parametrize("bad", [
+        "return /a",              # FLWOR without for/let
+        "for $x in /a",           # missing return
+        "for x in /a return x",   # missing $
+        "unknownfn(/a)",
+        "<a>{/x}</b>",            # mismatched constructor tags
+        "for $x in /a return $x trailing",
+    ])
+    def test_rejects(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+
+class TestPathsAndVariables:
+    def test_plain_path_query(self, library):
+        assert execute_values(library, "/library/book/title") == \
+            ["Foundations of Databases",
+             "An Introduction to Database Systems"]
+
+    def test_for_over_path(self, library):
+        result = execute_values(
+            library, "for $b in /library/book return $b/title")
+        assert len(result) == 2
+
+    def test_var_path_application(self, library):
+        result = execute_values(
+            library,
+            "for $b in /library/book return $b/author[1]")
+        assert result == ["Abiteboul", "Date"]
+
+    def test_let_binding(self, library):
+        result = execute_values(
+            library,
+            "for $b in /library/book let $t := $b/title return $t")
+        assert len(result) == 2
+
+    def test_unbound_variable(self, library):
+        with pytest.raises(QueryError):
+            execute(library, "for $a in /library return $ghost")
+
+
+class TestWhere:
+    def test_string_equality(self, bookstore):
+        result = execute_values(
+            bookstore,
+            "for $b in /BookStore/Book where $b/Date = '1998' "
+            "return $b/Title")
+        assert result == ["My Life and Times"]
+
+    def test_numeric_comparison_on_untyped(self, library):
+        result = execute_values(
+            library,
+            "for $b in /library/book "
+            "where $b/issue/year > 2000 return $b/title")
+        assert result == ["An Introduction to Database Systems"]
+
+    def test_count_in_where(self, library):
+        result = execute_values(
+            library,
+            "for $b in /library/book where count($b/author) = 3 "
+            "return $b/title")
+        assert result == ["Foundations of Databases"]
+
+    def test_and_or(self, bookstore):
+        result = execute_values(
+            bookstore,
+            "for $b in /BookStore/Book "
+            "where $b/Date = '1998' or $b/Date = '1977' "
+            "return $b/Date")
+        assert sorted(result) == ["1977", "1998"]
+        result = execute_values(
+            bookstore,
+            "for $b in /BookStore/Book "
+            "where $b/Date = '1998' and $b/Date = '1977' "
+            "return $b/Date")
+        assert result == []
+
+    def test_existential_comparison(self, library):
+        # paper/book with *some* author named Codd
+        result = execute_values(
+            library,
+            "for $p in /library/paper where $p/author = 'Codd' "
+            "return $p/title")
+        assert len(result) == 2
+
+
+class TestOrderBy:
+    def test_ascending_strings(self, bookstore):
+        result = execute_values(
+            bookstore,
+            "for $b in /BookStore/Book order by $b/Title "
+            "return $b/Title")
+        assert result == sorted(result)
+
+    def test_descending(self, bookstore):
+        result = execute_values(
+            bookstore,
+            "for $b in /BookStore/Book order by $b/Title descending "
+            "return $b/Title")
+        assert result == sorted(result, reverse=True)
+
+    def test_numeric_order_on_typed_values(self):
+        schema = parse_schema("""
+          <xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+           <xsd:element name="ns"><xsd:complexType><xsd:sequence>
+            <xsd:element name="n" type="xsd:integer"
+                         maxOccurs="unbounded"/>
+           </xsd:sequence></xsd:complexType></xsd:element>
+          </xsd:schema>""")
+        tree = document_to_tree(
+            parse_document("<ns><n>10</n><n>2</n><n>33</n></ns>"),
+            schema)
+        result = execute_values(
+            tree, "for $n in /ns/n order by $n return $n")
+        assert result == ["2", "10", "33"]  # numeric, not lexicographic
+
+
+class TestMultipleFor:
+    def test_cartesian_product(self, library):
+        result = execute_values(
+            library,
+            "for $b in /library/book, $p in /library/paper "
+            "return $b/title[1]")
+        assert len(result) == 4  # 2 books x 2 papers
+
+    def test_join_condition(self, library):
+        result = execute_values(
+            library,
+            "for $p in /library/paper, $q in /library/paper "
+            "where $p/author = $q/author "
+            "return $p/title[1]")
+        assert len(result) == 4  # both papers share the author Codd
+
+
+class TestFunctions:
+    def test_count(self, library):
+        assert execute(library, "count(//author)") == [6]
+
+    def test_string_join(self, library):
+        (joined,) = execute(
+            library, "string-join(/library/paper/author, ';')")
+        assert joined == "Codd;Codd"
+
+    def test_distinct_values(self, library):
+        assert execute_values(
+            library, "distinct-values(/library/paper/author)") == ["Codd"]
+
+    def test_exists_empty_not(self, library):
+        assert execute(library, "exists(//issue)") == [True]
+        assert execute(library, "empty(//nonexistent)") == [True]
+        assert execute(library, "not(exists(//issue))") == [False]
+
+    def test_string(self, library):
+        (value,) = execute(library, "string(/library/book[1]/title)")
+        assert value == "Foundations of Databases"
+
+    def test_data_on_typed(self, bookstore):
+        values = execute(bookstore, "data(/BookStore/Book[1]/Title)")
+        assert values == ["My Life and Times"]
+
+
+class TestConstructors:
+    def test_simple_constructor(self, library):
+        (element,) = execute(
+            library,
+            "for $b in /library/book[1] return "
+            "<summary>{$b/title}</summary>")
+        assert element.name.local == "summary"
+        (title,) = element.element_children()
+        assert title.string_value() == "Foundations of Databases"
+
+    def test_copy_semantics(self, library):
+        (element,) = execute(
+            library, "<wrap>{/library/book[1]/title}</wrap>")
+        original = execute(library, "/library/book[1]/title")[0]
+        copy = element.element_children()[0]
+        assert copy is not original
+        assert copy.string_value() == original.string_value()
+        assert original.parent_or_none() is not element
+
+    def test_nested_constructors(self, library):
+        (element,) = execute(
+            library,
+            "<report><count>{count(//book)}</count></report>")
+        assert element.string_value() == "2"
+
+    def test_atomic_content_becomes_text(self, library):
+        (element,) = execute(library, "<n>{count(//paper)}</n>")
+        (text,) = element.children()
+        assert text.node_kind() == "text"
+        assert text.string_value() == "2"
+
+    def test_constructed_tree_serializes(self, bookstore):
+        from repro.mapping import serialize_tree
+        (element,) = execute(
+            bookstore,
+            "for $b in /BookStore/Book[1] return "
+            "<entry>{$b/Title}</entry>")
+        text = serialize_tree(element)
+        assert "<entry>" in text
+        assert 'xmlns="http://www.books.org"' in text
+
+
+class TestSequences:
+    def test_parenthesized_sequence(self, library):
+        result = execute_values(
+            library, "(count(//book), count(//paper))")
+        assert result == ["2", "2"]
+
+    def test_flwor_concatenates(self, library):
+        result = execute_values(
+            library,
+            "for $x in /library/book return "
+            "($x/title[1], $x/author[1])")
+        assert len(result) == 4
+
+
+class TestNestedFlwor:
+    def test_flwor_inside_return(self, library):
+        result = execute_values(library, """
+            for $b in /library/book
+            return for $a in $b/author return $a""")
+        assert len(result) == 4  # 3 + 1 authors
+
+    def test_let_shadowing_inner_scope(self, library):
+        result = execute_values(library, """
+            for $b in /library/book
+            let $t := $b/title
+            return for $x in $t return $x""")
+        assert len(result) == 2
+
+    def test_where_on_inner_variable(self, bookstore):
+        result = execute_values(bookstore, """
+            for $b in /BookStore/Book
+            return for $d in $b/Date where $d = '1977' return $d""")
+        assert result == ["1977"]

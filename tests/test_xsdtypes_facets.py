@@ -1,0 +1,274 @@
+"""Tests for constraining facets, restriction, list and union types."""
+
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FacetError, LexicalError, TypeSystemError
+from repro.xmlio import QName
+from repro.xsdtypes import (
+    AtomicValue,
+    EnumerationFacet,
+    FractionDigitsFacet,
+    LengthFacet,
+    ListType,
+    MaxExclusiveFacet,
+    MaxInclusiveFacet,
+    MaxLengthFacet,
+    MinExclusiveFacet,
+    MinInclusiveFacet,
+    MinLengthFacet,
+    PatternFacet,
+    TotalDigitsFacet,
+    UnionType,
+    WhiteSpaceFacet,
+    builtin,
+)
+
+
+class TestBoundsFacets:
+    def test_min_max_inclusive(self):
+        t = builtin("integer").restrict(
+            [MinInclusiveFacet(1), MaxInclusiveFacet(10)])
+        assert t.parse("1") == 1
+        assert t.parse("10") == 10
+        assert not t.validate("0")
+        assert not t.validate("11")
+
+    def test_exclusive_bounds(self):
+        t = builtin("decimal").restrict(
+            [MinExclusiveFacet(Decimal(0)), MaxExclusiveFacet(Decimal(1))])
+        assert t.validate("0.5")
+        assert not t.validate("0")
+        assert not t.validate("1")
+
+    def test_bounds_on_dates(self):
+        after = builtin("date").parse("2000-01-01")
+        t = builtin("date").restrict([MinInclusiveFacet(after)])
+        assert t.validate("2004-07-01")
+        assert not t.validate("1999-12-31")
+
+    def test_restriction_chains_accumulate(self):
+        narrow = (builtin("integer")
+                  .restrict([MinInclusiveFacet(0)])
+                  .restrict([MaxInclusiveFacet(5)]))
+        assert narrow.validate("3")
+        assert not narrow.validate("-1")   # from the first step
+        assert not narrow.validate("6")    # from the second step
+
+
+class TestLengthFacets:
+    def test_string_length(self):
+        t = builtin("string").restrict([LengthFacet(3)])
+        assert t.validate("abc")
+        assert not t.validate("ab")
+        assert not t.validate("abcd")
+
+    def test_min_max_length(self):
+        t = builtin("string").restrict(
+            [MinLengthFacet(2), MaxLengthFacet(4)])
+        assert not t.validate("a")
+        assert t.validate("ab")
+        assert t.validate("abcd")
+        assert not t.validate("abcde")
+
+    def test_binary_length_counts_octets(self):
+        t = builtin("hexBinary").restrict([LengthFacet(2)])
+        assert t.validate("ABCD")
+        assert not t.validate("AB")
+
+    def test_length_on_numbers_rejected(self):
+        t = builtin("integer").restrict([LengthFacet(2)])
+        with pytest.raises(FacetError):
+            t.parse("12")
+
+
+class TestPatternFacet:
+    def test_pattern_anchored(self):
+        t = builtin("string").restrict([PatternFacet(("[a-z]+",))])
+        assert t.validate("abc")
+        assert not t.validate("abc1")
+        assert not t.validate("1abc")
+
+    def test_pattern_alternatives_are_ored(self):
+        t = builtin("string").restrict([PatternFacet(("cat", "dog"))])
+        assert t.validate("cat")
+        assert t.validate("dog")
+        assert not t.validate("catdog")
+
+    def test_caret_and_dollar_are_literal(self):
+        t = builtin("string").restrict([PatternFacet(("a^b$c",))])
+        assert t.validate("a^b$c")
+        assert not t.validate("abc")
+
+    def test_name_escapes(self):
+        t = builtin("string").restrict([PatternFacet(("\\i\\c*",))])
+        assert t.validate("name")
+        assert t.validate("_x1")
+        assert not t.validate("1x")
+
+
+class TestEnumerationFacet:
+    def test_enumeration(self):
+        t = builtin("string").restrict(
+            [EnumerationFacet(("red", "green", "blue"))])
+        assert t.validate("green")
+        assert not t.validate("yellow")
+
+    def test_enumeration_compares_values_not_literals(self):
+        t = builtin("integer").restrict([EnumerationFacet((10, 20))])
+        assert t.validate("010")  # same value as 10
+
+
+class TestDigitsFacets:
+    def test_total_digits(self):
+        t = builtin("decimal").restrict([TotalDigitsFacet(3)])
+        assert t.validate("123")
+        assert t.validate("1.23")
+        assert t.validate("0.12")
+        assert not t.validate("1234")
+        assert not t.validate("12.34")
+
+    def test_fraction_digits(self):
+        t = builtin("decimal").restrict([FractionDigitsFacet(2)])
+        assert t.validate("1.25")
+        assert t.validate("1.20")  # trailing zero does not count
+        assert not t.validate("1.234")
+
+
+class TestWhitespaceFacet:
+    def test_cannot_loosen(self):
+        with pytest.raises(FacetError):
+            builtin("token").restrict([WhiteSpaceFacet("preserve")])
+
+    def test_can_tighten(self):
+        t = builtin("string").restrict([WhiteSpaceFacet("collapse")])
+        assert t.parse("  a  b ") == "a b"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FacetError):
+            WhiteSpaceFacet("trim")
+
+
+class TestDerivedBuiltins:
+    def test_token_collapses(self):
+        assert builtin("token").parse(" a \n b ") == "a b"
+
+    def test_normalized_string_replaces(self):
+        assert builtin("normalizedString").parse("a\tb\nc") == "a b c"
+
+    def test_language(self):
+        assert builtin("language").validate("en")
+        assert builtin("language").validate("en-US")
+        assert not builtin("language").validate("123")
+        assert not builtin("language").validate("muchtoolongtag")
+
+    def test_integer_chain_bounds(self):
+        assert builtin("byte").validate("127")
+        assert not builtin("byte").validate("128")
+        assert builtin("unsignedByte").validate("255")
+        assert not builtin("unsignedByte").validate("-1")
+        assert not builtin("unsignedByte").validate("256")
+        assert builtin("negativeInteger").validate("-1")
+        assert not builtin("negativeInteger").validate("0")
+        assert builtin("positiveInteger").validate("1")
+        assert not builtin("positiveInteger").validate("0")
+
+    def test_integer_rejects_decimal_point(self):
+        assert not builtin("integer").validate("1.0")
+
+    def test_derivation_relationships(self):
+        assert builtin("byte").is_derived_from(builtin("integer"))
+        assert builtin("byte").is_derived_from(builtin("decimal"))
+        assert not builtin("byte").is_derived_from(builtin("string"))
+        assert builtin("token").is_derived_from(builtin("string"))
+
+    def test_ncname_excludes_colon(self):
+        assert builtin("NCName").validate("local")
+        assert not builtin("NCName").validate("p:local")
+
+
+class TestListTypes:
+    def test_builtin_list(self):
+        assert builtin("NMTOKENS").parse("a b  c") == ("a", "b", "c")
+
+    def test_empty_builtin_list_rejected(self):
+        # NMTOKENS has minLength 1.
+        assert not builtin("NMTOKENS").validate("  ")
+
+    def test_custom_list_with_length(self):
+        t = ListType(None, builtin("integer"), facets=[LengthFacet(3)])
+        assert t.parse("1 2 3") == (1, 2, 3)
+        assert not t.validate("1 2")
+
+    def test_item_errors_propagate(self):
+        t = ListType(None, builtin("integer"))
+        assert not t.validate("1 two 3")
+
+    def test_list_of_list_rejected(self):
+        inner = ListType(None, builtin("integer"))
+        with pytest.raises(TypeSystemError):
+            ListType(None, inner)
+
+    def test_typed_value_has_item_type(self):
+        t = ListType(None, builtin("integer"))
+        typed = t.typed_value("1 2")
+        assert [av.value for av in typed] == [1, 2]
+        assert all(av.type is builtin("integer") for av in typed)
+
+    def test_canonical(self):
+        t = ListType(None, builtin("integer"))
+        assert t.canonical((1, 2, 3)) == "1 2 3"
+
+
+class TestUnionTypes:
+    def test_first_member_wins(self):
+        t = UnionType(None, [builtin("integer"), builtin("string")])
+        value, member = t.parse_with_member("42")
+        assert value == 42
+        assert member is builtin("integer")
+
+    def test_fallback_member(self):
+        t = UnionType(None, [builtin("integer"), builtin("string")])
+        value, member = t.parse_with_member("forty-two")
+        assert value == "forty-two"
+        assert member is builtin("string")
+
+    def test_no_member_matches(self):
+        t = UnionType(None, [builtin("integer"), builtin("boolean")])
+        with pytest.raises(LexicalError):
+            t.parse("maybe")
+
+    def test_empty_union_rejected(self):
+        with pytest.raises(TypeSystemError):
+            UnionType(None, [])
+
+    def test_typed_value_uses_member_type(self):
+        t = UnionType(None, [builtin("integer"), builtin("string")])
+        (av,) = t.typed_value("7")
+        assert av == AtomicValue(7, builtin("integer"))
+
+
+class TestAtomicValue:
+    def test_equality_requires_same_type(self):
+        a = AtomicValue(1, builtin("integer"))
+        b = AtomicValue(1, builtin("int"))
+        assert a != b
+        assert a == AtomicValue(1, builtin("integer"))
+
+    def test_repr_mentions_type(self):
+        assert "integer" in repr(AtomicValue(1, builtin("integer")))
+
+
+@given(st.integers(min_value=-10**6, max_value=10**6))
+def test_integer_roundtrip_property(value):
+    t = builtin("integer")
+    assert t.parse(t.canonical(value)) == value
+
+
+@given(st.decimals(allow_nan=False, allow_infinity=False,
+                   min_value=-10**9, max_value=10**9, places=6))
+def test_decimal_roundtrip_property(value):
+    t = builtin("decimal")
+    assert t.parse(t.canonical(value)) == value

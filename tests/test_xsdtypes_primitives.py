@@ -1,0 +1,189 @@
+"""Tests for the lexical mappings of the nineteen primitive types."""
+
+import math
+from decimal import Decimal
+
+import pytest
+
+from repro.errors import LexicalError
+from repro.xsdtypes import BUILTINS, Binary, Duration, builtin
+
+
+class TestBooleans:
+    @pytest.mark.parametrize("literal,value", [
+        ("true", True), ("false", False), ("1", True), ("0", False),
+        ("  true  ", True),
+    ])
+    def test_valid(self, literal, value):
+        assert builtin("boolean").parse(literal) is value
+
+    @pytest.mark.parametrize("literal", ["TRUE", "yes", "", "2", "tru e"])
+    def test_invalid(self, literal):
+        with pytest.raises(LexicalError):
+            builtin("boolean").parse(literal)
+
+    def test_canonical(self):
+        assert builtin("boolean").canonical(True) == "true"
+        assert builtin("boolean").canonical(False) == "false"
+
+
+class TestDecimal:
+    @pytest.mark.parametrize("literal,value", [
+        ("3.14", Decimal("3.14")),
+        ("-0.5", Decimal("-0.5")),
+        ("+12", Decimal(12)),
+        (".5", Decimal("0.5")),
+        ("5.", Decimal(5)),
+        ("00012", Decimal(12)),
+    ])
+    def test_valid(self, literal, value):
+        assert builtin("decimal").parse(literal) == value
+
+    @pytest.mark.parametrize("literal", ["1e5", "INF", "NaN", "1.2.3", "", "+"])
+    def test_invalid(self, literal):
+        with pytest.raises(LexicalError):
+            builtin("decimal").parse(literal)
+
+    @pytest.mark.parametrize("value,canonical", [
+        (Decimal("3.1400"), "3.14"),
+        (Decimal("5"), "5.0"),
+        (Decimal("-0.5"), "-0.5"),
+        (Decimal("1E+2"), "100.0"),
+    ])
+    def test_canonical(self, value, canonical):
+        assert builtin("decimal").canonical(value) == canonical
+
+
+class TestFloats:
+    def test_special_values(self):
+        double = builtin("double")
+        assert double.parse("INF") == math.inf
+        assert double.parse("-INF") == -math.inf
+        assert math.isnan(double.parse("NaN"))
+
+    def test_exponent_notation(self):
+        assert builtin("float").parse("1.5e3") == 1500.0
+        assert builtin("double").parse("-2E-2") == -0.02
+
+    @pytest.mark.parametrize("literal", ["inf", "nan", "0x1", "1d3", ""])
+    def test_invalid(self, literal):
+        with pytest.raises(LexicalError):
+            builtin("double").parse(literal)
+
+    def test_canonical(self):
+        assert builtin("double").canonical(0.02) == "2.0E-2"
+        assert builtin("double").canonical(math.inf) == "INF"
+        assert builtin("double").canonical(math.nan) == "NaN"
+
+
+class TestTemporalTypes:
+    def test_datetime(self):
+        value = builtin("dateTime").parse("2004-07-01T12:30:05.25+02:00")
+        assert value.year == 2004
+        assert value.second == Decimal("5.25")
+        assert value.tz_minutes == 120
+
+    def test_date_zulu(self):
+        assert builtin("date").parse("2004-02-29Z").tz_minutes == 0
+
+    def test_leap_day_validity(self):
+        assert builtin("date").validate("2004-02-29")
+        assert not builtin("date").validate("2005-02-29")
+
+    def test_time(self):
+        value = builtin("time").parse("23:59:59")
+        assert value.hour == 23 and value.tz_minutes is None
+
+    def test_end_of_day(self):
+        a = builtin("dateTime").parse("2004-06-30T24:00:00Z")
+        b = builtin("dateTime").parse("2004-07-01T00:00:00Z")
+        assert a == b
+
+    @pytest.mark.parametrize("local,literal", [
+        ("gYear", "2004"), ("gYearMonth", "2004-07"), ("gMonthDay", "--07-04"),
+        ("gDay", "---31"), ("gMonth", "--12"),
+    ])
+    def test_gregorian_fragments(self, local, literal):
+        value = builtin(local).parse(literal)
+        assert value.canonical() == literal
+
+    @pytest.mark.parametrize("local,literal", [
+        ("date", "2004-13-01"), ("date", "2004-00-10"), ("date", "04-01-01"),
+        ("time", "25:00:00"), ("dateTime", "2004-07-01"),
+        ("dateTime", "2004-07-01T12:00:00+15:00"),
+        ("gDay", "---32"), ("gMonth", "--13"),
+    ])
+    def test_invalid(self, local, literal):
+        with pytest.raises(LexicalError):
+            builtin(local).parse(literal)
+
+
+class TestDurationType:
+    def test_full_form(self):
+        value = builtin("duration").parse("P1Y2M3DT4H5M6.7S")
+        assert value.months == 14
+        assert value.seconds == Decimal("273906.7")
+
+    def test_negative(self):
+        assert builtin("duration").parse("-P1M") == Duration(months=-1)
+
+    @pytest.mark.parametrize("literal", [
+        "P", "PT", "P1D2H", "1Y", "P-1Y", "P1.5Y", "P1DT",
+    ])
+    def test_invalid(self, literal):
+        with pytest.raises(LexicalError):
+            builtin("duration").parse(literal)
+
+
+class TestBinaryTypes:
+    def test_hex(self):
+        assert builtin("hexBinary").parse("00ff") == Binary(b"\x00\xff")
+
+    def test_hex_canonical_uppercase(self):
+        assert builtin("hexBinary").canonical(Binary(b"\xab")) == "AB"
+
+    def test_base64(self):
+        assert builtin("base64Binary").parse("aGVsbG8=") == Binary(b"hello")
+
+    def test_base64_with_spaces(self):
+        assert builtin("base64Binary").parse("aGVs bG8=") == Binary(b"hello")
+
+    @pytest.mark.parametrize("local,literal", [
+        ("hexBinary", "f"), ("hexBinary", "0g"),
+        ("base64Binary", "a==="), ("base64Binary", "a"),
+    ])
+    def test_invalid(self, local, literal):
+        with pytest.raises(LexicalError):
+            builtin(local).parse(literal)
+
+
+class TestNameTypes:
+    def test_qname(self):
+        assert builtin("QName").parse("xs:string") == "xs:string"
+        assert builtin("QName").parse("simple") == "simple"
+
+    @pytest.mark.parametrize("literal", ["a:b:c", ":x", "x:", "1ab", ""])
+    def test_invalid_qname(self, literal):
+        with pytest.raises(LexicalError):
+            builtin("QName").parse(literal)
+
+    def test_any_uri_accepts_most_strings(self):
+        assert (builtin("anyURI").parse("http://www.books.org")
+                == "http://www.books.org")
+
+
+class TestRegistryCompleteness:
+    def test_all_nineteen_primitives_present(self):
+        primitives = [
+            "string", "boolean", "decimal", "float", "double", "duration",
+            "dateTime", "time", "date", "gYearMonth", "gYear", "gMonthDay",
+            "gDay", "gMonth", "hexBinary", "base64Binary", "anyURI",
+            "QName", "NOTATION",
+        ]
+        for local in primitives:
+            type_ = builtin(local)
+            assert type_.is_primitive, local
+
+    def test_registry_size(self):
+        # 4 special + 19 primitives + 22 derived atomics + 3 lists.
+        assert len(BUILTINS) == 48

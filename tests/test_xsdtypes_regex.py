@@ -1,0 +1,107 @@
+"""Tests for the XSD → Python regex translation."""
+
+import re
+
+import pytest
+
+from repro.errors import FacetError
+from repro.xsdtypes.regex import compile_pattern, translate_pattern
+
+
+class TestAnchoring:
+    def test_whole_match_required(self):
+        rx = compile_pattern("ab")
+        assert rx.match("ab")
+        assert not rx.match("abc")
+        assert not rx.match("xab")
+
+    def test_empty_pattern_matches_empty(self):
+        rx = compile_pattern("")
+        assert rx.match("")
+        assert not rx.match("x")
+
+
+class TestOrdinaryMetacharacters:
+    def test_caret_is_literal(self):
+        rx = compile_pattern("a^b")
+        assert rx.match("a^b")
+        assert not rx.match("ab")
+
+    def test_dollar_is_literal(self):
+        rx = compile_pattern("a$b")
+        assert rx.match("a$b")
+
+    def test_caret_in_class_still_negates(self):
+        rx = compile_pattern("[^a]")
+        assert rx.match("b")
+        assert not rx.match("a")
+
+    def test_quantifiers_pass_through(self):
+        rx = compile_pattern("a{2,3}b?")
+        assert rx.match("aa")
+        assert rx.match("aaab")
+        assert not rx.match("a")
+
+
+class TestNameEscapes:
+    def test_i_matches_name_start(self):
+        rx = compile_pattern("\\i")
+        for ch in ("a", "Z", "_", ":"):
+            assert rx.match(ch), ch
+        for ch in ("1", "-", " "):
+            assert not rx.match(ch), ch
+
+    def test_c_matches_name_char(self):
+        rx = compile_pattern("\\c+")
+        assert rx.match("a-b.c1")
+        assert not rx.match("a b")
+
+    def test_negated_forms(self):
+        assert compile_pattern("\\I").match("1")
+        assert not compile_pattern("\\I").match("a")
+        assert compile_pattern("\\C").match(" ")
+        assert not compile_pattern("\\C").match("a")
+
+    def test_escape_inside_class_context(self):
+        # \d etc. must survive untouched.
+        rx = compile_pattern("[\\d]+")
+        assert rx.match("123")
+
+
+class TestCategoryEscapes:
+    def test_letter_category(self):
+        rx = compile_pattern("\\p{L}+")
+        assert rx.match("abc")
+        assert not rx.match("a1")
+
+    def test_digit_category(self):
+        rx = compile_pattern("\\p{Nd}+")
+        assert rx.match("42")
+        assert not rx.match("4a")
+
+    def test_negated_category(self):
+        rx = compile_pattern("\\P{N}")
+        assert rx.match("x")
+        assert not rx.match("7")
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(FacetError):
+            compile_pattern("\\p{Sm}")
+
+    def test_malformed_category_rejected(self):
+        with pytest.raises(FacetError):
+            compile_pattern("\\pL")
+        with pytest.raises(FacetError):
+            compile_pattern("\\p{L")
+
+
+class TestErrors:
+    def test_uncompilable_pattern_rejected(self):
+        with pytest.raises(FacetError):
+            compile_pattern("(unclosed")
+
+    def test_translation_is_pure(self):
+        # translate_pattern alone does not compile.
+        text = translate_pattern("a^b\\i")
+        assert "\\^" in text
+        assert re.compile(text)

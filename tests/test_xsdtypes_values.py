@@ -1,0 +1,166 @@
+"""Tests for the value classes of the non-trivial XSD value spaces."""
+
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.xsdtypes import (
+    Binary,
+    Duration,
+    IndeterminateOrder,
+    Temporal,
+    days_from_civil,
+    days_in_month,
+    is_leap_year,
+)
+
+
+class TestCalendar:
+    def test_epoch(self):
+        assert days_from_civil(1970, 1, 1) == 0
+
+    def test_day_after_epoch(self):
+        assert days_from_civil(1970, 1, 2) == 1
+
+    def test_known_date(self):
+        # 2000-03-01 was 11017 days after the epoch.
+        assert days_from_civil(2000, 3, 1) == 11017
+
+    def test_negative_years_supported(self):
+        assert days_from_civil(-1, 1, 1) < days_from_civil(1, 1, 1)
+
+    def test_leap_years(self):
+        assert is_leap_year(2000)
+        assert is_leap_year(2004)
+        assert not is_leap_year(1900)
+        assert not is_leap_year(2001)
+
+    def test_days_in_month(self):
+        assert days_in_month(2004, 2) == 29
+        assert days_in_month(2005, 2) == 28
+        assert days_in_month(2005, 4) == 30
+        assert days_in_month(2005, 12) == 31
+
+    @given(st.integers(min_value=-5000, max_value=5000),
+           st.integers(min_value=1, max_value=12))
+    def test_day_numbers_strictly_increase(self, year, month):
+        last = days_in_month(year, month)
+        first_day = days_from_civil(year, month, 1)
+        last_day = days_from_civil(year, month, last)
+        assert last_day - first_day == last - 1
+
+
+class TestTemporalOrdering:
+    def test_same_zone_comparison(self):
+        a = Temporal("date", 2004, 7, 1, tz_minutes=0)
+        b = Temporal("date", 2004, 7, 2, tz_minutes=0)
+        assert a < b
+        assert b > a
+        assert a <= a
+
+    def test_timezone_normalization(self):
+        # 12:00 at +02:00 is the same instant as 10:00Z.
+        a = Temporal("dateTime", 2004, 7, 1, 12, 0, Decimal(0), 120)
+        b = Temporal("dateTime", 2004, 7, 1, 10, 0, Decimal(0), 0)
+        assert a == b
+
+    def test_zoned_vs_unzoned_equal_is_false(self):
+        a = Temporal("dateTime", 2004, 7, 1, 12, 0, Decimal(0), 0)
+        b = Temporal("dateTime", 2004, 7, 1, 12, 0, Decimal(0), None)
+        assert a != b
+
+    def test_zoned_vs_unzoned_far_apart_is_determinate(self):
+        a = Temporal("date", 2004, 1, 1, tz_minutes=None)
+        b = Temporal("date", 2005, 1, 1, tz_minutes=0)
+        assert a < b
+
+    def test_zoned_vs_unzoned_close_is_indeterminate(self):
+        a = Temporal("dateTime", 2004, 7, 1, 12, 0, Decimal(0), None)
+        b = Temporal("dateTime", 2004, 7, 1, 13, 0, Decimal(0), 0)
+        with pytest.raises(IndeterminateOrder):
+            bool(a < b)
+
+    def test_cross_kind_comparison_rejected(self):
+        with pytest.raises(IndeterminateOrder):
+            bool(Temporal("date") < Temporal("time"))
+
+    def test_hash_consistent_with_eq(self):
+        a = Temporal("dateTime", 2004, 7, 1, 12, 0, Decimal(0), 120)
+        b = Temporal("dateTime", 2004, 7, 1, 10, 0, Decimal(0), 0)
+        assert hash(a) == hash(b)
+
+
+class TestTemporalCanonical:
+    def test_date_canonical(self):
+        assert Temporal("date", 2004, 7, 1).canonical() == "2004-07-01"
+
+    def test_datetime_canonical_with_zone(self):
+        t = Temporal("dateTime", 2004, 7, 1, 9, 5, Decimal("6.5"), 0)
+        assert t.canonical() == "2004-07-01T09:05:06.5Z"
+
+    def test_negative_offset(self):
+        t = Temporal("time", hour=1, minute=2, second=Decimal(3),
+                     tz_minutes=-330)
+        assert t.canonical() == "01:02:03-05:30"
+
+    def test_g_types_canonical(self):
+        assert Temporal("gYear", 2004).canonical() == "2004"
+        assert Temporal("gYearMonth", 2004, 7).canonical() == "2004-07"
+        assert Temporal("gMonthDay", month=7, day=4).canonical() == "--07-04"
+        assert Temporal("gDay", day=4).canonical() == "---04"
+        assert Temporal("gMonth", month=7).canonical() == "--07"
+
+    def test_negative_year(self):
+        assert Temporal("gYear", -44).canonical() == "-0044"
+
+
+class TestDuration:
+    def test_equality_of_mixed_units(self):
+        assert Duration(months=12) == Duration(months=12)
+        assert Duration(seconds=Decimal(86400)) == Duration(
+            seconds=Decimal(86400))
+
+    def test_day_time_ordering(self):
+        assert Duration(seconds=Decimal(1)) < Duration(seconds=Decimal(2))
+
+    def test_year_month_ordering(self):
+        assert Duration(months=1) < Duration(months=2)
+
+    def test_indeterminate_comparison(self):
+        # One month vs 30 days: depends on the starting instant.
+        with pytest.raises(IndeterminateOrder):
+            bool(Duration(months=1) < Duration(seconds=Decimal(30 * 86400)))
+
+    def test_determinate_mixed_comparison(self):
+        # One month is always longer than a single day.
+        assert Duration(seconds=Decimal(86400)) < Duration(months=1)
+
+    def test_canonical_zero(self):
+        assert Duration().canonical() == "PT0S"
+
+    def test_canonical_composite(self):
+        d = Duration(months=14,
+                     seconds=Decimal(3 * 86400 + 4 * 3600 + 5 * 60 + 6))
+        assert d.canonical() == "P1Y2M3DT4H5M6S"
+
+    def test_canonical_negative(self):
+        assert Duration(months=-1).canonical() == "-P1M"
+
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=1000))
+    def test_pure_month_order_total(self, a, b):
+        da, db = Duration(months=a), Duration(months=b)
+        assert (da < db) == (a < b)
+
+
+class TestBinary:
+    def test_length(self):
+        assert len(Binary(b"\x01\x02")) == 2
+
+    def test_hex(self):
+        assert Binary(b"\xde\xad").hex() == "DEAD"
+
+    def test_equality(self):
+        assert Binary(b"ab") == Binary(b"ab")
+        assert Binary(b"ab") != Binary(b"ba")
