@@ -124,3 +124,42 @@ def test_ancestry_via_parent_chain(benchmark, storage_engines, scale):
     # Cross-check the two implementations agree.
     by_labels = sum(1 for a, b in pairs if is_ancestor(a.nid, b.nid))
     assert result == by_labels
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_following_axis_first_result(benchmark, storage_engines, scale):
+    """Label-decided following:: — time to the *first* hit from an
+    early context node.  The pre-rewrite implementation materialized
+    an identifier set over the whole document before yielding, so this
+    number grew linearly with scale; now it tracks the block-scan
+    merge's start-up cost only."""
+    from repro.query import storage_following_axis
+
+    engine = storage_engines[scale]
+    library = engine.children(engine.document)[0]
+    context = engine.children(library)[0]
+
+    def first_following():
+        return next(storage_following_axis(engine, context))
+
+    result = benchmark(first_following)
+    assert result is not None
+    benchmark.extra_info["document_nodes"] = engine.node_count()
+
+
+@pytest.mark.parametrize("scale", [10, 100])
+def test_following_axis_full_drain(benchmark, storage_engines, scale):
+    """Full following:: result via label comparison over the merged
+    block scans."""
+    from repro.query import storage_following_axis
+
+    engine = storage_engines[scale]
+    library = engine.children(engine.document)[0]
+    context = engine.children(library)[0]
+
+    def drain():
+        return sum(1 for _ in storage_following_axis(engine, context))
+
+    count = benchmark(drain)
+    assert count > 0
+    benchmark.extra_info["following_nodes"] = count

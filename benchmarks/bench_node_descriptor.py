@@ -75,3 +75,10 @@ def test_descriptor_footprint(benchmark, storage_engines, scale):
     nodes = engine.node_count()
     benchmark.extra_info["bytes_total"] = total
     benchmark.extra_info["bytes_per_node"] = round(total / nodes, 1)
+    # The modelled footprint is honest only if the Python objects are
+    # actually slotted: a stray __dict__ per descriptor would dwarf
+    # the modelled bytes and regress every benchmark above.
+    descriptor = engine.children(engine.document)[0]
+    assert not hasattr(descriptor, "__dict__")
+    assert not hasattr(descriptor.schema_node, "__dict__")
+    benchmark.extra_info["slotted"] = True

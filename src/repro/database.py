@@ -71,8 +71,11 @@ class StoredDocument:
         return [node.string_value() for node in self.query(path)]
 
     def query_storage(self, path: str) -> list[NodeDescriptor]:
-        """The same query, answered by the storage engine."""
-        return self._queries.evaluate_schema_driven(path)
+        """The same query, answered by the storage engine through the
+        plan cache (safe across updates: plans invalidate when the
+        descriptive schema grows, and a data-only update just adds
+        descriptors to block lists the cached plan already scans)."""
+        return self._queries.evaluate(path)
 
     def serialize(self, indent: str | None = None) -> str:
         """The mapping g composed with the text serializer."""

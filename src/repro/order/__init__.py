@@ -7,6 +7,8 @@ from repro.order.document_order import (
     document_order,
     is_total_order,
     iter_document_order,
+    iter_subtree_elements,
+    iter_subtree_elements_reversed,
     tree_before,
 )
 
@@ -17,5 +19,7 @@ __all__ = [
     "document_order",
     "is_total_order",
     "iter_document_order",
+    "iter_subtree_elements",
+    "iter_subtree_elements_reversed",
     "tree_before",
 ]

@@ -36,6 +36,27 @@ def document_order(root: Node) -> list[Node]:
     return list(iter_document_order(root))
 
 
+def iter_subtree_elements(root: Node) -> Iterator[Node]:
+    """The subtree of *root* in document order, attributes skipped.
+
+    This is the building block of the ``following`` axis: XPath's
+    ``following`` excludes attribute nodes, so axes built from this
+    iterator never materialize node sets just to filter them out
+    again.
+    """
+    yield root
+    for child in root.children():
+        yield from iter_subtree_elements(child)
+
+
+def iter_subtree_elements_reversed(root: Node) -> Iterator[Node]:
+    """The subtree of *root* in **reverse** document order, attributes
+    skipped — the building block of the ``preceding`` axis."""
+    for child in reversed(list(root.children())):
+        yield from iter_subtree_elements_reversed(child)
+    yield root
+
+
 def _order_path(node: Node) -> tuple[tuple[int, int], ...]:
     """The root-to-node position path.
 

@@ -1,14 +1,44 @@
 """Path queries over both the formal model and the storage engine."""
 
-from repro.query.axes import AXES
+from repro.query.axes import (
+    AXES,
+    STORAGE_AXES,
+    storage_following_axis,
+    storage_preceding_axis,
+)
+from repro.query.cache import (
+    CacheStats,
+    LRUCache,
+    cached_parse_path,
+    clear_parse_cache,
+    parse_cache_stats,
+)
 from repro.query.engine import StorageQueryEngine, evaluate_tree
 from repro.query.paths import Path, Step, parse_path
+from repro.query.planner import (
+    CompiledPlan,
+    QueryPlanner,
+    compile_plan,
+    match_schema_nodes,
+)
 
 __all__ = [
     "AXES",
+    "CacheStats",
+    "CompiledPlan",
+    "LRUCache",
     "Path",
+    "QueryPlanner",
+    "STORAGE_AXES",
     "Step",
     "StorageQueryEngine",
+    "cached_parse_path",
+    "clear_parse_cache",
+    "compile_plan",
     "evaluate_tree",
+    "match_schema_nodes",
+    "parse_cache_stats",
     "parse_path",
+    "storage_following_axis",
+    "storage_preceding_axis",
 ]

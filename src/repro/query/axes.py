@@ -1,4 +1,4 @@
-"""XPath 2.0 axes over the Section 5 node model.
+"""XPath 2.0 axes over the Section 5 node model and the storage engine.
 
 The accessors of the paper ("primitive facilities for a query
 language") are exactly what these axes are built from: ``parent``,
@@ -6,14 +6,32 @@ language") are exactly what these axes are built from: ``parent``,
 (Section 7) defines ``following``/``preceding``.  Results are returned
 in axis order (forward axes in document order, reverse axes in reverse
 document order), as XPath requires.
+
+``following``/``preceding`` are computed *structurally* — the
+following siblings of each ancestor-or-self and their subtrees — so
+they stream lazily and never build identifier sets over a
+whole-document walk.  The storage-side variants
+(:func:`storage_following_axis`, :func:`storage_preceding_axis`) go
+further, deciding membership by label comparison alone: ``before`` and
+``is_ancestor`` from Section 9.3 answer each structural test in
+O(label length) with no tree navigation at all.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+import heapq
+from typing import TYPE_CHECKING, Iterator
 
 from repro.xdm.node import AttributeNode, Node
-from repro.order.document_order import iter_document_order
+from repro.order.document_order import (
+    iter_subtree_elements,
+    iter_subtree_elements_reversed,
+)
+from repro.storage.labels import before, is_ancestor
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.descriptor import NodeDescriptor
+    from repro.storage.engine import StorageEngine
 
 
 def self_axis(node: Node) -> Iterator[Node]:
@@ -79,37 +97,110 @@ def preceding_sibling_axis(node: Node) -> Iterator[Node]:
 
 def following_axis(node: Node) -> Iterator[Node]:
     """Nodes after the node in document order, excluding descendants
-    and attributes (per XPath)."""
-    root = node.root()
-    in_subtree = set(
-        n.identifier for n in iter_document_order(node))
-    seen_self = False
-    for candidate in iter_document_order(root):
-        if candidate is node:
-            seen_self = True
-            continue
-        if not seen_self:
-            continue
-        if candidate.identifier in in_subtree:
-            continue
-        if isinstance(candidate, AttributeNode):
-            continue
-        yield candidate
+    and attributes (per XPath).
+
+    Structural formulation: for the node and each of its ancestors,
+    the subtrees of the following siblings, nearest level first.  The
+    generator is lazy — the first result costs O(depth + fan-out), not
+    a whole-document walk, and no identifier set is ever allocated.
+    An attribute context first yields the subtrees of its owner's
+    children (everything after the attribute inside the owner element).
+    """
+    current = node
+    if isinstance(node, AttributeNode):
+        owner = node.parent_or_none()
+        if owner is None:
+            return
+        for child in owner.children():
+            yield from iter_subtree_elements(child)
+        current = owner
+    while True:
+        parent = current.parent_or_none()
+        if parent is None:
+            return
+        seen_self = False
+        for sibling in parent.children():
+            if seen_self:
+                yield from iter_subtree_elements(sibling)
+            elif sibling is current:
+                seen_self = True
+        current = parent
 
 
 def preceding_axis(node: Node) -> Iterator[Node]:
     """Nodes before the node in document order, excluding ancestors
-    and attributes, in reverse document order."""
-    root = node.root()
-    ancestors = {n.identifier for n in node.ancestors()}
-    out: list[Node] = []
-    for candidate in iter_document_order(root):
-        if candidate is node:
-            break
-        if candidate.identifier in ancestors:
-            continue
-        if isinstance(candidate, AttributeNode):
-            continue
+    and attributes, in reverse document order.
+
+    Structural formulation: for the node and each of its ancestors,
+    the subtrees of the preceding siblings in reverse order, nearest
+    level first.  Only per-level sibling lists are buffered, never a
+    whole-document set.  An attribute's preceding axis equals its
+    owner element's (everything before the attribute is the owner, its
+    attributes, or nodes before the owner).
+    """
+    current = node.parent_or_none() if isinstance(node, AttributeNode) \
+        else node
+    while current is not None:
+        parent = current.parent_or_none()
+        if parent is None:
+            return
+        level: list[Node] = []
+        for sibling in parent.children():
+            if sibling is current:
+                break
+            level.append(sibling)
+        for sibling in reversed(level):
+            yield from iter_subtree_elements_reversed(sibling)
+        current = parent
+
+
+# ----------------------------------------------------------------------
+# Storage-side following/preceding: pure label comparison (§9.3).
+
+
+def _storage_document_stream(engine: "StorageEngine"
+                             ) -> Iterator["NodeDescriptor"]:
+    """All non-attribute descriptors in document order, as a lazy
+    k-way merge of the per-schema-node block scans."""
+    streams = [engine.scan_schema_node(schema_node)
+               for schema_node in engine.schema.iter_nodes()
+               if schema_node.node_type != "attribute"]
+    return heapq.merge(
+        *streams, key=lambda descriptor: descriptor.nid.symbols())
+
+
+def storage_following_axis(engine: "StorageEngine",
+                           descriptor: "NodeDescriptor"
+                           ) -> Iterator["NodeDescriptor"]:
+    """``following::`` over descriptors, decided by labels alone:
+    ``before(context, x)`` places x after the context and
+    ``is_ancestor(context, x)`` excludes its descendants — each test
+    is O(label length), with no navigation and no node sets."""
+    context = descriptor.nid
+    for candidate in _storage_document_stream(engine):
+        if not before(context, candidate.nid):
+            continue  # at or before the context node
+        if is_ancestor(context, candidate.nid):
+            continue  # a descendant of the context
+        yield candidate
+
+
+def storage_preceding_axis(engine: "StorageEngine",
+                           descriptor: "NodeDescriptor"
+                           ) -> Iterator["NodeDescriptor"]:
+    """``preceding::`` over descriptors by label comparison, in
+    reverse document order.  The merged stream is document-ordered, so
+    the scan stops at the context label; only the (necessarily
+    materialized, because the axis is reversed) result list is
+    buffered — ancestors are excluded by a prefix test, not by set
+    membership."""
+    context = descriptor.nid
+    out: list["NodeDescriptor"] = []
+    for candidate in _storage_document_stream(engine):
+        if not before(candidate.nid, context):
+            break  # reached the context: nothing later can precede it
+        if is_ancestor(candidate.nid, context):
+            continue  # an ancestor of the context
         out.append(candidate)
     yield from reversed(out)
 
@@ -128,4 +219,10 @@ AXES = {
     "preceding-sibling": preceding_sibling_axis,
     "following": following_axis,
     "preceding": preceding_axis,
+}
+
+#: Storage-side axes by name (engine + descriptor signature).
+STORAGE_AXES = {
+    "following": storage_following_axis,
+    "preceding": storage_preceding_axis,
 }

@@ -1,0 +1,160 @@
+"""Caches for the query layer: parsed paths and compiled plans.
+
+Two caches keep repeated queries off the slow paths:
+
+* a process-wide LRU **parse cache** — a path string compiles to a
+  :class:`~repro.query.paths.Path` exactly once, because parsing is
+  pure (the same text always yields the same frozen ``Path``);
+* a per-engine LRU **plan cache** (used by
+  :class:`~repro.query.planner.QueryPlanner`) — compiled plans are
+  keyed by ``Path`` and stamped with the descriptive-schema version
+  they were compiled against, so a plan is recompiled exactly when the
+  schema has grown since (Section 9.1: a new document path means a new
+  schema path; nothing else can change what a path matches).
+
+Both expose hit/miss counters so the benchmark harness can report
+cache effectiveness next to the storage engine's split/insert
+instrumentation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+from repro.query.paths import Path, parse_path
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+#: Default capacity of the process-wide parse cache.
+PARSE_CACHE_CAPACITY = 512
+
+#: Default capacity of a per-engine plan cache.
+PLAN_CACHE_CAPACITY = 256
+
+#: Sentinel distinguishing "missing" from a cached None.
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A point-in-time snapshot of one cache's counters."""
+
+    hits: int
+    misses: int
+    invalidations: int
+    evictions: int
+    size: int
+    capacity: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache(Generic[K, V]):
+    """A counting least-recently-used map.
+
+    ``get`` refreshes recency; ``put`` evicts the coldest entry once
+    the capacity is exceeded.  ``invalidations`` is bumped by callers
+    through :meth:`invalidate` when an entry is discarded for being
+    stale rather than cold (the plan cache's schema-version check).
+    """
+
+    __slots__ = ("capacity", "_entries", "hits", "misses",
+                 "invalidations", "evictions")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.evictions = 0
+
+    def get(self, key: K) -> Optional[V]:
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry  # type: ignore[return-value]
+
+    def peek(self, key: K) -> Optional[V]:
+        """Read without touching recency or the hit/miss counters
+        (used for staleness checks before the counted ``get``)."""
+        entry = self._entries.get(key, _MISSING)
+        return None if entry is _MISSING else entry  # type: ignore
+
+    def put(self, key: K, value: V) -> None:
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: K) -> None:
+        """Drop a stale entry (counted separately from evictions)."""
+        if self._entries.pop(key, _MISSING) is not _MISSING:
+            self.invalidations += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def reset_stats(self) -> None:
+        self.hits = self.misses = 0
+        self.invalidations = self.evictions = 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self.hits, misses=self.misses,
+                          invalidations=self.invalidations,
+                          evictions=self.evictions,
+                          size=len(self._entries),
+                          capacity=self.capacity)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def __iter__(self) -> Iterator[K]:
+        return iter(self._entries)
+
+
+# ----------------------------------------------------------------------
+# The process-wide parse cache.
+
+_parse_cache: LRUCache[str, Path] = LRUCache(PARSE_CACHE_CAPACITY)
+
+
+def cached_parse_path(text: str) -> Path:
+    """:func:`~repro.query.paths.parse_path` through the LRU cache.
+
+    Parsing is pure, so one cache serves every engine in the process.
+    Parse errors are not cached (they raise before the ``put``).
+    """
+    path = _parse_cache.get(text)
+    if path is None:
+        path = parse_path(text)
+        _parse_cache.put(text, path)
+    return path
+
+
+def parse_cache_stats() -> CacheStats:
+    """Counters of the process-wide parse cache."""
+    return _parse_cache.stats()
+
+
+def clear_parse_cache() -> None:
+    """Empty the parse cache and zero its counters (test isolation)."""
+    _parse_cache.clear()
+    _parse_cache.reset_stats()

@@ -18,12 +18,22 @@ the XP benchmark.
 
 from __future__ import annotations
 
-import heapq
 from typing import Iterator
 
 from repro.xdm.node import AttributeNode, ElementNode, Node, TextNode
 from repro.storage.dschema import SchemaNode
 from repro.storage.engine import NodeDescriptor, StorageEngine
+from repro.query.cache import (
+    PLAN_CACHE_CAPACITY,
+    cached_parse_path,
+    parse_cache_stats,
+)
+from repro.query.planner import (
+    CompiledPlan,
+    QueryPlanner,
+    compile_plan,
+    match_schema_nodes,
+)
 from repro.query.paths import (
     AttributePredicate,
     ChildPredicate,
@@ -35,6 +45,13 @@ from repro.query.paths import (
 
 
 def _as_path(path: "Path | str") -> Path:
+    return cached_parse_path(path) if isinstance(path, str) else path
+
+
+def _as_path_uncached(path: "Path | str") -> Path:
+    """Parse afresh — for the baseline evaluators, which model the
+    engine *without* the caching layer and must not borrow its parse
+    cache (the XP benchmark compares them against :meth:`evaluate`)."""
     return parse_path(path) if isinstance(path, str) else path
 
 
@@ -136,22 +153,75 @@ def _step_accepts(node: Node, step: Step) -> bool:
 
 
 class StorageQueryEngine:
-    """Path queries over a loaded :class:`StorageEngine`."""
+    """Path queries over a loaded :class:`StorageEngine`.
 
-    def __init__(self, engine: StorageEngine) -> None:
+    Beyond the two evaluators, the engine owns a
+    :class:`~repro.query.planner.QueryPlanner` whose plan cache makes
+    repeated queries skip parsing and schema matching entirely:
+    :meth:`evaluate` is the cached entry point, and :meth:`cache_stats`
+    surfaces hit/miss/invalidation counters next to the storage
+    engine's split/insert instrumentation.
+    """
+
+    def __init__(self, engine: StorageEngine,
+                 plan_cache_capacity: int = PLAN_CACHE_CAPACITY) -> None:
         self._engine = engine
+        self._planner = QueryPlanner(engine, plan_cache_capacity)
+
+    @property
+    def engine(self) -> StorageEngine:
+        return self._engine
+
+    # -- compiled-plan entry points -------------------------------------
+
+    def compile(self, path: "Path | str") -> CompiledPlan:
+        """The cached compiled plan for *path* (compiling on miss)."""
+        return self._planner.compile(path)
+
+    def evaluate(self, path: "Path | str") -> list[NodeDescriptor]:
+        """Evaluate through the plan cache — the hot entry point."""
+        return self._planner.compile(path).execute(self)
+
+    def cache_stats(self) -> dict[str, float]:
+        """Plan- and parse-cache counters for the benchmark harness."""
+        plan = self._planner.stats()
+        parse = parse_cache_stats()
+        return {
+            "plan_hits": plan.hits,
+            "plan_misses": plan.misses,
+            "plan_invalidations": plan.invalidations,
+            "plan_evictions": plan.evictions,
+            "plan_size": plan.size,
+            "plan_hit_rate": plan.hit_rate,
+            "parse_hits": parse.hits,
+            "parse_misses": parse.misses,
+            "parse_hit_rate": parse.hit_rate,
+        }
+
+    def clear_caches(self) -> None:
+        """Drop the plan cache and zero its counters."""
+        self._planner.clear()
 
     # -- baseline: navigate descriptors --------------------------------
 
     def evaluate_naive(self, path: "Path | str") -> list[NodeDescriptor]:
-        path = _as_path(path)
+        path = _as_path_uncached(path)
         engine = self._engine
         if engine.document is None:
             return []
-        current: list[NodeDescriptor] = [engine.document]
-        for step in path.steps:
+        return self._navigate_steps([engine.document], path.steps)
+
+    def _navigate_steps(self, current: list[NodeDescriptor],
+                        steps: "tuple[Step, ...]"
+                        ) -> list[NodeDescriptor]:
+        """Per-step navigation from *current* context descriptors.
+
+        Deduplication is keyed on the stable label symbols (labels are
+        unique per document, Section 9.3), not on transient ``id()``s.
+        """
+        for step in steps:
             bucket: list[NodeDescriptor] = []
-            seen: set[int] = set()
+            seen: set[tuple[int, ...]] = set()
             for descriptor in current:
                 matched = [candidate
                            for candidate in self._step_candidates(
@@ -159,8 +229,9 @@ class StorageQueryEngine:
                            if self._step_accepts(candidate, step)]
                 for candidate in self._apply_predicates(
                         matched, step.predicates):
-                    if id(candidate) not in seen:
-                        seen.add(id(candidate))
+                    key = candidate.nid.symbols()
+                    if key not in seen:
+                        seen.add(key)
                         bucket.append(candidate)
             current = bucket
         return current
@@ -228,41 +299,7 @@ class StorageQueryEngine:
     def matching_schema_nodes(self, path: "Path | str") -> list[SchemaNode]:
         """Schema nodes whose root path matches *path*."""
         path = _as_path(path)
-        current: list[SchemaNode] = [self._engine.schema.root]
-        for step in path.steps:
-            bucket: list[SchemaNode] = []
-            seen: set[int] = set()
-            for schema_node in current:
-                for candidate in self._schema_candidates(schema_node, step):
-                    if (self._schema_accepts(candidate, step)
-                            and id(candidate) not in seen):
-                        seen.add(id(candidate))
-                        bucket.append(candidate)
-            current = bucket
-        return current
-
-    @staticmethod
-    def _schema_candidates(schema_node: SchemaNode,
-                           step: Step) -> Iterator[SchemaNode]:
-        if step.axis == "child":
-            yield from schema_node.children
-        else:
-            def walk(node: SchemaNode) -> Iterator[SchemaNode]:
-                yield node
-                for child in node.children:
-                    yield from walk(child)
-            yield from walk(schema_node)
-
-    @staticmethod
-    def _schema_accepts(schema_node: SchemaNode, step: Step) -> bool:
-        if step.kind == "text":
-            return schema_node.node_type == "text"
-        if step.kind == "attribute":
-            return (schema_node.node_type == "attribute"
-                    and step.matches_name(schema_node.name.local))
-        if schema_node.node_type != "element":
-            return False
-        return step.matches_name(schema_node.name.local)
+        return match_schema_nodes(self._engine.schema.root, path.steps)
 
     def evaluate_schema_driven(self, path: "Path | str"
                                ) -> list[NodeDescriptor]:
@@ -273,39 +310,14 @@ class StorageQueryEngine:
         the matching schema nodes yields exactly the query result — no
         per-node navigation.  Results across several schema nodes are
         merged by label to restore global document order.
+
+        Compilation happens afresh on every call (the planner decides
+        scan vs. hybrid vs. naive, including structural predicate
+        pruning); :meth:`evaluate` is the cached variant that skips
+        recompilation while the schema version is unchanged.
         """
-        path = _as_path(path)
-        if any(step.predicates for step in path.steps[:-1]):
-            # Predicates on inner steps prune *instances*, which the
-            # schema-level match cannot see; navigate instead.
-            return self.evaluate_naive(path)
-        final_step = path.steps[-1]
-        if (final_step.axis == "descendant-or-self"
-                and any(isinstance(p, PositionPredicate)
-                        for p in final_step.predicates)):
-            # This library gives positional predicates on // steps
-            # whole-selection semantics (like /descendant::x[n]); the
-            # flat block scan cannot reproduce that grouping, so
-            # navigate instead.
-            return self.evaluate_naive(path)
-        schema_nodes = self.matching_schema_nodes(path)
-        if not schema_nodes:
-            return []
-        if len(schema_nodes) == 1:
-            result = list(self._engine.scan_schema_node(schema_nodes[0]))
-        else:
-            # Each per-schema-node scan is already in document order,
-            # so a k-way merge restores the order in one linear pass.
-            streams = (self._engine.scan_schema_node(schema_node)
-                       for schema_node in schema_nodes)
-            result = list(heapq.merge(
-                *streams,
-                key=lambda descriptor: descriptor.nid.symbols()))
-        final = path.steps[-1]
-        if final.predicates:
-            result = self._apply_final_predicates(result,
-                                                  final.predicates)
-        return result
+        path = _as_path_uncached(path)
+        return compile_plan(path, self._engine.schema).execute(self)
 
     def _apply_final_predicates(self, descriptors: list[NodeDescriptor],
                                 predicates) -> list[NodeDescriptor]:
@@ -317,10 +329,14 @@ class StorageQueryEngine:
         """
         for predicate in predicates:
             if isinstance(predicate, PositionPredicate):
-                groups: dict[int, list[NodeDescriptor]] = {}
-                order: list[int] = []
+                # Grouped by the parent's stable label, not id().
+                groups: dict[tuple[int, ...] | None,
+                             list[NodeDescriptor]] = {}
+                order: list[tuple[int, ...] | None] = []
                 for descriptor in descriptors:
-                    key = id(descriptor.parent)
+                    parent = descriptor.parent
+                    key = parent.nid.symbols() if parent is not None \
+                        else None
                     if key not in groups:
                         groups[key] = []
                         order.append(key)

@@ -1,0 +1,264 @@
+"""Query plan compilation against the descriptive schema.
+
+Section 9's pitch is that the descriptive schema lets the engine
+answer a path query by scanning only the blocks of the matching schema
+nodes.  The evaluator used to re-derive that match on every call; this
+module compiles a path **once** into a :class:`CompiledPlan` — the
+matched schema nodes plus an execution strategy — and caches the plan
+keyed by the path and the schema's growth version.  Because every
+document path has exactly one schema path (the defining property of
+Section 9.1), a plan stays valid until the schema itself grows: pure
+data inserts add descriptors to existing block lists, which the plan's
+live block scan picks up for free.
+
+Strategies, from fastest to slowest:
+
+* ``empty`` — no schema node can match (including structural pruning:
+  a predicate like ``[@isbn]`` on a schema node with no ``@isbn``
+  schema child can never hold, Section 9.1 again), so the result is
+  ``[]`` with no data access at all;
+* ``scan`` — scan the block lists of the matched schema nodes and
+  apply final-step predicates per instance;
+* ``hybrid`` — the path has predicates on an *inner* step: scan the
+  blocks for the prefix ending at that step, filter instances, then
+  navigate only the remaining steps (the old code fell back to naive
+  navigation from the root for the whole path);
+* ``naive`` — per-descriptor navigation; required only for positional
+  predicates on ``//`` steps, whose whole-selection grouping a flat
+  block scan cannot reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.query.cache import (
+    LRUCache,
+    PLAN_CACHE_CAPACITY,
+    CacheStats,
+    cached_parse_path,
+)
+from repro.query.paths import (
+    AttributePredicate,
+    ChildPredicate,
+    Path,
+    PositionPredicate,
+    Step,
+)
+from repro.storage.dschema import SchemaNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.query.engine import StorageQueryEngine
+    from repro.storage.dschema import DescriptiveSchema
+    from repro.storage.engine import NodeDescriptor
+
+
+# ----------------------------------------------------------------------
+# Schema matching (shared by the planner and the public
+# ``matching_schema_nodes`` of the query engine).
+
+
+def _schema_candidates(schema_node: SchemaNode,
+                       step: Step) -> Iterator[SchemaNode]:
+    if step.axis == "child":
+        yield from schema_node.children
+    else:
+        def walk(node: SchemaNode) -> Iterator[SchemaNode]:
+            yield node
+            for child in node.children:
+                yield from walk(child)
+        yield from walk(schema_node)
+
+
+def _schema_accepts(schema_node: SchemaNode, step: Step) -> bool:
+    if step.kind == "text":
+        return schema_node.node_type == "text"
+    if step.kind == "attribute":
+        return (schema_node.node_type == "attribute"
+                and step.matches_name(schema_node.name.local))
+    if schema_node.node_type != "element":
+        return False
+    return step.matches_name(schema_node.name.local)
+
+
+def match_schema_nodes(root: SchemaNode,
+                       steps: tuple[Step, ...]) -> list[SchemaNode]:
+    """Schema nodes reached from *root* along *steps* (predicates are
+    ignored — this is the pure Section 9.1 path match).
+
+    Deduplication holds the schema nodes themselves (identity hash),
+    not their transient ``id()``s.
+    """
+    current: list[SchemaNode] = [root]
+    for step in steps:
+        bucket: list[SchemaNode] = []
+        seen: set[SchemaNode] = set()
+        for schema_node in current:
+            for candidate in _schema_candidates(schema_node, step):
+                if candidate not in seen and _schema_accepts(candidate,
+                                                             step):
+                    seen.add(candidate)
+                    bucket.append(candidate)
+        current = bucket
+    return current
+
+
+def structurally_feasible(schema_node: SchemaNode, predicates) -> bool:
+    """Can *any* instance of this schema node satisfy the predicates?
+
+    ``[@name…]`` needs an ``@name`` attribute schema child and
+    ``[name…]`` an element schema child ``name`` — if the descriptive
+    schema has no such child, no instance anywhere has one (the
+    node→schema-node mapping is surjective), so the schema node can be
+    pruned without touching a single block.  Positional predicates
+    never prune.
+    """
+    for predicate in predicates:
+        if isinstance(predicate, AttributePredicate):
+            if not any(child.node_type == "attribute"
+                       and child.name.local == predicate.name
+                       for child in schema_node.children):
+                return False
+        elif isinstance(predicate, ChildPredicate):
+            if not any(child.node_type == "element"
+                       and child.name is not None
+                       and child.name.local == predicate.name
+                       for child in schema_node.children):
+                return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Compiled plans.
+
+
+class CompiledPlan:
+    """One path compiled against one descriptive-schema version."""
+
+    __slots__ = ("path", "schema_version", "strategy", "scan_nodes",
+                 "split", "pruned_schema_nodes")
+
+    def __init__(self, path: Path, schema_version: int, strategy: str,
+                 scan_nodes: tuple[SchemaNode, ...],
+                 split: Optional[int],
+                 pruned_schema_nodes: int) -> None:
+        self.path = path
+        self.schema_version = schema_version
+        #: "empty" | "scan" | "hybrid" | "naive".
+        self.strategy = strategy
+        #: Schema nodes whose block lists the plan scans ("scan": the
+        #: full path; "hybrid": the prefix ending at the predicate
+        #: step).
+        self.scan_nodes = scan_nodes
+        #: For "hybrid": index of the first inner step with predicates.
+        self.split = split
+        #: Schema nodes discarded by structural predicate pruning.
+        self.pruned_schema_nodes = pruned_schema_nodes
+
+    def execute(self, queries: "StorageQueryEngine"
+                ) -> "list[NodeDescriptor]":
+        """Run the plan over the engine's *current* data.
+
+        The block scan is live, so descriptors inserted after
+        compilation are found as long as the schema has not grown
+        (which the plan cache checks before handing out a plan).
+        """
+        if self.strategy == "naive":
+            return queries.evaluate_naive(self.path)
+        if self.strategy == "empty":
+            return []
+        engine = queries.engine
+        if len(self.scan_nodes) == 1:
+            result = list(engine.scan_schema_node(self.scan_nodes[0]))
+        else:
+            # Each per-schema-node scan is already in document order;
+            # sorting the concatenation restores global order in one
+            # linear galloping merge (Timsort recognizes the runs),
+            # which beats a Python-level k-way heap merge.
+            result = [descriptor
+                      for schema_node in self.scan_nodes
+                      for descriptor in engine.scan_schema_node(
+                          schema_node)]
+            result.sort(key=lambda descriptor: descriptor.nid.symbols())
+        steps = self.path.steps
+        scan_step = steps[-1] if self.split is None else steps[self.split]
+        if scan_step.predicates:
+            result = queries._apply_final_predicates(result,
+                                                     scan_step.predicates)
+        if self.strategy == "hybrid":
+            result = queries._navigate_steps(result,
+                                             steps[self.split + 1:])
+        return result
+
+    def __repr__(self) -> str:
+        return (f"CompiledPlan({self.path!r}, {self.strategy}, "
+                f"{len(self.scan_nodes)} schema nodes, "
+                f"v{self.schema_version})")
+
+
+def compile_plan(path: Path, schema: "DescriptiveSchema") -> CompiledPlan:
+    """Compile *path* against the current schema (no caching here)."""
+    steps = path.steps
+    version = schema.version
+    for step in steps:
+        if (step.axis == "descendant-or-self"
+                and any(isinstance(p, PositionPredicate)
+                        for p in step.predicates)):
+            # This library gives positional predicates on // steps
+            # whole-selection semantics (like /descendant::x[n]); a
+            # flat block scan grouped by parent cannot reproduce that,
+            # so the whole query navigates.
+            return CompiledPlan(path, version, "naive", (), None, 0)
+    split: Optional[int] = None
+    for index, step in enumerate(steps[:-1]):
+        if step.predicates:
+            split = index
+            break
+    prefix = steps if split is None else steps[:split + 1]
+    matched = match_schema_nodes(schema.root, prefix)
+    pruned = 0
+    if prefix[-1].predicates:
+        feasible = [node for node in matched
+                    if structurally_feasible(node, prefix[-1].predicates)]
+        pruned = len(matched) - len(feasible)
+        matched = feasible
+    if not matched:
+        return CompiledPlan(path, version, "empty", (), split, pruned)
+    strategy = "scan" if split is None else "hybrid"
+    return CompiledPlan(path, version, strategy, tuple(matched), split,
+                        pruned)
+
+
+class QueryPlanner:
+    """Per-engine plan compiler with an LRU (path → plan) cache.
+
+    A cached plan is handed out only if its schema version still
+    matches; a grown schema invalidates exactly the stale entry (the
+    paper's claim that the descriptive schema is small and *stable*
+    makes invalidations rare in practice).
+    """
+
+    def __init__(self, engine, capacity: int = PLAN_CACHE_CAPACITY
+                 ) -> None:
+        self._engine = engine
+        self._plans: LRUCache[Path, CompiledPlan] = LRUCache(capacity)
+
+    def compile(self, path: "Path | str") -> CompiledPlan:
+        if isinstance(path, str):
+            path = cached_parse_path(path)
+        version = self._engine.schema.version
+        stale = self._plans.peek(path)
+        if stale is not None and stale.schema_version != version:
+            self._plans.invalidate(path)
+        plan = self._plans.get(path)
+        if plan is None:
+            plan = compile_plan(path, self._engine.schema)
+            self._plans.put(path, plan)
+        return plan
+
+    def stats(self) -> CacheStats:
+        return self._plans.stats()
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self._plans.reset_stats()

@@ -37,14 +37,19 @@ NO_SLOT = -1
 class NodeDescriptor:
     """The physical representation of one node instance."""
 
-    __slots__ = ("schema_node", "nid", "parent", "left_sibling",
-                 "right_sibling", "next_in_block", "prev_in_block",
-                 "children_by_schema", "value", "block", "slot")
+    __slots__ = ("schema_node", "nid", "node_type", "parent",
+                 "left_sibling", "right_sibling", "next_in_block",
+                 "prev_in_block", "children_by_schema", "value", "block",
+                 "slot")
 
     def __init__(self, schema_node: "SchemaNode", nid: NidLabel,
                  value: str | None = None) -> None:
         self.schema_node = schema_node
         self.nid = nid
+        # Denormalized from the schema node (which never changes type):
+        # node_type is read in every step test of the query layer, so
+        # it is a slot, not a property chased through two attributes.
+        self.node_type = schema_node.node_type
         self.parent: Optional[NodeDescriptor] = None
         self.left_sibling: Optional[NodeDescriptor] = None
         self.right_sibling: Optional[NodeDescriptor] = None
@@ -58,10 +63,6 @@ class NodeDescriptor:
         self.slot: int = NO_SLOT
 
     # -- derived properties ------------------------------------------------
-
-    @property
-    def node_type(self) -> str:
-        return self.schema_node.node_type
 
     @property
     def is_text_enabled(self) -> bool:

@@ -104,11 +104,27 @@ class SchemaNode:
 
 
 class DescriptiveSchema:
-    """The schema tree with get-or-create path extension."""
+    """The schema tree with get-or-create path extension.
+
+    The schema carries a :attr:`version` counter that is bumped exactly
+    when the tree *grows* (a new (name, type) path appears).  Pure data
+    inserts reuse existing schema nodes and leave the version alone, so
+    query plans compiled against the schema (`repro.query.planner`)
+    stay valid across arbitrary data updates and invalidate precisely
+    when a new document path — hence a new schema path, by the defining
+    property of Section 9.1 — comes into existence.
+    """
 
     def __init__(self) -> None:
         self.root = SchemaNode(None, "document", None)
         self._count = 1
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotone growth counter: bumped only when a schema node is
+        created, never on pure data inserts."""
+        return self._version
 
     def get_or_add_child(self, parent: SchemaNode, name: Optional[QName],
                          node_type: str) -> SchemaNode:
@@ -123,6 +139,7 @@ class DescriptiveSchema:
         child = SchemaNode(name, node_type, parent)
         parent.children.append(child)
         self._count += 1
+        self._version += 1
         return child
 
     def node_count(self) -> int:

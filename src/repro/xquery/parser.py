@@ -5,7 +5,7 @@ from __future__ import annotations
 from decimal import Decimal
 
 from repro.errors import QueryError
-from repro.query.paths import parse_path
+from repro.query.cache import cached_parse_path as parse_path
 from repro.xquery.ast import (
     BooleanExpr,
     Comparison,

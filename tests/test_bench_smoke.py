@@ -1,0 +1,45 @@
+"""Smoke-run the standalone query benchmark and check its report.
+
+Runs ``benchmarks.run_all`` at the tiny smoke scale so the JSON
+contract (and the headline speedup claim) is exercised on every test
+run, not only when someone remembers to run the benchmarks.
+"""
+
+import json
+
+from benchmarks.run_all import QUERY_PATHS, main
+
+
+def test_run_all_smoke_writes_report(tmp_path, capsys):
+    output = tmp_path / "BENCH_query.json"
+    records = main(["--smoke", "--output", str(output)])
+
+    assert len(records) == len(QUERY_PATHS)
+    report = json.loads(output.read_text())
+    assert report["query_paths"] == list(QUERY_PATHS)
+    assert len(report["records"]) == len(records)
+    for record in report["records"]:
+        for key in ("ops_naive", "ops_schema_driven", "ops_cached_plan",
+                    "cached_vs_uncached", "plan_hit_rate"):
+            assert key in record
+        assert record["ops_cached_plan"] > 0
+        # Repeated queries run from the cache during the timed loop.
+        assert record["plan_hit_rate"] > 0.9
+        assert record["plan_invalidations"] == 0
+    # The headline claim: with parse + planning amortized away, at
+    # least the planning-dominated queries run >= 2x faster than the
+    # uncached schema-driven route (the hybrid predicate query clears
+    # this with a wide margin, so the assertion is timing-safe).
+    assert report["summary"]["speedup_2x_met"]
+    assert report["summary"]["max_cached_vs_uncached"] >= 2.0
+    capsys.readouterr()  # swallow the printed table
+
+
+def test_run_all_prints_table_without_json(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    main(["--smoke"])
+    out = capsys.readouterr().out
+    assert "speedup" in out
+    for path in QUERY_PATHS:
+        assert path in out
+    assert not (tmp_path / "BENCH_query.json").exists()

@@ -1,0 +1,201 @@
+"""Laziness and storage-side tests for the following/preceding axes.
+
+The axes used to materialize identifier sets over a full
+``iter_document_order`` walk.  These tests pin down the rewrite: the
+tree-side axes stream structurally (first result in O(depth+fan-out)
+accessor calls), and the storage-side axes decide membership purely by
+Section 9.3 label comparison.
+"""
+
+import pytest
+
+from repro.mapping import untyped_document_to_tree
+from repro.query import (
+    AXES,
+    STORAGE_AXES,
+    storage_following_axis,
+    storage_preceding_axis,
+)
+from repro.query.axes import following_axis, preceding_axis
+from repro.storage import StorageEngine
+from repro.storage.labels import before, is_ancestor
+from repro.workloads import make_library_document
+from repro.xdm.node import AttributeNode, ElementNode
+from repro.xmlio import parse_document, serialize_document
+
+_DOC = '<r i="1"><a><b/><c>x</c></a><d j="2"/><a><b/></a></r>'
+
+
+def _wide_document(width=400, leaves=3):
+    items = "".join(
+        "<item>" + "<leaf/>" * leaves + "</item>" for _ in range(width))
+    return untyped_document_to_tree(
+        parse_document(f"<root>{items}</root>"))
+
+
+@pytest.fixture
+def counted_children(monkeypatch):
+    """Count every ElementNode.children() call — the axes' only way
+    to reach new nodes, so the count bounds how much tree they visit."""
+    calls = {"n": 0}
+    original = ElementNode.children
+
+    def counting(self):
+        calls["n"] += 1
+        return original(self)
+
+    monkeypatch.setattr(ElementNode, "children", counting)
+    return calls
+
+
+class TestAxisLaziness:
+    def test_first_following_result_is_cheap(self, counted_children):
+        tree = _wide_document()
+        context = tree.document_element().element_children()[0]
+        counted_children["n"] = 0
+        first = next(following_axis(context))
+        # One call on the root to find the next sibling; the sibling
+        # itself is yielded before its own subtree is entered.  A
+        # whole-document walk would cost 400+ calls here.
+        assert counted_children["n"] <= 3
+        assert first.node_name().head().local == "item"
+
+    def test_first_preceding_result_is_cheap(self, counted_children):
+        tree = _wide_document()
+        context = tree.document_element().element_children()[-1]
+        counted_children["n"] = 0
+        first = next(preceding_axis(context))
+        # Root's children once to buffer the level, then descend into
+        # the nearest preceding sibling's subtree only.
+        assert counted_children["n"] <= 6
+        assert first.node_name().head().local == "leaf"
+
+    def test_partial_consumption_stays_partial(self, counted_children):
+        tree = _wide_document()
+        context = tree.document_element().element_children()[0]
+        counted_children["n"] = 0
+        iterator = following_axis(context)
+        for _ in range(8):
+            next(iterator)
+        partial = counted_children["n"]
+        assert partial <= 12
+        # Draining the rest really does visit the remaining siblings.
+        remaining = sum(1 for _ in iterator)
+        assert remaining > 300
+        assert counted_children["n"] > partial
+
+
+class TestStorageAxes:
+    @pytest.fixture(scope="class")
+    def loaded(self):
+        engine = StorageEngine()
+        engine.load_document(parse_document(_DOC))
+        tree = untyped_document_to_tree(parse_document(_DOC))
+        return engine, tree
+
+    @pytest.fixture(scope="class")
+    def scaled(self):
+        text = serialize_document(
+            make_library_document(books=12, papers=12, seed=7))
+        engine = StorageEngine()
+        engine.load_document(parse_document(text))
+        tree = untyped_document_to_tree(parse_document(text))
+        return engine, tree
+
+    @staticmethod
+    def _paired(engine, tree):
+        """(tree node, descriptor) pairs in document order, attributes
+        excluded on both sides."""
+        from repro.order.document_order import iter_document_order
+        from repro.query.axes import _storage_document_stream
+        tree_nodes = [node for node in iter_document_order(tree)
+                      if not isinstance(node, AttributeNode)]
+        descriptors = list(_storage_document_stream(engine))
+        assert len(tree_nodes) == len(descriptors)
+        return list(zip(tree_nodes, descriptors))
+
+    @staticmethod
+    def _signature(engine, descriptor):
+        name = engine.node_name(descriptor)
+        return name.local if name is not None else \
+            engine.node_kind(descriptor)
+
+    def _assert_axes_agree(self, engine, tree):
+        pairs = self._paired(engine, tree)
+        labels = {id(node): descriptor for node, descriptor in pairs}
+        for node, descriptor in pairs:
+            if isinstance(node, ElementNode):
+                for name, storage_axis in STORAGE_AXES.items():
+                    expected = [labels[id(n)].nid
+                                for n in AXES[name](node)]
+                    got = [d.nid
+                           for d in storage_axis(engine, descriptor)]
+                    assert got == expected, (name, descriptor)
+
+    def test_following_and_preceding_agree_with_tree(self, loaded):
+        self._assert_axes_agree(*loaded)
+
+    def test_agreement_on_scaled_library(self, scaled):
+        self._assert_axes_agree(*scaled)
+
+    def test_following_plus_rest_partitions_document(self, loaded):
+        """following ∪ preceding ∪ ancestors ∪ descendants ∪ self
+        covers every non-attribute node exactly once (the XPath axis
+        partition), stated purely in labels."""
+        engine, tree = loaded
+        pairs = self._paired(engine, tree)
+        everything = [d for _, d in pairs]
+        for _, descriptor in pairs:
+            context = descriptor.nid
+            following = list(storage_following_axis(engine, descriptor))
+            preceding = list(storage_preceding_axis(engine, descriptor))
+            covered = len(following) + len(preceding) + sum(
+                1 for other in everything
+                if other.nid is context
+                or is_ancestor(other.nid, context)
+                or is_ancestor(context, other.nid))
+            assert covered == len(everything)
+
+    def test_preceding_stops_scanning_at_context(self, loaded):
+        """The merged scan breaks at the context label instead of
+        draining the document: probing a descriptor past the context
+        must not happen (verified by a counting shim)."""
+        engine, tree = loaded
+        pairs = self._paired(engine, tree)
+        # Context: the first <b/> — early in the document.
+        node, descriptor = next(
+            (n, d) for n, d in pairs
+            if isinstance(n, ElementNode)
+            and n.node_name().head().local == "b")
+        scanned = []
+        import repro.query.axes as axes_module
+        original = axes_module._storage_document_stream
+
+        def shim():
+            for candidate in original(engine):
+                scanned.append(candidate)
+                yield candidate
+
+        axes_module._storage_document_stream = lambda _engine: shim()
+        try:
+            list(storage_preceding_axis(engine, descriptor))
+        finally:
+            axes_module._storage_document_stream = original
+        # Only descriptors up to (and including) the context were
+        # pulled from the merge; everything after it stayed unread.
+        assert all(not before(descriptor.nid, d.nid) for d in scanned)
+        assert len(scanned) < len(pairs)
+
+    def test_storage_axes_allocate_no_identifier_sets(self, loaded):
+        """Membership is decided by before/is_ancestor on labels —
+        the generators hold no set of node identifiers.  Checked
+        structurally: the generator's local state never contains a
+        set or dict of nids."""
+        engine, tree = loaded
+        pairs = self._paired(engine, tree)
+        _, descriptor = pairs[len(pairs) // 2]
+        iterator = storage_following_axis(engine, descriptor)
+        next(iterator, None)
+        state = iterator.gi_frame.f_locals if iterator.gi_frame else {}
+        assert not any(isinstance(v, (set, frozenset, dict))
+                       for v in state.values())
