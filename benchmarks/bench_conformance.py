@@ -13,6 +13,8 @@ from repro.algebra import ConformanceChecker, InstanceBuilder, \
     check_conformance
 from repro.mapping import document_to_tree
 from repro.schema import parse_schema
+from repro.storage import StorageEngine, StorageNodeStore
+from repro.xdm import TreeNodeStore
 from repro.xmlio import parse_document
 from repro.workloads.fixtures import wrap_in_schema
 from benchmarks.conftest import SCALES
@@ -42,6 +44,30 @@ def test_validation_while_mapping(benchmark, library_texts,
 
     tree = benchmark(validate)
     assert tree is not None
+
+
+@pytest.mark.parametrize("scale", SCALES)
+@pytest.mark.parametrize("backend", ["tree", "storage"])
+def test_conformance_store_backends(benchmark, library_trees,
+                                    library_schema, scale, backend):
+    """The same §6.2 checker through the NodeStore protocol, over the
+    state-algebra tree vs. the Sedna storage (typed via the
+    per-schema-node annotation map)."""
+    tree = library_trees[scale]
+    if backend == "tree":
+        store = TreeNodeStore(tree)
+    else:
+        engine = StorageEngine()
+        engine.load_tree(tree)
+        store = StorageNodeStore.typed(engine, library_schema)
+    checker = ConformanceChecker(library_schema)
+
+    def check():
+        return checker.check_store(store)
+
+    violations = benchmark(check)
+    assert violations == []
+    benchmark.extra_info["backend"] = backend
 
 
 def _choice_schema(width: int) -> str:

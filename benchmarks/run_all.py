@@ -13,7 +13,9 @@ Usage::
 
 The ``--json`` report lands in ``BENCH_query.json`` at the repository
 root (or ``--output PATH``): one record per (path, scale) with ops/sec
-for each route, the cached/uncached speedup, and the cache counters.
+for each route, the cached/uncached speedup, and the cache counters;
+plus one conformance-checking record per scale comparing the §6.2
+checker over the two NodeStore backends (tree vs. storage).
 """
 
 from __future__ import annotations
@@ -23,9 +25,14 @@ import json
 import time
 from pathlib import Path
 
+from repro.algebra import ConformanceChecker
+from repro.mapping import document_to_tree
 from repro.query import StorageQueryEngine, clear_parse_cache
-from repro.storage import StorageEngine
+from repro.schema import parse_schema
+from repro.storage import StorageEngine, StorageNodeStore
 from repro.workloads import make_library_document
+from repro.workloads.fixtures import LIBRARY_SCHEMA
+from repro.xdm import TreeNodeStore
 
 #: Paths covering the planner's strategies: plain scans, a multi-node
 #: merge, a hybrid inner predicate, and a structurally pruned query.
@@ -97,6 +104,37 @@ def run(scales=DEFAULT_SCALES, repeats=5, rounds=20):
     return records
 
 
+def run_conformance(scales=DEFAULT_SCALES, repeats=3, rounds=3):
+    """§6.2 conformance checking through the NodeStore protocol, over
+    both backends: the state-algebra tree vs. the Sedna storage (with
+    per-schema-node type annotations).  One record per scale."""
+    schema = parse_schema(LIBRARY_SCHEMA)
+    records = []
+    for scale in scales:
+        document = make_library_document(books=scale, papers=scale,
+                                         seed=scale)
+        tree = document_to_tree(document, schema)
+        engine = StorageEngine()
+        engine.load_tree(tree)
+        tree_store = TreeNodeStore(tree)
+        storage_store = StorageNodeStore.typed(engine, schema)
+        checker = ConformanceChecker(schema)
+        assert checker.check_store(tree_store) == []
+        assert checker.check_store(storage_store) == []
+        ops_tree = _time_route(
+            lambda: checker.check_store(tree_store), repeats, rounds)
+        ops_storage = _time_route(
+            lambda: checker.check_store(storage_store), repeats, rounds)
+        records.append({
+            "scale": scale,
+            "nodes": engine.node_count(),
+            "ops_tree_store": round(ops_tree, 1),
+            "ops_storage_store": round(ops_storage, 1),
+            "tree_vs_storage": round(ops_tree / ops_storage, 2),
+        })
+    return records
+
+
 def _print_table(records):
     header = (f"{'path':32} {'scale':>5} {'naive':>10} "
               f"{'schema':>10} {'cached':>10} {'speedup':>8}")
@@ -107,6 +145,18 @@ def _print_table(records):
               f"{r['ops_naive']:>10.0f} {r['ops_schema_driven']:>10.0f} "
               f"{r['ops_cached_plan']:>10.0f} "
               f"{r['cached_vs_uncached']:>7.2f}x")
+
+
+def _print_conformance_table(records):
+    header = (f"\n{'conformance (VAL, §6.2)':24} {'scale':>6} "
+              f"{'nodes':>7} {'tree':>10} {'storage':>10} {'ratio':>7}")
+    print(header)
+    print("-" * len(header))
+    for r in records:
+        print(f"{'check_store ops/sec':24} {r['scale']:>6} "
+              f"{r['nodes']:>7} {r['ops_tree_store']:>10.0f} "
+              f"{r['ops_storage_store']:>10.0f} "
+              f"{r['tree_vs_storage']:>6.2f}x")
 
 
 def main(argv=None):
@@ -121,9 +171,13 @@ def main(argv=None):
 
     if args.smoke:
         records = run(scales=SMOKE_SCALES, repeats=2, rounds=5)
+        conformance = run_conformance(scales=SMOKE_SCALES,
+                                      repeats=2, rounds=2)
     else:
         records = run()
+        conformance = run_conformance()
     _print_table(records)
+    _print_conformance_table(conformance)
 
     if args.json or args.output is not None:
         output = args.output or \
@@ -133,6 +187,7 @@ def main(argv=None):
             "experiment": "query plan compilation + caching (XP/§9.2)",
             "query_paths": list(QUERY_PATHS),
             "records": records,
+            "conformance_records": conformance,
             "summary": {
                 "max_cached_vs_uncached": max(speedups),
                 "min_cached_vs_uncached": min(speedups),

@@ -1,9 +1,15 @@
 """The Section 6.2 conformance requirements, checked item by item.
 
-Given a document tree (already built in a state algebra) and a document
-schema, :class:`ConformanceChecker` verifies every numbered requirement
-of Section 6.2 and reports violations tagged with the paper's item
+Given a document — presented either as a Section 5/6 node tree or as
+any other :class:`~repro.xdm.store.NodeStore` model (e.g. the Sedna
+storage of Section 9) — and a document schema,
+:class:`ConformanceChecker` verifies every numbered requirement of
+Section 6.2 and reports violations tagged with the paper's item
 numbers (``"1"`` through ``"7"``, with sub-items like ``"5.3.1"``).
+
+Every check reads the document exclusively through the ten accessors,
+which is what lets one checker serve both representations: the paper
+states the requirements over accessor values, not over node classes.
 
 This is deliberately separate from the mapping ``f``
 (:mod:`repro.mapping.doc_to_tree`): ``f`` *constructs* conforming
@@ -20,12 +26,10 @@ from repro.errors import ConformanceError
 from repro.xdm.node import (
     ANY_TYPE_NAME,
     UNTYPED_ATOMIC_NAME,
-    AttributeNode,
     DocumentNode,
-    ElementNode,
     Node,
-    TextNode,
 )
+from repro.xdm.store import NodeStore, Ref, as_node_store
 from repro.xsdtypes.base import SimpleType
 from repro.content.matcher import ContentModel
 from repro.schema.ast import (
@@ -55,7 +59,8 @@ class Violation:
 
 
 class ConformanceChecker:
-    """Checks document trees against one schema's requirements."""
+    """Checks documents against one schema's requirements, through the
+    accessor protocol — any :class:`NodeStore` model can be checked."""
 
     def __init__(self, schema: DocumentSchema) -> None:
         self._schema = schema
@@ -63,18 +68,34 @@ class ConformanceChecker:
 
     # -- public API ----------------------------------------------------------
 
-    def check(self, document: DocumentNode) -> list[Violation]:
-        """All violations found (empty list = the tree is an S-tree)."""
+    def check(self, document: "DocumentNode | Node | NodeStore"
+              ) -> list[Violation]:
+        """All violations found (empty list = the tree is an S-tree).
+
+        *document* is a tree node (the historical API) or any
+        ``NodeStore`` (checked from its root).
+        """
+        if isinstance(document, NodeStore):
+            return self.check_store(document)
+        return self.check_store(as_node_store(document), document)
+
+    def check_store(self, store: NodeStore,
+                    root: Ref = None) -> list[Violation]:
+        """All violations of the document presented by *store*."""
+        self._store = store
         self._violations: list[Violation] = []
-        self._seen: set[int] = set()
-        self._check_document(document)
-        self._check_no_other_nodes(document)
+        self._seen: set = set()
+        if root is None:
+            root = store.root()
+        self._check_document(root)
+        self._check_no_other_nodes(root)
         return self._violations
 
-    def conforms(self, document: DocumentNode) -> bool:
+    def conforms(self, document: "DocumentNode | NodeStore") -> bool:
         return not self.check(document)
 
-    def assert_conforms(self, document: DocumentNode) -> None:
+    def assert_conforms(self,
+                        document: "DocumentNode | NodeStore") -> None:
         violations = self.check(document)
         if violations:
             raise violations[0].as_error()
@@ -84,23 +105,33 @@ class ConformanceChecker:
     def _report(self, item: str, path: str, message: str) -> None:
         self._violations.append(Violation(item, path, message))
 
-    def _check_document(self, document: Node) -> None:
+    def _mark_seen(self, ref: Ref) -> None:
+        self._seen.add(self._store.node_key(ref))
+
+    def _check_document(self, document: Ref) -> None:
+        store = self._store
         path = "/"
-        if not isinstance(document, DocumentNode):
+        if store.node_kind(document) != "document":
             self._report("1", path, "the tree root is not a document node")
             return
-        self._seen.add(document.identifier)
+        self._mark_seen(document)
         # Item 1: fixed accessors of the document node.
-        for accessor_name in ("node_name", "type", "attributes", "nilled",
-                              "parent"):
-            value = getattr(document, accessor_name)()
-            if len(value):
-                self._report(
-                    "1", path,
-                    f"document node's {accessor_name} must be empty")
-        children = list(document.children())
+        if store.node_name(document) is not None:
+            self._report("1", path,
+                         "document node's node_name must be empty")
+        if store.type_name(document) is not None:
+            self._report("1", path, "document node's type must be empty")
+        if store.attributes(document):
+            self._report("1", path,
+                         "document node's attributes must be empty")
+        if store.nilled(document) is not None:
+            self._report("1", path, "document node's nilled must be empty")
+        if store.parent(document) is not None:
+            self._report("1", path, "document node's parent must be empty")
+        children = store.children(document)
         # Item 3: exactly one element child.
-        elements = [c for c in children if isinstance(c, ElementNode)]
+        elements = [c for c in children
+                    if store.node_kind(c) == "element"]
         if len(children) != 1 or len(elements) != 1:
             self._report(
                 "3", path,
@@ -109,42 +140,49 @@ class ConformanceChecker:
             return
         (end,) = elements
         # Item 1: string value of the document = string value of child.
-        if document.string_value() != end.string_value():
+        if store.string_value(document) != store.string_value(end):
             self._report(
                 "1", path,
                 "document string-value differs from its child's")
-        if end.parent_or_none() is not document:
+        if not self._same_node(store.parent(end), document):
             self._report("3", path, "child's parent accessor is wrong")
         declaration = self._schema.root_element
         self._check_element(end, declaration, f"/{declaration.name}")
 
-    def _check_element(self, element: Node,
+    def _same_node(self, first: "Ref | None",
+                   second: "Ref | None") -> bool:
+        if first is None or second is None:
+            return first is None and second is None
+        store = self._store
+        return store.node_key(first) == store.node_key(second)
+
+    def _check_element(self, element: Ref,
                        declaration: ElementDeclaration, path: str) -> None:
-        if not isinstance(element, ElementNode):
+        store = self._store
+        if store.node_kind(element) != "element":
             self._report("4", path, "expected an element node")
             return
-        self._seen.add(element.identifier)
+        self._mark_seen(element)
         # Item 4: name and type accessor values.
-        name_seq = element.node_name()
-        if not name_seq or name_seq.head().local != declaration.name:
+        name = store.node_name(element)
+        if name is None or name.local != declaration.name:
             self._report(
                 "4", path,
-                f"node-name {name_seq!r} does not match declaration "
+                f"node-name {name!r} does not match declaration "
                 f"{declaration.name!r}")
         expected_type = (declaration.type.qname
                          if isinstance(declaration.type, TypeName)
                          else ANY_TYPE_NAME)
-        type_seq = element.type()
-        if not type_seq or type_seq.head() != expected_type:
+        type_name = store.type_name(element)
+        if type_name != expected_type:
             self._report(
                 "4", path,
-                f"type accessor {type_seq!r} must be "
+                f"type accessor {type_name!r} must be "
                 f"{expected_type.lexical}")
         self._check_base_uri(element, path, item="4")
 
         resolved = self._schema.resolve(declaration.type)
-        nilled_seq = element.nilled()
-        nilled = bool(nilled_seq) and nilled_seq.head()
+        nilled = bool(store.nilled(element))
 
         if not declaration.nillable:
             # Item 5: nid = false forces nilled(end) = false.
@@ -157,34 +195,35 @@ class ConformanceChecker:
         else:
             # Item 6.
             if nilled:
-                if len(element.children()):
+                if store.children(element):
                     self._report(
                         "6", path, "a nilled element must have no children")
                 if isinstance(resolved, (SimpleContentType,
                                          ComplexContentType)):
                     self._check_attributes(element, resolved, path)
-                elif len(element.attributes()):
+                elif store.attributes(element):
                     self._report(
                         "6.1", path,
                         "a nilled simple-typed element has attributes")
             else:
                 self._check_content(element, resolved, path)
 
-    def _check_base_uri(self, node: Node, path: str, item: str) -> None:
-        parent = node.parent_or_none()
+    def _check_base_uri(self, ref: Ref, path: str, item: str) -> None:
+        store = self._store
+        parent = store.parent(ref)
         if parent is None:
             return
-        if node.base_uri() != parent.base_uri():
+        if store.base_uri(ref) != store.base_uri(parent):
             self._report(
                 item, path,
                 "base-uri must be inherited from the parent")
 
     # -- item 5 dispatch -----------------------------------------------------
 
-    def _check_content(self, element: ElementNode, resolved: object,
+    def _check_content(self, element: Ref, resolved: object,
                        path: str) -> None:
         if isinstance(resolved, SimpleType):
-            if len(element.attributes()):
+            if self._store.attributes(element):
                 self._report(
                     "5.1", path,
                     "a simple-typed element must not have attributes")
@@ -205,29 +244,30 @@ class ConformanceChecker:
 
     # -- item 5.1.1 ---------------------------------------------------------
 
-    def _check_simple_value(self, element: ElementNode,
+    def _check_simple_value(self, element: Ref,
                             simple: SimpleType, path: str) -> None:
-        children = list(element.children())
-        if len(children) != 1 or not isinstance(children[0], TextNode):
+        store = self._store
+        children = store.children(element)
+        if len(children) != 1 or store.node_kind(children[0]) != "text":
             self._report(
                 "5.1.1", path,
                 "a simple-typed element must have exactly one text child")
             return
         text = children[0]
-        self._seen.add(text.identifier)
+        self._mark_seen(text)
         self._check_text_node(text, element, path)
-        if not simple.validate(text.string_value()):
+        if not simple.validate(store.string_value(text)):
             self._report(
                 "5.1.1", path,
-                f"text {text.string_value()!r} is not a valid "
+                f"text {store.string_value(text)!r} is not a valid "
                 f"{simple.type_name}")
 
-    def _check_text_node(self, text: TextNode, parent: ElementNode,
+    def _check_text_node(self, text: Ref, parent: Ref,
                          path: str) -> None:
-        if text.parent_or_none() is not parent:
+        store = self._store
+        if not self._same_node(store.parent(text), parent):
             self._report("5.1.1", path, "text node's parent is wrong")
-        type_seq = text.type()
-        if not type_seq or type_seq.head() != UNTYPED_ATOMIC_NAME:
+        if store.type_name(text) != UNTYPED_ATOMIC_NAME:
             self._report(
                 "5.1.1", path,
                 "text node's type must be xdt:untypedAtomic")
@@ -235,19 +275,22 @@ class ConformanceChecker:
 
     # -- item 5.3.1 ---------------------------------------------------------
 
-    def _check_attributes(self, element: ElementNode,
-                          definition: "SimpleContentType | ComplexContentType",
-                          path: str) -> None:
+    def _check_attributes(
+            self, element: Ref,
+            definition: "SimpleContentType | ComplexContentType",
+            path: str) -> None:
+        store = self._store
         declared = dict(definition.attributes.items)
-        present: dict[str, AttributeNode] = {}
-        for attribute in element.attributes():
-            if not isinstance(attribute, AttributeNode):
+        present: dict[str, Ref] = {}
+        for attribute in store.attributes(element):
+            if store.node_kind(attribute) != "attribute":
                 self._report(
                     "5.3.1", path,
                     f"non-attribute node {attribute!r} in attributes()")
                 continue
-            self._seen.add(attribute.identifier)
-            local = attribute.name.local
+            self._mark_seen(attribute)
+            name = store.node_name(attribute)
+            local = name.local if name is not None else ""
             if local in present:
                 self._report("5.3.1", path,
                              f"duplicate attribute {local!r}")
@@ -262,26 +305,26 @@ class ConformanceChecker:
             return
         for local, attribute in present.items():
             type_ref = declared[local]
-            if attribute.parent_or_none() is not element:
+            if not self._same_node(store.parent(attribute), element):
                 self._report("5.3.1", path,
                              f"attribute {local!r} has the wrong parent")
             self._check_base_uri(attribute, path, item="5.3.1")
             expected_type = (type_ref.qname
                              if isinstance(type_ref, TypeName)
                              else ANY_TYPE_NAME)
-            type_seq = attribute.type()
-            if not type_seq or type_seq.head() != expected_type:
+            type_name = store.type_name(attribute)
+            if type_name != expected_type:
                 self._report(
                     "5.3.1", path,
                     f"attribute {local!r} type accessor must be "
                     f"{expected_type.lexical}")
             simple = self._schema.resolve(type_ref)
             if isinstance(simple, SimpleType) and not simple.validate(
-                    attribute.string_value()):
+                    store.string_value(attribute)):
                 self._report(
                     "5.3.1", path,
-                    f"attribute {local}={attribute.string_value()!r} is "
-                    f"not a valid {simple.type_name}")
+                    f"attribute {local}={store.string_value(attribute)!r} "
+                    f"is not a valid {simple.type_name}")
 
     # -- items 5.4.x ----------------------------------------------------------
 
@@ -292,14 +335,16 @@ class ConformanceChecker:
             self._content_models[id(group)] = model
         return model
 
-    def _check_complex_children(self, element: ElementNode,
+    def _check_complex_children(self, element: Ref,
                                 definition: ComplexContentType,
                                 path: str) -> None:
-        children = list(element.children())
-        texts = [c for c in children if isinstance(c, TextNode)]
-        elements = [c for c in children if isinstance(c, ElementNode)]
+        store = self._store
+        children = store.children(element)
+        texts = [c for c in children if store.node_kind(c) == "text"]
+        elements = [c for c in children
+                    if store.node_kind(c) == "element"]
         strays = [c for c in children
-                  if not isinstance(c, (TextNode, ElementNode))]
+                  if store.node_kind(c) not in ("text", "element")]
         for stray in strays:
             self._report(
                 "7", path, f"unexpected node {stray!r} among children")
@@ -318,7 +363,7 @@ class ConformanceChecker:
                         "5.4.1.1", path,
                         "empty mixed content allows at most one text node")
                 for text in texts:
-                    self._seen.add(text.identifier)
+                    self._mark_seen(text)
                     self._check_text_node(text, element, path)
             elif texts:
                 # 5.4.1.2.
@@ -331,12 +376,12 @@ class ConformanceChecker:
         if definition.mixed:
             # 5.4.2.2: no two adjacent text nodes.
             for first, second in zip(children, children[1:]):
-                if isinstance(first, TextNode) and isinstance(
-                        second, TextNode):
+                if store.node_kind(first) == "text" and \
+                        store.node_kind(second) == "text":
                     self._report(
                         "5.4.2.2", path, "adjacent text nodes")
             for text in texts:
-                self._seen.add(text.identifier)
+                self._mark_seen(text)
                 self._check_text_node(text, element, path)
         elif texts:
             # 5.4.2.1: children(end) = roots(ss) — no text at all.
@@ -346,12 +391,12 @@ class ConformanceChecker:
 
         # Item 5.4.2.3: the ss sequence decomposes per the group.
         model = self._content_model(group)
-        names = [e.name.local for e in elements]
+        names = [store.local_name(e) for e in elements]
         if not model.matches(names):
             self._report("5.4.2.3", path, model.explain(names))
         counters: dict[str, int] = {}
         for child in elements:
-            local = child.name.local
+            local = store.local_name(child)
             counters[local] = counters.get(local, 0) + 1
             child_path = f"{path}/{local}[{counters[local]}]"
             if not model.knows(local):
@@ -362,35 +407,38 @@ class ConformanceChecker:
 
     # -- item 7 ------------------------------------------------------------
 
-    def _check_no_other_nodes(self, document: Node) -> None:
+    def _check_no_other_nodes(self, document: Ref) -> None:
         """Item 7: every node reachable in the tree must be one the
         requirements demanded (i.e. visited by the checks above)."""
         if self._violations:
             # An invalid tree already fails; unvisited nodes below the
             # failure point would only produce noise.
             return
+        store = self._store
 
-        def walk(node: Node, path: str) -> None:
-            if node.identifier not in self._seen:
+        def walk(ref: Ref, path: str) -> None:
+            if store.node_key(ref) not in self._seen:
                 self._report(
                     "7", path,
-                    f"node {node!r} is not required by any requirement")
-            for attribute in node.attributes():
-                if attribute.identifier not in self._seen:
+                    f"node {ref!r} is not required by any requirement")
+            for attribute in store.attributes(ref):
+                if store.node_key(attribute) not in self._seen:
                     self._report(
                         "7", path, f"extra attribute node {attribute!r}")
-            for index, child in enumerate(node.children(), start=1):
+            for index, child in enumerate(store.children(ref), start=1):
                 walk(child, f"{path}/*[{index}]")
 
         walk(document, "")
 
 
-def check_conformance(document: DocumentNode,
+def check_conformance(document: "DocumentNode | NodeStore",
                       schema: DocumentSchema) -> list[Violation]:
-    """Convenience wrapper: all Section 6.2 violations of *document*."""
+    """Convenience wrapper: all Section 6.2 violations of *document*
+    (a tree node or any ``NodeStore``)."""
     return ConformanceChecker(schema).check(document)
 
 
-def conforms(document: DocumentNode, schema: DocumentSchema) -> bool:
+def conforms(document: "DocumentNode | NodeStore",
+             schema: DocumentSchema) -> bool:
     """True iff *document* is an S-tree for *schema*."""
     return ConformanceChecker(schema).conforms(document)

@@ -164,6 +164,15 @@ class StateAlgebra:
         if attribute._base_uri is None:
             attribute._base_uri = element._base_uri
 
+    def set_attribute_value(self, attribute: AttributeNode,
+                            value: str) -> None:
+        """Replace the string content of an attached attribute in place
+        (the update form of ``set_attribute``: same node identifier,
+        new ``string-value``)."""
+        if not self.owns(attribute):
+            raise AlgebraError("attribute belongs to a different algebra")
+        attribute._value = value
+
     @staticmethod
     def _children_list(parent: Node) -> list[Node]:
         if isinstance(parent, DocumentNode):

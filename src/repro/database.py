@@ -15,12 +15,13 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.errors import ReproError, StorageError
+from repro.errors import ReproError
 from repro.xmlio.nodes import XmlDocument
 from repro.xmlio.parser import parse_document
 from repro.xmlio.qname import QName
 from repro.xmlio.serializer import serialize_document
 from repro.xdm.node import DocumentNode, ElementNode, Node, TextNode
+from repro.xdm.store import TreeNodeStore, bisimulate
 from repro.algebra.conformance import ConformanceChecker, Violation
 from repro.algebra.state import StateAlgebra
 from repro.mapping.doc_to_tree import (
@@ -39,6 +40,7 @@ from repro.schema.ast import (
 from repro.xdm.node import ANY_TYPE_NAME
 from repro.xsdtypes.base import SimpleType
 from repro.storage.engine import NodeDescriptor, StorageEngine
+from repro.storage.store import StorageNodeStore
 
 
 class DatabaseError(ReproError):
@@ -57,6 +59,13 @@ class StoredDocument:
         self.engine = StorageEngine()
         self.engine.load_tree(tree)
         self._queries = StorageQueryEngine(self.engine)
+        #: The two accessor-protocol views of this document.
+        self.tree_store = TreeNodeStore(tree)
+        self.storage_store = StorageNodeStore(self.engine)
+        #: Persistent node↔descriptor correspondence, maintained at
+        #: mutation time (lookups are O(1); no positional re-walks).
+        self._descriptors: dict[Node, NodeDescriptor] = {}
+        self._build_correspondence()
         #: Number of state transitions this document has gone through.
         self.version = 0
 
@@ -96,29 +105,51 @@ class StoredDocument:
         return matches[0]
 
     def _descriptor_for(self, node: Node) -> NodeDescriptor:
-        """The storage descriptor of a tree node, located by its
-        positional root path (the two sides stay index-aligned)."""
-        steps: list[int] = []
-        current = node
-        parent = current.parent_or_none()
-        while parent is not None:
-            children = [c for c in parent.children()]
-            steps.append(next(i for i, c in enumerate(children)
-                              if c is current))
-            current = parent
-            parent = current.parent_or_none()
-        steps.reverse()
-        descriptor = self.engine.document
-        if descriptor is None:  # pragma: no cover - engine always loaded
+        """The storage descriptor of a tree node: one dictionary
+        lookup in the persistent correspondence."""
+        try:
+            return self._descriptors[node]
+        except KeyError:
+            raise DatabaseError(
+                "tree and storage have diverged") from None
+
+    def _build_correspondence(self) -> None:
+        """Pair every tree node with its storage descriptor by one
+        parallel walk (element/text children positionally, attributes
+        by name); afterwards the map is maintained incrementally."""
+        document = self.engine.document
+        if document is None:  # pragma: no cover - engine always loaded
             raise DatabaseError("storage engine holds no document")
-        for index in steps:
-            children = self.engine.children(descriptor)
-            try:
-                descriptor = children[index]
-            except IndexError:
+        self._map_subtree(self.tree, document)
+
+    def _map_subtree(self, node: Node,
+                     descriptor: NodeDescriptor) -> None:
+        self._descriptors[node] = descriptor
+        stored_attrs = {self.engine.node_name(d).local: d
+                        for d in self.engine.attributes(descriptor)}
+        for attribute in node.attributes():
+            local = attribute.node_name().head().local
+            stored = stored_attrs.get(local)
+            if stored is None:
                 raise DatabaseError(
-                    "tree and storage have diverged") from None
-        return descriptor
+                    f"attribute {local!r} has no storage descriptor")
+            self._descriptors[attribute] = stored
+        node_children = list(node.children())
+        stored_children = self.engine.children(descriptor)
+        if len(node_children) != len(stored_children):
+            raise DatabaseError(
+                f"child count differs under {node!r}")
+        for child, child_descriptor in zip(node_children,
+                                           stored_children):
+            self._map_subtree(child, child_descriptor)
+
+    def _forget_subtree(self, node: Node) -> None:
+        """Drop a deleted subtree's entries from the correspondence."""
+        self._descriptors.pop(node, None)
+        for attribute in node.attributes():
+            self._descriptors.pop(attribute, None)
+        for child in node.children():
+            self._forget_subtree(child)
 
     # -- updates ------------------------------------------------------------
 
@@ -132,7 +163,9 @@ class StoredDocument:
         element = self.algebra.create_element(qname)
         self._annotate_new_element(parent, element)
         self.algebra.insert_child(parent, index, element)
-        self.engine.insert_child(parent_descriptor, index, name=qname)
+        descriptor = self.engine.insert_child(parent_descriptor, index,
+                                              name=qname)
+        self._descriptors[element] = descriptor
         self.version += 1
         return element
 
@@ -203,7 +236,9 @@ class StoredDocument:
         parent_descriptor = self._descriptor_for(parent)
         node = self.algebra.create_text(text)
         self.algebra.insert_child(parent, index, node)
-        self.engine.insert_child(parent_descriptor, index, text=text)
+        descriptor = self.engine.insert_child(parent_descriptor, index,
+                                              text=text)
+        self._descriptors[node] = descriptor
         self.version += 1
         return node
 
@@ -212,22 +247,36 @@ class StoredDocument:
         subtree from both representations; returns nodes removed."""
         target = self._single_element(path)
         parent = target.parent_or_none()
-        if parent is None or isinstance(target.parent_or_none(),
-                                        DocumentNode):
+        # Only elements below the root element are deletable: the root
+        # element's parent is the document node, and a document must
+        # keep its single element child (Section 3).
+        if not isinstance(parent, ElementNode):
             raise DatabaseError("cannot delete the document root")
         descriptor = self._descriptor_for(target)
         removed = self.engine.delete_subtree(descriptor)
         self.algebra.remove_child(parent, target)
+        self._forget_subtree(target)
         self.version += 1
         return removed
 
     def set_attribute(self, path: str, name: str, value: str) -> None:
-        """Attach an attribute in both representations."""
+        """Set an attribute in both representations: attach it when
+        absent, replace its value in place when already present."""
         target = self._single_element(path)
         descriptor = self._descriptor_for(target)
-        attribute = self.algebra.create_attribute(QName("", name), value)
-        self.algebra.attach_attribute(target, attribute)
-        self.engine.set_attribute(descriptor, QName("", name), value)
+        qname = QName("", name)
+        existing = next((a for a in target.attributes()
+                         if a.name == qname), None)
+        if existing is not None:
+            self.algebra.set_attribute_value(existing, value)
+            self.engine.set_attribute(descriptor, qname, value,
+                                      replace=True)
+        else:
+            attribute = self.algebra.create_attribute(qname, value)
+            self.algebra.attach_attribute(target, attribute)
+            attr_descriptor = self.engine.set_attribute(descriptor,
+                                                        qname, value)
+            self._descriptors[attribute] = attr_descriptor
         self.version += 1
 
     # -- verification ---------------------------------------------------------
@@ -240,37 +289,10 @@ class StoredDocument:
         return ConformanceChecker(self.schema).check(self.tree)
 
     def verify_consistency(self) -> None:
-        """Assert the two representations agree node-for-node."""
+        """Assert the two representations agree node-for-node: the §9
+        invariants hold and the tree and storage views bisimulate."""
         self.engine.check_invariants()
-        root_descriptor = self.engine.children(self.engine.document)[0]
-        self._verify_node(self.tree.document_element(), root_descriptor)
-
-    def _verify_node(self, node: Node,
-                     descriptor: NodeDescriptor) -> None:
-        if node.node_kind() != self.engine.node_kind(descriptor):
-            raise StorageError(
-                f"kind mismatch at {node!r}: {node.node_kind()} vs "
-                f"{self.engine.node_kind(descriptor)}")
-        if isinstance(node, ElementNode):
-            if self.engine.node_name(descriptor) != node.name:
-                raise StorageError(f"name mismatch at {node!r}")
-            tree_attrs = {(a.node_name().head().local, a.string_value())
-                          for a in node.attributes()}
-            stored_attrs = {
-                (self.engine.node_name(d).local, d.value or "")
-                for d in self.engine.attributes(descriptor)}
-            if tree_attrs != stored_attrs:
-                raise StorageError(f"attribute mismatch at {node!r}")
-            node_children = list(node.children())
-            stored_children = self.engine.children(descriptor)
-            if len(node_children) != len(stored_children):
-                raise StorageError(f"child count mismatch at {node!r}")
-            for child, child_descriptor in zip(node_children,
-                                               stored_children):
-                self._verify_node(child, child_descriptor)
-        elif isinstance(node, TextNode):
-            if node.string_value() != (descriptor.value or ""):
-                raise StorageError(f"text mismatch at {node!r}")
+        bisimulate(self.tree_store, self.storage_store)
 
     def __repr__(self) -> str:
         return (f"StoredDocument({self.name!r}, version={self.version}, "

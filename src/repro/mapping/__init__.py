@@ -16,7 +16,12 @@ from repro.mapping.doc_to_tree import (
     document_to_tree,
     untyped_document_to_tree,
 )
-from repro.mapping.tree_to_doc import serialize_tree, tree_to_document
+from repro.mapping.tree_to_doc import (
+    serialize_store,
+    serialize_tree,
+    store_to_document,
+    tree_to_document,
+)
 
 __all__ = [
     "ContentDifference",
@@ -24,7 +29,9 @@ __all__ = [
     "content_difference",
     "content_equal",
     "document_to_tree",
+    "serialize_store",
     "serialize_tree",
+    "store_to_document",
     "tree_to_document",
     "untyped_document_to_tree",
 ]

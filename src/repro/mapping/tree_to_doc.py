@@ -4,6 +4,12 @@
 nodes become attributes, text nodes become character data.  Namespace
 declarations are synthesized minimally (a default declaration at the
 root when the tree's names carry a namespace URI).
+
+``g`` reads the document exclusively through the ten §5 accessors, so
+it is stated over the :class:`~repro.xdm.store.NodeStore` protocol
+(:func:`store_to_document`) and runs unchanged over the state-algebra
+tree and the Sedna storage; :func:`tree_to_document` is the tree
+specialization kept for the historical API.
 """
 
 from __future__ import annotations
@@ -12,38 +18,43 @@ from repro.errors import ModelError
 from repro.xmlio.nodes import XmlDocument, XmlElement, XmlText
 from repro.xmlio.qname import XSI_NAMESPACE, QName
 from repro.xmlio.serializer import serialize_document
-from repro.xdm.node import (
-    AttributeNode,
-    DocumentNode,
-    ElementNode,
-    Node,
-    TextNode,
-)
+from repro.xdm.node import DocumentNode, ElementNode
+from repro.xdm.store import NodeStore, Ref, as_node_store
 
 _XSI_NIL = QName(XSI_NAMESPACE, "nil", "xsi")
 
 
-def tree_to_document(node: "DocumentNode | ElementNode",
-                     emit_nil: bool = True) -> XmlDocument:
-    """The paper's ``g``: serialize a document tree to a raw document.
+def store_to_document(store: NodeStore, ref: Ref = None,
+                      emit_nil: bool = True) -> XmlDocument:
+    """The paper's ``g`` over any accessor-protocol model: serialize
+    the document (or element subtree) at *ref* to a raw document.
 
     ``emit_nil`` controls whether nilled elements get an explicit
     ``xsi:nil="true"`` attribute (needed for the round-trip theorem,
     since nilled-ness is otherwise invisible in the serialization).
     """
-    if isinstance(node, DocumentNode):
-        root_element = node.document_element()
-        base_uri_seq = node.base_uri()
-        base_uri = base_uri_seq.head() if base_uri_seq else None
-    elif isinstance(node, ElementNode):
-        root_element = node
+    if ref is None:
+        ref = store.root()
+    kind = store.node_kind(ref)
+    if kind == "document":
+        root_ref = store.document_element(ref)
+        base_uri = store.base_uri(ref)
+    elif kind == "element":
+        root_ref = ref
         base_uri = None
     else:
         raise ModelError("g expects a document or element node")
-    xml_root = _convert_element(root_element, emit_nil=emit_nil,
+    xml_root = _convert_element(store, root_ref, emit_nil=emit_nil,
                                 default_uri="")
-    _declare_namespaces(root_element, xml_root, emit_nil=emit_nil)
+    _declare_namespaces(store, root_ref, xml_root, emit_nil=emit_nil)
     return XmlDocument(xml_root, base_uri=base_uri)
+
+
+def tree_to_document(node: "DocumentNode | ElementNode",
+                     emit_nil: bool = True) -> XmlDocument:
+    """``g`` on the formal tree (the historical Node-typed API)."""
+    return store_to_document(as_node_store(node), node,
+                             emit_nil=emit_nil)
 
 
 def serialize_tree(node: "DocumentNode | ElementNode",
@@ -54,53 +65,69 @@ def serialize_tree(node: "DocumentNode | ElementNode",
                               indent=indent)
 
 
-def _convert_element(element: ElementNode, emit_nil: bool,
+def serialize_store(store: NodeStore, ref: Ref = None,
+                    indent: str | None = None,
+                    emit_nil: bool = True) -> str:
+    """``g`` over any store, composed with the textual serializer."""
+    return serialize_document(
+        store_to_document(store, ref, emit_nil=emit_nil), indent=indent)
+
+
+def _element_name(store: NodeStore, ref: Ref) -> QName:
+    name = store.node_name(ref)
+    if name is None:  # pragma: no cover - elements always carry names
+        raise ModelError(f"element reference {ref!r} has no name")
+    return name
+
+
+def _convert_element(store: NodeStore, ref: Ref, emit_nil: bool,
                      default_uri: str) -> XmlElement:
-    xml_element = XmlElement(element.name)
+    name = _element_name(store, ref)
+    xml_element = XmlElement(name)
     # An unprefixed name in a namespace needs the default declaration
     # wherever the in-scope default changes (XQuery-constructed trees
     # mix namespaces freely).
-    if not element.name.prefix and element.name.uri != default_uri:
-        xml_element.namespace_decls[""] = element.name.uri
-        default_uri = element.name.uri
-    for attribute in element.attributes():
-        if not isinstance(attribute, AttributeNode):  # pragma: no cover
-            raise ModelError(f"non-attribute {attribute!r} in attributes()")
-        xml_element.attributes[attribute.name] = attribute.string_value()
-    nilled = element.nilled()
-    if emit_nil and nilled and nilled.head():
+    if not name.prefix and name.uri != default_uri:
+        xml_element.namespace_decls[""] = name.uri
+        default_uri = name.uri
+    for attribute in store.attributes(ref):
+        xml_element.attributes[_element_name(store, attribute)] = \
+            store.string_value(attribute)
+    if emit_nil and store.nilled(ref):
         xml_element.attributes[_XSI_NIL] = "true"
-    for child in element.children():
-        xml_element.append(_convert_child(child, emit_nil, default_uri))
+    for child in store.children(ref):
+        xml_element.append(_convert_child(store, child, emit_nil,
+                                          default_uri))
     return xml_element
 
 
-def _convert_child(child: Node, emit_nil: bool, default_uri: str):
-    if isinstance(child, TextNode):
-        return XmlText(child.string_value())
-    if isinstance(child, ElementNode):
-        return _convert_element(child, emit_nil, default_uri)
-    raise ModelError(f"unexpected child node kind {child.node_kind()!r}")
+def _convert_child(store: NodeStore, child: Ref, emit_nil: bool,
+                   default_uri: str):
+    kind = store.node_kind(child)
+    if kind == "text":
+        return XmlText(store.string_value(child))
+    if kind == "element":
+        return _convert_element(store, child, emit_nil, default_uri)
+    raise ModelError(f"unexpected child node kind {kind!r}")
 
 
-def _declare_namespaces(root: ElementNode, xml_root: XmlElement,
-                        emit_nil: bool) -> None:
+def _declare_namespaces(store: NodeStore, root: Ref,
+                        xml_root: XmlElement, emit_nil: bool) -> None:
     """Synthesize the namespace declarations the serialization needs."""
     uris: dict[str, str] = {}
 
-    def visit(element: ElementNode) -> None:
-        name = element.name
+    def visit(ref: Ref) -> None:
+        name = _element_name(store, ref)
         if name.uri:
             uris.setdefault(name.uri, name.prefix)
-        for attribute in element.attributes():
-            attr_name = attribute.node_name().head()
+        for attribute in store.attributes(ref):
+            attr_name = _element_name(store, attribute)
             if attr_name.uri:
                 uris.setdefault(attr_name.uri, attr_name.prefix or "ns")
-        nilled = element.nilled()
-        if emit_nil and nilled and nilled.head():
+        if emit_nil and store.nilled(ref):
             uris.setdefault(XSI_NAMESPACE, "xsi")
-        for child in element.children():
-            if isinstance(child, ElementNode):
+        for child in store.children(ref):
+            if store.node_kind(child) == "element":
                 visit(child)
 
     visit(root)

@@ -2,6 +2,7 @@
 
 from repro.order.document_order import (
     DocumentOrderIndex,
+    StoreOrderIndex,
     before,
     compare,
     document_order,
@@ -9,11 +10,14 @@ from repro.order.document_order import (
     iter_document_order,
     iter_subtree_elements,
     iter_subtree_elements_reversed,
+    store_document_order,
     tree_before,
 )
 
 __all__ = [
     "DocumentOrderIndex",
+    "StoreOrderIndex",
+    "store_document_order",
     "before",
     "compare",
     "document_order",

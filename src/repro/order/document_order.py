@@ -12,23 +12,66 @@ Three implementations are provided, all agreeing:
 * :func:`before` — a pure structural comparison that walks parent
   chains (no precomputation), the baseline the numbering-scheme
   benchmarks compare against.
+
+The traversal and the precomputed index are stated over the
+:class:`~repro.xdm.store.NodeStore` protocol
+(:func:`store_document_order`, :class:`StoreOrderIndex`), so they run
+unchanged over the state-algebra tree and the Sedna storage; the
+Node-typed functions below are the tree specializations kept for the
+historical API.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Hashable, Iterator
 
 from repro.errors import ModelError
 from repro.xdm.node import AttributeNode, Node
+from repro.xdm.store import TREE_STORE, NodeStore, Ref
+
+
+def store_document_order(store: NodeStore,
+                         root: Ref = None) -> list[Ref]:
+    """The document-ordered reference list of (the subtree at) *root*
+    in *store* — the §7 traversal over any accessor-protocol model."""
+    return list(store.iter_document_order(root))
+
+
+class StoreOrderIndex:
+    """Precomputed positions for O(1) document-order comparison over
+    any :class:`NodeStore` (positions are keyed on the store's stable
+    node keys)."""
+
+    def __init__(self, store: NodeStore, root: Ref = None) -> None:
+        self._store = store
+        self._positions: dict[Hashable, int] = {
+            store.node_key(ref): position
+            for position, ref in enumerate(
+                store.iter_document_order(root))}
+
+    def position(self, ref: Ref) -> int:
+        try:
+            return self._positions[self._store.node_key(ref)]
+        except KeyError:
+            raise ModelError(f"{ref!r} is not in the indexed tree") \
+                from None
+
+    def before(self, first: Ref, second: Ref) -> bool:
+        return self.position(first) < self.position(second)
+
+    def compare(self, first: Ref, second: Ref) -> int:
+        delta = self.position(first) - self.position(second)
+        if delta == 0:
+            return 0
+        return -1 if delta < 0 else 1
+
+    def __len__(self) -> int:
+        return len(self._positions)
 
 
 def iter_document_order(root: Node) -> Iterator[Node]:
     """All nodes of the tree rooted at *root*, in document order."""
-    yield root
-    for attribute in root.attributes():
-        yield attribute
-    for child in root.children():
-        yield from iter_document_order(child)
+    return TREE_STORE.iter_document_order(root)
 
 
 def document_order(root: Node) -> list[Node]:
@@ -109,32 +152,12 @@ def compare(first: Node, second: Node) -> int:
     return -1 if before(first, second) else 1
 
 
-class DocumentOrderIndex:
-    """Precomputed positions for O(1) document-order comparison."""
+class DocumentOrderIndex(StoreOrderIndex):
+    """Precomputed positions for O(1) document-order comparison — the
+    tree specialization of :class:`StoreOrderIndex`."""
 
     def __init__(self, root: Node) -> None:
-        self._positions: dict[Node, int] = {
-            node: position
-            for position, node in enumerate(iter_document_order(root))}
-
-    def position(self, node: Node) -> int:
-        try:
-            return self._positions[node]
-        except KeyError:
-            raise ModelError(f"{node!r} is not in the indexed tree") \
-                from None
-
-    def before(self, first: Node, second: Node) -> bool:
-        return self.position(first) < self.position(second)
-
-    def compare(self, first: Node, second: Node) -> int:
-        delta = self.position(first) - self.position(second)
-        if delta == 0:
-            return 0
-        return -1 if delta < 0 else 1
-
-    def __len__(self) -> int:
-        return len(self._positions)
+        super().__init__(TREE_STORE, root)
 
 
 def tree_before(first: Node, second: Node) -> bool:

@@ -13,7 +13,12 @@ from repro.query.cache import (
     clear_parse_cache,
     parse_cache_stats,
 )
-from repro.query.engine import StorageQueryEngine, evaluate_tree
+from repro.query.engine import (
+    StorageQueryEngine,
+    evaluate_store,
+    evaluate_tree,
+    navigate_steps,
+)
 from repro.query.paths import Path, Step, parse_path
 from repro.query.planner import (
     CompiledPlan,
@@ -35,7 +40,9 @@ __all__ = [
     "cached_parse_path",
     "clear_parse_cache",
     "compile_plan",
+    "evaluate_store",
     "evaluate_tree",
+    "navigate_steps",
     "match_schema_nodes",
     "parse_cache_stats",
     "parse_path",

@@ -1,11 +1,15 @@
 """Path evaluation over both representations of a document.
 
-Three evaluators answer the same path queries:
+The navigational semantics is written **once**, against the
+:class:`~repro.xdm.store.NodeStore` accessor protocol
+(:func:`evaluate_store`); the representations differ only in which
+store interprets the node references:
 
-* :func:`evaluate_tree` — over the formal node model, by per-step
-  traversal (the semantics reference);
-* :meth:`StorageQueryEngine.evaluate_naive` — over the Sedna storage,
-  also by traversal (descriptor-chasing baseline);
+* :func:`evaluate_tree` — the formal node model, via
+  :class:`~repro.xdm.store.TreeNodeStore` (the semantics reference);
+* :meth:`StorageQueryEngine.evaluate_naive` — the Sedna storage, via
+  :class:`~repro.storage.store.StorageNodeStore` (descriptor-chasing
+  baseline);
 * :meth:`StorageQueryEngine.evaluate_schema_driven` — Sedna's trick:
   match the path against the *descriptive schema* first, then scan the
   blocks of only the matching schema nodes, in document order, with no
@@ -20,9 +24,11 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.xdm.node import AttributeNode, ElementNode, Node, TextNode
+from repro.xdm.node import Node
+from repro.xdm.store import TREE_STORE, NodeStore, Ref
 from repro.storage.dschema import SchemaNode
 from repro.storage.engine import NodeDescriptor, StorageEngine
+from repro.storage.store import StorageNodeStore
 from repro.query.cache import (
     PLAN_CACHE_CAPACITY,
     cached_parse_path,
@@ -56,36 +62,46 @@ def _as_path_uncached(path: "Path | str") -> Path:
 
 
 # ----------------------------------------------------------------------
-# Evaluation over the formal node model
+# The one navigational semantics, over any NodeStore
 
 
-def evaluate_tree(root: Node, path: "Path | str") -> list[Node]:
-    """Evaluate *path* against a tree; *root* is the document node (or
-    the element standing in for it).
+def evaluate_store(store: NodeStore, path: "Path | str",
+                   root: Ref = None) -> list[Ref]:
+    """Evaluate *path* over *store*, starting at *root* (default: the
+    store's document reference).
 
     Predicates are applied per context node, so ``book[2]`` means "the
     second book child of each parent", as in XPath.
     """
     path = _as_path(path)
-    current: list[Node] = [root]
-    for step in path.steps:
-        bucket: list[Node] = []
-        seen: set[int] = set()
-        for node in current:
+    if root is None:
+        root = store.root()
+    return navigate_steps(store, [root], path.steps)
+
+
+def navigate_steps(store: NodeStore, current: list[Ref],
+                   steps: "tuple[Step, ...]") -> list[Ref]:
+    """Per-step navigation from the *current* context references,
+    deduplicated on the store's stable node keys."""
+    for step in steps:
+        bucket: list[Ref] = []
+        seen: set = set()
+        for ref in current:
             matched = [candidate
-                       for candidate in _step_candidates(node, step)
-                       if _step_accepts(candidate, step)]
-            for candidate in _apply_tree_predicates(matched,
-                                                    step.predicates):
-                if candidate.identifier not in seen:
-                    seen.add(candidate.identifier)
+                       for candidate in _step_candidates(store, ref, step)
+                       if _step_accepts(store, candidate, step)]
+            for candidate in apply_step_predicates(store, matched,
+                                                   step.predicates):
+                key = store.node_key(candidate)
+                if key not in seen:
+                    seen.add(key)
                     bucket.append(candidate)
         current = bucket
     return current
 
 
-def _apply_tree_predicates(candidates: list[Node],
-                           predicates) -> list[Node]:
+def apply_step_predicates(store: NodeStore, candidates: list[Ref],
+                          predicates) -> list[Ref]:
     for predicate in predicates:
         if isinstance(predicate, PositionPredicate):
             if predicate.index is None:
@@ -95,57 +111,60 @@ def _apply_tree_predicates(candidates: list[Node],
             else:
                 candidates = []
         else:
-            candidates = [node for node in candidates
-                          if _tree_test_holds(node, predicate)]
+            candidates = [ref for ref in candidates
+                          if predicate_holds(store, ref, predicate)]
     return candidates
 
 
-def _tree_test_holds(node: Node, predicate) -> bool:
+def predicate_holds(store: NodeStore, ref: Ref, predicate) -> bool:
     if isinstance(predicate, AttributePredicate):
-        for attribute in node.attributes():
-            if attribute.node_name().head().local == predicate.name:
+        for attribute in store.attributes(ref):
+            if store.local_name(attribute) == predicate.name:
                 return (predicate.value is None
-                        or attribute.string_value() == predicate.value)
+                        or store.string_value(attribute)
+                        == predicate.value)
         return False
     if isinstance(predicate, ChildPredicate):
-        for child in node.children():
-            names = child.node_name()
-            if names and names.head().local == predicate.name:
+        for child in store.children(ref):
+            if store.local_name(child) == predicate.name:
                 if (predicate.value is None
-                        or child.string_value() == predicate.value):
+                        or store.string_value(child) == predicate.value):
                     return True
         return False
     raise TypeError(f"unknown predicate {predicate!r}")
 
 
-def _step_candidates(node: Node, step: Step) -> Iterator[Node]:
+def _step_candidates(store: NodeStore, ref: Ref,
+                     step: Step) -> Iterator[Ref]:
     if step.axis == "child":
         if step.kind == "attribute":
-            yield from node.attributes()
+            yield from store.attributes(ref)
         else:
-            yield from node.children()
+            yield from store.children(ref)
     else:  # descendant-or-self
-        yield from _descendants(node)
+        yield from store.descendants_of(ref)
 
 
-def _descendants(node: Node) -> Iterator[Node]:
-    yield node
-    for attribute in node.attributes():
-        yield attribute
-    for child in node.children():
-        yield from _descendants(child)
-
-
-def _step_accepts(node: Node, step: Step) -> bool:
+def _step_accepts(store: NodeStore, ref: Ref, step: Step) -> bool:
+    kind = store.node_kind(ref)
     if step.kind == "text":
-        return isinstance(node, TextNode)
+        return kind == "text"
     if step.kind == "attribute":
-        if not isinstance(node, AttributeNode):
-            return False
-        return step.matches_name(node.name.local)
-    if not isinstance(node, ElementNode):
+        return (kind == "attribute"
+                and step.matches_name(store.local_name(ref)))
+    if kind != "element":
         return False
-    return step.matches_name(node.name.local)
+    return step.matches_name(store.local_name(ref))
+
+
+# ----------------------------------------------------------------------
+# Evaluation over the formal node model
+
+
+def evaluate_tree(root: Node, path: "Path | str") -> list[Node]:
+    """Evaluate *path* against a tree; *root* is the document node (or
+    the element standing in for it)."""
+    return evaluate_store(TREE_STORE, path, root)
 
 
 # ----------------------------------------------------------------------
@@ -166,11 +185,17 @@ class StorageQueryEngine:
     def __init__(self, engine: StorageEngine,
                  plan_cache_capacity: int = PLAN_CACHE_CAPACITY) -> None:
         self._engine = engine
+        self._store = StorageNodeStore(engine)
         self._planner = QueryPlanner(engine, plan_cache_capacity)
 
     @property
     def engine(self) -> StorageEngine:
         return self._engine
+
+    @property
+    def store(self) -> StorageNodeStore:
+        """The accessor-protocol view of the underlying engine."""
+        return self._store
 
     # -- compiled-plan entry points -------------------------------------
 
@@ -206,93 +231,21 @@ class StorageQueryEngine:
 
     def evaluate_naive(self, path: "Path | str") -> list[NodeDescriptor]:
         path = _as_path_uncached(path)
-        engine = self._engine
-        if engine.document is None:
+        if self._engine.document is None:
             return []
-        return self._navigate_steps([engine.document], path.steps)
+        return evaluate_store(self._store, path)
 
     def _navigate_steps(self, current: list[NodeDescriptor],
                         steps: "tuple[Step, ...]"
                         ) -> list[NodeDescriptor]:
-        """Per-step navigation from *current* context descriptors.
-
-        Deduplication is keyed on the stable label symbols (labels are
-        unique per document, Section 9.3), not on transient ``id()``s.
-        """
-        for step in steps:
-            bucket: list[NodeDescriptor] = []
-            seen: set[tuple[int, ...]] = set()
-            for descriptor in current:
-                matched = [candidate
-                           for candidate in self._step_candidates(
-                               descriptor, step)
-                           if self._step_accepts(candidate, step)]
-                for candidate in self._apply_predicates(
-                        matched, step.predicates):
-                    key = candidate.nid.symbols()
-                    if key not in seen:
-                        seen.add(key)
-                        bucket.append(candidate)
-            current = bucket
-        return current
-
-    def _apply_predicates(self, candidates: list[NodeDescriptor],
-                          predicates) -> list[NodeDescriptor]:
-        for predicate in predicates:
-            if isinstance(predicate, PositionPredicate):
-                if predicate.index is None:
-                    candidates = candidates[-1:]
-                elif predicate.index <= len(candidates):
-                    candidates = [candidates[predicate.index - 1]]
-                else:
-                    candidates = []
-            else:
-                candidates = [descriptor for descriptor in candidates
-                              if self._test_holds(descriptor, predicate)]
-        return candidates
+        """Per-step navigation from *current* context descriptors —
+        the shared protocol navigation, deduplicated on the stable
+        label symbols (unique per document, Section 9.3)."""
+        return navigate_steps(self._store, current, steps)
 
     def _test_holds(self, descriptor: NodeDescriptor,
                     predicate) -> bool:
-        engine = self._engine
-        if isinstance(predicate, AttributePredicate):
-            for attribute in engine.attributes(descriptor):
-                if attribute.schema_node.name.local == predicate.name:
-                    return (predicate.value is None
-                            or attribute.value == predicate.value)
-            return False
-        if isinstance(predicate, ChildPredicate):
-            for child in engine.children(descriptor):
-                name = child.schema_node.name
-                if name is not None and name.local == predicate.name:
-                    if (predicate.value is None
-                            or engine.string_value(child)
-                            == predicate.value):
-                        return True
-            return False
-        raise TypeError(f"unknown predicate {predicate!r}")
-
-    def _step_candidates(self, descriptor: NodeDescriptor,
-                         step: Step) -> Iterator[NodeDescriptor]:
-        engine = self._engine
-        if step.axis == "child":
-            if step.kind == "attribute":
-                yield from engine.attributes(descriptor)
-            else:
-                yield from engine.children(descriptor)
-        else:
-            yield from engine.iter_document_order(descriptor)
-
-    @staticmethod
-    def _step_accepts(descriptor: NodeDescriptor, step: Step) -> bool:
-        node_type = descriptor.node_type
-        if step.kind == "text":
-            return node_type == "text"
-        if step.kind == "attribute":
-            return (node_type == "attribute"
-                    and step.matches_name(descriptor.schema_node.name.local))
-        if node_type != "element":
-            return False
-        return step.matches_name(descriptor.schema_node.name.local)
+        return predicate_holds(self._store, descriptor, predicate)
 
     # -- Sedna's way: match the descriptive schema first -----------------
 

@@ -14,6 +14,11 @@ from repro.storage.descriptor import (
 from repro.storage.dschema import DescriptiveSchema, SchemaNode
 from repro.storage.engine import StorageEngine
 from repro.storage.persist import dump_engine, dumps_engine, load_engine
+from repro.storage.store import (
+    StorageNodeStore,
+    TypeAnnotation,
+    schema_type_annotations,
+)
 from repro.storage.labels import (
     NidLabel,
     NumberingScheme,
@@ -37,6 +42,9 @@ __all__ = [
     "SHORT_POINTER_BYTES",
     "SchemaNode",
     "StorageEngine",
+    "StorageNodeStore",
+    "TypeAnnotation",
+    "schema_type_annotations",
     "dump_engine",
     "dumps_engine",
     "load_engine",

@@ -418,13 +418,26 @@ class StorageEngine:
         return descriptor
 
     def set_attribute(self, parent: NodeDescriptor, name: QName,
-                      value: str) -> NodeDescriptor:
-        """Attach an attribute descriptor (one per name per element)."""
+                      value: str,
+                      replace: bool = False) -> NodeDescriptor:
+        """Attach an attribute descriptor (one per name per element).
+
+        With ``replace=True`` an already-present attribute of the same
+        name has its value overwritten in place — the descriptor keeps
+        its label and block slot, so no relabeling and no block motion
+        (Proposition 1 extends to value updates).  Without it, a
+        duplicate raises.
+        """
         schema_node = self.schema.get_or_add_child(
             parent.schema_node, name, "attribute")
         index = parent.schema_node.child_index(schema_node)
-        if parent.first_child_for(index) is not None:
-            raise StorageError(f"attribute {name.lexical} already present")
+        existing = parent.first_child_for(index)
+        if existing is not None:
+            if not replace:
+                raise StorageError(
+                    f"attribute {name.lexical} already present")
+            existing.value = value
+            return existing
         children = self._children_of(parent)
         right = children[0] if children else None
         existing = self.attributes(parent)

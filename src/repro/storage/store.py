@@ -1,0 +1,229 @@
+"""The Sedna interpretation of the :class:`~repro.xdm.store.NodeStore`
+protocol: node references are :class:`NodeDescriptor` objects.
+
+Every accessor is answered from descriptor + schema-node data alone —
+the claim of Section 9.2 — by delegating to the
+:class:`~repro.storage.engine.StorageEngine` accessor methods.  The
+``type`` and ``typed-value`` accessors extend the same idea to the
+typed model: a document path determines its schema path (§9.1) and a
+document schema assigns types by path (§2/§6.2 item 4), so one type
+annotation *per descriptive-schema node* — computed once by
+:func:`schema_type_annotations` — types every instance descriptor,
+with no per-node PSVI stored at all.  Without annotations the store
+presents the untyped view (``xs:anyType`` elements,
+``xdt:untypedAtomic`` leaves), which is exactly what an untyped state
+algebra tree of the same document presents.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import ModelError
+from repro.xmlio.qname import QName
+from repro.xsdtypes.base import AtomicValue, SimpleType, UNTYPED_ATOMIC
+from repro.xsdtypes.sequence import Sequence
+from repro.xdm.node import ANY_TYPE_NAME, UNTYPED_ATOMIC_NAME
+from repro.xdm.store import NodeStore
+from repro.schema.ast import (
+    ComplexContentType,
+    DocumentSchema,
+    SimpleContentType,
+    TypeName,
+)
+from repro.storage.descriptor import NodeDescriptor
+from repro.storage.dschema import SchemaNode
+from repro.storage.engine import StorageEngine
+from repro.storage.labels import before as nid_before
+
+
+class TypeAnnotation:
+    """The §6.2 item-4 typing of one descriptive-schema node: the type
+    accessor value plus the simple type (if any) driving typed-value."""
+
+    __slots__ = ("type_name", "simple_type")
+
+    def __init__(self, type_name: QName,
+                 simple_type: "SimpleType | None" = None) -> None:
+        self.type_name = type_name
+        self.simple_type = simple_type
+
+    def __repr__(self) -> str:
+        return f"TypeAnnotation({self.type_name.lexical})"
+
+
+def schema_type_annotations(engine: StorageEngine,
+                            schema: DocumentSchema
+                            ) -> dict[SchemaNode, TypeAnnotation]:
+    """Type every descriptive-schema node from the document schema.
+
+    Walks the descriptive schema (one node per document path, §9.1)
+    alongside the schema's declarations (which assign types by path)
+    and returns the annotation map the :class:`StorageNodeStore` uses
+    to answer ``type`` and ``typed-value``.  Paths the schema does not
+    declare stay unannotated and present the untyped view.
+    """
+    annotations: dict[SchemaNode, TypeAnnotation] = {}
+    root_declaration = schema.root_element
+    for schema_child in engine.schema.root.element_children():
+        if (schema_child.name is not None
+                and schema_child.name.local == root_declaration.name):
+            _annotate_schema_node(schema_child, root_declaration.type,
+                                  schema, annotations)
+    return annotations
+
+
+def _annotate_schema_node(node: SchemaNode, type_ref,
+                          schema: DocumentSchema,
+                          annotations: dict[SchemaNode, TypeAnnotation]
+                          ) -> None:
+    type_name = (type_ref.qname if isinstance(type_ref, TypeName)
+                 else ANY_TYPE_NAME)
+    resolved = schema.resolve(type_ref)
+    simple: SimpleType | None = None
+    if isinstance(resolved, SimpleType):
+        simple = resolved
+    elif isinstance(resolved, SimpleContentType):
+        base = schema.resolve(resolved.base)
+        if isinstance(base, SimpleType):
+            simple = base
+    annotations[node] = TypeAnnotation(type_name, simple)
+    if isinstance(resolved, (SimpleContentType, ComplexContentType)):
+        declared_attributes = dict(resolved.attributes.items)
+        for attr_node in node.attribute_children():
+            local = attr_node.name.local if attr_node.name else None
+            attr_ref = declared_attributes.get(local)
+            if attr_ref is None:
+                continue
+            attr_type = (attr_ref.qname
+                         if isinstance(attr_ref, TypeName)
+                         else ANY_TYPE_NAME)
+            attr_simple = schema.resolve(attr_ref)
+            annotations[attr_node] = TypeAnnotation(
+                attr_type,
+                attr_simple if isinstance(attr_simple, SimpleType)
+                else None)
+    if not isinstance(resolved, ComplexContentType) or \
+            resolved.group is None:
+        return
+    declarations = {eld.name: eld
+                    for eld in resolved.group.element_declarations()}
+    for child in node.element_children():
+        local = child.name.local if child.name else None
+        declaration = declarations.get(local)
+        if declaration is not None:
+            _annotate_schema_node(child, declaration.type, schema,
+                                  annotations)
+
+
+class StorageNodeStore(NodeStore):
+    """Refs are node descriptors; accessors read descriptor + schema
+    node (+ the shared per-schema-node type annotations, when given).
+    """
+
+    def __init__(self, engine: StorageEngine,
+                 annotations: "dict[SchemaNode, TypeAnnotation] | None"
+                 = None,
+                 document_uri: str | None = None) -> None:
+        self._engine = engine
+        self._annotations = annotations or {}
+        self._document_uri = document_uri
+
+    @property
+    def engine(self) -> StorageEngine:
+        return self._engine
+
+    @classmethod
+    def typed(cls, engine: StorageEngine, schema: DocumentSchema,
+              document_uri: str | None = None) -> "StorageNodeStore":
+        """A store presenting the typed (§6.2) accessor view."""
+        return cls(engine, schema_type_annotations(engine, schema),
+                   document_uri=document_uri)
+
+    def _annotation_of(self, ref: NodeDescriptor
+                       ) -> "TypeAnnotation | None":
+        return self._annotations.get(ref.schema_node)
+
+    # -- the ten accessors ---------------------------------------------
+
+    def node_kind(self, ref: NodeDescriptor) -> str:
+        return ref.node_type
+
+    def node_name(self, ref: NodeDescriptor) -> Optional[QName]:
+        return ref.schema_node.name
+
+    def parent(self, ref: NodeDescriptor) -> Optional[NodeDescriptor]:
+        return ref.parent
+
+    def string_value(self, ref: NodeDescriptor) -> str:
+        return self._engine.string_value(ref)
+
+    def typed_value(self, ref: NodeDescriptor) -> Sequence[AtomicValue]:
+        kind = ref.node_type
+        if kind in ("text", "document"):
+            return Sequence.of(
+                AtomicValue(self.string_value(ref), UNTYPED_ATOMIC))
+        annotation = self._annotation_of(ref)
+        if annotation is not None and annotation.simple_type is not None:
+            return Sequence(
+                annotation.simple_type.typed_value(self.string_value(ref)))
+        if kind == "element" and annotation is not None \
+                and annotation.type_name != ANY_TYPE_NAME \
+                and any(child.node_type == "element"
+                        for child in self.children(ref)):
+            raise ModelError(
+                f"element {self.local_name(ref)} has element-only "
+                "content; its typed value is undefined")
+        return Sequence.of(
+            AtomicValue(self.string_value(ref), UNTYPED_ATOMIC))
+
+    def type_name(self, ref: NodeDescriptor) -> Optional[QName]:
+        kind = ref.node_type
+        if kind == "document":
+            return None
+        if kind == "text":
+            return UNTYPED_ATOMIC_NAME
+        annotation = self._annotation_of(ref)
+        if annotation is not None:
+            return annotation.type_name
+        return (ANY_TYPE_NAME if kind == "element"
+                else UNTYPED_ATOMIC_NAME)
+
+    def children(self, ref: NodeDescriptor) -> list[NodeDescriptor]:
+        return self._engine.children(ref)
+
+    def attributes(self, ref: NodeDescriptor) -> list[NodeDescriptor]:
+        return self._engine.attributes(ref)
+
+    def base_uri(self, ref: NodeDescriptor) -> Optional[str]:
+        # §6.2: base-uri is inherited from the document downward, and
+        # the engine stores one document — so one URI covers all nodes.
+        return self._document_uri
+
+    def nilled(self, ref: NodeDescriptor) -> Optional[bool]:
+        # The physical store holds no xsi:nil PSVI; elements present
+        # the un-nilled value, other kinds the empty sequence.
+        return False if ref.node_type == "element" else None
+
+    # -- navigation kernel ---------------------------------------------
+
+    def root(self) -> NodeDescriptor:
+        document = self._engine.document
+        if document is None:
+            raise ModelError("storage engine holds no document")
+        return document
+
+    def iter_document_order(self, ref: "NodeDescriptor | None" = None
+                            ) -> Iterator[NodeDescriptor]:
+        yield from self._engine.iter_document_order(
+            ref if ref is not None else self.root())
+
+    def before(self, first: NodeDescriptor,
+               second: NodeDescriptor) -> bool:
+        return nid_before(first.nid, second.nid)
+
+    def node_key(self, ref: NodeDescriptor) -> tuple[int, ...]:
+        return ref.nid.symbols()
+
+    def owns_ref(self, obj: object) -> bool:
+        return isinstance(obj, NodeDescriptor)

@@ -15,6 +15,14 @@ from repro.xdm.node import (
     Node,
     TextNode,
 )
+from repro.xdm.store import (
+    TREE_STORE,
+    NodeStore,
+    TreeNodeStore,
+    as_node_store,
+    bisimulate,
+    stores_agree,
+)
 
 __all__ = [
     "ANY_TYPE_NAME",
@@ -23,6 +31,12 @@ __all__ = [
     "DocumentNode",
     "ElementNode",
     "Node",
+    "NodeStore",
     "TextNode",
+    "TREE_STORE",
+    "TreeNodeStore",
     "UNTYPED_ATOMIC_NAME",
+    "as_node_store",
+    "bisimulate",
+    "stores_agree",
 ]

@@ -6,7 +6,7 @@ wrappers, or plain Python scalars from literals.  The semantics is the
 conclusion sketches, built directly on the accessors:
 
 * paths delegate to :mod:`repro.query`;
-* atomization uses ``typed-value`` (via :mod:`repro.xdm.functions`);
+* atomization uses ``typed-value``;
 * general comparisons are existential over atomized operands, with
   untyped values compared numerically against numbers and as strings
   otherwise (a pragmatic subset of the XPath 2.0 rules);
@@ -14,26 +14,28 @@ conclusion sketches, built directly on the accessors:
   ``where``, sorts with ``order by`` and concatenates ``return`` results;
 * element constructors build *new* nodes in a fresh state algebra,
   deep-copying any node content (XQuery's copy semantics).
+
+The evaluator reads the context document exclusively through the
+:class:`~repro.xdm.store.NodeStore` protocol, so it runs unchanged
+over the state-algebra tree and the Sedna storage: pass a tree
+``Node`` (the historical API) or any ``NodeStore``.  Result sequences
+then contain the store's own references — tree nodes in one case,
+storage descriptors in the other — plus tree nodes for constructed
+content, and the evaluator dispatches per item on the owning store.
 """
 
 from __future__ import annotations
 
 from decimal import Decimal, InvalidOperation
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.errors import QueryError
 from repro.xmlio.qname import QName
-from repro.xdm import functions as fn
-from repro.xdm.node import (
-    AttributeNode,
-    DocumentNode,
-    ElementNode,
-    Node,
-    TextNode,
-)
+from repro.xdm.node import ElementNode, Node
+from repro.xdm.store import TREE_STORE, NodeStore, Ref, as_node_store
 from repro.xsdtypes.base import AtomicValue
 from repro.algebra.state import StateAlgebra
-from repro.query.engine import evaluate_tree
+from repro.query.engine import evaluate_store
 from repro.xquery.ast import (
     BooleanExpr,
     Comparison,
@@ -51,15 +53,16 @@ from repro.xquery.ast import (
 )
 from repro.xquery.parser import parse_query
 
-Item = object  # Node | AtomicValue | str | int | Decimal
+Item = object  # node reference | AtomicValue | str | int | Decimal
 Bindings = dict[str, list[Item]]
 
 
 class XQueryEvaluator:
-    """Evaluates queries against one context document."""
+    """Evaluates queries against one context document — a tree node or
+    any :class:`NodeStore`."""
 
-    def __init__(self, document: Node) -> None:
-        self._document = document
+    def __init__(self, document: "Node | NodeStore") -> None:
+        self._store = as_node_store(document)
         self._algebra = StateAlgebra()  # for constructed nodes
 
     def evaluate(self, query: "str | Expression") -> list[Item]:
@@ -67,22 +70,40 @@ class XQueryEvaluator:
                       else query)
         return self._eval(expression, {})
 
+    def evaluate_values(self, query: "str | Expression") -> list[str]:
+        """Like :meth:`evaluate` but stringifies every result item."""
+        return [self._string_of(item) for item in self.evaluate(query)]
+
     # ------------------------------------------------------------------
+
+    def _store_of(self, item: Item) -> Optional[NodeStore]:
+        """The store owning *item*, or None for atomic items.
+
+        Constructed and tree nodes belong to the tree interpretation;
+        anything the context store recognises (e.g. a storage
+        descriptor) belongs to the context store.
+        """
+        if isinstance(item, Node):
+            return TREE_STORE
+        if self._store.owns_ref(item):
+            return self._store
+        return None
 
     def _eval(self, expression: Expression,
               bindings: Bindings) -> list[Item]:
         if isinstance(expression, PathExpr):
-            return list(evaluate_tree(self._document, expression.path))
+            return list(evaluate_store(self._store, expression.path))
         if isinstance(expression, VarRef):
             return self._lookup(expression.name, bindings)
         if isinstance(expression, VarPath):
             out: list[Item] = []
             for item in self._lookup(expression.name, bindings):
-                if not isinstance(item, Node):
+                store = self._store_of(item)
+                if store is None:
                     raise QueryError(
                         f"${expression.name} holds a non-node; cannot "
                         "apply a path to it")
-                out.extend(evaluate_tree(item, expression.path))
+                out.extend(evaluate_store(store, expression.path, item))
             return out
         if isinstance(expression, Literal):
             return [expression.value]
@@ -130,7 +151,7 @@ class XQueryEvaluator:
             spec = flwor.order
 
             def key(env: Bindings):
-                return _order_key(self._eval(spec.key, env))
+                return self._order_key(self._eval(spec.key, env))
 
             materialized.sort(key=key, reverse=spec.descending)
         out: list[Item] = []
@@ -159,8 +180,9 @@ class XQueryEvaluator:
 
     def _compare(self, comparison: Comparison,
                  bindings: Bindings) -> bool:
-        left_items = _atomize(self._eval(comparison.left, bindings))
-        right_items = _atomize(self._eval(comparison.right, bindings))
+        left_items = self._atomize(self._eval(comparison.left, bindings))
+        right_items = self._atomize(self._eval(comparison.right,
+                                               bindings))
         op = comparison.operator
         for left in left_items:
             for right in right_items:
@@ -168,15 +190,14 @@ class XQueryEvaluator:
                     return True
         return False
 
-    @staticmethod
-    def _boolean(items: list[Item]) -> bool:
+    def _boolean(self, items: list[Item]) -> bool:
         """Effective boolean value: empty=false; single boolean as-is;
         a sequence starting with a node is true; else truthiness of
         the single atomic item."""
         if not items:
             return False
         first = items[0]
-        if isinstance(first, Node):
+        if self._store_of(first) is not None:
             return True
         if len(items) > 1:
             raise QueryError(
@@ -187,6 +208,37 @@ class XQueryEvaluator:
         if isinstance(first, AtomicValue):
             return bool(first.value)
         return bool(first)
+
+    # -- value helpers over the owning store ---------------------------------
+
+    def _atomize(self, items: list[Item]) -> list[object]:
+        out: list[object] = []
+        for item in items:
+            store = self._store_of(item)
+            if store is not None:
+                out.extend(atomic.value
+                           for atomic in store.typed_value(item))
+            elif isinstance(item, AtomicValue):
+                out.append(item.value)
+            else:
+                out.append(item)
+        return out
+
+    def _string_of(self, item: Item) -> str:
+        store = self._store_of(item)
+        if store is not None:
+            return store.string_value(item)
+        return _atomic_string(item)
+
+    def _order_key(self, items: list[Item]):
+        values = self._atomize(items)
+        if not values:
+            return (0, "")
+        value = values[0]
+        number = _as_number(value)
+        if number is not None and not isinstance(value, str):
+            return (1, number)
+        return (2, _atomic_string(value))  # type: ignore[arg-type]
 
     # -- functions -----------------------------------------------------------
 
@@ -211,13 +263,13 @@ class XQueryEvaluator:
             items = single()
             if not items:
                 return [""]
-            return [_string_of(items[0])]
+            return [self._string_of(items[0])]
         if call.name == "data":
-            return list(_atomize(single()))
+            return list(self._atomize(single()))
         if call.name == "distinct-values":
             seen: list[object] = []
             out: list[Item] = []
-            for value in _atomize(single()):
+            for value in self._atomize(single()):
                 if not any(value == other for other in seen):
                     seen.append(value)
                     out.append(value)
@@ -228,8 +280,8 @@ class XQueryEvaluator:
             separator = ""
             if len(arguments) == 2:
                 (separator_item,) = arguments[1]
-                separator = _string_of(separator_item)
-            return [separator.join(_string_of(item)
+                separator = self._string_of(separator_item)
+            return [separator.join(self._string_of(item)
                                    for item in arguments[0])]
         raise QueryError(f"unknown function {call.name}()")
 
@@ -246,36 +298,42 @@ class XQueryEvaluator:
 
     def _append_content(self, element: ElementNode, item: Item) -> None:
         algebra = self._algebra
-        if isinstance(item, ElementNode):
-            algebra.append_child(element, self._copy_element(item))
-        elif isinstance(item, TextNode):
-            algebra.append_child(element,
-                                 algebra.create_text(item.string_value()))
-        elif isinstance(item, AttributeNode):
-            attribute = algebra.create_attribute(
-                item.node_name().head(), item.string_value())
-            algebra.attach_attribute(element, attribute)
-        elif isinstance(item, DocumentNode):
+        store = self._store_of(item)
+        if store is None:
             algebra.append_child(
-                element, self._copy_element(item.document_element()))
-        else:
-            algebra.append_child(element,
-                                 algebra.create_text(_string_of(item)))
+                element, algebra.create_text(self._string_of(item)))
+            return
+        kind = store.node_kind(item)
+        if kind == "element":
+            algebra.append_child(element, self._copy_element(store, item))
+        elif kind == "text":
+            algebra.append_child(
+                element, algebra.create_text(store.string_value(item)))
+        elif kind == "attribute":
+            attribute = algebra.create_attribute(
+                store.node_name(item), store.string_value(item))
+            algebra.attach_attribute(element, attribute)
+        else:  # a document: its element content is copied
+            algebra.append_child(
+                element,
+                self._copy_element(store, store.document_element(item)))
 
-    def _copy_element(self, source: ElementNode) -> ElementNode:
+    def _copy_element(self, store: NodeStore, source: Ref) -> ElementNode:
         """Deep copy into the evaluator's algebra (XQuery node copy)."""
         algebra = self._algebra
-        element = algebra.create_element(source.name)
-        for attribute in source.attributes():
+        element = algebra.create_element(store.node_name(source))
+        for attribute in store.attributes(source):
             copy = algebra.create_attribute(
-                attribute.node_name().head(), attribute.string_value())
+                store.node_name(attribute), store.string_value(attribute))
             algebra.attach_attribute(element, copy)
-        for child in source.children():
-            if isinstance(child, ElementNode):
-                algebra.append_child(element, self._copy_element(child))
+        for child in store.children(source):
+            if store.node_kind(child) == "element":
+                algebra.append_child(element,
+                                     self._copy_element(store, child))
             else:
                 algebra.append_child(
-                    element, algebra.create_text(child.string_value()))
+                    element,
+                    algebra.create_text(store.string_value(child)))
         return element
 
 
@@ -283,19 +341,7 @@ class XQueryEvaluator:
 # Value helpers
 
 
-def _atomize(items: list[Item]) -> list[object]:
-    out: list[object] = []
-    for item in items:
-        if isinstance(item, Node):
-            out.extend(atomic.value for atomic in fn.data(item))
-        elif isinstance(item, AtomicValue):
-            out.append(item.value)
-        else:
-            out.append(item)
-    return out
-
-
-def _string_of(item: Item) -> str:
+def _atomic_string(item: Item) -> str:
     if isinstance(item, Node):
         return item.string_value()
     if isinstance(item, AtomicValue):
@@ -333,8 +379,8 @@ def _value_compare(left: object, right: object, op: str) -> bool:
             return False
         if op == "!=":
             return True
-    left_text = left if isinstance(left, str) else _string_of(left)
-    right_text = right if isinstance(right, str) else _string_of(right)
+    left_text = left if isinstance(left, str) else _atomic_string(left)
+    right_text = right if isinstance(right, str) else _atomic_string(right)
     return _apply(op, left_text, right_text)
 
 
@@ -352,22 +398,13 @@ def _apply(op: str, left, right) -> bool:
     return left >= right
 
 
-def _order_key(items: list[Item]):
-    values = _atomize(items)
-    if not values:
-        return (0, "")
-    value = values[0]
-    number = _as_number(value)
-    if number is not None and not isinstance(value, str):
-        return (1, number)
-    return (2, _string_of(value))  # type: ignore[arg-type]
-
-
-def execute(document: Node, query: str) -> list[Item]:
-    """Parse and evaluate *query* against *document*."""
+def execute(document: "Node | NodeStore", query: str) -> list[Item]:
+    """Parse and evaluate *query* against *document* (a tree node or
+    any ``NodeStore``)."""
     return XQueryEvaluator(document).evaluate(query)
 
 
-def execute_values(document: Node, query: str) -> list[str]:
+def execute_values(document: "Node | NodeStore",
+                   query: str) -> list[str]:
     """Like :func:`execute` but stringifies every result item."""
-    return [_string_of(item) for item in execute(document, query)]
+    return XQueryEvaluator(document).evaluate_values(query)

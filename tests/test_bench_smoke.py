@@ -32,6 +32,10 @@ def test_run_all_smoke_writes_report(tmp_path, capsys):
     # this with a wide margin, so the assertion is timing-safe).
     assert report["summary"]["speedup_2x_met"]
     assert report["summary"]["max_cached_vs_uncached"] >= 2.0
+    # Conformance checking runs over both NodeStore backends.
+    for record in report["conformance_records"]:
+        assert record["ops_tree_store"] > 0
+        assert record["ops_storage_store"] > 0
     capsys.readouterr()  # swallow the printed table
 
 
