@@ -25,8 +25,10 @@ import json
 import time
 from pathlib import Path
 
+from repro import obs
 from repro.algebra import ConformanceChecker
 from repro.mapping import document_to_tree
+from repro.numbering import SednaAdapter, UpdateWorkload
 from repro.query import StorageQueryEngine, clear_parse_cache
 from repro.schema import parse_schema
 from repro.storage import StorageEngine, StorageNodeStore
@@ -135,6 +137,55 @@ def run_conformance(scales=DEFAULT_SCALES, repeats=3, rounds=3):
     return records
 
 
+def run_metrics(scale=10, workload_operations=100):
+    """One instrumented (untimed) pass with observability on: the
+    benchmark queries evaluated cold + warm for their EXPLAIN records,
+    plus a Sedna-scheme update workload whose relabel counter the
+    report asserts is zero (Proposition 1)."""
+    obs.reset()
+    obs.enable()
+    try:
+        clear_parse_cache()
+        engine = StorageEngine()
+        engine.load_document(
+            make_library_document(books=scale, papers=scale, seed=scale))
+        queries = StorageQueryEngine(engine)
+        explains = []
+        for path in QUERY_PATHS:
+            queries.evaluate(path)   # cold: plan-cache miss
+            queries.evaluate(path)   # warm: plan-cache hit
+            explains.append(obs.EXPLAINS.last().as_dict())
+        stats = UpdateWorkload(operations=workload_operations,
+                               seed=0).run(SednaAdapter, verify=False)
+        snapshot = obs.snapshot()
+        return {
+            "scale": scale,
+            "registry": snapshot,
+            "query_explains": explains,
+            "numbering_workload": {
+                "scheme": stats.scheme,
+                "operations": stats.operations,
+                "inserts": stats.inserts,
+                "deletes": stats.deletes,
+                "relabels": stats.relabels,
+                "relabels_per_op": stats.relabels_per_op,
+            },
+        }
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def _print_metrics(metrics):
+    registry = metrics["registry"]
+    workload = metrics["numbering_workload"]
+    print(f"\nmetrics (observability pass, scale {metrics['scale']}):")
+    for name in sorted(registry):
+        print(f"  {name:44s} {registry[name]}")
+    print(f"  numbering workload: {workload['operations']} ops on "
+          f"{workload['scheme']} -> {workload['relabels']} relabels")
+
+
 def _print_table(records):
     header = (f"{'path':32} {'scale':>5} {'naive':>10} "
               f"{'schema':>10} {'cached':>10} {'speedup':>8}")
@@ -173,11 +224,15 @@ def main(argv=None):
         records = run(scales=SMOKE_SCALES, repeats=2, rounds=5)
         conformance = run_conformance(scales=SMOKE_SCALES,
                                       repeats=2, rounds=2)
+        metrics = run_metrics(scale=SMOKE_SCALES[0],
+                              workload_operations=50)
     else:
         records = run()
         conformance = run_conformance()
+        metrics = run_metrics(scale=100)
     _print_table(records)
     _print_conformance_table(conformance)
+    _print_metrics(metrics)
 
     if args.json or args.output is not None:
         output = args.output or \
@@ -188,6 +243,7 @@ def main(argv=None):
             "query_paths": list(QUERY_PATHS),
             "records": records,
             "conformance_records": conformance,
+            "metrics": metrics,
             "summary": {
                 "max_cached_vs_uncached": max(speedups),
                 "min_cached_vs_uncached": min(speedups),

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import ConformanceError
 from repro.xdm.node import (
     ANY_TYPE_NAME,
@@ -87,8 +88,16 @@ class ConformanceChecker:
         self._seen: set = set()
         if root is None:
             root = store.root()
-        self._check_document(root)
-        self._check_no_other_nodes(root)
+        if obs.ENABLED:
+            obs.REGISTRY.counter("conformance.documents_checked").inc()
+            with obs.TRACER.span("conformance.check"):
+                self._check_document(root)
+                self._check_no_other_nodes(root)
+            if self._violations:
+                obs.REGISTRY.counter("conformance.documents_failed").inc()
+        else:
+            self._check_document(root)
+            self._check_no_other_nodes(root)
         return self._violations
 
     def conforms(self, document: "DocumentNode | NodeStore") -> bool:
@@ -104,6 +113,19 @@ class ConformanceChecker:
 
     def _report(self, item: str, path: str, message: str) -> None:
         self._violations.append(Violation(item, path, message))
+        if obs.ENABLED:
+            # Failure sites keyed by the paper's top-level item number;
+            # the trace event keeps the exact sub-item and location.
+            top = item.split(".", 1)[0]
+            obs.REGISTRY.counter(
+                f"conformance.violations.item{top}").inc()
+            obs.TRACER.event("conformance.violation", item=item,
+                             path=path)
+
+    def _count_check(self, item: str) -> None:
+        """Count one evaluation of a Section 6.2 requirement."""
+        if obs.ENABLED:
+            obs.REGISTRY.counter(f"conformance.checks.item{item}").inc()
 
     def _mark_seen(self, ref: Ref) -> None:
         self._seen.add(self._store.node_key(ref))
@@ -111,6 +133,7 @@ class ConformanceChecker:
     def _check_document(self, document: Ref) -> None:
         store = self._store
         path = "/"
+        self._count_check("1")
         if store.node_kind(document) != "document":
             self._report("1", path, "the tree root is not a document node")
             return
@@ -130,6 +153,7 @@ class ConformanceChecker:
             self._report("1", path, "document node's parent must be empty")
         children = store.children(document)
         # Item 3: exactly one element child.
+        self._count_check("3")
         elements = [c for c in children
                     if store.node_kind(c) == "element"]
         if len(children) != 1 or len(elements) != 1:
@@ -159,6 +183,7 @@ class ConformanceChecker:
     def _check_element(self, element: Ref,
                        declaration: ElementDeclaration, path: str) -> None:
         store = self._store
+        self._count_check("4")
         if store.node_kind(element) != "element":
             self._report("4", path, "expected an element node")
             return
@@ -186,6 +211,7 @@ class ConformanceChecker:
 
         if not declaration.nillable:
             # Item 5: nid = false forces nilled(end) = false.
+            self._count_check("5")
             if nilled:
                 self._report(
                     "5", path,
@@ -194,6 +220,7 @@ class ConformanceChecker:
             self._check_content(element, resolved, path)
         else:
             # Item 6.
+            self._count_check("6")
             if nilled:
                 if store.children(element):
                     self._report(
@@ -414,6 +441,7 @@ class ConformanceChecker:
             # An invalid tree already fails; unvisited nodes below the
             # failure point would only produce noise.
             return
+        self._count_check("7")
         store = self._store
 
         def walk(ref: Ref, path: str) -> None:

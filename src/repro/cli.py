@@ -5,23 +5,30 @@ Usage::
     python -m repro validate SCHEMA.xsd DOCUMENT.xml
     python -m repro lint SCHEMA.xsd
     python -m repro normalize SCHEMA.xsd
-    python -m repro query DOCUMENT.xml PATH [--schema SCHEMA.xsd]
+    python -m repro query DOCUMENT.xml PATH [--schema SCHEMA.xsd] [--json]
     python -m repro xquery DOCUMENT.xml QUERY [--schema SCHEMA.xsd]
-    python -m repro inspect DOCUMENT.xml
+    python -m repro inspect DOCUMENT.xml [--json]
+    python -m repro stats DOCUMENT.xml [--path PATH ...] [--json]
+    python -m repro explain DOCUMENT.xml PATH [--json]
 
 ``validate`` applies the mapping f (Section 8) and reports the first
 Section 6.2 requirement the document violates; ``lint`` runs the
 static schema diagnostics; ``normalize`` prints the canonical form;
 ``query`` evaluates a path; ``inspect`` loads the document into the
-Sedna-style storage and prints its descriptive schema and statistics.
+Sedna-style storage and prints its descriptive schema and statistics;
+``stats`` loads (and optionally queries) with observability on and
+prints the metrics registry; ``explain`` evaluates a path twice —
+cold, then through the warmed plan cache — and reports both plans.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.errors import ReproError
 from repro.mapping.doc_to_tree import (
     document_to_tree,
@@ -35,6 +42,7 @@ from repro.schema.normalize import normalize_schema
 from repro.schema.parser import parse_schema
 from repro.schema.wellformed import lint_schema
 from repro.schema.writer import write_schema
+from repro.query.engine import StorageQueryEngine
 from repro.storage.engine import StorageEngine
 from repro.xmlio.parser import parse_document
 
@@ -76,8 +84,14 @@ def _cmd_query(args: argparse.Namespace) -> int:
         tree = document_to_tree(document, parse_schema(_read(args.schema)))
     else:
         tree = untyped_document_to_tree(document)
-    for node in evaluate_tree(tree, args.path):
-        print(node.string_value())
+    values = [node.string_value()
+              for node in evaluate_tree(tree, args.path)]
+    if args.json:
+        print(json.dumps({"path": args.path, "count": len(values),
+                          "values": values}, indent=2))
+        return 0
+    for value in values:
+        print(value)
     return 0
 
 
@@ -100,6 +114,19 @@ def _cmd_xquery(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     engine = StorageEngine()
     engine.load_document(parse_document(_read(args.document)))
+    if args.json:
+        print(json.dumps({
+            "document_nodes": engine.node_count(),
+            "schema_nodes": engine.schema.node_count(),
+            "blocks": engine.block_count(),
+            "modelled_bytes": engine.size_bytes(),
+            "descriptive_schema": [
+                {"path": path, "type": node_type,
+                 "descriptors":
+                     engine.schema.find_path(path).descriptor_count}
+                for path, node_type in engine.schema.paths()],
+        }, indent=2))
+        return 0
     print(f"document nodes:    {engine.node_count()}")
     print(f"schema nodes:      {engine.schema.node_count()}")
     print(f"blocks:            {engine.block_count()}")
@@ -110,6 +137,63 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
         print(f"  {path:44s} {node_type:9s} "
               f"x{schema_node.descriptor_count}")
     return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Load (and optionally query) with observability on, then print
+    every counter the instrumented layers recorded."""
+    obs.reset()
+    obs.enable()
+    try:
+        engine = StorageEngine()
+        engine.load_document(parse_document(_read(args.document)))
+        queries = StorageQueryEngine(engine)
+        for path in args.path or ():
+            queries.evaluate(path)
+        snapshot = obs.snapshot()
+        if args.json:
+            print(json.dumps({"document": args.document,
+                              "metrics": snapshot}, indent=2))
+            return 0
+        print(f"metrics for {args.document}:")
+        section = None
+        for name in sorted(snapshot):
+            prefix = name.split(".", 1)[0]
+            if prefix != section:
+                section = prefix
+                print(f"  [{section}]")
+            print(f"    {name:40s} {snapshot[name]}")
+        return 0
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Evaluate a path twice — a cold compile, then the warmed plan
+    cache — and report the EXPLAIN record of each run."""
+    obs.reset()
+    obs.enable()
+    try:
+        engine = StorageEngine()
+        engine.load_document(parse_document(_read(args.document)))
+        queries = StorageQueryEngine(engine)
+        queries.evaluate(args.path)
+        cold = obs.EXPLAINS.last()
+        queries.evaluate(args.path)
+        warm = obs.EXPLAINS.last()
+        if args.json:
+            print(json.dumps({"cold": cold.as_dict(),
+                              "warm": warm.as_dict()}, indent=2))
+            return 0
+        print("-- cold (first evaluation) --")
+        print(cold.render())
+        print("-- warm (plan cache hit) --")
+        print(warm.render())
+        return 0
+    finally:
+        obs.disable()
+        obs.reset()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -141,6 +225,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("path")
     query.add_argument("--schema", default=None,
                        help="validate and type the document first")
+    query.add_argument("--json", action="store_true",
+                       help="emit {path, count, values} as JSON")
     query.set_defaults(handler=_cmd_query)
 
     xquery = commands.add_parser(
@@ -154,7 +240,26 @@ def build_parser() -> argparse.ArgumentParser:
     inspect = commands.add_parser(
         "inspect", help="load into Sedna-style storage and report")
     inspect.add_argument("document")
+    inspect.add_argument("--json", action="store_true",
+                         help="emit the report as JSON")
     inspect.set_defaults(handler=_cmd_inspect)
+
+    stats = commands.add_parser(
+        "stats", help="load with observability on and print metrics")
+    stats.add_argument("document")
+    stats.add_argument("--path", action="append", default=None,
+                       help="also evaluate PATH (repeatable)")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the metrics snapshot as JSON")
+    stats.set_defaults(handler=_cmd_stats)
+
+    explain = commands.add_parser(
+        "explain", help="EXPLAIN a path query (cold + warm plan)")
+    explain.add_argument("document")
+    explain.add_argument("path")
+    explain.add_argument("--json", action="store_true",
+                         help="emit both EXPLAIN records as JSON")
+    explain.set_defaults(handler=_cmd_explain)
 
     return parser
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro import obs
 from repro.errors import LabelError
 
 
@@ -94,6 +95,21 @@ class NumberingBaseline:
     def __init__(self, tree: SimTree) -> None:
         self.tree = tree
         self.relabel_count = 0
+        if obs.ENABLED:
+            # Materialize the per-scheme relabel counter at zero so a
+            # scheme that never relabels (Proposition 1) still reports
+            # an explicit 0 in every metrics snapshot.
+            obs.REGISTRY.counter(f"numbering.relabels.{self.name}")
+
+    def note_relabels(self, count: int) -> None:
+        """Record *count* existing labels changed by one update — the
+        Proposition 1 metric, mirrored into the metrics registry."""
+        if count <= 0:
+            return
+        self.relabel_count += count
+        if obs.ENABLED:
+            obs.REGISTRY.counter(
+                f"numbering.relabels.{self.name}").inc(count)
 
     def load(self) -> None:
         """Assign initial labels to the whole tree."""

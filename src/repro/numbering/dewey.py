@@ -47,8 +47,8 @@ class DeweyBaseline(NumberingBaseline):
         # Renumber every following sibling subtree: ordinals shifted.
         for ordinal in range(index + 1, len(parent.children)):
             sibling = parent.children[ordinal]
-            self.relabel_count += self._label_subtree(
-                sibling, prefix + (ordinal + 1,))
+            self.note_relabels(self._label_subtree(
+                sibling, prefix + (ordinal + 1,)))
 
     def on_delete(self, node: SimNode) -> None:
         parent = node.parent
@@ -61,8 +61,8 @@ class DeweyBaseline(NumberingBaseline):
         # Siblings after the gap shift down by one.
         for ordinal in range(index + 1, len(parent.children)):
             sibling = parent.children[ordinal]
-            self.relabel_count += self._label_subtree(
-                sibling, prefix + (ordinal,))
+            self.note_relabels(self._label_subtree(
+                sibling, prefix + (ordinal,)))
 
     # -- relations -----------------------------------------------------------
 

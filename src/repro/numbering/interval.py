@@ -46,7 +46,7 @@ class IntervalBaseline(NumberingBaseline):
             new = (start, end)
             if old != new:
                 if old is not None and not initial:
-                    self.relabel_count += 1
+                    self.note_relabels(1)
                 self._intervals[node.node_id] = new
             return end
 

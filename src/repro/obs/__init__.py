@@ -1,0 +1,115 @@
+"""Observability: metrics, span tracing and query EXPLAIN.
+
+Zero-dependency, process-local, **off by default**.  The paper's
+operational claims — §6.2 conformance checking, the §9 block and
+descriptor layout, §9.3 Proposition 1 ("labels survive updates without
+global relabeling") — are machinery this repository previously ran
+blind; this package is the substrate that counts them.
+
+Three facilities share one on/off switch:
+
+* :data:`REGISTRY` — the process metrics registry
+  (:class:`~repro.obs.metrics.MetricsRegistry`): counters, gauges,
+  histograms with snapshot/reset;
+* :data:`TRACER` — the span tracer
+  (:class:`~repro.obs.tracing.Tracer`): nested wall-time spans with
+  tags, an in-memory recorder and a human-readable dump;
+* :data:`EXPLAINS` — the query EXPLAIN log
+  (:class:`~repro.obs.explain.ExplainLog`): per-query plan strategy,
+  cache hit/miss, axis steps and nodes visited/returned.
+
+The switch is the module attribute :data:`ENABLED`.  Instrumented hot
+paths guard with ``if obs.ENABLED:`` (one attribute test when off) or,
+on the innermost query kernel, with the explain module's ``ACTIVE is
+None`` test; inherent counters (the LRU caches) use registry
+instruments directly because counting is their job, enabled or not.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()
+    ...  # run queries / updates / checks
+    print(obs.REGISTRY.snapshot())
+    print(obs.TRACER.dump())
+    obs.disable()
+"""
+
+from __future__ import annotations
+
+from repro.obs.explain import (
+    DEFAULT_EXPLAIN_LIMIT,
+    ExplainLog,
+    QueryExplain,
+    collect,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.tracing import DEFAULT_SPAN_LIMIT, SpanRecord, Tracer
+
+#: The master switch.  Read directly (``obs.ENABLED``) on hot paths;
+#: flip only through :func:`enable`/:func:`disable` so the tracer's own
+#: flag stays in sync.
+ENABLED = False
+
+#: The process metrics registry.
+REGISTRY = MetricsRegistry()
+
+#: The process span tracer (enabled/disabled together with the rest).
+TRACER = Tracer()
+
+#: The process query-EXPLAIN log.
+EXPLAINS = ExplainLog()
+
+
+def enable(tracing: bool = True) -> None:
+    """Turn instrumentation on (metrics + explain; *tracing* optional)."""
+    global ENABLED
+    ENABLED = True
+    TRACER.enabled = tracing
+
+
+def disable() -> None:
+    """Turn instrumentation off (the default state)."""
+    global ENABLED
+    ENABLED = False
+    TRACER.enabled = False
+
+
+def is_enabled() -> bool:
+    return ENABLED
+
+
+def reset() -> None:
+    """Zero counters, drop spans and explain records; keep the switch."""
+    REGISTRY.reset()
+    TRACER.reset()
+    EXPLAINS.reset()
+
+
+def snapshot() -> dict:
+    """The registry snapshot (the ``metrics`` payload of reports)."""
+    return REGISTRY.snapshot()
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_EXPLAIN_LIMIT",
+    "DEFAULT_SPAN_LIMIT",
+    "EXPLAINS",
+    "ENABLED",
+    "ExplainLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryExplain",
+    "REGISTRY",
+    "SpanRecord",
+    "TRACER",
+    "Tracer",
+    "collect",
+    "disable",
+    "enable",
+    "is_enabled",
+    "reset",
+    "snapshot",
+]

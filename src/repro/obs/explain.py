@@ -1,0 +1,145 @@
+"""Query EXPLAIN: per-query execution records for the storage engine.
+
+One :class:`QueryExplain` captures what the §9 query stack actually
+did for a single evaluation: which plan strategy the planner chose,
+whether the plan/parse caches hit, how many descriptive-schema nodes
+the plan scans (and how many structural pruning discarded), how many
+axis steps were navigated, and the nodes *visited* versus *returned* —
+the node-visit accounting that Koch's complexity results and the
+navigational-expressiveness literature tie evaluation cost to.
+
+The recording protocol is deliberately passive so the hot path stays
+hot: :data:`ACTIVE` is a module global that is ``None`` whenever no
+explain is being collected.  Instrumented sites (the navigation kernel,
+plan execution, the planner) read it once and add to its counters only
+when it is not ``None`` — the disabled cost is one ``is None`` test.
+
+``StorageQueryEngine.evaluate`` opens a collection scope with
+:func:`collect` when observability is enabled and appends the finished
+record to the process :class:`ExplainLog` (``repro explain`` and the
+benchmark harness read it back).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional
+
+#: Default bound on retained explain records.
+DEFAULT_EXPLAIN_LIMIT = 256
+
+
+class QueryExplain:
+    """The execution record of one query evaluation."""
+
+    __slots__ = ("path", "strategy", "plan_cache", "parse_cache",
+                 "schema_nodes_scanned", "pruned_schema_nodes",
+                 "axis_steps", "nodes_visited", "nodes_returned",
+                 "elapsed_s")
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        #: "empty" | "scan" | "hybrid" | "naive" (set by the planner).
+        self.strategy = ""
+        #: "hit" | "miss" | "invalidated" (stale plan dropped, then miss).
+        self.plan_cache = ""
+        #: "hit" | "miss" | "" (plans passed as Path objects skip parse).
+        self.parse_cache = ""
+        self.schema_nodes_scanned = 0
+        self.pruned_schema_nodes = 0
+        self.axis_steps = 0
+        self.nodes_visited = 0
+        self.nodes_returned = 0
+        self.elapsed_s = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "strategy": self.strategy,
+            "plan_cache": self.plan_cache,
+            "parse_cache": self.parse_cache,
+            "schema_nodes_scanned": self.schema_nodes_scanned,
+            "pruned_schema_nodes": self.pruned_schema_nodes,
+            "axis_steps": self.axis_steps,
+            "nodes_visited": self.nodes_visited,
+            "nodes_returned": self.nodes_returned,
+            "elapsed_s": self.elapsed_s,
+        }
+
+    def render(self) -> str:
+        """The human-readable EXPLAIN block for the CLI."""
+        lines = [
+            f"query:                {self.path}",
+            f"  plan strategy:      {self.strategy or '?'}",
+            f"  plan cache:         {self.plan_cache or 'bypassed'}",
+            f"  parse cache:        {self.parse_cache or 'bypassed'}",
+            f"  schema nodes:       {self.schema_nodes_scanned} scanned, "
+            f"{self.pruned_schema_nodes} pruned",
+            f"  axis steps:         {self.axis_steps}",
+            f"  nodes visited:      {self.nodes_visited}",
+            f"  nodes returned:     {self.nodes_returned}",
+            f"  elapsed:            {self.elapsed_s * 1e3:.3f}ms",
+        ]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"QueryExplain({self.path!r}, {self.strategy}, "
+                f"visited={self.nodes_visited}, "
+                f"returned={self.nodes_returned})")
+
+
+#: The explain record currently collecting, or None (the common case).
+#: Hot-path sites read this once per call and test ``is None``.
+ACTIVE: Optional[QueryExplain] = None
+
+
+def current() -> Optional[QueryExplain]:
+    """The explain record currently collecting, if any."""
+    return ACTIVE
+
+
+@contextmanager
+def collect(path: str) -> Iterator[QueryExplain]:
+    """Collect one query's execution record.
+
+    Nested evaluations (a hybrid plan navigating its suffix calls the
+    shared kernel again) accumulate into the same record — that is the
+    point: the record totals the whole query.  A nested ``collect``
+    (e.g. XQuery evaluating an inner path) stacks and restores.
+    """
+    global ACTIVE
+    previous = ACTIVE
+    record = QueryExplain(path)
+    ACTIVE = record
+    try:
+        yield record
+    finally:
+        ACTIVE = previous
+
+
+class ExplainLog:
+    """A bounded in-memory log of finished explain records."""
+
+    def __init__(self, limit: int = DEFAULT_EXPLAIN_LIMIT) -> None:
+        self.limit = limit
+        self.records: List[QueryExplain] = []
+
+    def append(self, record: QueryExplain) -> None:
+        if len(self.records) >= self.limit:
+            del self.records[0]
+        self.records.append(record)
+
+    def last(self) -> Optional[QueryExplain]:
+        return self.records[-1] if self.records else None
+
+    def reset(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[QueryExplain]:
+        return iter(self.records)
+
+    def __repr__(self) -> str:
+        return f"ExplainLog({len(self.records)} records)"

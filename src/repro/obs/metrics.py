@@ -1,0 +1,193 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+The registry is the **one counter mechanism** of the repository: every
+subsystem that counts something — cache hits, block splits, labels
+allocated, conformance violations — does it through a
+:class:`Counter`/:class:`Gauge`/:class:`Histogram` instrument, and
+aggregate views (``repro stats``, the ``metrics`` section of
+``benchmarks/run_all.py --json``) read one :meth:`MetricsRegistry
+.snapshot`.
+
+Two usage modes keep the hot paths honest:
+
+* **inherent counters** (e.g. the LRU caches of ``repro.query.cache``)
+  hold instrument objects directly and bump them unconditionally — an
+  instrument ``inc`` is a plain attribute add, no cheaper mechanism
+  exists;
+* **optional instrumentation** (block splits, axis steps, FLWOR
+  timings) is guarded by the module flag ``repro.obs.ENABLED`` at the
+  call site, so the disabled path costs one attribute test and nothing
+  else.
+
+Instrument names are dotted paths (``storage.blocks.split``); the
+registry keeps them unique and type-stable (asking for a counter under
+a gauge's name is an error, not a silent cast).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Union
+
+
+class Counter:
+    """A monotonically increasing count (resettable for snapshots)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time level (last value wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+class Histogram:
+    """A streaming summary of observed values (count/sum/min/max/mean).
+
+    Full bucketing is deliberately omitted: the benchmark harness wants
+    cheap aggregates it can diff across runs, not percentile estimates.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A named collection of instruments with get-or-create access."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get_or_create(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif type(instrument) is not cls:
+            raise TypeError(
+                f"metric {name!r} is a {type(instrument).__name__}, "
+                f"not a {cls.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def get(self, name: str) -> Instrument | None:
+        return self._instruments.get(name)
+
+    def value(self, name: str, default: float = 0) -> float:
+        """The scalar value of a counter/gauge (histograms: the count)."""
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            return default
+        if isinstance(instrument, Histogram):
+            return instrument.count
+        return instrument.value
+
+    def snapshot(self) -> dict:
+        """All instrument values keyed by name, sorted for stable JSON;
+        histograms expand to their summary dict."""
+        out: dict = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out[name] = instrument.summary()
+            else:
+                out[name] = instrument.value
+        return out
+
+    def reset(self) -> None:
+        """Zero every instrument (registrations are kept, so counters
+        materialized at zero stay visible in the next snapshot)."""
+        for instrument in self._instruments.values():
+            instrument.reset()
+
+    def clear(self) -> None:
+        """Forget every instrument (test isolation)."""
+        self._instruments.clear()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._instruments))
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self._instruments)} instruments)"

@@ -12,9 +12,13 @@ Two caches keep repeated queries off the slow paths:
   schema has grown since (Section 9.1: a new document path means a new
   schema path; nothing else can change what a path matches).
 
-Both expose hit/miss counters so the benchmark harness can report
-cache effectiveness next to the storage engine's split/insert
-instrumentation.
+Both count through the observability layer's instruments
+(:mod:`repro.obs.metrics`) — one counter mechanism for the whole
+repository.  :class:`CacheStats` and :func:`parse_cache_stats` remain
+as thin snapshot views over those instruments; the process-wide parse
+cache additionally registers its counters in the global
+:data:`repro.obs.REGISTRY` (under ``query.parse_cache.*``) so they
+appear in every metrics snapshot.
 """
 
 from __future__ import annotations
@@ -23,6 +27,9 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Generic, Hashable, Iterator, Optional, TypeVar
 
+from repro import obs
+from repro.obs import explain as _explain
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.query.paths import Path, parse_path
 
 K = TypeVar("K", bound=Hashable)
@@ -62,28 +69,55 @@ class LRUCache(Generic[K, V]):
     the capacity is exceeded.  ``invalidations`` is bumped by callers
     through :meth:`invalidate` when an entry is discarded for being
     stale rather than cold (the plan cache's schema-version check).
+
+    Counters are :class:`~repro.obs.metrics.Counter` instruments.  Pass
+    *registry* and *prefix* to register them (``<prefix>.hits`` …) in a
+    shared :class:`MetricsRegistry` — done by the process-wide parse
+    cache; per-engine plan caches keep private instruments so one
+    engine's hit rate is not another's.
     """
 
-    __slots__ = ("capacity", "_entries", "hits", "misses",
-                 "invalidations", "evictions")
+    __slots__ = ("capacity", "_entries", "_hits", "_misses",
+                 "_invalidations", "_evictions")
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int,
+                 registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "cache") -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
         self._entries: "OrderedDict[K, V]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
-        self.evictions = 0
+        make = registry.counter if registry is not None \
+            else (lambda name: Counter(name))
+        self._hits = make(f"{prefix}.hits")
+        self._misses = make(f"{prefix}.misses")
+        self._invalidations = make(f"{prefix}.invalidations")
+        self._evictions = make(f"{prefix}.evictions")
+
+    # Counter values under the historical attribute names.
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
+
+    @property
+    def invalidations(self) -> int:
+        return self._invalidations.value
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions.value
 
     def get(self, key: K) -> Optional[V]:
         entry = self._entries.get(key, _MISSING)
         if entry is _MISSING:
-            self.misses += 1
+            self._misses.inc()
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self._hits.inc()
         return entry  # type: ignore[return-value]
 
     def peek(self, key: K) -> Optional[V]:
@@ -99,19 +133,21 @@ class LRUCache(Generic[K, V]):
         entries[key] = value
         if len(entries) > self.capacity:
             entries.popitem(last=False)
-            self.evictions += 1
+            self._evictions.inc()
 
     def invalidate(self, key: K) -> None:
         """Drop a stale entry (counted separately from evictions)."""
         if self._entries.pop(key, _MISSING) is not _MISSING:
-            self.invalidations += 1
+            self._invalidations.inc()
 
     def clear(self) -> None:
         self._entries.clear()
 
     def reset_stats(self) -> None:
-        self.hits = self.misses = 0
-        self.invalidations = self.evictions = 0
+        self._hits.reset()
+        self._misses.reset()
+        self._invalidations.reset()
+        self._evictions.reset()
 
     def stats(self) -> CacheStats:
         return CacheStats(hits=self.hits, misses=self.misses,
@@ -131,9 +167,13 @@ class LRUCache(Generic[K, V]):
 
 
 # ----------------------------------------------------------------------
-# The process-wide parse cache.
+# The process-wide parse cache.  One per process, so its counters live
+# in the global metrics registry (they show up in `repro stats` and the
+# benchmark reports as `query.parse_cache.*`).
 
-_parse_cache: LRUCache[str, Path] = LRUCache(PARSE_CACHE_CAPACITY)
+_parse_cache: LRUCache[str, Path] = LRUCache(
+    PARSE_CACHE_CAPACITY, registry=obs.REGISTRY,
+    prefix="query.parse_cache")
 
 
 def cached_parse_path(text: str) -> Path:
@@ -143,9 +183,14 @@ def cached_parse_path(text: str) -> Path:
     Parse errors are not cached (they raise before the ``put``).
     """
     path = _parse_cache.get(text)
+    context = _explain.ACTIVE
     if path is None:
         path = parse_path(text)
         _parse_cache.put(text, path)
+        if context is not None:
+            context.parse_cache = "miss"
+    elif context is not None:
+        context.parse_cache = "hit"
     return path
 
 

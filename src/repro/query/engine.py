@@ -22,8 +22,11 @@ the XP benchmark.
 
 from __future__ import annotations
 
+import time
 from typing import Iterator
 
+from repro import obs
+from repro.obs import explain as _explain
 from repro.xdm.node import Node
 from repro.xdm.store import TREE_STORE, NodeStore, Ref
 from repro.storage.dschema import SchemaNode
@@ -82,14 +85,24 @@ def evaluate_store(store: NodeStore, path: "Path | str",
 def navigate_steps(store: NodeStore, current: list[Ref],
                    steps: "tuple[Step, ...]") -> list[Ref]:
     """Per-step navigation from the *current* context references,
-    deduplicated on the store's stable node keys."""
+    deduplicated on the store's stable node keys.
+
+    EXPLAIN accounting rides on :data:`repro.obs.explain.ACTIVE` — one
+    ``is None`` test per context node when no explain is collecting,
+    so the kernel stays within the no-op overhead budget.
+    """
+    context = _explain.ACTIVE
     for step in steps:
+        if context is not None:
+            context.axis_steps += 1
         bucket: list[Ref] = []
         seen: set = set()
         for ref in current:
             matched = [candidate
                        for candidate in _step_candidates(store, ref, step)
                        if _step_accepts(store, candidate, step)]
+            if context is not None:
+                context.nodes_visited += len(matched)
             for candidate in apply_step_predicates(store, matched,
                                                    step.predicates):
                 key = store.node_key(candidate)
@@ -204,8 +217,32 @@ class StorageQueryEngine:
         return self._planner.compile(path)
 
     def evaluate(self, path: "Path | str") -> list[NodeDescriptor]:
-        """Evaluate through the plan cache — the hot entry point."""
+        """Evaluate through the plan cache — the hot entry point.
+
+        With observability enabled, every call records a
+        :class:`~repro.obs.explain.QueryExplain` (plan strategy, cache
+        hit/miss, axis steps, nodes visited vs. returned) into
+        :data:`repro.obs.EXPLAINS`.
+        """
+        if obs.ENABLED:
+            return self._evaluate_explained(path)
         return self._planner.compile(path).execute(self)
+
+    def _evaluate_explained(self, path: "Path | str"
+                            ) -> list[NodeDescriptor]:
+        with _explain.collect(str(path)) as record:
+            start = time.perf_counter()
+            result = self._planner.compile(path).execute(self)
+            record.elapsed_s = time.perf_counter() - start
+            record.nodes_returned = len(result)
+        obs.EXPLAINS.append(record)
+        obs.REGISTRY.counter("query.evaluations").inc()
+        obs.REGISTRY.counter("query.axis_steps").inc(record.axis_steps)
+        obs.REGISTRY.counter("query.nodes_visited").inc(
+            record.nodes_visited)
+        obs.REGISTRY.counter("query.nodes_returned").inc(
+            record.nodes_returned)
+        return result
 
     def cache_stats(self) -> dict[str, float]:
         """Plan- and parse-cache counters for the benchmark harness."""

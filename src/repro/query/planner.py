@@ -32,6 +32,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator, Optional
 
+from repro import obs
+from repro.obs import explain as _explain
 from repro.query.cache import (
     LRUCache,
     PLAN_CACHE_CAPACITY,
@@ -180,6 +182,9 @@ class CompiledPlan:
                       for descriptor in engine.scan_schema_node(
                           schema_node)]
             result.sort(key=lambda descriptor: descriptor.nid.symbols())
+        context = _explain.ACTIVE
+        if context is not None:
+            context.nodes_visited += len(result)
         steps = self.path.steps
         scan_step = steps[-1] if self.split is None else steps[self.split]
         if scan_step.predicates:
@@ -198,6 +203,20 @@ class CompiledPlan:
 
 def compile_plan(path: Path, schema: "DescriptiveSchema") -> CompiledPlan:
     """Compile *path* against the current schema (no caching here)."""
+    if obs.ENABLED:
+        with obs.TRACER.span("query.plan.compile", path=str(path)):
+            plan = _compile_plan(path, schema)
+        obs.REGISTRY.counter("query.plan.compiles").inc()
+        obs.REGISTRY.counter(
+            f"query.plan.strategy.{plan.strategy}").inc()
+        if plan.pruned_schema_nodes:
+            obs.REGISTRY.counter("query.plan.pruned_schema_nodes").inc(
+                plan.pruned_schema_nodes)
+        return plan
+    return _compile_plan(path, schema)
+
+
+def _compile_plan(path: Path, schema: "DescriptiveSchema") -> CompiledPlan:
     steps = path.steps
     version = schema.version
     for step in steps:
@@ -241,19 +260,39 @@ class QueryPlanner:
     def __init__(self, engine, capacity: int = PLAN_CACHE_CAPACITY
                  ) -> None:
         self._engine = engine
-        self._plans: LRUCache[Path, CompiledPlan] = LRUCache(capacity)
+        self._plans: LRUCache[Path, CompiledPlan] = LRUCache(
+            capacity, prefix="query.plan_cache")
 
     def compile(self, path: "Path | str") -> CompiledPlan:
         if isinstance(path, str):
             path = cached_parse_path(path)
         version = self._engine.schema.version
+        invalidated = False
         stale = self._plans.peek(path)
         if stale is not None and stale.schema_version != version:
             self._plans.invalidate(path)
+            invalidated = True
         plan = self._plans.get(path)
+        hit = plan is not None
         if plan is None:
             plan = compile_plan(path, self._engine.schema)
             self._plans.put(path, plan)
+        context = _explain.ACTIVE
+        if context is not None:
+            context.plan_cache = ("hit" if hit
+                                  else "invalidated" if invalidated
+                                  else "miss")
+            context.strategy = plan.strategy
+            context.schema_nodes_scanned = len(plan.scan_nodes)
+            context.pruned_schema_nodes = plan.pruned_schema_nodes
+        if obs.ENABLED:
+            # Aggregate plan-cache counters across all engines (each
+            # cache also keeps its private per-engine instruments).
+            registry = obs.REGISTRY
+            registry.counter("query.plan_cache.hits" if hit
+                             else "query.plan_cache.misses").inc()
+            if invalidated:
+                registry.counter("query.plan_cache.invalidations").inc()
         return plan
 
     def stats(self) -> CacheStats:

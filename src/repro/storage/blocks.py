@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Iterator, Optional
 
+from repro import obs
 from repro.errors import StorageError
 from repro.storage.descriptor import NO_SLOT, NodeDescriptor
 
@@ -48,6 +49,8 @@ class Block:
         self.last_slot: int = NO_SLOT
         self.block_id = Block._next_id
         Block._next_id += 1
+        if obs.ENABLED:
+            obs.REGISTRY.counter("storage.blocks.allocated").inc()
 
     # -- basic bookkeeping ---------------------------------------------------
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.errors import StorageError
 from repro.xmlio.nodes import XmlDocument, XmlElement, XmlText
 from repro.xmlio.qname import QName
@@ -45,6 +46,11 @@ class StorageEngine:
         self.split_count = 0
         self.relabel_count = 0  # stays 0: Proposition 1
         self._preserve_whitespace = False
+        if obs.ENABLED:
+            # Materialize the relabel counter at zero: the engine never
+            # increments it (Proposition 1), and an explicit 0 in every
+            # snapshot is the claim being made.
+            obs.REGISTRY.counter("storage.relabels")
 
     # ==================================================================
     # Loading
@@ -113,6 +119,8 @@ class StorageEngine:
     def _new_descriptor(self, schema_node: SchemaNode, nid: NidLabel,
                         value: str | None = None) -> NodeDescriptor:
         descriptor = NodeDescriptor(schema_node, nid, value=value)
+        if obs.ENABLED:
+            obs.REGISTRY.counter("storage.descriptors.allocated").inc()
         return descriptor
 
     def _load_children(self, parent_descriptor: NodeDescriptor,
@@ -247,6 +255,8 @@ class StorageEngine:
         if target.is_full:
             sibling = target.split()
             self.split_count += 1
+            if obs.ENABLED:
+                obs.REGISTRY.counter("storage.blocks.split").inc()
             first_of_sibling = sibling.first_descriptor()
             if (first_of_sibling is not None
                     and before(first_of_sibling.nid, descriptor.nid)):
@@ -415,6 +425,8 @@ class StorageEngine:
         self._place_descriptor(descriptor)
         self._register_child_pointer(parent, descriptor)
         self.insert_count += 1
+        if obs.ENABLED:
+            obs.REGISTRY.counter("storage.inserts").inc()
         return descriptor
 
     def set_attribute(self, parent: NodeDescriptor, name: QName,
@@ -454,6 +466,8 @@ class StorageEngine:
         self._place_descriptor(descriptor)
         parent.children_by_schema[index] = descriptor
         self.insert_count += 1
+        if obs.ENABLED:
+            obs.REGISTRY.counter("storage.inserts").inc()
         return descriptor
 
     def delete_subtree(self, descriptor: NodeDescriptor) -> int:
@@ -469,6 +483,8 @@ class StorageEngine:
         self._unlink_from_siblings(descriptor)
         self._remove_descriptor(descriptor)
         self.delete_count += 1
+        if obs.ENABLED:
+            obs.REGISTRY.counter("storage.deletes").inc()
         return removed + 1
 
     def _unlink_from_siblings(self, descriptor: NodeDescriptor) -> None:

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.errors import LabelError
 
 #: The separator symbol Ω_min used in flattened label sequences.
@@ -227,6 +228,8 @@ class NumberingScheme:
 
     def root_label(self) -> NidLabel:
         """The label of the document node."""
+        if obs.ENABLED:
+            obs.REGISTRY.counter("numbering.labels.allocated").inc()
         return NidLabel(((self.base // 2,),))
 
     def child_label(self, parent: NidLabel,
@@ -246,10 +249,14 @@ class NumberingScheme:
         low = left.components[-1] if left is not None else None
         high = right.components[-1] if right is not None else None
         component = self.midpoint(low, high)
+        if obs.ENABLED:
+            obs.REGISTRY.counter("numbering.labels.allocated").inc()
         return NidLabel(parent.components + (component,))
 
     def child_labels(self, parent: NidLabel, count: int) -> list[NidLabel]:
         """Evenly spaced labels for *count* children (bulk load)."""
+        if obs.ENABLED and count > 0:
+            obs.REGISTRY.counter("numbering.labels.allocated").inc(count)
         return [NidLabel(parent.components + (component,))
                 for component in self.spread(count)]
 

@@ -29,6 +29,7 @@ from __future__ import annotations
 from decimal import Decimal, InvalidOperation
 from typing import Iterator, Optional
 
+from repro import obs
 from repro.errors import QueryError
 from repro.xmlio.qname import QName
 from repro.xdm.node import ElementNode, Node
@@ -142,6 +143,8 @@ class XQueryEvaluator:
     # -- FLWOR -----------------------------------------------------------
 
     def _flwor(self, flwor: Flwor, bindings: Bindings) -> list[Item]:
+        if obs.ENABLED:
+            return self._flwor_traced(flwor, bindings)
         tuples = self._bind(flwor.clauses, 0, dict(bindings))
         if flwor.where is not None:
             tuples = (env for env in tuples
@@ -157,6 +160,40 @@ class XQueryEvaluator:
         out: list[Item] = []
         for env in materialized:
             out.extend(self._eval(flwor.body, env))
+        return out
+
+    def _flwor_traced(self, flwor: Flwor,
+                      bindings: Bindings) -> list[Item]:
+        """The instrumented FLWOR: each clause runs under its own span,
+        which requires materializing the tuple stream per phase (the
+        untraced path above keeps ``where`` lazy instead)."""
+        tracer = obs.TRACER
+        with tracer.span("xquery.flwor"):
+            with tracer.span("xquery.flwor.bind"):
+                materialized = list(
+                    self._bind(flwor.clauses, 0, dict(bindings)))
+            if flwor.where is not None:
+                with tracer.span("xquery.flwor.where",
+                                 tuples=len(materialized)):
+                    materialized = [
+                        env for env in materialized
+                        if self._boolean(self._eval(flwor.where, env))]
+            if flwor.order is not None:
+                spec = flwor.order
+
+                def key(env: Bindings):
+                    return self._order_key(self._eval(spec.key, env))
+
+                with tracer.span("xquery.flwor.order",
+                                 tuples=len(materialized)):
+                    materialized.sort(key=key, reverse=spec.descending)
+            out: list[Item] = []
+            with tracer.span("xquery.flwor.return",
+                             tuples=len(materialized)):
+                for env in materialized:
+                    out.extend(self._eval(flwor.body, env))
+        obs.REGISTRY.counter("xquery.flwor.evaluations").inc()
+        obs.REGISTRY.counter("xquery.flwor.tuples").inc(len(materialized))
         return out
 
     def _bind(self, clauses, index: int,

@@ -36,6 +36,21 @@ def test_run_all_smoke_writes_report(tmp_path, capsys):
     for record in report["conformance_records"]:
         assert record["ops_tree_store"] > 0
         assert record["ops_storage_store"] > 0
+    # The observability pass: a populated metrics section with one
+    # EXPLAIN per query path and the Proposition 1 zero.
+    metrics = report["metrics"]
+    registry = metrics["registry"]
+    assert registry["query.evaluations"] == 2 * len(QUERY_PATHS)
+    assert registry["storage.descriptors.allocated"] > 0
+    assert registry["storage.relabels"] == 0
+    assert registry["numbering.relabels.sedna"] == 0
+    assert len(metrics["query_explains"]) == len(QUERY_PATHS)
+    for record in metrics["query_explains"]:
+        assert record["strategy"] in ("empty", "scan", "hybrid", "naive")
+        assert record["plan_cache"] == "hit"  # the warm run is recorded
+    workload = metrics["numbering_workload"]
+    assert workload["scheme"] == "sedna"
+    assert workload["relabels"] == 0
     capsys.readouterr()  # swallow the printed table
 
 

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -92,6 +94,13 @@ class TestQuery:
     def test_bad_path(self, files, capsys):
         assert main(["query", files["valid.xml"], "not-a-path"]) == 2
 
+    def test_json_output(self, files, capsys):
+        assert main(["query", files["valid.xml"],
+                     "/library/book/title", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report == {"path": "/library/book/title",
+                          "count": 1, "values": ["T"]}
+
 
 class TestInspect:
     def test_reports_statistics(self, files, capsys):
@@ -99,3 +108,61 @@ class TestInspect:
         out = capsys.readouterr().out
         assert "document nodes:" in out
         assert "library/book/title" in out
+
+    def test_json_output(self, files, capsys):
+        assert main(["inspect", files["valid.xml"], "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["document_nodes"] > 0
+        assert report["blocks"] > 0
+        paths = [entry["path"]
+                 for entry in report["descriptive_schema"]]
+        assert "library/book/title" in paths
+
+
+class TestStats:
+    def test_prints_metrics_sections(self, files, capsys):
+        assert main(["stats", files["valid.xml"],
+                     "--path", "/library/book/title"]) == 0
+        out = capsys.readouterr().out
+        assert "[storage]" in out
+        assert "storage.descriptors.allocated" in out
+        assert "storage.relabels" in out
+        assert "query.evaluations" in out
+
+    def test_json_output(self, files, capsys):
+        assert main(["stats", files["valid.xml"], "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        metrics = report["metrics"]
+        assert metrics["storage.descriptors.allocated"] > 0
+        assert metrics["storage.relabels"] == 0
+
+    def test_leaves_observability_disabled(self, files, capsys):
+        from repro import obs
+        main(["stats", files["valid.xml"]])
+        capsys.readouterr()
+        assert not obs.is_enabled()
+
+
+class TestExplain:
+    def test_reports_cold_and_warm_plans(self, files, capsys):
+        assert main(["explain", files["valid.xml"],
+                     "/library/book/title"]) == 0
+        out = capsys.readouterr().out
+        assert "-- cold (first evaluation) --" in out
+        assert "-- warm (plan cache hit) --" in out
+        assert "plan strategy:      scan" in out
+        assert "plan cache:         miss" in out
+        assert "plan cache:         hit" in out
+        assert "nodes returned:     1" in out
+
+    def test_json_output(self, files, capsys):
+        assert main(["explain", files["valid.xml"],
+                     "/library/book/title", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["cold"]["plan_cache"] == "miss"
+        assert report["warm"]["plan_cache"] == "hit"
+        assert report["warm"]["strategy"] == "scan"
+        assert report["warm"]["nodes_returned"] == 1
+
+    def test_bad_path(self, files, capsys):
+        assert main(["explain", files["valid.xml"], "not-a-path"]) == 2
