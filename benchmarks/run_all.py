@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import tempfile
 import time
 from pathlib import Path
 
@@ -31,10 +32,18 @@ from repro.mapping import document_to_tree
 from repro.numbering import SednaAdapter, UpdateWorkload
 from repro.query import StorageQueryEngine, clear_parse_cache
 from repro.schema import parse_schema
-from repro.storage import StorageEngine, StorageNodeStore
+from repro.storage import (
+    StorageEngine,
+    StorageNodeStore,
+    TransactionManager,
+    WriteAheadLog,
+    checkpoint,
+    recover,
+)
 from repro.workloads import make_library_document
 from repro.workloads.fixtures import LIBRARY_SCHEMA
 from repro.xdm import TreeNodeStore
+from repro.xmlio.qname import QName
 
 #: Paths covering the planner's strategies: plain scans, a multi-node
 #: merge, a hybrid inner predicate, and a structurally pruned query.
@@ -176,6 +185,110 @@ def run_metrics(scale=10, workload_operations=100):
         obs.reset()
 
 
+def _durability_workload(engine, operations):
+    """Insert *operations* text-bearing ``author`` elements across the
+    library's books — every insert is a logged engine mutation."""
+    root = engine.children(engine.document)[0]
+    books = [child for child in engine.children(root)
+             if engine.node_name(child) is not None
+             and engine.node_name(child).local == "book"]
+    for op in range(operations):
+        book = books[op % len(books)]
+        author = engine.insert_child(book, 1, name=QName("", "author"))
+        engine.insert_child(author, 0, text=f"Writer {op}")
+
+
+def run_durability(scale=100, operations=200):
+    """WAL overhead and recovery time over the library workload.
+
+    The same autocommitted insert workload runs three ways — no log,
+    WAL without per-record fsync, WAL with fsync — then a checkpoint +
+    post-checkpoint mutations + :func:`recover` measure the restart
+    path.  One record."""
+
+    def fresh():
+        engine = StorageEngine()
+        engine.load_document(make_library_document(
+            books=scale, papers=scale, seed=scale))
+        return engine
+
+    def timed(call):
+        start = time.perf_counter()
+        call()
+        return time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmpdir:
+        tmp = Path(tmpdir)
+
+        plain_engine = fresh()
+        plain_s = timed(lambda: _durability_workload(plain_engine,
+                                                     operations))
+
+        wal_engine = fresh()
+        wal = WriteAheadLog(tmp / "nosync.wal", sync=False)
+        TransactionManager(wal_engine, wal)
+        wal_s = timed(lambda: _durability_workload(wal_engine,
+                                                   operations))
+        wal_records, wal_bytes = wal.appends, wal.bytes_written
+        wal.close()
+
+        fsync_engine = fresh()
+        fsync_wal = WriteAheadLog(tmp / "sync.wal", sync=True)
+        TransactionManager(fsync_engine, fsync_wal)
+        fsync_s = timed(lambda: _durability_workload(fsync_engine,
+                                                     operations))
+        fsync_wal.close()
+
+        rec_engine = fresh()
+        rec_wal = WriteAheadLog(tmp / "rec.wal", sync=False)
+        TransactionManager(rec_engine, rec_wal)
+        image = tmp / "rec.img"
+        checkpoint_s = timed(lambda: checkpoint(rec_engine, image,
+                                                wal=rec_wal))
+        image_bytes = image.stat().st_size
+        _durability_workload(rec_engine, operations)
+        rec_wal.close()
+        start = time.perf_counter()
+        result = recover(image, tmp / "rec.wal")
+        recovery_s = time.perf_counter() - start
+        assert result.relabels == 0
+        assert result.engine.node_count() == rec_engine.node_count()
+
+    return {
+        "scale": scale,
+        "operations": operations,
+        "ops_plain": round(operations / plain_s, 1),
+        "ops_wal": round(operations / wal_s, 1),
+        "ops_wal_fsync": round(operations / fsync_s, 1),
+        "wal_overhead": round(wal_s / plain_s, 2),
+        "wal_fsync_overhead": round(fsync_s / plain_s, 2),
+        "wal_records": wal_records,
+        "wal_bytes": wal_bytes,
+        "checkpoint_seconds": round(checkpoint_s, 6),
+        "image_bytes": image_bytes,
+        "recovery_seconds": round(recovery_s, 6),
+        "recovery_replayed": result.replayed,
+        "recovery_relabels": result.relabels,
+    }
+
+
+def _print_durability(record):
+    print(f"\ndurability (WAL + recovery, scale {record['scale']}, "
+          f"{record['operations']} ops):")
+    print(f"  inserts/sec plain      {record['ops_plain']:>12.0f}")
+    print(f"  inserts/sec wal        {record['ops_wal']:>12.0f} "
+          f"({record['wal_overhead']:.2f}x of plain)")
+    print(f"  inserts/sec wal+fsync  {record['ops_wal_fsync']:>12.0f} "
+          f"({record['wal_fsync_overhead']:.2f}x of plain)")
+    print(f"  wal: {record['wal_records']} records, "
+          f"{record['wal_bytes']} bytes")
+    print(f"  checkpoint: {record['checkpoint_seconds']*1000:.1f} ms "
+          f"({record['image_bytes']} bytes)")
+    print(f"  recovery:   {record['recovery_seconds']*1000:.1f} ms "
+          f"({record['recovery_replayed']} records replayed, "
+          f"{record['recovery_relabels']} relabels)")
+
+
 def _print_metrics(metrics):
     registry = metrics["registry"]
     workload = metrics["numbering_workload"]
@@ -226,12 +339,16 @@ def main(argv=None):
                                       repeats=2, rounds=2)
         metrics = run_metrics(scale=SMOKE_SCALES[0],
                               workload_operations=50)
+        durability = run_durability(scale=SMOKE_SCALES[0],
+                                    operations=40)
     else:
         records = run()
         conformance = run_conformance()
         metrics = run_metrics(scale=100)
+        durability = run_durability(scale=100, operations=400)
     _print_table(records)
     _print_conformance_table(conformance)
+    _print_durability(durability)
     _print_metrics(metrics)
 
     if args.json or args.output is not None:
@@ -243,6 +360,7 @@ def main(argv=None):
             "query_paths": list(QUERY_PATHS),
             "records": records,
             "conformance_records": conformance,
+            "durability": durability,
             "metrics": metrics,
             "summary": {
                 "max_cached_vs_uncached": max(speedups),

@@ -10,6 +10,9 @@ Usage::
     python -m repro inspect DOCUMENT.xml [--json]
     python -m repro stats DOCUMENT.xml [--path PATH ...] [--json]
     python -m repro explain DOCUMENT.xml PATH [--json]
+    python -m repro checkpoint DOCUMENT.xml IMAGE [--wal WAL] [--json]
+    python -m repro recover IMAGE [--wal WAL] [--schema SCHEMA.xsd]
+                                  [--strict] [--json]
 
 ``validate`` applies the mapping f (Section 8) and reports the first
 Section 6.2 requirement the document violates; ``lint`` runs the
@@ -18,7 +21,11 @@ static schema diagnostics; ``normalize`` prints the canonical form;
 Sedna-style storage and prints its descriptive schema and statistics;
 ``stats`` loads (and optionally queries) with observability on and
 prints the metrics registry; ``explain`` evaluates a path twice —
-cold, then through the warmed plan cache — and reports both plans.
+cold, then through the warmed plan cache — and reports both plans;
+``checkpoint`` loads a document and writes an atomic binary image
+(plus an empty write-ahead log with ``--wal``); ``recover`` rebuilds
+the engine from an image + WAL, replaying committed transactions and
+discarding torn tails and uncommitted suffixes.
 """
 
 from __future__ import annotations
@@ -196,6 +203,55 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         obs.reset()
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Load a document and persist it as an atomic checkpoint image."""
+    from repro.storage.recovery import checkpoint
+    from repro.storage.wal import WriteAheadLog
+
+    engine = StorageEngine()
+    engine.load_document(parse_document(_read(args.document)))
+    wal = WriteAheadLog(args.wal) if args.wal else None
+    horizon = checkpoint(engine, args.image, wal=wal)
+    if wal is not None:
+        wal.close()
+    if args.json:
+        print(json.dumps({"image": args.image, "wal": args.wal,
+                          "nodes": engine.node_count(),
+                          "blocks": engine.block_count(),
+                          "checkpoint_lsn": horizon}, indent=2))
+        return 0
+    print(f"checkpointed {args.document} -> {args.image} "
+          f"({engine.node_count()} nodes, {engine.block_count()} blocks, "
+          f"lsn {horizon})")
+    if args.wal:
+        print(f"write-ahead log at {args.wal}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    """Rebuild an engine from a checkpoint image + write-ahead log."""
+    from repro.storage.recovery import recover
+
+    schema = parse_schema(_read(args.schema)) if args.schema else None
+    result = recover(args.image, wal_path=args.wal, schema=schema,
+                     strict=args.strict)
+    if args.json:
+        print(json.dumps(result.as_dict(), indent=2))
+        return 0
+    print(f"recovered {args.image}: {result.engine.node_count()} nodes, "
+          f"{result.engine.block_count()} blocks")
+    print(f"  checkpoint lsn:   {result.checkpoint_lsn}")
+    print(f"  replayed records: {result.replayed}")
+    print(f"  skipped records:  {result.skipped}")
+    print(f"  discarded:        {result.discarded} "
+          f"(txns {result.discarded_txns})")
+    print(f"  torn bytes:       {result.torn_bytes}")
+    print(f"  relabels:         {result.relabels}")
+    if schema is not None:
+        print("  conformance:      ok (Section 6.2)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -261,6 +317,29 @@ def build_parser() -> argparse.ArgumentParser:
                          help="emit both EXPLAIN records as JSON")
     explain.set_defaults(handler=_cmd_explain)
 
+    checkpoint = commands.add_parser(
+        "checkpoint", help="persist a document as an atomic image")
+    checkpoint.add_argument("document")
+    checkpoint.add_argument("image")
+    checkpoint.add_argument("--wal", default=None,
+                            help="also start a write-ahead log at WAL")
+    checkpoint.add_argument("--json", action="store_true",
+                            help="emit the checkpoint report as JSON")
+    checkpoint.set_defaults(handler=_cmd_checkpoint)
+
+    recover = commands.add_parser(
+        "recover", help="rebuild an engine from image + write-ahead log")
+    recover.add_argument("image")
+    recover.add_argument("--wal", default=None,
+                         help="replay committed transactions from WAL")
+    recover.add_argument("--schema", default=None,
+                         help="verify Section 6.2 conformance after replay")
+    recover.add_argument("--strict", action="store_true",
+                         help="also verify global label order")
+    recover.add_argument("--json", action="store_true",
+                         help="emit the recovery report as JSON")
+    recover.set_defaults(handler=_cmd_recover)
+
     return parser
 
 
@@ -273,7 +352,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        if getattr(args, "json", False):
+            # Machine consumers asked for JSON; errors honour that too.
+            print(json.dumps({"error": {
+                "type": type(error).__name__,
+                "message": str(error)}}, indent=2))
+        else:
+            print(f"error: {error}", file=sys.stderr)
         return 2
 
 

@@ -100,6 +100,16 @@ class StorageError(ReproError):
     """Invariant violation inside the simulated Sedna storage engine."""
 
 
+class UpdateError(StorageError):
+    """An engine mutation was rejected up front (bad arguments).
+
+    Raised *before* anything changes — deleting the document root,
+    inserting at an out-of-range index, attaching attributes to a
+    text node — so a refused update never leaves a half-mutated
+    sibling chain behind.
+    """
+
+
 class LabelError(StorageError):
     """A numbering label operation is impossible (exhausted alphabet...)."""
 

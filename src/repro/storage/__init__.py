@@ -1,7 +1,10 @@
 """The Sedna physical representation of Section 9.
 
 Descriptive schema (9.1), data blocks and node descriptors (9.2), and
-the numbering scheme (9.3), assembled by :class:`StorageEngine`.
+the numbering scheme (9.3), assembled by :class:`StorageEngine` — plus
+the durability layer that pairs with it: write-ahead log, transactions,
+atomic checkpoints/recovery, and the fault-injection harness that
+exercises them.
 """
 
 from repro.storage.blocks import BLOCK_HEADER_BYTES, Block
@@ -13,7 +16,16 @@ from repro.storage.descriptor import (
 )
 from repro.storage.dschema import DescriptiveSchema, SchemaNode
 from repro.storage.engine import StorageEngine
+from repro.storage.faults import CRASH_POINTS, CrashError, FaultPlan
 from repro.storage.persist import dump_engine, dumps_engine, load_engine
+from repro.storage.recovery import (
+    RecoveryError,
+    RecoveryResult,
+    checkpoint,
+    recover,
+)
+from repro.storage.txn import Transaction, TransactionManager
+from repro.storage.wal import WalRecord, WalScan, WriteAheadLog, read_wal
 from repro.storage.store import (
     StorageNodeStore,
     TypeAnnotation,
@@ -33,21 +45,34 @@ from repro.storage.labels import (
 __all__ = [
     "BLOCK_HEADER_BYTES",
     "Block",
+    "CRASH_POINTS",
+    "CrashError",
     "DescriptiveSchema",
+    "FaultPlan",
     "NO_SLOT",
     "NidLabel",
     "NodeDescriptor",
     "NumberingScheme",
     "POINTER_BYTES",
     "SHORT_POINTER_BYTES",
+    "RecoveryError",
+    "RecoveryResult",
     "SchemaNode",
     "StorageEngine",
     "StorageNodeStore",
+    "Transaction",
+    "TransactionManager",
     "TypeAnnotation",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
     "schema_type_annotations",
+    "checkpoint",
     "dump_engine",
     "dumps_engine",
     "load_engine",
+    "read_wal",
+    "recover",
     "before",
     "compare",
     "equal",

@@ -14,13 +14,15 @@ benchmark harness.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from contextlib import nullcontext
+from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro import obs
-from repro.errors import StorageError
+from repro.errors import StorageError, UpdateError
 from repro.xmlio.nodes import XmlDocument, XmlElement, XmlText
 from repro.xmlio.qname import QName
 from repro.xdm.node import DocumentNode, ElementNode, Node, TextNode
+from repro.storage import faults
 from repro.storage.blocks import Block
 from repro.storage.descriptor import NodeDescriptor
 from repro.storage.dschema import DescriptiveSchema, SchemaNode
@@ -31,6 +33,9 @@ from repro.storage.labels import (
     is_ancestor,
 )
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.txn import TransactionManager
+
 
 class StorageEngine:
     """One stored document: descriptive schema + blocks + labels."""
@@ -40,6 +45,13 @@ class StorageEngine:
         self.numbering = NumberingScheme(base)
         self.block_capacity = block_capacity
         self.document: Optional[NodeDescriptor] = None
+        #: Set by :class:`~repro.storage.txn.TransactionManager`; when
+        #: attached, every mutation is write-ahead logged (and wrapped
+        #: in a single-operation transaction unless one is open).
+        self.txn_manager: "TransactionManager | None" = None
+        #: The WAL horizon of the image this engine was loaded from
+        #: (0 for engines built in memory) — recovery replays past it.
+        self.checkpoint_lsn = 0
         # Instrumentation.
         self.insert_count = 0
         self.delete_count = 0
@@ -254,6 +266,7 @@ class StorageEngine:
             return
         if target.is_full:
             sibling = target.split()
+            faults.fire("block.split")
             self.split_count += 1
             if obs.ENABLED:
                 obs.REGISTRY.counter("storage.blocks.split").inc()
@@ -380,9 +393,22 @@ class StorageEngine:
 
     # ==================================================================
     # Updates
+    #
+    # Each public mutation validates its arguments completely before
+    # touching any structure (a refused update raises ``UpdateError``
+    # and changes nothing), then runs under ``_autocommit``: with a
+    # transaction manager attached, the operation is write-ahead
+    # logged and grouped — into the open transaction if there is one,
+    # into a single-operation autocommit transaction otherwise.
 
     def _children_of(self, parent: NodeDescriptor) -> list[NodeDescriptor]:
         return self.children(parent)
+
+    def _autocommit(self):
+        manager = self.txn_manager
+        if manager is None or not manager.autocommit_needed():
+            return nullcontext()
+        return manager.transaction()
 
     def insert_child(self, parent: NodeDescriptor, index: int,
                      name: QName | None = None,
@@ -394,19 +420,33 @@ class StorageEngine:
         blocks except by an explicit split of the target block.
         """
         if (name is None) == (text is None):
-            raise StorageError("give exactly one of name= or text=")
+            raise UpdateError("give exactly one of name= or text=")
         if parent.is_text_enabled:
-            raise StorageError("text and attribute nodes have no children")
+            raise UpdateError("text and attribute nodes have no children")
+        if parent.block is None:
+            raise UpdateError(f"{parent!r} is not stored in this engine")
         siblings = self._children_of(parent)
         if not 0 <= index <= len(siblings):
-            raise StorageError(
+            raise UpdateError(
                 f"index {index} out of range 0..{len(siblings)}")
+        with self._autocommit():
+            return self._insert_child(parent, index, siblings, name, text)
+
+    def _insert_child(self, parent: NodeDescriptor, index: int,
+                      siblings: list[NodeDescriptor],
+                      name: QName | None,
+                      text: str | None) -> NodeDescriptor:
         left = siblings[index - 1] if index > 0 else None
         right = siblings[index] if index < len(siblings) else None
         nid = self.numbering.child_label(
             parent.nid,
             left.nid if left is not None else None,
             right.nid if right is not None else None)
+        manager = self.txn_manager
+        if manager is not None and manager.logging:
+            # Write-ahead: the logical record (with the label the
+            # mutation is about to assign) hits the log first.
+            manager.log_insert(parent, index, name, text, nid)
         if name is not None:
             schema_node = self.schema.get_or_add_child(
                 parent.schema_node, name, "element")
@@ -427,6 +467,8 @@ class StorageEngine:
         self.insert_count += 1
         if obs.ENABLED:
             obs.REGISTRY.counter("storage.inserts").inc()
+        if manager is not None and manager.logging:
+            manager.applied_insert(descriptor)
         return descriptor
 
     def set_attribute(self, parent: NodeDescriptor, name: QName,
@@ -440,27 +482,51 @@ class StorageEngine:
         (Proposition 1 extends to value updates).  Without it, a
         duplicate raises.
         """
+        if parent.node_type != "element":
+            raise UpdateError(
+                f"only element nodes take attributes, not "
+                f"{parent.node_type}")
+        if parent.block is None:
+            raise UpdateError(f"{parent!r} is not stored in this engine")
         schema_node = self.schema.get_or_add_child(
             parent.schema_node, name, "attribute")
         index = parent.schema_node.child_index(schema_node)
         existing = parent.first_child_for(index)
+        if existing is not None and not replace:
+            raise UpdateError(
+                f"attribute {name.lexical} already present")
+        with self._autocommit():
+            return self._set_attribute(parent, name, value, schema_node,
+                                       index, existing)
+
+    def _set_attribute(self, parent: NodeDescriptor, name: QName,
+                       value: str, schema_node: SchemaNode, index: int,
+                       existing: NodeDescriptor | None) -> NodeDescriptor:
+        manager = self.txn_manager
+        logged = manager is not None and manager.logging
         if existing is not None:
-            if not replace:
-                raise StorageError(
-                    f"attribute {name.lexical} already present")
+            if logged:
+                manager.log_set_attribute(parent, name, value,
+                                          existing.nid, replace=True)
+            old_value = existing.value
             existing.value = value
+            if logged:
+                manager.applied_set_attribute(existing, old_value,
+                                              created=False)
             return existing
         children = self._children_of(parent)
         right = children[0] if children else None
-        existing = self.attributes(parent)
         left = None
-        for attribute in existing:
+        for attribute in self.attributes(parent):
             if left is None or before(left.nid, attribute.nid):
                 left = attribute
         nid = self.numbering.child_label(
             parent.nid,
             left.nid if left is not None else None,
             right.nid if right is not None else None)
+        if logged:
+            manager.log_set_attribute(parent, name, value, nid,
+                                      replace=False)
         descriptor = self._new_descriptor(schema_node, nid, value=value)
         descriptor.parent = parent
         self._place_descriptor(descriptor)
@@ -468,24 +534,83 @@ class StorageEngine:
         self.insert_count += 1
         if obs.ENABLED:
             obs.REGISTRY.counter("storage.inserts").inc()
+        if logged:
+            manager.applied_set_attribute(descriptor, None, created=True)
         return descriptor
 
     def delete_subtree(self, descriptor: NodeDescriptor) -> int:
         """Remove a node and its whole subtree; returns nodes removed."""
         if descriptor is self.document:
-            raise StorageError("cannot delete the document node")
+            raise UpdateError("cannot delete the document node")
+        if descriptor.block is None:
+            raise UpdateError(
+                f"{descriptor!r} is not stored (already deleted?)")
+        with self._autocommit():
+            manager = self.txn_manager
+            if manager is not None and manager.logging:
+                manager.log_delete(descriptor)
+            return self._delete_subtree(descriptor)
+
+    def _delete_subtree(self, descriptor: NodeDescriptor) -> int:
         removed = 0
         for attribute in list(self.attributes(descriptor)):
             self._remove_descriptor(attribute)
             removed += 1
         for child in list(self.children(descriptor)):
-            removed += self.delete_subtree(child)
+            removed += self._delete_subtree(child)
         self._unlink_from_siblings(descriptor)
         self._remove_descriptor(descriptor)
         self.delete_count += 1
         if obs.ENABLED:
             obs.REGISTRY.counter("storage.deletes").inc()
         return removed + 1
+
+    # -- inverse operations (transaction rollback) ----------------------
+
+    def _undo_insert(self, descriptor: NodeDescriptor) -> None:
+        """Take back a single inserted descriptor (no logging)."""
+        if descriptor.node_type != "attribute":
+            self._unlink_from_siblings(descriptor)
+        self._remove_descriptor(descriptor)
+
+    def _restore_subtree(self, entries: list[tuple]) -> int:
+        """Rebuild a deleted subtree label-exactly from a snapshot.
+
+        *entries* come in document order (parents first); each is
+        ``(schema_node, nid, value, parent_key)`` where *parent_key*
+        is a live descriptor for the subtree root and the nid symbols
+        of an earlier entry below it.  Sibling positions are recovered
+        from the labels alone — which is exactly why labels make
+        inverse operations cheap.
+        """
+        restored: dict[tuple, NodeDescriptor] = {}
+        for schema_node, nid, value, parent_key in entries:
+            if isinstance(parent_key, NodeDescriptor):
+                parent = parent_key
+            else:
+                parent = restored[parent_key]
+            descriptor = self._new_descriptor(schema_node, nid,
+                                              value=value)
+            descriptor.parent = parent
+            if descriptor.node_type != "attribute":
+                left: NodeDescriptor | None = None
+                right: NodeDescriptor | None = None
+                for sibling in self.children(parent):
+                    if before(sibling.nid, nid):
+                        left = sibling
+                    else:
+                        right = sibling
+                        break
+                descriptor.left_sibling = left
+                descriptor.right_sibling = right
+                if left is not None:
+                    left.right_sibling = descriptor
+                if right is not None:
+                    right.left_sibling = descriptor
+            self._place_descriptor(descriptor)
+            self._register_child_pointer(parent, descriptor)
+            restored[nid.symbols()] = descriptor
+        return len(restored)
 
     def _unlink_from_siblings(self, descriptor: NodeDescriptor) -> None:
         parent = descriptor.parent
@@ -514,6 +639,7 @@ class StorageEngine:
         descriptor.right_sibling = None
 
     def _remove_descriptor(self, descriptor: NodeDescriptor) -> None:
+        faults.fire("descriptor.unlink")
         block = descriptor.block
         if block is None:
             raise StorageError(f"{descriptor!r} is not stored")

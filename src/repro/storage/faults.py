@@ -1,0 +1,159 @@
+"""Deterministic fault injection for the durability layer.
+
+The crash model is the standard one for write-ahead logging: a crash
+destroys everything in memory and leaves the *files* (checkpoint image
+and WAL) exactly as far as they were written.  The harness simulates
+the kill in-process: an armed :class:`FaultPlan` makes the named crash
+point raise :class:`CrashError`, the test discards the engine object
+(that is the "memory dies" part), and recovery must reconstruct a
+consistent engine from the files alone.
+
+:class:`CrashError` deliberately does **not** derive from
+``ReproError`` — a simulated process death must never be swallowed by
+the library's own ``except ReproError`` handlers (or by a rollback
+path); it has to unwind like a SIGKILL.
+
+Two injection styles:
+
+* *targeted* — ``FaultPlan().crash_at("wal.append", hit=2)`` kills the
+  process model at the second WAL append; the crash-matrix tests walk
+  every named point this way;
+* *probabilistic* — ``FaultPlan.probabilistic(seed=7, rate=0.05)``
+  flips a seeded coin at every point it passes, for randomized
+  convergence sweeps.  Same seed, same crashes: fully deterministic.
+
+The instrumented sites call :func:`fire` (crash-before-effect) or, for
+torn writes, :func:`wants` followed by a deliberate partial write and
+an explicit raise — that is how the tests produce half-written WAL
+records and checkpoint images.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+#: Every named crash point threaded through the storage layer.  The
+#: crash-matrix test parametrizes over exactly this set, so adding a
+#: point here without instrumenting a site fails the suite.
+CRASH_POINTS = frozenset({
+    "wal.append",         # before a WAL record reaches the file
+    "wal.append.torn",    # mid-append: only half the record lands
+    "wal.fsync",          # record written, crash before the fsync
+    "wal.commit",         # before the COMMIT record is appended
+    "block.split",        # right after a data block split (§9.2)
+    "descriptor.unlink",  # mid-delete, before a descriptor unlinks
+    "persist.write",      # before the checkpoint temp file is written
+    "persist.write.torn", # mid checkpoint write: half the image lands
+    "persist.rename",     # before the atomic checkpoint rename
+})
+
+
+class CrashError(RuntimeError):
+    """Simulated process death at a crash point.
+
+    Not a ``ReproError`` on purpose: recovery code and transaction
+    rollback must never catch it by accident.
+    """
+
+    def __init__(self, point: str) -> None:
+        self.point = point
+        super().__init__(f"simulated crash at {point!r}")
+
+
+class FaultPlan:
+    """A deterministic schedule of crashes over the named points."""
+
+    def __init__(self, seed: Optional[int] = None, rate: float = 0.0,
+                 points: Optional[frozenset[str] | set[str]] = None
+                 ) -> None:
+        if points:
+            unknown = set(points) - CRASH_POINTS
+            if unknown:
+                raise ValueError(f"unknown crash points: {sorted(unknown)}")
+        self._armed: dict[str, int] = {}
+        self._rng = random.Random(seed) if seed is not None else None
+        self._rate = rate
+        self._points = frozenset(points) if points else CRASH_POINTS
+        self.hits: Counter[str] = Counter()
+        #: (point, hit index) pairs where this plan decided to crash.
+        self.fired: list[tuple[str, int]] = []
+
+    @classmethod
+    def probabilistic(cls, seed: int, rate: float = 0.05,
+                      points: Optional[set[str]] = None) -> "FaultPlan":
+        """A seeded coin-flip plan: crash with *rate* at each point."""
+        return cls(seed=seed, rate=rate, points=points)
+
+    def crash_at(self, point: str, hit: int = 1) -> "FaultPlan":
+        """Arm a targeted crash: die the *hit*-th time *point* fires."""
+        if point not in CRASH_POINTS:
+            raise ValueError(f"unknown crash point {point!r}")
+        if hit < 1:
+            raise ValueError("hit counts are 1-based")
+        self._armed[point] = hit
+        return self
+
+    def should_crash(self, point: str) -> bool:
+        """One passage through *point*: does the plan kill here?"""
+        self.hits[point] += 1
+        armed = self._armed.get(point)
+        if armed is not None and self.hits[point] == armed:
+            self.fired.append((point, self.hits[point]))
+            return True
+        if (self._rng is not None and point in self._points
+                and self._rng.random() < self._rate):
+            self.fired.append((point, self.hits[point]))
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        targeted = {p: h for p, h in self._armed.items()}
+        return (f"FaultPlan(targeted={targeted}, rate={self._rate}, "
+                f"fired={len(self.fired)})")
+
+
+#: The active plan.  ``None`` (the default) makes every instrumented
+#: site a single attribute test — production paths pay nothing.
+ACTIVE: Optional[FaultPlan] = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Arm *plan* process-wide."""
+    global ACTIVE
+    ACTIVE = plan
+
+
+def clear() -> None:
+    """Disarm fault injection."""
+    global ACTIVE
+    ACTIVE = None
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scoped installation: ``with faults.injected(plan): ...``."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()
+
+
+def fire(point: str) -> None:
+    """Crash here if the active plan says so (no-op otherwise)."""
+    plan = ACTIVE
+    if plan is not None and plan.should_crash(point):
+        raise CrashError(point)
+
+
+def wants(point: str) -> bool:
+    """Non-raising probe for torn-write points.
+
+    The caller performs the partial write itself and then raises
+    :class:`CrashError` — see ``wal.append`` and the checkpoint writer.
+    """
+    plan = ACTIVE
+    return plan is not None and plan.should_crash(point)

@@ -9,23 +9,32 @@ equivalent engine from it.  Labels are stored digit-exactly, so
 document order, ancestry and future gap insertions behave identically
 after a round trip.
 
-Format (little-endian, fixed-width):
+Format (little-endian, fixed-width), version 2::
 
-* header: magic ``SEDNAPY1``, base (u16), block capacity (u16);
+* header: magic ``SEDNAPY2``, base (u16), block capacity (u16),
+  checkpoint LSN (u64) — the WAL horizon this image covers;
 * schema nodes in pre-order: parent index (u32), type tag (u8),
   name URI and local (length-prefixed UTF-8, only for named kinds);
 * descriptors in document order: schema node index (u32), the nid as
   component-count / digits-per-component (u16s), parent and sibling
   ids (u32, ``0xFFFFFFFF`` = none), optional text value;
 * per schema node: its blocks as lists of descriptor ids in in-block
-  chain (document) order.
+  chain (document) order;
+* trailer: CRC32 (u32) of every preceding byte, header included.
+
+Version 1 images (magic ``SEDNAPY1``: no LSN, no trailer) still load;
+each such load bumps the ``persist.legacy_images`` warning counter.
+Any truncated or garbled input surfaces as :class:`StorageError` with
+the byte offset of the damage — never a raw ``struct.error``.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from typing import BinaryIO
 
+from repro import obs
 from repro.errors import StorageError
 from repro.xmlio.qname import QName
 from repro.storage.blocks import Block
@@ -34,7 +43,8 @@ from repro.storage.dschema import SchemaNode
 from repro.storage.engine import StorageEngine
 from repro.storage.labels import NidLabel
 
-_MAGIC = b"SEDNAPY1"
+_MAGIC_V1 = b"SEDNAPY1"
+_MAGIC_V2 = b"SEDNAPY2"
 _NONE = 0xFFFFFFFF
 
 _TYPE_TAGS = {"document": 0, "element": 1, "attribute": 2, "text": 3}
@@ -42,22 +52,36 @@ _TAG_TYPES = {tag: name for name, tag in _TYPE_TAGS.items()}
 
 
 class _Writer:
+    """Field writer that maintains the running CRC32 of the image."""
+
     def __init__(self, stream: BinaryIO) -> None:
         self._stream = stream
+        self.crc = 0
+
+    def raw(self, data: bytes) -> None:
+        self._stream.write(data)
+        self.crc = zlib.crc32(data, self.crc)
 
     def u8(self, value: int) -> None:
-        self._stream.write(struct.pack("<B", value))
+        self.raw(struct.pack("<B", value))
 
     def u16(self, value: int) -> None:
-        self._stream.write(struct.pack("<H", value))
+        self.raw(struct.pack("<H", value))
 
     def u32(self, value: int) -> None:
-        self._stream.write(struct.pack("<I", value))
+        self.raw(struct.pack("<I", value))
+
+    def u64(self, value: int) -> None:
+        self.raw(struct.pack("<Q", value))
 
     def text(self, value: str) -> None:
         data = value.encode("utf-8")
         self.u32(len(data))
-        self._stream.write(data)
+        self.raw(data)
+
+    def trailer(self) -> None:
+        """The CRC32 of everything written so far (not self-included)."""
+        self._stream.write(struct.pack("<I", self.crc))
 
 
 class _Reader:
@@ -67,7 +91,10 @@ class _Reader:
 
     def _take(self, count: int) -> bytes:
         if self._pos + count > len(self._data):
-            raise StorageError("truncated storage image")
+            raise StorageError(
+                f"truncated storage image at byte {self._pos} "
+                f"(wanted {count} more byte(s), "
+                f"{len(self._data) - self._pos} left)")
         chunk = self._data[self._pos:self._pos + count]
         self._pos += count
         return chunk
@@ -81,21 +108,37 @@ class _Reader:
     def u32(self) -> int:
         return struct.unpack("<I", self._take(4))[0]
 
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
     def text(self) -> str:
-        return self._take(self.u32()).decode("utf-8")
+        start = self._pos
+        raw = self._take(self.u32())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise StorageError(
+                f"corrupt text in storage image at byte {start}: "
+                f"{error}") from error
 
     def at_end(self) -> bool:
         return self._pos == len(self._data)
 
 
-def dump_engine(engine: StorageEngine, stream: BinaryIO) -> None:
-    """Serialize *engine* into *stream*."""
+def dump_engine(engine: StorageEngine, stream: BinaryIO,
+                checkpoint_lsn: int = 0) -> None:
+    """Serialize *engine* into *stream* (version 2 image).
+
+    *checkpoint_lsn* is the WAL horizon the image covers — recovery
+    replays only log records strictly beyond it.
+    """
     if engine.document is None:
         raise StorageError("cannot dump an empty engine")
     writer = _Writer(stream)
-    stream.write(_MAGIC)
+    writer.raw(_MAGIC_V2)
     writer.u16(engine.numbering.base)
     writer.u16(engine.block_capacity)
+    writer.u64(checkpoint_lsn)
 
     schema_nodes = list(engine.schema.iter_nodes())
     schema_index = {id(node): i for i, node in enumerate(schema_nodes)}
@@ -138,23 +181,65 @@ def dump_engine(engine: StorageEngine, stream: BinaryIO) -> None:
             for descriptor in ordered:
                 writer.u32(descriptor_index[id(descriptor)])
 
+    writer.trailer()
 
-def dumps_engine(engine: StorageEngine) -> bytes:
+
+def dumps_engine(engine: StorageEngine, checkpoint_lsn: int = 0) -> bytes:
     """Serialize *engine* to a bytes image."""
     import io
     buffer = io.BytesIO()
-    dump_engine(engine, buffer)
+    dump_engine(engine, buffer, checkpoint_lsn=checkpoint_lsn)
     return buffer.getvalue()
 
 
 def load_engine(data: bytes) -> StorageEngine:
-    """Reconstruct an engine from a binary image."""
-    reader = _Reader(data)
-    if reader._take(len(_MAGIC)) != _MAGIC:
+    """Reconstruct an engine from a binary image (either version)."""
+    magic_len = len(_MAGIC_V2)
+    if len(data) < magic_len:
+        raise StorageError("not a storage image (shorter than the magic)")
+    magic = data[:magic_len]
+    if magic == _MAGIC_V2:
+        if len(data) < magic_len + 4:
+            raise StorageError(
+                "truncated storage image (no room for the CRC trailer)")
+        (expected,) = struct.unpack("<I", data[-4:])
+        actual = zlib.crc32(data[:-4])
+        if actual != expected:
+            raise StorageError(
+                f"storage image CRC mismatch: trailer says "
+                f"{expected:#010x}, content hashes to {actual:#010x} "
+                "(torn or corrupted image)")
+        body = data[:-4]
+        legacy = False
+    elif magic == _MAGIC_V1:
+        body = data
+        legacy = True
+        if obs.ENABLED:
+            # The warning counter for pre-trailer images: they load,
+            # but without whole-image corruption detection.
+            obs.REGISTRY.counter("persist.legacy_images").inc()
+    else:
         raise StorageError("not a storage image (bad magic)")
+
+    reader = _Reader(body)
+    reader._take(magic_len)
+    try:
+        return _parse_image(reader, legacy)
+    except StorageError:
+        raise
+    except (struct.error, UnicodeDecodeError, IndexError,
+            OverflowError, MemoryError) as error:
+        raise StorageError(
+            f"corrupt storage image at byte {reader._pos}: "
+            f"{error}") from error
+
+
+def _parse_image(reader: _Reader, legacy: bool) -> StorageEngine:
     base = reader.u16()
     capacity = reader.u16()
+    checkpoint_lsn = 0 if legacy else reader.u64()
     engine = StorageEngine(base=base, block_capacity=capacity)
+    engine.checkpoint_lsn = checkpoint_lsn
 
     schema_count = reader.u32()
     schema_nodes: list[SchemaNode] = []
@@ -162,7 +247,8 @@ def load_engine(data: bytes) -> StorageEngine:
         parent_index = reader.u32()
         node_type = _TAG_TYPES.get(reader.u8())
         if node_type is None:
-            raise StorageError("unknown schema node type tag")
+            raise StorageError(
+                f"unknown schema node type tag at byte {reader._pos}")
         if node_type in ("element", "attribute"):
             uri = reader.text()
             local = reader.text()
@@ -174,6 +260,10 @@ def load_engine(data: bytes) -> StorageEngine:
                 raise StorageError("malformed schema tree")
             schema_nodes.append(engine.schema.root)
             continue
+        if parent_index >= len(schema_nodes):
+            raise StorageError(
+                f"schema parent index {parent_index} out of range "
+                f"at byte {reader._pos}")
         parent = schema_nodes[parent_index]
         child = engine.schema.get_or_add_child(parent, name, node_type)
         schema_nodes.append(child)
@@ -182,7 +272,12 @@ def load_engine(data: bytes) -> StorageEngine:
     descriptors: list[NodeDescriptor] = []
     links: list[tuple[int, int, int]] = []
     for _ in range(descriptor_count):
-        schema_node = schema_nodes[reader.u32()]
+        schema_ref = reader.u32()
+        if schema_ref >= len(schema_nodes):
+            raise StorageError(
+                f"descriptor schema index {schema_ref} out of range "
+                f"at byte {reader._pos}")
+        schema_node = schema_nodes[schema_ref]
         component_count = reader.u16()
         components = []
         for _c in range(component_count):
@@ -200,6 +295,10 @@ def load_engine(data: bytes) -> StorageEngine:
 
     for descriptor, (parent_id, left_id, right_id) in zip(descriptors,
                                                           links):
+        for link_id in (parent_id, left_id, right_id):
+            if link_id != _NONE and link_id >= len(descriptors):
+                raise StorageError(
+                    f"descriptor link {link_id} out of range")
         if parent_id != _NONE:
             descriptor.parent = descriptors[parent_id]
         if left_id != _NONE:
@@ -222,13 +321,19 @@ def load_engine(data: bytes) -> StorageEngine:
             member_count = reader.u32()
             last: NodeDescriptor | None = None
             for _m in range(member_count):
-                descriptor = descriptors[reader.u32()]
+                member_id = reader.u32()
+                if member_id >= len(descriptors):
+                    raise StorageError(
+                        f"block member {member_id} out of range "
+                        f"at byte {reader._pos}")
+                descriptor = descriptors[member_id]
                 block.insert_after(descriptor, last)
                 last = descriptor
                 schema_node.descriptor_count += 1
 
     if not reader.at_end():
-        raise StorageError("trailing bytes in storage image")
+        raise StorageError(
+            f"trailing bytes in storage image after byte {reader._pos}")
 
     # Rebuild the first-child-by-schema pointers from the links.
     for descriptor in descriptors:

@@ -1,0 +1,369 @@
+"""A binary write-ahead log of logical update records.
+
+Sedna pairs the §9 physical layout with logging and recovery; this
+module is the logging half.  Every engine mutation appends one
+*logical* record — insert/set-attribute/delete expressed in terms of
+numbering labels (nids), which Proposition 1 guarantees are stable —
+**before** the in-memory structures change, so a crash at any point
+leaves a log that replays to exactly the committed state.
+
+File layout (little-endian)::
+
+    header:  magic "SEDNAWAL", version u16
+    record:  payload_len u32, crc32(payload) u32, payload
+    payload: lsn u64, kind u8, txn u64, body (per kind)
+
+Record kinds: BEGIN / COMMIT / ABORT frame transactions;
+INSERT_ELEMENT / INSERT_TEXT / SET_ATTRIBUTE / DELETE are the logical
+updates; CHECKPOINT marks a log reset after an image checkpoint.
+
+Torn-tail semantics: :func:`read_wal` stops at the first record whose
+frame is incomplete or whose CRC32 does not match, reporting the valid
+prefix length.  Opening a log for append truncates such a tail first,
+so new records are never written behind garbage.
+
+LSNs are monotone across the life of the log, *including* checkpoint
+resets — the checkpoint image stores the LSN it covers, and recovery
+replays only records beyond it, which makes the
+crash-between-rename-and-log-reset window idempotent.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro import obs
+from repro.errors import StorageError
+from repro.storage import faults
+from repro.storage.faults import CrashError
+from repro.storage.labels import NidLabel
+from repro.xmlio.qname import QName
+
+_MAGIC = b"SEDNAWAL"
+_VERSION = 1
+_HEADER_LEN = len(_MAGIC) + 2
+
+# Record kinds.
+BEGIN = 1
+COMMIT = 2
+ABORT = 3
+INSERT_ELEMENT = 4
+INSERT_TEXT = 5
+SET_ATTRIBUTE = 6
+DELETE = 7
+CHECKPOINT = 8
+
+#: The kinds recovery replays (everything else is framing).
+OP_KINDS = frozenset({INSERT_ELEMENT, INSERT_TEXT, SET_ATTRIBUTE, DELETE})
+
+_KIND_NAMES = {
+    BEGIN: "begin", COMMIT: "commit", ABORT: "abort",
+    INSERT_ELEMENT: "insert-element", INSERT_TEXT: "insert-text",
+    SET_ATTRIBUTE: "set-attribute", DELETE: "delete",
+    CHECKPOINT: "checkpoint",
+}
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record (fields unused by the kind stay None)."""
+
+    lsn: int
+    kind: int
+    txn: int
+    parent_nid: Optional[NidLabel] = None
+    nid: Optional[NidLabel] = None
+    index: int = 0
+    name: Optional[QName] = None
+    text: Optional[str] = None
+    replace: bool = False
+    checkpoint_lsn: int = 0
+
+    @property
+    def kind_name(self) -> str:
+        return _KIND_NAMES.get(self.kind, f"kind-{self.kind}")
+
+
+@dataclass
+class WalScan:
+    """The result of reading a log file."""
+
+    records: list[WalRecord] = field(default_factory=list)
+    valid_bytes: int = 0
+    torn_bytes: int = 0
+
+    @property
+    def torn(self) -> bool:
+        return self.torn_bytes > 0
+
+    def committed_txns(self) -> set[int]:
+        return {r.txn for r in self.records if r.kind == COMMIT}
+
+    def aborted_txns(self) -> set[int]:
+        return {r.txn for r in self.records if r.kind == ABORT}
+
+
+# ----------------------------------------------------------------------
+# Encoding helpers.
+
+
+def _pack_nid(out: bytearray, nid: NidLabel) -> None:
+    out += struct.pack("<H", len(nid.components))
+    for component in nid.components:
+        out += struct.pack("<H", len(component))
+        for digit in component:
+            out += struct.pack("<H", digit)
+
+
+def _pack_text(out: bytearray, value: str) -> None:
+    data = value.encode("utf-8")
+    out += struct.pack("<I", len(data))
+    out += data
+
+
+class _PayloadReader:
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise StorageError(
+                f"malformed WAL payload at byte {self._pos}")
+        chunk = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def nid(self) -> NidLabel:
+        count = self.u16()
+        components = []
+        for _ in range(count):
+            length = self.u16()
+            components.append(tuple(self.u16() for _ in range(length)))
+        return NidLabel(tuple(components))
+
+    def text(self) -> str:
+        return self._take(self.u32()).decode("utf-8")
+
+
+def _decode_payload(payload: bytes) -> WalRecord:
+    reader = _PayloadReader(payload)
+    lsn = reader.u64()
+    kind = reader.u8()
+    txn = reader.u64()
+    if kind in (BEGIN, COMMIT, ABORT):
+        return WalRecord(lsn, kind, txn)
+    if kind == INSERT_ELEMENT:
+        parent = reader.nid()
+        index = reader.u32()
+        name = QName(reader.text(), reader.text())
+        return WalRecord(lsn, kind, txn, parent_nid=parent, index=index,
+                         name=name, nid=reader.nid())
+    if kind == INSERT_TEXT:
+        parent = reader.nid()
+        index = reader.u32()
+        text = reader.text()
+        return WalRecord(lsn, kind, txn, parent_nid=parent, index=index,
+                         text=text, nid=reader.nid())
+    if kind == SET_ATTRIBUTE:
+        parent = reader.nid()
+        name = QName(reader.text(), reader.text())
+        value = reader.text()
+        replace = bool(reader.u8())
+        return WalRecord(lsn, kind, txn, parent_nid=parent, name=name,
+                         text=value, replace=replace, nid=reader.nid())
+    if kind == DELETE:
+        return WalRecord(lsn, kind, txn, nid=reader.nid())
+    if kind == CHECKPOINT:
+        return WalRecord(lsn, kind, txn, checkpoint_lsn=reader.u64())
+    raise StorageError(f"unknown WAL record kind {kind}")
+
+
+def read_wal(path: str | os.PathLike) -> WalScan:
+    """Scan a log file up to the first torn or corrupt record."""
+    path = Path(path)
+    if not path.exists():
+        return WalScan()
+    data = path.read_bytes()
+    if not data:
+        return WalScan()
+    if len(data) < _HEADER_LEN or data[:len(_MAGIC)] != _MAGIC:
+        raise StorageError(f"{path} is not a write-ahead log (bad magic)")
+    version = struct.unpack_from("<H", data, len(_MAGIC))[0]
+    if version != _VERSION:
+        raise StorageError(f"unsupported WAL version {version}")
+    scan = WalScan(valid_bytes=_HEADER_LEN)
+    pos = _HEADER_LEN
+    while pos < len(data):
+        if pos + 8 > len(data):
+            break  # torn frame header
+        length, crc = struct.unpack_from("<II", data, pos)
+        if pos + 8 + length > len(data):
+            break  # torn payload
+        payload = data[pos + 8:pos + 8 + length]
+        if zlib.crc32(payload) != crc:
+            break  # corrupt payload: treat as torn tail
+        scan.records.append(_decode_payload(payload))
+        pos += 8 + length
+        scan.valid_bytes = pos
+    scan.torn_bytes = len(data) - scan.valid_bytes
+    return scan
+
+
+class WriteAheadLog:
+    """An append-only log file with per-record CRC32 and monotone LSNs.
+
+    ``sync=False`` skips the per-record ``fsync`` (the benchmarks use
+    it to separate the logging tax from the disk tax); the bytes still
+    reach the OS on every append via ``flush``.
+    """
+
+    def __init__(self, path: str | os.PathLike, sync: bool = True) -> None:
+        self.path = Path(path)
+        self.sync = sync
+        self.last_lsn = 0
+        self.appends = 0
+        self.bytes_written = 0
+        if self.path.exists() and self.path.stat().st_size > 0:
+            scan = read_wal(self.path)
+            if scan.records:
+                self.last_lsn = scan.records[-1].lsn
+            if scan.torn:
+                # Never append behind garbage: drop the torn tail.
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(scan.valid_bytes)
+            self._file = open(self.path, "ab")
+        else:
+            self._file = open(self.path, "wb")
+            self._write_header()
+
+    def _write_header(self) -> None:
+        self._file.write(_MAGIC + struct.pack("<H", _VERSION))
+        self._file.flush()
+
+    # -- the one write path ---------------------------------------------
+
+    def _append(self, kind: int, txn: int, body: bytes) -> int:
+        if self._file.closed:
+            raise StorageError("write-ahead log is closed")
+        lsn = self.last_lsn + 1
+        payload = bytearray(struct.pack("<QBQ", lsn, kind, txn))
+        payload += body
+        frame = struct.pack("<II", len(payload),
+                            zlib.crc32(bytes(payload))) + payload
+        faults.fire("wal.append")
+        if faults.wants("wal.append.torn"):
+            # A torn write: half the frame lands, then the process dies.
+            self._file.write(frame[:max(1, len(frame) // 2)])
+            self._file.flush()
+            raise CrashError("wal.append.torn")
+        self._file.write(frame)
+        self._file.flush()
+        faults.fire("wal.fsync")
+        if self.sync:
+            os.fsync(self._file.fileno())
+        self.last_lsn = lsn
+        self.appends += 1
+        self.bytes_written += len(frame)
+        if obs.ENABLED:
+            obs.REGISTRY.counter("wal.appends").inc()
+            obs.REGISTRY.counter("wal.bytes").inc(len(frame))
+        return lsn
+
+    # -- record constructors --------------------------------------------
+
+    def append_begin(self, txn: int) -> int:
+        return self._append(BEGIN, txn, b"")
+
+    def append_commit(self, txn: int) -> int:
+        faults.fire("wal.commit")
+        return self._append(COMMIT, txn, b"")
+
+    def append_abort(self, txn: int) -> int:
+        return self._append(ABORT, txn, b"")
+
+    def append_insert_element(self, txn: int, parent_nid: NidLabel,
+                              index: int, name: QName,
+                              nid: NidLabel) -> int:
+        body = bytearray()
+        _pack_nid(body, parent_nid)
+        body += struct.pack("<I", index)
+        _pack_text(body, name.uri)
+        _pack_text(body, name.local)
+        _pack_nid(body, nid)
+        return self._append(INSERT_ELEMENT, txn, bytes(body))
+
+    def append_insert_text(self, txn: int, parent_nid: NidLabel,
+                           index: int, text: str, nid: NidLabel) -> int:
+        body = bytearray()
+        _pack_nid(body, parent_nid)
+        body += struct.pack("<I", index)
+        _pack_text(body, text)
+        _pack_nid(body, nid)
+        return self._append(INSERT_TEXT, txn, bytes(body))
+
+    def append_set_attribute(self, txn: int, parent_nid: NidLabel,
+                             name: QName, value: str, nid: NidLabel,
+                             replace: bool) -> int:
+        body = bytearray()
+        _pack_nid(body, parent_nid)
+        _pack_text(body, name.uri)
+        _pack_text(body, name.local)
+        _pack_text(body, value)
+        body += struct.pack("<B", 1 if replace else 0)
+        _pack_nid(body, nid)
+        return self._append(SET_ATTRIBUTE, txn, bytes(body))
+
+    def append_delete(self, txn: int, nid: NidLabel) -> int:
+        body = bytearray()
+        _pack_nid(body, nid)
+        return self._append(DELETE, txn, bytes(body))
+
+    # -- checkpoint reset ------------------------------------------------
+
+    def reset(self, checkpoint_lsn: int) -> None:
+        """Start a fresh log after a checkpoint covering *checkpoint_lsn*.
+
+        The file is truncated and re-headed; the first record is a
+        CHECKPOINT marker.  LSNs keep counting up, so every record in
+        the fresh log is strictly beyond the image's horizon.
+        """
+        self._file.close()
+        self._file = open(self.path, "wb")
+        self._write_header()
+        self._append(CHECKPOINT, 0,
+                     struct.pack("<Q", checkpoint_lsn))
+        if self.sync:
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"WriteAheadLog({str(self.path)!r}, lsn={self.last_lsn}, "
+                f"appends={self.appends})")

@@ -51,6 +51,17 @@ def test_run_all_smoke_writes_report(tmp_path, capsys):
     workload = metrics["numbering_workload"]
     assert workload["scheme"] == "sedna"
     assert workload["relabels"] == 0
+    # The durability record: WAL overhead is measured, the recovery
+    # path replays the logged mutations, and replay never relabels.
+    durability = report["durability"]
+    assert durability["ops_plain"] > 0
+    assert durability["ops_wal"] > 0
+    assert durability["ops_wal_fsync"] > 0
+    assert durability["wal_records"] > 0
+    assert durability["wal_bytes"] > 0
+    assert durability["image_bytes"] > 0
+    assert durability["recovery_replayed"] == 2 * durability["operations"]
+    assert durability["recovery_relabels"] == 0
     capsys.readouterr()  # swallow the printed table
 
 

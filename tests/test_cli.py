@@ -166,3 +166,85 @@ class TestExplain:
 
     def test_bad_path(self, files, capsys):
         assert main(["explain", files["valid.xml"], "not-a-path"]) == 2
+
+
+class TestCheckpointRecover:
+    def test_checkpoint_then_recover(self, files, tmp_path, capsys):
+        image = str(tmp_path / "store.img")
+        wal = str(tmp_path / "store.wal")
+        assert main(["checkpoint", files["books.xml"], image,
+                     "--wal", wal]) == 0
+        out = capsys.readouterr().out
+        assert "checkpointed" in out and image in out
+        assert main(["recover", image, "--wal", wal,
+                     "--schema", files["books.xsd"], "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "relabels:         0" in out
+        assert "conformance:      ok" in out
+
+    def test_checkpoint_json(self, files, tmp_path, capsys):
+        image = str(tmp_path / "store.img")
+        assert main(["checkpoint", files["books.xml"], image,
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["image"] == image
+        assert report["nodes"] > 0
+        assert report["checkpoint_lsn"] == 0
+
+    def test_recover_json(self, files, tmp_path, capsys):
+        image = str(tmp_path / "store.img")
+        assert main(["checkpoint", files["books.xml"], image]) == 0
+        capsys.readouterr()
+        assert main(["recover", image, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["replayed"] == 0
+        assert report["relabels"] == 0
+        assert report["nodes"] > 0
+
+    def test_recover_missing_image_exits_2(self, tmp_path, capsys):
+        assert main(["recover", str(tmp_path / "absent.img")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_recover_corrupt_image_exits_2(self, tmp_path, capsys):
+        image = tmp_path / "bad.img"
+        image.write_bytes(b"SEDNAPY2" + b"\x00" * 40)
+        assert main(["recover", str(image)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_checkpoint_missing_document_exits_2(self, tmp_path,
+                                                 capsys):
+        assert main(["checkpoint", str(tmp_path / "absent.xml"),
+                     str(tmp_path / "out.img")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestJsonErrorSurface:
+    def test_syntax_error_as_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b", encoding="utf-8")
+        assert main(["query", str(bad), "/a", "--json"]) == 2
+        report = json.loads(capsys.readouterr().out)
+        assert report["error"]["type"] == "XmlSyntaxError"
+        assert "unterminated" in report["error"]["message"]
+
+    def test_lexical_error_as_json(self, tmp_path, capsys):
+        schema = tmp_path / "int.xsd"
+        schema.write_text(wrap_in_schema(
+            '<xsd:element name="n" type="xsd:int"/>'), encoding="utf-8")
+        doc = tmp_path / "doc.xml"
+        doc.write_text("<n>abc</n>", encoding="utf-8")
+        assert main(["query", str(doc), "/n",
+                     "--schema", str(schema), "--json"]) == 2
+        report = json.loads(capsys.readouterr().out)
+        # The lexical failure surfaces through the validator's wrapper.
+        assert report["error"]["type"] == "ValidationError"
+        assert "'abc' is not a valid xs:int" in report["error"]["message"]
+
+    def test_error_without_json_goes_to_stderr(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b", encoding="utf-8")
+        assert main(["query", str(bad), "/a"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "error:" in captured.err

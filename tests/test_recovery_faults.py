@@ -1,0 +1,238 @@
+"""Crash-matrix tests: fault injection, atomic checkpoints, recovery.
+
+One workload, crashed at every named fault point (and under seeded
+probabilistic plans), must always recover to a §9-invariant-clean,
+§6.2-conformant engine holding exactly the committed transactions —
+with zero relabels (Proposition 1 across the crash).
+"""
+
+import shutil
+
+import pytest
+
+from repro import obs
+from repro.schema import parse_schema
+from repro.storage import (
+    CRASH_POINTS,
+    CrashError,
+    FaultPlan,
+    StorageEngine,
+    TransactionManager,
+    WriteAheadLog,
+    checkpoint,
+    recover,
+)
+from repro.storage import faults
+from repro.storage.recovery import RecoveryError
+from repro.workloads.bookstore import (
+    BOOKS_NAMESPACE,
+    make_bookstore_document,
+)
+from repro.workloads.fixtures import EXAMPLE_7_SCHEMA
+from repro.xmlio.qname import QName
+
+
+@pytest.fixture(autouse=True)
+def _no_leftover_plan():
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return parse_schema(EXAMPLE_7_SCHEMA)
+
+
+def _fresh_engine():
+    engine = StorageEngine(block_capacity=4)
+    engine.load_document(make_bookstore_document(books=6, seed=1))
+    return engine
+
+
+def _titles(engine):
+    store = engine.children(engine.document)[0]
+    return [engine.string_value(engine.children(book)[0])
+            for book in engine.children(store)]
+
+
+def _add_book(engine, manager, index, tag):
+    """One committed transaction inserting a complete Book."""
+    store = engine.children(engine.document)[0]
+    with manager.transaction():
+        book = engine.insert_child(store, index,
+                                   name=QName(BOOKS_NAMESPACE, "Book"))
+        fields = (("Title", f"T{tag}"), ("Author", f"A{tag}"),
+                  ("Date", "1999"), ("ISBN", f"i-{tag}"),
+                  ("Publisher", "P"))
+        for i, (name, text) in enumerate(fields):
+            leaf = engine.insert_child(
+                book, i, name=QName(BOOKS_NAMESPACE, name))
+            engine.insert_child(leaf, 0, text=text)
+
+
+def _run_scenario(tmp_path, plan=None):
+    """The workload under test; returns what survived before a crash.
+
+    Steps (each an explicit transaction over a 6-book store):
+    A: insert a full Book mid-order (forces block splits at capacity
+       4), B: delete the first Book, then a second checkpoint, C:
+       append a Book, D: begin inserting a Book and never commit.
+    The fault *plan* is installed only after the initial checkpoint.
+    The returned ``expected`` title list reflects exactly the
+    transactions whose COMMIT made it to the log.
+    """
+    image = tmp_path / "store.img"
+    wal_path = tmp_path / "store.wal"
+    engine = _fresh_engine()
+    initial = _titles(engine)
+    wal = WriteAheadLog(wal_path)
+    manager = TransactionManager(engine, wal)
+    checkpoint(engine, image, wal=wal)
+
+    expected = list(initial)
+    crashed_at = None
+    if plan is not None:
+        faults.install(plan)
+    try:
+        _add_book(engine, manager, 2, "A")
+        expected.insert(2, "TA")
+        store = engine.children(engine.document)[0]
+        with manager.transaction():
+            engine.delete_subtree(engine.children(store)[0])
+        expected.pop(0)
+        checkpoint(engine, image, wal=wal)
+        _add_book(engine, manager, len(expected), "C")
+        expected.append("TC")
+        manager.begin()
+        store = engine.children(engine.document)[0]
+        book = engine.insert_child(store, 0,
+                                   name=QName(BOOKS_NAMESPACE, "Book"))
+        title = engine.insert_child(book, 0,
+                                    name=QName(BOOKS_NAMESPACE, "Title"))
+        engine.insert_child(title, 0, text="TD")
+        # ...and the process dies before txn D ever commits.
+    except CrashError as crash:
+        crashed_at = crash.point
+    finally:
+        faults.clear()
+    return image, wal_path, expected, crashed_at
+
+
+def _assert_recovered(image, wal_path, expected, schema):
+    result = recover(image, wal_path, schema=schema, strict=True)
+    engine = result.engine
+    engine.check_invariants()
+    assert result.relabels == 0
+    assert _titles(engine) == expected
+    assert "TD" not in _titles(engine)  # uncommitted txn D never lands
+    return result
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("point", sorted(CRASH_POINTS))
+    def test_crash_at_every_point_recovers(self, tmp_path, schema,
+                                           point):
+        plan = FaultPlan()
+        plan.crash_at(point)
+        image, wal_path, expected, crashed_at = _run_scenario(
+            tmp_path, plan)
+        assert crashed_at == point, \
+            f"scenario never reached fault point {point}"
+        _assert_recovered(image, wal_path, expected, schema)
+
+    @pytest.mark.parametrize("point,hit", [
+        ("wal.append", 5), ("wal.append", 12), ("wal.fsync", 9),
+        ("wal.commit", 2), ("block.split", 2), ("descriptor.unlink", 8),
+    ])
+    def test_crash_at_deeper_hits(self, tmp_path, schema, point, hit):
+        plan = FaultPlan()
+        plan.crash_at(point, hit=hit)
+        image, wal_path, expected, crashed_at = _run_scenario(
+            tmp_path, plan)
+        assert crashed_at == point
+        _assert_recovered(image, wal_path, expected, schema)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_probabilistic_crash_sweep(self, tmp_path, schema, seed):
+        plan = FaultPlan.probabilistic(seed=seed, rate=0.05)
+        image, wal_path, expected, _crashed_at = _run_scenario(
+            tmp_path, plan)
+        # Whether or not (and wherever) the plan struck, recovery must
+        # reproduce exactly the committed prefix.
+        _assert_recovered(image, wal_path, expected, schema)
+
+    def test_clean_run_recovers_committed_state(self, tmp_path, schema):
+        image, wal_path, expected, crashed_at = _run_scenario(tmp_path)
+        assert crashed_at is None
+        result = _assert_recovered(image, wal_path, expected, schema)
+        assert result.discarded_txns  # txn D was begun, never committed
+
+    def test_proposition_1_counters_stay_zero(self, tmp_path, schema):
+        obs.reset()
+        obs.enable()
+        try:
+            plan = FaultPlan()
+            plan.crash_at("descriptor.unlink")
+            image, wal_path, expected, _ = _run_scenario(tmp_path, plan)
+            _assert_recovered(image, wal_path, expected, schema)
+            snapshot = obs.snapshot()
+            assert snapshot["numbering.relabels.sedna"] == 0
+            assert snapshot["storage.relabels"] == 0
+            assert snapshot["recovery.replayed"] > 0
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+class TestCheckpointAtomicity:
+    def test_torn_image_write_leaves_old_image_intact(self, tmp_path):
+        image = tmp_path / "store.img"
+        engine = _fresh_engine()
+        checkpoint(engine, image)
+        good = image.read_bytes()
+        plan = FaultPlan()
+        plan.crash_at("persist.write.torn")
+        faults.install(plan)
+        with pytest.raises(CrashError):
+            checkpoint(engine, image)
+        faults.clear()
+        assert image.read_bytes() == good  # os.replace never happened
+        recover(image).engine.check_invariants()
+
+    def test_crash_before_rename_leaves_old_image(self, tmp_path):
+        image = tmp_path / "store.img"
+        engine = _fresh_engine()
+        checkpoint(engine, image)
+        good = image.read_bytes()
+        plan = FaultPlan()
+        plan.crash_at("persist.rename")
+        faults.install(plan)
+        with pytest.raises(CrashError):
+            checkpoint(engine, image)
+        faults.clear()
+        assert image.read_bytes() == good
+
+    def test_replay_is_idempotent_past_the_horizon(self, tmp_path,
+                                                   schema):
+        """A crash between image rename and WAL reset must not
+        double-apply: records at or below the horizon are skipped."""
+        image = tmp_path / "store.img"
+        wal_path = tmp_path / "store.wal"
+        engine = _fresh_engine()
+        wal = WriteAheadLog(wal_path)
+        manager = TransactionManager(engine, wal)
+        checkpoint(engine, image, wal=wal)
+        _add_book(engine, manager, 2, "A")
+        expected = _titles(engine)
+        stale_wal = tmp_path / "stale.wal"
+        shutil.copy(wal_path, stale_wal)
+        checkpoint(engine, image, wal=wal)  # image now covers txn A
+        # Simulate the crash window: new image, *old* un-reset log.
+        result = recover(image, stale_wal, schema=schema, strict=True)
+        assert result.replayed == 0
+        assert result.skipped > 0
+        assert _titles(result.engine) == expected
+
+    def test_recover_missing_image_raises(self, tmp_path):
+        with pytest.raises(RecoveryError):
+            recover(tmp_path / "absent.img")

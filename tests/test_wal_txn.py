@@ -1,0 +1,293 @@
+"""Tests for the write-ahead log and the transaction manager."""
+
+import pytest
+
+from repro.errors import ReproError, StorageError, UpdateError
+from repro.storage import (
+    StorageEngine,
+    Transaction,
+    TransactionManager,
+    WriteAheadLog,
+    equal,
+    read_wal,
+)
+from repro.storage import wal as walmod
+from repro.xmlio import QName, parse_document
+from repro.workloads.fixtures import EXAMPLE_8_DOCUMENT
+
+
+def _engine(capacity: int = 4) -> StorageEngine:
+    engine = StorageEngine(block_capacity=capacity)
+    engine.load_document(parse_document(EXAMPLE_8_DOCUMENT))
+    return engine
+
+
+def _attached(tmp_path, capacity: int = 4, strict: bool = False):
+    engine = _engine(capacity)
+    wal = WriteAheadLog(tmp_path / "test.wal")
+    manager = TransactionManager(engine, wal, strict=strict)
+    return engine, wal, manager
+
+
+def _library(engine):
+    return engine.children(engine.document)[0]
+
+
+def _snapshot(engine):
+    return [(engine.node_kind(d), d.nid.symbols(), d.value)
+            for d in engine.iter_document_order()]
+
+
+class TestWalFormat:
+    def test_roundtrip_and_monotonic_lsns(self, tmp_path):
+        path = tmp_path / "a.wal"
+        wal = WriteAheadLog(path)
+        nid = _engine().document.nid
+        wal.append_begin(1)
+        wal.append_insert_element(1, nid, 0, QName("", "book"), nid)
+        wal.append_insert_text(1, nid, 0, "hello", nid)
+        wal.append_set_attribute(1, nid, QName("", "year"), "2004",
+                                 nid, replace=False)
+        wal.append_delete(1, nid)
+        wal.append_commit(1)
+        wal.close()
+
+        scan = read_wal(path)
+        assert [r.kind for r in scan.records] == [
+            walmod.BEGIN, walmod.INSERT_ELEMENT, walmod.INSERT_TEXT,
+            walmod.SET_ATTRIBUTE, walmod.DELETE, walmod.COMMIT]
+        assert [r.lsn for r in scan.records] == [1, 2, 3, 4, 5, 6]
+        assert not scan.torn
+        assert scan.committed_txns() == {1}
+        insert = scan.records[1]
+        assert insert.name == QName("", "book")
+        assert equal(insert.nid, nid)
+        text = scan.records[2]
+        assert text.text == "hello"
+        attribute = scan.records[3]
+        assert attribute.text == "2004"
+        assert attribute.replace is False
+
+    def test_reopen_continues_lsns(self, tmp_path):
+        path = tmp_path / "a.wal"
+        wal = WriteAheadLog(path)
+        wal.append_begin(1)
+        wal.append_commit(1)
+        wal.close()
+        wal = WriteAheadLog(path)
+        assert wal.last_lsn == 2
+        wal.append_begin(2)
+        wal.close()
+        assert [r.lsn for r in read_wal(path).records] == [1, 2, 3]
+
+    def test_crc_corruption_drops_the_tail(self, tmp_path):
+        path = tmp_path / "a.wal"
+        wal = WriteAheadLog(path)
+        wal.append_begin(1)
+        offset_after_first = path.stat().st_size
+        wal.append_commit(1)
+        wal.close()
+        data = bytearray(path.read_bytes())
+        # Flip a payload byte of the second record: its CRC fails and
+        # the scan must stop after the first.
+        data[-1] ^= 0xFF
+        path.write_bytes(bytes(data))
+        scan = read_wal(path)
+        assert [r.kind for r in scan.records] == [walmod.BEGIN]
+        assert scan.torn
+        assert scan.valid_bytes == offset_after_first
+
+    def test_torn_tail_is_detected_and_truncated_on_reopen(self,
+                                                           tmp_path):
+        path = tmp_path / "a.wal"
+        wal = WriteAheadLog(path)
+        wal.append_begin(1)
+        wal.close()
+        intact = path.read_bytes()
+        path.write_bytes(intact + b"\x30\x00\x00\x00\xAA")  # half frame
+        scan = read_wal(path)
+        assert scan.torn and scan.torn_bytes == 5
+        assert [r.kind for r in scan.records] == [walmod.BEGIN]
+        # Reopening for append truncates the torn tail away.
+        wal = WriteAheadLog(path)
+        wal.append_commit(1)
+        wal.close()
+        scan = read_wal(path)
+        assert not scan.torn
+        assert [r.kind for r in scan.records] == [walmod.BEGIN,
+                                                  walmod.COMMIT]
+
+    def test_not_a_wal(self, tmp_path):
+        path = tmp_path / "bad.wal"
+        path.write_bytes(b"NOTAWAL0\x01")
+        with pytest.raises(StorageError):
+            read_wal(path)
+
+    def test_missing_file_is_an_empty_scan(self, tmp_path):
+        scan = read_wal(tmp_path / "absent.wal")
+        assert scan.records == [] and not scan.torn
+
+
+class TestTransactions:
+    def test_commit_logs_before_and_commits(self, tmp_path):
+        engine, wal, manager = _attached(tmp_path)
+        library = _library(engine)
+        with manager.transaction():
+            paper = engine.insert_child(library, 0,
+                                        name=QName("", "paper"))
+            engine.insert_child(paper, 0, name=QName("", "title"))
+        wal.close()
+        scan = read_wal(tmp_path / "test.wal")
+        kinds = [r.kind for r in scan.records]
+        assert kinds == [walmod.BEGIN, walmod.INSERT_ELEMENT,
+                         walmod.INSERT_ELEMENT, walmod.COMMIT]
+        assert scan.committed_txns() == {1}
+
+    def test_rollback_insert(self, tmp_path):
+        engine, wal, manager = _attached(tmp_path)
+        library = _library(engine)
+        before_image = _snapshot(engine)
+        with pytest.raises(RuntimeError, match="boom"):
+            with manager.transaction():
+                engine.insert_child(library, 0, name=QName("", "paper"))
+                raise RuntimeError("boom")
+        assert _snapshot(engine) == before_image
+        engine.check_invariants()
+        scan = read_wal(tmp_path / "test.wal")
+        assert scan.records[-1].kind == walmod.ABORT
+        assert scan.committed_txns() == set()
+
+    def test_rollback_set_attribute_new_and_replace(self, tmp_path):
+        engine, wal, manager = _attached(tmp_path)
+        book = engine.children(_library(engine))[0]
+        engine.set_attribute(book, QName("", "lang"), "en")
+        before_image = _snapshot(engine)
+        with pytest.raises(RuntimeError):
+            with manager.transaction():
+                engine.set_attribute(book, QName("", "lang"), "fr",
+                                     replace=True)
+                engine.set_attribute(book, QName("", "year"), "2004")
+                raise RuntimeError("boom")
+        assert _snapshot(engine) == before_image
+        (lang,) = engine.attributes(book)
+        assert lang.value == "en"
+        engine.check_invariants()
+
+    def test_rollback_delete_restores_subtree_label_exactly(self,
+                                                            tmp_path):
+        engine, wal, manager = _attached(tmp_path)
+        library = _library(engine)
+        before_image = _snapshot(engine)
+        with pytest.raises(RuntimeError):
+            with manager.transaction():
+                engine.delete_subtree(engine.children(library)[0])
+                raise RuntimeError("boom")
+        assert _snapshot(engine) == before_image
+        engine.check_invariants()
+
+    def test_explicit_begin_commit_and_no_nesting(self, tmp_path):
+        engine, wal, manager = _attached(tmp_path)
+        txn = manager.begin()
+        assert isinstance(txn, Transaction)
+        with pytest.raises(UpdateError):
+            manager.begin()
+        manager.commit()
+        with pytest.raises(UpdateError):
+            manager.commit()
+        with pytest.raises(UpdateError):
+            manager.rollback()
+
+    def test_autocommit_wraps_unmanaged_mutations(self, tmp_path):
+        engine, wal, manager = _attached(tmp_path)
+        library = _library(engine)
+        engine.insert_child(library, 0, name=QName("", "paper"))
+        wal.close()
+        scan = read_wal(tmp_path / "test.wal")
+        assert [r.kind for r in scan.records] == [
+            walmod.BEGIN, walmod.INSERT_ELEMENT, walmod.COMMIT]
+
+    def test_strict_commit_rejects_corrupt_state(self, tmp_path,
+                                                 monkeypatch):
+        engine, wal, manager = _attached(tmp_path, strict=True)
+        library = _library(engine)
+
+        def broken():
+            raise StorageError("simulated invariant breach")
+
+        with manager.transaction() as txn:
+            engine.insert_child(library, 0, name=QName("", "paper"))
+            monkeypatch.setattr(engine, "check_invariants", broken)
+            with pytest.raises(StorageError,
+                               match="simulated invariant breach"):
+                manager.commit()
+        monkeypatch.undo()
+        assert manager.active is None
+        assert txn.state == "aborted"
+        engine.check_invariants()
+        scan = read_wal(tmp_path / "test.wal")
+        assert scan.committed_txns() == set()
+
+    def test_one_manager_per_engine(self, tmp_path):
+        engine, wal, manager = _attached(tmp_path)
+        with pytest.raises(StorageError):
+            TransactionManager(engine, wal)
+        manager.detach()
+        TransactionManager(engine, wal)
+
+
+class TestUpdateValidation:
+    """Bad mutations are refused up front — nothing half-applied."""
+
+    def test_update_error_is_a_repro_error(self):
+        assert issubclass(UpdateError, StorageError)
+        assert issubclass(UpdateError, ReproError)
+
+    @pytest.mark.parametrize("mutate", [
+        lambda e, lib: e.delete_subtree(e.document),
+        lambda e, lib: e.insert_child(lib, 99, name=QName("", "x")),
+        lambda e, lib: e.insert_child(lib, -1, name=QName("", "x")),
+        lambda e, lib: e.insert_child(lib, 0),
+        lambda e, lib: e.insert_child(
+            lib, 0, name=QName("", "x"), text="both"),
+    ], ids=["delete-root", "index-high", "index-negative",
+            "neither-name-nor-text", "both-name-and-text"])
+    def test_refused_before_any_change(self, mutate):
+        engine = _engine()
+        library = _library(engine)
+        before_image = _snapshot(engine)
+        with pytest.raises(UpdateError):
+            mutate(engine, library)
+        assert _snapshot(engine) == before_image
+        engine.check_invariants()
+
+    def test_insert_under_text_node_refused(self):
+        engine = _engine()
+        title = engine.children(
+            engine.children(_library(engine))[0])[0]
+        (text,) = engine.children(title)
+        assert engine.node_kind(text) == "text"
+        with pytest.raises(UpdateError):
+            engine.insert_child(text, 0, name=QName("", "x"))
+
+    def test_set_attribute_on_non_element_refused(self):
+        engine = _engine()
+        with pytest.raises(UpdateError):
+            engine.set_attribute(engine.document, QName("", "a"), "v")
+
+    def test_duplicate_attribute_without_replace_refused(self):
+        engine = _engine()
+        book = engine.children(_library(engine))[0]
+        engine.set_attribute(book, QName("", "lang"), "en")
+        with pytest.raises(UpdateError):
+            engine.set_attribute(book, QName("", "lang"), "fr")
+        (lang,) = engine.attributes(book)
+        assert lang.value == "en"
+
+    def test_deleted_node_cannot_be_mutated(self):
+        engine = _engine()
+        book = engine.children(_library(engine))[0]
+        engine.delete_subtree(book)
+        with pytest.raises(UpdateError):
+            engine.delete_subtree(book)
+        with pytest.raises(UpdateError):
+            engine.insert_child(book, 0, name=QName("", "x"))
