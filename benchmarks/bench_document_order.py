@@ -94,6 +94,45 @@ def test_index_rebuild_cost(benchmark, untyped_library_trees, scale):
 
 
 @pytest.mark.parametrize("scale", SCALES)
+def test_sort_by_symbol_tuples(benchmark, storage_engines, scale):
+    """Document-order sort keyed by the flattened symbol tuple — the
+    pre-memoization baseline for bulk sorts of probe result sets."""
+    engine = storage_engines[scale]
+    descriptors = list(engine.iter_document_order())
+    shuffled = list(descriptors)
+    random.Random(scale).shuffle(shuffled)
+
+    def sort_all():
+        return sorted(shuffled, key=lambda d: d.nid.symbols())
+
+    result = benchmark(sort_all)
+    assert result == descriptors
+    benchmark.extra_info["nodes"] = len(descriptors)
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_sort_by_memoized_sort_key(benchmark, storage_engines, scale):
+    """The same sort keyed by the memoized big-endian u16 bytes key
+    (``NidLabel.sort_key``) the value/path indexes order postings by.
+    Bytewise comparison replaces per-comparison tuple walks; the key is
+    packed once per label and cached (labels are immutable, and by
+    Proposition 1 never relabelled in place)."""
+    engine = storage_engines[scale]
+    descriptors = list(engine.iter_document_order())
+    shuffled = list(descriptors)
+    random.Random(scale).shuffle(shuffled)
+    for descriptor in shuffled:
+        descriptor.nid.sort_key()  # warm the cache: steady-state cost
+
+    def sort_all():
+        return sorted(shuffled, key=lambda d: d.nid.sort_key())
+
+    result = benchmark(sort_all)
+    assert result == descriptors
+    benchmark.extra_info["nodes"] = len(descriptors)
+
+
+@pytest.mark.parametrize("scale", SCALES)
 def test_ancestry_via_labels(benchmark, storage_engines, scale):
     engine = storage_engines[scale]
     pairs = _descriptor_pairs(engine, seed=scale + 1)

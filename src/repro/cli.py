@@ -13,6 +13,9 @@ Usage::
     python -m repro checkpoint DOCUMENT.xml IMAGE [--wal WAL] [--json]
     python -m repro recover IMAGE [--wal WAL] [--schema SCHEMA.xsd]
                                   [--strict] [--json]
+    python -m repro index DOCUMENT.xml PATH [--kind value|path]
+                          [--type TYPE] [--eq V | --low L --high H]
+                          [--query PATH] [--json]
 
 ``validate`` applies the mapping f (Section 8) and reports the first
 Section 6.2 requirement the document violates; ``lint`` runs the
@@ -25,7 +28,10 @@ cold, then through the warmed plan cache — and reports both plans;
 ``checkpoint`` loads a document and writes an atomic binary image
 (plus an empty write-ahead log with ``--wal``); ``recover`` rebuilds
 the engine from an image + WAL, replaying committed transactions and
-discarding torn tails and uncommitted suffixes.
+discarding torn tails and uncommitted suffixes; ``index`` declares a
+secondary index (typed-value or path) over a loaded document, reports
+its statistics, and optionally probes it or EXPLAINs a query through
+it.
 """
 
 from __future__ import annotations
@@ -252,6 +258,79 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_index(args: argparse.Namespace) -> int:
+    """Declare a secondary index over a loaded document, report its
+    statistics, and optionally probe it or EXPLAIN a query through it."""
+    from repro.errors import UpdateError
+    from repro.storage.indexes import ValueIndex
+
+    engine = StorageEngine()
+    engine.load_document(parse_document(_read(args.document)))
+    index = engine.create_index(args.path, kind=args.kind,
+                                value_type=args.type)
+    report: dict = {"definition": index.definition.as_dict(),
+                    "stats": index.stats()}
+    probing = (args.eq is not None or args.low is not None
+               or args.high is not None)
+    if probing:
+        if not isinstance(index, ValueIndex):
+            raise UpdateError(
+                "--eq/--low/--high probe a value index, not a "
+                "path index")
+        if args.eq is not None:
+            matches = index.probe_eq(index.parse_key(args.eq))
+            report["probe"] = {"mode": "eq", "value": args.eq,
+                               "count": len(matches)}
+        else:
+            low = (index.parse_key(args.low)
+                   if args.low is not None else None)
+            high = (index.parse_key(args.high)
+                    if args.high is not None else None)
+            matches = index.probe_range(low, high)
+            report["probe"] = {"mode": "range", "low": args.low,
+                               "high": args.high,
+                               "count": len(matches)}
+    if args.query:
+        obs.reset()
+        obs.enable()
+        try:
+            queries = StorageQueryEngine(engine)
+            result = queries.evaluate(args.query)
+            record = obs.EXPLAINS.last()
+            report["query"] = {"path": args.query,
+                               "count": len(result),
+                               "explain": record.as_dict()}
+        finally:
+            obs.disable()
+            obs.reset()
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    definition = index.definition
+    suffix = (f" ({definition.value_type})"
+              if definition.kind == "value" else "")
+    print(f"index {definition.kind}:{definition.path}{suffix}")
+    for name, value in report["stats"].items():
+        if name in ("kind", "path", "value_type"):
+            continue
+        print(f"  {name + ':':22s}{value}")
+    if "probe" in report:
+        probe = report["probe"]
+        if probe["mode"] == "eq":
+            print(f"  probe eq {probe['value']!r}: "
+                  f"{probe['count']} match(es)")
+        else:
+            print(f"  probe range [{probe['low']!r}, {probe['high']!r}]: "
+                  f"{probe['count']} match(es)")
+    if "query" in report:
+        explain = report["query"]["explain"]
+        print(f"  query {args.query}: {report['query']['count']} "
+              f"node(s), strategy {explain['strategy']}"
+              + (f" via {explain['index_used']}"
+                 if explain["index_used"] else ""))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -339,6 +418,28 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--json", action="store_true",
                          help="emit the recovery report as JSON")
     recover.set_defaults(handler=_cmd_recover)
+
+    index = commands.add_parser(
+        "index", help="declare a secondary index and report/probe it")
+    index.add_argument("document")
+    index.add_argument("path",
+                       help="schema path (value) or query path (path)")
+    index.add_argument("--kind", choices=("value", "path"),
+                       default="value")
+    index.add_argument("--type", default="string",
+                       help="XML Schema simple type of the keys "
+                            "(value indexes)")
+    index.add_argument("--eq", default=None,
+                       help="probe: count owners with this typed value")
+    index.add_argument("--low", default=None,
+                       help="probe: inclusive lower range bound")
+    index.add_argument("--high", default=None,
+                       help="probe: inclusive upper range bound")
+    index.add_argument("--query", default=None,
+                       help="also EXPLAIN this query through the index")
+    index.add_argument("--json", action="store_true",
+                       help="emit the index report as JSON")
+    index.set_defaults(handler=_cmd_index)
 
     return parser
 

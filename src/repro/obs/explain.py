@@ -35,12 +35,16 @@ class QueryExplain:
     __slots__ = ("path", "strategy", "plan_cache", "parse_cache",
                  "schema_nodes_scanned", "pruned_schema_nodes",
                  "axis_steps", "nodes_visited", "nodes_returned",
-                 "elapsed_s")
+                 "elapsed_s", "index_used")
 
     def __init__(self, path: str) -> None:
         self.path = path
-        #: "empty" | "scan" | "hybrid" | "naive" (set by the planner).
+        #: "empty" | "index" | "scan" | "hybrid" | "naive"
+        #: (set by the planner).
         self.strategy = ""
+        #: "value:<path>" / "path:<path>" when a secondary index
+        #: answered the decisive step, "" otherwise.
+        self.index_used = ""
         #: "hit" | "miss" | "invalidated" (stale plan dropped, then miss).
         self.plan_cache = ""
         #: "hit" | "miss" | "" (plans passed as Path objects skip parse).
@@ -56,6 +60,7 @@ class QueryExplain:
         return {
             "path": self.path,
             "strategy": self.strategy,
+            "index_used": self.index_used,
             "plan_cache": self.plan_cache,
             "parse_cache": self.parse_cache,
             "schema_nodes_scanned": self.schema_nodes_scanned,
@@ -71,6 +76,7 @@ class QueryExplain:
         lines = [
             f"query:                {self.path}",
             f"  plan strategy:      {self.strategy or '?'}",
+            f"  index used:         {self.index_used or 'none'}",
             f"  plan cache:         {self.plan_cache or 'bypassed'}",
             f"  parse cache:        {self.parse_cache or 'bypassed'}",
             f"  schema nodes:       {self.schema_nodes_scanned} scanned, "

@@ -26,6 +26,20 @@ Strategies, from fastest to slowest:
 * ``naive`` — per-descriptor navigation; required only for positional
   predicates on ``//`` steps, whose whole-selection grouping a flat
   block scan cannot reproduce.
+
+With declared secondary indexes (:mod:`repro.storage.indexes`) a
+fifth strategy slots in above ``scan``:
+
+* ``index`` — the step's first value predicate is answered by a
+  typed-value index probe (equality or existence) instead of scanning
+  and testing every instance, or the whole predicate-free path is
+  answered by a path index's pre-merged posting list.  Remaining
+  predicates and suffix steps run exactly as in ``scan``/``hybrid``.
+
+Plans additionally stamp the index *epoch* (a DDL counter): when an
+index is created or dropped, a cached plan is recompiled on next use
+and kept (restamped) if its decision did not change — so DDL
+invalidates exactly the affected plans.
 """
 
 from __future__ import annotations
@@ -138,15 +152,20 @@ class CompiledPlan:
     """One path compiled against one descriptive-schema version."""
 
     __slots__ = ("path", "schema_version", "strategy", "scan_nodes",
-                 "split", "pruned_schema_nodes")
+                 "split", "pruned_schema_nodes", "index_epoch",
+                 "probe", "rest_predicates", "index_used")
 
     def __init__(self, path: Path, schema_version: int, strategy: str,
                  scan_nodes: tuple[SchemaNode, ...],
                  split: Optional[int],
-                 pruned_schema_nodes: int) -> None:
+                 pruned_schema_nodes: int,
+                 index_epoch: int = 0,
+                 probe: Optional[tuple] = None,
+                 rest_predicates: tuple = (),
+                 index_used: str = "") -> None:
         self.path = path
         self.schema_version = schema_version
-        #: "empty" | "scan" | "hybrid" | "naive".
+        #: "empty" | "index" | "scan" | "hybrid" | "naive".
         self.strategy = strategy
         #: Schema nodes whose block lists the plan scans ("scan": the
         #: full path; "hybrid": the prefix ending at the predicate
@@ -156,6 +175,16 @@ class CompiledPlan:
         self.split = split
         #: Schema nodes discarded by structural predicate pruning.
         self.pruned_schema_nodes = pruned_schema_nodes
+        #: DDL epoch the plan was compiled under (restamped by the
+        #: cache when DDL does not change the plan's decision).
+        self.index_epoch = index_epoch
+        #: "index" strategy: ("eq", index, key, via_parent),
+        #: ("exists", index, None, via_parent) or ("path", index).
+        self.probe = probe
+        #: Predicates of the probed step still tested per instance.
+        self.rest_predicates = rest_predicates
+        #: "value:<path>" / "path:<path>" (EXPLAIN), "" otherwise.
+        self.index_used = index_used
 
     def execute(self, queries: "StorageQueryEngine"
                 ) -> "list[NodeDescriptor]":
@@ -169,6 +198,8 @@ class CompiledPlan:
             return queries.evaluate_naive(self.path)
         if self.strategy == "empty":
             return []
+        if self.strategy == "index":
+            return self._execute_probe(queries)
         engine = queries.engine
         if len(self.scan_nodes) == 1:
             result = list(engine.scan_schema_node(self.scan_nodes[0]))
@@ -195,17 +226,63 @@ class CompiledPlan:
                                              steps[self.split + 1:])
         return result
 
+    def _execute_probe(self, queries: "StorageQueryEngine"
+                       ) -> "list[NodeDescriptor]":
+        """Answer the probed step from the index posting lists."""
+        probe = self.probe
+        assert probe is not None
+        if probe[0] == "path":
+            result = probe[1].probe()
+        else:
+            mode, index, key, via_parent = probe
+            owners = (index.probe_eq(key) if mode == "eq"
+                      else index.probe_exists())
+            if via_parent:
+                # An element-value index posts the children; the
+                # predicate selects their parents (deduplicated,
+                # document order preserved — equal-depth paths keep
+                # parent order aligned with child order).
+                seen: set[bytes] = set()
+                result = []
+                for owner in owners:
+                    parent = owner.parent
+                    if parent is None:  # pragma: no cover - defensive
+                        continue
+                    parent_key = parent.nid.sort_key()
+                    if parent_key not in seen:
+                        seen.add(parent_key)
+                        result.append(parent)
+            else:
+                result = owners
+        context = _explain.ACTIVE
+        if context is not None:
+            context.nodes_visited += len(result)
+        if self.rest_predicates:
+            result = queries._apply_final_predicates(
+                result, self.rest_predicates)
+        if self.split is not None:
+            result = queries._navigate_steps(
+                result, self.path.steps[self.split + 1:])
+        return result
+
     def __repr__(self) -> str:
         return (f"CompiledPlan({self.path!r}, {self.strategy}, "
                 f"{len(self.scan_nodes)} schema nodes, "
                 f"v{self.schema_version})")
 
 
-def compile_plan(path: Path, schema: "DescriptiveSchema") -> CompiledPlan:
-    """Compile *path* against the current schema (no caching here)."""
+def compile_plan(path: Path, schema: "DescriptiveSchema",
+                 indexes=None) -> CompiledPlan:
+    """Compile *path* against the current schema (no caching here).
+
+    *indexes* is the engine's :class:`IndexManager` (or None for the
+    pure scan planner, e.g. the index-free ``evaluate_schema_driven``
+    baseline); when given and a declared index answers the decisive
+    step, the plan uses the ``index`` strategy.
+    """
     if obs.ENABLED:
         with obs.TRACER.span("query.plan.compile", path=str(path)):
-            plan = _compile_plan(path, schema)
+            plan = _compile_plan(path, schema, indexes)
         obs.REGISTRY.counter("query.plan.compiles").inc()
         obs.REGISTRY.counter(
             f"query.plan.strategy.{plan.strategy}").inc()
@@ -213,12 +290,14 @@ def compile_plan(path: Path, schema: "DescriptiveSchema") -> CompiledPlan:
             obs.REGISTRY.counter("query.plan.pruned_schema_nodes").inc(
                 plan.pruned_schema_nodes)
         return plan
-    return _compile_plan(path, schema)
+    return _compile_plan(path, schema, indexes)
 
 
-def _compile_plan(path: Path, schema: "DescriptiveSchema") -> CompiledPlan:
+def _compile_plan(path: Path, schema: "DescriptiveSchema",
+                  indexes=None) -> CompiledPlan:
     steps = path.steps
     version = schema.version
+    epoch = indexes.epoch if indexes is not None else 0
     for step in steps:
         if (step.axis == "descendant-or-self"
                 and any(isinstance(p, PositionPredicate)
@@ -227,7 +306,8 @@ def _compile_plan(path: Path, schema: "DescriptiveSchema") -> CompiledPlan:
             # whole-selection semantics (like /descendant::x[n]); a
             # flat block scan grouped by parent cannot reproduce that,
             # so the whole query navigates.
-            return CompiledPlan(path, version, "naive", (), None, 0)
+            return CompiledPlan(path, version, "naive", (), None, 0,
+                                index_epoch=epoch)
     split: Optional[int] = None
     for index, step in enumerate(steps[:-1]):
         if step.predicates:
@@ -242,10 +322,29 @@ def _compile_plan(path: Path, schema: "DescriptiveSchema") -> CompiledPlan:
         pruned = len(matched) - len(feasible)
         matched = feasible
     if not matched:
-        return CompiledPlan(path, version, "empty", (), split, pruned)
+        return CompiledPlan(path, version, "empty", (), split, pruned,
+                            index_epoch=epoch)
     strategy = "scan" if split is None else "hybrid"
+    predicates = prefix[-1].predicates
+    if indexes is not None and indexes.active:
+        if predicates and len(matched) == 1:
+            probe = indexes.plan_probe(matched[0], predicates[0])
+            if probe is not None:
+                return CompiledPlan(
+                    path, version, "index", tuple(matched), split,
+                    pruned, index_epoch=epoch, probe=probe,
+                    rest_predicates=predicates[1:],
+                    index_used=f"value:{probe[1].definition.path}")
+        elif not predicates and split is None and len(matched) > 1:
+            path_index = indexes.path_probe(matched)
+            if path_index is not None:
+                return CompiledPlan(
+                    path, version, "index", tuple(matched), split,
+                    pruned, index_epoch=epoch,
+                    probe=("path", path_index),
+                    index_used=f"path:{path_index.definition.path}")
     return CompiledPlan(path, version, strategy, tuple(matched), split,
-                        pruned)
+                        pruned, index_epoch=epoch)
 
 
 class QueryPlanner:
@@ -267,15 +366,32 @@ class QueryPlanner:
         if isinstance(path, str):
             path = cached_parse_path(path)
         version = self._engine.schema.version
+        indexes = self._engine.indexes
+        epoch = indexes.epoch
         invalidated = False
+        fresh: Optional[CompiledPlan] = None
         stale = self._plans.peek(path)
         if stale is not None and stale.schema_version != version:
             self._plans.invalidate(path)
             invalidated = True
+        elif stale is not None and stale.index_epoch != epoch:
+            # DDL happened since this plan compiled.  Recompile and
+            # compare: an unchanged decision is restamped in place (a
+            # hit), a changed one is invalidated — so CREATE/DROP
+            # INDEX invalidates exactly the plans it affects.
+            fresh = compile_plan(path, self._engine.schema, indexes)
+            if (fresh.strategy == stale.strategy
+                    and fresh.index_used == stale.index_used):
+                stale.index_epoch = epoch
+                fresh = None
+            else:
+                self._plans.invalidate(path)
+                invalidated = True
         plan = self._plans.get(path)
         hit = plan is not None
         if plan is None:
-            plan = compile_plan(path, self._engine.schema)
+            plan = fresh if fresh is not None else compile_plan(
+                path, self._engine.schema, indexes)
             self._plans.put(path, plan)
         context = _explain.ACTIVE
         if context is not None:
@@ -285,6 +401,7 @@ class QueryPlanner:
             context.strategy = plan.strategy
             context.schema_nodes_scanned = len(plan.scan_nodes)
             context.pruned_schema_nodes = plan.pruned_schema_nodes
+            context.index_used = plan.index_used
         if obs.ENABLED:
             # Aggregate plan-cache counters across all engines (each
             # cache also keeps its private per-engine instruments).

@@ -17,10 +17,17 @@ from repro.storage.descriptor import (
 from repro.storage.dschema import DescriptiveSchema, SchemaNode
 from repro.storage.engine import StorageEngine
 from repro.storage.faults import CRASH_POINTS, CrashError, FaultPlan
+from repro.storage.indexes import (
+    IndexDefinition,
+    IndexManager,
+    PathIndex,
+    ValueIndex,
+)
 from repro.storage.persist import dump_engine, dumps_engine, load_engine
 from repro.storage.recovery import (
     RecoveryError,
     RecoveryResult,
+    bulk_load,
     checkpoint,
     recover,
 )
@@ -49,6 +56,10 @@ __all__ = [
     "CrashError",
     "DescriptiveSchema",
     "FaultPlan",
+    "IndexDefinition",
+    "IndexManager",
+    "PathIndex",
+    "ValueIndex",
     "NO_SLOT",
     "NidLabel",
     "NodeDescriptor",
@@ -67,6 +78,7 @@ __all__ = [
     "WalScan",
     "WriteAheadLog",
     "schema_type_annotations",
+    "bulk_load",
     "checkpoint",
     "dump_engine",
     "dumps_engine",

@@ -26,6 +26,7 @@ from repro.storage import faults
 from repro.storage.blocks import Block
 from repro.storage.descriptor import NodeDescriptor
 from repro.storage.dschema import DescriptiveSchema, SchemaNode
+from repro.storage.indexes import IndexManager
 from repro.storage.labels import (
     NidLabel,
     NumberingScheme,
@@ -52,6 +53,9 @@ class StorageEngine:
         #: The WAL horizon of the image this engine was loaded from
         #: (0 for engines built in memory) — recovery replays past it.
         self.checkpoint_lsn = 0
+        #: Declared secondary indexes (checkpoints persist the
+        #: definitions; contents are rebuilt from the blocks).
+        self.indexes = IndexManager(self)
         # Instrumentation.
         self.insert_count = 0
         self.delete_count = 0
@@ -464,6 +468,8 @@ class StorageEngine:
             right.left_sibling = descriptor
         self._place_descriptor(descriptor)
         self._register_child_pointer(parent, descriptor)
+        if self.indexes.active:
+            self.indexes.note_added(descriptor)
         self.insert_count += 1
         if obs.ENABLED:
             obs.REGISTRY.counter("storage.inserts").inc()
@@ -510,6 +516,8 @@ class StorageEngine:
                                           existing.nid, replace=True)
             old_value = existing.value
             existing.value = value
+            if self.indexes.active:
+                self.indexes.note_value_changed(existing)
             if logged:
                 manager.applied_set_attribute(existing, old_value,
                                               created=False)
@@ -531,6 +539,8 @@ class StorageEngine:
         descriptor.parent = parent
         self._place_descriptor(descriptor)
         parent.children_by_schema[index] = descriptor
+        if self.indexes.active:
+            self.indexes.note_added(descriptor)
         self.insert_count += 1
         if obs.ENABLED:
             obs.REGISTRY.counter("storage.inserts").inc()
@@ -565,7 +575,56 @@ class StorageEngine:
             obs.REGISTRY.counter("storage.deletes").inc()
         return removed + 1
 
+    # ==================================================================
+    # Index DDL
+    #
+    # Declarations follow the same discipline as data mutations: full
+    # validation first (``UpdateError`` changes nothing), then a
+    # write-ahead CREATE_INDEX/DROP_INDEX record under autocommit, then
+    # the in-memory effect.  Index *contents* are derived state — the
+    # build is one block-list scan, and recovery re-derives it.
+
+    def create_index(self, path: str, kind: str = "value",
+                     value_type: str = "string"):
+        """Declare a secondary index over the descriptive schema.
+
+        ``kind="value"`` indexes the §4 typed values of one attribute
+        or element schema path (``library/book/@year``); ``kind="path"``
+        materializes the descriptor set of a predicate-free query path
+        (``//author``).  Returns the built index.
+        """
+        definition = self.indexes.validate(path, kind, value_type)
+        with self._autocommit():
+            manager = self.txn_manager
+            logged = manager is not None and manager.logging
+            if logged:
+                manager.log_create_index(definition)
+            index = self.indexes.install(definition)
+            if logged:
+                manager.applied_create_index(definition)
+            return index
+
+    def drop_index(self, path: str, kind: str = "value"):
+        """Drop a declared index; returns its definition."""
+        definition = self.indexes.find(path, kind)
+        with self._autocommit():
+            manager = self.txn_manager
+            logged = manager is not None and manager.logging
+            if logged:
+                manager.log_drop_index(definition)
+            self.indexes.uninstall(definition)
+            if logged:
+                manager.applied_drop_index(definition)
+            return definition
+
     # -- inverse operations (transaction rollback) ----------------------
+
+    def _undo_set_value(self, descriptor: NodeDescriptor,
+                        old_value: str | None) -> None:
+        """Restore an overwritten attribute value (no logging)."""
+        descriptor.value = old_value
+        if self.indexes.active:
+            self.indexes.note_value_changed(descriptor)
 
     def _undo_insert(self, descriptor: NodeDescriptor) -> None:
         """Take back a single inserted descriptor (no logging)."""
@@ -609,6 +668,8 @@ class StorageEngine:
                     right.left_sibling = descriptor
             self._place_descriptor(descriptor)
             self._register_child_pointer(parent, descriptor)
+            if self.indexes.active:
+                self.indexes.note_added(descriptor)
             restored[nid.symbols()] = descriptor
         return len(restored)
 
@@ -643,6 +704,10 @@ class StorageEngine:
         block = descriptor.block
         if block is None:
             raise StorageError(f"{descriptor!r} is not stored")
+        if self.indexes.active:
+            # Siblings are already unlinked (non-attribute nodes), so
+            # recomputed string values no longer see this descriptor.
+            self.indexes.note_removed(descriptor)
         schema_node = descriptor.schema_node
         if descriptor.node_type == "attribute" and \
                 descriptor.parent is not None:

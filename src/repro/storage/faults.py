@@ -48,6 +48,8 @@ CRASH_POINTS = frozenset({
     "persist.write",      # before the checkpoint temp file is written
     "persist.write.torn", # mid checkpoint write: half the image lands
     "persist.rename",     # before the atomic checkpoint rename
+    "index.update",       # before an incremental secondary-index update
+    "index.rebuild",      # inside a full secondary-index (re)build scan
 })
 
 

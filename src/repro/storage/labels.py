@@ -26,6 +26,7 @@ algorithm generalized to an arbitrary base.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 from typing import Iterator, Optional
 
@@ -68,6 +69,10 @@ class NidLabel:
             out.extend(digit + 1 for digit in component)
             out.append(SEPARATOR)
         object.__setattr__(self, "_symbols", tuple(out))
+        # The binary comparison key is built lazily: most labels are
+        # only ever compared pairwise via symbols(), and the bytes key
+        # pays off on bulk document-order sorts (index result sets).
+        object.__setattr__(self, "_sort_key", None)
 
     @property
     def depth(self) -> int:
@@ -80,6 +85,28 @@ class NidLabel:
         is strictly smaller than every digit.
         """
         return self._symbols
+
+    def sort_key(self) -> bytes:
+        """Memoized binary document-order key.
+
+        Each symbol is packed as a big-endian u16, so bytewise
+        lexicographic order on the keys equals tuple order on
+        :meth:`symbols` — sorting a large result set by ``sort_key()``
+        is document order without per-comparison tuple walks.  (Symbols
+        are digits shifted by +1, and the WAL already fixes u16 as the
+        digit width, so the packing is exact for every usable base.)
+
+        Labels are immutable and — Proposition 1 — never relabelled in
+        place: a relabel, were one ever to happen, mints a *new*
+        ``NidLabel`` whose key is recomputed on first use, so the cache
+        can never go stale.
+        """
+        key = self._sort_key
+        if key is None:
+            symbols = self._symbols
+            key = struct.pack(f">{len(symbols)}H", *symbols)
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     def parent_label(self) -> "NidLabel":
         if len(self.components) == 1:

@@ -9,10 +9,14 @@ equivalent engine from it.  Labels are stored digit-exactly, so
 document order, ancestry and future gap insertions behave identically
 after a round trip.
 
-Format (little-endian, fixed-width), version 2::
+Format (little-endian, fixed-width), version 3::
 
-* header: magic ``SEDNAPY2``, base (u16), block capacity (u16),
+* header: magic ``SEDNAPY3``, base (u16), block capacity (u16),
   checkpoint LSN (u64) — the WAL horizon this image covers;
+* index definitions: count (u32), then per declared secondary index
+  its path, kind and value type (length-prefixed UTF-8).  Only the
+  *definitions* persist — index contents are derived state, rebuilt
+  from the block lists on load;
 * schema nodes in pre-order: parent index (u32), type tag (u8),
   name URI and local (length-prefixed UTF-8, only for named kinds);
 * descriptors in document order: schema node index (u32), the nid as
@@ -22,8 +26,10 @@ Format (little-endian, fixed-width), version 2::
   chain (document) order;
 * trailer: CRC32 (u32) of every preceding byte, header included.
 
-Version 1 images (magic ``SEDNAPY1``: no LSN, no trailer) still load;
-each such load bumps the ``persist.legacy_images`` warning counter.
+Version 2 images (magic ``SEDNAPY2``: no index-definition section) and
+version 1 images (magic ``SEDNAPY1``: additionally no LSN and no
+trailer) still load; each v1 load bumps the ``persist.legacy_images``
+warning counter.
 Any truncated or garbled input surfaces as :class:`StorageError` with
 the byte offset of the damage — never a raw ``struct.error``.
 """
@@ -41,10 +47,12 @@ from repro.storage.blocks import Block
 from repro.storage.descriptor import NodeDescriptor
 from repro.storage.dschema import SchemaNode
 from repro.storage.engine import StorageEngine
+from repro.storage.indexes import KINDS, IndexDefinition
 from repro.storage.labels import NidLabel
 
 _MAGIC_V1 = b"SEDNAPY1"
 _MAGIC_V2 = b"SEDNAPY2"
+_MAGIC_V3 = b"SEDNAPY3"
 _NONE = 0xFFFFFFFF
 
 _TYPE_TAGS = {"document": 0, "element": 1, "attribute": 2, "text": 3}
@@ -127,7 +135,7 @@ class _Reader:
 
 def dump_engine(engine: StorageEngine, stream: BinaryIO,
                 checkpoint_lsn: int = 0) -> None:
-    """Serialize *engine* into *stream* (version 2 image).
+    """Serialize *engine* into *stream* (version 3 image).
 
     *checkpoint_lsn* is the WAL horizon the image covers — recovery
     replays only log records strictly beyond it.
@@ -135,10 +143,17 @@ def dump_engine(engine: StorageEngine, stream: BinaryIO,
     if engine.document is None:
         raise StorageError("cannot dump an empty engine")
     writer = _Writer(stream)
-    writer.raw(_MAGIC_V2)
+    writer.raw(_MAGIC_V3)
     writer.u16(engine.numbering.base)
     writer.u16(engine.block_capacity)
     writer.u64(checkpoint_lsn)
+
+    definitions = engine.indexes.definitions()
+    writer.u32(len(definitions))
+    for definition in definitions:
+        writer.text(definition.path)
+        writer.text(definition.kind)
+        writer.text(definition.value_type)
 
     schema_nodes = list(engine.schema.iter_nodes())
     schema_index = {id(node): i for i, node in enumerate(schema_nodes)}
@@ -194,11 +209,11 @@ def dumps_engine(engine: StorageEngine, checkpoint_lsn: int = 0) -> bytes:
 
 def load_engine(data: bytes) -> StorageEngine:
     """Reconstruct an engine from a binary image (either version)."""
-    magic_len = len(_MAGIC_V2)
+    magic_len = len(_MAGIC_V3)
     if len(data) < magic_len:
         raise StorageError("not a storage image (shorter than the magic)")
     magic = data[:magic_len]
-    if magic == _MAGIC_V2:
+    if magic in (_MAGIC_V2, _MAGIC_V3):
         if len(data) < magic_len + 4:
             raise StorageError(
                 "truncated storage image (no room for the CRC trailer)")
@@ -210,10 +225,10 @@ def load_engine(data: bytes) -> StorageEngine:
                 f"{expected:#010x}, content hashes to {actual:#010x} "
                 "(torn or corrupted image)")
         body = data[:-4]
-        legacy = False
+        version = 3 if magic == _MAGIC_V3 else 2
     elif magic == _MAGIC_V1:
         body = data
-        legacy = True
+        version = 1
         if obs.ENABLED:
             # The warning counter for pre-trailer images: they load,
             # but without whole-image corruption detection.
@@ -224,7 +239,7 @@ def load_engine(data: bytes) -> StorageEngine:
     reader = _Reader(body)
     reader._take(magic_len)
     try:
-        return _parse_image(reader, legacy)
+        return _parse_image(reader, version)
     except StorageError:
         raise
     except (struct.error, UnicodeDecodeError, IndexError,
@@ -234,12 +249,24 @@ def load_engine(data: bytes) -> StorageEngine:
             f"{error}") from error
 
 
-def _parse_image(reader: _Reader, legacy: bool) -> StorageEngine:
+def _parse_image(reader: _Reader, version: int) -> StorageEngine:
     base = reader.u16()
     capacity = reader.u16()
-    checkpoint_lsn = 0 if legacy else reader.u64()
+    checkpoint_lsn = 0 if version == 1 else reader.u64()
     engine = StorageEngine(base=base, block_capacity=capacity)
     engine.checkpoint_lsn = checkpoint_lsn
+
+    definitions: list[IndexDefinition] = []
+    if version >= 3:
+        definition_count = reader.u32()
+        for _ in range(definition_count):
+            definition = IndexDefinition(reader.text(), reader.text(),
+                                         reader.text())
+            if definition.kind not in KINDS:
+                raise StorageError(
+                    f"unknown index kind {definition.kind!r} in "
+                    "storage image")
+            definitions.append(definition)
 
     schema_count = reader.u32()
     schema_nodes: list[SchemaNode] = []
@@ -350,4 +377,9 @@ def _parse_image(reader: _Reader, legacy: bool) -> StorageEngine:
         raise StorageError("image holds no document node")
     engine.document = descriptors[0]
     engine.check_invariants()
+
+    # Re-install the declared indexes last: their contents are derived
+    # state, rebuilt here by one block-list scan per index.
+    for definition in definitions:
+        engine.indexes.install(definition)
     return engine

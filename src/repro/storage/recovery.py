@@ -30,7 +30,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from repro import obs
-from repro.errors import StorageError
+from repro.errors import StorageError, UpdateError
 from repro.storage import faults, wal as walmod
 from repro.storage.engine import StorageEngine
 from repro.storage.faults import CrashError
@@ -38,9 +38,12 @@ from repro.storage.labels import equal
 from repro.storage.persist import dumps_engine, load_engine
 from repro.storage.wal import (
     COMMIT,
+    CREATE_INDEX,
+    DDL_KINDS,
     DELETE,
     INSERT_ELEMENT,
     INSERT_TEXT,
+    LOAD,
     OP_KINDS,
     SET_ATTRIBUTE,
     WalRecord,
@@ -72,6 +75,8 @@ class RecoveryResult:
     discarded_txns: list[int] = field(default_factory=list)
     relabels: int = 0      # asserted 0: Proposition 1 across the crash
     conformance_violations: int = 0
+    index_definitions: int = 0  # live index declarations after replay
+    indexes_verified: int = 0   # indexes bisimulation-checked vs rebuild
 
     def as_dict(self) -> dict:
         return {
@@ -87,6 +92,8 @@ class RecoveryResult:
             "relabels": self.relabels,
             "nodes": self.engine.node_count(),
             "blocks": self.engine.block_count(),
+            "index_definitions": self.index_definitions,
+            "indexes_verified": self.indexes_verified,
         }
 
 
@@ -120,6 +127,50 @@ def checkpoint(engine: StorageEngine, image_path: str | os.PathLike,
         obs.REGISTRY.counter("recovery.checkpoints").inc()
         obs.REGISTRY.counter("recovery.checkpoint.bytes").inc(len(data))
     return horizon
+
+
+def bulk_load(engine: StorageEngine, document,
+              image_path: str | os.PathLike,
+              wal: WriteAheadLog,
+              preserve_whitespace: bool = False) -> dict:
+    """Load *document* into an empty engine with per-op logging off.
+
+    ``load_document`` builds the §9 block lists directly, so the load
+    itself costs no WAL traffic.  Durability comes from one logical
+    marker — BEGIN / LOAD(node count) / COMMIT — followed immediately
+    by a :func:`checkpoint`, which places the marker at or below the
+    new horizon.  A committed LOAD found *past* the horizon at
+    recovery is unrecoverable by construction (its nodes have no
+    per-op records) and :func:`recover` refuses it, so the crash
+    window between COMMIT and checkpoint behaves like a crash before
+    the load started: the operator re-runs the load.
+
+    Declared secondary indexes are populated once, after the load, in
+    a single build pass per index instead of per-node maintenance.
+    Returns a stats dict (node count, txn id, horizon, WAL records).
+    """
+    if engine.document is not None:
+        raise StorageError("bulk_load requires an empty engine")
+    was_active = engine.indexes.active
+    engine.indexes.active = False  # defer maintenance to one rebuild
+    try:
+        engine.load_document(document,
+                             preserve_whitespace=preserve_whitespace)
+    finally:
+        engine.indexes.active = was_active
+    manager = engine.txn_manager
+    txn_id = manager.claim_txn_id() if manager is not None else 1
+    count = engine.node_count()
+    wal.append_begin(txn_id)
+    wal.append_load(txn_id, count)
+    wal.append_commit(txn_id)
+    horizon = checkpoint(engine, image_path, wal=wal)
+    engine.indexes.rebuild_all()
+    if obs.ENABLED:
+        obs.REGISTRY.counter("recovery.bulk_loads").inc()
+        obs.REGISTRY.counter("recovery.bulk_load.nodes").inc(count)
+    return {"nodes": count, "txn": txn_id, "checkpoint_lsn": horizon,
+            "wal_records": 3}
 
 
 def _fsync_directory(directory: Path) -> None:
@@ -184,6 +235,35 @@ def _recover(image_path, wal_path, schema, strict) -> RecoveryResult:
             if record.kind == COMMIT and record.txn in committed:
                 if record.txn not in seen_committed:
                     seen_committed.append(record.txn)
+            if record.kind in DDL_KINDS:
+                if record.lsn <= engine.checkpoint_lsn:
+                    result.skipped += 1
+                    continue
+                if record.txn not in committed:
+                    result.discarded += 1
+                    if record.txn not in seen_discarded:
+                        seen_discarded.append(record.txn)
+                    continue
+                _apply_ddl(engine, record)
+                result.replayed += 1
+                continue
+            if record.kind == LOAD:
+                if record.lsn <= engine.checkpoint_lsn:
+                    # The bulk-load protocol checkpoints right after
+                    # the marker, so this is the normal case.
+                    result.skipped += 1
+                elif record.txn in committed:
+                    raise RecoveryError(
+                        f"WAL record {record.lsn}: a committed bulk "
+                        f"LOAD of {record.node_count} nodes was never "
+                        "checkpointed — its nodes have no per-op "
+                        "records and cannot be replayed; re-run the "
+                        "load")
+                else:
+                    result.discarded += 1
+                    if record.txn not in seen_discarded:
+                        seen_discarded.append(record.txn)
+                continue
             if record.kind not in OP_KINDS:
                 continue
             if record.lsn <= engine.checkpoint_lsn:
@@ -208,6 +288,18 @@ def _recover(image_path, wal_path, schema, strict) -> RecoveryResult:
     except StorageError as error:
         raise RecoveryError(f"recovered engine is corrupt: {error}") \
             from error
+    result.index_definitions = len(engine.indexes)
+    if engine.indexes.active:
+        # Reconciliation: the indexes carried through image load +
+        # incremental replay maintenance must bisimulate a rebuild
+        # from the recovered block lists.
+        try:
+            result.indexes_verified = \
+                engine.indexes.verify_consistency()
+        except StorageError as error:
+            raise RecoveryError(
+                f"recovered index state is inconsistent: {error}") \
+                from error
     if strict:
         _verify_label_order(engine)
     if schema is not None:
@@ -269,6 +361,27 @@ def _apply(engine: StorageEngine, index: dict, record: WalRecord) -> None:
         engine.delete_subtree(descriptor)
         for symbols in doomed:
             index.pop(symbols, None)
+
+
+def _apply_ddl(engine: StorageEngine, record: WalRecord) -> None:
+    """Redo one committed index DDL record.
+
+    The recovered engine has no transaction manager attached, so the
+    re-execution installs or drops the index without re-logging; the
+    contents are rebuilt from the replayed block lists.
+    """
+    try:
+        if record.kind == CREATE_INDEX:
+            engine.create_index(record.index_path or "",
+                                record.index_kind or "value",
+                                value_type=record.value_type or "string")
+        else:
+            engine.drop_index(record.index_path or "",
+                              record.index_kind or "value")
+    except UpdateError as error:
+        raise RecoveryError(
+            f"WAL record {record.lsn}: index DDL replay failed: "
+            f"{error}") from error
 
 
 def _verify_label_order(engine: StorageEngine) -> None:

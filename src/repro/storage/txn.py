@@ -86,6 +86,13 @@ class TransactionManager:
     def autocommit_needed(self) -> bool:
         return self.active is None and not self._undoing
 
+    def claim_txn_id(self) -> int:
+        """Reserve a fresh transaction id without opening a
+        transaction (used by the bulk-load LOAD marker)."""
+        txn_id = self._next_txn
+        self._next_txn += 1
+        return txn_id
+
     # -- the transaction protocol ---------------------------------------
 
     def begin(self) -> Transaction:
@@ -188,6 +195,23 @@ class TransactionManager:
         else:
             txn.undo.append(("value", descriptor, old_value))
 
+    def log_create_index(self, definition) -> None:
+        txn = self._require_open()
+        self.wal.append_create_index(txn.txn_id, definition.path,
+                                     definition.kind,
+                                     definition.value_type)
+
+    def applied_create_index(self, definition) -> None:
+        self._require_open().undo.append(("create_index", definition))
+
+    def log_drop_index(self, definition) -> None:
+        txn = self._require_open()
+        self.wal.append_drop_index(txn.txn_id, definition.path,
+                                   definition.kind)
+
+    def applied_drop_index(self, definition) -> None:
+        self._require_open().undo.append(("drop_index", definition))
+
     def log_delete(self, descriptor: "NodeDescriptor") -> None:
         """WAL record plus a label-exact snapshot for the inverse op.
 
@@ -216,9 +240,13 @@ class TransactionManager:
         if kind == "insert":
             self.engine._undo_insert(entry[1])
         elif kind == "value":
-            entry[1].value = entry[2]
+            self.engine._undo_set_value(entry[1], entry[2])
         elif kind == "delete":
             self.engine._restore_subtree(entry[1])
+        elif kind == "create_index":
+            self.engine.indexes.uninstall(entry[1])
+        elif kind == "drop_index":
+            self.engine.indexes.install(entry[1])
         else:  # pragma: no cover - defensive
             raise StorageError(f"unknown undo entry {kind!r}")
 

@@ -15,7 +15,11 @@ File layout (little-endian)::
 
 Record kinds: BEGIN / COMMIT / ABORT frame transactions;
 INSERT_ELEMENT / INSERT_TEXT / SET_ATTRIBUTE / DELETE are the logical
-updates; CHECKPOINT marks a log reset after an image checkpoint.
+updates; CREATE_INDEX / DROP_INDEX log secondary-index DDL (contents
+are derived state and never logged); LOAD marks a bulk load whose
+nodes bypassed per-op logging (valid only under the very next
+checkpoint's horizon); CHECKPOINT marks a log reset after an image
+checkpoint.
 
 Torn-tail semantics: :func:`read_wal` stops at the first record whose
 frame is incomplete or whose CRC32 does not match, reporting the valid
@@ -57,15 +61,23 @@ INSERT_TEXT = 5
 SET_ATTRIBUTE = 6
 DELETE = 7
 CHECKPOINT = 8
+CREATE_INDEX = 9
+DROP_INDEX = 10
+LOAD = 11
 
 #: The kinds recovery replays (everything else is framing).
 OP_KINDS = frozenset({INSERT_ELEMENT, INSERT_TEXT, SET_ATTRIBUTE, DELETE})
+
+#: Index DDL — replayed by recovery like data ops, but handled
+#: separately because they mutate definitions, not descriptors.
+DDL_KINDS = frozenset({CREATE_INDEX, DROP_INDEX})
 
 _KIND_NAMES = {
     BEGIN: "begin", COMMIT: "commit", ABORT: "abort",
     INSERT_ELEMENT: "insert-element", INSERT_TEXT: "insert-text",
     SET_ATTRIBUTE: "set-attribute", DELETE: "delete",
-    CHECKPOINT: "checkpoint",
+    CHECKPOINT: "checkpoint", CREATE_INDEX: "create-index",
+    DROP_INDEX: "drop-index", LOAD: "load",
 }
 
 
@@ -83,6 +95,12 @@ class WalRecord:
     text: Optional[str] = None
     replace: bool = False
     checkpoint_lsn: int = 0
+    #: Index DDL fields (CREATE_INDEX / DROP_INDEX).
+    index_path: Optional[str] = None
+    index_kind: Optional[str] = None
+    value_type: Optional[str] = None
+    #: Bulk-load marker (LOAD): nodes loaded outside per-op logging.
+    node_count: int = 0
 
     @property
     def kind_name(self) -> str:
@@ -193,6 +211,15 @@ def _decode_payload(payload: bytes) -> WalRecord:
         return WalRecord(lsn, kind, txn, nid=reader.nid())
     if kind == CHECKPOINT:
         return WalRecord(lsn, kind, txn, checkpoint_lsn=reader.u64())
+    if kind == CREATE_INDEX:
+        return WalRecord(lsn, kind, txn, index_path=reader.text(),
+                         index_kind=reader.text(),
+                         value_type=reader.text())
+    if kind == DROP_INDEX:
+        return WalRecord(lsn, kind, txn, index_path=reader.text(),
+                         index_kind=reader.text())
+    if kind == LOAD:
+        return WalRecord(lsn, kind, txn, node_count=reader.u64())
     raise StorageError(f"unknown WAL record kind {kind}")
 
 
@@ -335,6 +362,26 @@ class WriteAheadLog:
         body = bytearray()
         _pack_nid(body, nid)
         return self._append(DELETE, txn, bytes(body))
+
+    def append_create_index(self, txn: int, path: str, kind: str,
+                            value_type: str) -> int:
+        body = bytearray()
+        _pack_text(body, path)
+        _pack_text(body, kind)
+        _pack_text(body, value_type)
+        return self._append(CREATE_INDEX, txn, bytes(body))
+
+    def append_drop_index(self, txn: int, path: str, kind: str) -> int:
+        body = bytearray()
+        _pack_text(body, path)
+        _pack_text(body, kind)
+        return self._append(DROP_INDEX, txn, bytes(body))
+
+    def append_load(self, txn: int, node_count: int) -> int:
+        """The bulk-load marker: *node_count* nodes entered the engine
+        without per-op records; a checkpoint must follow immediately
+        (recovery refuses a committed LOAD past the horizon)."""
+        return self._append(LOAD, txn, struct.pack("<Q", node_count))
 
     # -- checkpoint reset ------------------------------------------------
 

@@ -38,14 +38,25 @@ def _element(name: str, *children: "XmlElement | str") -> XmlElement:
 def make_library_document(books: int = 10, papers: int = 10,
                           seed: int = 0,
                           max_authors: int = 3,
-                          issue_every: int = 2) -> XmlDocument:
-    """A library document shaped exactly like Example 8, scaled."""
+                          issue_every: int = 2,
+                          year_attrs: bool = False) -> XmlDocument:
+    """A library document shaped exactly like Example 8, scaled.
+
+    *year_attrs* additionally stamps every book with a ``year``
+    attribute (deterministic in *index* and *seed*, off the shared RNG
+    stream so existing fixtures keep their exact shape).  The value
+    benchmarks and ``[@year...]`` queries need it; the default
+    preserves the attribute-free Example 8 figure.
+    """
     rng = random.Random(seed)
     root = _element("library")
     for index in range(books):
         book = _element(
             "book",
             _element("title", rng.choice(_TITLES)))
+        if year_attrs:
+            book.attributes[QName("", "year")] = \
+                str(1970 + (index * 7 + seed) % 36)
         for _ in range(rng.randint(1, max_authors)):
             book.append(_element("author", rng.choice(_AUTHORS)))
         if issue_every and index % issue_every == 0:

@@ -46,7 +46,8 @@ def test_run_all_smoke_writes_report(tmp_path, capsys):
     assert registry["numbering.relabels.sedna"] == 0
     assert len(metrics["query_explains"]) == len(QUERY_PATHS)
     for record in metrics["query_explains"]:
-        assert record["strategy"] in ("empty", "scan", "hybrid", "naive")
+        assert record["strategy"] in ("empty", "scan", "hybrid", "index",
+                                      "naive")
         assert record["plan_cache"] == "hit"  # the warm run is recorded
     workload = metrics["numbering_workload"]
     assert workload["scheme"] == "sedna"
@@ -62,6 +63,23 @@ def test_run_all_smoke_writes_report(tmp_path, capsys):
     assert durability["image_bytes"] > 0
     assert durability["recovery_replayed"] == 2 * durability["operations"]
     assert durability["recovery_relabels"] == 0
+    # Bulk load: one logical LOAD record instead of per-op logging,
+    # and the loaded store recovers cleanly.
+    bulk = durability["bulk_load"]
+    assert bulk["bulk_wal_records"] == 3
+    assert bulk["incremental_wal_records"] > bulk["bulk_wal_records"]
+    assert bulk["nodes"] > 0
+    # The secondary-index section: every probe case beats the scan and
+    # reports the index strategy, and DDL invalidates exactly the
+    # affected cached plans.
+    indexes = report["indexes"]
+    for record in indexes["records"]:
+        assert record["ops_index"] > 0
+        assert record["strategy"] == "index"
+        assert record["index_used"]
+    ddl = indexes["ddl_invalidation"]
+    assert ddl["exactly_affected_invalidated"]
+    assert ddl["unaffected_restamped"]
     capsys.readouterr()  # swallow the printed table
 
 

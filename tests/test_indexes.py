@@ -1,0 +1,484 @@
+"""Secondary indexes: DDL, typed probes, maintenance, planner, WAL.
+
+The tentpole contract under test: a typed-value index keyed by the §4
+value space and a path index materializing a descriptive-schema match
+set, declared through ``engine.create_index``, kept current by the
+mutation paths, consulted by the plan compiler (with index-epoch cache
+invalidation), persisted as *definitions* (contents are derived state
+rebuilt on load), and replayed/reconciled through the WAL on recovery.
+"""
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.errors import StorageError, TypeSystemError, UpdateError
+from repro.query.engine import StorageQueryEngine
+from repro.storage import (
+    StorageEngine,
+    TransactionManager,
+    WriteAheadLog,
+    bulk_load,
+    recover,
+)
+from repro.storage.indexes import ValueIndex
+from repro.storage.wal import CHECKPOINT, CREATE_INDEX, DROP_INDEX, read_wal
+from repro.workloads.library import make_library_document
+from repro.xmlio.qname import QName
+
+
+def _engine(books=8, papers=4, **kwargs) -> StorageEngine:
+    engine = StorageEngine()
+    engine.load_document(make_library_document(
+        books=books, papers=papers, year_attrs=True, **kwargs))
+    return engine
+
+
+def _books(engine):
+    library = engine.children(engine.document)[0]
+    return [child for child in engine.children(library)
+            if child.schema_node.name.local == "book"]
+
+
+def _year(engine, book):
+    for attribute in engine.attributes(book):
+        if attribute.schema_node.name.local == "year":
+            return attribute
+    return None
+
+
+# ---------------------------------------------------------------------------
+# DDL validation
+
+
+class TestDdlValidation:
+    def test_unknown_kind_rejected(self):
+        engine = _engine()
+        with pytest.raises(UpdateError, match="unknown index kind"):
+            engine.create_index("library/book/@year", kind="btree")
+
+    def test_value_index_rejects_descendant_and_predicates(self):
+        engine = _engine()
+        with pytest.raises(UpdateError, match="exact schema path"):
+            engine.create_index("//book/@year")
+        with pytest.raises(UpdateError, match="exact schema path"):
+            engine.create_index("library/book[1]/@year")
+
+    def test_value_index_requires_resolving_path(self):
+        engine = _engine()
+        with pytest.raises(UpdateError, match="does not resolve"):
+            engine.create_index("library/shelf/@year")
+
+    def test_value_index_rejects_unknown_type(self):
+        engine = _engine()
+        with pytest.raises(UpdateError):
+            engine.create_index("library/book/@year",
+                                value_type="no-such-type")
+
+    def test_path_index_rejects_predicates(self):
+        engine = _engine()
+        with pytest.raises(UpdateError, match="predicate-free"):
+            engine.create_index("/library/book[@year]", kind="path")
+
+    def test_duplicate_declaration_rejected(self):
+        engine = _engine()
+        engine.create_index("library/book/@year")
+        with pytest.raises(UpdateError, match="already declared"):
+            engine.create_index("/library/book/@year")
+
+    def test_drop_unknown_index_rejected(self):
+        engine = _engine()
+        with pytest.raises(UpdateError):
+            engine.drop_index("library/book/@year")
+
+    def test_drop_removes_the_index(self):
+        engine = _engine()
+        engine.create_index("library/book/@year")
+        assert len(engine.indexes) == 1
+        engine.drop_index("library/book/@year")
+        assert len(engine.indexes) == 0
+        assert not engine.indexes.active
+
+
+# ---------------------------------------------------------------------------
+# Typed-value probes
+
+
+class TestValueProbes:
+    def test_attribute_eq_probe_returns_owning_elements(self):
+        engine = _engine()
+        index = engine.create_index("library/book/@year",
+                                    value_type="integer")
+        books = _books(engine)
+        target = int(_year(engine, books[0]).value)
+        expected = [book for book in books
+                    if int(_year(engine, book).value) == target]
+        assert index.probe_eq(index.parse_key(str(target))) == expected
+
+    def test_probes_compare_in_the_typed_value_space(self):
+        engine = StorageEngine()
+        engine.load_document(make_library_document(books=0, papers=0))
+        library = engine.children(engine.document)[0]
+        year = QName("", "year")
+        lexicals = ["9", "10", "100", "0009"]
+        for i, lexical in enumerate(lexicals):
+            book = engine.insert_child(library, i, name=QName("", "book"))
+            engine.set_attribute(book, year, lexical)
+        index = engine.create_index("library/book/@year",
+                                    value_type="integer")
+        # Lexically "9" > "10"; in the integer value space 9 < 10, and
+        # "9" and "0009" collapse to the same key.
+        assert len(index.probe_eq(9)) == 2
+        low = index.probe_range(high=10, inclusive_high=False)
+        assert [int(_year(engine, b).value) for b in low] == [9, 9]
+        assert index.stats()["distinct_keys"] == 3
+
+    def test_range_probe_respects_bounds(self):
+        engine = _engine(books=12)
+        index = engine.create_index("library/book/@year",
+                                    value_type="integer")
+        years = sorted({int(_year(engine, b).value)
+                        for b in _books(engine)})
+        low, high = years[1], years[-2]
+        hits = index.probe_range(low, high)
+        got = sorted({int(_year(engine, b).value) for b in hits})
+        assert got == [y for y in years if low <= y <= high]
+        exclusive = index.probe_range(low, high, inclusive_low=False,
+                                      inclusive_high=False)
+        got = sorted({int(_year(engine, b).value) for b in exclusive})
+        assert got == [y for y in years if low < y < high]
+
+    def test_probe_results_are_in_document_order(self):
+        engine = _engine(books=12)
+        index = engine.create_index("library/book/@year",
+                                    value_type="integer")
+        for result in (index.probe_exists(), index.probe_range()):
+            keys = [d.nid.sort_key() for d in result]
+            assert keys == sorted(keys)
+
+    def test_element_index_keys_on_string_value(self):
+        engine = _engine()
+        index = engine.create_index("library/book/title")
+        titles = [engine.string_value(engine.children(book)[0])
+                  for book in _books(engine)]
+        hits = index.probe_eq(index.parse_key(titles[0]))
+        assert hits  # owners are the title elements themselves
+        assert all(engine.string_value(d) == titles[0] for d in hits)
+        assert len(hits) == titles.count(titles[0])
+
+    def test_untyped_values_probe_as_existing_only(self):
+        engine = _engine(books=4)
+        books = _books(engine)
+        _year(engine, books[0]).value = "not-a-year"
+        index = engine.create_index("library/book/@year",
+                                    value_type="integer")
+        assert len(index.probe_exists()) == 4
+        assert index.stats()["entries"] == 4
+        assert index.stats()["distinct_keys"] <= 3
+        assert books[0] not in index.probe_range()
+        with pytest.raises(TypeSystemError):
+            index.parse_key("not-a-year")
+
+
+# ---------------------------------------------------------------------------
+# Path index
+
+
+class TestPathIndex:
+    def test_probe_merges_descriptor_sets_in_document_order(self):
+        engine = _engine(books=6, papers=6)
+        index = engine.create_index("//author", kind="path")
+        queries = StorageQueryEngine(engine)
+        assert index.probe() == queries.evaluate_naive("//author")
+        assert index.stats()["schema_nodes_covered"] >= 2
+
+    def test_survives_schema_growth(self):
+        engine = _engine(books=4, papers=2)
+        index = engine.create_index("//author", kind="path")
+        before = len(index.probe())
+        # A brand-new schema path matching //author appears later.
+        library = engine.children(engine.document)[0]
+        journal = engine.insert_child(library, len(_books(engine)),
+                                      name=QName("", "journal"))
+        author = engine.insert_child(journal, 0,
+                                     name=QName("", "author"))
+        engine.insert_child(author, 0, text="Nobody")
+        queries = StorageQueryEngine(engine)
+        assert len(index.probe()) == before + 1
+        assert index.probe() == queries.evaluate_naive("//author")
+
+
+# ---------------------------------------------------------------------------
+# Incremental maintenance
+
+
+class TestMaintenance:
+    def test_insert_update_delete_keep_indexes_consistent(self):
+        engine = _engine()
+        engine.create_index("library/book/@year", value_type="integer")
+        engine.create_index("library/book/title")
+        engine.create_index("//author", kind="path")
+        library = engine.children(engine.document)[0]
+
+        book = engine.insert_child(library, 0, name=QName("", "book"))
+        engine.set_attribute(book, QName("", "year"), "2001")
+        title = engine.insert_child(book, 0, name=QName("", "title"))
+        engine.insert_child(title, 0, text="New Book")
+        assert engine.indexes.verify_consistency() == 3
+
+        engine.set_attribute(book, QName("", "year"), "2002",
+                             replace=True)
+        assert engine.indexes.verify_consistency() == 3
+
+        engine.delete_subtree(book)
+        assert engine.indexes.verify_consistency() == 3
+
+    def test_eq_probe_tracks_value_updates(self):
+        engine = _engine()
+        index = engine.create_index("library/book/@year",
+                                    value_type="integer")
+        book = _books(engine)[0]
+        engine.set_attribute(book, QName("", "year"), "3000",
+                             replace=True)
+        assert index.probe_eq(3000) == [book]
+        engine.set_attribute(book, QName("", "year"), "3001",
+                             replace=True)
+        assert index.probe_eq(3000) == []
+        assert index.probe_eq(3001) == [book]
+
+    def test_rolled_back_transaction_leaves_indexes_untouched(
+            self, tmp_path):
+        engine = _engine()
+        index = engine.create_index("library/book/@year",
+                                    value_type="integer")
+        snapshot = index.snapshot()
+        manager = TransactionManager(
+            engine, WriteAheadLog(tmp_path / "wal.log"))
+        library = engine.children(engine.document)[0]
+        with pytest.raises(RuntimeError):
+            with manager.transaction():
+                book = engine.insert_child(library, 0,
+                                           name=QName("", "book"))
+                engine.set_attribute(book, QName("", "year"), "2525")
+                raise RuntimeError("roll it back")
+        assert index.snapshot() == snapshot
+        assert engine.indexes.verify_consistency() == 1
+
+    def test_rolled_back_ddl_is_undone(self, tmp_path):
+        engine = _engine()
+        engine.create_index("library/book/title")
+        manager = TransactionManager(
+            engine, WriteAheadLog(tmp_path / "wal.log"))
+        with pytest.raises(RuntimeError):
+            with manager.transaction():
+                engine.create_index("library/book/@year")
+                engine.drop_index("library/book/title")
+                raise RuntimeError("roll it back")
+        assert [d.path for d in engine.indexes.definitions()] \
+            == ["library/book/title"]
+        assert engine.indexes.verify_consistency() == 1
+
+
+# ---------------------------------------------------------------------------
+# Planner integration
+
+
+class TestPlannerIntegration:
+    def _queries(self, engine):
+        return StorageQueryEngine(engine)
+
+    @pytest.mark.parametrize("path", [
+        "/library/book[@year='1970']/title",
+        "/library/book[@year]",
+        "/library/book[@year]/author",
+        "//author",
+    ])
+    def test_index_route_matches_naive_evaluation(self, path):
+        engine = _engine(books=16, papers=8)
+        queries = self._queries(engine)
+        expected = queries.evaluate_naive(path)
+        assert queries.evaluate(path) == expected
+        engine.create_index("library/book/@year", value_type="integer")
+        engine.create_index("//author", kind="path")
+        assert queries.evaluate(path) == expected
+
+    def test_explain_reports_the_index_strategy(self):
+        engine = _engine()
+        engine.create_index("library/book/@year", value_type="integer")
+        queries = self._queries(engine)
+        obs.reset()
+        obs.enable()
+        try:
+            queries.evaluate("/library/book[@year]/title")
+            record = obs.EXPLAINS.last()
+            assert record.strategy == "index"
+            assert record.index_used == "value:library/book/@year"
+            counters = obs.REGISTRY.snapshot()
+            assert counters["index.probes"] >= 1
+            assert counters["index.hits"] >= 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_unparseable_literal_declines_the_index(self):
+        # Typed equality can never hold, but the scan route's untyped
+        # string comparison still could — the planner must not change
+        # semantics by probing.
+        engine = _engine()
+        engine.create_index("library/book/@year", value_type="integer")
+        queries = self._queries(engine)
+        plan = queries.compile("/library/book[@year='oops']/title")
+        assert plan.strategy != "index"
+
+    def test_epoch_bump_invalidates_exactly_affected_plans(self):
+        engine = _engine(books=6, papers=3)
+        queries = self._queries(engine)
+        affected = "/library/book[@year]/title"
+        unaffected = "/library/paper/title"
+        queries.evaluate(affected)
+        queries.evaluate(unaffected)
+        base = queries.cache_stats()
+        engine.create_index("library/book/@year", value_type="integer")
+        assert queries.compile(affected).strategy == "index"
+        assert queries.compile(unaffected).strategy == "scan"
+        stats = queries.cache_stats()
+        assert stats["plan_invalidations"] \
+            - base["plan_invalidations"] == 1
+        # The unaffected plan was restamped in place and counts a hit.
+        assert stats["plan_hits"] - base["plan_hits"] == 1
+
+    def test_dropping_the_index_falls_back_to_scan(self):
+        engine = _engine()
+        queries = self._queries(engine)
+        path = "/library/book[@year]/title"
+        engine.create_index("library/book/@year", value_type="integer")
+        expected = queries.evaluate_naive(path)
+        assert queries.compile(path).strategy == "index"
+        assert queries.evaluate(path) == expected
+        engine.drop_index("library/book/@year")
+        assert queries.compile(path).strategy != "index"
+        assert queries.evaluate(path) == expected
+
+    def test_schema_driven_baseline_stays_index_free(self):
+        engine = _engine()
+        engine.create_index("library/book/@year", value_type="integer")
+        queries = self._queries(engine)
+        path = "/library/book[@year]/title"
+        assert queries.evaluate_schema_driven(path) \
+            == queries.evaluate_naive(path)
+
+
+# ---------------------------------------------------------------------------
+# WAL + bulk load
+
+
+class TestDurability:
+    def test_ddl_is_logged_and_replayed(self, tmp_path):
+        engine = _engine()
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        manager = TransactionManager(engine, wal)
+        image = tmp_path / "store.img"
+        from repro.storage.recovery import checkpoint
+        checkpoint(engine, image, wal=wal)
+        engine.create_index("library/book/@year", value_type="integer")
+        engine.drop_index("library/book/@year")
+        engine.create_index("library/book/title")
+        kinds = [r.kind for r in read_wal(wal.path).records]
+        assert kinds.count(CREATE_INDEX) == 2
+        assert kinds.count(DROP_INDEX) == 1
+
+        result = recover(image, wal.path)
+        assert result.index_definitions == 1
+        assert result.indexes_verified == 1
+        assert [d.path for d in result.engine.indexes.definitions()] \
+            == ["library/book/title"]
+
+    def test_bulk_load_writes_one_logical_record(self, tmp_path):
+        document = make_library_document(books=6, papers=3,
+                                         year_attrs=True)
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        engine = StorageEngine()
+        summary = bulk_load(engine, document, tmp_path / "store.img",
+                            wal)
+        assert summary["wal_records"] == 3
+        # The implicit checkpoint put the LOAD under the horizon and
+        # rotated the log: only the checkpoint marker remains.
+        kinds = [r.kind for r in read_wal(wal.path).records]
+        assert kinds == [CHECKPOINT]
+
+        reference = StorageEngine()
+        reference.load_document(document)
+        assert engine.node_count() == reference.node_count()
+
+        result = recover(tmp_path / "store.img", wal.path)
+        assert result.relabels == 0
+        assert result.engine.node_count() == engine.node_count()
+
+    def test_bulk_load_requires_an_empty_engine(self, tmp_path):
+        engine = _engine()
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        with pytest.raises(StorageError):
+            bulk_load(engine, make_library_document(),
+                      tmp_path / "store.img", wal)
+
+    def test_bulk_load_builds_declared_indexes_once(self, tmp_path):
+        document = make_library_document(books=6, year_attrs=True)
+        engine = StorageEngine()
+        wal = WriteAheadLog(tmp_path / "wal.log")
+        bulk_load(engine, document, tmp_path / "store.img", wal)
+        engine.create_index("library/book/@year", value_type="integer")
+        assert engine.indexes.verify_consistency() == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+_YEARED_DOC = ("<library>"
+               "<book year='1994'><title>TAOI</title>"
+               "<author>Gray</author></book>"
+               "<book year='2001'><title>QET</title>"
+               "<author>Codd</author></book>"
+               "<paper><title>FMXS</title><author>Siméon</author></paper>"
+               "</library>")
+
+
+class TestCli:
+    @pytest.fixture
+    def doc(self, tmp_path):
+        path = tmp_path / "lib.xml"
+        path.write_text(_YEARED_DOC, encoding="utf-8")
+        return str(path)
+
+    def test_declares_and_probes_a_value_index(self, doc, capsys):
+        code = cli_main(["index", doc, "library/book/@year",
+                         "--type", "integer", "--eq", "1994"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "index value:library/book/@year (integer)" in out
+        assert "probe eq '1994': 1 match(es)" in out
+
+    def test_json_report_includes_explain(self, doc, capsys):
+        import json
+        code = cli_main(["index", doc, "library/book/@year",
+                         "--type", "integer",
+                         "--query", "/library/book[@year='2001']/title",
+                         "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["definition"]["kind"] == "value"
+        assert report["stats"]["entries"] == 2
+        assert report["query"]["count"] == 1
+        assert report["query"]["explain"]["strategy"] == "index"
+
+    def test_path_index_rejects_value_probes(self, doc, capsys):
+        code = cli_main(["index", doc, "//author", "--kind", "path",
+                         "--eq", "x"])
+        assert code == 2
+
+    def test_range_probe(self, doc, capsys):
+        code = cli_main(["index", doc, "library/book/@year",
+                         "--type", "integer",
+                         "--low", "1990", "--high", "2000"])
+        assert code == 0
+        assert "1 match(es)" in capsys.readouterr().out

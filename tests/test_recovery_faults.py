@@ -46,6 +46,10 @@ def schema():
 def _fresh_engine():
     engine = StorageEngine(block_capacity=4)
     engine.load_document(make_bookstore_document(books=6, seed=1))
+    # An unlogged (pre-manager) value index: every scenario then
+    # exercises incremental maintenance, and recovery re-installs the
+    # definition from the image and reconciles the contents.
+    engine.create_index("BookStore/Book/Date", value_type="integer")
     return engine
 
 
@@ -73,10 +77,13 @@ def _add_book(engine, manager, index, tag):
 def _run_scenario(tmp_path, plan=None):
     """The workload under test; returns what survived before a crash.
 
-    Steps (each an explicit transaction over a 6-book store):
+    Steps (each an explicit transaction over a 6-book store carrying
+    a Date value index):
     A: insert a full Book mid-order (forces block splits at capacity
        4), B: delete the first Book, then a second checkpoint, C:
-       append a Book, D: begin inserting a Book and never commit.
+       append a Book and CREATE a second (logged) index — its build
+       pass is where ``index.rebuild`` fires, D: begin inserting a
+       Book and never commit.
     The fault *plan* is installed only after the initial checkpoint.
     The returned ``expected`` title list reflects exactly the
     transactions whose COMMIT made it to the log.
@@ -103,6 +110,7 @@ def _run_scenario(tmp_path, plan=None):
         checkpoint(engine, image, wal=wal)
         _add_book(engine, manager, len(expected), "C")
         expected.append("TC")
+        engine.create_index("BookStore/Book/ISBN")
         manager.begin()
         store = engine.children(engine.document)[0]
         book = engine.insert_child(store, 0,
@@ -125,6 +133,12 @@ def _assert_recovered(image, wal_path, expected, schema):
     assert result.relabels == 0
     assert _titles(engine) == expected
     assert "TD" not in _titles(engine)  # uncommitted txn D never lands
+    # The Date index definition rides in the checkpoint image; its
+    # incrementally maintained contents were reconciled against a
+    # from-scratch rebuild inside recover().
+    assert result.index_definitions >= 1
+    assert result.indexes_verified == result.index_definitions
+    assert engine.indexes.verify_consistency() >= 1
     return result
 
 
@@ -143,6 +157,7 @@ class TestCrashMatrix:
     @pytest.mark.parametrize("point,hit", [
         ("wal.append", 5), ("wal.append", 12), ("wal.fsync", 9),
         ("wal.commit", 2), ("block.split", 2), ("descriptor.unlink", 8),
+        ("index.update", 7), ("index.update", 20),
     ])
     def test_crash_at_deeper_hits(self, tmp_path, schema, point, hit):
         plan = FaultPlan()
@@ -166,6 +181,9 @@ class TestCrashMatrix:
         assert crashed_at is None
         result = _assert_recovered(image, wal_path, expected, schema)
         assert result.discarded_txns  # txn D was begun, never committed
+        # The committed CREATE INDEX (ISBN) sits past the second
+        # checkpoint's horizon, so recovery replayed the DDL record.
+        assert result.index_definitions == 2
 
     def test_proposition_1_counters_stay_zero(self, tmp_path, schema):
         obs.reset()
@@ -182,6 +200,60 @@ class TestCrashMatrix:
         finally:
             obs.disable()
             obs.reset()
+
+
+class TestIndexFaultPoints:
+    """Crashes inside secondary-index maintenance or build passes.
+
+    Index contents are derived state, so the recovery obligation is
+    bisimulation: whatever the incremental hooks were doing when the
+    process died, the recovered indexes must be indistinguishable from
+    a from-scratch rebuild over the recovered block lists."""
+
+    @pytest.mark.parametrize("point", ["index.update", "index.rebuild"])
+    def test_recovered_indexes_bisimulate_rebuild(self, tmp_path,
+                                                  schema, point):
+        plan = FaultPlan()
+        plan.crash_at(point)
+        image, wal_path, expected, crashed_at = _run_scenario(
+            tmp_path, plan)
+        assert crashed_at == point
+        result = _assert_recovered(image, wal_path, expected, schema)
+        engine = result.engine
+        maintained = engine.indexes.snapshot()
+        engine.indexes.rebuild_all()
+        assert engine.indexes.snapshot() == maintained
+        assert result.relabels == 0
+
+    def test_crash_in_logged_build_discards_the_ddl(self, tmp_path,
+                                                    schema):
+        """``index.rebuild`` fires inside the logged CREATE INDEX on
+        ISBN — its COMMIT never lands, so recovery discards the DDL
+        and only the image-carried Date index survives."""
+        plan = FaultPlan()
+        plan.crash_at("index.rebuild")
+        image, wal_path, expected, crashed_at = _run_scenario(
+            tmp_path, plan)
+        assert crashed_at == "index.rebuild"
+        result = _assert_recovered(image, wal_path, expected, schema)
+        assert result.index_definitions == 1
+        assert [d.path for d in result.engine.indexes.definitions()] \
+            == ["BookStore/Book/Date"]
+
+    def test_crash_in_maintenance_discards_the_txn(self, tmp_path,
+                                                   schema):
+        """``index.update`` first fires inside txn A's first insert;
+        the whole transaction is discarded and the recovered Date
+        index reflects only the checkpointed six books."""
+        plan = FaultPlan()
+        plan.crash_at("index.update")
+        image, wal_path, expected, crashed_at = _run_scenario(
+            tmp_path, plan)
+        assert crashed_at == "index.update"
+        assert "TA" not in expected
+        result = _assert_recovered(image, wal_path, expected, schema)
+        date_index = result.engine.indexes.get("BookStore/Book/Date")
+        assert date_index.stats()["entries"] == len(expected)
 
 
 class TestCheckpointAtomicity:

@@ -151,11 +151,25 @@ class TestDumpAfterUpdates:
 
 
 def _as_legacy_v1(image: bytes) -> bytes:
-    """Rewrite a version-2 image into the version-1 layout: strip the
-    CRC trailer, drop the u64 checkpoint LSN after the capacity field,
-    and patch the magic."""
+    """Rewrite a version-3 image (of an engine without indexes) into
+    the version-1 layout: strip the CRC trailer, drop the u64
+    checkpoint LSN and the u32 index-definition count after the
+    capacity field, and patch the magic."""
     body = image[:-4]
-    return b"SEDNAPY1" + body[8:12] + body[20:]
+    assert body[20:24] == b"\x00" * 4, "helper needs an index-free image"
+    return b"SEDNAPY1" + body[8:12] + body[24:]
+
+
+def _as_legacy_v2(image: bytes) -> bytes:
+    """Rewrite a version-3 image (of an engine without indexes) into
+    the version-2 layout: drop the u32 index-definition count, patch
+    the magic, re-sign the CRC trailer."""
+    import struct
+    import zlib
+    body = image[:-4]
+    assert body[20:24] == b"\x00" * 4, "helper needs an index-free image"
+    v2 = b"SEDNAPY2" + body[8:20] + body[24:]
+    return v2 + struct.pack("<I", zlib.crc32(v2))
 
 
 class TestImageFormatV2:
@@ -200,6 +214,23 @@ class TestImageFormatV2:
         finally:
             obs.disable()
             obs.reset()
+
+    def test_legacy_v2_image_still_loads(self):
+        original = _engine()
+        legacy = _as_legacy_v2(dumps_engine(original, checkpoint_lsn=9))
+        restored = load_engine(legacy)
+        assert _snapshot(restored) == _snapshot(original)
+        assert restored.checkpoint_lsn == 9
+        assert len(restored.indexes) == 0
+
+    def test_index_definitions_roundtrip(self):
+        original = _engine(make_library_document(5, 0, seed=2))
+        original.create_index("library/book/title")
+        restored = load_engine(dumps_engine(original))
+        assert [d.as_dict() for d in restored.indexes.definitions()] \
+            == [d.as_dict() for d in original.indexes.definitions()]
+        assert restored.indexes.get("library/book/title").snapshot() \
+            == original.indexes.get("library/book/title").snapshot()
 
     def test_corrupt_text_names_the_byte_offset(self):
         engine = _engine()
