@@ -21,7 +21,10 @@ checker over the two NodeStore backends (tree vs. storage).
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import json
+import pstats
 import tempfile
 import time
 from pathlib import Path
@@ -110,6 +113,16 @@ def run(scales=DEFAULT_SCALES, repeats=5, rounds=20):
                 repeats, rounds)
             cached_ops = _time_route(
                 lambda: queries.evaluate(path), repeats, rounds)
+            # Split accounting: the cached route is (plan-cache lookup)
+            # + (closure-chain execution).  Timing each part alone
+            # keeps the headline cached_vs_uncached honest — earlier
+            # revisions folded the lookup into the execution number,
+            # which at large scales hid where the time actually went.
+            plan = queries.compile(path)
+            lookup_ops = _time_route(
+                lambda: queries.compile(path), repeats, rounds)
+            exec_ops = _time_route(
+                lambda: plan.execute_compiled(queries), repeats, rounds)
             stats = queries.cache_stats()
             records.append({
                 "path": path,
@@ -118,6 +131,10 @@ def run(scales=DEFAULT_SCALES, repeats=5, rounds=20):
                 "ops_naive": round(naive_ops, 1),
                 "ops_schema_driven": round(uncached_ops, 1),
                 "ops_cached_plan": round(cached_ops, 1),
+                "ops_plan_lookup": round(lookup_ops, 1),
+                "ops_compiled_exec": round(exec_ops, 1),
+                "lookup_share": round(
+                    (1.0 / lookup_ops) / (1.0 / cached_ops), 4),
                 "cached_vs_uncached": round(cached_ops / uncached_ops, 2),
                 "cached_vs_naive": round(cached_ops / naive_ops, 2),
                 "plan_hit_rate": round(stats["plan_hit_rate"], 4),
@@ -125,6 +142,33 @@ def run(scales=DEFAULT_SCALES, repeats=5, rounds=20):
                 "plan_invalidations": stats["plan_invalidations"],
             })
     return records
+
+
+def run_profile(scale=1000, rounds=50, top=20):
+    """cProfile the warm cached route, one dump per query group.
+
+    Each benchmark path gets its own profile (the executor is warmed
+    first, so the dump shows the steady-state closure chain, not the
+    one-time lowering) with the top-*top* functions by cumulative time
+    — the tool that found the per-step dispatch this layer removed.
+    """
+    engine = _build_engines((scale,))[scale]
+    queries = StorageQueryEngine(engine)
+    for path in QUERY_PATHS:
+        queries.evaluate(path)  # warm: lower the closure chain
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for _ in range(rounds):
+            queries.evaluate(path)
+        profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(top)
+        print(f"\nprofile [{path}] scale {scale}, {rounds} warm "
+              f"evaluations, top {top} by cumulative time:")
+        for line in stream.getvalue().splitlines():
+            if line.strip():
+                print(f"  {line}")
 
 
 def run_indexes(scales=INDEX_SCALES, repeats=5, rounds=20):
@@ -511,13 +555,16 @@ def _print_metrics(metrics):
 
 def _print_table(records):
     header = (f"{'path':32} {'scale':>5} {'naive':>10} "
-              f"{'schema':>10} {'cached':>10} {'speedup':>8}")
+              f"{'schema':>10} {'cached':>10} {'exec':>10} "
+              f"{'lookup%':>8} {'speedup':>8}")
     print(header)
     print("-" * len(header))
     for r in records:
         print(f"{r['path']:32} {r['scale']:>5} "
               f"{r['ops_naive']:>10.0f} {r['ops_schema_driven']:>10.0f} "
               f"{r['ops_cached_plan']:>10.0f} "
+              f"{r['ops_compiled_exec']:>10.0f} "
+              f"{r['lookup_share'] * 100:>7.1f}% "
               f"{r['cached_vs_uncached']:>7.2f}x")
 
 
@@ -541,6 +588,8 @@ def main(argv=None):
                         help="where to write the JSON report")
     parser.add_argument("--smoke", action="store_true",
                         help="single tiny scale, few rounds (for CI)")
+    parser.add_argument("--profile", action="store_true",
+                        help="dump cProfile top-20 per query group")
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -565,6 +614,9 @@ def main(argv=None):
     _print_conformance_table(conformance)
     _print_durability(durability)
     _print_metrics(metrics)
+    if args.profile:
+        run_profile(scale=SMOKE_SCALES[0] if args.smoke else 1000,
+                    rounds=10 if args.smoke else 50)
 
     if args.json or args.output is not None:
         output = args.output or \
@@ -600,12 +652,15 @@ def main(argv=None):
                     > 1.0),
                 "max_cached_vs_uncached": max(speedups),
                 "min_cached_vs_uncached": min(speedups),
-                # The caching layer removes parse + planning cost; on
-                # queries where that cost is a visible fraction of the
-                # work (small or structurally filtered results), the
-                # cached plan must be at least twice as fast.  Large
-                # full-scan results converge to 1x by construction —
-                # both routes do the identical block scan.
+                # The cached route skips parse + planning AND runs the
+                # lowered closure chain over batched block sweeps, so
+                # it must beat the interpreted schema-driven evaluator
+                # on every query — including large full scans, where
+                # the old per-descriptor generator hops converged to
+                # 1x.  The floor is 1.5x everywhere; somewhere the
+                # campaign must show at least 2x.
+                "min_cached_vs_uncached_1_5x_met": (
+                    min(speedups) >= 1.5),
                 "speedup_2x_met": max(speedups) >= 2.0,
                 "speedup_2x_per_scale": {
                     str(scale): max(r["cached_vs_uncached"]

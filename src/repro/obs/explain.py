@@ -35,7 +35,7 @@ class QueryExplain:
     __slots__ = ("path", "strategy", "plan_cache", "parse_cache",
                  "schema_nodes_scanned", "pruned_schema_nodes",
                  "axis_steps", "nodes_visited", "nodes_returned",
-                 "elapsed_s", "index_used")
+                 "elapsed_s", "index_used", "compiled", "stage_ns")
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -55,6 +55,13 @@ class QueryExplain:
         self.nodes_visited = 0
         self.nodes_returned = 0
         self.elapsed_s = 0.0
+        #: True when the evaluation ran a lowered closure chain
+        #: (:mod:`repro.query.compiled`) rather than the interpreted
+        #: plan dispatch.
+        self.compiled = False
+        #: Per-stage ``(name, elapsed_ns)`` pairs of the closure chain,
+        #: source first; empty for interpreted runs.
+        self.stage_ns: list = []
 
     def as_dict(self) -> dict:
         return {
@@ -69,6 +76,9 @@ class QueryExplain:
             "nodes_visited": self.nodes_visited,
             "nodes_returned": self.nodes_returned,
             "elapsed_s": self.elapsed_s,
+            "compiled": self.compiled,
+            "stage_ns": [[name, elapsed] for name, elapsed
+                         in self.stage_ns],
         }
 
     def render(self) -> str:
@@ -85,7 +95,11 @@ class QueryExplain:
             f"  nodes visited:      {self.nodes_visited}",
             f"  nodes returned:     {self.nodes_returned}",
             f"  elapsed:            {self.elapsed_s * 1e3:.3f}ms",
+            f"  compiled:           {'yes' if self.compiled else 'no'}",
         ]
+        for name, elapsed_ns in self.stage_ns:
+            lines.append(
+                f"    stage {name + ':':<22}{elapsed_ns / 1e6:.3f}ms")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -27,7 +27,6 @@ from repro.order.document_order import (
     iter_subtree_elements,
     iter_subtree_elements_reversed,
 )
-from repro.storage.labels import before, is_ancestor
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.storage.descriptor import NodeDescriptor
@@ -158,29 +157,34 @@ def preceding_axis(node: Node) -> Iterator[Node]:
 # Storage-side following/preceding: pure label comparison (§9.3).
 
 
+def _doc_order_key(descriptor: "NodeDescriptor") -> bytes:
+    return descriptor.nid.sort_key()
+
+
 def _storage_document_stream(engine: "StorageEngine"
                              ) -> Iterator["NodeDescriptor"]:
     """All non-attribute descriptors in document order, as a lazy
-    k-way merge of the per-schema-node block scans."""
+    k-way merge of the per-schema-node block scans keyed on the
+    memoized packed labels."""
     streams = [engine.scan_schema_node(schema_node)
                for schema_node in engine.schema.iter_nodes()
                if schema_node.node_type != "attribute"]
-    return heapq.merge(
-        *streams, key=lambda descriptor: descriptor.nid.symbols())
+    return heapq.merge(*streams, key=_doc_order_key)
 
 
 def storage_following_axis(engine: "StorageEngine",
                            descriptor: "NodeDescriptor"
                            ) -> Iterator["NodeDescriptor"]:
-    """``following::`` over descriptors, decided by labels alone:
-    ``before(context, x)`` places x after the context and
-    ``is_ancestor(context, x)`` excludes its descendants — each test
-    is O(label length), with no navigation and no node sets."""
-    context = descriptor.nid
+    """``following::`` over descriptors, decided by packed label keys
+    alone: a bytewise ``<`` places x after the context and a prefix
+    test (``startswith``) excludes its descendants — each test is one
+    C-level bytes operation, with no navigation and no node sets."""
+    context_key = descriptor.nid.sort_key()
     for candidate in _storage_document_stream(engine):
-        if not before(context, candidate.nid):
+        candidate_key = candidate.nid.sort_key()
+        if not context_key < candidate_key:
             continue  # at or before the context node
-        if is_ancestor(context, candidate.nid):
+        if candidate_key.startswith(context_key):
             continue  # a descendant of the context
         yield candidate
 
@@ -188,18 +192,19 @@ def storage_following_axis(engine: "StorageEngine",
 def storage_preceding_axis(engine: "StorageEngine",
                            descriptor: "NodeDescriptor"
                            ) -> Iterator["NodeDescriptor"]:
-    """``preceding::`` over descriptors by label comparison, in
+    """``preceding::`` over descriptors by packed-key comparison, in
     reverse document order.  The merged stream is document-ordered, so
-    the scan stops at the context label; only the (necessarily
+    the scan stops at the context key; only the (necessarily
     materialized, because the axis is reversed) result list is
-    buffered — ancestors are excluded by a prefix test, not by set
+    buffered — ancestors are excluded by a key prefix test, not by set
     membership."""
-    context = descriptor.nid
+    context_key = descriptor.nid.sort_key()
     out: list["NodeDescriptor"] = []
     for candidate in _storage_document_stream(engine):
-        if not before(candidate.nid, context):
+        candidate_key = candidate.nid.sort_key()
+        if not candidate_key < context_key:
             break  # reached the context: nothing later can precede it
-        if is_ancestor(candidate.nid, context):
+        if context_key.startswith(candidate_key):
             continue  # an ancestor of the context
         out.append(candidate)
     yield from reversed(out)

@@ -1,0 +1,546 @@
+"""Closure-chain lowering of cached query plans.
+
+A :class:`~repro.query.planner.CompiledPlan` records a *decision*
+(strategy, schema nodes, probe); executing it still re-dispatches on
+that decision every call — string compares on the strategy, isinstance
+tests per predicate, generator hops per block.  This module lowers a
+plan **once** — on its first cached execution — into a
+:class:`CompiledExecutor`: a source closure that materializes the
+initial descriptor list plus a chain of stage closures, each pre-bound
+to exactly the schema nodes, attribute slots, index probes and
+residual predicates it needs.  Repeat executions then run the chain
+with zero per-step strategy dispatch.
+
+The lowering is *schema-bound, not block-bound*: closures capture
+:class:`~repro.storage.dschema.SchemaNode` objects and walk their live
+``first_block`` chains at run time, so pure data mutations (inserts,
+deletes, value updates, block splits) are picked up for free — the
+same liveness argument the interpreted scan makes.  Consistency with
+DDL and schema growth rides on the existing plan-cache invalidation:
+the cache drops a plan when the schema version moved (the executor
+dies with it) and nulls :attr:`CompiledPlan.executor` when a DDL
+restamp keeps the plan, forcing a re-lower against the fresh probe
+bindings.
+
+Stage specialization falls back — per stage, not per plan — to the
+shared interpreted kernel whenever the specialized form could diverge
+from it:
+
+* positional predicates on suffix steps regroup per context, which a
+  flat sweep cannot reproduce (``navigate-fallback``);
+* parent-filter and ancestor-walk sweeps are only emitted when the
+  *schema-level* context set is ancestor-free, because only then is
+  the interpreted per-context output globally document-ordered and
+  duplicate-free (two ancestor-free descriptors have disjoint
+  subtrees, so their child/descendant results never interleave or
+  overlap);
+* attribute steps always mirror the per-context pointer walk, since
+  ``attributes()`` order is schema-children order, which a label
+  sweep does not reproduce.
+
+The correctness contract — closure-chain results are nid-identical to
+the interpreted plan for every strategy — is what
+``tests/test_compiled_parity.py`` pins down.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro import obs
+from repro.query.paths import (
+    AttributePredicate,
+    ChildPredicate,
+    PositionPredicate,
+    Step,
+)
+from repro.query.planner import (
+    NOT_LOWERABLE,
+    CompiledPlan,
+    _doc_order_key,
+    _schema_accepts,
+    _schema_candidates,
+)
+from repro.storage.dschema import SchemaNode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.explain import QueryExplain
+    from repro.query.engine import StorageQueryEngine
+    from repro.storage.descriptor import NodeDescriptor
+
+#: Stage signature: descriptor list in, descriptor list out.
+Stage = Callable[[list], list]
+
+
+class CompiledExecutor:
+    """A lowered plan: one source closure + a chain of stage closures.
+
+    :meth:`run` is the hot path — no timing, no dispatch, just the
+    chain.  :meth:`run_explained` runs the same chain with a
+    ``perf_counter_ns`` fence around every stage and reports the
+    per-stage timings into the active EXPLAIN record.
+    """
+
+    __slots__ = ("source_name", "source", "stages")
+
+    def __init__(self, source_name: str, source: Callable[[], list],
+                 stages: "list[tuple[str, Stage]]") -> None:
+        self.source_name = source_name
+        self.source = source
+        self.stages = tuple(stages)
+
+    def run(self, queries: "StorageQueryEngine") -> list:
+        result = self.source()
+        for _name, stage in self.stages:
+            result = stage(result)
+        return result
+
+    def run_explained(self, queries: "StorageQueryEngine",
+                      record: "QueryExplain") -> list:
+        timings: list[tuple[str, int]] = []
+        started = time.perf_counter_ns()
+        result = self.source()
+        timings.append((self.source_name,
+                        time.perf_counter_ns() - started))
+        record.nodes_visited += len(result)
+        for name, stage in self.stages:
+            started = time.perf_counter_ns()
+            result = stage(result)
+            timings.append((name, time.perf_counter_ns() - started))
+            if name.startswith("step"):
+                # Specialized step stages bypass the kernel's ACTIVE
+                # accounting; the fallback stage counts through it.
+                record.axis_steps += 1
+                record.nodes_visited += len(result)
+        record.compiled = True
+        record.stage_ns = timings
+        return result
+
+    def __repr__(self) -> str:
+        names = " | ".join([self.source_name]
+                           + [name for name, _ in self.stages])
+        return f"CompiledExecutor({names})"
+
+
+# ----------------------------------------------------------------------
+# Lowering entry point.
+
+
+def lower(plan: CompiledPlan, queries: "StorageQueryEngine"):
+    """Lower *plan* into a :class:`CompiledExecutor` (or the
+    ``NOT_LOWERABLE`` sentinel for shapes the lowering declines).
+
+    Called once per cached plan; the nanoseconds spent here are
+    surfaced through the ``query.compile.ns`` counter so the benchmark
+    harness can attribute them.
+    """
+    if not obs.ENABLED:
+        return _lower(plan, queries)
+    started = time.perf_counter_ns()
+    executor = _lower(plan, queries)
+    registry = obs.REGISTRY
+    registry.counter("query.compile.ns").inc(
+        time.perf_counter_ns() - started)
+    registry.counter("query.plans.lowered" if executor is not NOT_LOWERABLE
+                     else "query.plans.not_lowerable").inc()
+    return executor
+
+
+def _lower(plan: CompiledPlan, queries: "StorageQueryEngine"):
+    strategy = plan.strategy
+    if strategy == "empty":
+        return CompiledExecutor("empty", lambda: [], [])
+    if strategy == "naive":
+        path = plan.path
+        return CompiledExecutor(
+            "navigate", lambda: queries.evaluate_naive(path), [])
+    steps = plan.path.steps
+    stages: list[tuple[str, Stage]] = []
+    if strategy == "index":
+        source_name, source = _probe_source(plan)
+        # Residual predicates of the probed step: the probe result's
+        # schema nodes are not pinned by the planner, so these stay
+        # generic per-descriptor tests (they are rare — everything
+        # after the decisive predicate).
+        for predicate in plan.rest_predicates:
+            stages.append(_generic_predicate_stage(queries, predicate))
+    elif strategy in ("scan", "hybrid"):
+        source_name, source = _scan_source(plan.scan_nodes)
+        scan_step = (steps[-1] if plan.split is None
+                     else steps[plan.split])
+        for predicate in scan_step.predicates:
+            stages.append(_predicate_stage(queries, plan.scan_nodes,
+                                           predicate))
+    else:  # pragma: no cover - future strategies stay interpreted
+        return NOT_LOWERABLE
+    if plan.split is not None:
+        stages.extend(_suffix_stages(queries, plan.scan_nodes,
+                                     steps[plan.split + 1:]))
+    return CompiledExecutor(source_name, source, stages)
+
+
+# ----------------------------------------------------------------------
+# Sources.
+
+
+def _sweep_blocks(schema_node: SchemaNode, out: list) -> None:
+    """Append every instance of *schema_node* to *out* in document
+    order, one whole block at a time (the batched navigation kernel)."""
+    block = schema_node.first_block
+    while block is not None:
+        block.extend_in_order(out)
+        block = block.next_block
+
+
+def _scan_source(scan_nodes: "tuple[SchemaNode, ...]"
+                 ) -> tuple[str, Callable[[], list]]:
+    if len(scan_nodes) == 1:
+        schema_node = scan_nodes[0]
+
+        def source() -> list:
+            out: list = []
+            _sweep_blocks(schema_node, out)
+            return out
+
+        return f"scan[{schema_node.path or '#document'}]", source
+
+    def merged_source() -> list:
+        out: list = []
+        boundaries: list[int] = []
+        for schema_node in scan_nodes:
+            boundaries.append(len(out))
+            _sweep_blocks(schema_node, out)
+        # Each per-schema-node sweep is a document-order run, so the
+        # concatenation is globally ordered iff every run boundary is:
+        # last-of-run-i <= first-of-run-i+1.  Only when a boundary is
+        # out of order does the merge need a sort (Timsort recognizes
+        # the runs, so even that is one linear galloping merge).
+        size = len(out)
+        for boundary in boundaries[1:]:
+            if (0 < boundary < size
+                    and (out[boundary].nid.sort_key()
+                         < out[boundary - 1].nid.sort_key())):
+                out.sort(key=_doc_order_key)
+                break
+        return out
+
+    return f"scan-merge[{len(scan_nodes)}]", merged_source
+
+
+def _probe_source(plan: CompiledPlan) -> tuple[str, Callable[[], list]]:
+    probe = plan.probe
+    assert probe is not None
+    if probe[0] == "path":
+        return "probe[path]", probe[1].probe
+    mode, index, key, via_parent = probe
+    if mode == "eq":
+        def fetch() -> list:
+            return index.probe_eq(key)
+    else:
+        fetch = index.probe_exists
+    if not via_parent:
+        return f"probe[{mode}]", fetch
+
+    def parent_source() -> list:
+        # An element-value index posts the children; the predicate
+        # selects their parents (deduplicated, document order
+        # preserved — equal-depth paths keep parent order aligned
+        # with child order).
+        seen: set[bytes] = set()
+        out: list = []
+        for owner in fetch():
+            parent = owner.parent
+            if parent is None:  # pragma: no cover - defensive
+                continue
+            parent_key = parent.nid.sort_key()
+            if parent_key not in seen:
+                seen.add(parent_key)
+                out.append(parent)
+        return out
+
+    return f"probe[{mode}/parent]", parent_source
+
+
+# ----------------------------------------------------------------------
+# Predicate stages over a known schema-node set.
+
+
+def _generic_predicate_stage(queries: "StorageQueryEngine",
+                             predicate) -> tuple[str, Stage]:
+    """The unspecialized per-descriptor test (probe results, whose
+    schema nodes the plan does not pin)."""
+    if isinstance(predicate, PositionPredicate):
+        def positional(descriptors: list) -> list:
+            return queries._apply_final_predicates(descriptors,
+                                                   (predicate,))
+        return "predicate[pos]", positional
+
+    def filtered(descriptors: list) -> list:
+        return [descriptor for descriptor in descriptors
+                if queries._test_holds(descriptor, predicate)]
+    return "predicate[test]", filtered
+
+
+def _predicate_stage(queries: "StorageQueryEngine",
+                     schema_nodes, predicate) -> tuple[str, Stage]:
+    """One predicate lowered against the schema nodes the descriptors
+    are known to instantiate."""
+    if isinstance(predicate, PositionPredicate):
+        # Positional grouping over a flat scan is exactly what the
+        # interpreted _apply_final_predicates does; keep it shared.
+        def positional(descriptors: list) -> list:
+            return queries._apply_final_predicates(descriptors,
+                                                   (predicate,))
+        return "predicate[pos]", positional
+    if isinstance(predicate, AttributePredicate):
+        return _attribute_predicate_stage(schema_nodes, predicate)
+    if isinstance(predicate, ChildPredicate):
+        return _child_predicate_stage(queries, schema_nodes, predicate)
+    raise TypeError(f"unknown predicate {predicate!r}")
+
+
+def _attribute_predicate_stage(schema_nodes, predicate: AttributePredicate
+                               ) -> tuple[str, Stage]:
+    # Per schema node: the attribute schema-child slots whose local
+    # name matches, in schema-children order — the FIRST slot holding
+    # an instance decides, mirroring predicate_holds over the
+    # attributes() order.
+    slots: dict[SchemaNode, tuple[int, ...]] = {}
+    for schema_node in schema_nodes:
+        slots[schema_node] = tuple(
+            index for index, child in enumerate(schema_node.children)
+            if child.node_type == "attribute"
+            and child.name.local == predicate.name)
+    value = predicate.value
+
+    def stage(descriptors: list) -> list:
+        out: list = []
+        for descriptor in descriptors:
+            lookup = descriptor.children_by_schema.get
+            for index in slots[descriptor.schema_node]:
+                attribute = lookup(index)
+                if attribute is not None:
+                    if value is None or (attribute.value or "") == value:
+                        out.append(descriptor)
+                    break
+        return out
+
+    return f"predicate[@{predicate.name}]", stage
+
+
+def _child_predicate_stage(queries: "StorageQueryEngine", schema_nodes,
+                           predicate: ChildPredicate
+                           ) -> tuple[str, Stage]:
+    # Per schema node: the element schema children whose local name
+    # matches, as (slot, schema child) pairs — existence is answered by
+    # the stored first-child pointer alone; a value test walks the
+    # sibling chain from it (children_via_schema_pointer, inlined).
+    targets: dict[SchemaNode, tuple[tuple[int, SchemaNode], ...]] = {}
+    for schema_node in schema_nodes:
+        targets[schema_node] = tuple(
+            (index, child)
+            for index, child in enumerate(schema_node.children)
+            if child.node_type == "element"
+            and child.name is not None
+            and child.name.local == predicate.name)
+    value = predicate.value
+    string_value = queries.engine.string_value
+
+    if value is None:
+        def exists_stage(descriptors: list) -> list:
+            out: list = []
+            for descriptor in descriptors:
+                lookup = descriptor.children_by_schema.get
+                for index, _child in targets[descriptor.schema_node]:
+                    if lookup(index) is not None:
+                        out.append(descriptor)
+                        break
+            return out
+        return f"predicate[{predicate.name}]", exists_stage
+
+    def value_stage(descriptors: list) -> list:
+        out: list = []
+        for descriptor in descriptors:
+            lookup = descriptor.children_by_schema.get
+            for index, child_schema in targets[descriptor.schema_node]:
+                node = lookup(index)
+                matched = False
+                while node is not None:
+                    if (node.schema_node is child_schema
+                            and string_value(node) == value):
+                        matched = True
+                        break
+                    node = node.right_sibling
+                if matched:
+                    out.append(descriptor)
+                    break
+        return out
+
+    return f"predicate[{predicate.name}=…]", value_stage
+
+
+# ----------------------------------------------------------------------
+# Suffix step stages (hybrid / index plans with a split).
+
+
+def _match_step(schema_nodes: "list[SchemaNode]",
+                step: Step) -> "list[SchemaNode]":
+    bucket: list[SchemaNode] = []
+    seen: set[SchemaNode] = set()
+    for schema_node in schema_nodes:
+        for candidate in _schema_candidates(schema_node, step):
+            if candidate not in seen and _schema_accepts(candidate,
+                                                         step):
+                seen.add(candidate)
+                bucket.append(candidate)
+    return bucket
+
+
+def _ancestor_free(schema_nodes: "list[SchemaNode]") -> bool:
+    """No member is a schema ancestor of another.  Because a schema
+    node's path is unique (§9.1), descriptor-level ancestor relations
+    imply schema-level ones — so a schema-level ancestor-free set
+    guarantees the instance context sets are ancestor-free too."""
+    members = set(schema_nodes)
+    for schema_node in schema_nodes:
+        ancestor = schema_node.parent
+        while ancestor is not None:
+            if ancestor in members:
+                return False
+            ancestor = ancestor.parent
+    return True
+
+
+def _suffix_stages(queries: "StorageQueryEngine", context_nodes,
+                   steps: "tuple[Step, ...]"
+                   ) -> "list[tuple[str, Stage]]":
+    stages: list[tuple[str, Stage]] = []
+    current: list[SchemaNode] = list(context_nodes)
+    for position, step in enumerate(steps):
+        destination = _match_step(current, step)
+        if not destination:
+            stages.append(("step-empty", lambda _descriptors: []))
+            return stages
+        positional = any(isinstance(p, PositionPredicate)
+                         for p in step.predicates)
+        if positional or not _ancestor_free(current):
+            # Positional predicates regroup per context node, and
+            # ancestor-related contexts interleave child/descendant
+            # results — both need the per-context interpreted kernel.
+            remaining = steps[position:]
+
+            def fallback(descriptors: list,
+                         _remaining=remaining) -> list:
+                return queries._navigate_steps(descriptors, _remaining)
+
+            stages.append(("navigate-fallback", fallback))
+            return stages
+        if step.kind == "attribute":
+            stages.append(_attribute_step_stage(current, step))
+        elif step.axis == "child":
+            stages.append(_child_step_stage(current, destination, step))
+        else:
+            stages.append(_descendant_step_stage(current, destination,
+                                                 step))
+        for predicate in step.predicates:
+            stages.append(_predicate_stage(queries, destination,
+                                           predicate))
+        current = destination
+    return stages
+
+
+def _attribute_step_stage(context_nodes: "list[SchemaNode]",
+                          step: Step) -> tuple[str, Stage]:
+    # attributes() order is schema-children order, which a label sweep
+    # does not reproduce — mirror the per-context pointer walk with the
+    # matching slots resolved per context schema node.
+    slots: dict[SchemaNode, tuple[int, ...]] = {}
+    for schema_node in context_nodes:
+        slots[schema_node] = tuple(
+            index for index, child in enumerate(schema_node.children)
+            if child.node_type == "attribute"
+            and step.matches_name(child.name.local))
+
+    def stage(descriptors: list) -> list:
+        out: list = []
+        for descriptor in descriptors:
+            lookup = descriptor.children_by_schema.get
+            for index in slots[descriptor.schema_node]:
+                attribute = lookup(index)
+                if attribute is not None:
+                    out.append(attribute)
+        return out
+
+    return f"step[@{step.name or '*'}]", stage
+
+
+def _child_step_stage(context_nodes: "list[SchemaNode]",
+                      destination: "list[SchemaNode]",
+                      step: Step) -> tuple[str, Stage]:
+    # Sweep the destination schema nodes' blocks once for the whole
+    # context set and keep the descriptors whose parent is a context —
+    # valid (order- and duplicate-exact vs. the per-context kernel)
+    # because the context set is ancestor-free.
+    dest_nodes = tuple(destination)
+    multi = len(dest_nodes) > 1
+
+    def stage(descriptors: list) -> list:
+        if not descriptors:
+            return []
+        contexts = set(descriptors)
+        sweep: list = []
+        for schema_node in dest_nodes:
+            _sweep_blocks(schema_node, sweep)
+        out = [descriptor for descriptor in sweep
+               if descriptor.parent in contexts]
+        if multi:
+            out.sort(key=_doc_order_key)
+        return out
+
+    return f"step[{step.name or step.kind}]", stage
+
+
+def _descendant_step_stage(context_nodes: "list[SchemaNode]",
+                           destination: "list[SchemaNode]",
+                           step: Step) -> tuple[str, Stage]:
+    # Per destination schema node there is exactly ONE context schema
+    # node on its root path (the context set is ancestor-free), at a
+    # fixed depth distance — so membership under the context set is an
+    # ancestor-pointer walk of pre-computed length, not a label scan.
+    members = set(context_nodes)
+    lowered: list[tuple[SchemaNode, int]] = []
+    for schema_node in destination:
+        delta = 0
+        node: Optional[SchemaNode] = schema_node
+        while node is not None and node not in members:
+            node = node.parent
+            delta += 1
+        lowered.append((schema_node, delta))
+    multi = len(lowered) > 1
+
+    def stage(descriptors: list) -> list:
+        if not descriptors:
+            return []
+        contexts = set(descriptors)
+        out: list = []
+        for schema_node, delta in lowered:
+            sweep: list = []
+            _sweep_blocks(schema_node, sweep)
+            if delta == 0:
+                out.extend(descriptor for descriptor in sweep
+                           if descriptor in contexts)
+                continue
+            for descriptor in sweep:
+                ancestor = descriptor
+                for _ in range(delta):
+                    ancestor = ancestor.parent
+                    if ancestor is None:  # pragma: no cover - defensive
+                        break
+                if ancestor is not None and ancestor in contexts:
+                    out.append(descriptor)
+        if multi:
+            out.sort(key=_doc_order_key)
+        return out
+
+    return f"step[//{step.name or step.kind}]", stage

@@ -226,17 +226,19 @@ class StorageQueryEngine:
         """
         if obs.ENABLED:
             return self._evaluate_explained(path)
-        return self._planner.compile(path).execute(self)
+        return self._planner.compile(path).execute_compiled(self)
 
     def _evaluate_explained(self, path: "Path | str"
                             ) -> list[NodeDescriptor]:
         with _explain.collect(str(path)) as record:
             start = time.perf_counter()
-            result = self._planner.compile(path).execute(self)
+            result = self._planner.compile(path).execute_compiled(self)
             record.elapsed_s = time.perf_counter() - start
             record.nodes_returned = len(result)
         obs.EXPLAINS.append(record)
         obs.REGISTRY.counter("query.evaluations").inc()
+        if record.compiled:
+            obs.REGISTRY.counter("query.exec.compiled.hits").inc()
         obs.REGISTRY.counter("query.axis_steps").inc(record.axis_steps)
         obs.REGISTRY.counter("query.nodes_visited").inc(
             record.nodes_visited)
@@ -319,13 +321,13 @@ class StorageQueryEngine:
         """
         for predicate in predicates:
             if isinstance(predicate, PositionPredicate):
-                # Grouped by the parent's stable label, not id().
-                groups: dict[tuple[int, ...] | None,
+                # Grouped by the parent's stable packed label, not id().
+                groups: dict[bytes | None,
                              list[NodeDescriptor]] = {}
-                order: list[tuple[int, ...] | None] = []
+                order: list[bytes | None] = []
                 for descriptor in descriptors:
                     parent = descriptor.parent
-                    key = parent.nid.symbols() if parent is not None \
+                    key = parent.nid.sort_key() if parent is not None \
                         else None
                     if key not in groups:
                         groups[key] = []

@@ -148,12 +148,24 @@ def structurally_feasible(schema_node: SchemaNode, predicates) -> bool:
 # Compiled plans.
 
 
+def _doc_order_key(descriptor: "NodeDescriptor") -> bytes:
+    """Memoized packed document-order key (§9.3) — C-level bytewise
+    comparisons instead of per-comparison tuple walks."""
+    return descriptor.nid.sort_key()
+
+
+#: Sentinel stored in :attr:`CompiledPlan.executor` when the lowering
+#: declines the plan's shape — execution then stays interpreted, and
+#: the decision is not retried until the plan is invalidated.
+NOT_LOWERABLE = object()
+
+
 class CompiledPlan:
     """One path compiled against one descriptive-schema version."""
 
     __slots__ = ("path", "schema_version", "strategy", "scan_nodes",
                  "split", "pruned_schema_nodes", "index_epoch",
-                 "probe", "rest_predicates", "index_used")
+                 "probe", "rest_predicates", "index_used", "executor")
 
     def __init__(self, path: Path, schema_version: int, strategy: str,
                  scan_nodes: tuple[SchemaNode, ...],
@@ -185,6 +197,10 @@ class CompiledPlan:
         self.rest_predicates = rest_predicates
         #: "value:<path>" / "path:<path>" (EXPLAIN), "" otherwise.
         self.index_used = index_used
+        #: Lazily lowered closure chain (:mod:`repro.query.compiled`);
+        #: built on the first cached execution, dropped whenever the
+        #: plan is restamped after DDL (the probe bindings may differ).
+        self.executor = None
 
     def execute(self, queries: "StorageQueryEngine"
                 ) -> "list[NodeDescriptor]":
@@ -212,7 +228,7 @@ class CompiledPlan:
                       for schema_node in self.scan_nodes
                       for descriptor in engine.scan_schema_node(
                           schema_node)]
-            result.sort(key=lambda descriptor: descriptor.nid.symbols())
+            result.sort(key=_doc_order_key)
         context = _explain.ACTIVE
         if context is not None:
             context.nodes_visited += len(result)
@@ -225,6 +241,30 @@ class CompiledPlan:
             result = queries._navigate_steps(result,
                                              steps[self.split + 1:])
         return result
+
+    def execute_compiled(self, queries: "StorageQueryEngine"
+                         ) -> "list[NodeDescriptor]":
+        """Run the plan through its lowered closure chain.
+
+        Lowering happens once, on the first cached execution, and the
+        resulting :class:`~repro.query.compiled.CompiledExecutor` is
+        pinned to the plan: the cache drops the whole plan when the
+        schema grows and nulls :attr:`executor` when a DDL restamp
+        keeps the plan, so a live executor is always consistent with
+        the bindings it closed over.  Falls back to the interpreted
+        :meth:`execute` for shapes the lowering declines.
+        """
+        executor = self.executor
+        if executor is None:
+            from repro.query.compiled import lower
+            executor = lower(self, queries)
+            self.executor = executor
+        if executor is NOT_LOWERABLE:
+            return self.execute(queries)
+        context = _explain.ACTIVE
+        if context is not None:
+            return executor.run_explained(queries, context)
+        return executor.run(queries)
 
     def _execute_probe(self, queries: "StorageQueryEngine"
                        ) -> "list[NodeDescriptor]":
@@ -383,6 +423,12 @@ class QueryPlanner:
             if (fresh.strategy == stale.strategy
                     and fresh.index_used == stale.index_used):
                 stale.index_epoch = epoch
+                # The decision is unchanged but the probe may bind a
+                # *new* index object: take the fresh bindings and drop
+                # the stale closure chain so it re-lowers against them.
+                stale.probe = fresh.probe
+                stale.rest_predicates = fresh.rest_predicates
+                stale.executor = None
                 fresh = None
             else:
                 self._plans.invalidate(path)

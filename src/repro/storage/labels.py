@@ -129,13 +129,19 @@ class NidLabel:
 
 
 def before(x: NidLabel, y: NidLabel) -> bool:
-    """``x << y`` in document order: lexicographic on symbol sequences."""
-    return x.symbols() < y.symbols()
+    """``x << y`` in document order.
+
+    Symbols are packed big-endian u16, so bytewise comparison of the
+    memoized :meth:`NidLabel.sort_key` equals lexicographic comparison
+    of the symbol sequences — one C-level ``bytes`` compare instead of
+    a Python tuple walk.
+    """
+    return x.sort_key() < y.sort_key()
 
 
 def equal(x: NidLabel, y: NidLabel) -> bool:
     """Equality in document order: identical symbol sequences."""
-    return x.symbols() == y.symbols()
+    return x.sort_key() == y.sort_key()
 
 
 def is_parent(x: NidLabel, y: NidLabel) -> bool:
@@ -153,10 +159,23 @@ def is_ancestor(x: NidLabel, y: NidLabel) -> bool:
 
 def compare(x: NidLabel, y: NidLabel) -> int:
     """-1/0/1 in document order."""
-    sx, sy = x.symbols(), y.symbols()
+    sx, sy = x.sort_key(), y.sort_key()
     if sx == sy:
         return 0
     return -1 if sx < sy else 1
+
+
+def is_ancestor_or_self_key(ancestor_key: bytes,
+                            candidate_key: bytes) -> bool:
+    """Ancestor-or-self decided on packed keys alone.
+
+    Every component's symbols end with the separator (Ω_min = 0) and
+    digits are shifted to ≥ 1, so a symbol sequence is a prefix of
+    another iff the component tuples are — which makes the §9.3
+    ancestor test a single ``bytes.startswith`` on the fixed-width
+    packed keys, with no label object in sight.
+    """
+    return candidate_key.startswith(ancestor_key)
 
 
 # ----------------------------------------------------------------------

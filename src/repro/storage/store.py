@@ -34,7 +34,12 @@ from repro.schema.ast import (
 from repro.storage.descriptor import NodeDescriptor
 from repro.storage.dschema import SchemaNode
 from repro.storage.engine import StorageEngine
-from repro.storage.labels import before as nid_before
+
+
+def doc_order_key(descriptor: NodeDescriptor) -> bytes:
+    """The memoized packed document-order key (§9.3) of a descriptor —
+    the one sort key of the whole storage-side query layer."""
+    return descriptor.nid.sort_key()
 
 
 class TypeAnnotation:
@@ -218,12 +223,38 @@ class StorageNodeStore(NodeStore):
         yield from self._engine.iter_document_order(
             ref if ref is not None else self.root())
 
+    def descendants_of(self, ref: NodeDescriptor
+                       ) -> "list[NodeDescriptor]":
+        """Batched ``descendant-or-self``: descriptors are gathered one
+        *block* at a time from the schema subtree's block lists and
+        document order is restored by one sort on the packed label
+        keys, instead of per-node generator hops down the tree.
+
+        From the document root the prefix filter accepts everything, so
+        the sweep touches every block exactly once; below the root only
+        subtrees big enough to amortize the block sweep win, so small
+        contexts keep the recursive walk.
+        """
+        engine = self._engine
+        if ref is engine.document:
+            out: list[NodeDescriptor] = []
+            for schema_node in engine.schema.iter_nodes():
+                block = schema_node.first_block
+                while block is not None:
+                    block.extend_in_order(out)
+                    block = block.next_block
+            out.sort(key=doc_order_key)
+            return out
+        return list(engine.iter_document_order(ref))
+
     def before(self, first: NodeDescriptor,
                second: NodeDescriptor) -> bool:
-        return nid_before(first.nid, second.nid)
+        return first.nid.sort_key() < second.nid.sort_key()
 
-    def node_key(self, ref: NodeDescriptor) -> tuple[int, ...]:
-        return ref.nid.symbols()
+    def node_key(self, ref: NodeDescriptor) -> bytes:
+        # The packed label key: memoized per label, so repeated dedup
+        # hashing re-uses both the bytes object and its cached hash.
+        return ref.nid.sort_key()
 
     def owns_ref(self, obj: object) -> bool:
         return isinstance(obj, NodeDescriptor)

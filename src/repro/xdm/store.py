@@ -102,18 +102,30 @@ class NodeStore:
     def iter_document_order(self, ref: Optional[Ref] = None
                             ) -> Iterator[Ref]:
         """The (sub)tree at *ref* (default: the root) in §7 document
-        order: node, then attributes, then child subtrees."""
+        order: node, then attributes, then child subtrees.
+
+        Iterative (explicit stack) so each node costs one loop step —
+        a recursive generator pays one frame resumption per ancestor
+        per yielded node, which the query kernel cannot afford.
+        """
         if ref is None:
             ref = self.root()
-        yield ref
-        yield from self.attributes(ref)
-        for child in self.children(ref):
-            yield from self.iter_document_order(child)
+        stack = [ref]
+        pop = stack.pop
+        while stack:
+            node = pop()
+            yield node
+            yield from self.attributes(node)
+            children = self.children(node)
+            if children:
+                stack.extend(reversed(children))
 
-    def descendants_of(self, ref: Ref) -> Iterator[Ref]:
+    def descendants_of(self, ref: Ref) -> "Iterator[Ref] | list[Ref]":
         """``descendant-or-self`` incl. attributes — the ``//`` axis
-        building block."""
-        yield from self.iter_document_order(ref)
+        building block.  Interpretations may return a materialized list
+        (the storage store batches whole blocks); consumers must treat
+        the result as iterate-once."""
+        return self.iter_document_order(ref)
 
     def before(self, first: Ref, second: Ref) -> bool:
         """``first << second`` in document order (§7)."""

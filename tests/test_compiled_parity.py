@@ -1,0 +1,196 @@
+"""Closure-chain executors agree node-for-node with interpreted plans.
+
+The lowering of :mod:`repro.query.compiled` must be invisible to every
+caller: for each query of the parity corpus, ``execute_compiled`` (the
+cached hot path) returns nid-identical results to the interpreted
+``execute`` — for every strategy the planner emits (scan / hybrid /
+empty / naive / index), after DDL (closure chains re-lower against the
+fresh probe bindings) and after data mutations (schema-bound closures
+see live block chains, so no recompilation is needed or taken).
+"""
+
+import pytest
+
+from repro.query import StorageQueryEngine
+from repro.storage import StorageEngine
+from repro.workloads import make_library_document
+from repro.xmlio import parse_document, serialize_document
+from repro.xmlio.qname import QName
+
+from tests.test_query_parity import (
+    _SHELF_DOC,
+    DESCENDANT_POSITIONAL,
+    INNER_PREDICATES,
+    MULTI_SCHEMA_MERGES,
+)
+
+#: The full parity corpus — every shape the planner special-cases.
+CORPUS = DESCENDANT_POSITIONAL + INNER_PREDICATES + MULTI_SCHEMA_MERGES
+
+
+def _setup(text):
+    engine = StorageEngine()
+    engine.load_document(parse_document(text))
+    return engine, StorageQueryEngine(engine)
+
+
+def _nids(descriptors):
+    return [descriptor.nid for descriptor in descriptors]
+
+
+def _assert_compiled_parity(queries, path):
+    """Interpreted plan, closure chain (cold and warm) and the naive
+    navigator agree node-for-node."""
+    plan = queries.compile(path)
+    interpreted = _nids(plan.execute(queries))
+    cold = _nids(plan.execute_compiled(queries))
+    assert plan.executor is not None, "lowering did not happen"
+    warm = _nids(plan.execute_compiled(queries))
+    naive = _nids(queries.evaluate_naive(path))
+    assert cold == interpreted
+    assert warm == interpreted
+    assert interpreted == naive
+    return plan
+
+
+@pytest.fixture(scope="module")
+def shelf_queries():
+    return _setup(_SHELF_DOC)[1]
+
+
+@pytest.fixture(scope="module")
+def library_queries():
+    text = serialize_document(
+        make_library_document(books=25, papers=25, seed=11))
+    return _setup(text)[1]
+
+
+@pytest.mark.parametrize("path", CORPUS)
+def test_shelf_corpus_compiled_parity(shelf_queries, path):
+    _assert_compiled_parity(shelf_queries, path)
+
+
+@pytest.mark.parametrize("path", CORPUS)
+def test_library_corpus_compiled_parity(library_queries, path):
+    _assert_compiled_parity(library_queries, path)
+
+
+def test_corpus_covers_the_interpreter_strategies(shelf_queries):
+    """The corpus exercises every non-index strategy, so the parity
+    runs above are not vacuous."""
+    strategies = {shelf_queries.compile(path).strategy
+                  for path in CORPUS}
+    assert {"scan", "hybrid", "naive", "empty"} <= strategies
+
+
+class TestIndexStrategyParity:
+    """Compiled parity for index-answered plans, across DDL."""
+
+    @pytest.fixture()
+    def setup(self):
+        engine, queries = _setup(_SHELF_DOC)
+        return engine, queries
+
+    def test_value_index_probe_parity(self, setup):
+        engine, queries = setup
+        engine.create_index("lib/book/@lang")
+        plan = _assert_compiled_parity(queries,
+                                       "/lib/book[@lang='en']/t")
+        assert plan.strategy == "index"
+
+    def test_element_value_index_via_parent_parity(self, setup):
+        engine, queries = setup
+        engine.create_index("lib/book/a")
+        plan = _assert_compiled_parity(queries, "/lib/book[a='Joyce']/t")
+        assert plan.strategy == "index"
+
+    def test_path_index_probe_parity(self, setup):
+        engine, queries = setup
+        engine.create_index("//a", kind="path")
+        plan = _assert_compiled_parity(queries, "//a")
+        assert plan.strategy == "index"
+
+    def test_ddl_restamp_drops_the_stale_executor(self, setup):
+        """CREATE INDEX on an unrelated path restamps the plan in
+        place — but the closure chain is dropped and re-lowered, so it
+        can never run against dead probe bindings."""
+        engine, queries = setup
+        path = "/lib/book[@lang='en']/t"
+        plan = queries.compile(path)
+        plan.execute_compiled(queries)
+        assert plan.executor is not None
+        engine.create_index("lib/book/@year")
+        restamped = queries.compile(path)
+        assert restamped is plan  # decision unchanged: kept in place
+        assert plan.executor is None  # ...but the chain was dropped
+        _assert_compiled_parity(queries, path)
+
+    def test_create_then_drop_index_keeps_parity(self, setup):
+        engine, queries = setup
+        path = "/lib/book[@lang='en']/t"
+        before_ddl = _assert_compiled_parity(queries, path)
+        assert before_ddl.strategy == "hybrid"
+        engine.create_index("lib/book/@lang")
+        with_index = _assert_compiled_parity(queries, path)
+        assert with_index.strategy == "index"
+        engine.drop_index("lib/book/@lang")
+        after_drop = _assert_compiled_parity(queries, path)
+        assert after_drop.strategy == "hybrid"
+
+
+class TestMutationParity:
+    """Warm closure chains see data mutations without recompiling."""
+
+    PATHS = ("/lib/book/t", "/lib/book[@lang='en']/t", "//a",
+             "/lib/book[a]/t", "//book/@lang")
+
+    @pytest.fixture()
+    def setup(self):
+        engine, queries = _setup(_SHELF_DOC)
+        # Warm every executor before mutating.
+        for path in self.PATHS:
+            queries.evaluate(path)
+        return engine, queries
+
+    def _assert_all(self, queries):
+        for path in self.PATHS:
+            assert (_nids(queries.evaluate(path))
+                    == _nids(queries.evaluate_naive(path)))
+
+    def test_same_schema_insert_reuses_the_warm_executor(self, setup):
+        engine, queries = setup
+        path = "/lib/book/t"
+        plan = queries.compile(path)
+        executor = plan.executor
+        assert executor is not None
+        lib = engine.children(engine.document)[0]
+        book = engine.insert_child(lib, 0, name=QName("", "book"))
+        engine.insert_child(book, 0, name=QName("", "t"))
+        engine.set_attribute(book, QName("", "lang"), "en")
+        # No new schema path: the very same closure chain serves the
+        # grown data.
+        assert queries.compile(path).executor is executor
+        self._assert_all(queries)
+
+    def test_schema_growing_insert_invalidates_the_plan(self, setup):
+        engine, queries = setup
+        stale = queries.compile("/lib/book/t")
+        lib = engine.children(engine.document)[0]
+        engine.insert_child(lib, 0, name=QName("", "magazine"))
+        fresh = queries.compile("/lib/book/t")
+        assert fresh is not stale
+        self._assert_all(queries)
+
+    def test_delete_subtree_keeps_parity(self, setup):
+        engine, queries = setup
+        lib = engine.children(engine.document)[0]
+        engine.delete_subtree(engine.children(lib)[0])
+        self._assert_all(queries)
+
+    def test_attribute_value_update_keeps_parity(self, setup):
+        engine, queries = setup
+        lib = engine.children(engine.document)[0]
+        first_book = engine.children(lib)[0]
+        engine.set_attribute(first_book, QName("", "lang"), "de",
+                             replace=True)
+        self._assert_all(queries)

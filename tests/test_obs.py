@@ -358,6 +358,65 @@ class TestInstrumentedPaths:
 # Proposition 1 through the registry
 
 
+class TestCompiledExecutionCounters:
+    """Contract of the closure-chain counters and EXPLAIN fields."""
+
+    def test_lowering_is_counted_in_compile_ns(self):
+        obs.enable()
+        queries = _library_queries()
+        queries.evaluate("/library/book/title")
+        assert obs.REGISTRY.value("query.compile.ns") > 0
+        assert obs.REGISTRY.value("query.plans.lowered") == 1
+        # The warm run reuses the executor: no further lowering cost.
+        lowered_ns = obs.REGISTRY.value("query.compile.ns")
+        queries.evaluate("/library/book/title")
+        assert obs.REGISTRY.value("query.compile.ns") == lowered_ns
+        assert obs.REGISTRY.value("query.plans.lowered") == 1
+
+    def test_compiled_hits_counter_tracks_chain_executions(self):
+        obs.enable()
+        queries = _library_queries()
+        for _ in range(3):
+            queries.evaluate("/library/book/title")
+        assert obs.REGISTRY.value("query.exec.compiled.hits") == 3
+
+    def test_explain_reports_the_stage_chain(self):
+        obs.enable()
+        queries = _library_queries()
+        queries.evaluate("/library/book[@id]/title")
+        record = obs.EXPLAINS.last()
+        assert record.strategy in ("hybrid", "empty")
+        assert record.compiled is True
+        names = [name for name, _ns in record.stage_ns]
+        assert names, "compiled run must report its stages"
+        assert all(elapsed >= 0 for _name, elapsed in record.stage_ns)
+        payload = record.as_dict()
+        assert payload["compiled"] is True
+        assert payload["stage_ns"] == [[name, elapsed]
+                                       for name, elapsed
+                                       in record.stage_ns]
+        rendered = record.render()
+        assert "compiled:           yes" in rendered
+        assert f"stage {names[0]}" in rendered
+
+    def test_naive_plans_lower_to_a_navigate_closure(self):
+        obs.enable()
+        queries = _library_queries()
+        queries.evaluate("//book[1]")
+        record = obs.EXPLAINS.last()
+        assert record.strategy == "naive"
+        assert record.compiled is True
+        assert record.stage_ns[0][0] == "navigate"
+
+    def test_interpreted_explains_stay_marked_uncompiled(self):
+        with collect("manual") as record:
+            pass
+        assert record.compiled is False
+        assert record.stage_ns == []
+        assert record.as_dict()["compiled"] is False
+        assert "compiled:           no" in record.render()
+
+
 class TestProposition1Counters:
     def test_sedna_relabel_counter_stays_zero_across_workloads(self):
         obs.enable()
