@@ -10,9 +10,12 @@ Usage::
     python -m repro inspect DOCUMENT.xml [--json]
     python -m repro stats DOCUMENT.xml [--path PATH ...] [--json]
     python -m repro explain DOCUMENT.xml PATH [--json]
-    python -m repro checkpoint DOCUMENT.xml IMAGE [--wal WAL] [--json]
-    python -m repro recover IMAGE [--wal WAL] [--schema SCHEMA.xsd]
-                                  [--strict] [--json]
+    python -m repro checkpoint DOCUMENT.xml TARGET [--backend file|sqlite]
+                               [--wal WAL] [--json]
+    python -m repro recover TARGET [--backend file|sqlite] [--wal WAL]
+                                   [--schema SCHEMA.xsd] [--strict] [--json]
+    python -m repro snapshots TARGET [--backend file|sqlite]
+                                     [--restore VERSION] [--json]
     python -m repro index DOCUMENT.xml PATH [--kind value|path]
                           [--type TYPE] [--eq V | --low L --high H]
                           [--query PATH] [--json]
@@ -25,10 +28,14 @@ Sedna-style storage and prints its descriptive schema and statistics;
 ``stats`` loads (and optionally queries) with observability on and
 prints the metrics registry; ``explain`` evaluates a path twice —
 cold, then through the warmed plan cache — and reports both plans;
-``checkpoint`` loads a document and writes an atomic binary image
-(plus an empty write-ahead log with ``--wal``); ``recover`` rebuilds
-the engine from an image + WAL, replaying committed transactions and
-discarding torn tails and uncommitted suffixes; ``index`` declares a
+``checkpoint`` loads a document and persists it atomically through a
+storage backend — the historical image file (plus an empty
+write-ahead log with ``--wal``) or a SQLite database whose
+checkpoints are incremental; ``recover`` rebuilds the engine from a
+backend's snapshot + WAL, replaying committed transactions and
+discarding torn tails and uncommitted suffixes; ``snapshots`` lists
+the fingerprinted snapshot versions a backend retains (and optionally
+verifies one restores); ``index`` declares a
 secondary index (typed-value or path) over a loaded document, reports
 its statistics, and optionally probes it or EXPLAINs a query through
 it.
@@ -42,7 +49,7 @@ import sys
 from typing import Sequence
 
 from repro import obs
-from repro.errors import ReproError
+from repro.errors import CorruptionError, ReproError
 from repro.mapping.doc_to_tree import (
     document_to_tree,
     untyped_document_to_tree,
@@ -209,43 +216,66 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         obs.reset()
 
 
-def _cmd_checkpoint(args: argparse.Namespace) -> int:
-    """Load a document and persist it as an atomic checkpoint image."""
-    from repro.storage.recovery import checkpoint
-    from repro.storage.wal import WriteAheadLog
+def _make_backend(args: argparse.Namespace):
+    """Build the backend the durability commands operate on."""
+    from repro.errors import StorageError
+    from repro.storage.backends import FileBackend, SqliteBackend
 
+    if args.backend == "sqlite":
+        if getattr(args, "wal", None):
+            raise StorageError(
+                "the sqlite backend keeps its write-ahead log inside "
+                "the database; --wal applies to the file backend only")
+        return SqliteBackend(args.image)
+    return FileBackend(args.image, wal_path=getattr(args, "wal", None))
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Load a document and persist it through a storage backend."""
     engine = StorageEngine()
     engine.load_document(parse_document(_read(args.document)))
-    wal = WriteAheadLog(args.wal) if args.wal else None
-    horizon = checkpoint(engine, args.image, wal=wal)
+    backend = _make_backend(args)
+    wal = backend.open_wal() if (args.wal or args.backend == "sqlite") \
+        else None
+    info = backend.checkpoint(engine, wal=wal)
     if wal is not None:
         wal.close()
     if args.json:
         print(json.dumps({"image": args.image, "wal": args.wal,
+                          "backend": backend.name,
+                          "snapshot_version": info.version,
+                          "fingerprint": info.fingerprint,
                           "nodes": engine.node_count(),
                           "blocks": engine.block_count(),
-                          "checkpoint_lsn": horizon}, indent=2))
+                          "checkpoint_lsn": info.lsn}, indent=2))
         return 0
     print(f"checkpointed {args.document} -> {args.image} "
           f"({engine.node_count()} nodes, {engine.block_count()} blocks, "
-          f"lsn {horizon})")
+          f"lsn {info.lsn})")
+    print(f"  backend {backend.name}, snapshot version {info.version}")
     if args.wal:
         print(f"write-ahead log at {args.wal}")
     return 0
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
-    """Rebuild an engine from a checkpoint image + write-ahead log."""
+    """Rebuild an engine from a backend's snapshot + write-ahead log."""
     from repro.storage.recovery import recover
 
     schema = parse_schema(_read(args.schema)) if args.schema else None
-    result = recover(args.image, wal_path=args.wal, schema=schema,
-                     strict=args.strict)
+    if args.backend == "sqlite":
+        result = recover(_make_backend(args), schema=schema,
+                         strict=args.strict)
+    else:
+        result = recover(args.image, wal_path=args.wal, schema=schema,
+                         strict=args.strict)
     if args.json:
         print(json.dumps(result.as_dict(), indent=2))
         return 0
     print(f"recovered {args.image}: {result.engine.node_count()} nodes, "
           f"{result.engine.block_count()} blocks")
+    print(f"  backend:          {result.backend}")
+    print(f"  snapshot version: {result.snapshot_version}")
     print(f"  checkpoint lsn:   {result.checkpoint_lsn}")
     print(f"  replayed records: {result.replayed}")
     print(f"  skipped records:  {result.skipped}")
@@ -255,6 +285,37 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     print(f"  relabels:         {result.relabels}")
     if schema is not None:
         print("  conformance:      ok (Section 6.2)")
+    return 0
+
+
+def _cmd_snapshots(args: argparse.Namespace) -> int:
+    """List the fingerprinted snapshot versions a backend retains."""
+    backend = _make_backend(args)
+    snapshots = backend.list_snapshots()
+    report: dict = {
+        "target": args.image,
+        "backend": backend.name,
+        "snapshots": [info.as_dict() for info in snapshots],
+    }
+    if args.restore:
+        engine = backend.restore(args.restore)
+        report["restored"] = {"version": args.restore,
+                              "nodes": engine.node_count(),
+                              "blocks": engine.block_count()}
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    if not snapshots:
+        print(f"no snapshots at {args.image} ({backend.name} backend)")
+        return 0
+    print(f"snapshots at {args.image} ({backend.name} backend):")
+    for info in snapshots:
+        print(f"  {info.seq:3d}  {info.version}  lsn {info.lsn:<6d} "
+              f"{info.bytes} bytes")
+    if args.restore:
+        restored = report["restored"]
+        print(f"restored {restored['version']}: {restored['nodes']} "
+              f"nodes, {restored['blocks']} blocks")
     return 0
 
 
@@ -397,20 +458,30 @@ def build_parser() -> argparse.ArgumentParser:
     explain.set_defaults(handler=_cmd_explain)
 
     checkpoint = commands.add_parser(
-        "checkpoint", help="persist a document as an atomic image")
+        "checkpoint", help="persist a document through a storage backend")
     checkpoint.add_argument("document")
-    checkpoint.add_argument("image")
+    checkpoint.add_argument("image", metavar="target",
+                            help="image path (file) or database (sqlite)")
+    checkpoint.add_argument("--backend", choices=("file", "sqlite"),
+                            default="file",
+                            help="storage backend (default: file)")
     checkpoint.add_argument("--wal", default=None,
-                            help="also start a write-ahead log at WAL")
+                            help="also start a write-ahead log at WAL "
+                                 "(file backend)")
     checkpoint.add_argument("--json", action="store_true",
                             help="emit the checkpoint report as JSON")
     checkpoint.set_defaults(handler=_cmd_checkpoint)
 
     recover = commands.add_parser(
-        "recover", help="rebuild an engine from image + write-ahead log")
-    recover.add_argument("image")
+        "recover", help="rebuild an engine from snapshot + write-ahead log")
+    recover.add_argument("image", metavar="target",
+                         help="image path (file) or database (sqlite)")
+    recover.add_argument("--backend", choices=("file", "sqlite"),
+                         default="file",
+                         help="storage backend (default: file)")
     recover.add_argument("--wal", default=None,
-                         help="replay committed transactions from WAL")
+                         help="replay committed transactions from WAL "
+                              "(file backend)")
     recover.add_argument("--schema", default=None,
                          help="verify Section 6.2 conformance after replay")
     recover.add_argument("--strict", action="store_true",
@@ -418,6 +489,19 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("--json", action="store_true",
                          help="emit the recovery report as JSON")
     recover.set_defaults(handler=_cmd_recover)
+
+    snapshots = commands.add_parser(
+        "snapshots", help="list a backend's fingerprinted snapshots")
+    snapshots.add_argument("image", metavar="target",
+                           help="image path (file) or database (sqlite)")
+    snapshots.add_argument("--backend", choices=("file", "sqlite"),
+                           default="file",
+                           help="storage backend (default: file)")
+    snapshots.add_argument("--restore", default=None, metavar="VERSION",
+                           help="also restore VERSION and report it")
+    snapshots.add_argument("--json", action="store_true",
+                           help="emit the snapshot list as JSON")
+    snapshots.set_defaults(handler=_cmd_snapshots)
 
     index = commands.add_parser(
         "index", help="declare a secondary index and report/probe it")
@@ -455,9 +539,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         if getattr(args, "json", False):
             # Machine consumers asked for JSON; errors honour that too.
-            print(json.dumps({"error": {
-                "type": type(error).__name__,
-                "message": str(error)}}, indent=2))
+            payload = {"type": type(error).__name__,
+                       "message": str(error)}
+            if isinstance(error, CorruptionError):
+                # Corruption carries where it was detected: the backend
+                # name and the located position inside its medium.
+                payload.update(error.as_dict())
+            print(json.dumps({"error": payload}, indent=2))
         else:
             print(f"error: {error}", file=sys.stderr)
         return 2

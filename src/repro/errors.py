@@ -100,6 +100,26 @@ class StorageError(ReproError):
     """Invariant violation inside the simulated Sedna storage engine."""
 
 
+class CorruptionError(StorageError):
+    """Stored bytes are damaged (truncated, torn, or CRC-mismatched).
+
+    Carries a backend-labeled location so ``--json`` error objects stay
+    meaningful whatever medium held the bytes: ``backend`` names the
+    storage backend ("file", "sqlite", "memory") and ``location`` is
+    that backend's address vocabulary — a file byte offset, a sqlite
+    rowid, or a snapshot version.
+    """
+
+    def __init__(self, message: str, backend: str | None = None,
+                 location: str | None = None) -> None:
+        self.backend = backend
+        self.location = location
+        super().__init__(message)
+
+    def as_dict(self) -> dict:
+        return {"backend": self.backend, "location": self.location}
+
+
 class UpdateError(StorageError):
     """An engine mutation was rejected up front (bad arguments).
 

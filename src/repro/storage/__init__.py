@@ -7,7 +7,19 @@ atomic checkpoints/recovery, and the fault-injection harness that
 exercises them.
 """
 
+from repro.storage.backends import (
+    BACKENDS,
+    DEFAULT_MAX_SNAPSHOTS,
+    FileBackend,
+    MemoryBackend,
+    SnapshotInfo,
+    SqliteBackend,
+    StorageBackend,
+    schema_fingerprint,
+    snapshot_version,
+)
 from repro.storage.blocks import BLOCK_HEADER_BYTES, Block
+from repro.storage.checkpoints import CheckpointTracker
 from repro.storage.descriptor import (
     NO_SLOT,
     POINTER_BYTES,
@@ -32,7 +44,17 @@ from repro.storage.recovery import (
     recover,
 )
 from repro.storage.txn import Transaction, TransactionManager
-from repro.storage.wal import WalRecord, WalScan, WriteAheadLog, read_wal
+from repro.storage.wal import (
+    FileWalStore,
+    MemoryWalStore,
+    WalRecord,
+    WalScan,
+    WalStore,
+    WriteAheadLog,
+    read_wal,
+    read_wal_store,
+    scan_wal,
+)
 from repro.storage.store import (
     StorageNodeStore,
     TypeAnnotation,
@@ -50,12 +72,19 @@ from repro.storage.labels import (
 )
 
 __all__ = [
+    "BACKENDS",
     "BLOCK_HEADER_BYTES",
     "Block",
     "CRASH_POINTS",
+    "CheckpointTracker",
     "CrashError",
+    "DEFAULT_MAX_SNAPSHOTS",
     "DescriptiveSchema",
     "FaultPlan",
+    "FileBackend",
+    "FileWalStore",
+    "MemoryBackend",
+    "MemoryWalStore",
     "IndexDefinition",
     "IndexManager",
     "PathIndex",
@@ -69,6 +98,9 @@ __all__ = [
     "RecoveryError",
     "RecoveryResult",
     "SchemaNode",
+    "SnapshotInfo",
+    "SqliteBackend",
+    "StorageBackend",
     "StorageEngine",
     "StorageNodeStore",
     "Transaction",
@@ -76,15 +108,20 @@ __all__ = [
     "TypeAnnotation",
     "WalRecord",
     "WalScan",
+    "WalStore",
     "WriteAheadLog",
+    "schema_fingerprint",
     "schema_type_annotations",
+    "snapshot_version",
     "bulk_load",
     "checkpoint",
     "dump_engine",
     "dumps_engine",
     "load_engine",
     "read_wal",
+    "read_wal_store",
     "recover",
+    "scan_wal",
     "before",
     "compare",
     "equal",

@@ -1,0 +1,41 @@
+"""Pluggable storage backends (see :mod:`repro.storage.backends.base`).
+
+``BACKENDS`` maps the CLI/benchmark names to constructors; every
+implementation keeps the same atomicity, fault-point and
+relabels == 0 contract, so the recovery suite parametrizes over them.
+"""
+
+from repro.storage.backends.base import (
+    DEFAULT_MAX_SNAPSHOTS,
+    SnapshotInfo,
+    StorageBackend,
+    parse_version,
+    schema_fingerprint,
+    snapshot_version,
+)
+from repro.storage.backends.file import FileBackend, \
+    write_image_atomically
+from repro.storage.backends.memory import MemoryBackend
+from repro.storage.backends.sqlite import SqliteBackend, SqliteWalStore
+
+#: CLI/benchmark names of the shipped backends.
+BACKENDS = {
+    "file": FileBackend,
+    "sqlite": SqliteBackend,
+    "memory": MemoryBackend,
+}
+
+__all__ = [
+    "BACKENDS",
+    "DEFAULT_MAX_SNAPSHOTS",
+    "FileBackend",
+    "MemoryBackend",
+    "SnapshotInfo",
+    "SqliteBackend",
+    "SqliteWalStore",
+    "StorageBackend",
+    "parse_version",
+    "schema_fingerprint",
+    "snapshot_version",
+    "write_image_atomically",
+]

@@ -1,0 +1,180 @@
+"""The historical durability layout, behind the backend protocol.
+
+One atomic ``SEDNAPY3`` image file plus one WAL file — exactly the
+behavior :mod:`repro.storage.recovery` shipped with, extracted
+unchanged so every pre-protocol test passes through the seam:
+
+* checkpoint = temp file in the same directory, flush + fsync,
+  ``os.replace``, directory fsync — a crash at any fault point leaves
+  either the old image or the new one, never a torn hybrid;
+* the WAL is a sibling file driven through
+  :class:`~repro.storage.wal.FileWalStore`;
+* legacy images (``SEDNAPY1``/``SEDNAPY2``) load transparently via
+  :func:`~repro.storage.persist.load_engine`'s magic dispatch.
+
+Snapshot versions are retained as whole-image copies under
+``<image>.snapshots/<version>.img`` — the file backend is monolithic
+by construction, so a version costs one image write.  The copy is
+recorded *after* the atomic rename: a crash while recording a version
+can never damage the recovery image.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import StorageError
+from repro.storage import faults
+from repro.storage.backends.base import (
+    DEFAULT_MAX_SNAPSHOTS,
+    SnapshotInfo,
+    StorageBackend,
+    parse_version,
+    schema_fingerprint,
+    snapshot_version,
+)
+from repro.storage.faults import CrashError
+from repro.storage.persist import dumps_engine, load_engine
+from repro.storage.wal import FileWalStore, WalStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.engine import StorageEngine
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make a rename durable (best-effort on exotic filesystems)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_image_atomically(path: Path, data: bytes) -> None:
+    """The classic checkpoint write: temp + fsync + rename, with the
+    ``persist.write`` / ``persist.write.torn`` / ``persist.rename``
+    fault points exactly where they always were."""
+    tmp = path.with_name(path.name + ".tmp")
+    faults.fire("persist.write")
+    with open(tmp, "wb") as handle:
+        if faults.wants("persist.write.torn"):
+            handle.write(data[:max(1, len(data) // 2)])
+            handle.flush()
+            raise CrashError("persist.write.torn")
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    faults.fire("persist.rename")
+    os.replace(tmp, path)
+    _fsync_directory(path.parent)
+
+
+class FileBackend(StorageBackend):
+    """Atomic image file + WAL file (the extracted historical shape)."""
+
+    name = "file"
+
+    def __init__(self, image_path: str | os.PathLike,
+                 wal_path: Optional[str | os.PathLike] = None,
+                 max_snapshots: Optional[int] = DEFAULT_MAX_SNAPSHOTS
+                 ) -> None:
+        super().__init__(max_snapshots=max_snapshots)
+        self.image_path = Path(image_path)
+        self.wal_path = Path(wal_path) if wal_path is not None else None
+        self._wal_store: Optional[FileWalStore] = None
+
+    @property
+    def snapshot_dir(self) -> Path:
+        return self.image_path.with_name(self.image_path.name
+                                         + ".snapshots")
+
+    # -- checkpointing ---------------------------------------------------
+
+    def _write_snapshot(self, engine: "StorageEngine",
+                        horizon: int) -> SnapshotInfo:
+        data = dumps_engine(engine, checkpoint_lsn=horizon)
+        write_image_atomically(self.image_path, data)
+        fingerprint = schema_fingerprint(engine)
+        version = snapshot_version(horizon, fingerprint)
+        # Version recording happens strictly after the atomic rename:
+        # a crash from here on loses at worst the *copy*, never the
+        # recovery image.
+        self.snapshot_dir.mkdir(exist_ok=True)
+        target = self.snapshot_dir / f"{version}.img"
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
+        return SnapshotInfo(version=version, lsn=horizon,
+                            fingerprint=fingerprint,
+                            seq=len(self.list_snapshots()) - 1,
+                            bytes=len(data))
+
+    # -- loading ---------------------------------------------------------
+
+    def load_engine(self) -> "StorageEngine":
+        if not self.image_path.exists():
+            raise StorageError(
+                f"no checkpoint image at {self.image_path}")
+        return load_engine(self.image_path.read_bytes(),
+                           backend=self.name)
+
+    def restore(self, version: str) -> "StorageEngine":
+        target = self.snapshot_dir / f"{version}.img"
+        if not target.exists():
+            raise StorageError(
+                f"unknown snapshot version {version!r} "
+                f"(backend {self.name}, {self.describe()})")
+        return load_engine(
+            target.read_bytes(), backend=self.name,
+            place=lambda pos: f"snapshot {version} byte {pos}")
+
+    # -- snapshot management ---------------------------------------------
+
+    def list_snapshots(self) -> list[SnapshotInfo]:
+        if not self.snapshot_dir.is_dir():
+            return []
+        infos = []
+        for entry in self.snapshot_dir.glob("*.img"):
+            version = entry.stem
+            lsn, fingerprint = parse_version(version)
+            infos.append(SnapshotInfo(
+                version=version, lsn=lsn, fingerprint=fingerprint,
+                seq=0, bytes=entry.stat().st_size))
+        infos.sort(key=lambda info: (info.lsn, info.version))
+        return [SnapshotInfo(version=info.version, lsn=info.lsn,
+                             fingerprint=info.fingerprint, seq=seq,
+                             bytes=info.bytes)
+                for seq, info in enumerate(infos)]
+
+    def evict_snapshots(self, keep: int) -> list[str]:
+        snapshots = self.list_snapshots()
+        evicted = []
+        for info in snapshots[:max(0, len(snapshots) - keep)]:
+            (self.snapshot_dir / f"{info.version}.img").unlink(
+                missing_ok=True)
+            evicted.append(info.version)
+        return evicted
+
+    # -- the log medium --------------------------------------------------
+
+    def wal_store(self) -> Optional[WalStore]:
+        if self.wal_path is None:
+            return None
+        if self._wal_store is None:
+            self._wal_store = FileWalStore(self.wal_path)
+        return self._wal_store
+
+    def close(self) -> None:
+        if self._wal_store is not None:
+            self._wal_store.close()
+            self._wal_store = None
+
+    def describe(self) -> str:
+        return str(self.image_path)

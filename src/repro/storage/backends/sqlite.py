@@ -1,0 +1,553 @@
+"""Blocks, index definitions and WAL frames as SQLite rows.
+
+Where :class:`FileBackend` rewrites one monolithic image per
+checkpoint, this backend makes durability **block-granular** — the
+unit the §9 layout already updates in: an engine mutation touches one
+block (or splits it), so a checkpoint after a small mutation only has
+to upsert the few rows whose persisted form changed.
+
+Layout (one database file):
+
+* ``block_rows(block_id, gen, payload)`` — copy-on-write generations
+  of each block's binary payload (descriptor nids, links-as-nids,
+  values, in the in-block order chain), encoded with the shared
+  :mod:`repro.storage.codec`;
+* ``snapshots(version, seq, lsn, fingerprint, manifest, bytes)`` —
+  one row per retained checkpoint; the JSON manifest pins the
+  descriptive schema (pre-order), index definitions, per-schema-node
+  block chains and the exact ``block_id → gen`` map the version was
+  built from, so ``restore(version)`` is just "read those rows";
+* ``wal_chunks(seq, data)`` — the WAL as framed byte chunks on a
+  *separate connection* (log appends must be durable independently of
+  any in-flight checkpoint transaction);
+* ``meta(key, value)`` — the current version pointer and the
+  generation counter.
+
+Checkpoint protocol: drain the engine's
+:class:`~repro.storage.checkpoints.CheckpointTracker` under this
+backend's consumer identity — a full write when the diff is not
+relative to this store's own last checkpoint, a dirty-block upsert
+otherwise — inside one SQLite transaction whose COMMIT is the atomic
+publish.  The named fault points keep their historical meaning:
+``persist.write`` fires before any row lands, ``persist.write.torn``
+writes half the rows and dies (the transaction rolls back — the old
+snapshot stays intact, exactly the old-image-survives contract), and
+``persist.rename`` fires just before COMMIT.
+
+Eviction deletes old snapshot rows and garbage-collects block
+generations no retained manifest references.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sqlite3
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import CorruptionError, StorageError
+from repro.storage import faults
+from repro.storage.backends.base import (
+    DEFAULT_MAX_SNAPSHOTS,
+    SnapshotInfo,
+    StorageBackend,
+    schema_fingerprint,
+    snapshot_version,
+)
+from repro.storage.blocks import Block
+from repro.storage.codec import Reader, Writer
+from repro.storage.descriptor import NodeDescriptor
+from repro.storage.faults import CrashError
+from repro.storage.indexes import KINDS, IndexDefinition
+from repro.storage.wal import WalStore
+from repro.xmlio.qname import QName
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.engine import StorageEngine
+
+_SCHEMA_SQL = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS block_rows (
+    block_id INTEGER NOT NULL,
+    gen      INTEGER NOT NULL,
+    payload  BLOB NOT NULL,
+    PRIMARY KEY (block_id, gen)
+);
+CREATE TABLE IF NOT EXISTS snapshots (
+    version     TEXT PRIMARY KEY,
+    seq         INTEGER NOT NULL,
+    lsn         INTEGER NOT NULL,
+    fingerprint TEXT NOT NULL,
+    manifest    TEXT NOT NULL,
+    bytes       INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS wal_chunks (
+    seq  INTEGER PRIMARY KEY AUTOINCREMENT,
+    data BLOB NOT NULL
+);
+"""
+
+
+class SqliteWalStore(WalStore):
+    """The WAL as framed chunk rows (one row per append).
+
+    Presented to :class:`~repro.storage.wal.WriteAheadLog` as one byte
+    stream, so the shared framing and torn-tail scan apply unchanged;
+    a torn append is simply a partial-frame row, detected by the same
+    CRC walk and truncated away at reopen.  Each append COMMITs — the
+    SQLite transaction is the durability barrier, so ``sync`` is a
+    no-op.
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, connection: sqlite3.Connection,
+                 describe: str) -> None:
+        self._conn = connection
+        self._describe = describe
+
+    def load(self) -> bytes:
+        rows = self._conn.execute(
+            "SELECT data FROM wal_chunks ORDER BY seq").fetchall()
+        return b"".join(row[0] for row in rows)
+
+    def append(self, chunk: bytes) -> None:
+        self._conn.execute("INSERT INTO wal_chunks (data) VALUES (?)",
+                           (chunk,))
+        self._conn.commit()
+
+    def sync(self) -> None:
+        pass  # each append commits: already durable
+
+    def truncate(self, valid_bytes: int) -> None:
+        rows = self._conn.execute(
+            "SELECT seq, data FROM wal_chunks ORDER BY seq").fetchall()
+        position = 0
+        for seq, data in rows:
+            end = position + len(data)
+            if end <= valid_bytes:
+                position = end
+                continue
+            if position < valid_bytes:
+                # A chunk straddling the cut: keep its valid prefix.
+                self._conn.execute(
+                    "UPDATE wal_chunks SET data = ? WHERE seq = ?",
+                    (data[:valid_bytes - position], seq))
+            else:
+                self._conn.execute(
+                    "DELETE FROM wal_chunks WHERE seq = ?", (seq,))
+            position = end
+        self._conn.commit()
+
+    def reset(self, header: bytes) -> None:
+        self._conn.execute("DELETE FROM wal_chunks")
+        self._conn.execute("INSERT INTO wal_chunks (data) VALUES (?)",
+                           (header,))
+        self._conn.commit()
+
+    def describe(self) -> str:
+        return f"{self._describe}#wal_chunks"
+
+
+def _encode_block(block: Block) -> bytes:
+    """The binary payload of one block: descriptor count, then per
+    descriptor (in in-block order) its nid, parent/left/right links
+    as optional nids, and the optional text value."""
+    buffer = io.BytesIO()
+    writer = Writer(buffer)
+    ordered = []
+    block.extend_in_order(ordered)
+    writer.u32(len(ordered))
+    for descriptor in ordered:
+        writer.nid(descriptor.nid)
+        for link in (descriptor.parent, descriptor.left_sibling,
+                     descriptor.right_sibling):
+            if link is not None:
+                writer.u8(1)
+                writer.nid(link.nid)
+            else:
+                writer.u8(0)
+        if descriptor.value is not None:
+            writer.u8(1)
+            writer.text(descriptor.value)
+        else:
+            writer.u8(0)
+    return buffer.getvalue()
+
+
+class SqliteBackend(StorageBackend):
+    """Incremental, row-granular durability in one SQLite file."""
+
+    name = "sqlite"
+
+    def __init__(self, db_path: str | os.PathLike,
+                 max_snapshots: Optional[int] = DEFAULT_MAX_SNAPSHOTS
+                 ) -> None:
+        super().__init__(max_snapshots=max_snapshots)
+        self.db_path = Path(db_path)
+        self._conn = sqlite3.connect(self.db_path,
+                                     isolation_level=None)
+        self._conn.executescript(_SCHEMA_SQL)
+        self._wal_conn: Optional[sqlite3.Connection] = None
+        self._wal_store: Optional[SqliteWalStore] = None
+
+    @property
+    def _consumer(self) -> str:
+        """This store's identity for the dirty-diff handshake."""
+        return f"sqlite:{self.db_path.resolve()}"
+
+    # -- checkpointing ---------------------------------------------------
+
+    def _write_snapshot(self, engine: "StorageEngine",
+                        horizon: int) -> SnapshotInfo:
+        tracker = engine.checkpoints
+        full, dirty, dropped = tracker.begin(self._consumer)
+        previous = self._current_manifest()
+        if previous is None:
+            full = True
+        gens: dict[int, int] = {} if full else \
+            {int(key): value
+             for key, value in previous["gens"].items()}
+
+        schema_nodes = list(engine.schema.iter_nodes())
+        schema_index = {id(node): i
+                        for i, node in enumerate(schema_nodes)}
+        live_blocks: dict[int, Block] = {}
+        chains: list[list[int]] = []
+        for node in schema_nodes:
+            chain = []
+            for block in node.blocks():
+                chain.append(block.block_id)
+                live_blocks[block.block_id] = block
+            chains.append(chain)
+
+        if full:
+            to_write = list(live_blocks.values())
+        else:
+            for block_id in dropped:
+                gens.pop(block_id, None)
+            to_write = [live_blocks[block_id] for block_id in dirty
+                        if block_id in live_blocks]
+
+        gen = int(self._meta_get("gen", "0")) + 1
+        for block in to_write:
+            gens[block.block_id] = gen
+        # Stale map entries for blocks no longer live (covers drops
+        # the tracker could not see, e.g. after a foreign full write).
+        gens = {block_id: g for block_id, g in gens.items()
+                if block_id in live_blocks}
+
+        fingerprint = schema_fingerprint(engine)
+        version = snapshot_version(horizon, fingerprint)
+        manifest = {
+            "base": engine.numbering.base,
+            "capacity": engine.block_capacity,
+            "lsn": horizon,
+            "schema": [
+                [schema_index[id(node.parent)]
+                 if node.parent is not None else None,
+                 node.node_type,
+                 node.name.uri if node.name is not None else None,
+                 node.name.local if node.name is not None else None]
+                for node in schema_nodes],
+            "indexes": [[d.path, d.kind, d.value_type]
+                        for d in engine.indexes.definitions()],
+            "chains": chains,
+            "gens": {str(block_id): g
+                     for block_id, g in gens.items()},
+        }
+        manifest_text = json.dumps(manifest, separators=(",", ":"))
+
+        payload_bytes = 0
+        try:
+            self._conn.execute("BEGIN IMMEDIATE")
+            faults.fire("persist.write")
+            if faults.wants("persist.write.torn"):
+                # Half the rows land, then the process dies; the open
+                # transaction rolls back, so the previous snapshot
+                # stays intact — the row analogue of a torn image
+                # write that never reached the rename.
+                for block in to_write[:len(to_write) // 2]:
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO block_rows "
+                        "(block_id, gen, payload) VALUES (?, ?, ?)",
+                        (block.block_id, gen, _encode_block(block)))
+                raise CrashError("persist.write.torn")
+            for block in to_write:
+                payload = _encode_block(block)
+                payload_bytes += len(payload)
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO block_rows "
+                    "(block_id, gen, payload) VALUES (?, ?, ?)",
+                    (block.block_id, gen, payload))
+            self._conn.execute(
+                "INSERT OR REPLACE INTO snapshots "
+                "(version, seq, lsn, fingerprint, manifest, bytes) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (version, gen, horizon, fingerprint, manifest_text,
+                 payload_bytes))
+            self._meta_set("gen", str(gen))
+            self._meta_set("current_version", version)
+            faults.fire("persist.rename")  # the publish barrier
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        self._conn.execute("COMMIT")
+        tracker.complete(self._consumer)
+        return SnapshotInfo(version=version, lsn=horizon,
+                            fingerprint=fingerprint, seq=gen,
+                            bytes=payload_bytes)
+
+    # -- meta helpers ----------------------------------------------------
+
+    def _meta_get(self, key: str, default: Optional[str] = None
+                  ) -> Optional[str]:
+        row = self._conn.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return row[0] if row is not None else default
+
+    def _meta_set(self, key: str, value: str) -> None:
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+            (key, value))
+
+    def _current_manifest(self) -> Optional[dict]:
+        version = self._meta_get("current_version")
+        if version is None:
+            return None
+        row = self._conn.execute(
+            "SELECT manifest FROM snapshots WHERE version = ?",
+            (version,)).fetchone()
+        if row is None:
+            return None
+        return json.loads(row[0])
+
+    # -- loading ---------------------------------------------------------
+
+    def load_engine(self) -> "StorageEngine":
+        version = self._meta_get("current_version")
+        if version is None:
+            raise StorageError(
+                f"no checkpoint image at {self.describe()}")
+        return self.restore(version)
+
+    def restore(self, version: str) -> "StorageEngine":
+        row = self._conn.execute(
+            "SELECT manifest FROM snapshots WHERE version = ?",
+            (version,)).fetchone()
+        if row is None:
+            raise StorageError(
+                f"unknown snapshot version {version!r} "
+                f"(backend {self.name}, {self.describe()})")
+        return self._build_engine(json.loads(row[0]), version)
+
+    def _build_engine(self, manifest: dict,
+                      version: str) -> "StorageEngine":
+        from repro.storage.engine import StorageEngine
+
+        capacity = manifest["capacity"]
+        engine = StorageEngine(base=manifest["base"],
+                               block_capacity=capacity)
+        engine.checkpoint_lsn = manifest["lsn"]
+
+        schema_nodes = []
+        for index, (parent_index, node_type, uri, local) in \
+                enumerate(manifest["schema"]):
+            if parent_index is None:
+                if index != 0 or node_type != "document":
+                    raise self._corrupt(
+                        "malformed schema tree in snapshot manifest",
+                        version)
+                schema_nodes.append(engine.schema.root)
+                continue
+            name = QName(uri, local) if local is not None else None
+            schema_nodes.append(engine.schema.get_or_add_child(
+                schema_nodes[parent_index], name, node_type))
+
+        gens = {int(key): value
+                for key, value in manifest["gens"].items()}
+        by_symbols: dict[tuple, NodeDescriptor] = {}
+        all_descriptors: list[NodeDescriptor] = []
+        links: list[tuple[NodeDescriptor, object, object, object]] = []
+        max_block_id = -1
+        for schema_node, chain in zip(schema_nodes,
+                                      manifest["chains"]):
+            previous: Optional[Block] = None
+            for block_id in chain:
+                gen = gens.get(block_id)
+                location = f"block {block_id} gen {gen}"
+                if gen is None:
+                    raise self._corrupt(
+                        f"snapshot manifest references block "
+                        f"{block_id} without a generation", version)
+                row = self._conn.execute(
+                    "SELECT payload FROM block_rows "
+                    "WHERE block_id = ? AND gen = ?",
+                    (block_id, gen)).fetchone()
+                if row is None:
+                    raise self._corrupt(
+                        f"missing block row ({location})", version)
+                block = Block(schema_node, capacity)
+                block.block_id = block_id
+                max_block_id = max(max_block_id, block_id)
+                if previous is None:
+                    schema_node.first_block = block
+                else:
+                    previous.next_block = block
+                    block.prev_block = previous
+                schema_node.last_block = block
+                previous = block
+                reader = Reader(
+                    row[0], backend=self.name,
+                    place=lambda pos, loc=location:
+                        f"{loc} byte {pos}",
+                    what="block payload")
+                count = reader.u32()
+                last: Optional[NodeDescriptor] = None
+                for _ in range(count):
+                    nid = reader.nid()
+                    parent_nid = reader.nid() if reader.u8() else None
+                    left_nid = reader.nid() if reader.u8() else None
+                    right_nid = reader.nid() if reader.u8() else None
+                    value = reader.text() if reader.u8() else None
+                    descriptor = NodeDescriptor(schema_node, nid,
+                                                value=value)
+                    block.insert_after(descriptor, last)
+                    last = descriptor
+                    schema_node.descriptor_count += 1
+                    by_symbols[nid.symbols()] = descriptor
+                    all_descriptors.append(descriptor)
+                    links.append((descriptor, parent_nid, left_nid,
+                                  right_nid))
+                if not reader.at_end():
+                    raise self._corrupt(
+                        f"trailing bytes in block payload ({location})",
+                        version)
+        # Stored block ids survive the round trip; keep the global
+        # allocator past them so future splits never collide.
+        if max_block_id >= Block._next_id:
+            Block._next_id = max_block_id + 1
+
+        def resolve(nid, role, owner):
+            if nid is None:
+                return None
+            target = by_symbols.get(nid.symbols())
+            if target is None:
+                raise self._corrupt(
+                    f"descriptor {owner.nid!r} links to missing "
+                    f"{role} {nid!r}", version)
+            return target
+
+        for descriptor, parent_nid, left_nid, right_nid in links:
+            descriptor.parent = resolve(parent_nid, "parent",
+                                        descriptor)
+            descriptor.left_sibling = resolve(left_nid, "left sibling",
+                                              descriptor)
+            descriptor.right_sibling = resolve(right_nid,
+                                               "right sibling",
+                                               descriptor)
+
+        # Rebuild the first-child-by-schema pointers from the links.
+        for descriptor in all_descriptors:
+            parent = descriptor.parent
+            if parent is None:
+                continue
+            index = parent.schema_node.child_index(
+                descriptor.schema_node)
+            current = parent.children_by_schema.get(index)
+            if current is None or descriptor.nid.symbols() < \
+                    current.nid.symbols():
+                parent.children_by_schema[index] = descriptor
+
+        root_block = schema_nodes[0].first_block
+        document = root_block.first_descriptor() \
+            if root_block is not None else None
+        if document is None or document.node_type != "document":
+            raise self._corrupt("snapshot holds no document node",
+                                version)
+        engine.document = document
+        engine.check_invariants()
+
+        for path, kind, value_type in manifest["indexes"]:
+            definition = IndexDefinition(path, kind, value_type)
+            if definition.kind not in KINDS:
+                raise self._corrupt(
+                    f"unknown index kind {definition.kind!r} in "
+                    "snapshot manifest", version)
+            engine.indexes.install(definition)
+        return engine
+
+    def _corrupt(self, message: str, version: str) -> CorruptionError:
+        return CorruptionError(
+            f"{message} (snapshot {version}, {self.describe()})",
+            backend=self.name, location=f"snapshot {version}")
+
+    # -- snapshot management ---------------------------------------------
+
+    def list_snapshots(self) -> list[SnapshotInfo]:
+        rows = self._conn.execute(
+            "SELECT version, seq, lsn, fingerprint, bytes "
+            "FROM snapshots ORDER BY seq").fetchall()
+        return [SnapshotInfo(version=version, lsn=lsn,
+                             fingerprint=fingerprint, seq=seq,
+                             bytes=size)
+                for version, seq, lsn, fingerprint, size in rows]
+
+    def evict_snapshots(self, keep: int) -> list[str]:
+        snapshots = self.list_snapshots()
+        current = self._meta_get("current_version")
+        evicted = []
+        for info in snapshots[:max(0, len(snapshots) - keep)]:
+            if info.version == current:
+                continue  # the current state itself never goes
+            self._conn.execute(
+                "DELETE FROM snapshots WHERE version = ?",
+                (info.version,))
+            evicted.append(info.version)
+        if evicted:
+            self._gc_generations()
+        self._conn.commit()
+        return evicted
+
+    def _gc_generations(self) -> None:
+        """Drop block generations no retained manifest references."""
+        referenced: set[tuple[int, int]] = set()
+        for (manifest_text,) in self._conn.execute(
+                "SELECT manifest FROM snapshots").fetchall():
+            manifest = json.loads(manifest_text)
+            for key, gen in manifest["gens"].items():
+                referenced.add((int(key), gen))
+        rows = self._conn.execute(
+            "SELECT block_id, gen FROM block_rows").fetchall()
+        for block_id, gen in rows:
+            if (block_id, gen) not in referenced:
+                self._conn.execute(
+                    "DELETE FROM block_rows "
+                    "WHERE block_id = ? AND gen = ?", (block_id, gen))
+
+    # -- the log medium --------------------------------------------------
+
+    def wal_store(self) -> Optional[WalStore]:
+        if self._wal_store is None:
+            # The log gets its own connection: appends must commit
+            # independently of an in-flight checkpoint transaction.
+            self._wal_conn = sqlite3.connect(self.db_path,
+                                             isolation_level=None)
+            self._wal_store = SqliteWalStore(self._wal_conn,
+                                             str(self.db_path))
+        return self._wal_store
+
+    def close(self) -> None:
+        if self._wal_conn is not None:
+            self._wal_conn.close()
+            self._wal_conn = None
+            self._wal_store = None
+        self._conn.close()
+
+    def describe(self) -> str:
+        return str(self.db_path)

@@ -1,0 +1,201 @@
+"""Shared binary codec of the persistence layer.
+
+One statement of the little-endian fixed-width field conventions used
+by every durable artifact in this package: the checkpoint image
+(:mod:`repro.storage.persist`), the write-ahead log
+(:mod:`repro.storage.wal`) and the per-block payloads of the pluggable
+backends (:mod:`repro.storage.backends`).  The pieces:
+
+* :class:`Writer` — field writer that maintains a running CRC32 of
+  everything written (the image trailer signs it);
+* :class:`Reader` — bounds-checked field reader whose errors are
+  :class:`~repro.errors.CorruptionError` carrying a backend label and
+  a backend-specific location ("byte 123" for a file image, "block
+  row 7 byte 9" for a SQLite payload), never a raw ``struct.error``;
+* u32-length + CRC32 record framing (:func:`encode_frame` /
+  :func:`iter_frames`) — the WAL's torn-tail detection, shared by
+  every WAL store;
+* numbering-label packing (:func:`pack_nid` / ``Reader.nid``) — the
+  digit-exact wire form of :class:`~repro.storage.labels.NidLabel`.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import BinaryIO, Callable, Iterator, Optional
+
+from repro.errors import CorruptionError
+from repro.storage.labels import NidLabel
+
+
+class Writer:
+    """Field writer that maintains the running CRC32 of its output."""
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self.crc = 0
+
+    def raw(self, data: bytes) -> None:
+        self._stream.write(data)
+        self.crc = zlib.crc32(data, self.crc)
+
+    def u8(self, value: int) -> None:
+        self.raw(struct.pack("<B", value))
+
+    def u16(self, value: int) -> None:
+        self.raw(struct.pack("<H", value))
+
+    def u32(self, value: int) -> None:
+        self.raw(struct.pack("<I", value))
+
+    def u64(self, value: int) -> None:
+        self.raw(struct.pack("<Q", value))
+
+    def text(self, value: str) -> None:
+        data = value.encode("utf-8")
+        self.u32(len(data))
+        self.raw(data)
+
+    def nid(self, nid: NidLabel) -> None:
+        """Digit-exact numbering label: component count, then per
+        component its length and digits, all u16."""
+        components = nid.components
+        self.u16(len(components))
+        for component in components:
+            self.u16(len(component))
+            for digit in component:
+                self.u16(digit)
+
+    def trailer(self) -> None:
+        """The CRC32 of everything written so far (not self-included)."""
+        self._stream.write(struct.pack("<I", self.crc))
+
+
+class Reader:
+    """Bounds-checked field reader with backend-labeled errors.
+
+    *backend* names where the bytes came from ("file", "sqlite",
+    "memory"); *place* renders a byte position into that backend's
+    location vocabulary (default: ``byte {pos}``).  Both ride on the
+    :class:`CorruptionError` any damage raises, so ``--json`` error
+    objects stay meaningful whatever medium held the bytes.
+    """
+
+    def __init__(self, data: bytes, backend: str = "file",
+                 place: Optional[Callable[[int], str]] = None,
+                 what: str = "storage image") -> None:
+        self._data = data
+        self._pos = 0
+        self.backend = backend
+        self.what = what
+        self._place = place or (lambda pos: f"byte {pos}")
+
+    @property
+    def pos(self) -> int:
+        return self._pos
+
+    def location(self, pos: Optional[int] = None) -> str:
+        return self._place(self._pos if pos is None else pos)
+
+    def corrupt(self, message: str,
+                pos: Optional[int] = None) -> CorruptionError:
+        """Build a located corruption error (caller raises it)."""
+        return CorruptionError(message, backend=self.backend,
+                               location=self.location(pos))
+
+    def _take(self, count: int) -> bytes:
+        if self._pos + count > len(self._data):
+            raise self.corrupt(
+                f"truncated {self.what} at {self.location()} "
+                f"(wanted {count} more byte(s), "
+                f"{len(self._data) - self._pos} left)")
+        chunk = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack("<H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack("<I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack("<Q", self._take(8))[0]
+
+    def text(self) -> str:
+        start = self._pos
+        raw = self._take(self.u32())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as error:
+            raise self.corrupt(
+                f"corrupt text in {self.what} at {self.location(start)}: "
+                f"{error}", pos=start) from error
+
+    def nid(self) -> NidLabel:
+        count = self.u16()
+        components = []
+        for _ in range(count):
+            length = self.u16()
+            components.append(tuple(self.u16() for _ in range(length)))
+        return NidLabel(tuple(components))
+
+    def at_end(self) -> bool:
+        return self._pos == len(self._data)
+
+
+# ----------------------------------------------------------------------
+# Record framing: u32 payload length + u32 CRC32(payload) + payload.
+# The write-ahead log's torn-tail rule lives here: a frame whose header
+# is incomplete, whose payload is short, or whose CRC32 does not match
+# is torn, and everything from its first byte on is garbage.
+
+FRAME_HEADER_LEN = 8
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """One framed record ready to append."""
+    return struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+
+
+def iter_frames(data: bytes, start: int = 0
+                ) -> Iterator[tuple[bytes, int]]:
+    """Yield ``(payload, end_offset)`` for every intact frame.
+
+    Stops silently at the first torn or corrupt frame — the caller
+    compares the last ``end_offset`` against ``len(data)`` to size the
+    torn tail.
+    """
+    pos = start
+    while pos < len(data):
+        if pos + FRAME_HEADER_LEN > len(data):
+            return  # torn frame header
+        length, crc = struct.unpack_from("<II", data, pos)
+        end = pos + FRAME_HEADER_LEN + length
+        if end > len(data):
+            return  # torn payload
+        payload = data[pos + FRAME_HEADER_LEN:end]
+        if zlib.crc32(payload) != crc:
+            return  # corrupt payload: treat as torn tail
+        yield payload, end
+        pos = end
+
+
+def pack_nid(out: bytearray, nid: NidLabel) -> None:
+    """Append the wire form of *nid* to *out* (see ``Writer.nid``)."""
+    out += struct.pack("<H", len(nid.components))
+    for component in nid.components:
+        out += struct.pack("<H", len(component))
+        for digit in component:
+            out += struct.pack("<H", digit)
+
+
+def pack_text(out: bytearray, value: str) -> None:
+    """Append a u32-length-prefixed UTF-8 string to *out*."""
+    data = value.encode("utf-8")
+    out += struct.pack("<I", len(data))
+    out += data

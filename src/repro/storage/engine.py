@@ -24,6 +24,7 @@ from repro.xmlio.qname import QName
 from repro.xdm.node import DocumentNode, ElementNode, Node, TextNode
 from repro.storage import faults
 from repro.storage.blocks import Block
+from repro.storage.checkpoints import CheckpointTracker
 from repro.storage.descriptor import NodeDescriptor
 from repro.storage.dschema import DescriptiveSchema, SchemaNode
 from repro.storage.indexes import IndexManager
@@ -56,6 +57,9 @@ class StorageEngine:
         #: Declared secondary indexes (checkpoints persist the
         #: definitions; contents are rebuilt from the blocks).
         self.indexes = IndexManager(self)
+        #: Dirty-block accounting: which blocks a backend must rewrite
+        #: on the next incremental checkpoint.
+        self.checkpoints = CheckpointTracker()
         # Instrumentation.
         self.insert_count = 0
         self.delete_count = 0
@@ -249,6 +253,7 @@ class StorageEngine:
             block = fresh
         block.insert_after(descriptor, block.last_descriptor())
         schema_node.descriptor_count += 1
+        self.checkpoints.mark(block)
 
     def _place_descriptor(self, descriptor: NodeDescriptor) -> None:
         """Update-path placement: find the document-order position among
@@ -272,6 +277,9 @@ class StorageEngine:
             sibling = target.split()
             faults.fire("block.split")
             self.split_count += 1
+            # Both halves changed their persisted slot membership.
+            self.checkpoints.mark(target)
+            self.checkpoints.mark(sibling)
             if obs.ENABLED:
                 obs.REGISTRY.counter("storage.blocks.split").inc()
             first_of_sibling = sibling.first_descriptor()
@@ -286,6 +294,7 @@ class StorageEngine:
                 break
         target.insert_after(descriptor, predecessor)
         schema_node.descriptor_count += 1
+        self.checkpoints.mark(target)
 
     # ==================================================================
     # Accessor evaluation (descriptor + schema node only, §9.2)
@@ -464,8 +473,10 @@ class StorageEngine:
         descriptor.right_sibling = right
         if left is not None:
             left.right_sibling = descriptor
+            self.checkpoints.mark_descriptor(left)
         if right is not None:
             right.left_sibling = descriptor
+            self.checkpoints.mark_descriptor(right)
         self._place_descriptor(descriptor)
         self._register_child_pointer(parent, descriptor)
         if self.indexes.active:
@@ -516,6 +527,7 @@ class StorageEngine:
                                           existing.nid, replace=True)
             old_value = existing.value
             existing.value = value
+            self.checkpoints.mark_descriptor(existing)
             if self.indexes.active:
                 self.indexes.note_value_changed(existing)
             if logged:
@@ -623,6 +635,7 @@ class StorageEngine:
                         old_value: str | None) -> None:
         """Restore an overwritten attribute value (no logging)."""
         descriptor.value = old_value
+        self.checkpoints.mark_descriptor(descriptor)
         if self.indexes.active:
             self.indexes.note_value_changed(descriptor)
 
@@ -664,8 +677,10 @@ class StorageEngine:
                 descriptor.right_sibling = right
                 if left is not None:
                     left.right_sibling = descriptor
+                    self.checkpoints.mark_descriptor(left)
                 if right is not None:
                     right.left_sibling = descriptor
+                    self.checkpoints.mark_descriptor(right)
             self._place_descriptor(descriptor)
             self._register_child_pointer(parent, descriptor)
             if self.indexes.active:
@@ -678,8 +693,10 @@ class StorageEngine:
         left, right = descriptor.left_sibling, descriptor.right_sibling
         if left is not None:
             left.right_sibling = right
+            self.checkpoints.mark_descriptor(left)
         if right is not None:
             right.left_sibling = left
+            self.checkpoints.mark_descriptor(right)
         if parent is not None:
             schema_node = descriptor.schema_node
             index = parent.schema_node.child_index(schema_node)
@@ -718,6 +735,9 @@ class StorageEngine:
         schema_node.descriptor_count -= 1
         if block.is_empty:
             self._unlink_block(block)
+            self.checkpoints.drop(block)
+        else:
+            self.checkpoints.mark(block)
 
     def _unlink_block(self, block: Block) -> None:
         schema_node = block.schema_node

@@ -41,9 +41,10 @@ import zlib
 from typing import BinaryIO
 
 from repro import obs
-from repro.errors import StorageError
+from repro.errors import CorruptionError, StorageError
 from repro.xmlio.qname import QName
 from repro.storage.blocks import Block
+from repro.storage.codec import Reader, Writer
 from repro.storage.descriptor import NodeDescriptor
 from repro.storage.dschema import SchemaNode
 from repro.storage.engine import StorageEngine
@@ -59,80 +60,6 @@ _TYPE_TAGS = {"document": 0, "element": 1, "attribute": 2, "text": 3}
 _TAG_TYPES = {tag: name for name, tag in _TYPE_TAGS.items()}
 
 
-class _Writer:
-    """Field writer that maintains the running CRC32 of the image."""
-
-    def __init__(self, stream: BinaryIO) -> None:
-        self._stream = stream
-        self.crc = 0
-
-    def raw(self, data: bytes) -> None:
-        self._stream.write(data)
-        self.crc = zlib.crc32(data, self.crc)
-
-    def u8(self, value: int) -> None:
-        self.raw(struct.pack("<B", value))
-
-    def u16(self, value: int) -> None:
-        self.raw(struct.pack("<H", value))
-
-    def u32(self, value: int) -> None:
-        self.raw(struct.pack("<I", value))
-
-    def u64(self, value: int) -> None:
-        self.raw(struct.pack("<Q", value))
-
-    def text(self, value: str) -> None:
-        data = value.encode("utf-8")
-        self.u32(len(data))
-        self.raw(data)
-
-    def trailer(self) -> None:
-        """The CRC32 of everything written so far (not self-included)."""
-        self._stream.write(struct.pack("<I", self.crc))
-
-
-class _Reader:
-    def __init__(self, data: bytes) -> None:
-        self._data = data
-        self._pos = 0
-
-    def _take(self, count: int) -> bytes:
-        if self._pos + count > len(self._data):
-            raise StorageError(
-                f"truncated storage image at byte {self._pos} "
-                f"(wanted {count} more byte(s), "
-                f"{len(self._data) - self._pos} left)")
-        chunk = self._data[self._pos:self._pos + count]
-        self._pos += count
-        return chunk
-
-    def u8(self) -> int:
-        return struct.unpack("<B", self._take(1))[0]
-
-    def u16(self) -> int:
-        return struct.unpack("<H", self._take(2))[0]
-
-    def u32(self) -> int:
-        return struct.unpack("<I", self._take(4))[0]
-
-    def u64(self) -> int:
-        return struct.unpack("<Q", self._take(8))[0]
-
-    def text(self) -> str:
-        start = self._pos
-        raw = self._take(self.u32())
-        try:
-            return raw.decode("utf-8")
-        except UnicodeDecodeError as error:
-            raise StorageError(
-                f"corrupt text in storage image at byte {start}: "
-                f"{error}") from error
-
-    def at_end(self) -> bool:
-        return self._pos == len(self._data)
-
-
 def dump_engine(engine: StorageEngine, stream: BinaryIO,
                 checkpoint_lsn: int = 0) -> None:
     """Serialize *engine* into *stream* (version 3 image).
@@ -142,7 +69,7 @@ def dump_engine(engine: StorageEngine, stream: BinaryIO,
     """
     if engine.document is None:
         raise StorageError("cannot dump an empty engine")
-    writer = _Writer(stream)
+    writer = Writer(stream)
     writer.raw(_MAGIC_V3)
     writer.u16(engine.numbering.base)
     writer.u16(engine.block_capacity)
@@ -171,12 +98,7 @@ def dump_engine(engine: StorageEngine, stream: BinaryIO,
     writer.u32(len(descriptors))
     for descriptor in descriptors:
         writer.u32(schema_index[id(descriptor.schema_node)])
-        components = descriptor.nid.components
-        writer.u16(len(components))
-        for component in components:
-            writer.u16(len(component))
-            for digit in component:
-                writer.u16(digit)
+        writer.nid(descriptor.nid)
         for link in (descriptor.parent, descriptor.left_sibling,
                      descriptor.right_sibling):
             writer.u32(descriptor_index[id(link)]
@@ -207,23 +129,32 @@ def dumps_engine(engine: StorageEngine, checkpoint_lsn: int = 0) -> bytes:
     return buffer.getvalue()
 
 
-def load_engine(data: bytes) -> StorageEngine:
-    """Reconstruct an engine from a binary image (either version)."""
+def load_engine(data: bytes, backend: str = "file",
+                place=None) -> StorageEngine:
+    """Reconstruct an engine from a binary image (either version).
+
+    *backend* and *place* label corruption errors with the medium the
+    bytes came from (see :class:`repro.storage.codec.Reader`).
+    """
     magic_len = len(_MAGIC_V3)
     if len(data) < magic_len:
-        raise StorageError("not a storage image (shorter than the magic)")
+        raise CorruptionError(
+            "not a storage image (shorter than the magic)",
+            backend=backend, location="byte 0")
     magic = data[:magic_len]
     if magic in (_MAGIC_V2, _MAGIC_V3):
         if len(data) < magic_len + 4:
-            raise StorageError(
-                "truncated storage image (no room for the CRC trailer)")
+            raise CorruptionError(
+                "truncated storage image (no room for the CRC trailer)",
+                backend=backend, location="trailer")
         (expected,) = struct.unpack("<I", data[-4:])
         actual = zlib.crc32(data[:-4])
         if actual != expected:
-            raise StorageError(
+            raise CorruptionError(
                 f"storage image CRC mismatch: trailer says "
                 f"{expected:#010x}, content hashes to {actual:#010x} "
-                "(torn or corrupted image)")
+                "(torn or corrupted image)",
+                backend=backend, location="trailer")
         body = data[:-4]
         version = 3 if magic == _MAGIC_V3 else 2
     elif magic == _MAGIC_V1:
@@ -234,9 +165,10 @@ def load_engine(data: bytes) -> StorageEngine:
             # but without whole-image corruption detection.
             obs.REGISTRY.counter("persist.legacy_images").inc()
     else:
-        raise StorageError("not a storage image (bad magic)")
+        raise CorruptionError("not a storage image (bad magic)",
+                              backend=backend, location="byte 0")
 
-    reader = _Reader(body)
+    reader = Reader(body, backend=backend, place=place)
     reader._take(magic_len)
     try:
         return _parse_image(reader, version)
@@ -244,12 +176,12 @@ def load_engine(data: bytes) -> StorageEngine:
         raise
     except (struct.error, UnicodeDecodeError, IndexError,
             OverflowError, MemoryError) as error:
-        raise StorageError(
-            f"corrupt storage image at byte {reader._pos}: "
+        raise reader.corrupt(
+            f"corrupt storage image at {reader.location()}: "
             f"{error}") from error
 
 
-def _parse_image(reader: _Reader, version: int) -> StorageEngine:
+def _parse_image(reader: Reader, version: int) -> StorageEngine:
     base = reader.u16()
     capacity = reader.u16()
     checkpoint_lsn = 0 if version == 1 else reader.u64()
@@ -274,8 +206,8 @@ def _parse_image(reader: _Reader, version: int) -> StorageEngine:
         parent_index = reader.u32()
         node_type = _TAG_TYPES.get(reader.u8())
         if node_type is None:
-            raise StorageError(
-                f"unknown schema node type tag at byte {reader._pos}")
+            raise reader.corrupt(
+                f"unknown schema node type tag at {reader.location()}")
         if node_type in ("element", "attribute"):
             uri = reader.text()
             local = reader.text()
@@ -288,9 +220,9 @@ def _parse_image(reader: _Reader, version: int) -> StorageEngine:
             schema_nodes.append(engine.schema.root)
             continue
         if parent_index >= len(schema_nodes):
-            raise StorageError(
+            raise reader.corrupt(
                 f"schema parent index {parent_index} out of range "
-                f"at byte {reader._pos}")
+                f"at {reader.location()}")
         parent = schema_nodes[parent_index]
         child = engine.schema.get_or_add_child(parent, name, node_type)
         schema_nodes.append(child)
@@ -301,17 +233,11 @@ def _parse_image(reader: _Reader, version: int) -> StorageEngine:
     for _ in range(descriptor_count):
         schema_ref = reader.u32()
         if schema_ref >= len(schema_nodes):
-            raise StorageError(
+            raise reader.corrupt(
                 f"descriptor schema index {schema_ref} out of range "
-                f"at byte {reader._pos}")
+                f"at {reader.location()}")
         schema_node = schema_nodes[schema_ref]
-        component_count = reader.u16()
-        components = []
-        for _c in range(component_count):
-            digit_count = reader.u16()
-            components.append(tuple(reader.u16()
-                                    for _d in range(digit_count)))
-        nid = NidLabel(tuple(components))
+        nid = reader.nid()
         parent_id = reader.u32()
         left_id = reader.u32()
         right_id = reader.u32()
@@ -350,17 +276,17 @@ def _parse_image(reader: _Reader, version: int) -> StorageEngine:
             for _m in range(member_count):
                 member_id = reader.u32()
                 if member_id >= len(descriptors):
-                    raise StorageError(
+                    raise reader.corrupt(
                         f"block member {member_id} out of range "
-                        f"at byte {reader._pos}")
+                        f"at {reader.location()}")
                 descriptor = descriptors[member_id]
                 block.insert_after(descriptor, last)
                 last = descriptor
                 schema_node.descriptor_count += 1
 
     if not reader.at_end():
-        raise StorageError(
-            f"trailing bytes in storage image after byte {reader._pos}")
+        raise reader.corrupt(
+            f"trailing bytes in storage image after {reader.location()}")
 
     # Rebuild the first-child-by-schema pointers from the links.
     for descriptor in descriptors:

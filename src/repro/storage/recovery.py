@@ -30,12 +30,16 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from repro import obs
-from repro.errors import StorageError, UpdateError
-from repro.storage import faults, wal as walmod
+from repro.errors import CorruptionError, StorageError, UpdateError
+from repro.storage.backends.base import (
+    StorageBackend,
+    schema_fingerprint,
+    snapshot_version,
+)
+from repro.storage.backends.file import FileBackend
 from repro.storage.engine import StorageEngine
-from repro.storage.faults import CrashError
 from repro.storage.labels import equal
-from repro.storage.persist import dumps_engine, load_engine
+from repro.storage.persist import load_engine
 from repro.storage.wal import (
     COMMIT,
     CREATE_INDEX,
@@ -49,6 +53,7 @@ from repro.storage.wal import (
     WalRecord,
     WriteAheadLog,
     read_wal,
+    read_wal_store,
 )
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -77,11 +82,15 @@ class RecoveryResult:
     conformance_violations: int = 0
     index_definitions: int = 0  # live index declarations after replay
     indexes_verified: int = 0   # indexes bisimulation-checked vs rebuild
+    backend: str = "file"       # which StorageBackend held the state
+    snapshot_version: Optional[str] = None  # version id of the image
 
     def as_dict(self) -> dict:
         return {
             "image": self.image_path,
             "wal": self.wal_path,
+            "backend": self.backend,
+            "snapshot_version": self.snapshot_version,
             "checkpoint_lsn": self.checkpoint_lsn,
             "replayed": self.replayed,
             "skipped": self.skipped,
@@ -101,36 +110,25 @@ class RecoveryResult:
 # Checkpoint.
 
 
-def checkpoint(engine: StorageEngine, image_path: str | os.PathLike,
+def checkpoint(engine: StorageEngine,
+               target: str | os.PathLike | StorageBackend,
                wal: Optional[WriteAheadLog] = None) -> int:
-    """Atomically persist *engine* to *image_path*; returns the LSN
-    horizon the image covers (0 without a log)."""
-    path = Path(image_path)
-    horizon = wal.last_lsn if wal is not None else 0
-    data = dumps_engine(engine, checkpoint_lsn=horizon)
-    tmp = path.with_name(path.name + ".tmp")
-    faults.fire("persist.write")
-    with open(tmp, "wb") as handle:
-        if faults.wants("persist.write.torn"):
-            handle.write(data[:max(1, len(data) // 2)])
-            handle.flush()
-            raise CrashError("persist.write.torn")
-        handle.write(data)
-        handle.flush()
-        os.fsync(handle.fileno())
-    faults.fire("persist.rename")
-    os.replace(tmp, path)
-    _fsync_directory(path.parent)
-    if wal is not None:
-        wal.reset(checkpoint_lsn=horizon)
-    if obs.ENABLED:
-        obs.REGISTRY.counter("recovery.checkpoints").inc()
-        obs.REGISTRY.counter("recovery.checkpoint.bytes").inc(len(data))
-    return horizon
+    """Atomically persist *engine*; returns the LSN horizon the
+    snapshot covers (0 without a log).
+
+    *target* is an image path (wrapped in a
+    :class:`~repro.storage.backends.file.FileBackend`, the historical
+    call shape) or any :class:`StorageBackend`.  Either way the
+    checkpoint records a fingerprinted snapshot version and resets the
+    log past the horizon.
+    """
+    backend = target if isinstance(target, StorageBackend) \
+        else FileBackend(target)
+    return backend.checkpoint(engine, wal=wal).lsn
 
 
 def bulk_load(engine: StorageEngine, document,
-              image_path: str | os.PathLike,
+              image_path: str | os.PathLike | StorageBackend,
               wal: WriteAheadLog,
               preserve_whitespace: bool = False) -> dict:
     """Load *document* into an empty engine with per-op logging off.
@@ -173,29 +171,19 @@ def bulk_load(engine: StorageEngine, document,
             "wal_records": 3}
 
 
-def _fsync_directory(directory: Path) -> None:
-    """Make the rename durable (best-effort on exotic filesystems)."""
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform-dependent
-        return
-    try:
-        os.fsync(fd)
-    except OSError:  # pragma: no cover - platform-dependent
-        pass
-    finally:
-        os.close(fd)
-
-
 # ----------------------------------------------------------------------
 # Recovery.
 
 
-def recover(image_path: str | os.PathLike,
+def recover(target: str | os.PathLike | StorageBackend,
             wal_path: Optional[str | os.PathLike] = None,
             schema: "Optional[DocumentSchema]" = None,
             strict: bool = False) -> RecoveryResult:
-    """Reconstruct an engine from the checkpoint image + WAL.
+    """Reconstruct an engine from a checkpoint snapshot + WAL.
+
+    *target* is an image path plus optional *wal_path* (the historical
+    call shape) or any :class:`StorageBackend`, whose own WAL medium
+    is scanned (*wal_path* must then be None).
 
     With *schema*, §6.2 conformance of the recovered document is
     verified through the typed storage NodeStore and violations raise
@@ -204,27 +192,55 @@ def recover(image_path: str | os.PathLike,
     """
     if obs.ENABLED:
         with obs.TRACER.span("recovery.recover"):
-            return _recover(image_path, wal_path, schema, strict)
-    return _recover(image_path, wal_path, schema, strict)
+            return _recover(target, wal_path, schema, strict)
+    return _recover(target, wal_path, schema, strict)
 
 
-def _recover(image_path, wal_path, schema, strict) -> RecoveryResult:
-    path = Path(image_path)
+def _open_target(target, wal_path):
+    """Load the engine and scan the WAL from either call shape."""
+    if isinstance(target, StorageBackend):
+        if wal_path is not None:
+            raise RecoveryError(
+                "pass either a backend or an explicit wal_path, "
+                "not both")
+        try:
+            engine = target.load_engine()
+        except CorruptionError:
+            raise  # damaged state keeps its located error
+        except StorageError as error:
+            raise RecoveryError(str(error)) from error
+        store = target.wal_store()
+        scan = read_wal_store(store) if store is not None else None
+        return (engine, target.describe(),
+                store.describe() if store is not None else None,
+                scan, target.name)
+    path = Path(target)
     if not path.exists():
         raise RecoveryError(f"no checkpoint image at {path}")
     engine = load_engine(path.read_bytes())
+    scan = read_wal(wal_path) if wal_path is not None else None
+    return (engine, str(path),
+            str(wal_path) if wal_path is not None else None,
+            scan, "file")
+
+
+def _recover(target, wal_path, schema, strict) -> RecoveryResult:
+    engine, image_desc, wal_desc, scan, backend_name = \
+        _open_target(target, wal_path)
     if obs.ENABLED:
         # Materialize the Proposition 1 counters at zero: recovery
         # must never relabel, and the explicit 0 is the claim.
         obs.REGISTRY.counter("numbering.relabels.sedna")
         obs.REGISTRY.counter("storage.relabels")
     result = RecoveryResult(
-        engine=engine, image_path=str(path),
-        wal_path=str(wal_path) if wal_path is not None else None,
-        checkpoint_lsn=engine.checkpoint_lsn)
+        engine=engine, image_path=image_desc, wal_path=wal_desc,
+        checkpoint_lsn=engine.checkpoint_lsn, backend=backend_name,
+        # The version of the image this recovery started from —
+        # computed before replay, which may change the schema shape.
+        snapshot_version=snapshot_version(engine.checkpoint_lsn,
+                                          schema_fingerprint(engine)))
 
-    if wal_path is not None:
-        scan = read_wal(wal_path)
+    if scan is not None:
         result.torn_bytes = scan.torn_bytes
         committed = scan.committed_txns()
         seen_committed: list[int] = []

@@ -7,11 +7,19 @@ numbering labels (nids), which Proposition 1 guarantees are stable —
 **before** the in-memory structures change, so a crash at any point
 leaves a log that replays to exactly the committed state.
 
-File layout (little-endian)::
+Log layout (little-endian, medium-independent)::
 
     header:  magic "SEDNAWAL", version u16
     record:  payload_len u32, crc32(payload) u32, payload
     payload: lsn u64, kind u8, txn u64, body (per kind)
+
+The *medium* is pluggable: :class:`WriteAheadLog` drives a
+:class:`WalStore` — :class:`FileWalStore` (one append-only file, the
+classic shape), :class:`MemoryWalStore` (hermetic tests), or the
+sqlite-rows store of :mod:`repro.storage.backends.sqlite`.  Every
+store exposes the log as one byte stream, so the framing, the
+torn-tail rule and the scanner below are written once and hold for
+all of them.
 
 Record kinds: BEGIN / COMMIT / ABORT frame transactions;
 INSERT_ELEMENT / INSERT_TEXT / SET_ATTRIBUTE / DELETE are the logical
@@ -36,7 +44,7 @@ from __future__ import annotations
 
 import os
 import struct
-import zlib
+from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
@@ -44,13 +52,16 @@ from typing import Optional
 from repro import obs
 from repro.errors import StorageError
 from repro.storage import faults
+from repro.storage.codec import Reader, encode_frame, iter_frames, \
+    pack_nid, pack_text
 from repro.storage.faults import CrashError
 from repro.storage.labels import NidLabel
 from repro.xmlio.qname import QName
 
 _MAGIC = b"SEDNAWAL"
 _VERSION = 1
-_HEADER_LEN = len(_MAGIC) + 2
+_HEADER = _MAGIC + struct.pack("<H", _VERSION)
+_HEADER_LEN = len(_HEADER)
 
 # Record kinds.
 BEGIN = 1
@@ -109,7 +120,7 @@ class WalRecord:
 
 @dataclass
 class WalScan:
-    """The result of reading a log file."""
+    """The result of reading a log."""
 
     records: list[WalRecord] = field(default_factory=list)
     valid_bytes: int = 0
@@ -127,62 +138,11 @@ class WalScan:
 
 
 # ----------------------------------------------------------------------
-# Encoding helpers.
+# Payload decoding.
 
 
-def _pack_nid(out: bytearray, nid: NidLabel) -> None:
-    out += struct.pack("<H", len(nid.components))
-    for component in nid.components:
-        out += struct.pack("<H", len(component))
-        for digit in component:
-            out += struct.pack("<H", digit)
-
-
-def _pack_text(out: bytearray, value: str) -> None:
-    data = value.encode("utf-8")
-    out += struct.pack("<I", len(data))
-    out += data
-
-
-class _PayloadReader:
-    def __init__(self, data: bytes) -> None:
-        self._data = data
-        self._pos = 0
-
-    def _take(self, count: int) -> bytes:
-        if self._pos + count > len(self._data):
-            raise StorageError(
-                f"malformed WAL payload at byte {self._pos}")
-        chunk = self._data[self._pos:self._pos + count]
-        self._pos += count
-        return chunk
-
-    def u8(self) -> int:
-        return self._take(1)[0]
-
-    def u16(self) -> int:
-        return struct.unpack("<H", self._take(2))[0]
-
-    def u32(self) -> int:
-        return struct.unpack("<I", self._take(4))[0]
-
-    def u64(self) -> int:
-        return struct.unpack("<Q", self._take(8))[0]
-
-    def nid(self) -> NidLabel:
-        count = self.u16()
-        components = []
-        for _ in range(count):
-            length = self.u16()
-            components.append(tuple(self.u16() for _ in range(length)))
-        return NidLabel(tuple(components))
-
-    def text(self) -> str:
-        return self._take(self.u32()).decode("utf-8")
-
-
-def _decode_payload(payload: bytes) -> WalRecord:
-    reader = _PayloadReader(payload)
+def _decode_payload(payload: bytes, backend: str = "file") -> WalRecord:
+    reader = Reader(payload, backend=backend, what="WAL payload")
     lsn = reader.u64()
     kind = reader.u8()
     txn = reader.u64()
@@ -223,89 +183,220 @@ def _decode_payload(payload: bytes) -> WalRecord:
     raise StorageError(f"unknown WAL record kind {kind}")
 
 
+# ----------------------------------------------------------------------
+# Pluggable log media.
+
+
+class WalStore(ABC):
+    """Where the log bytes live.
+
+    Every store presents the log as **one byte stream** beginning with
+    the "SEDNAWAL" header, whatever rows or buffers hold it underneath
+    — that is what lets the framing, torn-tail scan and truncation
+    logic live in exactly one place.  ``append`` must make the chunk
+    visible to a subsequent ``load`` (the OS-buffer analogue);
+    ``sync`` is the durability barrier (the fsync analogue).
+    """
+
+    #: Label carried by corruption errors out of this medium.
+    backend: str = "?"
+
+    @abstractmethod
+    def load(self) -> bytes:
+        """The full current log contents (``b""`` if absent/empty)."""
+
+    @abstractmethod
+    def append(self, chunk: bytes) -> None:
+        """Append *chunk* (a whole frame, or a deliberately torn
+        fragment under fault injection) to the stream."""
+
+    @abstractmethod
+    def sync(self) -> None:
+        """Durability barrier for everything appended so far."""
+
+    @abstractmethod
+    def truncate(self, valid_bytes: int) -> None:
+        """Drop every byte at or beyond *valid_bytes* (torn tail)."""
+
+    @abstractmethod
+    def reset(self, header: bytes) -> None:
+        """Restart the log: only *header* remains."""
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable address of the log (path, table, ...)."""
+
+
+class FileWalStore(WalStore):
+    """The classic shape: one append-only file."""
+
+    backend = "file"
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._file = None
+
+    def load(self) -> bytes:
+        if not self.path.exists():
+            return b""
+        return self.path.read_bytes()
+
+    def _handle(self):
+        if self._file is None or self._file.closed:
+            self._file = open(self.path, "ab")
+        return self._file
+
+    def append(self, chunk: bytes) -> None:
+        handle = self._handle()
+        handle.write(chunk)
+        handle.flush()
+
+    def sync(self) -> None:
+        os.fsync(self._handle().fileno())
+
+    def truncate(self, valid_bytes: int) -> None:
+        # Never append behind garbage: drop the torn tail.
+        with open(self.path, "r+b") as handle:
+            handle.truncate(valid_bytes)
+
+    def reset(self, header: bytes) -> None:
+        if self._file is not None and not self._file.closed:
+            self._file.close()
+        self._file = open(self.path, "wb")
+        self._file.write(header)
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._file is not None and not self._file.closed:
+            self._file.flush()
+            self._file.close()
+
+    def describe(self) -> str:
+        return str(self.path)
+
+
+class MemoryWalStore(WalStore):
+    """A log held in a bytearray — hermetic tests, no filesystem."""
+
+    backend = "memory"
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def load(self) -> bytes:
+        return bytes(self._buffer)
+
+    def append(self, chunk: bytes) -> None:
+        self._buffer += chunk
+
+    def sync(self) -> None:
+        pass
+
+    def truncate(self, valid_bytes: int) -> None:
+        del self._buffer[valid_bytes:]
+
+    def reset(self, header: bytes) -> None:
+        self._buffer[:] = header
+
+    def describe(self) -> str:
+        return "<memory WAL>"
+
+
+# ----------------------------------------------------------------------
+# Scanning.
+
+
+def scan_wal(data: bytes, describe: str = "WAL",
+             backend: str = "file") -> WalScan:
+    """Scan one log byte stream up to the first torn/corrupt record."""
+    if not data:
+        return WalScan()
+    if len(data) < _HEADER_LEN or data[:len(_MAGIC)] != _MAGIC:
+        raise StorageError(
+            f"{describe} is not a write-ahead log (bad magic)")
+    version = struct.unpack_from("<H", data, len(_MAGIC))[0]
+    if version != _VERSION:
+        raise StorageError(f"unsupported WAL version {version}")
+    scan = WalScan(valid_bytes=_HEADER_LEN)
+    for payload, end in iter_frames(data, start=_HEADER_LEN):
+        scan.records.append(_decode_payload(payload, backend=backend))
+        scan.valid_bytes = end
+    scan.torn_bytes = len(data) - scan.valid_bytes
+    return scan
+
+
 def read_wal(path: str | os.PathLike) -> WalScan:
     """Scan a log file up to the first torn or corrupt record."""
     path = Path(path)
     if not path.exists():
         return WalScan()
-    data = path.read_bytes()
-    if not data:
-        return WalScan()
-    if len(data) < _HEADER_LEN or data[:len(_MAGIC)] != _MAGIC:
-        raise StorageError(f"{path} is not a write-ahead log (bad magic)")
-    version = struct.unpack_from("<H", data, len(_MAGIC))[0]
-    if version != _VERSION:
-        raise StorageError(f"unsupported WAL version {version}")
-    scan = WalScan(valid_bytes=_HEADER_LEN)
-    pos = _HEADER_LEN
-    while pos < len(data):
-        if pos + 8 > len(data):
-            break  # torn frame header
-        length, crc = struct.unpack_from("<II", data, pos)
-        if pos + 8 + length > len(data):
-            break  # torn payload
-        payload = data[pos + 8:pos + 8 + length]
-        if zlib.crc32(payload) != crc:
-            break  # corrupt payload: treat as torn tail
-        scan.records.append(_decode_payload(payload))
-        pos += 8 + length
-        scan.valid_bytes = pos
-    scan.torn_bytes = len(data) - scan.valid_bytes
-    return scan
+    return scan_wal(path.read_bytes(), describe=str(path))
+
+
+def read_wal_store(store: WalStore) -> WalScan:
+    """Scan any log store up to the first torn or corrupt record."""
+    return scan_wal(store.load(), describe=store.describe(),
+                    backend=store.backend)
 
 
 class WriteAheadLog:
-    """An append-only log file with per-record CRC32 and monotone LSNs.
+    """An append-only log with per-record CRC32 and monotone LSNs.
 
-    ``sync=False`` skips the per-record ``fsync`` (the benchmarks use
-    it to separate the logging tax from the disk tax); the bytes still
-    reach the OS on every append via ``flush``.
+    *target* is a file path (wrapped in a :class:`FileWalStore`, the
+    historical constructor) or any :class:`WalStore`.  ``sync=False``
+    skips the per-record durability barrier (the benchmarks use it to
+    separate the logging tax from the disk tax); the bytes still reach
+    the store on every append.
     """
 
-    def __init__(self, path: str | os.PathLike, sync: bool = True) -> None:
-        self.path = Path(path)
+    def __init__(self, target: str | os.PathLike | WalStore,
+                 sync: bool = True) -> None:
+        if isinstance(target, WalStore):
+            self.store = target
+        else:
+            self.store = FileWalStore(target)
         self.sync = sync
         self.last_lsn = 0
         self.appends = 0
         self.bytes_written = 0
-        if self.path.exists() and self.path.stat().st_size > 0:
-            scan = read_wal(self.path)
+        self._closed = False
+        existing = self.store.load()
+        if existing:
+            scan = scan_wal(existing, describe=self.store.describe(),
+                            backend=self.store.backend)
             if scan.records:
                 self.last_lsn = scan.records[-1].lsn
             if scan.torn:
                 # Never append behind garbage: drop the torn tail.
-                with open(self.path, "r+b") as handle:
-                    handle.truncate(scan.valid_bytes)
-            self._file = open(self.path, "ab")
+                self.store.truncate(scan.valid_bytes)
         else:
-            self._file = open(self.path, "wb")
-            self._write_header()
+            self.store.reset(_HEADER)
 
-    def _write_header(self) -> None:
-        self._file.write(_MAGIC + struct.pack("<H", _VERSION))
-        self._file.flush()
+    @property
+    def path(self) -> Optional[Path]:
+        """The log file for file-backed stores (None otherwise)."""
+        return getattr(self.store, "path", None)
 
     # -- the one write path ---------------------------------------------
 
     def _append(self, kind: int, txn: int, body: bytes) -> int:
-        if self._file.closed:
+        if self._closed:
             raise StorageError("write-ahead log is closed")
         lsn = self.last_lsn + 1
-        payload = bytearray(struct.pack("<QBQ", lsn, kind, txn))
-        payload += body
-        frame = struct.pack("<II", len(payload),
-                            zlib.crc32(bytes(payload))) + payload
+        payload = struct.pack("<QBQ", lsn, kind, txn) + body
+        frame = encode_frame(payload)
         faults.fire("wal.append")
         if faults.wants("wal.append.torn"):
             # A torn write: half the frame lands, then the process dies.
-            self._file.write(frame[:max(1, len(frame) // 2)])
-            self._file.flush()
+            self.store.append(frame[:max(1, len(frame) // 2)])
             raise CrashError("wal.append.torn")
-        self._file.write(frame)
-        self._file.flush()
+        self.store.append(frame)
         faults.fire("wal.fsync")
         if self.sync:
-            os.fsync(self._file.fileno())
+            self.store.sync()
         self.last_lsn = lsn
         self.appends += 1
         self.bytes_written += len(frame)
@@ -330,51 +421,51 @@ class WriteAheadLog:
                               index: int, name: QName,
                               nid: NidLabel) -> int:
         body = bytearray()
-        _pack_nid(body, parent_nid)
+        pack_nid(body, parent_nid)
         body += struct.pack("<I", index)
-        _pack_text(body, name.uri)
-        _pack_text(body, name.local)
-        _pack_nid(body, nid)
+        pack_text(body, name.uri)
+        pack_text(body, name.local)
+        pack_nid(body, nid)
         return self._append(INSERT_ELEMENT, txn, bytes(body))
 
     def append_insert_text(self, txn: int, parent_nid: NidLabel,
                            index: int, text: str, nid: NidLabel) -> int:
         body = bytearray()
-        _pack_nid(body, parent_nid)
+        pack_nid(body, parent_nid)
         body += struct.pack("<I", index)
-        _pack_text(body, text)
-        _pack_nid(body, nid)
+        pack_text(body, text)
+        pack_nid(body, nid)
         return self._append(INSERT_TEXT, txn, bytes(body))
 
     def append_set_attribute(self, txn: int, parent_nid: NidLabel,
                              name: QName, value: str, nid: NidLabel,
                              replace: bool) -> int:
         body = bytearray()
-        _pack_nid(body, parent_nid)
-        _pack_text(body, name.uri)
-        _pack_text(body, name.local)
-        _pack_text(body, value)
+        pack_nid(body, parent_nid)
+        pack_text(body, name.uri)
+        pack_text(body, name.local)
+        pack_text(body, value)
         body += struct.pack("<B", 1 if replace else 0)
-        _pack_nid(body, nid)
+        pack_nid(body, nid)
         return self._append(SET_ATTRIBUTE, txn, bytes(body))
 
     def append_delete(self, txn: int, nid: NidLabel) -> int:
         body = bytearray()
-        _pack_nid(body, nid)
+        pack_nid(body, nid)
         return self._append(DELETE, txn, bytes(body))
 
     def append_create_index(self, txn: int, path: str, kind: str,
                             value_type: str) -> int:
         body = bytearray()
-        _pack_text(body, path)
-        _pack_text(body, kind)
-        _pack_text(body, value_type)
+        pack_text(body, path)
+        pack_text(body, kind)
+        pack_text(body, value_type)
         return self._append(CREATE_INDEX, txn, bytes(body))
 
     def append_drop_index(self, txn: int, path: str, kind: str) -> int:
         body = bytearray()
-        _pack_text(body, path)
-        _pack_text(body, kind)
+        pack_text(body, path)
+        pack_text(body, kind)
         return self._append(DROP_INDEX, txn, bytes(body))
 
     def append_load(self, txn: int, node_count: int) -> int:
@@ -388,22 +479,16 @@ class WriteAheadLog:
     def reset(self, checkpoint_lsn: int) -> None:
         """Start a fresh log after a checkpoint covering *checkpoint_lsn*.
 
-        The file is truncated and re-headed; the first record is a
-        CHECKPOINT marker.  LSNs keep counting up, so every record in
-        the fresh log is strictly beyond the image's horizon.
+        The store is restarted with just the header; the first record
+        is a CHECKPOINT marker.  LSNs keep counting up, so every record
+        in the fresh log is strictly beyond the image's horizon.
         """
-        self._file.close()
-        self._file = open(self.path, "wb")
-        self._write_header()
-        self._append(CHECKPOINT, 0,
-                     struct.pack("<Q", checkpoint_lsn))
-        if self.sync:
-            os.fsync(self._file.fileno())
+        self.store.reset(_HEADER)
+        self._append(CHECKPOINT, 0, struct.pack("<Q", checkpoint_lsn))
 
     def close(self) -> None:
-        if not self._file.closed:
-            self._file.flush()
-            self._file.close()
+        self._closed = True
+        self.store.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -412,5 +497,5 @@ class WriteAheadLog:
         self.close()
 
     def __repr__(self) -> str:
-        return (f"WriteAheadLog({str(self.path)!r}, lsn={self.last_lsn}, "
-                f"appends={self.appends})")
+        return (f"WriteAheadLog({self.store.describe()!r}, "
+                f"lsn={self.last_lsn}, appends={self.appends})")

@@ -1,0 +1,292 @@
+"""Tests for the pluggable storage backends.
+
+Fingerprinted snapshot versions (deterministic, timestamp-free),
+list/restore round-trips, eviction, incremental checkpoint
+correctness on the SQLite backend, and the legacy image matrix
+through the file backend.
+"""
+
+import pytest
+
+from repro.errors import CorruptionError, StorageError
+from repro.storage import (
+    BACKENDS,
+    FileBackend,
+    MemoryBackend,
+    SqliteBackend,
+    StorageEngine,
+    TransactionManager,
+    checkpoint,
+    load_engine,
+    recover,
+    schema_fingerprint,
+    snapshot_version,
+)
+from repro.storage.backends.base import parse_version
+from repro.storage.persist import dumps_engine
+from repro.workloads import make_library_document
+from repro.xmlio import QName, parse_document
+from repro.workloads.fixtures import EXAMPLE_8_DOCUMENT
+
+from tests.test_storage_persist import _as_legacy_v1, _as_legacy_v2
+
+
+def make_backend(name, tmp_path):
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    if name == "file":
+        return FileBackend(tmp_path / "store.img",
+                           wal_path=tmp_path / "store.wal")
+    if name == "sqlite":
+        return SqliteBackend(tmp_path / "store.db")
+    return MemoryBackend()
+
+
+@pytest.fixture(params=sorted(BACKENDS))
+def backend(request, tmp_path):
+    return make_backend(request.param, tmp_path)
+
+
+def _engine(capacity: int = 4) -> StorageEngine:
+    engine = StorageEngine(block_capacity=capacity)
+    engine.load_document(parse_document(EXAMPLE_8_DOCUMENT))
+    return engine
+
+
+def _snapshot(engine):
+    return [(engine.node_kind(d), d.nid.symbols(), d.value)
+            for d in engine.iter_document_order()]
+
+
+class TestFingerprints:
+    def test_same_state_same_fingerprint(self):
+        assert schema_fingerprint(_engine()) == \
+            schema_fingerprint(_engine())
+
+    def test_schema_shape_changes_the_fingerprint(self):
+        engine = _engine()
+        fingerprint = schema_fingerprint(engine)
+        library = engine.children(engine.document)[0]
+        engine.insert_child(library, 0, name=QName("", "novel"))
+        assert schema_fingerprint(engine) != fingerprint
+
+    def test_index_definitions_change_the_fingerprint(self):
+        engine = _engine()
+        fingerprint = schema_fingerprint(engine)
+        engine.create_index("library/book/title")
+        assert schema_fingerprint(engine) != fingerprint
+
+    def test_version_is_deterministic_and_parses(self):
+        fingerprint = schema_fingerprint(_engine())
+        version = snapshot_version(42, fingerprint)
+        assert version == snapshot_version(42, fingerprint)
+        lsn, prefix = parse_version(version)
+        assert lsn == 42
+        assert fingerprint.startswith(prefix)
+
+    def test_all_backends_agree_on_the_version(self, tmp_path):
+        versions = set()
+        for name in sorted(BACKENDS):
+            info = make_backend(name, tmp_path / name).checkpoint(
+                _engine())
+            versions.add(info.version)
+        assert len(versions) == 1
+
+
+class TestSnapshots:
+    def test_checkpoint_records_a_listed_version(self, backend):
+        info = backend.checkpoint(_engine())
+        listed = backend.list_snapshots()
+        assert [s.version for s in listed] == [info.version]
+        assert listed[0].lsn == 0
+
+    def test_restore_round_trips_exactly(self, backend):
+        engine = _engine()
+        info = backend.checkpoint(engine)
+        restored = backend.restore(info.version)
+        restored.check_invariants()
+        assert _snapshot(restored) == _snapshot(engine)
+        assert restored.relabel_count == 0
+
+    def test_each_checkpoint_version_restores_its_state(self, backend):
+        engine = _engine()
+        wal = backend.open_wal()
+        TransactionManager(engine, wal)
+        states, versions = [], []
+        states.append(_snapshot(engine))
+        versions.append(backend.checkpoint(engine, wal=wal).version)
+        library = engine.children(engine.document)[0]
+        for round_ in range(3):
+            engine.insert_child(library, 0,
+                                name=QName("", f"added{round_}"))
+            states.append(_snapshot(engine))
+            versions.append(backend.checkpoint(engine, wal=wal).version)
+        assert len(set(versions)) == len(versions)
+        for version, state in zip(versions, states):
+            assert _snapshot(backend.restore(version)) == state
+
+    def test_eviction_keeps_the_newest(self, tmp_path):
+        for name in sorted(BACKENDS):
+            backend = make_backend(name, tmp_path / name)
+            backend.max_snapshots = 2
+            engine = _engine()
+            wal = backend.open_wal()
+            TransactionManager(engine, wal)
+            library = engine.children(engine.document)[0]
+            versions = [backend.checkpoint(engine, wal=wal).version]
+            for round_ in range(3):
+                engine.insert_child(library, 0,
+                                    name=QName("", f"added{round_}"))
+                versions.append(
+                    backend.checkpoint(engine, wal=wal).version)
+            kept = [s.version for s in backend.list_snapshots()]
+            assert kept == versions[-2:], name
+            with pytest.raises(StorageError):
+                backend.restore(versions[0])
+
+    def test_restore_unknown_version_raises(self, backend):
+        backend.checkpoint(_engine())
+        with pytest.raises(StorageError, match="unknown snapshot"):
+            backend.restore("0000000099-cafecafecafe")
+
+    def test_checkpoint_empty_engine_refused(self, backend):
+        with pytest.raises(StorageError, match="empty engine"):
+            backend.checkpoint(StorageEngine())
+
+
+class TestIncrementalCheckpoints:
+    """The SQLite backend rewrites only dirty blocks; the result must
+    be indistinguishable from a full snapshot."""
+
+    def _mutate(self, engine, tag):
+        library = engine.children(engine.document)[0]
+        paper = engine.insert_child(library, 0,
+                                    name=QName("", "paper"))
+        title = engine.insert_child(paper, 0, name=QName("", "title"))
+        engine.insert_child(title, 0, text=f"Incremental {tag}")
+        engine.set_attribute(paper, QName("", "tag"), str(tag))
+
+    def test_incremental_equals_full_after_mutations(self, tmp_path):
+        engine = _engine()
+        incremental = SqliteBackend(tmp_path / "incr.db")
+        incremental.checkpoint(engine)
+        for tag in range(4):
+            self._mutate(engine, tag)
+            incremental.checkpoint(engine)
+        # A from-scratch backend checkpoints the same engine fully.
+        full = SqliteBackend(tmp_path / "full.db")
+        info = full.checkpoint(engine)
+        current = incremental.list_snapshots()[-1]
+        assert current.version == info.version
+        restored = incremental.restore(current.version)
+        restored.check_invariants()
+        assert _snapshot(restored) == \
+            _snapshot(full.restore(info.version))
+        assert _snapshot(restored) == _snapshot(engine)
+
+    def test_deletes_drop_blocks_incrementally(self, tmp_path):
+        engine = _engine()
+        backend = SqliteBackend(tmp_path / "store.db")
+        backend.checkpoint(engine)
+        library = engine.children(engine.document)[0]
+        engine.delete_subtree(engine.children(library)[0])
+        info = backend.checkpoint(engine)
+        restored = backend.restore(info.version)
+        restored.check_invariants()
+        assert _snapshot(restored) == _snapshot(engine)
+
+    def test_interleaved_consumers_keep_diffs_valid(self, tmp_path):
+        """Monolithic checkpoints between two SQLite checkpoints must
+        not blind the SQLite backend to the intervening dirt."""
+        engine = _engine()
+        sqlite_backend = SqliteBackend(tmp_path / "store.db")
+        file_backend = FileBackend(tmp_path / "store.img")
+        sqlite_backend.checkpoint(engine)
+        self._mutate(engine, "a")
+        file_backend.checkpoint(engine)  # monolithic, not a consumer
+        self._mutate(engine, "b")
+        info = sqlite_backend.checkpoint(engine)
+        restored = sqlite_backend.restore(info.version)
+        assert _snapshot(restored) == _snapshot(engine)
+
+    def test_second_sqlite_store_gets_a_full_snapshot(self, tmp_path):
+        """A different SQLite database is a different consumer: its
+        first checkpoint cannot reuse another store's diff baseline."""
+        engine = _engine()
+        first = SqliteBackend(tmp_path / "first.db")
+        first.checkpoint(engine)
+        self._mutate(engine, "x")
+        second = SqliteBackend(tmp_path / "second.db")
+        info = second.checkpoint(engine)
+        assert _snapshot(second.restore(info.version)) == \
+            _snapshot(engine)
+
+
+class TestRecoverThroughBackends:
+    def test_recover_replays_the_backend_wal(self, backend):
+        engine = _engine()
+        wal = backend.open_wal()
+        manager = TransactionManager(engine, wal)
+        checkpoint(engine, backend, wal=wal)
+        library = engine.children(engine.document)[0]
+        with manager.transaction():
+            engine.insert_child(library, 0, name=QName("", "paper"))
+        result = recover(backend)
+        assert result.backend == backend.name
+        assert result.replayed > 0
+        assert result.relabels == 0
+        assert _snapshot(result.engine) == _snapshot(engine)
+
+    def test_recover_rejects_backend_plus_wal_path(self, tmp_path,
+                                                   backend):
+        backend.checkpoint(_engine())
+        with pytest.raises(StorageError, match="not both"):
+            recover(backend, wal_path=tmp_path / "other.wal")
+
+    def test_corruption_error_is_located(self, tmp_path):
+        backend = FileBackend(tmp_path / "store.img")
+        backend.checkpoint(_engine())
+        data = bytearray((tmp_path / "store.img").read_bytes())
+        data[-1] ^= 0xFF
+        (tmp_path / "store.img").write_bytes(bytes(data))
+        with pytest.raises(CorruptionError) as info:
+            backend.load_engine()
+        assert info.value.backend == "file"
+        assert info.value.as_dict()["backend"] == "file"
+
+
+class TestLegacyImageMatrix:
+    """SEDNAPY1/2/3 images all load through the file backend."""
+
+    @pytest.fixture
+    def index_free_engine(self):
+        engine = StorageEngine(block_capacity=4)
+        engine.load_document(make_library_document(books=3, papers=2,
+                                                   seed=7))
+        return engine
+
+    @pytest.mark.parametrize("downgrade", [
+        _as_legacy_v1, _as_legacy_v2, lambda image: image,
+    ], ids=["SEDNAPY1", "SEDNAPY2", "SEDNAPY3"])
+    def test_legacy_images_load_and_recover(self, tmp_path, downgrade,
+                                            index_free_engine):
+        image = downgrade(dumps_engine(index_free_engine))
+        (tmp_path / "store.img").write_bytes(image)
+        backend = FileBackend(tmp_path / "store.img")
+        restored = backend.load_engine()
+        restored.check_invariants()
+        assert _snapshot(restored) == _snapshot(index_free_engine)
+        result = recover(backend)
+        assert result.backend == "file"
+        assert result.relabels == 0
+
+    @pytest.mark.parametrize("downgrade,magic", [
+        (_as_legacy_v1, b"SEDNAPY1"), (_as_legacy_v2, b"SEDNAPY2")],
+        ids=["SEDNAPY1", "SEDNAPY2"])
+    def test_legacy_reserialization_upgrades(self, downgrade, magic,
+                                             index_free_engine):
+        legacy = downgrade(dumps_engine(index_free_engine))
+        assert legacy[:8] == magic
+        upgraded = dumps_engine(load_engine(legacy))
+        assert upgraded[:8] == b"SEDNAPY3"
+        assert _snapshot(load_engine(upgraded)) == \
+            _snapshot(index_free_engine)

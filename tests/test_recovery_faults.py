@@ -3,7 +3,9 @@
 One workload, crashed at every named fault point (and under seeded
 probabilistic plans), must always recover to a §9-invariant-clean,
 §6.2-conformant engine holding exactly the committed transactions —
-with zero relabels (Proposition 1 across the crash).
+with zero relabels (Proposition 1 across the crash).  The matrix runs
+against every shipped :class:`StorageBackend` — the crash/recovery
+contract is backend-independent.
 """
 
 import shutil
@@ -15,7 +17,10 @@ from repro.schema import parse_schema
 from repro.storage import (
     CRASH_POINTS,
     CrashError,
+    FileBackend,
     FaultPlan,
+    MemoryBackend,
+    SqliteBackend,
     StorageEngine,
     TransactionManager,
     WriteAheadLog,
@@ -41,6 +46,20 @@ def _no_leftover_plan():
 @pytest.fixture(scope="module")
 def schema():
     return parse_schema(EXAMPLE_7_SCHEMA)
+
+
+def make_backend(name, tmp_path):
+    if name == "file":
+        return FileBackend(tmp_path / "store.img",
+                           wal_path=tmp_path / "store.wal")
+    if name == "sqlite":
+        return SqliteBackend(tmp_path / "store.db")
+    return MemoryBackend()
+
+
+@pytest.fixture(params=["file", "sqlite", "memory"])
+def backend(request, tmp_path):
+    return make_backend(request.param, tmp_path)
 
 
 def _fresh_engine():
@@ -74,7 +93,7 @@ def _add_book(engine, manager, index, tag):
             engine.insert_child(leaf, 0, text=text)
 
 
-def _run_scenario(tmp_path, plan=None):
+def _run_scenario(backend, plan=None):
     """The workload under test; returns what survived before a crash.
 
     Steps (each an explicit transaction over a 6-book store carrying
@@ -88,13 +107,11 @@ def _run_scenario(tmp_path, plan=None):
     The returned ``expected`` title list reflects exactly the
     transactions whose COMMIT made it to the log.
     """
-    image = tmp_path / "store.img"
-    wal_path = tmp_path / "store.wal"
     engine = _fresh_engine()
     initial = _titles(engine)
-    wal = WriteAheadLog(wal_path)
+    wal = backend.open_wal()
     manager = TransactionManager(engine, wal)
-    checkpoint(engine, image, wal=wal)
+    checkpoint(engine, backend, wal=wal)
 
     expected = list(initial)
     crashed_at = None
@@ -107,7 +124,7 @@ def _run_scenario(tmp_path, plan=None):
         with manager.transaction():
             engine.delete_subtree(engine.children(store)[0])
         expected.pop(0)
-        checkpoint(engine, image, wal=wal)
+        checkpoint(engine, backend, wal=wal)
         _add_book(engine, manager, len(expected), "C")
         expected.append("TC")
         engine.create_index("BookStore/Book/ISBN")
@@ -123,11 +140,13 @@ def _run_scenario(tmp_path, plan=None):
         crashed_at = crash.point
     finally:
         faults.clear()
-    return image, wal_path, expected, crashed_at
+    return expected, crashed_at
 
 
-def _assert_recovered(image, wal_path, expected, schema):
-    result = recover(image, wal_path, schema=schema, strict=True)
+def _assert_recovered(backend, expected, schema):
+    result = recover(backend, schema=schema, strict=True)
+    assert result.backend == backend.name
+    assert result.snapshot_version is not None
     engine = result.engine
     engine.check_invariants()
     assert result.relabels == 0
@@ -144,55 +163,52 @@ def _assert_recovered(image, wal_path, expected, schema):
 
 class TestCrashMatrix:
     @pytest.mark.parametrize("point", sorted(CRASH_POINTS))
-    def test_crash_at_every_point_recovers(self, tmp_path, schema,
+    def test_crash_at_every_point_recovers(self, backend, schema,
                                            point):
         plan = FaultPlan()
         plan.crash_at(point)
-        image, wal_path, expected, crashed_at = _run_scenario(
-            tmp_path, plan)
+        expected, crashed_at = _run_scenario(backend, plan)
         assert crashed_at == point, \
             f"scenario never reached fault point {point}"
-        _assert_recovered(image, wal_path, expected, schema)
+        _assert_recovered(backend, expected, schema)
 
     @pytest.mark.parametrize("point,hit", [
         ("wal.append", 5), ("wal.append", 12), ("wal.fsync", 9),
         ("wal.commit", 2), ("block.split", 2), ("descriptor.unlink", 8),
         ("index.update", 7), ("index.update", 20),
     ])
-    def test_crash_at_deeper_hits(self, tmp_path, schema, point, hit):
+    def test_crash_at_deeper_hits(self, backend, schema, point, hit):
         plan = FaultPlan()
         plan.crash_at(point, hit=hit)
-        image, wal_path, expected, crashed_at = _run_scenario(
-            tmp_path, plan)
+        expected, crashed_at = _run_scenario(backend, plan)
         assert crashed_at == point
-        _assert_recovered(image, wal_path, expected, schema)
+        _assert_recovered(backend, expected, schema)
 
     @pytest.mark.parametrize("seed", range(10))
-    def test_probabilistic_crash_sweep(self, tmp_path, schema, seed):
+    def test_probabilistic_crash_sweep(self, backend, schema, seed):
         plan = FaultPlan.probabilistic(seed=seed, rate=0.05)
-        image, wal_path, expected, _crashed_at = _run_scenario(
-            tmp_path, plan)
+        expected, _crashed_at = _run_scenario(backend, plan)
         # Whether or not (and wherever) the plan struck, recovery must
         # reproduce exactly the committed prefix.
-        _assert_recovered(image, wal_path, expected, schema)
+        _assert_recovered(backend, expected, schema)
 
-    def test_clean_run_recovers_committed_state(self, tmp_path, schema):
-        image, wal_path, expected, crashed_at = _run_scenario(tmp_path)
+    def test_clean_run_recovers_committed_state(self, backend, schema):
+        expected, crashed_at = _run_scenario(backend)
         assert crashed_at is None
-        result = _assert_recovered(image, wal_path, expected, schema)
+        result = _assert_recovered(backend, expected, schema)
         assert result.discarded_txns  # txn D was begun, never committed
         # The committed CREATE INDEX (ISBN) sits past the second
         # checkpoint's horizon, so recovery replayed the DDL record.
         assert result.index_definitions == 2
 
-    def test_proposition_1_counters_stay_zero(self, tmp_path, schema):
+    def test_proposition_1_counters_stay_zero(self, backend, schema):
         obs.reset()
         obs.enable()
         try:
             plan = FaultPlan()
             plan.crash_at("descriptor.unlink")
-            image, wal_path, expected, _ = _run_scenario(tmp_path, plan)
-            _assert_recovered(image, wal_path, expected, schema)
+            expected, _ = _run_scenario(backend, plan)
+            _assert_recovered(backend, expected, schema)
             snapshot = obs.snapshot()
             assert snapshot["numbering.relabels.sedna"] == 0
             assert snapshot["storage.relabels"] == 0
@@ -211,52 +227,67 @@ class TestIndexFaultPoints:
     a from-scratch rebuild over the recovered block lists."""
 
     @pytest.mark.parametrize("point", ["index.update", "index.rebuild"])
-    def test_recovered_indexes_bisimulate_rebuild(self, tmp_path,
+    def test_recovered_indexes_bisimulate_rebuild(self, backend,
                                                   schema, point):
         plan = FaultPlan()
         plan.crash_at(point)
-        image, wal_path, expected, crashed_at = _run_scenario(
-            tmp_path, plan)
+        expected, crashed_at = _run_scenario(backend, plan)
         assert crashed_at == point
-        result = _assert_recovered(image, wal_path, expected, schema)
+        result = _assert_recovered(backend, expected, schema)
         engine = result.engine
         maintained = engine.indexes.snapshot()
         engine.indexes.rebuild_all()
         assert engine.indexes.snapshot() == maintained
         assert result.relabels == 0
 
-    def test_crash_in_logged_build_discards_the_ddl(self, tmp_path,
+    def test_crash_in_logged_build_discards_the_ddl(self, backend,
                                                     schema):
         """``index.rebuild`` fires inside the logged CREATE INDEX on
         ISBN — its COMMIT never lands, so recovery discards the DDL
         and only the image-carried Date index survives."""
         plan = FaultPlan()
         plan.crash_at("index.rebuild")
-        image, wal_path, expected, crashed_at = _run_scenario(
-            tmp_path, plan)
+        expected, crashed_at = _run_scenario(backend, plan)
         assert crashed_at == "index.rebuild"
-        result = _assert_recovered(image, wal_path, expected, schema)
+        result = _assert_recovered(backend, expected, schema)
         assert result.index_definitions == 1
         assert [d.path for d in result.engine.indexes.definitions()] \
             == ["BookStore/Book/Date"]
 
-    def test_crash_in_maintenance_discards_the_txn(self, tmp_path,
+    def test_crash_in_maintenance_discards_the_txn(self, backend,
                                                    schema):
         """``index.update`` first fires inside txn A's first insert;
         the whole transaction is discarded and the recovered Date
         index reflects only the checkpointed six books."""
         plan = FaultPlan()
         plan.crash_at("index.update")
-        image, wal_path, expected, crashed_at = _run_scenario(
-            tmp_path, plan)
+        expected, crashed_at = _run_scenario(backend, plan)
         assert crashed_at == "index.update"
         assert "TA" not in expected
-        result = _assert_recovered(image, wal_path, expected, schema)
+        result = _assert_recovered(backend, expected, schema)
         date_index = result.engine.indexes.get("BookStore/Book/Date")
         assert date_index.stats()["entries"] == len(expected)
 
 
 class TestCheckpointAtomicity:
+    def test_torn_write_leaves_old_snapshot_intact(self, backend):
+        """Backend-independent torn-write atomicity: after a crash
+        mid-snapshot, the backend still serves the previous state."""
+        engine = _fresh_engine()
+        backend.checkpoint(engine)
+        before = _titles(backend.load_engine())
+        store = engine.children(engine.document)[0]
+        engine.delete_subtree(engine.children(store)[0])
+        plan = FaultPlan()
+        plan.crash_at("persist.write.torn")
+        faults.install(plan)
+        with pytest.raises(CrashError):
+            backend.checkpoint(engine)
+        faults.clear()
+        survivor = backend.load_engine()
+        survivor.check_invariants()
+        assert _titles(survivor) == before
+
     def test_torn_image_write_leaves_old_image_intact(self, tmp_path):
         image = tmp_path / "store.img"
         engine = _fresh_engine()
@@ -308,3 +339,7 @@ class TestCheckpointAtomicity:
     def test_recover_missing_image_raises(self, tmp_path):
         with pytest.raises(RecoveryError):
             recover(tmp_path / "absent.img")
+
+    def test_recover_empty_backend_raises(self, backend):
+        with pytest.raises(RecoveryError):
+            recover(backend)

@@ -1,19 +1,36 @@
-"""Tests for the write-ahead log and the transaction manager."""
+"""Tests for the write-ahead log and the transaction manager.
+
+The log format, torn-tail rule and transaction semantics are
+medium-independent: the suite parametrizes over every shipped
+:class:`WalStore` (file, sqlite rows, in-memory)."""
 
 import pytest
 
 from repro.errors import ReproError, StorageError, UpdateError
 from repro.storage import (
+    FileWalStore,
+    MemoryWalStore,
+    SqliteBackend,
     StorageEngine,
     Transaction,
     TransactionManager,
     WriteAheadLog,
     equal,
     read_wal,
+    read_wal_store,
 )
 from repro.storage import wal as walmod
 from repro.xmlio import QName, parse_document
 from repro.workloads.fixtures import EXAMPLE_8_DOCUMENT
+
+
+@pytest.fixture(params=["file", "sqlite", "memory"])
+def wal_store(request, tmp_path):
+    if request.param == "file":
+        return FileWalStore(tmp_path / "test.wal")
+    if request.param == "sqlite":
+        return SqliteBackend(tmp_path / "wal.db").wal_store()
+    return MemoryWalStore()
 
 
 def _engine(capacity: int = 4) -> StorageEngine:
@@ -22,9 +39,9 @@ def _engine(capacity: int = 4) -> StorageEngine:
     return engine
 
 
-def _attached(tmp_path, capacity: int = 4, strict: bool = False):
+def _attached(wal_store, capacity: int = 4, strict: bool = False):
     engine = _engine(capacity)
-    wal = WriteAheadLog(tmp_path / "test.wal")
+    wal = WriteAheadLog(wal_store)
     manager = TransactionManager(engine, wal, strict=strict)
     return engine, wal, manager
 
@@ -39,9 +56,8 @@ def _snapshot(engine):
 
 
 class TestWalFormat:
-    def test_roundtrip_and_monotonic_lsns(self, tmp_path):
-        path = tmp_path / "a.wal"
-        wal = WriteAheadLog(path)
+    def test_roundtrip_and_monotonic_lsns(self, wal_store):
+        wal = WriteAheadLog(wal_store)
         nid = _engine().document.nid
         wal.append_begin(1)
         wal.append_insert_element(1, nid, 0, QName("", "book"), nid)
@@ -52,7 +68,7 @@ class TestWalFormat:
         wal.append_commit(1)
         wal.close()
 
-        scan = read_wal(path)
+        scan = read_wal_store(wal_store)
         assert [r.kind for r in scan.records] == [
             walmod.BEGIN, walmod.INSERT_ELEMENT, walmod.INSERT_TEXT,
             walmod.SET_ATTRIBUTE, walmod.DELETE, walmod.COMMIT]
@@ -68,60 +84,66 @@ class TestWalFormat:
         assert attribute.text == "2004"
         assert attribute.replace is False
 
-    def test_reopen_continues_lsns(self, tmp_path):
-        path = tmp_path / "a.wal"
-        wal = WriteAheadLog(path)
+    def test_reopen_continues_lsns(self, wal_store):
+        wal = WriteAheadLog(wal_store)
         wal.append_begin(1)
         wal.append_commit(1)
         wal.close()
-        wal = WriteAheadLog(path)
+        wal = WriteAheadLog(wal_store)
         assert wal.last_lsn == 2
         wal.append_begin(2)
         wal.close()
-        assert [r.lsn for r in read_wal(path).records] == [1, 2, 3]
+        assert [r.lsn for r in read_wal_store(wal_store).records] \
+            == [1, 2, 3]
 
-    def test_crc_corruption_drops_the_tail(self, tmp_path):
-        path = tmp_path / "a.wal"
-        wal = WriteAheadLog(path)
+    def test_crc_corruption_drops_the_tail(self, wal_store):
+        wal = WriteAheadLog(wal_store)
         wal.append_begin(1)
-        offset_after_first = path.stat().st_size
+        offset_after_first = len(wal_store.load())
         wal.append_commit(1)
         wal.close()
-        data = bytearray(path.read_bytes())
+        data = bytearray(wal_store.load())
         # Flip a payload byte of the second record: its CRC fails and
         # the scan must stop after the first.
         data[-1] ^= 0xFF
-        path.write_bytes(bytes(data))
-        scan = read_wal(path)
+        wal_store.reset(bytes(data))
+        scan = read_wal_store(wal_store)
         assert [r.kind for r in scan.records] == [walmod.BEGIN]
         assert scan.torn
         assert scan.valid_bytes == offset_after_first
 
     def test_torn_tail_is_detected_and_truncated_on_reopen(self,
-                                                           tmp_path):
-        path = tmp_path / "a.wal"
-        wal = WriteAheadLog(path)
+                                                           wal_store):
+        wal = WriteAheadLog(wal_store)
         wal.append_begin(1)
         wal.close()
-        intact = path.read_bytes()
-        path.write_bytes(intact + b"\x30\x00\x00\x00\xAA")  # half frame
-        scan = read_wal(path)
+        wal_store.append(b"\x30\x00\x00\x00\xAA")  # half frame
+        scan = read_wal_store(wal_store)
         assert scan.torn and scan.torn_bytes == 5
         assert [r.kind for r in scan.records] == [walmod.BEGIN]
         # Reopening for append truncates the torn tail away.
-        wal = WriteAheadLog(path)
+        wal = WriteAheadLog(wal_store)
         wal.append_commit(1)
         wal.close()
-        scan = read_wal(path)
+        scan = read_wal_store(wal_store)
         assert not scan.torn
         assert [r.kind for r in scan.records] == [walmod.BEGIN,
                                                   walmod.COMMIT]
 
-    def test_not_a_wal(self, tmp_path):
+    def test_not_a_wal(self, wal_store):
+        wal_store.reset(b"NOTAWAL0\x01")
+        with pytest.raises(StorageError):
+            read_wal_store(wal_store)
+
+    def test_not_a_wal_file(self, tmp_path):
         path = tmp_path / "bad.wal"
         path.write_bytes(b"NOTAWAL0\x01")
         with pytest.raises(StorageError):
             read_wal(path)
+
+    def test_fresh_store_is_an_empty_scan(self, wal_store):
+        scan = read_wal_store(wal_store)
+        assert scan.records == [] and not scan.torn
 
     def test_missing_file_is_an_empty_scan(self, tmp_path):
         scan = read_wal(tmp_path / "absent.wal")
@@ -129,22 +151,22 @@ class TestWalFormat:
 
 
 class TestTransactions:
-    def test_commit_logs_before_and_commits(self, tmp_path):
-        engine, wal, manager = _attached(tmp_path)
+    def test_commit_logs_before_and_commits(self, wal_store):
+        engine, wal, manager = _attached(wal_store)
         library = _library(engine)
         with manager.transaction():
             paper = engine.insert_child(library, 0,
                                         name=QName("", "paper"))
             engine.insert_child(paper, 0, name=QName("", "title"))
         wal.close()
-        scan = read_wal(tmp_path / "test.wal")
+        scan = read_wal_store(wal_store)
         kinds = [r.kind for r in scan.records]
         assert kinds == [walmod.BEGIN, walmod.INSERT_ELEMENT,
                          walmod.INSERT_ELEMENT, walmod.COMMIT]
         assert scan.committed_txns() == {1}
 
-    def test_rollback_insert(self, tmp_path):
-        engine, wal, manager = _attached(tmp_path)
+    def test_rollback_insert(self, wal_store):
+        engine, wal, manager = _attached(wal_store)
         library = _library(engine)
         before_image = _snapshot(engine)
         with pytest.raises(RuntimeError, match="boom"):
@@ -153,12 +175,12 @@ class TestTransactions:
                 raise RuntimeError("boom")
         assert _snapshot(engine) == before_image
         engine.check_invariants()
-        scan = read_wal(tmp_path / "test.wal")
+        scan = read_wal_store(wal_store)
         assert scan.records[-1].kind == walmod.ABORT
         assert scan.committed_txns() == set()
 
-    def test_rollback_set_attribute_new_and_replace(self, tmp_path):
-        engine, wal, manager = _attached(tmp_path)
+    def test_rollback_set_attribute_new_and_replace(self, wal_store):
+        engine, wal, manager = _attached(wal_store)
         book = engine.children(_library(engine))[0]
         engine.set_attribute(book, QName("", "lang"), "en")
         before_image = _snapshot(engine)
@@ -174,8 +196,8 @@ class TestTransactions:
         engine.check_invariants()
 
     def test_rollback_delete_restores_subtree_label_exactly(self,
-                                                            tmp_path):
-        engine, wal, manager = _attached(tmp_path)
+                                                            wal_store):
+        engine, wal, manager = _attached(wal_store)
         library = _library(engine)
         before_image = _snapshot(engine)
         with pytest.raises(RuntimeError):
@@ -185,8 +207,8 @@ class TestTransactions:
         assert _snapshot(engine) == before_image
         engine.check_invariants()
 
-    def test_explicit_begin_commit_and_no_nesting(self, tmp_path):
-        engine, wal, manager = _attached(tmp_path)
+    def test_explicit_begin_commit_and_no_nesting(self, wal_store):
+        engine, wal, manager = _attached(wal_store)
         txn = manager.begin()
         assert isinstance(txn, Transaction)
         with pytest.raises(UpdateError):
@@ -197,18 +219,18 @@ class TestTransactions:
         with pytest.raises(UpdateError):
             manager.rollback()
 
-    def test_autocommit_wraps_unmanaged_mutations(self, tmp_path):
-        engine, wal, manager = _attached(tmp_path)
+    def test_autocommit_wraps_unmanaged_mutations(self, wal_store):
+        engine, wal, manager = _attached(wal_store)
         library = _library(engine)
         engine.insert_child(library, 0, name=QName("", "paper"))
         wal.close()
-        scan = read_wal(tmp_path / "test.wal")
+        scan = read_wal_store(wal_store)
         assert [r.kind for r in scan.records] == [
             walmod.BEGIN, walmod.INSERT_ELEMENT, walmod.COMMIT]
 
-    def test_strict_commit_rejects_corrupt_state(self, tmp_path,
+    def test_strict_commit_rejects_corrupt_state(self, wal_store,
                                                  monkeypatch):
-        engine, wal, manager = _attached(tmp_path, strict=True)
+        engine, wal, manager = _attached(wal_store, strict=True)
         library = _library(engine)
 
         def broken():
@@ -224,11 +246,11 @@ class TestTransactions:
         assert manager.active is None
         assert txn.state == "aborted"
         engine.check_invariants()
-        scan = read_wal(tmp_path / "test.wal")
+        scan = read_wal_store(wal_store)
         assert scan.committed_txns() == set()
 
-    def test_one_manager_per_engine(self, tmp_path):
-        engine, wal, manager = _attached(tmp_path)
+    def test_one_manager_per_engine(self, wal_store):
+        engine, wal, manager = _attached(wal_store)
         with pytest.raises(StorageError):
             TransactionManager(engine, wal)
         manager.detach()
