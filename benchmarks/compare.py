@@ -1,0 +1,236 @@
+"""Perf-regression comparator over ``run_all.py --json`` reports.
+
+Diffs a fresh benchmark report against a committed baseline with
+per-metric tolerances — the CI gate that keeps the numbers honest::
+
+    PYTHONPATH=src python -m benchmarks.compare BASELINE.json FRESH.json
+
+Exit status: ``0`` within tolerance, ``1`` regression detected, ``2``
+refused (the reports are not comparable).
+
+What gets compared depends on how comparable the two runs are, judged
+from each report's ``meta`` stamp (git SHA, timestamp, interpreter,
+host, scales — written by :func:`benchmarks.run_all.run_metadata`):
+
+* **refused** outright when either report has no ``meta`` stamp or the
+  ``format`` numbers differ — a diff across report layouts proves
+  nothing;
+* **machine-independent ratios** are compared always, over the
+  (path, scale) / (case, scale) records both reports contain at
+  scale >= 100 (smaller workloads are noise-floor territory): the
+  cached-vs-uncached speedup and the index-vs-scan speedup must not
+  drop by more than the ratio tolerance (default 25%), and the summary
+  gate booleans must not flip from met to unmet (booleans are only
+  compared between runs of the same kind — smoke vs full runs gate
+  different scales);
+* **raw numbers** — cached-route ops/sec (>20% drop fails) and the
+  ``query.latency.ns`` p99 (>2x blowup fails) — are compared only when
+  the interpreter and host match, since ops/sec on different hardware
+  is weather, not signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Records below this scale are never compared: sub-100 workloads run
+#: in microseconds, where fixed overheads and the timing methodology
+#: (smoke runs use fewer best-of rounds) dominate the signal.
+MIN_COMPARE_SCALE = 100
+
+#: Raw ops/sec may drop by at most this fraction on the same machine.
+OPS_TOLERANCE = 0.20
+#: Machine-independent speedup ratios may drop by at most this much.
+RATIO_TOLERANCE = 0.25
+#: The query-latency p99 may grow by at most this factor.
+P99_BLOWUP = 2.0
+
+#: Summary booleans that must never flip from met to unmet between
+#: two runs of the same kind (both smoke or both full).
+SUMMARY_GATES = (
+    "obs_overhead_under_5pct",
+    "index_speedup_3x_met",
+    "ddl_invalidation_exact",
+    "bulk_load_faster",
+    "checkpoint_incremental_10x_met",
+    "min_cached_vs_uncached_1_5x_met",
+    "speedup_2x_met",
+)
+
+#: ``meta`` keys that must all match before raw numbers are compared.
+MACHINE_KEYS = ("python", "implementation", "machine", "system", "host")
+
+
+class Refusal(Exception):
+    """The two reports cannot be meaningfully compared."""
+
+
+def _load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except FileNotFoundError:
+        raise Refusal(f"{path}: no such report")
+    except json.JSONDecodeError as error:
+        raise Refusal(f"{path}: not a JSON report ({error})")
+
+
+def _meta(report: dict, label: str) -> dict:
+    meta = report.get("meta")
+    if not isinstance(meta, dict):
+        raise Refusal(
+            f"{label} report carries no 'meta' stamp — regenerate it "
+            "with a current benchmarks/run_all.py before comparing")
+    return meta
+
+
+def check_comparable(baseline: dict, fresh: dict) -> dict:
+    """Raise :class:`Refusal` unless the reports can be diffed; return
+    ``{"same_machine": bool, "same_kind": bool}`` describing how far
+    the comparison may go."""
+    base_meta = _meta(baseline, "baseline")
+    fresh_meta = _meta(fresh, "fresh")
+    if base_meta.get("format") != fresh_meta.get("format"):
+        raise Refusal(
+            f"report format mismatch: baseline is format "
+            f"{base_meta.get('format')!r}, fresh is format "
+            f"{fresh_meta.get('format')!r} — cross-version comparisons "
+            "are refused")
+    return {
+        "same_machine": all(base_meta.get(key) == fresh_meta.get(key)
+                            for key in MACHINE_KEYS),
+        "same_kind": base_meta.get("smoke") == fresh_meta.get("smoke"),
+    }
+
+
+def _by_key(records, *keys):
+    return {tuple(r[k] for k in keys): r for r in records}
+
+
+def compare(baseline: dict, fresh: dict,
+            ops_tolerance: float = OPS_TOLERANCE,
+            ratio_tolerance: float = RATIO_TOLERANCE,
+            p99_blowup: float = P99_BLOWUP) -> list:
+    """All regressions as ``(metric, baseline, fresh, message)`` rows."""
+    scope = check_comparable(baseline, fresh)
+    failures = []
+
+    def ratio_drop(name, base_value, fresh_value, tolerance):
+        if base_value <= 0:
+            return
+        drop = 1.0 - fresh_value / base_value
+        if drop > tolerance:
+            failures.append((name, base_value, fresh_value,
+                             f"dropped {drop:.1%} "
+                             f"(tolerance {tolerance:.0%})"))
+
+    base_records = _by_key(baseline.get("records", ()), "path", "scale")
+    fresh_records = _by_key(fresh.get("records", ()), "path", "scale")
+    for key in sorted(base_records.keys() & fresh_records.keys()):
+        if key[1] < MIN_COMPARE_SCALE:
+            continue
+        base, new = base_records[key], fresh_records[key]
+        label = f"{key[0]}@{key[1]}"
+        ratio_drop(f"cached_vs_uncached[{label}]",
+                   base["cached_vs_uncached"],
+                   new["cached_vs_uncached"], ratio_tolerance)
+        if scope["same_machine"]:
+            ratio_drop(f"ops_cached_plan[{label}]",
+                       base["ops_cached_plan"],
+                       new["ops_cached_plan"], ops_tolerance)
+
+    base_indexes = _by_key(
+        baseline.get("indexes", {}).get("records", ()), "case", "scale")
+    fresh_indexes = _by_key(
+        fresh.get("indexes", {}).get("records", ()), "case", "scale")
+    for key in sorted(base_indexes.keys() & fresh_indexes.keys()):
+        if key[1] < MIN_COMPARE_SCALE:
+            continue
+        base, new = base_indexes[key], fresh_indexes[key]
+        ratio_drop(f"index_vs_scan[{key[0]}@{key[1]}]",
+                   base["index_vs_scan"], new["index_vs_scan"],
+                   ratio_tolerance)
+
+    if scope["same_machine"]:
+        base_metrics = baseline.get("metrics", {})
+        fresh_metrics = fresh.get("metrics", {})
+        if base_metrics.get("scale") == fresh_metrics.get("scale"):
+            base_p99 = base_metrics.get("registry", {}).get(
+                "query.latency.ns", {})
+            fresh_p99 = fresh_metrics.get("registry", {}).get(
+                "query.latency.ns", {})
+            if isinstance(base_p99, dict) and isinstance(fresh_p99, dict) \
+                    and base_p99.get("p99", 0) > 0:
+                blowup = fresh_p99.get("p99", 0) / base_p99["p99"]
+                if blowup > p99_blowup:
+                    failures.append((
+                        "query.latency.ns.p99", base_p99["p99"],
+                        fresh_p99["p99"],
+                        f"blew up {blowup:.1f}x "
+                        f"(tolerance {p99_blowup:.1f}x)"))
+
+    if scope["same_kind"]:
+        base_summary = baseline.get("summary", {})
+        fresh_summary = fresh.get("summary", {})
+        for gate in SUMMARY_GATES:
+            if base_summary.get(gate) is True \
+                    and fresh_summary.get(gate) is False:
+                failures.append((f"summary.{gate}", True, False,
+                                 "gate flipped from met to unmet"))
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path,
+                        help="committed BENCH_query.json")
+    parser.add_argument("fresh", type=Path,
+                        help="freshly generated report")
+    parser.add_argument("--ops-tolerance", type=float,
+                        default=OPS_TOLERANCE,
+                        help="max fractional ops/sec drop (same host)")
+    parser.add_argument("--ratio-tolerance", type=float,
+                        default=RATIO_TOLERANCE,
+                        help="max fractional speedup-ratio drop")
+    parser.add_argument("--p99-blowup", type=float, default=P99_BLOWUP,
+                        help="max p99 latency growth factor (same host)")
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = _load(args.baseline)
+        fresh = _load(args.fresh)
+        scope = check_comparable(baseline, fresh)
+        failures = compare(baseline, fresh,
+                           ops_tolerance=args.ops_tolerance,
+                           ratio_tolerance=args.ratio_tolerance,
+                           p99_blowup=args.p99_blowup)
+    except Refusal as refusal:
+        print(f"refused: {refusal}", file=sys.stderr)
+        return 2
+
+    base_meta, fresh_meta = baseline["meta"], fresh["meta"]
+    print(f"baseline: {base_meta['git_sha'][:12]} "
+          f"({base_meta['timestamp']}, "
+          f"python {base_meta['python']} on {base_meta['host']})")
+    print(f"fresh:    {fresh_meta['git_sha'][:12]} "
+          f"({fresh_meta['timestamp']}, "
+          f"python {fresh_meta['python']} on {fresh_meta['host']})")
+    print(f"scope:    ratios"
+          + (", raw ops + p99" if scope["same_machine"]
+             else " only (different machine/interpreter)")
+          + ("" if scope["same_kind"]
+             else "; summary gates skipped (smoke vs full)"))
+    if not failures:
+        print("OK: no perf regression beyond tolerance")
+        return 0
+    print(f"FAIL: {len(failures)} regression(s):")
+    for name, base_value, fresh_value, message in failures:
+        print(f"  {name}: {base_value} -> {fresh_value} — {message}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,11 @@ Usage::
     python -m repro inspect DOCUMENT.xml [--json]
     python -m repro stats DOCUMENT.xml [--path PATH ...] [--json]
     python -m repro explain DOCUMENT.xml PATH [--json]
+    python -m repro metrics DOCUMENT.xml [--path PATH ...]
+                            [--prom | --json]
+    python -m repro top DOCUMENT.xml [--path PATH ...] [--repeat N]
+                        [--slow-ms MS] [--json]
+    python -m repro trace DOCUMENT.xml PATH [--out FILE]
     python -m repro checkpoint DOCUMENT.xml TARGET [--backend file|sqlite]
                                [--wal WAL] [--json]
     python -m repro recover TARGET [--backend file|sqlite] [--wal WAL]
@@ -39,6 +44,16 @@ verifies one restores); ``index`` declares a
 secondary index (typed-value or path) over a loaded document, reports
 its statistics, and optionally probes it or EXPLAINs a query through
 it.
+
+The operator surfaces ride on the always-on telemetry tier:
+``metrics`` scrapes the registry after a load-and-query run — as the
+Prometheus text exposition format (``--prom``) or structured JSON with
+counters, gauges and histogram percentiles; ``top`` runs a repeated
+query workload and prints the aggregated live view (query rates and
+latency percentiles, cache hit rates, WAL/checkpoint latencies), with
+``--slow-ms`` arming the slow-query log and appending its JSON-lines
+events; ``trace`` records a cold+warm evaluation with span tracing on
+and exports Chrome-trace-viewer JSON.
 """
 
 from __future__ import annotations
@@ -159,9 +174,18 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_instrument(value) -> str:
+    """One metrics line: scalars verbatim, histogram summaries compact."""
+    if isinstance(value, dict):
+        return (f"n={value['count']} mean={value['mean']:.0f} "
+                f"p50={value['p50']:.0f} p95={value['p95']:.0f} "
+                f"p99={value['p99']:.0f}")
+    return str(value)
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Load (and optionally query) with observability on, then print
-    every counter the instrumented layers recorded."""
+    every instrument the instrumented layers recorded."""
     obs.reset()
     obs.enable()
     try:
@@ -173,7 +197,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         snapshot = obs.snapshot()
         if args.json:
             print(json.dumps({"document": args.document,
-                              "metrics": snapshot}, indent=2))
+                              "metrics": snapshot,
+                              "instruments": obs.REGISTRY.structured(),
+                              "statistics": engine.stats.export()},
+                             indent=2))
             return 0
         print(f"metrics for {args.document}:")
         section = None
@@ -182,7 +209,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             if prefix != section:
                 section = prefix
                 print(f"  [{section}]")
-            print(f"    {name:40s} {snapshot[name]}")
+            print(f"    {name:40s} "
+                  f"{_format_instrument(snapshot[name])}")
         return 0
     finally:
         obs.disable()
@@ -210,6 +238,146 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         print(cold.render())
         print("-- warm (plan cache hit) --")
         print(warm.render())
+        return 0
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Scrape the always-on telemetry registry after a load-and-query
+    run — Prometheus text exposition, structured JSON, or readable."""
+    obs.reset()
+    try:
+        engine = StorageEngine()
+        engine.load_document(parse_document(_read(args.document)))
+        queries = StorageQueryEngine(engine)
+        for path in args.path or ():
+            queries.evaluate(path)
+        if args.prom:
+            print(obs.render_prometheus(obs.REGISTRY))
+            return 0
+        structured = obs.REGISTRY.structured()
+        if args.json:
+            print(json.dumps({"document": args.document, **structured},
+                             indent=2))
+            return 0
+        print(f"telemetry for {args.document}:")
+        for group in ("counters", "gauges", "histograms"):
+            if not structured[group]:
+                continue
+            print(f"  [{group}]")
+            for name in sorted(structured[group]):
+                print(f"    {name:40s} "
+                      f"{_format_instrument(structured[group][name])}")
+        return 0
+    finally:
+        obs.reset()
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Run a repeated query workload and print the aggregated live
+    view: query rates and latency percentiles, cache hit rates,
+    WAL/checkpoint latencies — plus slow-query events if armed."""
+    obs.reset()
+    if args.slow_ms is not None:
+        obs.set_slow_query_threshold(args.slow_ms / 1000.0)
+    try:
+        engine = StorageEngine()
+        engine.load_document(parse_document(_read(args.document)))
+        queries = StorageQueryEngine(engine)
+        paths = args.path or ["/"]
+        for _ in range(args.repeat):
+            for path in paths:
+                queries.evaluate(path)
+        registry = obs.REGISTRY
+        latency = registry.histogram("query.latency.ns").summary()
+        caches = queries.cache_stats()
+        evaluated = registry.value("query.evaluations")
+        rate = (evaluated / (latency["sum"] / 1e9)
+                if latency["sum"] else 0.0)
+        report = {
+            "document": args.document,
+            "paths": paths,
+            "repeat": args.repeat,
+            "queries": {
+                "evaluations": evaluated,
+                "per_second": round(rate, 1),
+                "latency_ns": latency,
+                "slow": registry.value("query.slow"),
+            },
+            "caches": caches,
+            "wal": {
+                "append_ns":
+                    registry.histogram("wal.append.ns").summary(),
+                "sync_ns":
+                    registry.histogram("wal.sync.ns").summary(),
+            },
+            "checkpoints": {
+                name.split(".", 1)[1]: value
+                for name, value in registry.snapshot().items()
+                if name.startswith("checkpoint.")
+            },
+            "storage": {
+                "descriptors": engine.stats.total_descriptors(),
+                "bytes": engine.stats.total_bytes(),
+                "blocks": engine.block_count(),
+            },
+        }
+        slow_events = obs.EVENTS.find("query.slow")
+        if args.json:
+            if slow_events:
+                report["slow_events"] = [e.as_dict()
+                                         for e in slow_events]
+            print(json.dumps(report, indent=2))
+            return 0
+        print(f"top — {args.document} "
+              f"({args.repeat}x {len(paths)} path(s))")
+        print(f"  queries:     {evaluated} evaluated, "
+              f"{report['queries']['per_second']}/s, "
+              f"{report['queries']['slow']} slow")
+        print(f"  latency:     {_format_instrument(latency)}")
+        print(f"  plan cache:  {caches['plan_hit_rate']:.1%} hit rate "
+              f"({caches['plan_hits']} hits, "
+              f"{caches['plan_misses']} misses)")
+        print(f"  parse cache: {caches['parse_hit_rate']:.1%} hit rate")
+        wal_append = report["wal"]["append_ns"]
+        if wal_append["count"]:
+            print(f"  wal append:  {_format_instrument(wal_append)}")
+        for name, value in report["checkpoints"].items():
+            print(f"  checkpoint {name:10s} {_format_instrument(value)}")
+        print(f"  storage:     {report['storage']['descriptors']} "
+              f"descriptors, {report['storage']['bytes']} bytes, "
+              f"{report['storage']['blocks']} blocks")
+        if slow_events:
+            print("slow queries (JSON lines):")
+            print(obs.EVENTS.to_jsonl())
+        return 0
+    finally:
+        obs.set_slow_query_threshold(None)
+        obs.reset()
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Record a cold+warm evaluation with span tracing on and export
+    Chrome-trace-viewer JSON (chrome://tracing, Perfetto)."""
+    obs.reset()
+    obs.enable(tracing=True)
+    try:
+        engine = StorageEngine()
+        engine.load_document(parse_document(_read(args.document)))
+        queries = StorageQueryEngine(engine)
+        queries.evaluate(args.path)  # cold: compile + execute
+        queries.evaluate(args.path)  # warm: plan cache hit
+        trace = obs.TRACER.chrome_trace()
+        payload = json.dumps(trace, indent=2)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {len(trace['traceEvents'])} span(s) to "
+                  f"{args.out}")
+        else:
+            print(payload)
         return 0
     finally:
         obs.disable()
@@ -456,6 +624,41 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--json", action="store_true",
                          help="emit both EXPLAIN records as JSON")
     explain.set_defaults(handler=_cmd_explain)
+
+    metrics = commands.add_parser(
+        "metrics", help="scrape the always-on telemetry registry")
+    metrics.add_argument("document")
+    metrics.add_argument("--path", action="append", default=None,
+                         help="also evaluate PATH (repeatable)")
+    group = metrics.add_mutually_exclusive_group()
+    group.add_argument("--prom", action="store_true",
+                       help="Prometheus text exposition format")
+    group.add_argument("--json", action="store_true",
+                       help="structured JSON: counters, gauges, "
+                            "histogram percentiles")
+    metrics.set_defaults(handler=_cmd_metrics)
+
+    top = commands.add_parser(
+        "top", help="repeated workload: rates, percentiles, caches")
+    top.add_argument("document")
+    top.add_argument("--path", action="append", default=None,
+                     help="workload path (repeatable; default '/')")
+    top.add_argument("--repeat", type=int, default=100,
+                     help="evaluations per path (default: 100)")
+    top.add_argument("--slow-ms", type=float, default=None,
+                     dest="slow_ms", metavar="MS",
+                     help="arm the slow-query log at MS milliseconds")
+    top.add_argument("--json", action="store_true",
+                     help="emit the aggregated view as JSON")
+    top.set_defaults(handler=_cmd_top)
+
+    trace = commands.add_parser(
+        "trace", help="export a cold+warm trace as Chrome-trace JSON")
+    trace.add_argument("document")
+    trace.add_argument("path")
+    trace.add_argument("--out", default=None,
+                       help="write the trace JSON to FILE")
+    trace.set_defaults(handler=_cmd_trace)
 
     checkpoint = commands.add_parser(
         "checkpoint", help="persist a document through a storage backend")

@@ -95,7 +95,7 @@ class NumberingBaseline:
     def __init__(self, tree: SimTree) -> None:
         self.tree = tree
         self.relabel_count = 0
-        if obs.ENABLED:
+        if obs.RECORDING:
             # Materialize the per-scheme relabel counter at zero so a
             # scheme that never relabels (Proposition 1) still reports
             # an explicit 0 in every metrics snapshot.
@@ -107,7 +107,7 @@ class NumberingBaseline:
         if count <= 0:
             return
         self.relabel_count += count
-        if obs.ENABLED:
+        if obs.RECORDING:
             obs.REGISTRY.counter(
                 f"numbering.relabels.{self.name}").inc(count)
 

@@ -35,7 +35,8 @@ class QueryExplain:
     __slots__ = ("path", "strategy", "plan_cache", "parse_cache",
                  "schema_nodes_scanned", "pruned_schema_nodes",
                  "axis_steps", "nodes_visited", "nodes_returned",
-                 "elapsed_s", "index_used", "compiled", "stage_ns")
+                 "elapsed_s", "index_used", "compiled", "stage_ns",
+                 "not_lowerable_reason")
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -62,6 +63,9 @@ class QueryExplain:
         #: Per-stage ``(name, elapsed_ns)`` pairs of the closure chain,
         #: source first; empty for interpreted runs.
         self.stage_ns: list = []
+        #: Why lowering declined this plan (empty when the plan
+        #: compiled, or no lowering was attempted yet).
+        self.not_lowerable_reason = ""
 
     def as_dict(self) -> dict:
         return {
@@ -77,6 +81,7 @@ class QueryExplain:
             "nodes_returned": self.nodes_returned,
             "elapsed_s": self.elapsed_s,
             "compiled": self.compiled,
+            "not_lowerable_reason": self.not_lowerable_reason,
             "stage_ns": [[name, elapsed] for name, elapsed
                          in self.stage_ns],
         }
@@ -97,6 +102,9 @@ class QueryExplain:
             f"  elapsed:            {self.elapsed_s * 1e3:.3f}ms",
             f"  compiled:           {'yes' if self.compiled else 'no'}",
         ]
+        if not self.compiled and self.not_lowerable_reason:
+            lines.append(
+                f"  not lowerable:      {self.not_lowerable_reason}")
         for name, elapsed_ns in self.stage_ns:
             lines.append(
                 f"    stage {name + ':':<22}{elapsed_ns / 1e6:.3f}ms")

@@ -15,9 +15,11 @@ Two usage modes keep the hot paths honest:
   instrument ``inc`` is a plain attribute add, no cheaper mechanism
   exists;
 * **optional instrumentation** (block splits, axis steps, FLWOR
-  timings) is guarded by the module flag ``repro.obs.ENABLED`` at the
-  call site, so the disabled path costs one attribute test and nothing
-  else.
+  timings) is guarded at the call site by ``repro.obs.RECORDING`` —
+  the derived flag that is true when either the always-on telemetry
+  tier (``repro.obs.TELEMETRY``) or full diagnostics
+  (``repro.obs.ENABLED``) is active — so the disabled path costs one
+  attribute test and nothing else.
 
 Instrument names are dotted paths (``storage.blocks.split``); the
 registry keeps them unique and type-stable (asking for a counter under
@@ -26,7 +28,14 @@ a gauge's name is an error, not a silent cast).
 
 from __future__ import annotations
 
+import re
 from typing import Dict, Iterator, Union
+
+#: Ring size of the histogram's sliding window — the sample the
+#: percentiles are computed over.  512 recent observations bound both
+#: memory and the sort cost of a percentile query while giving p99 a
+#: meaningful tail (≥ 5 samples above it).
+DEFAULT_WINDOW = 512
 
 
 class Counter:
@@ -71,20 +80,30 @@ class Gauge:
 
 
 class Histogram:
-    """A streaming summary of observed values (count/sum/min/max/mean).
+    """Streaming aggregates plus a sliding window for percentiles.
 
-    Full bucketing is deliberately omitted: the benchmark harness wants
-    cheap aggregates it can diff across runs, not percentile estimates.
+    ``observe`` is O(1) and allocation-free on the steady state: the
+    running count/sum/min/max update, and the value lands in a
+    preallocated ring of the most recent :data:`DEFAULT_WINDOW`
+    observations.  Percentiles (p50/p95/p99, nearest-rank) are computed
+    over that window only when asked — the sort cost sits on the
+    reader (``repro stats`` / ``repro metrics``), never the hot path.
+    Full bucketing stays deliberately omitted; a recent window is what
+    an operator watching latency actually wants.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max",
+                 "_window", "_size", "_cursor")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, window: int = DEFAULT_WINDOW) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._window = [0.0] * window
+        self._size = window
+        self._cursor = 0
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -93,25 +112,51 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        cursor = self._cursor
+        self._window[cursor] = value
+        cursor += 1
+        self._cursor = 0 if cursor == self._size else cursor
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def window_values(self) -> list:
+        """The retained recent observations (unordered)."""
+        if self.count >= len(self._window):
+            return list(self._window)
+        return self._window[:self.count]
+
+    def percentiles(self) -> dict:
+        """Nearest-rank p50/p95/p99 over the sliding window."""
+        values = sorted(self.window_values())
+        if not values:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        last = len(values) - 1
+
+        def rank(q: float) -> float:
+            return values[min(last, int(q * len(values)))]
+
+        return {"p50": rank(0.50), "p95": rank(0.95),
+                "p99": rank(0.99)}
 
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._cursor = 0
 
     def summary(self) -> dict:
-        return {
+        out = {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.count else 0.0,
             "max": self.max if self.count else 0.0,
             "mean": self.mean,
         }
+        out.update(self.percentiles())
+        return out
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, n={self.count})"
@@ -170,6 +215,22 @@ class MetricsRegistry:
                 out[name] = instrument.value
         return out
 
+    def structured(self) -> dict:
+        """Instruments grouped by kind: counters and gauges as plain
+        name→value maps, histograms expanded to their full summary
+        (count/sum/min/max/mean plus p50/p95/p99) — the ``repro stats
+        --json`` payload shape."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                out["counters"][name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                out["gauges"][name] = instrument.value
+            else:
+                out["histograms"][name] = instrument.summary()
+        return out
+
     def reset(self) -> None:
         """Zero every instrument (registrations are kept, so counters
         materialized at zero stay visible in the next snapshot)."""
@@ -191,3 +252,38 @@ class MetricsRegistry:
 
     def __repr__(self) -> str:
         return f"MetricsRegistry({len(self._instruments)} instruments)"
+
+
+def _prom_name(name: str) -> str:
+    """A dotted instrument name as a Prometheus metric name."""
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format.
+
+    Counters and gauges render as single samples; histograms render as
+    summaries — ``{quantile="…"}`` samples from the sliding window plus
+    the lifetime ``_sum`` / ``_count`` pair.  The output is stable
+    (name-sorted) so scrapes and golden tests diff cleanly.
+    """
+    lines: list = []
+    for name in registry:
+        instrument = registry.get(name)
+        metric = _prom_name(name)
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {instrument.value}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {instrument.value}")
+        else:
+            quantiles = instrument.percentiles()
+            lines.append(f"# TYPE {metric} summary")
+            for label, q in (("0.5", "p50"), ("0.95", "p95"),
+                             ("0.99", "p99")):
+                lines.append(f'{metric}{{quantile="{label}"}} '
+                             f"{quantiles[q]}")
+            lines.append(f"{metric}_sum {instrument.total}")
+            lines.append(f"{metric}_count {instrument.count}")
+    return "\n".join(lines) + "\n"

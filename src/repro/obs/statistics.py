@@ -1,0 +1,200 @@
+"""Per-descriptive-schema-node statistics — the cost-model feed.
+
+The §9.1 descriptive schema gives every document path exactly one
+schema node, so the schema node is the natural granule of data
+statistics: how many descriptors it holds, how many bytes they cost,
+how many *distinct* §4 typed values appear under it and what the
+value range is.  A cost-based planner prices candidate strategies
+(blocks touched, postings probed, residual selectivity) from exactly
+these numbers.
+
+:class:`StatisticsCollector` maintains them **incrementally at
+mutation time**: the engine calls :meth:`note_added` /
+:meth:`note_removed` / :meth:`note_value_changed` from the same sites
+that keep ``SchemaNode.descriptor_count`` and the secondary indexes
+honest, so the statistics are always current — no analyze pass.  The
+hooks are unconditional (statistics are engine state, not optional
+instrumentation) and O(1) per mutation.
+
+Sizing is a deterministic model, not process memory: a fixed
+per-descriptor overhead plus the memoized label key length plus the
+UTF-8 value length.  Deterministic bytes survive snapshot round-trips
+bit-for-bit, which is what lets the checkpoint image persist the
+digest and recovery verify it against a from-scratch
+:meth:`recount`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import StorageError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.descriptor import NodeDescriptor
+    from repro.storage.dschema import SchemaNode
+    from repro.storage.engine import StorageEngine
+
+#: Fixed modeled cost of one descriptor before its label and value:
+#: the schema-node reference, four structure pointers and the
+#: node-type tag of Example 10's layout.
+DESCRIPTOR_OVERHEAD = 24
+
+
+def descriptor_bytes(descriptor: "NodeDescriptor") -> int:
+    """The deterministic modeled size of one descriptor."""
+    size = DESCRIPTOR_OVERHEAD + len(descriptor.nid.sort_key())
+    if descriptor.value is not None:
+        size += len(descriptor.value.encode("utf-8"))
+    return size
+
+
+def _typed_order(values) -> list:
+    """Values sorted in the typed space: numerically when every value
+    parses as a number (lexically distinct ``"9"``/``"0009"`` compare
+    by value), lexicographically otherwise."""
+    values = list(values)
+    try:
+        return sorted(values, key=float)
+    except ValueError:
+        return sorted(values)
+
+
+class NodeStats:
+    """The running statistics of one schema node."""
+
+    __slots__ = ("descriptors", "byte_size", "value_counts")
+
+    def __init__(self) -> None:
+        self.descriptors = 0
+        self.byte_size = 0
+        #: Multiset of the live values under this node (the multiset —
+        #: not a set — so removals keep ``distinct`` exact).
+        self.value_counts: Dict[str, int] = {}
+
+    @property
+    def distinct_values(self) -> int:
+        return len(self.value_counts)
+
+    def add_value(self, value: str) -> None:
+        self.value_counts[value] = self.value_counts.get(value, 0) + 1
+
+    def remove_value(self, value: str) -> None:
+        count = self.value_counts.get(value, 0) - 1
+        if count > 0:
+            self.value_counts[value] = count
+        elif value in self.value_counts:
+            del self.value_counts[value]
+
+    def as_dict(self) -> dict:
+        """The digest the snapshot image persists and EXPLAIN/cost
+        models consume (no raw multiset — bounded size per node)."""
+        ordered = _typed_order(self.value_counts) \
+            if self.value_counts else []
+        return {
+            "descriptors": self.descriptors,
+            "bytes": self.byte_size,
+            "distinct_values": self.distinct_values,
+            "min_value": ordered[0] if ordered else None,
+            "max_value": ordered[-1] if ordered else None,
+        }
+
+    def __repr__(self) -> str:
+        return (f"NodeStats({self.descriptors} descriptors, "
+                f"{self.byte_size} bytes, "
+                f"{self.distinct_values} distinct)")
+
+
+class StatisticsCollector:
+    """Schema-node-keyed statistics, maintained at mutation time."""
+
+    def __init__(self) -> None:
+        self._stats: Dict["SchemaNode", NodeStats] = {}
+
+    # -- mutation hooks (engine side) -----------------------------------
+
+    def note_added(self, descriptor: "NodeDescriptor") -> None:
+        stats = self._stats.get(descriptor.schema_node)
+        if stats is None:
+            stats = NodeStats()
+            self._stats[descriptor.schema_node] = stats
+        stats.descriptors += 1
+        stats.byte_size += descriptor_bytes(descriptor)
+        if descriptor.value is not None:
+            stats.add_value(descriptor.value)
+
+    def note_removed(self, descriptor: "NodeDescriptor") -> None:
+        stats = self._stats.get(descriptor.schema_node)
+        if stats is None:  # pragma: no cover - hook misuse guard
+            return
+        stats.descriptors -= 1
+        stats.byte_size -= descriptor_bytes(descriptor)
+        if descriptor.value is not None:
+            stats.remove_value(descriptor.value)
+        if stats.descriptors <= 0:
+            del self._stats[descriptor.schema_node]
+
+    def note_value_changed(self, descriptor: "NodeDescriptor",
+                           old_value: Optional[str]) -> None:
+        """*descriptor* already carries the new value."""
+        stats = self._stats.get(descriptor.schema_node)
+        if stats is None:  # pragma: no cover - hook misuse guard
+            return
+        if old_value is not None:
+            stats.byte_size -= len(old_value.encode("utf-8"))
+            stats.remove_value(old_value)
+        if descriptor.value is not None:
+            stats.byte_size += len(descriptor.value.encode("utf-8"))
+            stats.add_value(descriptor.value)
+
+    # -- reading --------------------------------------------------------
+
+    def stats_for(self, schema_node: "SchemaNode"
+                  ) -> Optional[NodeStats]:
+        return self._stats.get(schema_node)
+
+    def total_descriptors(self) -> int:
+        return sum(s.descriptors for s in self._stats.values())
+
+    def total_bytes(self) -> int:
+        return sum(s.byte_size for s in self._stats.values())
+
+    def export(self) -> dict:
+        """The full digest keyed by schema path, path-sorted — the
+        snapshot payload and the ``repro stats``/CLI surface.  The
+        document root's empty path renders as ``#document``."""
+        out: dict = {}
+        for schema_node, stats in self._stats.items():
+            out[schema_node.path or "#document"] = stats.as_dict()
+        return dict(sorted(out.items()))
+
+    def reset(self) -> None:
+        self._stats.clear()
+
+    # -- consistency ----------------------------------------------------
+
+    @classmethod
+    def recount(cls, engine: "StorageEngine") -> "StatisticsCollector":
+        """Statistics rebuilt from scratch off the live block lists."""
+        collector = cls()
+        for schema_node in engine.schema.iter_nodes():
+            for block in schema_node.blocks():
+                ordered: list = []
+                block.extend_in_order(ordered)
+                for descriptor in ordered:
+                    collector.note_added(descriptor)
+        return collector
+
+    def verify_consistency(self, engine: "StorageEngine") -> None:
+        """The incremental digest must equal a from-scratch recount."""
+        fresh = self.recount(engine).export()
+        live = self.export()
+        if live != fresh:
+            drift = sorted(set(live) ^ set(fresh)) or \
+                [path for path in live if live[path] != fresh[path]]
+            raise StorageError(
+                "statistics drifted from the stored data "
+                f"(first divergent paths: {drift[:3]})")
+
+    def __repr__(self) -> str:
+        return f"StatisticsCollector({len(self._stats)} schema nodes)"

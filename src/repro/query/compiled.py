@@ -135,7 +135,7 @@ def lower(plan: CompiledPlan, queries: "StorageQueryEngine"):
     surfaced through the ``query.compile.ns`` counter so the benchmark
     harness can attribute them.
     """
-    if not obs.ENABLED:
+    if not obs.RECORDING:
         return _lower(plan, queries)
     started = time.perf_counter_ns()
     executor = _lower(plan, queries)
@@ -172,7 +172,9 @@ def _lower(plan: CompiledPlan, queries: "StorageQueryEngine"):
         for predicate in scan_step.predicates:
             stages.append(_predicate_stage(queries, plan.scan_nodes,
                                            predicate))
-    else:  # pragma: no cover - future strategies stay interpreted
+    else:  # future strategies stay interpreted until lowered here
+        plan.not_lowerable_reason = (
+            f"no closure lowering for strategy {strategy!r}")
         return NOT_LOWERABLE
     if plan.split is not None:
         stages.extend(_suffix_stages(queries, plan.scan_nodes,

@@ -200,6 +200,11 @@ class StorageQueryEngine:
         self._engine = engine
         self._store = StorageNodeStore(engine)
         self._planner = QueryPlanner(engine, plan_cache_capacity)
+        # Inherent instruments (see repro.obs.metrics): held directly
+        # so the always-on telemetry path skips the registry lookups.
+        # obs.reset() zeroes instruments in place, so these stay live.
+        self._evaluations = obs.REGISTRY.counter("query.evaluations")
+        self._latency = obs.REGISTRY.histogram("query.latency.ns")
 
     @property
     def engine(self) -> StorageEngine:
@@ -219,13 +224,22 @@ class StorageQueryEngine:
     def evaluate(self, path: "Path | str") -> list[NodeDescriptor]:
         """Evaluate through the plan cache — the hot entry point.
 
-        With observability enabled, every call records a
-        :class:`~repro.obs.explain.QueryExplain` (plan strategy, cache
-        hit/miss, axis steps, nodes visited vs. returned) into
-        :data:`repro.obs.EXPLAINS`.
+        With diagnostics enabled (or the slow-query log armed), every
+        call records a :class:`~repro.obs.explain.QueryExplain` (plan
+        strategy, cache hit/miss, axis steps, nodes visited vs.
+        returned); diagnostics also append it to
+        :data:`repro.obs.EXPLAINS`.  With only telemetry on, the call
+        is timed into the ``query.latency.ns`` histogram and counted —
+        nothing per-query is allocated.
         """
-        if obs.ENABLED:
+        if obs.ENABLED or obs.SLOW_QUERY_NS is not None:
             return self._evaluate_explained(path)
+        if obs.TELEMETRY:
+            started = time.perf_counter_ns()
+            result = self._planner.compile(path).execute_compiled(self)
+            self._evaluations.inc()
+            self._latency.observe(time.perf_counter_ns() - started)
+            return result
         return self._planner.compile(path).execute_compiled(self)
 
     def _evaluate_explained(self, path: "Path | str"
@@ -235,15 +249,27 @@ class StorageQueryEngine:
             result = self._planner.compile(path).execute_compiled(self)
             record.elapsed_s = time.perf_counter() - start
             record.nodes_returned = len(result)
-        obs.EXPLAINS.append(record)
-        obs.REGISTRY.counter("query.evaluations").inc()
-        if record.compiled:
-            obs.REGISTRY.counter("query.exec.compiled.hits").inc()
-        obs.REGISTRY.counter("query.axis_steps").inc(record.axis_steps)
-        obs.REGISTRY.counter("query.nodes_visited").inc(
-            record.nodes_visited)
-        obs.REGISTRY.counter("query.nodes_returned").inc(
-            record.nodes_returned)
+        elapsed_ns = int(record.elapsed_s * 1e9)
+        registry = obs.REGISTRY
+        if obs.RECORDING:
+            registry.counter("query.evaluations").inc()
+            registry.histogram("query.latency.ns").observe(elapsed_ns)
+        if obs.ENABLED:
+            obs.EXPLAINS.append(record)
+            if record.compiled:
+                registry.counter("query.exec.compiled.hits").inc()
+            registry.counter("query.axis_steps").inc(record.axis_steps)
+            registry.counter("query.nodes_visited").inc(
+                record.nodes_visited)
+            registry.counter("query.nodes_returned").inc(
+                record.nodes_returned)
+        threshold = obs.SLOW_QUERY_NS
+        if threshold is not None and elapsed_ns >= threshold:
+            # The complete EXPLAIN rides in the event record — the
+            # slow-query log needs no second evaluation to diagnose.
+            registry.counter("query.slow").inc()
+            obs.EVENTS.emit("query.slow", severity="warn",
+                            **record.as_dict())
         return result
 
     def cache_stats(self) -> dict[str, float]:

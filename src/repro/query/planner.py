@@ -165,7 +165,8 @@ class CompiledPlan:
 
     __slots__ = ("path", "schema_version", "strategy", "scan_nodes",
                  "split", "pruned_schema_nodes", "index_epoch",
-                 "probe", "rest_predicates", "index_used", "executor")
+                 "probe", "rest_predicates", "index_used", "executor",
+                 "not_lowerable_reason")
 
     def __init__(self, path: Path, schema_version: int, strategy: str,
                  scan_nodes: tuple[SchemaNode, ...],
@@ -201,6 +202,10 @@ class CompiledPlan:
         #: built on the first cached execution, dropped whenever the
         #: plan is restamped after DDL (the probe bindings may differ).
         self.executor = None
+        #: Why the plan stays interpreted (set at planning time for
+        #: "naive" plans, by the lowering when it declines; "" while
+        #: undetermined or when the plan compiled).
+        self.not_lowerable_reason = ""
 
     def execute(self, queries: "StorageQueryEngine"
                 ) -> "list[NodeDescriptor]":
@@ -260,6 +265,9 @@ class CompiledPlan:
             executor = lower(self, queries)
             self.executor = executor
         if executor is NOT_LOWERABLE:
+            context = _explain.ACTIVE
+            if context is not None:
+                context.not_lowerable_reason = self.not_lowerable_reason
             return self.execute(queries)
         context = _explain.ACTIVE
         if context is not None:
@@ -323,14 +331,17 @@ def compile_plan(path: Path, schema: "DescriptiveSchema",
     if obs.ENABLED:
         with obs.TRACER.span("query.plan.compile", path=str(path)):
             plan = _compile_plan(path, schema, indexes)
-        obs.REGISTRY.counter("query.plan.compiles").inc()
-        obs.REGISTRY.counter(
-            f"query.plan.strategy.{plan.strategy}").inc()
-        if plan.pruned_schema_nodes:
-            obs.REGISTRY.counter("query.plan.pruned_schema_nodes").inc(
-                plan.pruned_schema_nodes)
-        return plan
-    return _compile_plan(path, schema, indexes)
+    elif obs.RECORDING:
+        plan = _compile_plan(path, schema, indexes)
+    else:
+        return _compile_plan(path, schema, indexes)
+    obs.REGISTRY.counter("query.plan.compiles").inc()
+    obs.REGISTRY.counter(
+        f"query.plan.strategy.{plan.strategy}").inc()
+    if plan.pruned_schema_nodes:
+        obs.REGISTRY.counter("query.plan.pruned_schema_nodes").inc(
+            plan.pruned_schema_nodes)
+    return plan
 
 
 def _compile_plan(path: Path, schema: "DescriptiveSchema",
@@ -346,8 +357,12 @@ def _compile_plan(path: Path, schema: "DescriptiveSchema",
             # whole-selection semantics (like /descendant::x[n]); a
             # flat block scan grouped by parent cannot reproduce that,
             # so the whole query navigates.
-            return CompiledPlan(path, version, "naive", (), None, 0,
+            plan = CompiledPlan(path, version, "naive", (), None, 0,
                                 index_epoch=epoch)
+            plan.not_lowerable_reason = (
+                "positional predicate on a descendant step needs "
+                "whole-selection navigation")
+            return plan
     split: Optional[int] = None
     for index, step in enumerate(steps[:-1]):
         if step.predicates:
@@ -448,7 +463,8 @@ class QueryPlanner:
             context.schema_nodes_scanned = len(plan.scan_nodes)
             context.pruned_schema_nodes = plan.pruned_schema_nodes
             context.index_used = plan.index_used
-        if obs.ENABLED:
+            context.not_lowerable_reason = plan.not_lowerable_reason
+        if obs.RECORDING:
             # Aggregate plan-cache counters across all engines (each
             # cache also keeps its private per-engine instruments).
             registry = obs.REGISTRY

@@ -21,6 +21,7 @@ checkpoint, and eviction bounds retention.
 from __future__ import annotations
 
 import hashlib
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
@@ -83,6 +84,7 @@ class SnapshotInfo:
     fingerprint: str      # full schema fingerprint (hex)
     seq: int              # retention order (monotone per backend)
     bytes: int = 0        # persisted payload size (best effort)
+    mode: str = "full"    # "full" | "incremental" (dirty blocks only)
 
     def as_dict(self) -> dict:
         return {
@@ -91,6 +93,7 @@ class SnapshotInfo:
             "fingerprint": self.fingerprint,
             "seq": self.seq,
             "bytes": self.bytes,
+            "mode": self.mode,
         }
 
 
@@ -139,16 +142,21 @@ class StorageBackend(ABC):
         """
         if engine.document is None:
             raise StorageError("cannot checkpoint an empty engine")
+        recording = obs.RECORDING
+        started = time.perf_counter_ns() if recording else 0
         horizon = wal.last_lsn if wal is not None else 0
         info = self._write_snapshot(engine, horizon)
         if wal is not None:
             wal.reset(checkpoint_lsn=horizon)
         if self.max_snapshots is not None:
             self.evict_snapshots(keep=self.max_snapshots)
-        if obs.ENABLED:
-            obs.REGISTRY.counter("recovery.checkpoints").inc()
-            obs.REGISTRY.counter("recovery.checkpoint.bytes").inc(
-                info.bytes)
+        if recording:
+            registry = obs.REGISTRY
+            registry.counter("recovery.checkpoints").inc()
+            registry.counter("recovery.checkpoint.bytes").inc(info.bytes)
+            registry.counter(f"checkpoint.{info.mode}").inc()
+            registry.histogram(f"checkpoint.{self.name}.ns").observe(
+                time.perf_counter_ns() - started)
         return info
 
     @abstractmethod

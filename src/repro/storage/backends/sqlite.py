@@ -260,6 +260,7 @@ class SqliteBackend(StorageBackend):
             "chains": chains,
             "gens": {str(block_id): g
                      for block_id, g in gens.items()},
+            "stats": engine.stats.export(),
         }
         manifest_text = json.dumps(manifest, separators=(",", ":"))
 
@@ -301,7 +302,8 @@ class SqliteBackend(StorageBackend):
         tracker.complete(self._consumer)
         return SnapshotInfo(version=version, lsn=horizon,
                             fingerprint=fingerprint, seq=gen,
-                            bytes=payload_bytes)
+                            bytes=payload_bytes,
+                            mode="full" if full else "incremental")
 
     # -- meta helpers ----------------------------------------------------
 
@@ -472,6 +474,18 @@ class SqliteBackend(StorageBackend):
                                 version)
         engine.document = document
         engine.check_invariants()
+
+        # Row decoding bypassed the mutation hooks, so the statistics
+        # are rebuilt from scratch; a persisted digest (absent from
+        # pre-stats manifests) doubles as a corruption check.
+        from repro.obs.statistics import StatisticsCollector
+        engine.stats = StatisticsCollector.recount(engine)
+        persisted_stats = manifest.get("stats")
+        if persisted_stats is not None and \
+                persisted_stats != engine.stats.export():
+            raise self._corrupt(
+                "persisted statistics digest does not match the "
+                "recounted stored data", version)
 
         for path, kind, value_type in manifest["indexes"]:
             definition = IndexDefinition(path, kind, value_type)

@@ -18,6 +18,7 @@ from contextlib import nullcontext
 from typing import TYPE_CHECKING, Iterator, Optional
 
 from repro import obs
+from repro.obs.statistics import StatisticsCollector
 from repro.errors import StorageError, UpdateError
 from repro.xmlio.nodes import XmlDocument, XmlElement, XmlText
 from repro.xmlio.qname import QName
@@ -60,13 +61,18 @@ class StorageEngine:
         #: Dirty-block accounting: which blocks a backend must rewrite
         #: on the next incremental checkpoint.
         self.checkpoints = CheckpointTracker()
+        #: Per-schema-node statistics (descriptor counts, byte sizing,
+        #: distinct values) maintained incrementally at mutation time —
+        #: engine state like ``descriptor_count``, not optional
+        #: instrumentation; the cost model's feed.
+        self.stats = StatisticsCollector()
         # Instrumentation.
         self.insert_count = 0
         self.delete_count = 0
         self.split_count = 0
         self.relabel_count = 0  # stays 0: Proposition 1
         self._preserve_whitespace = False
-        if obs.ENABLED:
+        if obs.RECORDING:
             # Materialize the relabel counter at zero: the engine never
             # increments it (Proposition 1), and an explicit 0 in every
             # snapshot is the claim being made.
@@ -139,7 +145,7 @@ class StorageEngine:
     def _new_descriptor(self, schema_node: SchemaNode, nid: NidLabel,
                         value: str | None = None) -> NodeDescriptor:
         descriptor = NodeDescriptor(schema_node, nid, value=value)
-        if obs.ENABLED:
+        if obs.RECORDING:
             obs.REGISTRY.counter("storage.descriptors.allocated").inc()
         return descriptor
 
@@ -253,6 +259,7 @@ class StorageEngine:
             block = fresh
         block.insert_after(descriptor, block.last_descriptor())
         schema_node.descriptor_count += 1
+        self.stats.note_added(descriptor)
         self.checkpoints.mark(block)
 
     def _place_descriptor(self, descriptor: NodeDescriptor) -> None:
@@ -280,7 +287,7 @@ class StorageEngine:
             # Both halves changed their persisted slot membership.
             self.checkpoints.mark(target)
             self.checkpoints.mark(sibling)
-            if obs.ENABLED:
+            if obs.RECORDING:
                 obs.REGISTRY.counter("storage.blocks.split").inc()
             first_of_sibling = sibling.first_descriptor()
             if (first_of_sibling is not None
@@ -294,6 +301,7 @@ class StorageEngine:
                 break
         target.insert_after(descriptor, predecessor)
         schema_node.descriptor_count += 1
+        self.stats.note_added(descriptor)
         self.checkpoints.mark(target)
 
     # ==================================================================
@@ -482,7 +490,7 @@ class StorageEngine:
         if self.indexes.active:
             self.indexes.note_added(descriptor)
         self.insert_count += 1
-        if obs.ENABLED:
+        if obs.RECORDING:
             obs.REGISTRY.counter("storage.inserts").inc()
         if manager is not None and manager.logging:
             manager.applied_insert(descriptor)
@@ -527,6 +535,7 @@ class StorageEngine:
                                           existing.nid, replace=True)
             old_value = existing.value
             existing.value = value
+            self.stats.note_value_changed(existing, old_value)
             self.checkpoints.mark_descriptor(existing)
             if self.indexes.active:
                 self.indexes.note_value_changed(existing)
@@ -554,7 +563,7 @@ class StorageEngine:
         if self.indexes.active:
             self.indexes.note_added(descriptor)
         self.insert_count += 1
-        if obs.ENABLED:
+        if obs.RECORDING:
             obs.REGISTRY.counter("storage.inserts").inc()
         if logged:
             manager.applied_set_attribute(descriptor, None, created=True)
@@ -583,7 +592,7 @@ class StorageEngine:
         self._unlink_from_siblings(descriptor)
         self._remove_descriptor(descriptor)
         self.delete_count += 1
-        if obs.ENABLED:
+        if obs.RECORDING:
             obs.REGISTRY.counter("storage.deletes").inc()
         return removed + 1
 
@@ -634,7 +643,9 @@ class StorageEngine:
     def _undo_set_value(self, descriptor: NodeDescriptor,
                         old_value: str | None) -> None:
         """Restore an overwritten attribute value (no logging)."""
+        overwritten = descriptor.value
         descriptor.value = old_value
+        self.stats.note_value_changed(descriptor, overwritten)
         self.checkpoints.mark_descriptor(descriptor)
         if self.indexes.active:
             self.indexes.note_value_changed(descriptor)
@@ -733,6 +744,7 @@ class StorageEngine:
                 descriptor.parent.children_by_schema.pop(index, None)
         block.remove(descriptor)
         schema_node.descriptor_count -= 1
+        self.stats.note_removed(descriptor)
         if block.is_empty:
             self._unlink_block(block)
             self.checkpoints.drop(block)

@@ -215,7 +215,7 @@ class ValueIndex:
 
     def _probed(self, result: "list[NodeDescriptor]"
                 ) -> "list[NodeDescriptor]":
-        if obs.ENABLED:
+        if obs.RECORDING:
             obs.REGISTRY.counter("index.probes").inc()
             if result:
                 obs.REGISTRY.counter("index.hits").inc()
@@ -333,7 +333,7 @@ class PathIndex:
     def probe(self) -> "list[NodeDescriptor]":
         """The pre-merged, document-ordered result set."""
         result = list(self._postings)
-        if obs.ENABLED:
+        if obs.RECORDING:
             obs.REGISTRY.counter("index.probes").inc()
             if result:
                 obs.REGISTRY.counter("index.hits").inc()
@@ -436,9 +436,9 @@ class IndexManager:
             from repro.query.paths import parse_path
             index = PathIndex(self.engine, definition,
                               parse_path(definition.path).steps)
-        start = time.perf_counter_ns() if obs.ENABLED else 0
+        start = time.perf_counter_ns() if obs.RECORDING else 0
         index.build()
-        if obs.ENABLED:
+        if obs.RECORDING:
             obs.REGISTRY.counter("index.maintenance_ns").inc(
                 time.perf_counter_ns() - start)
         self._indexes[definition.key] = index
@@ -489,15 +489,17 @@ class IndexManager:
         """A descriptor was linked into the tree (insert, attribute
         creation, or rollback restore)."""
         faults.fire("index.update")
-        if not obs.ENABLED:
+        if not obs.RECORDING:
             self._note_added(descriptor)
             return
         start = time.perf_counter_ns()
         try:
             self._note_added(descriptor)
         finally:
-            obs.REGISTRY.counter("index.maintenance_ns").inc(
-                time.perf_counter_ns() - start)
+            elapsed = time.perf_counter_ns() - start
+            obs.REGISTRY.counter("index.maintenance_ns").inc(elapsed)
+            obs.REGISTRY.histogram("index.maintenance.ns").observe(
+                elapsed)
 
     def _note_added(self, descriptor: "NodeDescriptor") -> None:
         index = self._by_value_node.get(id(descriptor.schema_node))
@@ -525,15 +527,17 @@ class IndexManager:
         called after sibling unlinking, so recomputed string values no
         longer see it."""
         faults.fire("index.update")
-        if not obs.ENABLED:
+        if not obs.RECORDING:
             self._note_removed(descriptor)
             return
         start = time.perf_counter_ns()
         try:
             self._note_removed(descriptor)
         finally:
-            obs.REGISTRY.counter("index.maintenance_ns").inc(
-                time.perf_counter_ns() - start)
+            elapsed = time.perf_counter_ns() - start
+            obs.REGISTRY.counter("index.maintenance_ns").inc(elapsed)
+            obs.REGISTRY.histogram("index.maintenance.ns").observe(
+                elapsed)
 
     def _note_removed(self, descriptor: "NodeDescriptor") -> None:
         index = self._by_value_node.get(id(descriptor.schema_node))
@@ -562,15 +566,17 @@ class IndexManager:
         if index is None or not index.attribute \
                 or descriptor.parent is None:
             return
-        if not obs.ENABLED:
+        if not obs.RECORDING:
             index.update(descriptor.parent, descriptor.value)
             return
         start = time.perf_counter_ns()
         try:
             index.update(descriptor.parent, descriptor.value)
         finally:
-            obs.REGISTRY.counter("index.maintenance_ns").inc(
-                time.perf_counter_ns() - start)
+            elapsed = time.perf_counter_ns() - start
+            obs.REGISTRY.counter("index.maintenance_ns").inc(elapsed)
+            obs.REGISTRY.histogram("index.maintenance.ns").observe(
+                elapsed)
 
     # -- planner integration --------------------------------------------
 

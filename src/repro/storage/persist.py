@@ -9,9 +9,9 @@ equivalent engine from it.  Labels are stored digit-exactly, so
 document order, ancestry and future gap insertions behave identically
 after a round trip.
 
-Format (little-endian, fixed-width), version 3::
+Format (little-endian, fixed-width), version 4::
 
-* header: magic ``SEDNAPY3``, base (u16), block capacity (u16),
+* header: magic ``SEDNAPY4``, base (u16), block capacity (u16),
   checkpoint LSN (u64) — the WAL horizon this image covers;
 * index definitions: count (u32), then per declared secondary index
   its path, kind and value type (length-prefixed UTF-8).  Only the
@@ -24,10 +24,17 @@ Format (little-endian, fixed-width), version 3::
   ids (u32, ``0xFFFFFFFF`` = none), optional text value;
 * per schema node: its blocks as lists of descriptor ids in in-block
   chain (document) order;
+* statistics digest: the canonical JSON of
+  :meth:`~repro.obs.statistics.StatisticsCollector.export`
+  (length-prefixed UTF-8) — per-schema-node descriptor counts, byte
+  sizing and value ranges.  Loads always *recount* from the decoded
+  block lists (decoding bypasses the mutation hooks); the persisted
+  digest is a corruption check against that recount;
 * trailer: CRC32 (u32) of every preceding byte, header included.
 
-Version 2 images (magic ``SEDNAPY2``: no index-definition section) and
-version 1 images (magic ``SEDNAPY1``: additionally no LSN and no
+Version 3 images (magic ``SEDNAPY3``: no statistics digest), version 2
+images (magic ``SEDNAPY2``: additionally no index-definition section)
+and version 1 images (magic ``SEDNAPY1``: additionally no LSN and no
 trailer) still load; each v1 load bumps the ``persist.legacy_images``
 warning counter.
 Any truncated or garbled input surfaces as :class:`StorageError` with
@@ -36,12 +43,14 @@ the byte offset of the damage — never a raw ``struct.error``.
 
 from __future__ import annotations
 
+import json
 import struct
 import zlib
 from typing import BinaryIO
 
 from repro import obs
 from repro.errors import CorruptionError, StorageError
+from repro.obs.statistics import StatisticsCollector
 from repro.xmlio.qname import QName
 from repro.storage.blocks import Block
 from repro.storage.codec import Reader, Writer
@@ -54,6 +63,7 @@ from repro.storage.labels import NidLabel
 _MAGIC_V1 = b"SEDNAPY1"
 _MAGIC_V2 = b"SEDNAPY2"
 _MAGIC_V3 = b"SEDNAPY3"
+_MAGIC_V4 = b"SEDNAPY4"
 _NONE = 0xFFFFFFFF
 
 _TYPE_TAGS = {"document": 0, "element": 1, "attribute": 2, "text": 3}
@@ -62,7 +72,7 @@ _TAG_TYPES = {tag: name for name, tag in _TYPE_TAGS.items()}
 
 def dump_engine(engine: StorageEngine, stream: BinaryIO,
                 checkpoint_lsn: int = 0) -> None:
-    """Serialize *engine* into *stream* (version 3 image).
+    """Serialize *engine* into *stream* (version 4 image).
 
     *checkpoint_lsn* is the WAL horizon the image covers — recovery
     replays only log records strictly beyond it.
@@ -70,7 +80,7 @@ def dump_engine(engine: StorageEngine, stream: BinaryIO,
     if engine.document is None:
         raise StorageError("cannot dump an empty engine")
     writer = Writer(stream)
-    writer.raw(_MAGIC_V3)
+    writer.raw(_MAGIC_V4)
     writer.u16(engine.numbering.base)
     writer.u16(engine.block_capacity)
     writer.u64(checkpoint_lsn)
@@ -118,6 +128,8 @@ def dump_engine(engine: StorageEngine, stream: BinaryIO,
             for descriptor in ordered:
                 writer.u32(descriptor_index[id(descriptor)])
 
+    writer.text(json.dumps(engine.stats.export(),
+                           separators=(",", ":"), sort_keys=True))
     writer.trailer()
 
 
@@ -136,13 +148,13 @@ def load_engine(data: bytes, backend: str = "file",
     *backend* and *place* label corruption errors with the medium the
     bytes came from (see :class:`repro.storage.codec.Reader`).
     """
-    magic_len = len(_MAGIC_V3)
+    magic_len = len(_MAGIC_V4)
     if len(data) < magic_len:
         raise CorruptionError(
             "not a storage image (shorter than the magic)",
             backend=backend, location="byte 0")
     magic = data[:magic_len]
-    if magic in (_MAGIC_V2, _MAGIC_V3):
+    if magic in (_MAGIC_V2, _MAGIC_V3, _MAGIC_V4):
         if len(data) < magic_len + 4:
             raise CorruptionError(
                 "truncated storage image (no room for the CRC trailer)",
@@ -156,11 +168,11 @@ def load_engine(data: bytes, backend: str = "file",
                 "(torn or corrupted image)",
                 backend=backend, location="trailer")
         body = data[:-4]
-        version = 3 if magic == _MAGIC_V3 else 2
+        version = {_MAGIC_V4: 4, _MAGIC_V3: 3, _MAGIC_V2: 2}[magic]
     elif magic == _MAGIC_V1:
         body = data
         version = 1
-        if obs.ENABLED:
+        if obs.RECORDING:
             # The warning counter for pre-trailer images: they load,
             # but without whole-image corruption detection.
             obs.REGISTRY.counter("persist.legacy_images").inc()
@@ -284,6 +296,8 @@ def _parse_image(reader: Reader, version: int) -> StorageEngine:
                 last = descriptor
                 schema_node.descriptor_count += 1
 
+    stats_digest = reader.text() if version >= 4 else None
+
     if not reader.at_end():
         raise reader.corrupt(
             f"trailing bytes in storage image after {reader.location()}")
@@ -303,6 +317,16 @@ def _parse_image(reader: Reader, version: int) -> StorageEngine:
         raise StorageError("image holds no document node")
     engine.document = descriptors[0]
     engine.check_invariants()
+
+    # Image decoding bypassed the mutation hooks, so the statistics
+    # are rebuilt from the decoded block lists; a digest persisted by
+    # v4+ images must agree with the recount (corruption check).
+    engine.stats = StatisticsCollector.recount(engine)
+    if stats_digest is not None and \
+            json.loads(stats_digest) != engine.stats.export():
+        raise reader.corrupt(
+            "persisted statistics digest does not match the image's "
+            "stored data")
 
     # Re-install the declared indexes last: their contents are derived
     # state, rebuilt here by one block-list scan per index.

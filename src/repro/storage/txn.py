@@ -27,6 +27,7 @@ crash-matrix tests assert.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator, Optional
 
@@ -118,6 +119,8 @@ class TransactionManager:
         never durably committed.
         """
         txn = self._require_open()
+        recording = obs.RECORDING
+        started = time.perf_counter_ns() if recording else 0
         if self.strict:
             try:
                 self.engine.check_invariants()
@@ -127,12 +130,16 @@ class TransactionManager:
         self.wal.append_commit(txn.txn_id)
         txn.state = "committed"
         self.active = None
-        if obs.ENABLED:
+        if recording:
             obs.REGISTRY.counter("txn.commits").inc()
+            obs.REGISTRY.histogram("txn.commit.ns").observe(
+                time.perf_counter_ns() - started)
 
     def rollback(self) -> None:
         """Undo the open transaction's in-memory effects, mark ABORT."""
         txn = self._require_open()
+        recording = obs.RECORDING
+        started = time.perf_counter_ns() if recording else 0
         self._undoing = True
         try:
             for entry in reversed(txn.undo):
@@ -142,8 +149,10 @@ class TransactionManager:
         self.wal.append_abort(txn.txn_id)
         txn.state = "aborted"
         self.active = None
-        if obs.ENABLED:
+        if recording:
             obs.REGISTRY.counter("txn.rollbacks").inc()
+            obs.REGISTRY.histogram("txn.rollback.ns").observe(
+                time.perf_counter_ns() - started)
 
     @contextmanager
     def transaction(self) -> Iterator[Transaction]:

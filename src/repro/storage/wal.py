@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -385,6 +386,8 @@ class WriteAheadLog:
     def _append(self, kind: int, txn: int, body: bytes) -> int:
         if self._closed:
             raise StorageError("write-ahead log is closed")
+        recording = obs.RECORDING
+        started = time.perf_counter_ns() if recording else 0
         lsn = self.last_lsn + 1
         payload = struct.pack("<QBQ", lsn, kind, txn) + body
         frame = encode_frame(payload)
@@ -396,13 +399,22 @@ class WriteAheadLog:
         self.store.append(frame)
         faults.fire("wal.fsync")
         if self.sync:
-            self.store.sync()
+            if recording:
+                sync_started = time.perf_counter_ns()
+                self.store.sync()
+                obs.REGISTRY.histogram("wal.sync.ns").observe(
+                    time.perf_counter_ns() - sync_started)
+            else:
+                self.store.sync()
         self.last_lsn = lsn
         self.appends += 1
         self.bytes_written += len(frame)
-        if obs.ENABLED:
-            obs.REGISTRY.counter("wal.appends").inc()
-            obs.REGISTRY.counter("wal.bytes").inc(len(frame))
+        if recording:
+            registry = obs.REGISTRY
+            registry.counter("wal.appends").inc()
+            registry.counter("wal.bytes").inc(len(frame))
+            registry.histogram("wal.append.ns").observe(
+                time.perf_counter_ns() - started)
         return lsn
 
     # -- record constructors --------------------------------------------

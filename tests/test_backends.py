@@ -28,7 +28,11 @@ from repro.workloads import make_library_document
 from repro.xmlio import QName, parse_document
 from repro.workloads.fixtures import EXAMPLE_8_DOCUMENT
 
-from tests.test_storage_persist import _as_legacy_v1, _as_legacy_v2
+from tests.test_storage_persist import (
+    _as_legacy_v1,
+    _as_legacy_v2,
+    _as_legacy_v3,
+)
 
 
 def make_backend(name, tmp_path):
@@ -255,7 +259,7 @@ class TestRecoverThroughBackends:
 
 
 class TestLegacyImageMatrix:
-    """SEDNAPY1/2/3 images all load through the file backend."""
+    """SEDNAPY1/2/3/4 images all load through the file backend."""
 
     @pytest.fixture
     def index_free_engine(self):
@@ -265,8 +269,9 @@ class TestLegacyImageMatrix:
         return engine
 
     @pytest.mark.parametrize("downgrade", [
-        _as_legacy_v1, _as_legacy_v2, lambda image: image,
-    ], ids=["SEDNAPY1", "SEDNAPY2", "SEDNAPY3"])
+        _as_legacy_v1, _as_legacy_v2, _as_legacy_v3,
+        lambda image: image,
+    ], ids=["SEDNAPY1", "SEDNAPY2", "SEDNAPY3", "SEDNAPY4"])
     def test_legacy_images_load_and_recover(self, tmp_path, downgrade,
                                             index_free_engine):
         image = downgrade(dumps_engine(index_free_engine))
@@ -280,13 +285,14 @@ class TestLegacyImageMatrix:
         assert result.relabels == 0
 
     @pytest.mark.parametrize("downgrade,magic", [
-        (_as_legacy_v1, b"SEDNAPY1"), (_as_legacy_v2, b"SEDNAPY2")],
-        ids=["SEDNAPY1", "SEDNAPY2"])
+        (_as_legacy_v1, b"SEDNAPY1"), (_as_legacy_v2, b"SEDNAPY2"),
+        (_as_legacy_v3, b"SEDNAPY3")],
+        ids=["SEDNAPY1", "SEDNAPY2", "SEDNAPY3"])
     def test_legacy_reserialization_upgrades(self, downgrade, magic,
                                              index_free_engine):
         legacy = downgrade(dumps_engine(index_free_engine))
         assert legacy[:8] == magic
         upgraded = dumps_engine(load_engine(legacy))
-        assert upgraded[:8] == b"SEDNAPY3"
+        assert upgraded[:8] == b"SEDNAPY4"
         assert _snapshot(load_engine(upgraded)) == \
             _snapshot(index_free_engine)

@@ -28,11 +28,15 @@ from repro.xquery.evaluator import execute_values
 
 @pytest.fixture(autouse=True)
 def clean_obs():
-    """Every test starts and ends disabled with zeroed instruments."""
+    """Every test starts diagnostics-off with zeroed instruments;
+    telemetry (production default: on) is restored afterwards."""
     obs.disable()
+    obs.set_slow_query_threshold(None)
     obs.reset()
     yield
     obs.disable()
+    obs.set_telemetry(True)
+    obs.set_slow_query_threshold(None)
     obs.reset()
 
 
@@ -72,7 +76,8 @@ class TestMetricsRegistry:
             histogram.observe(value)
         assert gauge.value == 2
         assert histogram.summary() == {
-            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+            "count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0,
+            "p50": 2.0, "p95": 3.0, "p99": 3.0}
 
     def test_snapshot_is_sorted_and_expands_histograms(self):
         registry = MetricsRegistry()
@@ -194,9 +199,10 @@ class TestSwitch:
         assert not obs.TRACER.enabled
 
     def test_disabled_paths_do_not_count(self):
-        """With obs off, the guarded instrumentation must not bump any
-        registry counter (the <5% overhead budget assumes exactly one
-        attribute test on the disabled path)."""
+        """With both tiers off, the guarded instrumentation must not
+        bump any registry counter (the <5% overhead budget assumes
+        exactly one attribute test on the disabled path)."""
+        obs.set_telemetry(False)
         queries = _library_queries()
         queries.evaluate("/library/book/title")
         for name in ("storage.descriptors.allocated",

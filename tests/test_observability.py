@@ -1,0 +1,520 @@
+"""Tests for the production observability layer (PR 8).
+
+The always-on telemetry tier, the structured event + slow-query log,
+windowed histograms, per-schema-node statistics collectors (and their
+persistence through checkpoint/recover), the operator CLI surfaces,
+and the benchmark regression comparator.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main as cli_main
+from repro.errors import StorageError
+from repro.obs.events import EventLog
+from repro.obs.metrics import Histogram, MetricsRegistry, \
+    render_prometheus
+from repro.obs.statistics import StatisticsCollector
+from repro.query import StorageQueryEngine, clear_parse_cache
+from repro.storage import (
+    FileBackend,
+    MemoryBackend,
+    SqliteBackend,
+    StorageEngine,
+    load_engine,
+    recover,
+)
+from repro.storage.persist import dumps_engine
+from repro.workloads import make_library_document
+from repro.xmlio import QName, parse_document
+from repro.workloads.fixtures import EXAMPLE_8_DOCUMENT
+
+from benchmarks import compare as bench_compare
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.set_telemetry(True)
+    obs.set_slow_query_threshold(None)
+    obs.reset()
+    clear_parse_cache()
+    yield
+    obs.disable()
+    obs.set_telemetry(True)
+    obs.set_slow_query_threshold(None)
+    obs.reset()
+
+
+def _engine(document=None, **kwargs) -> StorageEngine:
+    engine = StorageEngine(**kwargs)
+    engine.load_document(document
+                         or parse_document(EXAMPLE_8_DOCUMENT))
+    return engine
+
+
+class TestTelemetryTier:
+    """The always-on tier records without diagnostics enabled."""
+
+    def test_telemetry_is_on_by_default(self):
+        assert obs.TELEMETRY is True
+        assert obs.RECORDING is True
+        assert obs.ENABLED is False
+
+    def test_load_counts_without_enable(self):
+        _engine()
+        snapshot = obs.snapshot()
+        assert snapshot["storage.descriptors.allocated"] > 0
+        assert snapshot["numbering.labels.allocated"] > 0
+
+    def test_query_latency_lands_in_the_histogram(self):
+        queries = StorageQueryEngine(_engine())
+        queries.evaluate("/library/book/title")
+        queries.evaluate("/library/book/title")
+        latency = obs.REGISTRY.histogram("query.latency.ns").summary()
+        assert latency["count"] == 2
+        assert latency["p50"] > 0
+        assert obs.REGISTRY.value("query.evaluations") == 2
+        # Telemetry alone must not collect EXPLAIN diagnostics.
+        assert len(obs.EXPLAINS) == 0
+
+    def test_wal_and_txn_histograms_record(self, tmp_path):
+        from repro.storage import TransactionManager, WriteAheadLog
+        engine = _engine()
+        wal = WriteAheadLog(tmp_path / "t.wal", sync=True)
+        manager = TransactionManager(engine, wal)
+        library = engine.children(engine.document)[0]
+        with manager.transaction():
+            engine.insert_child(library, 0, name=QName("", "added"))
+        wal.close()
+        registry = obs.REGISTRY
+        assert registry.histogram("wal.append.ns").count > 0
+        assert registry.histogram("wal.sync.ns").count > 0
+        assert registry.histogram("txn.commit.ns").count == 1
+
+    def test_checkpoint_histogram_and_mode_counters(self, tmp_path):
+        engine = _engine()
+        FileBackend(tmp_path / "s.img").checkpoint(engine)
+        backend = SqliteBackend(tmp_path / "s.db")
+        backend.checkpoint(engine)
+        library = engine.children(engine.document)[0]
+        engine.insert_child(library, 0, name=QName("", "added"))
+        backend.checkpoint(engine)
+        registry = obs.REGISTRY
+        assert registry.histogram("checkpoint.file.ns").count == 1
+        assert registry.histogram("checkpoint.sqlite.ns").count == 2
+        assert registry.value("checkpoint.full") == 2
+        assert registry.value("checkpoint.incremental") == 1
+
+    def test_telemetry_off_records_nothing(self):
+        obs.set_telemetry(False)
+        assert obs.RECORDING is False
+        queries = StorageQueryEngine(_engine())
+        queries.evaluate("/library/book/title")
+        assert obs.REGISTRY.value("query.evaluations") == 0
+
+
+class TestHistogramWindow:
+    def test_window_wraps_and_percentiles_track_recent(self):
+        histogram = Histogram("h", window=10)
+        for value in range(100):
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert sorted(histogram.window_values()) == \
+            [float(v) for v in range(90, 100)]
+        assert histogram.percentiles()["p50"] >= 90.0
+        # Lifetime aggregates keep the full stream.
+        assert histogram.min == 0.0
+        assert histogram.max == 99.0
+        assert histogram.total == sum(range(100))
+
+    def test_partial_window_uses_observed_prefix(self):
+        histogram = Histogram("h", window=512)
+        histogram.observe(5.0)
+        histogram.observe(1.0)
+        assert sorted(histogram.window_values()) == [1.0, 5.0]
+        summary = histogram.summary()
+        assert summary["count"] == 2
+        assert summary["min"] == 1.0 and summary["max"] == 5.0
+
+    def test_reset_isolates_snapshots(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(7)
+        registry.histogram("h").observe(3.0)
+        first = registry.snapshot()
+        registry.reset()
+        second = registry.snapshot()
+        assert first["c"] == 7 and second["c"] == 0
+        assert first["h"]["count"] == 1 and second["h"]["count"] == 0
+        # The first snapshot is a value copy, not a live view.
+        assert first["h"]["count"] == 1
+
+
+class TestEventLog:
+    def test_injectable_clock_is_deterministic(self):
+        ticks = iter(range(100, 200))
+        log = EventLog(clock=lambda: next(ticks))
+        log.emit("a")
+        log.emit("b", severity="warn", detail="x")
+        assert [r.monotonic_ns for r in log] == [100, 101]
+        assert log.to_jsonl() == (
+            '{"event":"a","severity":"info","monotonic_ns":100}\n'
+            '{"event":"b","severity":"warn","monotonic_ns":101,'
+            '"detail":"x"}')
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        log = EventLog(clock=lambda: 0, limit=4)
+        for index in range(10):
+            log.emit(f"e{index}")
+        assert len(log) == 4
+        assert log.dropped == 6
+        assert [r.kind for r in log] == ["e6", "e7", "e8", "e9"]
+
+    def test_unknown_severity_is_an_error(self):
+        log = EventLog(clock=lambda: 0)
+        with pytest.raises(ValueError, match="unknown severity"):
+            log.emit("oops", severity="fatal")
+
+    def test_find_and_last(self):
+        log = EventLog(clock=lambda: 0)
+        log.emit("a", n=1)
+        log.emit("b")
+        log.emit("a", n=2)
+        assert [r.fields["n"] for r in log.find("a")] == [1, 2]
+        assert log.last("a").fields["n"] == 2
+        assert log.last().kind == "a"
+        assert log.last("missing") is None
+
+
+class TestSlowQueryLog:
+    def test_slow_query_event_carries_the_full_explain(self):
+        obs.set_slow_query_threshold(0.0)  # everything is slow
+        queries = StorageQueryEngine(_engine())
+        queries.evaluate("/library/book/title")
+        event = obs.EVENTS.last("query.slow")
+        assert event is not None and event.severity == "warn"
+        record = event.as_dict()
+        assert record["path"] == "/library/book/title"
+        assert record["strategy"] == "scan"
+        assert record["plan_cache"] == "miss"
+        assert record["nodes_returned"] > 0
+        assert record["stage_ns"], "per-stage timings missing"
+        assert obs.REGISTRY.value("query.slow") == 1
+        # The slow-query log works without full diagnostics: no
+        # EXPLAIN is retained beyond the event itself.
+        assert len(obs.EXPLAINS) == 0
+
+    def test_threshold_filters_fast_queries(self):
+        obs.set_slow_query_threshold(60.0)  # a minute: nothing is slow
+        queries = StorageQueryEngine(_engine())
+        queries.evaluate("/library/book/title")
+        assert obs.EVENTS.last("query.slow") is None
+        assert obs.REGISTRY.value("query.slow") == 0
+
+    def test_disarming_restores_the_telemetry_path(self):
+        obs.set_slow_query_threshold(0.0)
+        obs.set_slow_query_threshold(None)
+        queries = StorageQueryEngine(_engine())
+        queries.evaluate("/library/book/title")
+        assert obs.EVENTS.last("query.slow") is None
+        assert obs.REGISTRY.value("query.evaluations") == 1
+
+
+class TestChromeTrace:
+    def test_chrome_trace_export_shape(self):
+        obs.enable(tracing=True)
+        queries = StorageQueryEngine(_engine())
+        queries.evaluate("/library/book/title")
+        trace = obs.TRACER.chrome_trace()
+        events = trace["traceEvents"]
+        assert events, "no spans were traced"
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["pid"] == 1 and event["tid"] == 1
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        assert trace["otherData"]["dropped_spans"] == 0
+        json.dumps(trace)  # must be serializable as-is
+
+
+class TestPrometheusRendering:
+    def test_render_covers_all_instrument_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("a.count").inc(3)
+        registry.gauge("b.depth").set(2)
+        histogram = registry.histogram("c.latency.ns")
+        for value in (10.0, 20.0, 30.0):
+            histogram.observe(value)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_a_count counter\nrepro_a_count 3" in text
+        assert "# TYPE repro_b_depth gauge\nrepro_b_depth 2" in text
+        assert "# TYPE repro_c_latency_ns summary" in text
+        assert 'repro_c_latency_ns{quantile="0.5"} 20.0' in text
+        assert "repro_c_latency_ns_sum 60.0" in text
+        assert "repro_c_latency_ns_count 3" in text
+        assert text.endswith("\n")
+
+
+class TestNotLowerableReason:
+    def test_naive_plans_report_their_reason_in_explain(self):
+        obs.enable()
+        queries = StorageQueryEngine(_engine())
+        queries.evaluate("//book[2]")
+        record = obs.EXPLAINS.last()
+        assert record.as_dict()["strategy"] == "naive"
+        assert "positional predicate" in \
+            record.as_dict()["not_lowerable_reason"]
+        # Naive plans still lower (to a navigate closure), so the
+        # human rendering keeps the reason out of the way.
+        assert record.compiled is True
+        assert "not lowerable" not in record.render()
+
+    def test_unlowerable_strategy_surfaces_in_the_rendering(self):
+        queries = StorageQueryEngine(_engine())
+        plan = queries.compile("/library/book/title")
+        plan.strategy = "bogus"  # simulate a plan lowering can't take
+        plan.executor = None
+        obs.enable()
+        queries.evaluate("/library/book/title")
+        record = obs.EXPLAINS.last()
+        assert record.compiled is False
+        assert record.as_dict()["not_lowerable_reason"] == \
+            "no closure lowering for strategy 'bogus'"
+        assert "not lowerable:      no closure lowering" in \
+            record.render()
+
+
+class TestStatisticsCollector:
+    def _mutate(self, engine):
+        library = engine.children(engine.document)[0]
+        paper = engine.insert_child(library, 0, name=QName("", "paper"))
+        title = engine.insert_child(paper, 0, name=QName("", "title"))
+        engine.insert_child(title, 0, text="Stats")
+        engine.set_attribute(paper, QName("", "tag"), "first")
+        engine.set_attribute(paper, QName("", "tag"), "second",
+                             replace=True)
+        engine.delete_subtree(engine.children(library)[-1])
+
+    def test_incremental_stats_match_a_recount(self):
+        engine = _engine(block_capacity=4)
+        self._mutate(engine)
+        assert engine.stats.export() == \
+            StatisticsCollector.recount(engine).export()
+        engine.stats.verify_consistency(engine)
+
+    def test_export_digest_shape(self):
+        engine = _engine()
+        digest = engine.stats.export()
+        assert "#document" in digest
+        title = digest["library/book/title"]
+        assert title["descriptors"] == 2
+        assert title["distinct_values"] == 0  # values live in text
+        text = digest["library/book/author/#text"]
+        assert text["distinct_values"] == 4
+        assert text["min_value"] == "Abiteboul"
+        assert text["max_value"] == "Vianu"
+        assert text["bytes"] > 0
+
+    def test_value_change_keeps_distinct_counts_exact(self):
+        engine = _engine()
+        library = engine.children(engine.document)[0]
+        book = engine.children(library)[0]
+        engine.set_attribute(book, QName("", "lang"), "en")
+        engine.set_attribute(book, QName("", "lang"), "de",
+                             replace=True)
+        stats = engine.stats.export()["library/book/@lang"]
+        assert stats["descriptors"] == 1
+        assert stats["distinct_values"] == 1
+        assert stats["min_value"] == "de"
+        assert engine.stats.export() == \
+            StatisticsCollector.recount(engine).export()
+
+    @pytest.mark.parametrize("backend_factory", [
+        lambda tmp: FileBackend(tmp / "s.img", wal_path=tmp / "s.wal"),
+        lambda tmp: SqliteBackend(tmp / "s.db"),
+        lambda tmp: MemoryBackend(),
+    ], ids=["file", "sqlite", "memory"])
+    def test_stats_survive_checkpoint_recover(self, tmp_path,
+                                              backend_factory):
+        engine = _engine(make_library_document(books=5, papers=3,
+                                               seed=11))
+        self._mutate(engine)
+        backend = backend_factory(tmp_path)
+        backend.checkpoint(engine)
+        result = recover(backend, strict=True)
+        recovered = result.engine
+        assert recovered.stats.export() == engine.stats.export()
+        assert recovered.stats.export() == \
+            StatisticsCollector.recount(recovered).export()
+
+    def test_tampered_digest_is_detected(self):
+        import struct
+        import zlib
+        engine = _engine()
+        image = dumps_engine(engine)
+        digest = json.dumps(engine.stats.export(),
+                            separators=(",", ":"),
+                            sort_keys=True).encode("utf-8")
+        body = image[:-4]
+        tail = struct.pack("<I", len(digest)) + digest
+        assert body.endswith(tail)
+        lying = json.loads(digest)
+        lying["#document"]["descriptors"] += 1
+        forged = json.dumps(lying, separators=(",", ":"),
+                            sort_keys=True).encode("utf-8")
+        body = body[:-len(tail)] + \
+            struct.pack("<I", len(forged)) + forged
+        with pytest.raises(StorageError,
+                           match="statistics digest"):
+            load_engine(body + struct.pack("<I", zlib.crc32(body)))
+
+    def test_reset_zeroes_everything(self):
+        engine = _engine()
+        engine.stats.reset()
+        assert engine.stats.export() == {}
+        assert engine.stats.total_descriptors() == 0
+
+
+class TestOperatorCli:
+    def _doc(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(EXAMPLE_8_DOCUMENT)
+        return str(path)
+
+    def test_stats_json_has_instruments_and_statistics(self, tmp_path,
+                                                       capsys):
+        assert cli_main(["stats", self._doc(tmp_path),
+                         "--path", "/library/book/title",
+                         "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        histograms = report["instruments"]["histograms"]
+        assert "query.latency.ns" in histograms
+        assert histograms["query.latency.ns"]["p95"] > 0
+        assert report["instruments"]["counters"][
+            "storage.descriptors.allocated"] > 0
+        assert report["statistics"]["library/book/title"][
+            "descriptors"] == 2
+
+    def test_metrics_prom_exposition(self, tmp_path, capsys):
+        assert cli_main(["metrics", self._doc(tmp_path),
+                         "--path", "/library/book/title",
+                         "--prom"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_query_latency_ns summary" in text
+        assert 'repro_query_latency_ns{quantile="0.99"}' in text
+        assert "repro_storage_descriptors_allocated" in text
+
+    def test_top_json_aggregates_and_slow_events(self, tmp_path,
+                                                 capsys):
+        assert cli_main(["top", self._doc(tmp_path),
+                         "--path", "/library/book/title",
+                         "--repeat", "7", "--slow-ms", "0",
+                         "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["queries"]["evaluations"] == 7
+        assert report["queries"]["latency_ns"]["count"] == 7
+        assert report["caches"]["plan_hits"] == 6
+        assert len(report["slow_events"]) == 7
+        assert report["slow_events"][0]["strategy"] == "scan"
+        # The CLI disarms the threshold on the way out.
+        assert obs.SLOW_QUERY_NS is None
+
+    def test_trace_writes_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert cli_main(["trace", self._doc(tmp_path),
+                         "/library/book/title",
+                         "--out", str(out)]) == 0
+        trace = json.loads(out.read_text())
+        assert trace["traceEvents"]
+        assert trace["traceEvents"][0]["ph"] == "X"
+
+
+def _report(meta=None, records=(), indexes=(), summary=None,
+            metrics=None):
+    out = {"records": list(records),
+           "indexes": {"records": list(indexes)},
+           "summary": summary or {}}
+    if meta is not None:
+        out["meta"] = meta
+    if metrics is not None:
+        out["metrics"] = metrics
+    return out
+
+
+def _meta(**overrides):
+    meta = {"format": 2, "git_sha": "cafe", "timestamp": "t",
+            "python": "3.11.7", "implementation": "CPython",
+            "machine": "x86_64", "system": "Linux", "host": "ci",
+            "scales": [10], "smoke": False}
+    meta.update(overrides)
+    return meta
+
+
+class TestBenchCompare:
+    def test_missing_meta_is_refused(self):
+        with pytest.raises(bench_compare.Refusal, match="meta"):
+            bench_compare.compare(_report(), _report(meta=_meta()))
+
+    def test_format_mismatch_is_refused(self):
+        with pytest.raises(bench_compare.Refusal, match="format"):
+            bench_compare.compare(_report(meta=_meta(format=1)),
+                                  _report(meta=_meta()))
+
+    def test_ratio_drop_fails_and_small_scales_are_ignored(self):
+        base = _report(meta=_meta(host="a"), records=[
+            {"path": "/p", "scale": 1000, "cached_vs_uncached": 4.0,
+             "ops_cached_plan": 100.0},
+            {"path": "/p", "scale": 10, "cached_vs_uncached": 4.0,
+             "ops_cached_plan": 100.0}])
+        fresh = _report(meta=_meta(host="b"), records=[
+            {"path": "/p", "scale": 1000, "cached_vs_uncached": 2.0,
+             "ops_cached_plan": 10.0},
+            {"path": "/p", "scale": 10, "cached_vs_uncached": 0.1,
+             "ops_cached_plan": 1.0}])
+        failures = bench_compare.compare(base, fresh)
+        assert [f[0] for f in failures] == \
+            ["cached_vs_uncached[/p@1000]"]
+
+    def test_raw_ops_gate_only_on_the_same_machine(self):
+        record = {"path": "/p", "scale": 1000,
+                  "cached_vs_uncached": 4.0, "ops_cached_plan": 100.0}
+        slower = dict(record, ops_cached_plan=50.0)
+        cross = bench_compare.compare(
+            _report(meta=_meta(host="a"), records=[record]),
+            _report(meta=_meta(host="b"), records=[slower]))
+        assert cross == []
+        same = bench_compare.compare(
+            _report(meta=_meta(), records=[record]),
+            _report(meta=_meta(), records=[slower]))
+        assert [f[0] for f in same] == ["ops_cached_plan[/p@1000]"]
+
+    def test_summary_gates_flip_only_between_same_kind_runs(self):
+        base = _report(meta=_meta(),
+                       summary={"speedup_2x_met": True})
+        fresh_smoke = _report(meta=_meta(smoke=True),
+                              summary={"speedup_2x_met": False})
+        fresh_full = _report(meta=_meta(),
+                             summary={"speedup_2x_met": False})
+        assert bench_compare.compare(base, fresh_smoke) == []
+        failures = bench_compare.compare(base, fresh_full)
+        assert [f[0] for f in failures] == ["summary.speedup_2x_met"]
+
+    def test_p99_blowup_gate(self):
+        metrics = {"scale": 100,
+                   "registry": {"query.latency.ns": {"p99": 100.0}}}
+        blown = {"scale": 100,
+                 "registry": {"query.latency.ns": {"p99": 500.0}}}
+        failures = bench_compare.compare(
+            _report(meta=_meta(), metrics=metrics),
+            _report(meta=_meta(), metrics=blown))
+        assert [f[0] for f in failures] == ["query.latency.ns.p99"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        good = tmp_path / "a.json"
+        good.write_text(json.dumps(_report(meta=_meta())))
+        assert bench_compare.main([str(good), str(good)]) == 0
+        stampless = tmp_path / "b.json"
+        stampless.write_text(json.dumps(_report()))
+        assert bench_compare.main([str(stampless), str(good)]) == 2
+        capsys.readouterr()

@@ -150,23 +150,41 @@ class TestDumpAfterUpdates:
         assert _snapshot(restored) == _snapshot(engine)
 
 
-def _as_legacy_v1(image: bytes) -> bytes:
-    """Rewrite a version-3 image (of an engine without indexes) into
-    the version-1 layout: strip the CRC trailer, drop the u64
-    checkpoint LSN and the u32 index-definition count after the
-    capacity field, and patch the magic."""
+def _as_legacy_v3(image: bytes) -> bytes:
+    """Rewrite a current (version-4) image into the version-3 layout:
+    drop the trailing statistics digest, patch the magic, re-sign the
+    CRC trailer."""
+    import json
+    import struct
+    import zlib
+    digest = json.dumps(load_engine(image).stats.export(),
+                        separators=(",", ":"),
+                        sort_keys=True).encode("utf-8")
     body = image[:-4]
+    tail = struct.pack("<I", len(digest)) + digest
+    assert body.endswith(tail), "helper needs a version-4 image"
+    v3 = b"SEDNAPY3" + body[8:-len(tail)]
+    return v3 + struct.pack("<I", zlib.crc32(v3))
+
+
+def _as_legacy_v1(image: bytes) -> bytes:
+    """Rewrite a current image (of an engine without indexes) into
+    the version-1 layout: strip the statistics digest and the CRC
+    trailer, drop the u64 checkpoint LSN and the u32 index-definition
+    count after the capacity field, and patch the magic."""
+    body = _as_legacy_v3(image)[:-4]
     assert body[20:24] == b"\x00" * 4, "helper needs an index-free image"
     return b"SEDNAPY1" + body[8:12] + body[24:]
 
 
 def _as_legacy_v2(image: bytes) -> bytes:
-    """Rewrite a version-3 image (of an engine without indexes) into
-    the version-2 layout: drop the u32 index-definition count, patch
-    the magic, re-sign the CRC trailer."""
+    """Rewrite a current image (of an engine without indexes) into
+    the version-2 layout: strip the statistics digest, drop the u32
+    index-definition count, patch the magic, re-sign the CRC
+    trailer."""
     import struct
     import zlib
-    body = image[:-4]
+    body = _as_legacy_v3(image)[:-4]
     assert body[20:24] == b"\x00" * 4, "helper needs an index-free image"
     v2 = b"SEDNAPY2" + body[8:20] + body[24:]
     return v2 + struct.pack("<I", zlib.crc32(v2))
