@@ -27,6 +27,13 @@ host, scales — written by :func:`benchmarks.run_all.run_metadata`):
   ``query.latency.ns`` p99 (>2x blowup fails) — are compared only when
   the interpreter and host match, since ops/sec on different hardware
   is weather, not signal.
+
+In CI the baseline is a committed full run from another host and the
+fresh report is a smoke run, so only the machine-independent ratios at
+scale >= 100 actually gate there (the scale-100 index speedups); the
+obs-overhead budget gates separately in CI off a fresh scale-1000
+measurement.  The full scope — raw ops, p99, summary booleans — engages
+when comparing same-host, same-kind runs during development.
 """
 
 from __future__ import annotations

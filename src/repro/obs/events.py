@@ -23,7 +23,8 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Callable, Iterator, List, Optional
+from collections import deque
+from typing import Callable, Deque, Iterator, List, Optional
 
 #: Default bound on retained events.
 DEFAULT_EVENT_LIMIT = 1024
@@ -71,7 +72,9 @@ class EventLog:
                  limit: int = DEFAULT_EVENT_LIMIT) -> None:
         self._clock = clock
         self.limit = limit
-        self.records: List[EventRecord] = []
+        #: A deque ring: appends evict the oldest in O(1), so emit
+        #: stays constant-time on the armed slow-query path.
+        self.records: Deque[EventRecord] = deque(maxlen=limit)
         self.dropped = 0
 
     def emit(self, kind: str, severity: str = "info",
@@ -82,9 +85,8 @@ class EventLog:
                              f"(expected one of {SEVERITIES})")
         record = EventRecord(kind, severity, self._clock(),
                              dict(fields))
-        if len(self.records) >= self.limit:
-            del self.records[0]
-            self.dropped += 1
+        if len(self.records) == self.limit:
+            self.dropped += 1  # the append below evicts the oldest
         self.records.append(record)
         return record
 

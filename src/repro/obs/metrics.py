@@ -262,7 +262,8 @@ def _prom_name(name: str) -> str:
 def render_prometheus(registry: MetricsRegistry) -> str:
     """The registry in the Prometheus text exposition format.
 
-    Counters and gauges render as single samples; histograms render as
+    Counters render as single samples under the conventional
+    ``_total`` suffix; gauges as single samples; histograms as
     summaries — ``{quantile="…"}`` samples from the sliding window plus
     the lifetime ``_sum`` / ``_count`` pair.  The output is stable
     (name-sorted) so scrapes and golden tests diff cleanly.
@@ -272,6 +273,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
         instrument = registry.get(name)
         metric = _prom_name(name)
         if isinstance(instrument, Counter):
+            metric += "_total"
             lines.append(f"# TYPE {metric} counter")
             lines.append(f"{metric} {instrument.value}")
         elif isinstance(instrument, Gauge):

@@ -49,13 +49,27 @@ def descriptor_bytes(descriptor: "NodeDescriptor") -> int:
     return size
 
 
+def _numeric_key(value: str) -> tuple:
+    """A deterministic sort key for one numeric-parsing value: the
+    parsed number first, the lexical form as tie-break (so ``"9"`` vs
+    ``"0009"`` order never depends on dict insertion order).  ``nan``
+    has no numeric position and sorts after every number."""
+    number = float(value)
+    if number != number:  # NaN
+        return (1, 0.0, value)
+    return (0, number, value)
+
+
 def _typed_order(values) -> list:
     """Values sorted in the typed space: numerically when every value
     parses as a number (lexically distinct ``"9"``/``"0009"`` compare
-    by value), lexicographically otherwise."""
+    by value, ties broken lexicographically), lexicographically
+    otherwise.  The order is a pure function of the value *set* —
+    never of insertion order — because the persisted digest must equal
+    a from-scratch recount that saw the same values in document order."""
     values = list(values)
     try:
-        return sorted(values, key=float)
+        return sorted(values, key=_numeric_key)
     except ValueError:
         return sorted(values)
 

@@ -267,7 +267,12 @@ class StorageQueryEngine:
         if threshold is not None and elapsed_ns >= threshold:
             # The complete EXPLAIN rides in the event record — the
             # slow-query log needs no second evaluation to diagnose.
-            registry.counter("query.slow").inc()
+            # The event fires whenever the threshold is armed (arming
+            # is its own opt-in, independent of the telemetry tier);
+            # the counter is telemetry and honors RECORDING like
+            # every other counter site.
+            if obs.RECORDING:
+                registry.counter("query.slow").inc()
             obs.EVENTS.emit("query.slow", severity="warn",
                             **record.as_dict())
         return result

@@ -247,7 +247,8 @@ class TestPrometheusRendering:
         for value in (10.0, 20.0, 30.0):
             histogram.observe(value)
         text = render_prometheus(registry)
-        assert "# TYPE repro_a_count counter\nrepro_a_count 3" in text
+        assert "# TYPE repro_a_count_total counter\n" \
+            "repro_a_count_total 3" in text
         assert "# TYPE repro_b_depth gauge\nrepro_b_depth 2" in text
         assert "# TYPE repro_c_latency_ns summary" in text
         assert 'repro_c_latency_ns{quantile="0.5"} 20.0' in text
@@ -329,6 +330,35 @@ class TestStatisticsCollector:
         assert stats["min_value"] == "de"
         assert engine.stats.export() == \
             StatisticsCollector.recount(engine).export()
+
+    def test_typed_order_ties_ignore_insertion_order(self):
+        from repro.obs.statistics import NodeStats
+        values = ["9", "0009", "1.0", "1", "nan"]
+        forward, backward = NodeStats(), NodeStats()
+        for value in values:
+            forward.add_value(value)
+        for value in reversed(values):
+            backward.add_value(value)
+        digest = forward.as_dict()
+        assert digest == backward.as_dict()
+        # Numeric ties break lexicographically; nan sorts after
+        # every number.
+        assert digest["min_value"] == "1"
+        assert digest["max_value"] == "nan"
+
+    def test_digest_is_stable_across_mutation_order(self):
+        engine = _engine()
+        library = engine.children(engine.document)[0]
+        books = engine.children(library)
+        # Mutate in the reverse of the document order a recount
+        # walks; the numerically-equal distinct strings must digest
+        # identically either way.
+        engine.set_attribute(books[1], QName("", "rank"), "9")
+        engine.set_attribute(books[0], QName("", "rank"), "0009")
+        stats = engine.stats.export()["library/book/@rank"]
+        assert stats["min_value"] == "0009"
+        assert stats["max_value"] == "9"
+        engine.stats.verify_consistency(engine)
 
     @pytest.mark.parametrize("backend_factory", [
         lambda tmp: FileBackend(tmp / "s.img", wal_path=tmp / "s.wal"),
