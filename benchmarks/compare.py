@@ -65,7 +65,15 @@ SUMMARY_GATES = (
     "checkpoint_incremental_10x_met",
     "min_cached_vs_uncached_1_5x_met",
     "speedup_2x_met",
+    "concurrency_zero_relabels",
+    "concurrency_no_torn_reads",
+    "concurrency_overload_typed",
 )
+
+#: The reader-retention ratio (solo p50 over contended p50) is noisy —
+#: it measures scheduler interference, not code — so it gets a wide
+#: tolerance of its own rather than :data:`RATIO_TOLERANCE`.
+RETENTION_TOLERANCE = 0.5
 
 #: ``meta`` keys that must all match before raw numbers are compared.
 MACHINE_KEYS = ("python", "implementation", "machine", "system", "host")
@@ -159,6 +167,19 @@ def compare(baseline: dict, fresh: dict,
         ratio_drop(f"index_vs_scan[{key[0]}@{key[1]}]",
                    base["index_vs_scan"], new["index_vs_scan"],
                    ratio_tolerance)
+
+    base_conc = baseline.get("concurrency")
+    fresh_conc = fresh.get("concurrency")
+    if (isinstance(base_conc, dict) and isinstance(fresh_conc, dict)
+            and all(base_conc.get(key) == fresh_conc.get(key)
+                    for key in ("readers", "writers", "rounds",
+                                "scale"))):
+        # Same workload shape: snapshot readers must keep (most of)
+        # their solo latency under writer load, machine-independently.
+        ratio_drop("concurrency.reader_p50_retention",
+                   base_conc.get("reader_p50_retention", 0),
+                   fresh_conc.get("reader_p50_retention", 0),
+                   RETENTION_TOLERANCE)
 
     if scope["same_machine"]:
         base_metrics = baseline.get("metrics", {})

@@ -649,6 +649,176 @@ def run_durability(scale=100, operations=200, checkpoint_scale=None):
     }
 
 
+def _concurrency_mutation(engine, session):
+    """One logged insert per write transaction (the serve workload)."""
+    root = engine.children(engine.document)[0]
+    book = next(child for child in engine.children(root)
+                if engine.node_name(child) is not None
+                and engine.node_name(child).local == "book")
+    author = engine.insert_child(book, 1, name=QName("", "author"))
+    engine.insert_child(author, 0,
+                        text=f"session {session.session_id}")
+
+
+def run_concurrency(readers=4, writers=2, rounds=20, scale=30):
+    """N snapshot readers + M lease-handoff writers over a served
+    MemoryBackend (the resilient multi-session layer, DESIGN §14).
+
+    Reports per-mode latency percentiles from the windowed histograms,
+    a solo-reader baseline for the contention-retention ratio (the
+    machine-independent number ``benchmarks.compare`` tracks), the
+    typed ``Overloaded`` shed at the session cap, and a final recovery
+    that must relabel nothing.  One record."""
+    import threading
+
+    from repro.server import DatabaseServer, Overloaded
+    from repro.storage import MemoryBackend
+
+    path = "/library/book/title"
+    errors = []
+
+    def build_server(**kwargs):
+        kwargs.setdefault("acquire_timeout", 30.0)
+        return DatabaseServer(
+            MemoryBackend(),
+            make_library_document(books=scale, papers=scale,
+                                  seed=scale),
+            **kwargs)
+
+    def reader_pass(server, torn_counts, index):
+        torn = 0
+        try:
+            for _ in range(rounds):
+                with server.open_session(
+                        "read", owner=f"bench-r{index}") as session:
+                    first = session.query_values(path)
+                    if session.query_values(path) != first:
+                        torn += 1
+        except Exception as exc:  # noqa: BLE001 — a bench must not hang
+            errors.append(repr(exc))
+        torn_counts[index] = torn
+
+    def writer_pass(server, index):
+        try:
+            for _ in range(rounds):
+                with server.open_session(
+                        "write", owner=f"bench-w{index}") as session:
+                    session.execute(_concurrency_mutation)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(repr(exc))
+
+    def summary(name):
+        instrument = obs.REGISTRY.get(name)
+        return instrument.summary() if instrument is not None else {
+            "count": 0, "p50": 0, "p99": 0}
+
+    # Solo baseline: one reader, nobody else on the box.
+    obs.reset()
+    solo_server = build_server()
+    solo_torn = {}
+    reader_pass(solo_server, solo_torn, 0)
+    solo_read = summary("server.read.latency.ns")
+    solo_server.close()
+
+    # The contended run.
+    obs.reset()
+    cap = readers + writers + 2
+    server = build_server(max_sessions=cap)
+    torn_counts = {}
+    threads = [threading.Thread(target=reader_pass,
+                                args=(server, torn_counts, i))
+               for i in range(readers)]
+    threads += [threading.Thread(target=writer_pass, args=(server, i))
+                for i in range(writers)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+
+    read_latency = summary("server.read.latency.ns")
+    write_latency = summary("server.write.latency.ns")
+    lease_wait = summary("server.lease.wait.ns")
+
+    # Overload: fill every admission slot, then the N+1-th must shed
+    # with the typed refusal (bounded degradation, not a hang).
+    held = [server.open_session("read") for _ in range(cap)]
+    overload_typed, retry_after = False, 0.0
+    try:
+        server.open_session("read")
+    except Overloaded as exc:
+        overload_typed, retry_after = True, exc.retry_after
+    for session in held:
+        session.close()
+
+    server.checkpoint_now()
+    result = recover(server.backend)
+    dead_letters = len(server.leases.drain_dead_letters())
+    registry = obs.REGISTRY
+    record = {
+        "readers": readers,
+        "writers": writers,
+        "rounds": rounds,
+        "scale": scale,
+        "elapsed_seconds": round(elapsed, 4),
+        "read_latency_ns": read_latency,
+        "write_latency_ns": write_latency,
+        "lease_wait_ns": lease_wait,
+        "solo_read_latency_ns": solo_read,
+        # Solo p50 over contended p50: 1.0 means snapshot readers kept
+        # their solo latency under writer load.  Machine-independent.
+        "reader_p50_retention": round(
+            solo_read["p50"] / max(read_latency["p50"], 1), 3),
+        "lease_grants": registry.value("server.lease.grants"),
+        "lease_contended": registry.value("server.lease.contended"),
+        "lease_expirations":
+            registry.value("server.lease.expirations"),
+        "dead_letters": dead_letters,
+        "snapshot_materializations":
+            registry.value("server.snapshot.materializations"),
+        "snapshot_cache_hits":
+            registry.value("server.snapshot.cache_hits"),
+        "torn_reads": sum(torn_counts.values()) +
+            sum(solo_torn.values()),
+        "errors": len(errors),
+        "error_samples": errors[:3],
+        "overload_typed": overload_typed,
+        "overload_retry_after": retry_after,
+        "committed_writes": writers * rounds,
+        "recovery_relabels": result.relabels,
+        "recovery_nodes": result.engine.node_count(),
+    }
+    server.close()
+    obs.reset()
+    return record
+
+
+def _print_concurrency(record):
+    print(f"\nconcurrency (sessions: {record['readers']} readers + "
+          f"{record['writers']} writers x {record['rounds']}, "
+          f"scale {record['scale']}):")
+    read, write = record["read_latency_ns"], record["write_latency_ns"]
+    print(f"  read latency:  p50 {read['p50']/1000:.1f} us, "
+          f"p99 {read['p99']/1000:.1f} us ({read['count']} requests)")
+    print(f"  write latency: p50 {write['p50']/1000:.1f} us, "
+          f"p99 {write['p99']/1000:.1f} us ({write['count']} commits)")
+    print(f"  reader p50 retention vs solo: "
+          f"{record['reader_p50_retention']:.2f}x")
+    print(f"  lease: {record['lease_grants']} grants "
+          f"({record['lease_contended']} contended, "
+          f"{record['lease_expirations']} expirations, "
+          f"{record['dead_letters']} dead letters)")
+    print(f"  snapshots: {record['snapshot_materializations']} "
+          f"materialized, {record['snapshot_cache_hits']} cache hits")
+    print(f"  isolation: {record['torn_reads']} torn reads, "
+          f"{record['recovery_relabels']} relabels on recovery, "
+          f"{record['errors']} errors")
+    print(f"  overload: typed shed "
+          f"{'yes' if record['overload_typed'] else 'NO'} "
+          f"(retry_after {record['overload_retry_after']:.3f}s)")
+
+
 def _print_durability(record):
     print(f"\ndurability (WAL + recovery, scale {record['scale']}, "
           f"{record['operations']} ops):")
@@ -770,6 +940,8 @@ def main(argv=None):
                                     operations=40,
                                     checkpoint_scale=100)
         overhead = run_obs_overhead(scale=100, repeats=2, rounds=5)
+        concurrency = run_concurrency(readers=2, writers=1,
+                                      rounds=5, scale=10)
         scales = SMOKE_SCALES
     else:
         records = run()
@@ -779,12 +951,15 @@ def main(argv=None):
         durability = run_durability(scale=100, operations=400,
                                     checkpoint_scale=1000)
         overhead = run_obs_overhead(scale=1000)
+        concurrency = run_concurrency(readers=4, writers=2,
+                                      rounds=25, scale=50)
         scales = DEFAULT_SCALES
     ddl = ddl_invalidation_check()
     _print_table(records)
     _print_indexes(indexes, ddl)
     _print_conformance_table(conformance)
     _print_durability(durability)
+    _print_concurrency(concurrency)
     _print_metrics(metrics)
     _print_obs_overhead(overhead)
     if args.profile:
@@ -809,6 +984,7 @@ def main(argv=None):
             },
             "conformance_records": conformance,
             "durability": durability,
+            "concurrency": concurrency,
             "metrics": metrics,
             "obs_overhead": overhead,
             "summary": {
@@ -839,6 +1015,17 @@ def main(argv=None):
                 "checkpoint_incremental_10x_met": (
                     durability["checkpoint_modes"]
                     ["checkpoint_incremental_vs_monolithic"] >= 10.0),
+                # The session layer's isolation contract under an
+                # N-reader/M-writer storm: every pinned view frozen,
+                # recovery relabel-free, and load past the admission
+                # caps shed with the typed refusal.
+                "concurrency_zero_relabels": (
+                    concurrency["recovery_relabels"] == 0),
+                "concurrency_no_torn_reads": (
+                    concurrency["torn_reads"] == 0
+                    and concurrency["errors"] == 0),
+                "concurrency_overload_typed": (
+                    concurrency["overload_typed"]),
                 "max_cached_vs_uncached": max(speedups),
                 "min_cached_vs_uncached": min(speedups),
                 # The cached route skips parse + planning AND runs the

@@ -24,6 +24,12 @@ Usage::
     python -m repro index DOCUMENT.xml PATH [--kind value|path]
                           [--type TYPE] [--eq V | --low L --high H]
                           [--query PATH] [--json]
+    python -m repro serve DOCUMENT.xml [--readers N] [--writers M]
+                          [--requests R] [--max-sessions S]
+                          [--lease-ttl SEC] [--timeout SEC]
+                          [--seed SEED] [--prom | --json]
+    python -m repro session DOCUMENT.xml PATH [--mode read|write]
+                            [--timeout SEC] [--json]
 
 ``validate`` applies the mapping f (Section 8) and reports the first
 Section 6.2 requirement the document violates; ``lint`` runs the
@@ -54,6 +60,16 @@ latency percentiles, cache hit rates, WAL/checkpoint latencies), with
 ``--slow-ms`` arming the slow-query log and appending its JSON-lines
 events; ``trace`` records a cold+warm evaluation with span tracing on
 and exports Chrome-trace-viewer JSON.
+
+``serve`` and ``session`` exercise the resilient multi-session layer
+(DESIGN §14): ``serve`` runs a bounded N-reader/M-writer workload —
+readers on pinned MVCC-lite snapshots, writers handing off the
+single-writer lease under timeout/backoff, overload shed with typed
+``Overloaded`` responses — and reports isolation evidence (torn reads,
+relabels, dead letters) plus the ``server.*`` telemetry; ``session``
+opens one session and evaluates a path.  With ``--json``, every
+command reports failures as ``{"error": {"type", "kind", "message",
+...}}`` where ``kind`` is the stable machine-readable discriminator.
 """
 
 from __future__ import annotations
@@ -64,7 +80,7 @@ import sys
 from typing import Sequence
 
 from repro import obs
-from repro.errors import CorruptionError, ReproError
+from repro.errors import ReproError
 from repro.mapping.doc_to_tree import (
     document_to_tree,
     untyped_document_to_tree,
@@ -324,6 +340,13 @@ def _cmd_top(args: argparse.Namespace) -> int:
                 "blocks": engine.block_count(),
             },
         }
+        # When a session-layer workload ran in-process (repro serve,
+        # embedding apps), surface its server.* instruments too.
+        server_stats = {
+            name: value for name, value in registry.snapshot().items()
+            if name.startswith("server.")}
+        if server_stats:
+            report["server"] = server_stats
         slow_events = obs.EVENTS.find("query.slow")
         if args.json:
             if slow_events:
@@ -560,6 +583,173 @@ def _cmd_index(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run a bounded N-reader/M-writer workload through the session
+    layer and report isolation + degradation evidence.
+
+    Readers pin MVCC-lite snapshots and re-query to prove stability;
+    writers hand off the single-writer lease under timeout/backoff;
+    load past the admission caps sheds with typed ``Overloaded``.
+    The exit code is 1 unless every reader saw a frozen snapshot
+    (torn_reads == 0) and final recovery relabelled nothing.
+    """
+    import threading
+
+    from repro.server import DatabaseServer, server_report
+    from repro.server.session import LeaseTimeout, Overloaded
+    from repro.storage import MemoryBackend
+    from repro.storage.recovery import recover
+
+    obs.reset()
+    document = parse_document(_read(args.document))
+    server = DatabaseServer(MemoryBackend(), document,
+                            max_sessions=args.max_sessions,
+                            lease_ttl=args.lease_ttl,
+                            acquire_timeout=args.timeout,
+                            seed=args.seed)
+    path = args.path or f"/{document.root.name.local}"
+    counters = {"reads": 0, "writes": 0, "overloaded": 0,
+                "lease_timeouts": 0, "torn_reads": 0, "errors": 0}
+    tally = threading.Lock()
+
+    def _count(key: str, by: int = 1) -> None:
+        with tally:
+            counters[key] += by
+
+    def _mutate(engine, session) -> None:
+        # Clone the first child element's name under the root — a
+        # schema-preserving insertion that works for any document.
+        root = engine.children(engine.document)[0]
+        kids = [k for k in engine.children(root)
+                if engine.node_kind(k) == "element"]
+        name = (engine.node_name(kids[0]) if kids
+                else engine.node_name(root))
+        engine.insert_child(root, 0, name=name)
+
+    def _reader(index: int) -> None:
+        for _ in range(args.requests):
+            try:
+                with server.open_session(
+                        "read", owner=f"reader-{index}") as session:
+                    first = session.query_values(path)
+                    again = session.query_values(path)
+                    if first != again:
+                        _count("torn_reads")
+                    _count("reads", 2)
+            except Overloaded:
+                _count("overloaded")
+            except ReproError:
+                _count("errors")
+
+    def _writer(index: int) -> None:
+        for _ in range(args.requests):
+            try:
+                with server.open_session(
+                        "write", owner=f"writer-{index}") as session:
+                    session.execute(_mutate)
+                    _count("writes")
+            except LeaseTimeout:
+                _count("lease_timeouts")
+            except Overloaded:
+                _count("overloaded")
+            except ReproError:
+                _count("errors")
+
+    threads = [threading.Thread(target=_reader, args=(i,))
+               for i in range(args.readers)]
+    threads += [threading.Thread(target=_writer, args=(i,))
+                for i in range(args.writers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    server.checkpoint_now()
+    final = recover(server.backend)
+    report = {
+        "document": args.document,
+        "config": {"readers": args.readers, "writers": args.writers,
+                   "requests": args.requests,
+                   "max_sessions": args.max_sessions,
+                   "seed": args.seed},
+        "results": dict(counters),
+        "recovery": {"relabels": final.relabels,
+                     "nodes": final.engine.node_count()},
+        "dead_letters": [letter.as_dict() for letter
+                         in server.leases.drain_dead_letters()],
+        "server": server_report(),
+        "admission": server.admission.snapshot(),
+    }
+    healthy = (counters["torn_reads"] == 0 and final.relabels == 0
+               and counters["errors"] == 0)
+    report["healthy"] = healthy
+    try:
+        if args.prom:
+            print(obs.render_prometheus(obs.REGISTRY))
+        elif args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(f"serve — {args.document} "
+                  f"({args.readers} reader(s) + {args.writers} "
+                  f"writer(s) x {args.requests})")
+            print(f"  reads:        {counters['reads']} "
+                  f"({counters['torn_reads']} torn)")
+            print(f"  writes:       {counters['writes']} committed, "
+                  f"{counters['lease_timeouts']} lease timeout(s)")
+            print(f"  shed:         {counters['overloaded']} overloaded")
+            print(f"  lease:        "
+                  f"{report['server']['lease']['grants']} grant(s), "
+                  f"{report['server']['lease']['expirations']} "
+                  f"expiration(s), {len(report['dead_letters'])} "
+                  f"dead letter(s)")
+            print(f"  recovery:     {final.relabels} relabel(s), "
+                  f"{final.engine.node_count()} nodes")
+            print(f"  healthy:      {healthy}")
+        return 0 if healthy else 1
+    finally:
+        server.close()
+        obs.reset()
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    """Open one session against a fresh server and evaluate a path —
+    the smallest end-to-end exercise of the session layer."""
+    from repro.server import DatabaseServer
+    from repro.storage import MemoryBackend
+
+    obs.reset()
+    server = DatabaseServer(MemoryBackend(),
+                            parse_document(_read(args.document)))
+    try:
+        with server.open_session(args.mode,
+                                 timeout=args.timeout) as session:
+            values = session.query_values(args.path)
+            report = {
+                "session": session.session_id,
+                "mode": session.mode,
+                "path": args.path,
+                "count": len(values),
+                "values": values,
+            }
+            if session.snapshot is not None:
+                report["snapshot"] = session.snapshot.version
+                report["relabels"] = session.snapshot.relabels
+            if session.lease is not None:
+                report["lease"] = session.lease.as_dict()
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            origin = report.get("snapshot", "live engine")
+            print(f"session {report['session']} ({report['mode']}) "
+                  f"over {origin}: {report['count']} node(s)")
+            for value in values:
+                print(value)
+        return 0
+    finally:
+        server.close()
+        obs.reset()
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -728,6 +918,48 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the index report as JSON")
     index.set_defaults(handler=_cmd_index)
 
+    serve = commands.add_parser(
+        "serve", help="run a bounded multi-session workload and "
+                      "report isolation + degradation evidence")
+    serve.add_argument("document")
+    serve.add_argument("--path", default=None,
+                       help="reader query path (default '/')")
+    serve.add_argument("--readers", type=int, default=4,
+                       help="concurrent reader threads (default: 4)")
+    serve.add_argument("--writers", type=int, default=2,
+                       help="concurrent writer threads (default: 2)")
+    serve.add_argument("--requests", type=int, default=8,
+                       help="sessions opened per thread (default: 8)")
+    serve.add_argument("--max-sessions", type=int, default=32,
+                       dest="max_sessions",
+                       help="admission cap on open sessions")
+    serve.add_argument("--lease-ttl", type=float, default=0.5,
+                       dest="lease_ttl",
+                       help="writer lease TTL in seconds")
+    serve.add_argument("--timeout", type=float, default=2.0,
+                       help="writer lease acquire timeout in seconds")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="backoff-jitter RNG seed")
+    group = serve.add_mutually_exclusive_group()
+    group.add_argument("--prom", action="store_true",
+                       help="Prometheus text exposition format")
+    group.add_argument("--json", action="store_true",
+                       help="emit the workload report as JSON")
+    serve.set_defaults(handler=_cmd_serve)
+
+    session = commands.add_parser(
+        "session", help="open one session and evaluate a path")
+    session.add_argument("document")
+    session.add_argument("path")
+    session.add_argument("--mode", choices=("read", "write"),
+                         default="read",
+                         help="snapshot reader or lease-holding writer")
+    session.add_argument("--timeout", type=float, default=None,
+                         help="lease acquire timeout (write mode)")
+    session.add_argument("--json", action="store_true",
+                         help="emit the session report as JSON")
+    session.set_defaults(handler=_cmd_session)
+
     return parser
 
 
@@ -742,12 +974,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         if getattr(args, "json", False):
             # Machine consumers asked for JSON; errors honour that too.
+            # ``kind`` is the stable wire-format discriminator (the
+            # class name is a Python detail); errors carrying extra
+            # structure (corruption location, Overloaded retry_after)
+            # merge it in via their as_dict().
             payload = {"type": type(error).__name__,
+                       "kind": getattr(error, "kind", "error"),
                        "message": str(error)}
-            if isinstance(error, CorruptionError):
-                # Corruption carries where it was detected: the backend
-                # name and the located position inside its medium.
-                payload.update(error.as_dict())
+            as_dict = getattr(error, "as_dict", None)
+            if as_dict is not None:
+                payload.update(as_dict())
             print(json.dumps({"error": payload}, indent=2))
         else:
             print(f"error: {error}", file=sys.stderr)

@@ -3,6 +3,11 @@
 Every error raised by :mod:`repro` derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still being able to discriminate by subsystem.
+
+Each class carries a ``kind`` — a stable, dash-separated identifier that
+the CLI ``--json`` error objects expose.  Class names are Python API and
+may be refactored; ``kind`` strings are wire format and may not, so
+machine consumers match on ``kind``, never on ``type``.
 """
 
 from __future__ import annotations
@@ -11,6 +16,9 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class of every exception raised by this library."""
 
+    #: Stable machine-readable error category for ``--json`` consumers.
+    kind = "error"
+
 
 class XmlSyntaxError(ReproError):
     """The input text is not a well-formed XML document.
@@ -18,6 +26,8 @@ class XmlSyntaxError(ReproError):
     Carries the 1-based ``line`` and ``column`` of the offending position
     when they are known.
     """
+
+    kind = "xml-syntax"
 
     def __init__(self, message: str, line: int | None = None,
                  column: int | None = None) -> None:
@@ -31,9 +41,13 @@ class XmlSyntaxError(ReproError):
 class TypeSystemError(ReproError):
     """Misuse of the simple-type system (unknown type, bad derivation...)."""
 
+    kind = "type-system"
+
 
 class LexicalError(TypeSystemError):
     """A literal is not in the lexical space of the requested type."""
+
+    kind = "lexical"
 
     def __init__(self, type_name: str, literal: str,
                  reason: str | None = None) -> None:
@@ -48,13 +62,19 @@ class LexicalError(TypeSystemError):
 class FacetError(TypeSystemError):
     """A facet constraint is violated or a facet is ill-formed."""
 
+    kind = "facet"
+
 
 class SchemaError(ReproError):
     """The document schema itself is ill-formed (abstract syntax level)."""
 
+    kind = "schema"
+
 
 class SchemaSyntaxError(SchemaError):
     """The XSD source text does not map to the supported abstract syntax."""
+
+    kind = "schema-syntax"
 
 
 class TypeUsageError(SchemaError):
@@ -64,13 +84,19 @@ class TypeUsageError(SchemaError):
     type name, or an inline anonymous definition.
     """
 
+    kind = "type-usage"
+
 
 class ModelError(ReproError):
     """Misuse of the XDM node model (wrong accessor, wrong node kind...)."""
 
+    kind = "model"
+
 
 class AlgebraError(ReproError):
     """Violation of state-algebra invariants (sort disjointness etc.)."""
+
+    kind = "algebra"
 
 
 class ConformanceError(ReproError):
@@ -79,6 +105,8 @@ class ConformanceError(ReproError):
     ``item`` names the requirement from the paper (e.g. ``"5.1.1"``) and
     ``path`` locates the offending node as a human-readable path.
     """
+
+    kind = "conformance"
 
     def __init__(self, item: str, message: str,
                  path: str | None = None) -> None:
@@ -91,13 +119,19 @@ class ConformanceError(ReproError):
 class ValidationError(ReproError):
     """A raw XML document does not validate against a schema."""
 
+    kind = "validation"
+
 
 class ContentModelError(ReproError):
     """A content model is ill-formed or a child sequence does not match."""
 
+    kind = "content-model"
+
 
 class StorageError(ReproError):
     """Invariant violation inside the simulated Sedna storage engine."""
+
+    kind = "storage"
 
 
 class CorruptionError(StorageError):
@@ -109,6 +143,8 @@ class CorruptionError(StorageError):
     that backend's address vocabulary — a file byte offset, a sqlite
     rowid, or a snapshot version.
     """
+
+    kind = "corruption"
 
     def __init__(self, message: str, backend: str | None = None,
                  location: str | None = None) -> None:
@@ -129,10 +165,16 @@ class UpdateError(StorageError):
     sibling chain behind.
     """
 
+    kind = "update"
+
 
 class LabelError(StorageError):
     """A numbering label operation is impossible (exhausted alphabet...)."""
 
+    kind = "label"
+
 
 class QueryError(ReproError):
     """A path query is syntactically invalid or applied to a bad context."""
+
+    kind = "query"

@@ -1,0 +1,228 @@
+"""MVCC-lite reader snapshots over a storage backend.
+
+A reader must see a frozen, committed state while the writer keeps
+appending — without either blocking the other.  The machinery the
+durability layer already provides is exactly enough:
+
+* the backend's checkpoint image is immutable once published (atomic
+  rename / COMMIT-barrier publish), and
+* the WAL scan (:func:`repro.storage.wal.read_wal_store`) yields the
+  durable record sequence with torn tails discarded, and
+  :meth:`~repro.storage.wal.WalScan.committed_txns` identifies the
+  transactions whose COMMIT landed.
+
+So a **snapshot key** is the pair ``(checkpoint_lsn, horizon)`` where
+*horizon* is the last LSN belonging to a committed transaction: the
+committed-WAL horizon.  Materializing a snapshot replays exactly that
+committed prefix onto the checkpoint image — which is
+:func:`repro.storage.recovery.recover` verbatim, and inherits its
+guarantees: uncommitted and torn suffixes are unobservable by
+construction, replay re-derives every numbering label (relabels == 0,
+Proposition 1), and the §9 invariants are re-checked.  A snapshot is
+copy-on-write at the coarsest possible grain: the reader's descriptor
+graph is materialized from durable bytes, shares no mutable object
+with the live engine, and is never written again — version *k*'s
+descriptors survive unchanged while the writer builds version *k+1*.
+
+Snapshots are cached by key with pin counts: concurrent readers at the
+same horizon share one immutable engine (pin is O(1)); a new horizon
+materializes once.  Unpinned stale snapshots are evicted when the
+cache grows past ``max_cached``; the newest is always retained as the
+fast path for the next reader.
+
+The writer never takes part: it appends to the WAL and mutates the
+live engine while readers pin, query and release — reader isolation
+comes from *which bytes* a snapshot reads (the durable committed
+prefix), not from excluding the writer.  The WAL's CRC framing makes
+a concurrent half-appended record indistinguishable from a torn tail,
+which the scan already tolerates; the record simply falls past the
+snapshot's horizon.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from repro import obs
+from repro.server.session import SessionError
+from repro.storage.recovery import recover
+from repro.storage.wal import read_wal_store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.query.engine import StorageQueryEngine
+    from repro.storage.backends.base import StorageBackend
+    from repro.storage.engine import StorageEngine
+
+#: Distinct snapshot versions kept around by default (the newest is
+#: never evicted while unpinned; pinned versions are never evicted).
+DEFAULT_MAX_CACHED = 4
+
+
+class Snapshot:
+    """One immutable, committed-only view of the database."""
+
+    __slots__ = ("key", "engine", "pins", "relabels", "_queries")
+
+    def __init__(self, key: tuple[int, int],
+                 engine: "StorageEngine", relabels: int) -> None:
+        #: ``(checkpoint_lsn, committed_wal_horizon)`` — the version id.
+        self.key = key
+        #: The materialized engine.  Immutable by contract: it has no
+        #: transaction manager attached and no writer ever sees it.
+        self.engine = engine
+        self.pins = 0
+        #: Relabels during materialization — always 0 (Proposition 1);
+        #: recorded so sessions can assert it without re-deriving.
+        self.relabels = relabels
+        self._queries: "Optional[StorageQueryEngine]" = None
+
+    @property
+    def checkpoint_lsn(self) -> int:
+        return self.key[0]
+
+    @property
+    def horizon(self) -> int:
+        return self.key[1]
+
+    @property
+    def version(self) -> str:
+        """Human/JSON shape of the key."""
+        return f"lsn{self.key[0]}+wal{self.key[1]}"
+
+    def queries(self) -> "StorageQueryEngine":
+        """A (lazily built, shared) query engine over the snapshot —
+        readers at the same horizon share its plan cache too."""
+        if self._queries is None:
+            from repro.query.engine import StorageQueryEngine
+            self._queries = StorageQueryEngine(self.engine)
+        return self._queries
+
+    def __repr__(self) -> str:
+        return (f"Snapshot({self.version}, pins={self.pins}, "
+                f"{self.engine.node_count()} nodes)")
+
+
+class SnapshotManager:
+    """Pin-counted cache of materialized snapshots over one backend."""
+
+    def __init__(self, backend: "StorageBackend",
+                 max_cached: int = DEFAULT_MAX_CACHED) -> None:
+        self.backend = backend
+        self.max_cached = max_cached
+        self._lock = threading.Lock()
+        self._cache: dict[tuple[int, int], Snapshot] = {}
+        #: Insertion order of keys (oldest first) for eviction.
+        self._order: list[tuple[int, int]] = []
+
+    # -- the version key --------------------------------------------------
+
+    def current_key(self) -> tuple[int, int]:
+        """The key a snapshot pinned *now* would get.
+
+        ``checkpoint_lsn`` comes from the backend's published image;
+        ``horizon`` is the greatest LSN of any committed record in the
+        durable WAL (or the checkpoint LSN when the log holds no newer
+        committed work) — together: "image plus committed log prefix".
+        """
+        engine_lsn = self._image_lsn()
+        horizon = engine_lsn
+        store = self.backend.wal_store()
+        if store is not None:
+            scan = read_wal_store(store)
+            committed = scan.committed_txns()
+            for record in scan.records:
+                if record.txn in committed and record.lsn > horizon:
+                    horizon = record.lsn
+        return (engine_lsn, horizon)
+
+    def _image_lsn(self) -> int:
+        # The snapshot list is cheaper than loading the engine, and its
+        # newest entry is the published image's horizon by contract.
+        snapshots = self.backend.list_snapshots()
+        return snapshots[-1].lsn if snapshots else 0
+
+    # -- pin / release ----------------------------------------------------
+
+    def pin(self) -> Snapshot:
+        """An immutable snapshot of the current committed state.
+
+        Cache hit: O(1) under the lock.  Miss: materialize via
+        :func:`~repro.storage.recovery.recover` (outside the lock —
+        readers at other horizons are not blocked), then publish.
+        """
+        key = self.current_key()
+        with self._lock:
+            snapshot = self._cache.get(key)
+            if snapshot is not None:
+                snapshot.pins += 1
+                if obs.RECORDING:
+                    obs.REGISTRY.counter(
+                        "server.snapshot.cache_hits").inc()
+                    self._record_pins()
+                return snapshot
+        materialized = self._materialize(key)
+        with self._lock:
+            # Another reader may have raced the materialization.
+            snapshot = self._cache.get(key)
+            if snapshot is None:
+                snapshot = materialized
+                self._cache[key] = snapshot
+                self._order.append(key)
+                self._evict_stale()
+            snapshot.pins += 1
+            if obs.RECORDING:
+                self._record_pins()
+            return snapshot
+
+    def release(self, snapshot: Snapshot) -> None:
+        """Drop one pin; unpinned stale versions become evictable."""
+        with self._lock:
+            if snapshot.pins <= 0:
+                raise SessionError(
+                    f"snapshot {snapshot.version} is not pinned")
+            snapshot.pins -= 1
+            self._evict_stale()
+            if obs.RECORDING:
+                self._record_pins()
+
+    def pinned(self) -> int:
+        """Total pins across cached snapshots."""
+        with self._lock:
+            return sum(s.pins for s in self._cache.values())
+
+    def cached(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    # -- internals --------------------------------------------------------
+
+    def _materialize(self, key: tuple[int, int]) -> Snapshot:
+        # recover() asserts relabels == 0 and the §9 invariants, and by
+        # construction replays only the committed prefix — the two
+        # halves of the reader-isolation guarantee.
+        result = recover(self.backend)
+        if obs.RECORDING:
+            obs.REGISTRY.counter(
+                "server.snapshot.materializations").inc()
+        return Snapshot(key, result.engine, result.relabels)
+
+    def _record_pins(self) -> None:
+        obs.REGISTRY.gauge("server.snapshot.pinned").set(
+            sum(s.pins for s in self._cache.values()))
+        obs.REGISTRY.gauge("server.snapshot.cached").set(
+            len(self._cache))
+
+    def _evict_stale(self) -> None:
+        """Under the lock: drop old unpinned versions past the bound
+        (the newest version survives even unpinned — it is the next
+        reader's cache hit)."""
+        while len(self._order) > self.max_cached:
+            for key in list(self._order[:-1]):
+                snapshot = self._cache[key]
+                if snapshot.pins == 0:
+                    del self._cache[key]
+                    self._order.remove(key)
+                    break
+            else:
+                return  # everything old is pinned; nothing to evict

@@ -28,7 +28,12 @@ from repro.storage.descriptor import (
 )
 from repro.storage.dschema import DescriptiveSchema, SchemaNode
 from repro.storage.engine import StorageEngine
-from repro.storage.faults import CRASH_POINTS, CrashError, FaultPlan
+from repro.storage.faults import (
+    CRASH_POINTS,
+    SESSION_CRASH_POINTS,
+    CrashError,
+    FaultPlan,
+)
 from repro.storage.indexes import (
     IndexDefinition,
     IndexManager,
@@ -76,6 +81,7 @@ __all__ = [
     "BLOCK_HEADER_BYTES",
     "Block",
     "CRASH_POINTS",
+    "SESSION_CRASH_POINTS",
     "CheckpointTracker",
     "CrashError",
     "DEFAULT_MAX_SNAPSHOTS",

@@ -26,18 +26,51 @@ The instrumented sites call :func:`fire` (crash-before-effect) or, for
 torn writes, :func:`wants` followed by a deliberate partial write and
 an explicit raise — that is how the tests produce half-written WAL
 records and checkpoint images.
+
+**Threads.** The session layer runs many sessions concurrently, and a
+probabilistic plan shared across threads is not reproducible: the hit
+order (and therefore the RNG draw each hit consumes) depends on the
+scheduler.  Two mechanisms restore determinism:
+
+* every plan's bookkeeping is lock-guarded, so shared counters stay
+  coherent (a shared *targeted* plan is deterministic as long as only
+  one thread can reach the armed point);
+* :meth:`FaultPlan.split` derives an independent child plan whose seed
+  is a pure function of ``(parent seed, key)``, and
+  :func:`install_local` arms a plan for the calling thread only —
+  each session thread installs ``plan.split(session_name)`` and its
+  crash schedule depends on nothing but its own passage sequence.
+
+A thread-local plan overrides the process-wide one; :func:`fire` and
+:func:`wants` consult the thread's plan first.
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
+import threading
 from collections import Counter
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
+#: Crash points owned by the session layer (``repro.server``).  They
+#: are part of :data:`CRASH_POINTS` so plans validate against them, but
+#: the storage-only crash-matrix workload never reaches them — the
+#: session crash matrix (``tests/test_server_faults.py``) does.
+SESSION_CRASH_POINTS = frozenset({
+    "session.lease.granted",    # lease granted, crash before the first
+                                # WAL record of the session's txn
+    "session.txn.mid",          # lease holder dies mid-transaction,
+                                # after at least one logged operation
+    "session.reader.checkpoint" # checkpoint advances while a reader
+                                # still pins an older snapshot
+})
+
 #: Every named crash point threaded through the storage layer.  The
-#: crash-matrix test parametrizes over exactly this set, so adding a
-#: point here without instrumenting a site fails the suite.
+#: crash-matrix test parametrizes over exactly this set (minus the
+#: session points, which have their own matrix), so adding a point
+#: here without instrumenting a site fails the suite.
 CRASH_POINTS = frozenset({
     "wal.append",         # before a WAL record reaches the file
     "wal.append.torn",    # mid-append: only half the record lands
@@ -50,7 +83,7 @@ CRASH_POINTS = frozenset({
     "persist.rename",     # before the atomic checkpoint rename
     "index.update",       # before an incremental secondary-index update
     "index.rebuild",      # inside a full secondary-index (re)build scan
-})
+}) | SESSION_CRASH_POINTS
 
 
 class CrashError(RuntimeError):
@@ -65,6 +98,16 @@ class CrashError(RuntimeError):
         super().__init__(f"simulated crash at {point!r}")
 
 
+def derive_seed(seed: Optional[int], key: str) -> int:
+    """A child seed as a pure function of ``(seed, key)``.
+
+    SHA-256 over the canonical text, truncated to 64 bits — stable
+    across runs, interpreters and machines, unlike ``hash()``.
+    """
+    digest = hashlib.sha256(f"{seed}|{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class FaultPlan:
     """A deterministic schedule of crashes over the named points."""
 
@@ -76,9 +119,17 @@ class FaultPlan:
             if unknown:
                 raise ValueError(f"unknown crash points: {sorted(unknown)}")
         self._armed: dict[str, int] = {}
+        #: The explicit seed this plan was built from (``None`` for a
+        #: purely targeted plan) — retained so :meth:`split` can derive
+        #: per-thread children deterministically.
+        self.seed = seed
         self._rng = random.Random(seed) if seed is not None else None
         self._rate = rate
         self._points = frozenset(points) if points else CRASH_POINTS
+        #: Guards hits/fired/RNG: a plan shared across session threads
+        #: keeps coherent counts (determinism per thread comes from
+        #: :meth:`split`, not from this lock).
+        self._lock = threading.Lock()
         self.hits: Counter[str] = Counter()
         #: (point, hit index) pairs where this plan decided to crash.
         self.fired: list[tuple[str, int]] = []
@@ -86,8 +137,27 @@ class FaultPlan:
     @classmethod
     def probabilistic(cls, seed: int, rate: float = 0.05,
                       points: Optional[set[str]] = None) -> "FaultPlan":
-        """A seeded coin-flip plan: crash with *rate* at each point."""
+        """A seeded coin-flip plan: crash with *rate* at each point.
+
+        The seed is an explicit parameter — never module-global state —
+        so multi-threaded sweeps stay reproducible: give each thread
+        ``plan.split(thread_name)`` (or build per-thread plans with
+        per-thread seeds) and install them with :func:`install_local`.
+        """
         return cls(seed=seed, rate=rate, points=points)
+
+    def split(self, key: str) -> "FaultPlan":
+        """An independent child plan for one thread/session.
+
+        The child inherits rate, point filter and targeted arms; its
+        RNG seed is :func:`derive_seed` of ``(self.seed, key)`` — the
+        same parent plan and key always yield the same child schedule,
+        whatever the other threads do.
+        """
+        child = FaultPlan(seed=derive_seed(self.seed, key),
+                          rate=self._rate, points=self._points)
+        child._armed = dict(self._armed)
+        return child
 
     def crash_at(self, point: str, hit: int = 1) -> "FaultPlan":
         """Arm a targeted crash: die the *hit*-th time *point* fires."""
@@ -100,26 +170,34 @@ class FaultPlan:
 
     def should_crash(self, point: str) -> bool:
         """One passage through *point*: does the plan kill here?"""
-        self.hits[point] += 1
-        armed = self._armed.get(point)
-        if armed is not None and self.hits[point] == armed:
-            self.fired.append((point, self.hits[point]))
-            return True
-        if (self._rng is not None and point in self._points
-                and self._rng.random() < self._rate):
-            self.fired.append((point, self.hits[point]))
-            return True
-        return False
+        with self._lock:
+            self.hits[point] += 1
+            armed = self._armed.get(point)
+            if armed is not None and self.hits[point] == armed:
+                self.fired.append((point, self.hits[point]))
+                return True
+            if (self._rng is not None and point in self._points
+                    and self._rng.random() < self._rate):
+                self.fired.append((point, self.hits[point]))
+                return True
+            return False
 
     def __repr__(self) -> str:
         targeted = {p: h for p, h in self._armed.items()}
         return (f"FaultPlan(targeted={targeted}, rate={self._rate}, "
-                f"fired={len(self.fired)})")
+                f"seed={self.seed}, fired={len(self.fired)})")
 
 
 #: The active plan.  ``None`` (the default) makes every instrumented
 #: site a single attribute test — production paths pay nothing.
 ACTIVE: Optional[FaultPlan] = None
+
+#: Count of live thread-local installations.  Zero keeps :func:`fire`
+#: on the two-global-reads fast path; the thread-local lookup only
+#: happens while some thread actually has a local plan armed.
+_LOCAL_PLANS = 0
+
+_LOCAL = threading.local()
 
 
 def install(plan: FaultPlan) -> None:
@@ -129,9 +207,33 @@ def install(plan: FaultPlan) -> None:
 
 
 def clear() -> None:
-    """Disarm fault injection."""
+    """Disarm process-wide fault injection."""
     global ACTIVE
     ACTIVE = None
+
+
+def install_local(plan: FaultPlan) -> None:
+    """Arm *plan* for the calling thread only (overrides the global)."""
+    global _LOCAL_PLANS
+    if getattr(_LOCAL, "plan", None) is None:
+        _LOCAL_PLANS += 1
+    _LOCAL.plan = plan
+
+
+def clear_local() -> None:
+    """Disarm the calling thread's local plan."""
+    global _LOCAL_PLANS
+    if getattr(_LOCAL, "plan", None) is not None:
+        _LOCAL_PLANS -= 1
+        _LOCAL.plan = None
+
+
+def _active() -> Optional[FaultPlan]:
+    if _LOCAL_PLANS:
+        local = getattr(_LOCAL, "plan", None)
+        if local is not None:
+            return local
+    return ACTIVE
 
 
 @contextmanager
@@ -144,9 +246,19 @@ def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
         clear()
 
 
+@contextmanager
+def injected_local(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Scoped thread-local installation (session fault tests)."""
+    install_local(plan)
+    try:
+        yield plan
+    finally:
+        clear_local()
+
+
 def fire(point: str) -> None:
     """Crash here if the active plan says so (no-op otherwise)."""
-    plan = ACTIVE
+    plan = _active()
     if plan is not None and plan.should_crash(point):
         raise CrashError(point)
 
@@ -157,5 +269,5 @@ def wants(point: str) -> bool:
     The caller performs the partial write itself and then raises
     :class:`CrashError` — see ``wal.append`` and the checkpoint writer.
     """
-    plan = ACTIVE
+    plan = _active()
     return plan is not None and plan.should_crash(point)

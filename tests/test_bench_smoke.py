@@ -80,6 +80,23 @@ def test_run_all_smoke_writes_report(tmp_path, capsys):
     ddl = indexes["ddl_invalidation"]
     assert ddl["exactly_affected_invalidated"]
     assert ddl["unaffected_restamped"]
+    # The session-layer concurrency record: N readers + M writers with
+    # per-mode percentiles, frozen reads, typed overload shedding and
+    # a relabel-free recovery.
+    concurrency = report["concurrency"]
+    assert concurrency["read_latency_ns"]["count"] > 0
+    assert concurrency["read_latency_ns"]["p99"] >= \
+        concurrency["read_latency_ns"]["p50"] > 0
+    assert concurrency["write_latency_ns"]["count"] == \
+        concurrency["committed_writes"]
+    assert concurrency["torn_reads"] == 0
+    assert concurrency["errors"] == 0
+    assert concurrency["overload_typed"]
+    assert concurrency["overload_retry_after"] > 0
+    assert concurrency["recovery_relabels"] == 0
+    assert report["summary"]["concurrency_zero_relabels"]
+    assert report["summary"]["concurrency_no_torn_reads"]
+    assert report["summary"]["concurrency_overload_typed"]
     capsys.readouterr()  # swallow the printed table
 
 

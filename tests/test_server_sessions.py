@@ -1,0 +1,426 @@
+"""The resilient multi-session layer: snapshot-isolated reads,
+overload-graceful degradation, per-request timeouts, the threaded
+request loop, telemetry, and the CLI surface.
+
+The invariants under test are the PR's acceptance bullets:
+
+* a pinned reader's view is frozen — repeatable reads across
+  concurrent commits, and uncommitted state is never observable;
+* past the admission caps the server sheds with typed ``Overloaded``
+  (retry hint included) — no hang, no corruption;
+* an over-budget write aborts through the inverse-op rollback;
+* an N-reader/M-writer storm ends with zero torn reads and a final
+  recovery that relabels nothing (Proposition 1 across concurrency).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.server import (
+    DatabaseServer,
+    Overloaded,
+    SessionClosed,
+    SessionError,
+    SessionExpired,
+    server_report,
+)
+from repro.storage import FileBackend, MemoryBackend, faults, recover
+from repro.storage.faults import FaultPlan, derive_seed
+from repro.workloads.bookstore import (
+    BOOKS_NAMESPACE,
+    make_bookstore_document,
+)
+from repro.xmlio.qname import QName
+
+TITLES = "/BookStore/Book/Title"
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+    faults.clear()
+    faults.clear_local()
+
+
+def make_server(**kwargs):
+    kwargs.setdefault("workers", 2)
+    return DatabaseServer(MemoryBackend(),
+                          make_bookstore_document(books=5, seed=3),
+                          **kwargs)
+
+
+def add_book(tag):
+    def mutate(engine, session):
+        store = engine.children(engine.document)[0]
+        book = engine.insert_child(
+            store, 0, name=QName(BOOKS_NAMESPACE, "Book"))
+        title = engine.insert_child(
+            book, 0, name=QName(BOOKS_NAMESPACE, "Title"))
+        engine.insert_child(title, 0, text=tag)
+    return mutate
+
+
+class TestSnapshotIsolation:
+    def test_pinned_reader_is_frozen_across_commits(self):
+        with make_server() as server:
+            reader = server.open_session("read")
+            assert len(reader.query_values(TITLES)) == 5
+            with server.open_session("write") as writer:
+                writer.execute(add_book("X1"))
+                writer.execute(add_book("X2"))
+            # The old pin holds its horizon; a fresh pin sees both.
+            assert len(reader.query_values(TITLES)) == 5
+            with server.open_session("read") as fresh:
+                assert len(fresh.query_values(TITLES)) == 7
+                assert fresh.snapshot.horizon > reader.snapshot.horizon
+            reader.close()
+
+    def test_readers_at_one_horizon_share_a_snapshot(self):
+        with make_server() as server:
+            a = server.open_session("read")
+            b = server.open_session("read")
+            assert a.snapshot is b.snapshot
+            assert a.snapshot.pins == 2
+            assert obs.REGISTRY.value("server.snapshot.cache_hits") >= 1
+            a.close()
+            b.close()
+
+    def test_uncommitted_state_is_unobservable(self):
+        """A reader pinned *inside* an open write transaction sees the
+        pre-transaction state: its horizon stops at the last COMMIT."""
+        with make_server() as server:
+            observed = []
+
+            def mutate_and_peek(engine, session):
+                add_book("UNCOMMITTED")(engine, session)
+                with server.open_session("read") as peek:
+                    observed.append(peek.query_values(TITLES))
+
+            with server.open_session("write") as writer:
+                writer.execute(mutate_and_peek)
+            assert len(observed[0]) == 5  # not 6: COMMIT hadn't landed
+            assert "UNCOMMITTED" not in observed[0]
+
+    def test_snapshot_relabels_zero(self):
+        with make_server() as server:
+            with server.open_session("write") as writer:
+                writer.execute(add_book("Y"))
+            with server.open_session("read") as reader:
+                assert reader.snapshot.relabels == 0
+
+    def test_write_session_reads_its_own_writes(self):
+        with make_server() as server:
+            with server.open_session("write") as writer:
+                writer.execute(add_book("MINE"))
+                values = writer.query_values(TITLES)
+            assert "MINE" in values
+
+
+class TestSessionLifecycle:
+    def test_unknown_mode_is_rejected_before_any_claim(self):
+        with make_server() as server:
+            with pytest.raises(SessionError):
+                server.open_session("admin")
+            assert server.admission.active_sessions == 0
+
+    def test_closed_session_refuses_requests(self):
+        with make_server() as server:
+            session = server.open_session("read")
+            session.close()
+            with pytest.raises(SessionClosed):
+                session.query(TITLES)
+            session.close()  # idempotent
+
+    def test_deadline_expiry_is_a_typed_error(self):
+        with make_server() as server:
+            session = server.open_session("read", deadline=0.001)
+            import time
+            time.sleep(0.01)
+            with pytest.raises(SessionExpired):
+                session.query(TITLES)
+            session.close()
+
+    def test_nonpositive_deadline_rejected(self):
+        with make_server() as server:
+            with pytest.raises(SessionError):
+                server.open_session("read", deadline=-1)
+
+
+class TestOverload:
+    def test_session_cap_sheds_with_retry_hint(self):
+        with make_server(max_sessions=2) as server:
+            held = [server.open_session("read") for _ in range(2)]
+            with pytest.raises(Overloaded) as info:
+                server.open_session("read")
+            assert info.value.retry_after > 0
+            assert info.value.kind == "overloaded"
+            assert info.value.as_dict() == {
+                "retry_after": info.value.retry_after}
+            # Shedding left nothing half-open: closing the survivors
+            # frees every slot.
+            for session in held:
+                session.close()
+            assert server.admission.active_sessions == 0
+            server.open_session("read").close()  # admits again
+
+    def test_queue_cap_sheds_submissions(self):
+        with make_server(max_queue_depth=1, workers=1) as server:
+            gate = threading.Event()
+            first = server.submit(gate.wait)  # occupies the only slot
+            with pytest.raises(Overloaded):
+                server.submit(lambda: None)
+            gate.set()
+            first.wait(5.0)
+
+    def test_shed_is_counted_and_evented(self):
+        with make_server(max_sessions=1) as server:
+            session = server.open_session("read")
+            with pytest.raises(Overloaded):
+                server.open_session("read")
+            session.close()
+            assert obs.REGISTRY.value("server.overloaded") == 1
+            assert obs.REGISTRY.value("server.sessions.rejected") == 1
+            events = obs.EVENTS.find("server.overloaded")
+            assert events and events[0].fields["gate"] == "sessions"
+
+
+class TestRequestTimeout:
+    def test_over_budget_write_rolls_back(self):
+        with make_server() as server:
+            before = server.engine.node_count()
+
+            def slow(engine, session):
+                add_book("SLOW")(engine, session)
+                import time
+                time.sleep(0.05)
+
+            with server.open_session("write") as writer:
+                with pytest.raises(SessionExpired):
+                    writer.execute(slow, timeout=0.01)
+                # Inverse-op rollback: the engine is untouched and the
+                # session survives for the next (in-budget) request.
+                assert server.engine.node_count() == before
+                writer.execute(add_book("FAST"))
+            assert server.engine.node_count() > before
+
+    def test_request_timeout_does_not_clobber_session_deadline(self):
+        with make_server() as server:
+            with server.open_session("write", deadline=30.0) as writer:
+                writer.execute(add_book("A"), timeout=5.0)
+                assert writer.remaining() > 10  # restored to ~30s
+
+
+class TestConcurrentStorm:
+    READERS, WRITERS, ROUNDS = 4, 2, 6
+
+    def test_readers_and_writers_converge_clean(self):
+        server = make_server(max_sessions=16, acquire_timeout=10.0)
+        torn = []
+        errors = []
+
+        def reader(index):
+            try:
+                for _ in range(self.ROUNDS):
+                    with server.open_session("read") as session:
+                        first = session.query_values(TITLES)
+                        again = session.query_values(TITLES)
+                        if first != again:
+                            torn.append((index, first, again))
+            except Exception as exc:  # noqa: BLE001 — report, don't hang
+                errors.append(exc)
+
+        def writer(index):
+            try:
+                for round_no in range(self.ROUNDS):
+                    with server.open_session("write") as session:
+                        session.execute(add_book(f"w{index}r{round_no}"))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader, args=(i,))
+                   for i in range(self.READERS)]
+        threads += [threading.Thread(target=writer, args=(i,))
+                    for i in range(self.WRITERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors
+        assert not torn  # every session's view was frozen
+        server.checkpoint_now()
+        final = recover(server.backend)
+        assert final.relabels == 0
+        titles = set()
+        engine = final.engine
+        store = engine.children(engine.document)[0]
+        for book in engine.children(store):
+            titles.add(engine.string_value(engine.children(book)[0]))
+        expected = {f"w{i}r{r}" for i in range(self.WRITERS)
+                    for r in range(self.ROUNDS)}
+        assert expected <= titles  # every commit survived
+        server.close()
+
+
+class TestTelemetry:
+    def test_lifecycle_counters_and_events(self):
+        with make_server() as server:
+            with server.open_session("read") as reader:
+                reader.query(TITLES)
+            with server.open_session("write") as writer:
+                writer.execute(add_book("T"))
+            report = server_report()
+            assert report["sessions"]["opened"] == 2
+            assert report["sessions"]["closed"] == 2
+            assert report["lease"]["grants"] == 1
+            assert report["lease"]["renewals"] == 1
+            assert report["requests"]["reads"] == 1
+            assert report["requests"]["writes"] == 1
+            assert report["requests"]["read_latency_ns"]["count"] == 1
+            assert report["requests"]["session_latency_ns"]["p99"] > 0
+            kinds = [e.kind for e in obs.EVENTS]
+            assert "session.open" in kinds
+            assert "session.close" in kinds
+            assert "lease.granted" in kinds
+
+    def test_lease_wait_histogram_records_contention(self):
+        with make_server() as server:
+            with server.open_session("write"):
+                pass
+            summary = obs.REGISTRY.histogram(
+                "server.lease.wait.ns").summary()
+            assert summary["count"] == 1
+            assert summary["max"] > 0
+
+
+class TestSeededFaultPlans:
+    """Satellite: explicit-seed fault sweeps are reproducible per
+    thread via split() + thread-local installation."""
+
+    def test_derive_seed_is_a_pure_function(self):
+        assert derive_seed(7, "a") == derive_seed(7, "a")
+        assert derive_seed(7, "a") != derive_seed(7, "b")
+        assert derive_seed(7, "a") != derive_seed(8, "a")
+
+    def test_split_replays_identically(self):
+        parent = FaultPlan.probabilistic(seed=11, rate=0.3)
+        a = parent.split("thread-1")
+        b = FaultPlan.probabilistic(seed=11, rate=0.3).split("thread-1")
+        decisions_a = [a.should_crash("wal.append") for _ in range(200)]
+        decisions_b = [b.should_crash("wal.append") for _ in range(200)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a)  # the coin does land
+
+    def test_split_children_are_independent(self):
+        parent = FaultPlan.probabilistic(seed=11, rate=0.3)
+        a = [parent.split("t1").should_crash("wal.append")
+             for _ in range(1)]
+        decisions = {
+            key: [parent.split(key).should_crash("wal.append")
+                  for _ in range(1)]
+            for key in ("t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8")}
+        assert len({tuple(v) for v in decisions.values()}) > 1
+
+    def test_thread_local_plans_do_not_interfere(self):
+        parent = FaultPlan.probabilistic(seed=5, rate=1.0)
+        outcomes = {}
+
+        def armed():
+            with faults.injected_local(parent.split("armed")):
+                outcomes["armed"] = []
+                try:
+                    faults.fire("wal.append")
+                    outcomes["armed"].append("survived")
+                except faults.CrashError:
+                    outcomes["armed"].append("crashed")
+
+        def unarmed():
+            # No local plan, no global plan: fire() is a no-op here
+            # even while the other thread's plan is armed.
+            faults.fire("wal.append")
+            outcomes["unarmed"] = "survived"
+
+        t1 = threading.Thread(target=armed)
+        t2 = threading.Thread(target=unarmed)
+        t1.start(); t1.join()
+        t2.start(); t2.join()
+        assert outcomes["armed"] == ["crashed"]  # rate=1.0 always fires
+        assert outcomes["unarmed"] == "survived"
+
+    def test_local_plan_overrides_global(self):
+        never = FaultPlan()  # nothing armed
+        always = FaultPlan.probabilistic(seed=1, rate=1.0)
+        with faults.injected(always):
+            with faults.injected_local(never):
+                faults.fire("wal.append")  # local (inert) plan wins
+            with pytest.raises(faults.CrashError):
+                faults.fire("wal.append")  # global armed plan again
+
+
+class TestServeCli:
+    @pytest.fixture
+    def document(self, tmp_path):
+        path = tmp_path / "books.xml"
+        path.write_text(
+            '<BookStore xmlns="http://www.books.org">'
+            + "".join(f"<Book><Title>T{i}</Title><Author>A</Author>"
+                      f"<Date>2000</Date><ISBN>i-{i}</ISBN>"
+                      f"<Publisher>P</Publisher></Book>"
+                      for i in range(3))
+            + "</BookStore>", encoding="utf-8")
+        return str(path)
+
+    def test_serve_reports_healthy_json(self, document, capsys):
+        code = main(["serve", document, "--readers", "2",
+                     "--writers", "1", "--requests", "3", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["healthy"] is True
+        assert report["results"]["torn_reads"] == 0
+        assert report["results"]["errors"] == 0
+        assert report["recovery"]["relabels"] == 0
+        assert report["results"]["writes"] == 3
+        assert report["server"]["lease"]["grants"] == 3
+
+    def test_serve_text_mode(self, document, capsys):
+        code = main(["serve", document, "--readers", "1",
+                     "--writers", "1", "--requests", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "healthy:      True" in out
+
+    def test_serve_prom_exposes_server_metrics(self, document, capsys):
+        code = main(["serve", document, "--readers", "1",
+                     "--writers", "1", "--requests", "2", "--prom"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro_server_lease_grants_total" in out
+        assert "repro_server_requests_total" in out
+
+    def test_session_verb_json(self, document, capsys):
+        code = main(["session", document, TITLES, "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["count"] == 3
+        assert report["snapshot"].startswith("lsn")
+        assert report["relabels"] == 0
+
+    def test_session_write_mode_reports_lease(self, document, capsys):
+        code = main(["session", document, TITLES, "--mode", "write",
+                     "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["lease"]["renewals"] == 0
+        assert "snapshot" not in report
+
+    def test_json_errors_carry_stable_kind(self, document, capsys):
+        code = main(["session", document, "not-absolute", "--json"])
+        assert code == 2
+        payload = json.loads(capsys.readouterr().out)["error"]
+        assert payload["kind"] == "query"
+        assert payload["type"] == "QueryError"
