@@ -23,6 +23,7 @@ appear in every metrics snapshot.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Generic, Hashable, Iterator, Optional, TypeVar
@@ -70,6 +71,12 @@ class LRUCache(Generic[K, V]):
     through :meth:`invalidate` when an entry is discarded for being
     stale rather than cold (the plan cache's schema-version check).
 
+    Thread-safe: the session layer shares one engine (and its plan
+    cache) across concurrent readers of a snapshot, and the
+    process-wide parse cache is hit from every worker thread, so every
+    entry operation runs under an internal lock — a lookup can no
+    longer race an eviction into a ``KeyError`` on ``move_to_end``.
+
     Counters are :class:`~repro.obs.metrics.Counter` instruments.  Pass
     *registry* and *prefix* to register them (``<prefix>.hits`` …) in a
     shared :class:`MetricsRegistry` — done by the process-wide parse
@@ -77,7 +84,7 @@ class LRUCache(Generic[K, V]):
     engine's hit rate is not another's.
     """
 
-    __slots__ = ("capacity", "_entries", "_hits", "_misses",
+    __slots__ = ("capacity", "_entries", "_lock", "_hits", "_misses",
                  "_invalidations", "_evictions")
 
     def __init__(self, capacity: int,
@@ -87,6 +94,7 @@ class LRUCache(Generic[K, V]):
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
         self._entries: "OrderedDict[K, V]" = OrderedDict()
+        self._lock = threading.Lock()
         make = registry.counter if registry is not None \
             else (lambda name: Counter(name))
         self._hits = make(f"{prefix}.hits")
@@ -112,36 +120,41 @@ class LRUCache(Generic[K, V]):
         return self._evictions.value
 
     def get(self, key: K) -> Optional[V]:
-        entry = self._entries.get(key, _MISSING)
-        if entry is _MISSING:
-            self._misses.inc()
-            return None
-        self._entries.move_to_end(key)
-        self._hits.inc()
-        return entry  # type: ignore[return-value]
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                self._misses.inc()
+                return None
+            self._entries.move_to_end(key)
+            self._hits.inc()
+            return entry  # type: ignore[return-value]
 
     def peek(self, key: K) -> Optional[V]:
         """Read without touching recency or the hit/miss counters
         (used for staleness checks before the counted ``get``)."""
-        entry = self._entries.get(key, _MISSING)
-        return None if entry is _MISSING else entry  # type: ignore
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            return None if entry is _MISSING else entry  # type: ignore
 
     def put(self, key: K, value: V) -> None:
-        entries = self._entries
-        if key in entries:
-            entries.move_to_end(key)
-        entries[key] = value
-        if len(entries) > self.capacity:
-            entries.popitem(last=False)
-            self._evictions.inc()
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+            entries[key] = value
+            if len(entries) > self.capacity:
+                entries.popitem(last=False)
+                self._evictions.inc()
 
     def invalidate(self, key: K) -> None:
         """Drop a stale entry (counted separately from evictions)."""
-        if self._entries.pop(key, _MISSING) is not _MISSING:
-            self._invalidations.inc()
+        with self._lock:
+            if self._entries.pop(key, _MISSING) is not _MISSING:
+                self._invalidations.inc()
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def reset_stats(self) -> None:
         self._hits.reset()
@@ -163,7 +176,8 @@ class LRUCache(Generic[K, V]):
         return key in self._entries
 
     def __iter__(self) -> Iterator[K]:
-        return iter(self._entries)
+        with self._lock:
+            return iter(list(self._entries))
 
 
 # ----------------------------------------------------------------------

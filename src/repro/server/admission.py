@@ -105,6 +105,9 @@ class AdmissionController:
     def exit_request(self) -> None:
         with self._lock:
             self.queue_depth = max(0, self.queue_depth - 1)
+        if obs.RECORDING:
+            obs.REGISTRY.gauge("server.queue.depth").set(
+                self.queue_depth)
 
     @contextmanager
     def request(self) -> Iterator[None]:

@@ -103,6 +103,11 @@ class RequestLoop:
                  workers: int = DEFAULT_WORKERS) -> None:
         self.admission = admission
         self._queue: "queue.Queue[object]" = queue.Queue()
+        #: Orders submissions against stop(): nothing is enqueued
+        #: behind the _STOP sentinels, so a submitted request is
+        #: always drained by a live worker — never parked forever.
+        self._stop_lock = threading.Lock()
+        self.stopped = False
         self._threads = [
             threading.Thread(target=self._run, daemon=True,
                              name=f"repro-server-{i}")
@@ -114,12 +119,25 @@ class RequestLoop:
         """Enqueue *fn*; sheds with ``Overloaded`` past the depth cap.
 
         The depth slot is held from submit until the worker finishes,
-        so the cap bounds queued *plus* executing work.
+        so the cap bounds queued *plus* executing work.  A stopped
+        loop refuses with :class:`SessionError` — its workers have
+        exited, so an enqueued request would otherwise wait forever.
         """
+        if self.stopped:
+            raise SessionError(
+                "request loop is stopped; cannot submit")
         self.admission.enter_request()
-        pending = PendingRequest()
-        self._queue.put((pending, fn))
-        return pending
+        try:
+            with self._stop_lock:
+                if self.stopped:
+                    raise SessionError(
+                        "request loop is stopped; cannot submit")
+                pending = PendingRequest()
+                self._queue.put((pending, fn))
+                return pending
+        except BaseException:
+            self.admission.exit_request()
+            raise
 
     def _run(self) -> None:
         while True:
@@ -136,8 +154,15 @@ class RequestLoop:
             pending._finish(result, error)
 
     def stop(self) -> None:
-        for _ in self._threads:
-            self._queue.put(_STOP)
+        with self._stop_lock:
+            if self.stopped:
+                return
+            self.stopped = True
+            # Under the lock: every already-submitted request sits
+            # ahead of the sentinels and will be finished by a worker
+            # before it exits; every later submit() is refused.
+            for _ in self._threads:
+                self._queue.put(_STOP)
         for thread in self._threads:
             thread.join(timeout=5.0)
 
@@ -175,7 +200,13 @@ class DatabaseServer:
         if document is not None:
             # Publish version zero so readers can pin immediately.
             backend.checkpoint(engine, wal=wal)
-        self.snapshots = SnapshotManager(backend)
+        #: Serializes live-engine reads (write-session queries) with
+        #: the writer's mutations; reader sessions never touch it on
+        #: the fast path — only a contended snapshot pin falls back to
+        #: it (see SnapshotManager.pin).
+        self._live_lock = threading.RLock()
+        self.snapshots = SnapshotManager(backend,
+                                         write_latch=self._live_lock)
         self.leases = LeaseManager(ttl=lease_ttl, seed=seed)
         self.admission = AdmissionController(
             max_sessions=max_sessions,
@@ -184,9 +215,6 @@ class DatabaseServer:
         self.loop = RequestLoop(self.admission, workers=workers)
         self._id_lock = threading.Lock()
         self._next_session = 1
-        #: Serializes live-engine reads (write-session queries) with
-        #: the writer's mutations; reader sessions never touch it.
-        self._live_lock = threading.RLock()
         self._live_queries = None
         self.closed = False
 
@@ -331,7 +359,12 @@ class DatabaseServer:
         return result
 
     def submit(self, fn: Callable[[], object]) -> PendingRequest:
-        """Queue *fn* on the threaded request loop (depth-gated)."""
+        """Queue *fn* on the threaded request loop (depth-gated).
+
+        Refused with :class:`SessionError` once the server is closed
+        — the workers are gone, so the request could never run."""
+        if self.closed:
+            raise SessionError("server is closed; cannot submit")
         return self.loop.submit(fn)
 
     # -- maintenance ------------------------------------------------------

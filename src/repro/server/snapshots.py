@@ -30,13 +30,27 @@ materializes once.  Unpinned stale snapshots are evicted when the
 cache grows past ``max_cached``; the newest is always retained as the
 fast path for the next reader.
 
-The writer never takes part: it appends to the WAL and mutates the
-live engine while readers pin, query and release — reader isolation
-comes from *which bytes* a snapshot reads (the durable committed
-prefix), not from excluding the writer.  The WAL's CRC framing makes
-a concurrent half-appended record indistinguishable from a torn tail,
-which the scan already tolerates; the record simply falls past the
-snapshot's horizon.
+The writer never takes part on the fast path: it appends to the WAL
+and mutates the live engine while readers pin, query and release —
+reader isolation comes from *which bytes* a snapshot reads (the
+durable committed prefix), not from excluding the writer.  The WAL's
+CRC framing makes a concurrent half-appended record indistinguishable
+from a torn tail, which the scan already tolerates; the record simply
+falls past the snapshot's horizon.
+
+Key computation and materialization are two steps, so a commit or
+checkpoint can land between them: the materialized engine would then
+contain state beyond the key it is cached under, and a checkpoint's
+image-publish + WAL-reset pair can even make ``recover`` read the old
+image against the already-reset log.  :meth:`SnapshotManager.pin`
+closes both windows *optimistically*: it re-derives the key after
+materializing and publishes only when the two match — a mismatch (or
+a recovery error that disappears on re-derivation) means the writer
+moved the horizon mid-flight, and the pin retries against the new
+durable state.  Under sustained write pressure the retry could starve,
+so after a few optimistic rounds the pin serializes with the writer
+through the *write latch* the owning server shares with its
+commit/checkpoint path.
 """
 
 from __future__ import annotations
@@ -45,6 +59,7 @@ import threading
 from typing import TYPE_CHECKING, Optional
 
 from repro import obs
+from repro.errors import StorageError
 from repro.server.session import SessionError
 from repro.storage.recovery import recover
 from repro.storage.wal import read_wal_store
@@ -57,6 +72,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Distinct snapshot versions kept around by default (the newest is
 #: never evicted while unpinned; pinned versions are never evicted).
 DEFAULT_MAX_CACHED = 4
+
+#: Optimistic key-verify rounds before a pin serializes with the
+#: writer through the shared write latch.
+PIN_OPTIMISTIC_ATTEMPTS = 3
 
 
 class Snapshot:
@@ -107,9 +126,17 @@ class SnapshotManager:
     """Pin-counted cache of materialized snapshots over one backend."""
 
     def __init__(self, backend: "StorageBackend",
-                 max_cached: int = DEFAULT_MAX_CACHED) -> None:
+                 max_cached: int = DEFAULT_MAX_CACHED,
+                 write_latch: Optional[threading.Lock] = None) -> None:
         self.backend = backend
         self.max_cached = max_cached
+        #: Lock the owning server holds across every commit and
+        #: checkpoint.  Pins fall back to it when optimistic
+        #: key-verification keeps losing races against the writer;
+        #: holding it makes key computation + materialization atomic
+        #: with respect to horizon moves.  ``None`` (standalone use,
+        #: no concurrent writer) disables the fallback.
+        self._write_latch = write_latch
         self._lock = threading.Lock()
         self._cache: dict[tuple[int, int], Snapshot] = {}
         #: Insertion order of keys (oldest first) for eviction.
@@ -149,9 +176,48 @@ class SnapshotManager:
 
         Cache hit: O(1) under the lock.  Miss: materialize via
         :func:`~repro.storage.recovery.recover` (outside the lock —
-        readers at other horizons are not blocked), then publish.
+        readers at other horizons are not blocked), then re-derive the
+        key and publish only if it still matches: a commit or
+        checkpoint that landed mid-materialization moved the horizon,
+        so the engine just built may contain state the key does not
+        claim (or recover() may have read a half-advanced image/log
+        pair) — the pin retries against the new durable state.  After
+        :data:`PIN_OPTIMISTIC_ATTEMPTS` lost races it serializes with
+        the writer through the shared write latch instead of starving.
         """
-        key = self.current_key()
+        for _ in range(PIN_OPTIMISTIC_ATTEMPTS):
+            key = self.current_key()
+            snapshot = self._pin_cached(key)
+            if snapshot is not None:
+                return snapshot
+            try:
+                materialized = self._materialize(key)
+            except StorageError:
+                if self.current_key() == key:
+                    raise  # stable horizon: a genuine recovery failure
+                continue  # a checkpoint raced recover(); re-derive
+            if self.current_key() != key:
+                continue  # horizon moved: contents may exceed the key
+            return self._publish(key, materialized)
+        # Sustained contention: the writer keeps moving the horizon
+        # under us.  Take the latch it holds across commit/checkpoint
+        # so key + materialization are atomic this round.
+        if self._write_latch is None:
+            raise SessionError(
+                "could not pin a stable snapshot: the committed "
+                f"horizon moved {PIN_OPTIMISTIC_ATTEMPTS} times "
+                "during materialization and no write latch is "
+                "configured to serialize with the writer")
+        with self._write_latch:
+            key = self.current_key()
+            snapshot = self._pin_cached(key)
+            if snapshot is not None:
+                return snapshot
+            materialized = self._materialize(key)
+        return self._publish(key, materialized)
+
+    def _pin_cached(self, key: tuple[int, int]) -> Optional[Snapshot]:
+        """Pin the cached snapshot at *key*, or None on a miss."""
         with self._lock:
             snapshot = self._cache.get(key)
             if snapshot is not None:
@@ -160,10 +226,13 @@ class SnapshotManager:
                     obs.REGISTRY.counter(
                         "server.snapshot.cache_hits").inc()
                     self._record_pins()
-                return snapshot
-        materialized = self._materialize(key)
+            return snapshot
+
+    def _publish(self, key: tuple[int, int],
+                 materialized: Snapshot) -> Snapshot:
+        """Cache *materialized* under *key* (unless another reader
+        raced the materialization) and pin the cached copy."""
         with self._lock:
-            # Another reader may have raced the materialization.
             snapshot = self._cache.get(key)
             if snapshot is None:
                 snapshot = materialized

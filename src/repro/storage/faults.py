@@ -192,11 +192,6 @@ class FaultPlan:
 #: site a single attribute test — production paths pay nothing.
 ACTIVE: Optional[FaultPlan] = None
 
-#: Count of live thread-local installations.  Zero keeps :func:`fire`
-#: on the two-global-reads fast path; the thread-local lookup only
-#: happens while some thread actually has a local plan armed.
-_LOCAL_PLANS = 0
-
 _LOCAL = threading.local()
 
 
@@ -214,26 +209,20 @@ def clear() -> None:
 
 def install_local(plan: FaultPlan) -> None:
     """Arm *plan* for the calling thread only (overrides the global)."""
-    global _LOCAL_PLANS
-    if getattr(_LOCAL, "plan", None) is None:
-        _LOCAL_PLANS += 1
     _LOCAL.plan = plan
 
 
 def clear_local() -> None:
     """Disarm the calling thread's local plan."""
-    global _LOCAL_PLANS
-    if getattr(_LOCAL, "plan", None) is not None:
-        _LOCAL_PLANS -= 1
-        _LOCAL.plan = None
+    _LOCAL.plan = None
 
 
 def _active() -> Optional[FaultPlan]:
-    if _LOCAL_PLANS:
-        local = getattr(_LOCAL, "plan", None)
-        if local is not None:
-            return local
-    return ACTIVE
+    # One uncounted thread-local read: cheap, and — unlike a shared
+    # installation counter — immune to lost updates from concurrent
+    # session threads silently disabling injection mid-sweep.
+    local = getattr(_LOCAL, "plan", None)
+    return local if local is not None else ACTIVE
 
 
 @contextmanager

@@ -77,6 +77,33 @@ class TestLRUCache:
         with pytest.raises(ValueError):
             LRUCache(0)
 
+    def test_concurrent_get_put_is_safe(self):
+        """The session layer shares plan/parse caches across worker
+        threads: a get() racing an eviction must be a miss, never a
+        KeyError out of move_to_end."""
+        import threading
+
+        cache = LRUCache(8)  # far smaller than the key space: evicts
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(3000):
+                    key = (seed * 13 + i) % 64
+                    if cache.get(key) is None:
+                        cache.put(key, key)
+            except Exception as exc:  # noqa: BLE001 — the regression
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+        assert not errors
+        assert len(cache) <= 8
+
 
 class TestParseCache:
     def test_same_text_compiles_once(self):

@@ -122,6 +122,58 @@ class TestSnapshotIsolation:
             assert "MINE" in values
 
 
+class TestPinWriterRaces:
+    """A pin whose materialization races a commit or checkpoint must
+    not publish contents beyond its declared key (nor fail on the
+    half-advanced image/log pair a checkpoint leaves mid-flight)."""
+
+    def test_pin_retries_when_a_commit_races_materialization(self):
+        with make_server() as server:
+            manager = server.snapshots
+            real = manager._materialize
+            raced = {"commits": 0}
+
+            def racing(key):
+                if raced["commits"] == 0:
+                    raced["commits"] += 1
+                    with server.open_session("write") as writer:
+                        writer.execute(add_book("RACER"))
+                return real(key)
+
+            manager._materialize = racing
+            with server.open_session("read") as reader:
+                values = reader.query_values(TITLES)
+                # The first key was derived before the racing commit,
+                # so the first materialization exceeded it; the pin
+                # must have re-derived and published under the
+                # post-commit key — key and contents agree.
+                assert reader.snapshot.key == manager.current_key()
+                assert len(values) == 6 and "RACER" in values
+            assert raced["commits"] == 1
+
+    def test_pin_retries_when_a_checkpoint_races_materialization(self):
+        with make_server() as server:
+            with server.open_session("write") as writer:
+                writer.execute(add_book("PRE"))
+            manager = server.snapshots
+            real = manager._materialize
+            raced = {"checkpoints": 0}
+
+            def racing(key):
+                if raced["checkpoints"] == 0:
+                    raced["checkpoints"] += 1
+                    # Publishes a new image and resets the WAL under
+                    # the materializing reader's feet.
+                    server.checkpoint_now()
+                return real(key)
+
+            manager._materialize = racing
+            with server.open_session("read") as reader:
+                assert len(reader.query_values(TITLES)) == 6
+                assert reader.snapshot.key == manager.current_key()
+                assert reader.snapshot.relabels == 0
+
+
 class TestSessionLifecycle:
     def test_unknown_mode_is_rejected_before_any_claim(self):
         with make_server() as server:
@@ -177,6 +229,24 @@ class TestOverload:
                 server.submit(lambda: None)
             gate.set()
             first.wait(5.0)
+
+    def test_submit_after_close_raises_instead_of_hanging(self):
+        server = make_server()
+        server.close()
+        with pytest.raises(SessionError):
+            server.submit(lambda: None)
+        with pytest.raises(SessionError):
+            server.loop.submit(lambda: None)  # the loop refuses too
+        # The refusal released its admission slot.
+        assert server.admission.queue_depth == 0
+
+    def test_queue_depth_gauge_returns_to_idle(self):
+        with make_server() as server:
+            server.submit(lambda: None).wait(5.0)
+            server.submit(lambda: None).wait(5.0)
+            # exit_request mirrors enter_request: the gauge tracks the
+            # live depth back down, not just the admitted peak.
+            assert obs.REGISTRY.value("server.queue.depth") == 0
 
     def test_shed_is_counted_and_evented(self):
         with make_server(max_sessions=1) as server:
@@ -360,6 +430,31 @@ class TestSeededFaultPlans:
                 faults.fire("wal.append")  # local (inert) plan wins
             with pytest.raises(faults.CrashError):
                 faults.fire("wal.append")  # global armed plan again
+
+    def test_concurrent_local_churn_never_disables_injection(self):
+        """Session threads installing/clearing local plans must not
+        turn fault injection off for anyone else (the former shared
+        installation counter could lose updates and do exactly that)."""
+        always = FaultPlan.probabilistic(seed=1, rate=1.0)
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                faults.install_local(FaultPlan())
+                faults.clear_local()
+
+        threads = [threading.Thread(target=churn) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        try:
+            with faults.injected(always):
+                for _ in range(200):
+                    with pytest.raises(faults.CrashError):
+                        faults.fire("wal.append")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
 
 
 class TestServeCli:
