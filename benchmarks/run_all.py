@@ -87,16 +87,48 @@ def _build_engines(scales):
     return engines
 
 
+def _elapsed(call, rounds):
+    """Seconds per call over one batch of *rounds* calls."""
+    start = time.perf_counter()
+    for _ in range(rounds):
+        call()
+    return (time.perf_counter() - start) / rounds
+
+
 def _time_route(call, repeats, min_rounds):
     """Best-of-*repeats* timing of *min_rounds* calls → ops/sec."""
     best = float("inf")
     for _ in range(repeats):
-        start = time.perf_counter()
-        for _ in range(min_rounds):
-            call()
-        elapsed = time.perf_counter() - start
-        best = min(best, elapsed / min_rounds)
+        best = min(best, _elapsed(call, min_rounds))
     return 1.0 / best if best > 0 else float("inf")
+
+
+def _median_ratio(fast_call, slow_call, repeats, rounds):
+    """Median-of-*repeats* *interleaved* speedup of *fast_call* over
+    *slow_call* (``> 1`` means *fast_call* wins).
+
+    Two best-of measurements taken back to back see different machine
+    states (CPU frequency, cache pressure from the other route), so a
+    ratio of two best-of numbers is noisy exactly when the gate on it
+    is tight.  Each repeat therefore samples in an **ABBA pattern**
+    (fast, slow, slow, fast) and takes the per-route minimum: the
+    first batch of a pair doubles as frequency/cache warmup for the
+    second, so a plain AB interleave systematically penalizes
+    whichever route runs first — measured at up to 24% on two
+    *identical* compiled plans.  ABBA gives each route one
+    already-warm slot per repeat, and the median across repeats throws
+    away the outlier repeats (GC pauses, scheduler preemption) that
+    best-of would keep.
+    """
+    ratios = []
+    for _ in range(repeats):
+        fast = _elapsed(fast_call, rounds)
+        slow = min(_elapsed(slow_call, rounds),
+                   _elapsed(slow_call, rounds))
+        fast = min(fast, _elapsed(fast_call, rounds))
+        ratios.append(slow / fast if fast > 0 else float("inf"))
+    ratios.sort()
+    return ratios[len(ratios) // 2]
 
 
 def run(scales=DEFAULT_SCALES, repeats=5, rounds=20):
@@ -189,6 +221,13 @@ def run_indexes(scales=INDEX_SCALES, repeats=5, rounds=20):
     index — and times the cached ``evaluate`` route on both.  Parity
     with the naive evaluator is asserted per case, and each record
     captures the EXPLAIN strategy (``index``) and the index it used.
+
+    The gated ``index_vs_scan`` ratio is a **median of interleaved
+    repeats** (:func:`_median_ratio`), not a quotient of the two
+    best-of ops numbers: the ``index_speedup_3x_met`` gate sits right
+    at 3x on the smallest gated scale, and back-to-back best-of
+    quotients flapped it on noisy CI machines.  The best-of ops/sec
+    columns are kept for display.
     """
     records = []
     for scale in scales:
@@ -226,6 +265,10 @@ def run_indexes(scales=INDEX_SCALES, repeats=5, rounds=20):
                 lambda: scan_queries.evaluate(path), repeats, rounds)
             ops_index = _time_route(
                 lambda: indexed_queries.evaluate(path), repeats, rounds)
+            ratio = _median_ratio(
+                lambda: indexed_queries.evaluate(path),
+                lambda: scan_queries.evaluate(path),
+                max(repeats, 5), max(rounds, 20))
             obs.reset()
             obs.enable()
             try:
@@ -241,11 +284,128 @@ def run_indexes(scales=INDEX_SCALES, repeats=5, rounds=20):
                 "results": len(expected),
                 "ops_scan": round(ops_scan, 1),
                 "ops_index": round(ops_index, 1),
-                "index_vs_scan": round(ops_index / ops_scan, 2),
+                "index_vs_scan": round(ratio, 2),
                 "strategy": explain["strategy"],
                 "index_used": explain["index_used"],
             })
     return records
+
+
+#: The cost section's corpus: the fixed structural precedence and the
+#: cost-based choice agree on most of these (the "never slower" side
+#: of the gate) and disagree on the two-predicate showcase, where the
+#: structural planner probes the unselective ``[@year]`` exists-
+#: predicate while the cost model prices the second predicate's
+#: eq-probe far cheaper (the "beats every fixed policy" side).
+COST_QUERY_PATHS = (
+    "/library/book/title",
+    "//author",
+    "/library/book[@year]/title",
+    "/library/book[@year='{year}']/title",
+    "/library/book[@year][@year='{year}']/title",
+)
+
+#: Every fixed planning policy the cost-based planner races against.
+COST_FIXED_POLICIES = ("structural", "scan", "naive")
+
+
+def run_cost(scales=INDEX_SCALES, repeats=5, rounds=20):
+    """Cost-based planning vs every fixed policy, on one store.
+
+    Per (path, scale): four engines share one indexed
+    :class:`StorageEngine`, differing only in ``planner_policy`` —
+    ``cost`` (the default) against each of
+    :data:`COST_FIXED_POLICIES`.  Parity is asserted, then the cached
+    route is timed per policy, and the per-policy speedups of the
+    cost route are taken as medians of interleaved repeats
+    (:func:`_median_ratio`) because the ``cost_beats_fixed`` gate
+    reads them directly.
+    """
+    records = []
+    for scale in scales:
+        document = make_library_document(books=scale, papers=scale,
+                                         seed=scale, year_attrs=True)
+        engine = StorageEngine()
+        engine.load_document(document)
+        engine.create_index("library/book/@year", value_type="integer")
+        engine.create_index("//author", kind="path")
+        # The generator's deterministic year of book 0 at this scale.
+        year = 1970 + scale % 36
+        cost_queries = StorageQueryEngine(engine)
+        fixed_queries = {
+            policy: StorageQueryEngine(engine, planner_policy=policy)
+            for policy in COST_FIXED_POLICIES}
+        for template in COST_QUERY_PATHS:
+            path = template.format(year=year)
+            clear_parse_cache()
+            expected = [d.nid.symbols()
+                        for d in cost_queries.evaluate_naive(path)]
+            if not expected:
+                raise SystemExit(
+                    f"cost benchmark query {path!r} returned 0 results "
+                    f"at scale {scale} — fix the fixture")
+            assert [d.nid.symbols()
+                    for d in cost_queries.evaluate(path)] == expected
+            for queries in fixed_queries.values():
+                assert [d.nid.symbols()
+                        for d in queries.evaluate(path)] == expected
+            ops = {"cost": _time_route(
+                lambda: cost_queries.evaluate(path), repeats, rounds)}
+            ratios = {}
+            for policy, queries in fixed_queries.items():
+                ops[policy] = _time_route(
+                    lambda: queries.evaluate(path), repeats, rounds)
+                # The structural ratio feeds the tight (>= 0.9) side
+                # of the gate, so its samples get a floor of 20
+                # rounds; the scan/naive ratios sit far from any
+                # threshold and keep the cheap sampling.
+                ratios[policy] = _median_ratio(
+                    lambda: cost_queries.evaluate(path),
+                    lambda: queries.evaluate(path),
+                    max(repeats, 5),
+                    max(rounds, 20) if policy == "structural"
+                    else rounds)
+            plan = cost_queries.compile(path)
+            records.append({
+                "path": path,
+                "scale": scale,
+                "results": len(expected),
+                "ops_cost": round(ops["cost"], 1),
+                "ops_structural": round(ops["structural"], 1),
+                "ops_scan_policy": round(ops["scan"], 1),
+                "ops_naive_policy": round(ops["naive"], 1),
+                "cost_vs_structural": round(ratios["structural"], 2),
+                "cost_vs_scan_policy": round(ratios["scan"], 2),
+                "cost_vs_naive_policy": round(ratios["naive"], 2),
+                "beats_every_fixed": all(
+                    ratio > 1.0 for ratio in ratios.values()),
+                "strategy": plan.strategy,
+                "index_used": plan.index_used,
+                "cost_total": (round(plan.cost.total, 1)
+                               if plan.cost is not None else None),
+                "candidates_priced": len(plan.cost_table),
+            })
+    return records
+
+
+def cost_gate(records):
+    """The two-sided ``cost_beats_fixed`` contract over the cost
+    section's records: the cost-based planner must win outright
+    somewhere, and it must never be materially (>10%) slower than the
+    fixed structural precedence it replaced — anywhere.
+
+    Both sides read only records at scale >= 100, mirroring
+    ``benchmarks.compare.MIN_COMPARE_SCALE``: sub-100 workloads run in
+    microseconds, where a 10% margin on two *identical* compiled
+    plans is pure scheduler weather."""
+    gated = [r for r in records if r["scale"] >= 100]
+    any_win = any(r["beats_every_fixed"] for r in gated)
+    never_slower = all(r["cost_vs_structural"] >= 0.9 for r in gated)
+    return {
+        "any_query_beats_every_fixed": any_win,
+        "never_slower_than_structural_10pct": never_slower,
+        "cost_beats_fixed": any_win and never_slower,
+    }
 
 
 def ddl_invalidation_check(scale=50):
@@ -867,6 +1027,26 @@ def _print_indexes(records, ddl):
           f"{'restamped' if ddl['unaffected_restamped'] else 'NOT restamped'}")
 
 
+def _print_cost(records, gate):
+    header = (f"\n{'cost model (path)':40} {'scale':>5} "
+              f"{'strategy':>9} {'vs struct':>9} {'vs scan':>8} "
+              f"{'vs naive':>9} {'wins':>5}")
+    print(header)
+    print("-" * len(header))
+    for r in records:
+        print(f"{r['path']:40} {r['scale']:>5} "
+              f"{r['strategy']:>9} {r['cost_vs_structural']:>8.2f}x "
+              f"{r['cost_vs_scan_policy']:>7.2f}x "
+              f"{r['cost_vs_naive_policy']:>8.2f}x "
+              f"{'yes' if r['beats_every_fixed'] else '-':>5}")
+    print(f"  cost_beats_fixed: "
+          f"{'MET' if gate['cost_beats_fixed'] else 'NOT MET'} "
+          f"(outright win somewhere: "
+          f"{gate['any_query_beats_every_fixed']}, never >10% slower "
+          f"than structural: "
+          f"{gate['never_slower_than_structural_10pct']})")
+
+
 def _print_metrics(metrics):
     registry = metrics["registry"]
     workload = metrics["numbering_workload"]
@@ -932,6 +1112,7 @@ def main(argv=None):
         records = run(scales=SMOKE_SCALES, repeats=2, rounds=5)
         indexes = run_indexes(scales=INDEX_SMOKE_SCALES,
                               repeats=2, rounds=5)
+        cost = run_cost(scales=INDEX_SMOKE_SCALES, repeats=2, rounds=5)
         conformance = run_conformance(scales=SMOKE_SCALES,
                                       repeats=2, rounds=2)
         metrics = run_metrics(scale=SMOKE_SCALES[0],
@@ -946,6 +1127,7 @@ def main(argv=None):
     else:
         records = run()
         indexes = run_indexes()
+        cost = run_cost()
         conformance = run_conformance()
         metrics = run_metrics(scale=100)
         durability = run_durability(scale=100, operations=400,
@@ -955,8 +1137,10 @@ def main(argv=None):
                                       rounds=25, scale=50)
         scales = DEFAULT_SCALES
     ddl = ddl_invalidation_check()
+    cost_summary = cost_gate(cost)
     _print_table(records)
     _print_indexes(indexes, ddl)
+    _print_cost(cost, cost_summary)
     _print_conformance_table(conformance)
     _print_durability(durability)
     _print_concurrency(concurrency)
@@ -982,6 +1166,10 @@ def main(argv=None):
                 "records": indexes,
                 "ddl_invalidation": ddl,
             },
+            "cost_model": {
+                "records": cost,
+                "gate": cost_summary,
+            },
             "conformance_records": conformance,
             "durability": durability,
             "concurrency": concurrency,
@@ -998,6 +1186,13 @@ def main(argv=None):
                 # local).
                 "index_speedup_3x_met": bool(value_speedups) and
                     min(value_speedups) >= 3.0,
+                # The cost-based planner must pay for itself: at least
+                # one corpus query where it outruns every fixed policy
+                # (structural / scan / naive), and no corpus query
+                # where it is more than 10% slower than the structural
+                # precedence it replaced.  Both sides read median-of-k
+                # interleaved ratios, not best-of quotients.
+                "cost_beats_fixed": cost_summary["cost_beats_fixed"],
                 "ddl_invalidation_exact": (
                     ddl["exactly_affected_invalidated"]
                     and ddl["unaffected_restamped"]),

@@ -199,6 +199,26 @@ def _format_instrument(value) -> str:
     return str(value)
 
 
+def _print_statistics_table(statistics: dict) -> None:
+    """The per-schema-node statistics table the cost-based planner
+    prices candidates from (``repro stats`` / ``repro top``)."""
+    if not statistics:
+        return
+    print("per-schema-node statistics (cost-model inputs):")
+    print(f"  {'schema path':44s} {'rows':>7s} {'bytes':>9s} "
+          f"{'distinct':>8s} {'min':>12s} {'max':>12s}")
+    for path, digest in statistics.items():
+        def _cell(value) -> str:
+            if value is None:
+                return "-"
+            text = str(value)
+            return text if len(text) <= 12 else text[:11] + "…"
+        print(f"  {path:44s} {digest['descriptors']:>7d} "
+              f"{digest['bytes']:>9d} {digest['distinct_values']:>8d} "
+              f"{_cell(digest['min_value']):>12s} "
+              f"{_cell(digest['max_value']):>12s}")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     """Load (and optionally query) with observability on, then print
     every instrument the instrumented layers recorded."""
@@ -227,6 +247,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 print(f"  [{section}]")
             print(f"    {name:40s} "
                   f"{_format_instrument(snapshot[name])}")
+        _print_statistics_table(engine.stats.export())
         return 0
     finally:
         obs.disable()
@@ -339,6 +360,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
                 "bytes": engine.stats.total_bytes(),
                 "blocks": engine.block_count(),
             },
+            "statistics": engine.stats.export(),
         }
         # When a session-layer workload ran in-process (repro serve,
         # embedding apps), surface its server.* instruments too.
@@ -372,6 +394,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
         print(f"  storage:     {report['storage']['descriptors']} "
               f"descriptors, {report['storage']['bytes']} bytes, "
               f"{report['storage']['blocks']} blocks")
+        _print_statistics_table(report["statistics"])
         if slow_events:
             print("slow queries (JSON lines):")
             print(obs.EVENTS.to_jsonl())

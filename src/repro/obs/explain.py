@@ -36,7 +36,8 @@ class QueryExplain:
                  "schema_nodes_scanned", "pruned_schema_nodes",
                  "axis_steps", "nodes_visited", "nodes_returned",
                  "elapsed_s", "index_used", "compiled", "stage_ns",
-                 "not_lowerable_reason")
+                 "not_lowerable_reason", "cost_table",
+                 "cost_estimated_rows", "cost_total")
 
     def __init__(self, path: str) -> None:
         self.path = path
@@ -66,6 +67,15 @@ class QueryExplain:
         #: Why lowering declined this plan (empty when the plan
         #: compiled, or no lowering was attempted yet).
         self.not_lowerable_reason = ""
+        #: Per-candidate cost estimates from the cost-based planner
+        #: (one dict per candidate, the chosen one flagged); empty
+        #: when the plan was picked structurally.
+        self.cost_table: list = []
+        #: The chosen candidate's estimated output cardinality and
+        #: total cost units — printed next to the observed rows and
+        #: elapsed time for calibration.  None without a cost model.
+        self.cost_estimated_rows: float | None = None
+        self.cost_total: float | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -84,6 +94,9 @@ class QueryExplain:
             "not_lowerable_reason": self.not_lowerable_reason,
             "stage_ns": [[name, elapsed] for name, elapsed
                          in self.stage_ns],
+            "cost_table": list(self.cost_table),
+            "cost_estimated_rows": self.cost_estimated_rows,
+            "cost_total": self.cost_total,
         }
 
     def render(self) -> str:
@@ -108,6 +121,27 @@ class QueryExplain:
         for name, elapsed_ns in self.stage_ns:
             lines.append(
                 f"    stage {name + ':':<22}{elapsed_ns / 1e6:.3f}ms")
+        if self.cost_table:
+            lines.append("  cost candidates:    "
+                         "(chosen marked ->, abstract units)")
+            for row in self.cost_table:
+                marker = "->" if row.get("chosen") else "  "
+                label = row.get("strategy", "?")
+                if row.get("index_used"):
+                    label += f"[{row['index_used']}]"
+                lines.append(
+                    f"    {marker} {label:<40}"
+                    f"total={row.get('total', 0):>10.1f}  "
+                    f"blocks={row.get('blocks', 0):>6.1f}  "
+                    f"postings={row.get('postings', 0):>8.1f}  "
+                    f"residual={row.get('residual', 0):>8.1f}  "
+                    f"out={row.get('output_rows', 0):>8.1f}")
+            lines.append(
+                f"  cost calibration:   estimated "
+                f"{self.cost_estimated_rows:.1f} rows vs "
+                f"{self.nodes_returned} observed; "
+                f"{self.cost_total:.1f} units vs "
+                f"{self.elapsed_s * 1e9:.0f}ns observed")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -40,6 +40,16 @@ if TYPE_CHECKING:  # pragma: no cover
 #: node-type tag of Example 10's layout.
 DESCRIPTOR_OVERHEAD = 24
 
+#: A schema node's statistics have *drifted* — and the statistics
+#: epoch advances — once the mutations against it since its last
+#: epoch stamp (descriptor count delta plus value rewrites) exceed
+#: both this fraction of the stamped count and
+#: :data:`STATS_DRIFT_MIN_MUTATIONS`.  The relative threshold keeps a
+#: steady trickle of inserts from re-pricing every plan; the absolute
+#: floor keeps tiny nodes from thrashing the epoch on every touch.
+STATS_DRIFT_THRESHOLD = 0.3
+STATS_DRIFT_MIN_MUTATIONS = 16
+
 
 def descriptor_bytes(descriptor: "NodeDescriptor") -> int:
     """The deterministic modeled size of one descriptor."""
@@ -100,6 +110,15 @@ class NodeStats:
         elif value in self.value_counts:
             del self.value_counts[value]
 
+    def value_range(self) -> "Optional[tuple[str, str]]":
+        """The collected ``(min, max)`` value pair in the typed order,
+        or None when the node carries no values — what the cost
+        model's range check prices eq-probe keys against."""
+        if not self.value_counts:
+            return None
+        ordered = _typed_order(self.value_counts)
+        return (ordered[0], ordered[-1])
+
     def as_dict(self) -> dict:
         """The digest the snapshot image persists and EXPLAIN/cost
         models consume (no raw multiset — bounded size per node)."""
@@ -120,10 +139,53 @@ class NodeStats:
 
 
 class StatisticsCollector:
-    """Schema-node-keyed statistics, maintained at mutation time."""
+    """Schema-node-keyed statistics, maintained at mutation time.
+
+    Beyond the per-node digests, the collector runs the **statistics
+    epoch** — the freshness stamp the plan cache checks alongside the
+    schema version and the index epoch.  :attr:`epoch` advances when
+    any node's statistics drift past :data:`STATS_DRIFT_THRESHOLD`
+    relative to the count stamped at its last drift; per node the
+    collector remembers the epoch it last drifted at, so
+    :meth:`drifted_since` can answer "did anything this plan priced
+    move?" — the exactly-scoped invalidation question — in O(nodes
+    consulted)."""
 
     def __init__(self) -> None:
         self._stats: Dict["SchemaNode", NodeStats] = {}
+        #: Advances when any node's statistics drift past the
+        #: threshold; cached plans stamp the epoch they priced under.
+        self.epoch = 0
+        # Per node: descriptor count at its last drift stamp, value
+        # rewrites since, and the epoch it last drifted at.
+        self._basis: Dict["SchemaNode", int] = {}
+        self._churn: Dict["SchemaNode", int] = {}
+        self._drifted_at: Dict["SchemaNode", int] = {}
+
+    # -- the statistics epoch -------------------------------------------
+
+    def _note_drift(self, schema_node: "SchemaNode",
+                    descriptors: int) -> None:
+        """O(1) drift check after one mutation against *schema_node*."""
+        basis = self._basis.get(schema_node, 0)
+        delta = descriptors - basis
+        if delta < 0:
+            delta = -delta
+        drift = delta + self._churn.get(schema_node, 0)
+        if drift >= STATS_DRIFT_MIN_MUTATIONS \
+                and drift >= STATS_DRIFT_THRESHOLD * basis:
+            self.epoch += 1
+            self._basis[schema_node] = descriptors
+            self._churn.pop(schema_node, None)
+            self._drifted_at[schema_node] = self.epoch
+
+    def drifted_since(self, schema_nodes, epoch: int) -> bool:
+        """Did any of *schema_nodes* drift after *epoch*?  The plan
+        cache asks this before deciding between a cheap in-place
+        restamp and a re-price."""
+        drifted_at = self._drifted_at
+        return any(drifted_at.get(node, 0) > epoch
+                   for node in schema_nodes)
 
     # -- mutation hooks (engine side) -----------------------------------
 
@@ -136,6 +198,7 @@ class StatisticsCollector:
         stats.byte_size += descriptor_bytes(descriptor)
         if descriptor.value is not None:
             stats.add_value(descriptor.value)
+        self._note_drift(descriptor.schema_node, stats.descriptors)
 
     def note_removed(self, descriptor: "NodeDescriptor") -> None:
         stats = self._stats.get(descriptor.schema_node)
@@ -145,8 +208,10 @@ class StatisticsCollector:
         stats.byte_size -= descriptor_bytes(descriptor)
         if descriptor.value is not None:
             stats.remove_value(descriptor.value)
-        if stats.descriptors <= 0:
+        remaining = stats.descriptors
+        if remaining <= 0:
             del self._stats[descriptor.schema_node]
+        self._note_drift(descriptor.schema_node, max(0, remaining))
 
     def note_value_changed(self, descriptor: "NodeDescriptor",
                            old_value: Optional[str]) -> None:
@@ -160,6 +225,11 @@ class StatisticsCollector:
         if descriptor.value is not None:
             stats.byte_size += len(descriptor.value.encode("utf-8"))
             stats.add_value(descriptor.value)
+        # A rewrite shifts the value distribution (distinct, min/max)
+        # without moving the descriptor count — count it toward drift.
+        node = descriptor.schema_node
+        self._churn[node] = self._churn.get(node, 0) + 1
+        self._note_drift(node, stats.descriptors)
 
     # -- reading --------------------------------------------------------
 
@@ -184,6 +254,9 @@ class StatisticsCollector:
 
     def reset(self) -> None:
         self._stats.clear()
+        self._basis.clear()
+        self._churn.clear()
+        self._drifted_at.clear()
 
     # -- consistency ----------------------------------------------------
 

@@ -19,8 +19,10 @@ from repro.query.engine import (
     evaluate_tree,
     navigate_steps,
 )
+from repro.query.cost import CostEstimate, CostModel
 from repro.query.paths import Path, Step, parse_path
 from repro.query.planner import (
+    POLICIES,
     CompiledPlan,
     QueryPlanner,
     compile_plan,
@@ -31,7 +33,10 @@ __all__ = [
     "AXES",
     "CacheStats",
     "CompiledPlan",
+    "CostEstimate",
+    "CostModel",
     "LRUCache",
+    "POLICIES",
     "Path",
     "QueryPlanner",
     "STORAGE_AXES",

@@ -1,0 +1,391 @@
+"""Statistics-driven cost model for candidate query plans.
+
+The planner (:mod:`repro.query.planner`) can answer one compiled path
+several ways — block scan, hybrid scan+navigate, a value- or
+path-index probe, or naive per-descriptor navigation.  PR 5's indexes
+made the wrong pick a 10-129x swing; this module prices every
+candidate from the :class:`~repro.obs.statistics.StatisticsCollector`
+numbers the engine already maintains per descriptive-schema node
+(descriptor counts, distinct typed values, min/max, byte sizing) so
+the planner can take the cheapest instead of applying fixed
+structural precedence.
+
+Each :class:`CostEstimate` decomposes a candidate into the quantities
+the §9 physical design actually spends:
+
+* **blocks** touched — block fan-in is modeled from the per-node byte
+  sizing (``bytes / BLOCK_TARGET_BYTES``, capped by the engine's
+  descriptor capacity), so fat values mean more blocks;
+* **scan rows** swept inside those blocks;
+* **postings** read out of an index posting list;
+* **residual** predicate evaluations — per-instance tests the probe
+  or scan could not answer;
+* **navigations** — context-node×step units of per-descriptor
+  navigation (hybrid/index suffixes, the whole path for naive);
+* **output cardinality** — the selectivity-discounted result size
+  (surfaced to EXPLAIN as ``cost.estimated`` for calibration against
+  the observed row count).
+
+Selectivity uses the classic uniform assumptions over the collected
+digest, never the raw value multiset (a real system persists only the
+digest): an equality probe selects ``1/distinct`` of the instances
+that carry the value, an existence test selects the carry fraction,
+and a probe key outside the collected ``[min, max]`` range estimates
+to zero rows.  The weights below are unit costs in an abstract
+machine, not nanoseconds — only their ratios matter, and EXPLAIN
+prints estimated units next to observed time so operators can judge
+the calibration.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.query.paths import (
+    AttributePredicate,
+    ChildPredicate,
+    PositionPredicate,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.statistics import NodeStats, StatisticsCollector
+    from repro.query.planner import CompiledPlan
+    from repro.storage.dschema import DescriptiveSchema, SchemaNode
+
+#: Modeled page size: how many descriptor bytes one block holds.  The
+#: in-memory engine caps blocks by descriptor *count*; pricing by
+#: bytes as well makes value-heavy nodes cost more blocks, which is
+#: what a paged implementation would pay.
+BLOCK_TARGET_BYTES = 4096
+
+#: Unit cost of touching one block (pointer chase, cache-line misses).
+COST_BLOCK = 12.0
+#: Unit cost of sweeping one descriptor inside a scanned block.
+COST_SCAN_ROW = 1.0
+#: Unit cost of reading one posting-list entry (cheaper than a sweep
+#: row: the list is pre-merged and carries no name test).
+COST_POSTING = 0.6
+#: Unit cost of one residual predicate evaluation (attribute walk +
+#: string compare per instance).
+COST_RESIDUAL = 2.5
+#: Unit cost of navigating one context node across one axis step.
+COST_NAVIGATE = 4.0
+#: Unit cost of emitting one result row (append + order-merge share).
+COST_OUTPUT = 0.2
+#: Fixed cost of one index probe (hash/bisect lookup).
+COST_PROBE = 8.0
+
+#: Fallbacks when a node has no collected statistics yet.
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_EXISTS_SELECTIVITY = 0.5
+
+
+class CostEstimate:
+    """The priced decomposition of one candidate plan."""
+
+    __slots__ = ("strategy", "index_used", "blocks", "scan_rows",
+                 "postings", "residual", "navigations", "output_rows",
+                 "total", "chosen")
+
+    def __init__(self, strategy: str, index_used: str = "") -> None:
+        self.strategy = strategy
+        self.index_used = index_used
+        self.blocks = 0.0
+        self.scan_rows = 0.0
+        self.postings = 0.0
+        self.residual = 0.0
+        self.navigations = 0.0
+        self.output_rows = 0.0
+        self.total = 0.0
+        #: Set by the planner on the winning candidate.
+        self.chosen = False
+
+    def finish(self) -> "CostEstimate":
+        """Fold the component counts into the scalar total."""
+        self.total = (self.blocks * COST_BLOCK
+                      + self.scan_rows * COST_SCAN_ROW
+                      + self.postings * COST_POSTING
+                      + self.residual * COST_RESIDUAL
+                      + self.navigations * COST_NAVIGATE
+                      + self.output_rows * COST_OUTPUT)
+        if self.strategy == "index":
+            self.total += COST_PROBE
+        return self
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "index_used": self.index_used,
+            "blocks": round(self.blocks, 1),
+            "scan_rows": round(self.scan_rows, 1),
+            "postings": round(self.postings, 1),
+            "residual": round(self.residual, 1),
+            "navigations": round(self.navigations, 1),
+            "output_rows": round(self.output_rows, 1),
+            "total": round(self.total, 1),
+            "chosen": self.chosen,
+        }
+
+    def __repr__(self) -> str:
+        return (f"CostEstimate({self.strategy}"
+                f"{' ' + self.index_used if self.index_used else ''}, "
+                f"total={self.total:.1f}, "
+                f"out={self.output_rows:.1f})")
+
+
+def _in_range(lexical: str, low: str, high: str) -> bool:
+    """Is *lexical* within the collected value range?  Compared in the
+    numeric space when all three parse as numbers (mirroring the typed
+    ordering of the statistics digest), lexically otherwise."""
+    try:
+        return float(low) <= float(lexical) <= float(high)
+    except ValueError:
+        return low <= lexical <= high
+
+
+class CostModel:
+    """Prices candidate plans from one engine's statistics.
+
+    Every statistics read records the schema node it consulted in
+    :attr:`consulted` — the planner stamps that set onto the chosen
+    plan so the statistics epoch can re-plan exactly the plans whose
+    pricing inputs drifted (and restamp every other plan in place).
+    """
+
+    def __init__(self, stats: "StatisticsCollector",
+                 block_capacity: int = 64) -> None:
+        self._stats = stats
+        self._capacity = max(1, block_capacity)
+        self.consulted: set = set()
+
+    # -- statistics reads (every read records the consulted node) ------
+
+    def node_stats(self, schema_node: "SchemaNode"
+                   ) -> Optional["NodeStats"]:
+        self.consulted.add(schema_node)
+        return self._stats.stats_for(schema_node)
+
+    def rows(self, schema_node: "SchemaNode") -> float:
+        stats = self.node_stats(schema_node)
+        return float(stats.descriptors) if stats is not None else 0.0
+
+    def blocks(self, schema_node: "SchemaNode") -> float:
+        """Modeled block fan-in: descriptor count over rows-per-block,
+        where rows-per-block is the byte-derived fan-in capped by the
+        engine's per-block descriptor capacity."""
+        stats = self.node_stats(schema_node)
+        if stats is None or stats.descriptors <= 0:
+            return 0.0
+        avg_bytes = stats.byte_size / stats.descriptors
+        per_block = min(self._capacity,
+                        max(1, int(BLOCK_TARGET_BYTES
+                                   // max(1.0, avg_bytes))))
+        return float(-(-stats.descriptors // per_block))
+
+    # -- selectivity ---------------------------------------------------
+
+    def _value_selectivity(self, value_node: "SchemaNode",
+                           lexical: str) -> float:
+        """Fraction of the value-carrying instances whose value equals
+        *lexical*, under the uniform-distinct assumption with a
+        min/max range check (an out-of-range literal estimates to
+        zero)."""
+        stats = self.node_stats(value_node)
+        if stats is None or stats.descriptors <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        value_range = stats.value_range()
+        if value_range is not None \
+                and not _in_range(lexical, *value_range):
+            return 0.0
+        return 1.0 / max(1, stats.distinct_values)
+
+    def _text_child(self, schema_node: "SchemaNode"
+                    ) -> Optional["SchemaNode"]:
+        for child in schema_node.children:
+            if child.node_type == "text":
+                return child
+        return None
+
+    def predicate_selectivity(self, schema_node: "SchemaNode",
+                              predicate) -> float:
+        """Estimated fraction of *schema_node* instances surviving
+        *predicate*."""
+        rows = self.rows(schema_node)
+        if rows <= 0:
+            return 0.0
+        if isinstance(predicate, PositionPredicate):
+            # Positional keeps (at most) one instance per parent group.
+            parent = schema_node.parent
+            if parent is None:
+                return 1.0 / rows
+            groups = self.rows(parent)
+            return min(1.0, groups / rows) if groups else 1.0 / rows
+        if isinstance(predicate, AttributePredicate):
+            carriers = [child for child in schema_node.children
+                        if child.node_type == "attribute"
+                        and child.name.local == predicate.name]
+            value_holder = carriers[0] if carriers else None
+        elif isinstance(predicate, ChildPredicate):
+            carriers = [child for child in schema_node.children
+                        if child.node_type == "element"
+                        and child.name is not None
+                        and child.name.local == predicate.name]
+            # An element compares by string value — its text child
+            # holds the collected value distribution.
+            value_holder = self._text_child(carriers[0]) \
+                if carriers else None
+        else:  # pragma: no cover - unknown predicate kinds never plan
+            return DEFAULT_EXISTS_SELECTIVITY
+        if not carriers:
+            return 0.0
+        carrier_rows = sum(self.rows(child) for child in carriers)
+        present = min(1.0, carrier_rows / rows)
+        if predicate.value is None:
+            return present
+        if value_holder is None:
+            return present * DEFAULT_EQ_SELECTIVITY
+        return present * self._value_selectivity(value_holder,
+                                                 predicate.value)
+
+    # -- per-strategy pricing ------------------------------------------
+
+    def _sweep(self, estimate: CostEstimate, schema_nodes,
+               predicates) -> float:
+        """Charge a block sweep of *schema_nodes* plus the residual
+        predicate cascade; returns the estimated surviving rows."""
+        survivors = 0.0
+        for schema_node in schema_nodes:
+            rows = self.rows(schema_node)
+            estimate.blocks += self.blocks(schema_node)
+            estimate.scan_rows += rows
+            for predicate in predicates:
+                estimate.residual += rows
+                rows *= self.predicate_selectivity(schema_node,
+                                                   predicate)
+            survivors += rows
+        return survivors
+
+    def _suffix(self, estimate: CostEstimate, plan: "CompiledPlan",
+                schema: "DescriptiveSchema", context_rows: float,
+                context_total: float) -> float:
+        """Charge the hybrid/index suffix navigation; returns the
+        estimated final output rows."""
+        from repro.query.planner import match_schema_nodes
+        suffix_steps = plan.path.steps[plan.split + 1:]
+        estimate.navigations += context_rows * len(suffix_steps)
+        final_nodes = match_schema_nodes(schema.root, plan.path.steps)
+        final_rows = sum(self.rows(node) for node in final_nodes)
+        fraction = (context_rows / context_total) if context_total \
+            else 0.0
+        return final_rows * min(1.0, fraction)
+
+    def price(self, plan: "CompiledPlan",
+              schema: "DescriptiveSchema") -> CostEstimate:
+        """The :class:`CostEstimate` of one candidate plan."""
+        strategy = plan.strategy
+        estimate = CostEstimate(strategy, plan.index_used)
+        if strategy == "empty":
+            return estimate.finish()
+        if strategy == "naive":
+            return self._price_naive(estimate, plan, schema)
+        if strategy == "index":
+            return self._price_probe(estimate, plan, schema)
+        # scan / hybrid: sweep the matched block lists, test the
+        # decisive step's predicates per instance.
+        steps = plan.path.steps
+        scan_step = steps[-1] if plan.split is None \
+            else steps[plan.split]
+        survivors = self._sweep(estimate, plan.scan_nodes,
+                                scan_step.predicates)
+        if strategy == "hybrid":
+            estimate.output_rows = self._suffix(
+                estimate, plan, schema, survivors, estimate.scan_rows)
+        else:
+            estimate.output_rows = survivors
+        return estimate.finish()
+
+    def _subtree_rows(self, schema_node: "SchemaNode") -> float:
+        total = self.rows(schema_node)
+        for child in schema_node.children:
+            total += self._subtree_rows(child)
+        return total
+
+    def _price_naive(self, estimate: CostEstimate,
+                     plan: "CompiledPlan",
+                     schema: "DescriptiveSchema") -> CostEstimate:
+        """Per-descriptor navigation: every step visits every child
+        (or descendant) of the surviving frontier *before* the name
+        test — that candidate sweep, not the matched set, is what
+        navigation pays per context node."""
+        from repro.query.planner import match_schema_nodes
+        steps = plan.path.steps
+        frontier: list = [schema.root]
+        final_rows = 0.0
+        for depth, step in enumerate(steps):
+            visited: set = set()
+            candidates = 0.0
+            for schema_node in frontier:
+                if step.axis == "child":
+                    for child in schema_node.children:
+                        if child not in visited:
+                            visited.add(child)
+                            candidates += self.rows(child)
+                else:
+                    if schema_node not in visited:
+                        visited.add(schema_node)
+                        candidates += self._subtree_rows(schema_node)
+            estimate.navigations += candidates
+            frontier = match_schema_nodes(schema.root,
+                                          steps[:depth + 1])
+            final_rows = sum(self.rows(node) for node in frontier)
+            for _predicate in step.predicates:
+                estimate.residual += final_rows
+        estimate.output_rows = final_rows
+        return estimate.finish()
+
+    def _price_probe(self, estimate: CostEstimate,
+                     plan: "CompiledPlan",
+                     schema: "DescriptiveSchema") -> CostEstimate:
+        probe = plan.probe
+        assert probe is not None
+        if probe[0] == "path":
+            # Pre-merged posting list of the covered schema nodes.
+            postings = sum(self.rows(node) for node in plan.scan_nodes)
+            estimate.postings = postings
+            estimate.output_rows = postings
+            return estimate.finish()
+        mode, index, key, via_parent = probe
+        value_node = index.value_node
+        carrier_rows = self.rows(value_node)
+        value_holder = value_node if index.attribute \
+            else (self._text_child(value_node) or value_node)
+        if mode == "eq":
+            postings = carrier_rows * self._value_selectivity(
+                value_holder, str(key))
+        else:  # exists
+            postings = carrier_rows
+        estimate.postings = postings
+        # The node whose instances the probe result holds (and residual
+        # predicates test): for a via_parent (element-value) probe the
+        # postings are children mapped to their deduplicated parents.
+        owner = index.owner_node.parent if via_parent \
+            else index.owner_node
+        if via_parent and owner is not None:
+            owner_rows = self.rows(owner)
+            survivors = min(postings, owner_rows) if owner_rows \
+                else postings
+        else:
+            survivors = postings
+        for predicate in plan.rest_predicates:
+            estimate.residual += survivors
+            if owner is not None:
+                survivors *= self.predicate_selectivity(owner,
+                                                        predicate)
+        if plan.split is not None:
+            context_total = self.rows(owner) if owner is not None \
+                else survivors
+            survivors = self._suffix(estimate, plan, schema,
+                                     survivors,
+                                     context_total or survivors)
+        estimate.output_rows = survivors
+        return estimate.finish()

@@ -196,10 +196,16 @@ class StorageQueryEngine:
     """
 
     def __init__(self, engine: StorageEngine,
-                 plan_cache_capacity: int = PLAN_CACHE_CAPACITY) -> None:
+                 plan_cache_capacity: int = PLAN_CACHE_CAPACITY,
+                 planner_policy: str = "cost") -> None:
         self._engine = engine
         self._store = StorageNodeStore(engine)
-        self._planner = QueryPlanner(engine, plan_cache_capacity)
+        #: *planner_policy* selects how strategies are chosen (see
+        #: :data:`repro.query.planner.POLICIES`): ``cost`` (default)
+        #: prices candidates from the engine statistics; the forced
+        #: policies exist for benchmarks and parity testing.
+        self._planner = QueryPlanner(engine, plan_cache_capacity,
+                                     policy=planner_policy)
         # Inherent instruments (see repro.obs.metrics): held directly
         # so the always-on telemetry path skips the registry lookups.
         # obs.reset() zeroes instruments in place, so these stay live.

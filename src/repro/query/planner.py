@@ -40,6 +40,19 @@ Plans additionally stamp the index *epoch* (a DDL counter): when an
 index is created or dropped, a cached plan is recompiled on next use
 and kept (restamped) if its decision did not change — so DDL
 invalidates exactly the affected plans.
+
+With engine statistics available (the default through
+:class:`QueryPlanner`), the strategy is no longer picked by fixed
+structural precedence: the planner enumerates **every** applicable
+candidate — the scan/hybrid baseline, one value-index probe per
+eligible predicate, the path-index probe, and priced-naive — and
+takes the cheapest under the :mod:`repro.query.cost` model.  Plans
+then also stamp the **statistics epoch** and the schema nodes whose
+statistics they priced: when collected statistics drift past the
+relative threshold, exactly the plans whose pricing inputs moved are
+re-priced (and kept when the decision stands); every other plan is
+restamped in place without recompiling — the same exactly-scoped
+invalidation contract the index epoch established.
 """
 
 from __future__ import annotations
@@ -166,7 +179,8 @@ class CompiledPlan:
     __slots__ = ("path", "schema_version", "strategy", "scan_nodes",
                  "split", "pruned_schema_nodes", "index_epoch",
                  "probe", "rest_predicates", "index_used", "executor",
-                 "not_lowerable_reason")
+                 "not_lowerable_reason", "stats_epoch", "stats_nodes",
+                 "cost", "cost_table")
 
     def __init__(self, path: Path, schema_version: int, strategy: str,
                  scan_nodes: tuple[SchemaNode, ...],
@@ -206,6 +220,20 @@ class CompiledPlan:
         #: "naive" plans, by the lowering when it declines; "" while
         #: undetermined or when the plan compiled).
         self.not_lowerable_reason = ""
+        #: Statistics epoch the plan was priced under (restamped in
+        #: place while none of :attr:`stats_nodes` drift).
+        self.stats_epoch = 0
+        #: Schema nodes whose statistics the cost model consulted when
+        #: choosing this plan — the exact re-plan scope of a
+        #: statistics-epoch bump.  Empty for structurally-forced plans
+        #: (their decision never depends on statistics).
+        self.stats_nodes: tuple[SchemaNode, ...] = ()
+        #: The chosen candidate's :class:`~repro.query.cost.CostEstimate`
+        #: (None when the plan was picked structurally).
+        self.cost = None
+        #: Every priced candidate, chosen one flagged — the EXPLAIN
+        #: cost table.
+        self.cost_table: tuple = ()
 
     def execute(self, queries: "StorageQueryEngine"
                 ) -> "list[NodeDescriptor]":
@@ -319,22 +347,43 @@ class CompiledPlan:
                 f"v{self.schema_version})")
 
 
+#: Deterministic tie-break when candidates price equal: the historical
+#: structural precedence (probe > scan/hybrid > naive).
+_STRATEGY_RANK = {"empty": 0, "index": 1, "scan": 2, "hybrid": 3,
+                  "naive": 4}
+
+#: Planner policies: ``cost`` prices every candidate and takes the
+#: cheapest (falling back to ``structural`` without statistics);
+#: ``structural`` keeps the historical fixed precedence; ``scan``
+#: never probes an index; ``naive`` always navigates.  The forced
+#: policies exist for the benchmark harness and the parity tests —
+#: every policy returns the same rows.
+POLICIES = ("cost", "structural", "scan", "naive")
+
+
 def compile_plan(path: Path, schema: "DescriptiveSchema",
-                 indexes=None) -> CompiledPlan:
+                 indexes=None, stats=None, block_capacity: int = 64,
+                 policy: str = "cost") -> CompiledPlan:
     """Compile *path* against the current schema (no caching here).
 
     *indexes* is the engine's :class:`IndexManager` (or None for the
     pure scan planner, e.g. the index-free ``evaluate_schema_driven``
-    baseline); when given and a declared index answers the decisive
-    step, the plan uses the ``index`` strategy.
+    baseline).  *stats* is the engine's
+    :class:`~repro.obs.statistics.StatisticsCollector`; when given
+    (and *policy* is ``cost``) every applicable candidate strategy is
+    priced under :mod:`repro.query.cost` and the cheapest wins,
+    otherwise the historical structural precedence applies.
     """
     if obs.ENABLED:
         with obs.TRACER.span("query.plan.compile", path=str(path)):
-            plan = _compile_plan(path, schema, indexes)
+            plan = _plan_for_policy(path, schema, indexes, stats,
+                                    block_capacity, policy)
     elif obs.RECORDING:
-        plan = _compile_plan(path, schema, indexes)
+        plan = _plan_for_policy(path, schema, indexes, stats,
+                                block_capacity, policy)
     else:
-        return _compile_plan(path, schema, indexes)
+        return _plan_for_policy(path, schema, indexes, stats,
+                                block_capacity, policy)
     obs.REGISTRY.counter("query.plan.compiles").inc()
     obs.REGISTRY.counter(
         f"query.plan.strategy.{plan.strategy}").inc()
@@ -344,25 +393,167 @@ def compile_plan(path: Path, schema: "DescriptiveSchema",
     return plan
 
 
-def _compile_plan(path: Path, schema: "DescriptiveSchema",
-                  indexes=None) -> CompiledPlan:
-    steps = path.steps
-    version = schema.version
-    epoch = indexes.epoch if indexes is not None else 0
-    for step in steps:
+def _plan_for_policy(path: Path, schema: "DescriptiveSchema", indexes,
+                     stats, block_capacity: int,
+                     policy: str) -> CompiledPlan:
+    if policy == "naive":
+        plan = CompiledPlan(path, schema.version, "naive", (), None, 0,
+                            index_epoch=indexes.epoch
+                            if indexes is not None else 0)
+        plan.not_lowerable_reason = "naive policy forced"
+    elif policy == "scan":
+        # Structural planning with the indexes hidden — but stamped
+        # with the real DDL epoch so the plan cache does not loop.
+        plan = _compile_plan(path, schema, None)
+        plan.index_epoch = indexes.epoch if indexes is not None else 0
+    elif policy == "structural" or stats is None:
+        plan = _compile_plan(path, schema, indexes)
+    else:
+        plan = _costed_plan(path, schema, indexes, stats,
+                            block_capacity)
+    if stats is not None:
+        plan.stats_epoch = stats.epoch
+    return plan
+
+
+def _forced_naive(path: Path, version: int,
+                  epoch: int) -> Optional[CompiledPlan]:
+    """The one structurally-forced strategy: positional predicates on
+    ``//`` steps have whole-selection semantics no block scan (or
+    probe) reproduces, so the whole query navigates."""
+    for step in path.steps:
         if (step.axis == "descendant-or-self"
                 and any(isinstance(p, PositionPredicate)
                         for p in step.predicates)):
-            # This library gives positional predicates on // steps
-            # whole-selection semantics (like /descendant::x[n]); a
-            # flat block scan grouped by parent cannot reproduce that,
-            # so the whole query navigates.
             plan = CompiledPlan(path, version, "naive", (), None, 0,
                                 index_epoch=epoch)
             plan.not_lowerable_reason = (
                 "positional predicate on a descendant step needs "
                 "whole-selection navigation")
             return plan
+    return None
+
+
+def _candidate_plans(path: Path, schema: "DescriptiveSchema", indexes
+                     ) -> "tuple[list[CompiledPlan], int]":
+    """Every strategy that can answer *path*, plus the index of the
+    candidate the historical structural precedence would pick.
+
+    The first entry is always the structurally-forced plan when one
+    exists (naive-on-``//``-positional, or ``empty``), in which case
+    it is the only entry.  Otherwise the list holds the scan/hybrid
+    baseline, one ``index`` candidate per eligible value-index probe
+    (any prefix of non-positional predicates may be probed, not just
+    the first — the remaining predicates commute as pure filters), the
+    path-index candidate, and a priced ``naive`` — all sharing the
+    plan shapes :mod:`repro.query.compiled` already lowers.
+    """
+    steps = path.steps
+    version = schema.version
+    epoch = indexes.epoch if indexes is not None else 0
+    forced = _forced_naive(path, version, epoch)
+    if forced is not None:
+        return [forced], 0
+    split: Optional[int] = None
+    for index, step in enumerate(steps[:-1]):
+        if step.predicates:
+            split = index
+            break
+    prefix = steps if split is None else steps[:split + 1]
+    matched = match_schema_nodes(schema.root, prefix)
+    pruned = 0
+    if prefix[-1].predicates:
+        feasible = [node for node in matched
+                    if structurally_feasible(node, prefix[-1].predicates)]
+        pruned = len(matched) - len(feasible)
+        matched = feasible
+    if not matched:
+        return [CompiledPlan(path, version, "empty", (), split, pruned,
+                             index_epoch=epoch)], 0
+    base_strategy = "scan" if split is None else "hybrid"
+    predicates = prefix[-1].predicates
+    candidates = [CompiledPlan(path, version, base_strategy,
+                               tuple(matched), split, pruned,
+                               index_epoch=epoch)]
+    structural_pick = 0
+    if indexes is not None and indexes.active:
+        if predicates and len(matched) == 1:
+            for position, predicate in enumerate(predicates):
+                if isinstance(predicate, PositionPredicate):
+                    # A probe answers its predicate *first*; value
+                    # predicates commute around it, positional ones do
+                    # not — stop at the first positional.
+                    break
+                probe = indexes.plan_probe(matched[0], predicate)
+                if probe is None:
+                    continue
+                rest = predicates[:position] + predicates[position + 1:]
+                candidate = CompiledPlan(
+                    path, version, "index", tuple(matched), split,
+                    pruned, index_epoch=epoch, probe=probe,
+                    rest_predicates=rest,
+                    index_used=f"value:{probe[1].definition.path}")
+                candidates.append(candidate)
+                if position == 0:
+                    # Structural precedence probed the first predicate.
+                    structural_pick = len(candidates) - 1
+        elif not predicates and split is None and len(matched) > 1:
+            path_index = indexes.path_probe(matched)
+            if path_index is not None:
+                candidates.append(CompiledPlan(
+                    path, version, "index", tuple(matched), split,
+                    pruned, index_epoch=epoch,
+                    probe=("path", path_index),
+                    index_used=f"path:{path_index.definition.path}"))
+                structural_pick = len(candidates) - 1
+    naive = CompiledPlan(path, version, "naive", (), None, 0,
+                         index_epoch=epoch)
+    naive.not_lowerable_reason = "naive strategy is interpreted"
+    candidates.append(naive)
+    return candidates, structural_pick
+
+
+def _costed_plan(path: Path, schema: "DescriptiveSchema", indexes,
+                 stats, block_capacity: int) -> CompiledPlan:
+    """Enumerate candidates, price each, take the cheapest."""
+    from repro.query.cost import CostModel
+    candidates, structural_pick = _candidate_plans(path, schema,
+                                                   indexes)
+    model = CostModel(stats, block_capacity)
+    table = []
+    for candidate in candidates:
+        estimate = model.price(candidate, schema)
+        candidate.cost = estimate
+        table.append(estimate)
+    best = min(
+        range(len(candidates)),
+        key=lambda i: (table[i].total,
+                       _STRATEGY_RANK[candidates[i].strategy], i))
+    plan = candidates[best]
+    table[best].chosen = True
+    plan.cost_table = tuple(table)
+    plan.stats_nodes = tuple(model.consulted)
+    plan.stats_epoch = stats.epoch
+    if obs.RECORDING:
+        registry = obs.REGISTRY
+        registry.counter("query.cost.priced").inc()
+        registry.counter("query.cost.candidates").inc(len(table))
+        registry.counter(f"query.cost.chosen.{plan.strategy}").inc()
+        if best != structural_pick:
+            registry.counter("query.cost.overrides").inc()
+    return plan
+
+
+def _compile_plan(path: Path, schema: "DescriptiveSchema",
+                  indexes=None) -> CompiledPlan:
+    """The historical structural planner: fixed precedence
+    (index probe on the first predicate > scan/hybrid), no pricing."""
+    steps = path.steps
+    version = schema.version
+    epoch = indexes.epoch if indexes is not None else 0
+    forced = _forced_naive(path, version, epoch)
+    if forced is not None:
+        return forced
     split: Optional[int] = None
     for index, step in enumerate(steps[:-1]):
         if step.predicates:
@@ -402,27 +593,71 @@ def _compile_plan(path: Path, schema: "DescriptiveSchema",
                         pruned, index_epoch=epoch)
 
 
+def _same_decision(fresh: CompiledPlan, stale: CompiledPlan) -> bool:
+    """Did a recompile reach the same strategic decision?  Probe mode
+    participates because two predicates can probe the *same* index
+    differently (eq vs exists)."""
+    return (fresh.strategy == stale.strategy
+            and fresh.index_used == stale.index_used
+            and (fresh.probe[0] if fresh.probe else None)
+            == (stale.probe[0] if stale.probe else None))
+
+
+def _adopt(stale: CompiledPlan, fresh: CompiledPlan,
+           drop_executor: bool) -> None:
+    """Restamp *stale* in place from an equivalent *fresh* compile."""
+    stale.index_epoch = fresh.index_epoch
+    stale.stats_epoch = fresh.stats_epoch
+    stale.stats_nodes = fresh.stats_nodes
+    stale.cost = fresh.cost
+    stale.cost_table = fresh.cost_table
+    if drop_executor or stale.probe != fresh.probe \
+            or stale.rest_predicates != fresh.rest_predicates:
+        stale.probe = fresh.probe
+        stale.rest_predicates = fresh.rest_predicates
+        stale.executor = None
+
+
 class QueryPlanner:
     """Per-engine plan compiler with an LRU (path → plan) cache.
 
     A cached plan is handed out only if its schema version still
     matches; a grown schema invalidates exactly the stale entry (the
     paper's claim that the descriptive schema is small and *stable*
-    makes invalidations rare in practice).
+    makes invalidations rare in practice).  Two further stamps keep
+    cached decisions honest without over-invalidating: the index
+    (DDL) epoch and the statistics epoch, both handled by
+    recompile-and-compare with in-place restamps when the decision
+    stands — and the statistics epoch adds an even cheaper short
+    circuit first: a plan none of whose priced schema nodes drifted
+    is restamped without recompiling at all.
     """
 
-    def __init__(self, engine, capacity: int = PLAN_CACHE_CAPACITY
-                 ) -> None:
+    def __init__(self, engine, capacity: int = PLAN_CACHE_CAPACITY,
+                 policy: str = "cost") -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"unknown planner policy {policy!r} "
+                             f"(expected one of {POLICIES})")
         self._engine = engine
+        self.policy = policy
         self._plans: LRUCache[Path, CompiledPlan] = LRUCache(
             capacity, prefix="query.plan_cache")
+
+    def _compile(self, path: Path) -> CompiledPlan:
+        engine = self._engine
+        return compile_plan(path, engine.schema, engine.indexes,
+                            stats=engine.stats,
+                            block_capacity=engine.block_capacity,
+                            policy=self.policy)
 
     def compile(self, path: "Path | str") -> CompiledPlan:
         if isinstance(path, str):
             path = cached_parse_path(path)
-        version = self._engine.schema.version
-        indexes = self._engine.indexes
-        epoch = indexes.epoch
+        engine = self._engine
+        version = engine.schema.version
+        stats = engine.stats
+        epoch = engine.indexes.epoch
+        stats_epoch = stats.epoch
         invalidated = False
         fresh: Optional[CompiledPlan] = None
         stale = self._plans.peek(path)
@@ -433,26 +668,45 @@ class QueryPlanner:
             # DDL happened since this plan compiled.  Recompile and
             # compare: an unchanged decision is restamped in place (a
             # hit), a changed one is invalidated — so CREATE/DROP
-            # INDEX invalidates exactly the plans it affects.
-            fresh = compile_plan(path, self._engine.schema, indexes)
-            if (fresh.strategy == stale.strategy
-                    and fresh.index_used == stale.index_used):
-                stale.index_epoch = epoch
-                # The decision is unchanged but the probe may bind a
-                # *new* index object: take the fresh bindings and drop
-                # the stale closure chain so it re-lowers against them.
-                stale.probe = fresh.probe
-                stale.rest_predicates = fresh.rest_predicates
-                stale.executor = None
+            # INDEX invalidates exactly the plans it affects.  The
+            # closure chain is always dropped: the probe may bind a
+            # *new* index object.
+            fresh = self._compile(path)
+            if _same_decision(fresh, stale):
+                _adopt(stale, fresh, drop_executor=True)
                 fresh = None
             else:
                 self._plans.invalidate(path)
                 invalidated = True
+        elif stale is not None and stale.stats_epoch != stats_epoch:
+            # Statistics drifted somewhere since this plan priced its
+            # candidates.  Exactly-scoped: if none of the schema nodes
+            # this plan consulted drifted, restamp without recompiling
+            # (the pricing inputs are unchanged, so the decision is).
+            if not stats.drifted_since(stale.stats_nodes,
+                                       stale.stats_epoch):
+                stale.stats_epoch = stats_epoch
+                if obs.RECORDING:
+                    obs.REGISTRY.counter(
+                        "query.cost.stats_restamps").inc()
+            else:
+                fresh = self._compile(path)
+                if obs.RECORDING:
+                    obs.REGISTRY.counter(
+                        "query.cost.stats_replans").inc()
+                if _same_decision(fresh, stale):
+                    # Same decision, same DDL epoch: the probe binds
+                    # the same index objects, so a live closure chain
+                    # stays valid unless the bindings actually moved.
+                    _adopt(stale, fresh, drop_executor=False)
+                    fresh = None
+                else:
+                    self._plans.invalidate(path)
+                    invalidated = True
         plan = self._plans.get(path)
         hit = plan is not None
         if plan is None:
-            plan = fresh if fresh is not None else compile_plan(
-                path, self._engine.schema, indexes)
+            plan = fresh if fresh is not None else self._compile(path)
             self._plans.put(path, plan)
         context = _explain.ACTIVE
         if context is not None:
@@ -464,6 +718,11 @@ class QueryPlanner:
             context.pruned_schema_nodes = plan.pruned_schema_nodes
             context.index_used = plan.index_used
             context.not_lowerable_reason = plan.not_lowerable_reason
+            if plan.cost is not None:
+                context.cost_total = plan.cost.total
+                context.cost_estimated_rows = plan.cost.output_rows
+                context.cost_table = [estimate.as_dict()
+                                      for estimate in plan.cost_table]
         if obs.RECORDING:
             # Aggregate plan-cache counters across all engines (each
             # cache also keeps its private per-engine instruments).

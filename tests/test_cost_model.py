@@ -1,0 +1,278 @@
+"""The cost-based planner is an optimisation, never a semantics change.
+
+Three families of guarantees:
+
+* **Parity** — for every query of the corpus, the cost-chosen plan
+  returns nid-identical results to every forced policy (``structural``,
+  ``scan``, ``naive``) and to the naive navigator; and it keeps doing
+  so after statistics-shifting mutations and after index DDL.
+* **Pricing sanity** — the model's orderings match the engine's real
+  cost structure: scan beats naive on a deep path, a selective
+  eq-probe beats scanning, and the planner may override the structural
+  first-predicate pick when a later predicate prices cheaper.
+* **Exactly-scoped invalidation** — a statistics-epoch bump re-plans
+  only the plans whose *consulted* schema nodes drifted; every other
+  plan is restamped in place, keeping its object identity and its
+  lowered executor.
+"""
+
+import pytest
+
+from repro import obs
+from repro.query import StorageQueryEngine
+from repro.storage import StorageEngine
+from repro.workloads import make_library_document
+from repro.xmlio import parse_document, serialize_document
+from repro.xmlio.qname import QName
+
+#: Every planner policy the cost-chosen plan must agree with.
+FORCED_POLICIES = ("structural", "scan", "naive")
+
+#: Query shapes over the library workload covering every strategy the
+#: planner emits: scans, hybrids, positional naive fallbacks, multi-
+#: schema merges, value probes (eq and exists) and path probes.
+LIBRARY_CORPUS = (
+    "/library/book/title",
+    "/library/paper/title",
+    "/library/*/title",
+    "//title",
+    "//author",
+    "//book[1]",
+    "//book[last()]/title",
+    "/library/book[2]/author",
+    "/library/book[@year]/title",
+    "/library/book[author]/title",
+    "/library/book/issue/publisher",
+    "//issue/year",
+    "/library/book[@zzz]/title",
+)
+
+
+def _build_engine():
+    text = serialize_document(
+        make_library_document(books=40, papers=12, seed=5,
+                              year_attrs=True))
+    engine = StorageEngine()
+    engine.load_document(parse_document(text))
+    return engine
+
+
+def _nids(descriptors):
+    return [descriptor.nid for descriptor in descriptors]
+
+
+def _value_corpus(engine, queries):
+    """Corpus entries whose predicate values must exist in this
+    particular document (seed-dependent)."""
+    year = engine.string_value(
+        queries.evaluate_naive("/library/book/@year")[0])
+    author = engine.string_value(
+        queries.evaluate_naive("/library/book/author")[0])
+    return (
+        f"/library/book[@year='{year}']/title",
+        f"/library/book[@year='{year}'][author]/title",
+        f"/library/book[@year][@year='{year}']/title",
+        f"/library/book[author='{author}']/title",
+        "/library/book[@year='1492']/title",  # in no book's range
+    )
+
+
+def _assert_parity(engine, corpus):
+    """One cost-policy engine against one engine per forced policy,
+    all over the same store."""
+    cost = StorageQueryEngine(engine)
+    forced = {policy: StorageQueryEngine(engine, planner_policy=policy)
+              for policy in FORCED_POLICIES}
+    for path in corpus:
+        expected = _nids(cost.evaluate_naive(path))
+        got = _nids(cost.evaluate(path))
+        assert got == expected, f"cost policy diverges on {path}"
+        for policy, queries in forced.items():
+            assert _nids(queries.evaluate(path)) == expected, \
+                f"{policy} policy diverges on {path}"
+    return cost, forced
+
+
+class TestCorpusParity:
+    def test_cost_vs_every_forced_policy(self):
+        engine = _build_engine()
+        queries = StorageQueryEngine(engine)
+        corpus = LIBRARY_CORPUS + _value_corpus(engine, queries)
+        _assert_parity(engine, corpus)
+
+    def test_parity_survives_index_ddl(self):
+        engine = _build_engine()
+        queries = StorageQueryEngine(engine)
+        corpus = LIBRARY_CORPUS + _value_corpus(engine, queries)
+        engine.create_index("library/book/@year", kind="value",
+                            value_type="integer")
+        engine.create_index("//author", kind="path")
+        _assert_parity(engine, corpus)
+        engine.drop_index("library/book/@year", kind="value")
+        _assert_parity(engine, corpus)
+
+    def test_parity_survives_stat_shifting_mutations(self):
+        engine = _build_engine()
+        queries = StorageQueryEngine(engine)
+        corpus = LIBRARY_CORPUS + _value_corpus(engine, queries)
+        engine.create_index("library/book/@year", kind="value",
+                            value_type="integer")
+        cost, forced = _assert_parity(engine, corpus)
+        # Shift the distribution the model priced: rewrite half the
+        # @year values (churn) and grow the paper population past the
+        # drift threshold (count shift), then re-check every engine
+        # with its now-stale plan cache.
+        books = queries.evaluate_naive("/library/book")
+        for book in books[::2]:
+            engine.set_attribute(book, QName("", "year"), "1492",
+                                 replace=True)
+        library = queries.evaluate_naive("/library")[0]
+        for _ in range(24):
+            paper = engine.insert_child(library, 0, name=QName("", "paper"))
+            title = engine.insert_child(paper, 0, name=QName("", "title"))
+            engine.insert_child(title, 0, text="Incunabula")
+        for path in corpus + ("/library/book[@year='1492']/title",):
+            expected = _nids(cost.evaluate_naive(path))
+            assert _nids(cost.evaluate(path)) == expected, \
+                f"cost policy diverges on {path} after mutations"
+            for policy, engine_q in forced.items():
+                assert _nids(engine_q.evaluate(path)) == expected, \
+                    f"{policy} policy diverges on {path} after mutations"
+
+
+class TestPricingSanity:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        engine = _build_engine()
+        engine.create_index("library/book/@year", kind="value",
+                            value_type="integer")
+        engine.create_index("//author", kind="path")
+        return engine, StorageQueryEngine(engine)
+
+    def test_scan_prices_below_naive(self, setup):
+        _, queries = setup
+        plan = queries.compile("/library/book/issue/publisher")
+        assert plan.strategy == "scan"
+        by_strategy = {c.strategy: c for c in plan.cost_table}
+        assert "naive" in by_strategy
+        assert plan.cost.total < by_strategy["naive"].total
+
+    def test_eq_probe_prices_below_scan(self, setup):
+        engine, queries = setup
+        year = engine.string_value(
+            queries.evaluate_naive("/library/book/@year")[0])
+        plan = queries.compile(f"/library/book[@year='{year}']/title")
+        assert plan.strategy == "index"
+        assert plan.index_used == "value:library/book/@year"
+        totals = [c.total for c in plan.cost_table]
+        assert plan.cost.total == min(totals)
+
+    def test_path_probe_chosen_for_descendant_merge(self, setup):
+        _, queries = setup
+        plan = queries.compile("//author")
+        assert plan.strategy == "index"
+        assert plan.index_used == "path://author"
+
+    def test_cost_overrides_structural_first_predicate(self, setup):
+        """The showcase: structural precedence probes the first
+        applicable predicate ([@year], an unselective exists-probe);
+        the cost model prices the second predicate's eq-probe cheaper
+        and takes it."""
+        engine, queries = setup
+        year = engine.string_value(
+            queries.evaluate_naive("/library/book/@year")[0])
+        path = f"/library/book[@year][@year='{year}']/title"
+        plan = queries.compile(path)
+        structural = StorageQueryEngine(
+            engine, planner_policy="structural").compile(path)
+        assert plan.strategy == "index"
+        assert plan.cost is not None and plan.cost.chosen
+        assert len(plan.cost_table) >= 3
+        # The eq probe keys on the literal, the structural pick is the
+        # bare exists probe — and the model priced the former cheaper.
+        assert plan.probe is not None and plan.probe[0] == "eq"
+        assert structural.probe is not None and structural.probe[0] == "exists"
+        same_index = [c for c in plan.cost_table
+                      if c.strategy == "index"
+                      and c.index_used == plan.index_used]
+        assert len(same_index) >= 2, \
+            "both predicates should have produced probe candidates"
+        rejected = [c.total for c in same_index if not c.chosen]
+        assert plan.cost.total < min(rejected)
+
+    def test_out_of_range_literal_prices_near_zero_rows(self, setup):
+        _, queries = setup
+        plan = queries.compile("/library/book[@year='1492']/title")
+        assert plan.cost.output_rows == 0
+
+    def test_every_plan_records_consulted_nodes(self, setup):
+        _, queries = setup
+        for path in ("/library/book/title", "//author", "//book[1]"):
+            plan = queries.compile(path)
+            assert plan.stats_nodes, f"no consulted nodes for {path}"
+
+
+class TestExactlyScopedInvalidation:
+    def test_only_drifted_plans_replan(self):
+        engine = _build_engine()
+        queries = StorageQueryEngine(engine)
+        book_q = "/library/book/title"
+        paper_q = "/library/paper/title"
+        book_plan = queries.compile(book_q)
+        paper_plan = queries.compile(paper_q)
+        # Lower both closure chains so executor survival is observable.
+        queries.evaluate(book_q)
+        queries.evaluate(paper_q)
+        assert book_plan.executor is not None
+        assert paper_plan.executor is not None
+        # The two plans consulted disjoint regions below /library/*:
+        # only the paper query priced the paper's children.
+        book_nodes = {node.path for node in book_plan.stats_nodes}
+        paper_nodes = {node.path for node in paper_plan.stats_nodes}
+        assert "library/paper/author" in paper_nodes
+        assert "library/paper/author" not in book_nodes
+        # Drift exactly library/paper/author: grow it far past the
+        # relative threshold without touching any book statistic.
+        papers = queries.evaluate_naive("/library/paper")
+        epoch_before = engine.stats.epoch
+        for paper in papers:
+            for _ in range(4):
+                engine.insert_child(paper, 0, name=QName("", "author"))
+        assert engine.stats.epoch > epoch_before, \
+            "mutations did not cross the drift threshold"
+        restamps = obs.REGISTRY.counter("query.cost.stats_restamps")
+        replans = obs.REGISTRY.counter("query.cost.stats_replans")
+        r0, p0 = restamps.value, replans.value
+        # Undrifted plan: restamped in place — same object, executor
+        # kept, no recompilation.
+        book_again = queries.compile(book_q)
+        assert book_again is book_plan
+        assert book_again.executor is not None
+        assert restamps.value == r0 + 1
+        assert replans.value == p0
+        # Drifted plan: re-priced.  The decision stands (still a scan),
+        # so the entry is adopted in place rather than invalidated.
+        paper_again = queries.compile(paper_q)
+        assert replans.value == p0 + 1
+        assert restamps.value == r0 + 1
+        assert paper_again is paper_plan
+        # Both queries still answer correctly after the shuffle.
+        assert _nids(queries.evaluate(book_q)) == \
+            _nids(queries.evaluate_naive(book_q))
+        assert _nids(queries.evaluate(paper_q)) == \
+            _nids(queries.evaluate_naive(paper_q))
+
+    def test_restamp_is_idempotent_until_next_drift(self):
+        engine = _build_engine()
+        queries = StorageQueryEngine(engine)
+        plan = queries.compile("/library/book/title")
+        papers = queries.evaluate_naive("/library/paper")
+        epoch_before = engine.stats.epoch
+        for paper in papers:
+            for _ in range(4):
+                engine.insert_child(paper, 0, name=QName("", "author"))
+        assert engine.stats.epoch > epoch_before
+        first = queries.compile("/library/book/title")
+        second = queries.compile("/library/book/title")
+        assert first is plan and second is plan
+        assert plan.stats_epoch == engine.stats.epoch
